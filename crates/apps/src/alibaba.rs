@@ -1,0 +1,290 @@
+//! The real-trace demo application (paper §5, Figure 20).
+//!
+//! The paper validates TopFull at scale on a demo application rebuilt
+//! from the Alibaba microservice trace: "composed of 127 microservices
+//! and 25 APIs with a total of 43 execution paths. Among 25 APIs, 8 APIs
+//! have branching execution paths of up to 6. In our overload
+//! experiments, 13 microservices are designed to be overloaded by
+//! imitating microservice utilization data from the trace."
+//!
+//! We rebuild the same *shape* with a seeded generator: a layered service
+//! graph (entry gateways → aggregation layer → logic layer → data layer),
+//! 25 APIs whose path counts are `[6,5,4,3,2,2,2,2]` for the branching
+//! eight plus 17 single-path APIs (43 paths total), and 13 designated
+//! hot services with deliberately low capacity that multiple APIs share
+//! — the precondition for the starvation scenarios of §2.
+
+use cluster::types::BusinessPriority;
+use cluster::{ApiId, ApiSpec, CallNode, ServiceId, ServiceSpec, Topology};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use simnet::rng::fork;
+use simnet::SimDuration;
+
+/// Branch counts of the 8 branching APIs (sums with 17 singles to 43).
+pub const BRANCH_COUNTS: [usize; 8] = [6, 5, 4, 3, 2, 2, 2, 2];
+/// Total services in the demo.
+pub const NUM_SERVICES: usize = 127;
+/// Total external APIs.
+pub const NUM_APIS: usize = 25;
+/// Hot (overload-prone) services.
+pub const NUM_HOT: usize = 13;
+
+/// Handle bundling the generated topology and its structure.
+#[derive(Clone, Debug)]
+pub struct AlibabaDemo {
+    pub topology: Topology,
+    /// The 13 overload-prone services.
+    pub hot_services: Vec<ServiceId>,
+    /// All 25 APIs in id order.
+    pub apis: Vec<ApiId>,
+}
+
+struct Layers {
+    entries: Vec<ServiceId>,
+    aggregation: Vec<ServiceId>,
+    logic: Vec<ServiceId>,
+    data: Vec<ServiceId>,
+}
+
+impl AlibabaDemo {
+    /// Generate the demo application from a seed. The same seed always
+    /// produces the same topology.
+    pub fn build(seed: u64) -> Self {
+        let mut rng = fork(seed, "alibaba-demo");
+        let mut t = Topology::new("alibaba-demo");
+
+        // 127 services: 3 entries + 38 aggregation + 46 logic + 40 data.
+        let mk = |t: &mut Topology, prefix: &str, n: usize, rng: &mut rand::rngs::SmallRng| {
+            (0..n)
+                .map(|i| {
+                    let replicas = rng.gen_range(3..=6);
+                    t.add_service(ServiceSpec::new(format!("{prefix}-{i:03}"), replicas))
+                })
+                .collect::<Vec<_>>()
+        };
+        let entries = mk(&mut t, "gw", 3, &mut rng);
+        let aggregation = mk(&mut t, "agg", 38, &mut rng);
+        let logic = mk(&mut t, "logic", 46, &mut rng);
+        let data = mk(&mut t, "data", 40, &mut rng);
+        assert_eq!(t.num_services(), NUM_SERVICES);
+
+        // Pick 13 hot services from the aggregation + logic layers and
+        // shrink them: few replicas, heavier per-call cost.
+        let mut mid: Vec<ServiceId> = aggregation
+            .iter()
+            .chain(logic.iter())
+            .copied()
+            .collect();
+        mid.shuffle(&mut rng);
+        let hot_services: Vec<ServiceId> = mid[..NUM_HOT].to_vec();
+        for &h in &hot_services {
+            let spec = t.service_mut(h);
+            spec.replicas = 2;
+        }
+
+        let layers = Layers {
+            entries,
+            aggregation,
+            logic,
+            data,
+        };
+
+        // Round-robin pools guaranteeing every service lands on ≥1 path.
+        let mut unused_agg = layers.aggregation.clone();
+        let mut unused_logic = layers.logic.clone();
+        let mut unused_data = layers.data.clone();
+        unused_agg.shuffle(&mut rng);
+        unused_logic.shuffle(&mut rng);
+        unused_data.shuffle(&mut rng);
+
+        let pick = |pool: &mut Vec<ServiceId>, all: &[ServiceId], rng: &mut rand::rngs::SmallRng| {
+            pool.pop()
+                .unwrap_or_else(|| *all.choose(rng).expect("non-empty layer"))
+        };
+
+        let hot_cost = |svc: ServiceId, hot: &[ServiceId], rng: &mut rand::rngs::SmallRng| {
+            let base = if hot.contains(&svc) {
+                rng.gen_range(3.0..6.0)
+            } else {
+                rng.gen_range(0.5..2.0)
+            };
+            SimDuration::from_secs_f64(base / 1e3)
+        };
+
+        // Path builder: entry → agg → {1..3 logic} → {0..1 data each},
+        // with a forced station at `anchor` (a hot service) so hot
+        // services are shared across APIs.
+        let build_path = |anchor: Option<ServiceId>, rng: &mut rand::rngs::SmallRng,
+                              unused_agg: &mut Vec<ServiceId>,
+                              unused_logic: &mut Vec<ServiceId>,
+                              unused_data: &mut Vec<ServiceId>| {
+            let entry = *layers.entries.choose(rng).expect("entries");
+            let anchored_agg = matches!(anchor, Some(a) if layers.aggregation.contains(&a));
+            let agg = if anchored_agg {
+                anchor.expect("checked")
+            } else {
+                pick(unused_agg, &layers.aggregation, rng)
+            };
+            let n_logic = rng.gen_range(1..=3usize);
+            let mut logic_children = Vec::new();
+            // When the anchor occupied the aggregation slot, still drain
+            // the aggregation pool so every service lands on some path.
+            if anchored_agg {
+                if let Some(extra) = unused_agg.pop() {
+                    logic_children
+                        .push(CallNode::leaf(extra, hot_cost(extra, &hot_services, rng)));
+                }
+            }
+            for li in 0..n_logic {
+                let lsvc = match anchor {
+                    Some(a) if li == 0 && layers.logic.contains(&a) => a,
+                    _ => pick(unused_logic, &layers.logic, rng),
+                };
+                let mut kids = Vec::new();
+                if rng.gen_bool(0.7) || !unused_data.is_empty() {
+                    let d = pick(unused_data, &layers.data, rng);
+                    kids.push(CallNode::leaf(d, hot_cost(d, &hot_services, rng)));
+                }
+                logic_children.push(CallNode::with_children(
+                    lsvc,
+                    hot_cost(lsvc, &hot_services, rng),
+                    kids,
+                ));
+            }
+            CallNode::with_children(
+                entry,
+                SimDuration::from_secs_f64(0.5 / 1e3),
+                vec![CallNode::with_children(
+                    agg,
+                    hot_cost(agg, &hot_services, rng),
+                    logic_children,
+                )],
+            )
+        };
+
+        // 25 APIs: the first 8 branch, the rest are single-path. Each API
+        // is anchored on a hot service (cycling through the 13) so every
+        // hot service is shared by ≈2 APIs.
+        let mut apis = Vec::with_capacity(NUM_APIS);
+        let mut hot_cycle = hot_services.iter().cycle();
+        let path_counts = BRANCH_COUNTS
+            .iter()
+            .copied()
+            .chain(std::iter::repeat(1))
+            .take(NUM_APIS);
+        for (i, n_paths) in path_counts.enumerate() {
+            let anchor = *hot_cycle.next().expect("cycle");
+            let mut paths = Vec::with_capacity(n_paths);
+            for b in 0..n_paths {
+                // Every branch keeps the anchor so the API reliably
+                // touches its hot service; branch weight decays.
+                let root = build_path(
+                    Some(anchor),
+                    &mut rng,
+                    &mut unused_agg,
+                    &mut unused_logic,
+                    &mut unused_data,
+                );
+                paths.push((1.0 / (b as f64 + 1.0), root));
+            }
+            let api = t.add_api(
+                ApiSpec::branching(format!("api-{i:02}"), paths)
+                    .business(BusinessPriority(0)),
+            );
+            apis.push(api);
+        }
+
+        AlibabaDemo {
+            topology: t,
+            hot_services,
+            apis,
+        }
+    }
+
+    /// Total number of execution paths across all APIs.
+    pub fn total_paths(&self) -> usize {
+        self.topology.apis().map(|(_, a)| a.paths.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_shape() {
+        let d = AlibabaDemo::build(7);
+        assert_eq!(d.topology.num_services(), 127);
+        assert_eq!(d.topology.num_apis(), 25);
+        assert_eq!(d.total_paths(), 43, "43 execution paths");
+        assert_eq!(d.hot_services.len(), 13);
+        let branching = d
+            .topology
+            .apis()
+            .filter(|(_, a)| a.paths.len() > 1)
+            .count();
+        assert_eq!(branching, 8, "8 branching APIs");
+        let max_branches = d
+            .topology
+            .apis()
+            .map(|(_, a)| a.paths.len())
+            .max()
+            .unwrap();
+        assert_eq!(max_branches, 6, "branching up to 6");
+    }
+
+    #[test]
+    fn every_service_is_on_some_path() {
+        let d = AlibabaDemo::build(7);
+        let by_service = d.topology.service_api_map();
+        let orphan = by_service.iter().filter(|apis| apis.is_empty()).count();
+        // Entry/agg/logic/data coverage is guaranteed by round-robin
+        // pools; allow a tiny residue from pool exhaustion randomness.
+        assert!(
+            orphan <= 3,
+            "{orphan} services on no execution path (want ~0)"
+        );
+    }
+
+    #[test]
+    fn hot_services_are_shared_by_multiple_apis() {
+        let d = AlibabaDemo::build(7);
+        let by_service = d.topology.service_api_map();
+        let mut shared = 0;
+        for &h in &d.hot_services {
+            if by_service[h.idx()].len() >= 2 {
+                shared += 1;
+            }
+        }
+        assert!(
+            shared >= 10,
+            "most hot services shared by ≥2 APIs, got {shared}/13"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = AlibabaDemo::build(42);
+        let b = AlibabaDemo::build(42);
+        assert_eq!(a.topology.num_apis(), b.topology.num_apis());
+        for (ai, bi) in a.topology.apis().zip(b.topology.apis()) {
+            assert_eq!(ai.1.touched_services(), bi.1.touched_services());
+        }
+        let c = AlibabaDemo::build(43);
+        let differs = a
+            .topology
+            .apis()
+            .zip(c.topology.apis())
+            .any(|(x, y)| x.1.touched_services() != y.1.touched_services());
+        assert!(differs, "different seeds produce different wiring");
+    }
+
+    #[test]
+    fn hot_services_have_low_capacity() {
+        let d = AlibabaDemo::build(7);
+        for &h in &d.hot_services {
+            assert_eq!(d.topology.service(h).replicas, 2);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # apps — benchmark application topologies
+//!
+//! The three applications the paper evaluates on (§6 "Experimental
+//! Setup"), modeled as [`cluster::Topology`] values:
+//!
+//! * [`online_boutique`] — Google's Online Boutique demo: 11 services,
+//!   5 external APIs (`postcheckout`, `getproduct`, `getcart`, `postcart`,
+//!   `emptycart`), with `recommendation` and `checkout` as the natural
+//!   bottlenecks (paper Figures 2–3).
+//! * [`train_ticket`] — FudanSE's Train Ticket benchmark: 41 services,
+//!   the paper's 6 APIs (`high_speed_ticket`, `normal_speed_ticket`,
+//!   `query_order`, `query_order_other`, `query_food`, `query_payment`)
+//!   plus a `preserve` booking API that exercises the write path.
+//! * [`alibaba`] — the paper's real-trace demo application rebuilt from
+//!   the Alibaba trace shape: 127 services, 25 APIs, 43 execution paths,
+//!   8 branching APIs (up to 6 branches), 13 overload-prone services.
+//! * [`trace`] — a 23k-microservice synthetic trace reproducing the §2
+//!   starvation-vulnerability analysis and §6.4 clustering statistics.
+//!
+//! Capacities are expressed as per-call CPU costs and replica counts; the
+//! absolute numbers are calibrated so the experiments of §6 recreate the
+//! same bottlenecks the paper reports, not the authors' exact hardware.
+
+pub mod alibaba;
+pub mod online_boutique;
+pub mod trace;
+pub mod train_ticket;
+
+pub use alibaba::AlibabaDemo;
+pub use online_boutique::OnlineBoutique;
+pub use train_ticket::TrainTicket;

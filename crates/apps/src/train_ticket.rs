@@ -1,0 +1,435 @@
+//! Train Ticket: 41 microservices, the paper's 6 evaluated APIs.
+//!
+//! Modeled after FudanSE's Train Ticket benchmark as deployed by the paper
+//! (Figure 7; "Train Ticket contains 41 microservices"). §6: "API 1, 2, 3,
+//! 4, 5, 6 corresponds to high speed ticket, normal speed ticket, query
+//! order, query order other, query food, and query payment". A seventh
+//! `preserve` (seat booking) API exercises the write path and the many
+//! auxiliary services; it is not part of the paper's measured set but
+//! makes the topology's long tail reachable.
+//!
+//! The capacity profile follows the benchmark's well-known hot spots:
+//! `ts-basic` (fan-out hub for ticket queries), `ts-station` (name
+//! lookups on nearly every path; the Fig. 18 failure-injection target),
+//! `ts-travel` and `ts-order`.
+
+use cluster::types::BusinessPriority;
+use cluster::{ApiId, ApiSpec, CallNode, ServiceId, ServiceSpec, Topology};
+use simnet::SimDuration;
+
+fn ms_f(x: f64) -> SimDuration {
+    SimDuration::from_secs_f64(x / 1e3)
+}
+
+/// Handle bundling the topology with the ids experiments need.
+#[derive(Clone, Debug)]
+pub struct TrainTicket {
+    pub topology: Topology,
+    // Core path services.
+    pub gateway: ServiceId,
+    pub travel: ServiceId,
+    pub travel2: ServiceId,
+    pub ticketinfo: ServiceId,
+    pub basic: ServiceId,
+    pub station: ServiceId,
+    pub train: ServiceId,
+    pub route: ServiceId,
+    pub price: ServiceId,
+    pub seat: ServiceId,
+    pub config: ServiceId,
+    pub order: ServiceId,
+    pub order_other: ServiceId,
+    pub food: ServiceId,
+    pub food_map: ServiceId,
+    pub inside_payment: ServiceId,
+    pub payment: ServiceId,
+    // Preserve-path services.
+    pub preserve: ServiceId,
+    pub security: ServiceId,
+    pub contacts: ServiceId,
+    pub assurance: ServiceId,
+    pub consign: ServiceId,
+    pub consign_price: ServiceId,
+    pub user: ServiceId,
+    // APIs in the paper's numbering (API 1..=6), plus preserve.
+    pub high_speed_ticket: ApiId,
+    pub normal_speed_ticket: ApiId,
+    pub query_order: ApiId,
+    pub query_order_other: ApiId,
+    pub query_food: ApiId,
+    pub query_payment: ApiId,
+    pub preserve_api: ApiId,
+}
+
+impl TrainTicket {
+    /// Build the topology with the default (paper-scale) deployment.
+    pub fn build() -> Self {
+        let mut t = Topology::new("train-ticket");
+        // -- services on the evaluated paths --
+        let gateway = t.add_service(ServiceSpec::new("ts-gateway", 8));
+        let travel = t.add_service(ServiceSpec::new("ts-travel-service", 4));
+        let travel2 = t.add_service(ServiceSpec::new("ts-travel2-service", 3));
+        let ticketinfo = t.add_service(ServiceSpec::new("ts-ticketinfo-service", 4));
+        let basic = t.add_service(ServiceSpec::new("ts-basic-service", 4));
+        let station = t.add_service(ServiceSpec::new("ts-station-service", 6));
+        let train = t.add_service(ServiceSpec::new("ts-train-service", 3));
+        let route = t.add_service(ServiceSpec::new("ts-route-service", 4));
+        let price = t.add_service(ServiceSpec::new("ts-price-service", 3));
+        let seat = t.add_service(ServiceSpec::new("ts-seat-service", 3));
+        let config = t.add_service(ServiceSpec::new("ts-config-service", 2));
+        let order = t.add_service(ServiceSpec::new("ts-order-service", 4));
+        let order_other = t.add_service(ServiceSpec::new("ts-order-other-service", 3));
+        let food = t.add_service(ServiceSpec::new("ts-food-service", 3));
+        let food_map = t.add_service(ServiceSpec::new("ts-food-map-service", 2));
+        let inside_payment = t.add_service(ServiceSpec::new("ts-inside-payment-service", 3));
+        let payment = t.add_service(ServiceSpec::new("ts-payment-service", 2));
+        // -- preserve (booking) path --
+        let preserve = t.add_service(ServiceSpec::new("ts-preserve-service", 3));
+        let security = t.add_service(ServiceSpec::new("ts-security-service", 2));
+        let contacts = t.add_service(ServiceSpec::new("ts-contacts-service", 2));
+        let assurance = t.add_service(ServiceSpec::new("ts-assurance-service", 2));
+        let consign = t.add_service(ServiceSpec::new("ts-consign-service", 2));
+        let consign_price = t.add_service(ServiceSpec::new("ts-consign-price-service", 2));
+        let user = t.add_service(ServiceSpec::new("ts-user-service", 2));
+        // -- long tail to 41 services (present in the deployment, not on
+        //    the evaluated read paths) --
+        for name in [
+            "ts-auth-service",
+            "ts-verification-code-service",
+            "ts-preserve-other-service",
+            "ts-cancel-service",
+            "ts-rebook-service",
+            "ts-execute-service",
+            "ts-notification-service",
+            "ts-delivery-service",
+            "ts-news-service",
+            "ts-voucher-service",
+            "ts-avatar-service",
+            "ts-route-plan-service",
+            "ts-travel-plan-service",
+            "ts-admin-basic-info-service",
+            "ts-admin-order-service",
+            "ts-admin-route-service",
+            "ts-admin-travel-service",
+        ] {
+            t.add_service(ServiceSpec::new(name, 1));
+        }
+        assert_eq!(t.num_services(), 41, "Train Ticket has 41 services");
+
+        // Shared query core: travel-ish services consult ticketinfo →
+        // basic → {station, train, route, price}.
+        let basic_fanout = |basic_cost: f64| {
+            CallNode::with_children(
+                basic,
+                ms_f(basic_cost),
+                vec![
+                    CallNode::leaf(station, ms_f(1.0)),
+                    CallNode::leaf(train, ms_f(0.8)),
+                    CallNode::leaf(route, ms_f(1.0)),
+                    CallNode::leaf(price, ms_f(0.8)),
+                ],
+            )
+        };
+
+        // API 1: high speed ticket query.
+        let high_speed_ticket = t.add_api(
+            ApiSpec::single(
+                "high_speed_ticket",
+                CallNode::with_children(
+                    gateway,
+                    ms_f(0.5),
+                    vec![CallNode::with_children(
+                        travel,
+                        ms_f(3.0),
+                        vec![
+                            CallNode::with_children(
+                                ticketinfo,
+                                ms_f(1.5),
+                                vec![basic_fanout(2.0)],
+                            ),
+                            CallNode::with_children(
+                                seat,
+                                ms_f(1.5),
+                                vec![
+                                    CallNode::leaf(config, ms_f(0.5)),
+                                    CallNode::leaf(order, ms_f(1.0)),
+                                ],
+                            ),
+                            CallNode::leaf(route, ms_f(1.0)),
+                        ],
+                    )],
+                ),
+            )
+            .business(BusinessPriority(0)),
+        );
+        // API 2: normal speed ticket query.
+        let normal_speed_ticket = t.add_api(
+            ApiSpec::single(
+                "normal_speed_ticket",
+                CallNode::with_children(
+                    gateway,
+                    ms_f(0.5),
+                    vec![CallNode::with_children(
+                        travel2,
+                        ms_f(3.0),
+                        vec![
+                            CallNode::with_children(
+                                ticketinfo,
+                                ms_f(1.5),
+                                vec![basic_fanout(2.0)],
+                            ),
+                            CallNode::with_children(
+                                seat,
+                                ms_f(1.5),
+                                vec![
+                                    CallNode::leaf(config, ms_f(0.5)),
+                                    CallNode::leaf(order_other, ms_f(1.0)),
+                                ],
+                            ),
+                            CallNode::leaf(route, ms_f(1.0)),
+                        ],
+                    )],
+                ),
+            )
+            .business(BusinessPriority(0)),
+        );
+        // API 3: query order.
+        let query_order = t.add_api(
+            ApiSpec::single(
+                "query_order",
+                CallNode::with_children(
+                    gateway,
+                    ms_f(0.5),
+                    vec![CallNode::with_children(
+                        order,
+                        ms_f(2.0),
+                        vec![CallNode::leaf(station, ms_f(1.0))],
+                    )],
+                ),
+            )
+            .business(BusinessPriority(0)),
+        );
+        // API 4: query order other.
+        let query_order_other = t.add_api(
+            ApiSpec::single(
+                "query_order_other",
+                CallNode::with_children(
+                    gateway,
+                    ms_f(0.5),
+                    vec![CallNode::with_children(
+                        order_other,
+                        ms_f(2.0),
+                        vec![CallNode::leaf(station, ms_f(1.0))],
+                    )],
+                ),
+            )
+            .business(BusinessPriority(0)),
+        );
+        // API 5: query food.
+        let query_food = t.add_api(
+            ApiSpec::single(
+                "query_food",
+                CallNode::with_children(
+                    gateway,
+                    ms_f(0.5),
+                    vec![CallNode::with_children(
+                        food,
+                        ms_f(2.0),
+                        vec![
+                            CallNode::leaf(food_map, ms_f(1.5)),
+                            CallNode::with_children(
+                                travel,
+                                ms_f(1.5),
+                                vec![CallNode::leaf(route, ms_f(1.0))],
+                            ),
+                            CallNode::leaf(station, ms_f(1.0)),
+                        ],
+                    )],
+                ),
+            )
+            .business(BusinessPriority(0)),
+        );
+        // API 6: query payment.
+        let query_payment = t.add_api(
+            ApiSpec::single(
+                "query_payment",
+                CallNode::with_children(
+                    gateway,
+                    ms_f(0.5),
+                    vec![CallNode::with_children(
+                        inside_payment,
+                        ms_f(2.0),
+                        vec![
+                            CallNode::leaf(payment, ms_f(1.5)),
+                            CallNode::leaf(order, ms_f(1.0)),
+                        ],
+                    )],
+                ),
+            )
+            .business(BusinessPriority(0)),
+        );
+        // Preserve: the booking write path (not in the paper's measured
+        // API set; exercises the auxiliary services).
+        let preserve_api = t.add_api(
+            ApiSpec::single(
+                "preserve",
+                CallNode::with_children(
+                    gateway,
+                    ms_f(0.5),
+                    vec![CallNode::with_children(
+                        preserve,
+                        ms_f(3.0),
+                        vec![
+                            CallNode::with_children(
+                                security,
+                                ms_f(1.5),
+                                vec![CallNode::leaf(order, ms_f(1.0))],
+                            ),
+                            CallNode::leaf(contacts, ms_f(1.0)),
+                            CallNode::with_children(
+                                travel,
+                                ms_f(2.0),
+                                vec![CallNode::with_children(
+                                    ticketinfo,
+                                    ms_f(1.5),
+                                    vec![basic_fanout(2.0)],
+                                )],
+                            ),
+                            CallNode::leaf(assurance, ms_f(1.0)),
+                            CallNode::leaf(food, ms_f(1.5)),
+                            CallNode::with_children(
+                                consign,
+                                ms_f(1.5),
+                                vec![CallNode::leaf(consign_price, ms_f(0.5))],
+                            ),
+                            CallNode::leaf(user, ms_f(1.0)),
+                        ],
+                    )],
+                ),
+            )
+            .business(BusinessPriority(0)),
+        );
+
+        TrainTicket {
+            topology: t,
+            gateway,
+            travel,
+            travel2,
+            ticketinfo,
+            basic,
+            station,
+            train,
+            route,
+            price,
+            seat,
+            config,
+            order,
+            order_other,
+            food,
+            food_map,
+            inside_payment,
+            payment,
+            preserve,
+            security,
+            contacts,
+            assurance,
+            consign,
+            consign_price,
+            user,
+            high_speed_ticket,
+            normal_speed_ticket,
+            query_order,
+            query_order_other,
+            query_food,
+            query_payment,
+            preserve_api,
+        }
+    }
+
+    /// The six measured APIs in the paper's order (API 1..=6).
+    pub fn apis(&self) -> [ApiId; 6] {
+        [
+            self.high_speed_ticket,
+            self.normal_speed_ticket,
+            self.query_order,
+            self.query_order_other,
+            self.query_food,
+            self.query_payment,
+        ]
+    }
+}
+
+impl Default for TrainTicket {
+    fn default() -> Self {
+        Self::build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_41_services_and_7_apis() {
+        let tt = TrainTicket::build();
+        assert_eq!(tt.topology.num_services(), 41);
+        assert_eq!(tt.topology.num_apis(), 7);
+    }
+
+    #[test]
+    fn station_is_widely_shared() {
+        // Fig. 18 injects failures into ts-station; overload there must
+        // affect several APIs for the experiment to be meaningful.
+        let tt = TrainTicket::build();
+        let users = tt.topology.service_api_map()[tt.station.idx()].clone();
+        assert!(
+            users.len() >= 4,
+            "ts-station should serve ≥4 APIs, got {users:?}"
+        );
+    }
+
+    #[test]
+    fn ticket_queries_share_basic_hub() {
+        let tt = TrainTicket::build();
+        let hs = tt.topology.api(tt.high_speed_ticket).touched_services();
+        let ns = tt.topology.api(tt.normal_speed_ticket).touched_services();
+        assert!(hs.contains(&tt.basic));
+        assert!(ns.contains(&tt.basic));
+        // But they use different order stores.
+        assert!(hs.contains(&tt.order) && !hs.contains(&tt.order_other));
+        assert!(ns.contains(&tt.order_other));
+    }
+
+    #[test]
+    fn order_paths_are_disjoint_up_to_shared_infra() {
+        let tt = TrainTicket::build();
+        let qo = tt.topology.api(tt.query_order).touched_services();
+        let qoo = tt.topology.api(tt.query_order_other).touched_services();
+        assert!(qo.contains(&tt.order) && !qo.contains(&tt.order_other));
+        assert!(qoo.contains(&tt.order_other) && !qoo.contains(&tt.order));
+        // Both share the gateway and station only.
+        let shared: Vec<_> = qo.iter().filter(|s| qoo.contains(s)).collect();
+        assert_eq!(shared.len(), 2);
+    }
+
+    #[test]
+    fn business_priorities_equal_by_default() {
+        let tt = TrainTicket::build();
+        for api in tt.apis() {
+            assert_eq!(
+                tt.topology.api(api).business,
+                cluster::types::BusinessPriority(0)
+            );
+        }
+    }
+
+    #[test]
+    fn preserve_reaches_the_write_tail() {
+        let tt = TrainTicket::build();
+        let p = tt.topology.api(tt.preserve_api).touched_services();
+        for s in [tt.security, tt.contacts, tt.assurance, tt.consign, tt.user] {
+            assert!(p.contains(&s));
+        }
+        assert!(p.len() >= 15, "preserve is a long path, got {}", p.len());
+    }
+}

@@ -1,0 +1,299 @@
+//! Breakwater: credit-based per-server overload control.
+//!
+//! Re-implementation of Breakwater [Cho et al., OSDI '20] as the paper
+//! deploys it (§5): "it is implemented in each pod regarding gRPC
+//! exchange between pods as a client-server relationship. Each pod
+//! informs its token thresholds to the upstream pods, where upstream pods
+//! generate tokens following the thresholds."
+//!
+//! Per server (service), a credit pool sets how many requests upstream
+//! clients may send. Following the paper's §6.3 description of the
+//! control law: the pool "increases the admitted rate additively …
+//! when the measured delay is less than the target delay" and
+//! "multiplicatively decreases the admitted rate proportional to the
+//! level of overload, … the difference between the measured delay and
+//! the target delay". We model the distributed credit pool as a
+//! per-service admitted-*rate* enforced with a token bucket at dispatch
+//! time (client-side credit gating).
+//!
+//! Because every service sheds independently and *randomly* with respect
+//! to request identity, a request crossing `k` overloaded tiers survives
+//! with probability `(1-p)^k` — the multi-tier weakness §6.1 analyzes.
+//!
+//! A second weakness the paper measures (Fig. 9: "Breakwater suffers
+//! from further performance degradation when user demands increase") is
+//! the per-client credit floor: every connected client holds at least
+//! one credit, so with `n` clients the server cannot issue fewer than
+//! `n × (1/credit_lifetime)` requests/s of credit no matter how small
+//! its pool. We model this floor with
+//! [`BreakwaterConfig::min_credit_rate_per_client`], estimating the
+//! clients contacting a service from the offered rate of the APIs whose
+//! paths cross it (1 request/s per Locust user).
+
+use cluster::admission::AdmissionControl;
+use cluster::observe::ClusterObservation;
+use cluster::types::{RequestMeta, ServiceId};
+use simnet::{SimDuration, SimTime, TokenBucket};
+
+/// Breakwater tuning parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakwaterConfig {
+    /// Target queueing delay (Breakwater's `d_t`).
+    pub target_delay: SimDuration,
+    /// Additive credit growth per interval, in requests/s.
+    pub additive_step: f64,
+    /// Sensitivity of the multiplicative decrease to overload severity
+    /// (Breakwater's β).
+    pub beta: f64,
+    /// Initial per-service admitted rate (requests/s).
+    pub initial_rate: f64,
+    /// Floor on the admitted rate so recovery is always possible.
+    pub min_rate: f64,
+    /// Credit floor per connected client, in requests/s (one credit per
+    /// client, refreshed every ~3 s ⇒ ≈0.3). Set to 0 to disable the
+    /// many-client weakness.
+    pub min_credit_rate_per_client: f64,
+}
+
+impl Default for BreakwaterConfig {
+    fn default() -> Self {
+        BreakwaterConfig {
+            target_delay: SimDuration::from_millis(20),
+            additive_step: 40.0,
+            beta: 0.4,
+            initial_rate: 5_000.0,
+            min_rate: 10.0,
+            min_credit_rate_per_client: 0.3,
+        }
+    }
+}
+
+/// Breakwater admission across all services.
+pub struct Breakwater {
+    cfg: BreakwaterConfig,
+    /// Per-service admitted rate (the distributed credit pool).
+    rates: Vec<f64>,
+    /// Per-service enforcement buckets.
+    buckets: Vec<TokenBucket>,
+}
+
+impl Breakwater {
+    /// Breakwater for `num_services` services.
+    pub fn new(num_services: usize, cfg: BreakwaterConfig) -> Self {
+        Breakwater {
+            rates: vec![cfg.initial_rate; num_services],
+            buckets: (0..num_services)
+                .map(|_| TokenBucket::new(cfg.initial_rate, cfg.initial_rate * 0.05, SimTime::ZERO))
+                .collect(),
+            cfg,
+        }
+    }
+
+    /// Current admitted rate of a service (for tests/inspection).
+    pub fn rate(&self, svc: ServiceId) -> f64 {
+        self.rates[svc.idx()]
+    }
+}
+
+impl AdmissionControl for Breakwater {
+    fn admit(&mut self, service: ServiceId, _meta: &RequestMeta, now: SimTime) -> bool {
+        self.buckets[service.idx()].try_admit(now)
+    }
+
+    fn on_interval(&mut self, obs: &ClusterObservation) {
+        // Clients contacting each service ≈ offered rate of the APIs
+        // whose (possible) paths cross it, at 1 request/s per client.
+        let mut clients = vec![0.0f64; self.rates.len()];
+        for (api_idx, path) in obs.api_paths.iter().enumerate() {
+            let offered = obs.apis.get(api_idx).map(|a| a.offered).unwrap_or(0.0);
+            for svc in path {
+                if let Some(c) = clients.get_mut(svc.idx()) {
+                    *c += offered;
+                }
+            }
+        }
+        for w in &obs.services {
+            let i = w.service.idx();
+            let delay = w.mean_queuing_delay;
+            let rate = &mut self.rates[i];
+            if delay <= self.cfg.target_delay {
+                *rate += self.cfg.additive_step;
+            } else {
+                // Overload level = (d - d_t) / d, in (0, 1).
+                let d = delay.as_secs_f64();
+                let dt = self.cfg.target_delay.as_secs_f64();
+                let severity = ((d - dt) / d).clamp(0.0, 1.0);
+                *rate *= (1.0 - self.cfg.beta * severity).max(0.1);
+            }
+            *rate = rate.max(self.cfg.min_rate);
+            // The per-client credit floor: the server cannot issue less.
+            let issued = rate.max(self.cfg.min_credit_rate_per_client * clients[i]);
+            self.buckets[i].set_rate_and_burst(issued, (issued * 0.05).max(1.0), obs.now);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "breakwater"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::observe::{ApiWindow, ServiceWindow};
+    use cluster::types::{ApiId, BusinessPriority};
+
+    fn meta() -> RequestMeta {
+        RequestMeta {
+            api: ApiId(0),
+            business: BusinessPriority(0),
+            user: 0,
+            arrival: SimTime::ZERO,
+        }
+    }
+
+    fn obs(now_s: u64, delays_ms: &[u64]) -> ClusterObservation {
+        ClusterObservation {
+            now: SimTime::from_secs(now_s),
+            window: SimDuration::from_secs(1),
+            services: delays_ms
+                .iter()
+                .enumerate()
+                .map(|(i, d)| ServiceWindow {
+                    service: ServiceId(i as u32),
+                    name: format!("s{i}"),
+                    utilization: 0.5,
+                    alive_pods: 1,
+                    desired_pods: 1,
+                    queue_len: 0,
+                    mean_queuing_delay: SimDuration::from_millis(*d),
+                    started_calls: 100,
+                    dropped_calls: 0,
+                })
+                .collect(),
+            apis: Vec::<ApiWindow>::new(),
+            api_paths: vec![],
+            slo: SimDuration::from_secs(1),
+        }
+    }
+
+    #[test]
+    fn decreases_multiplicatively_under_overload() {
+        let mut b = Breakwater::new(1, BreakwaterConfig::default());
+        let r0 = b.rate(ServiceId(0));
+        b.on_interval(&obs(1, &[100]));
+        let r1 = b.rate(ServiceId(0));
+        assert!(r1 < r0 * 0.8, "severe overload cuts hard: {r0} → {r1}");
+    }
+
+    #[test]
+    fn decrease_scales_with_severity() {
+        let mut mild = Breakwater::new(1, BreakwaterConfig::default());
+        let mut severe = Breakwater::new(1, BreakwaterConfig::default());
+        mild.on_interval(&obs(1, &[25]));
+        severe.on_interval(&obs(1, &[500]));
+        assert!(severe.rate(ServiceId(0)) < mild.rate(ServiceId(0)));
+    }
+
+    #[test]
+    fn increases_additively_when_healthy() {
+        let mut b = Breakwater::new(1, BreakwaterConfig::default());
+        // Crash the rate first.
+        for s in 1..=20 {
+            b.on_interval(&obs(s, &[200]));
+        }
+        let low = b.rate(ServiceId(0));
+        for s in 21..=30 {
+            b.on_interval(&obs(s, &[1]));
+        }
+        let grown = b.rate(ServiceId(0));
+        let cfg = BreakwaterConfig::default();
+        assert!(
+            (grown - (low + 10.0 * cfg.additive_step)).abs() < 1e-6,
+            "AI growth: {low} → {grown}"
+        );
+    }
+
+    #[test]
+    fn rate_never_falls_below_floor() {
+        let mut b = Breakwater::new(1, BreakwaterConfig::default());
+        for s in 1..=200 {
+            b.on_interval(&obs(s, &[1_000]));
+        }
+        assert!(b.rate(ServiceId(0)) >= BreakwaterConfig::default().min_rate);
+    }
+
+    #[test]
+    fn bucket_enforces_the_rate() {
+        let mut b = Breakwater::new(1, BreakwaterConfig::default());
+        for s in 1..=30 {
+            b.on_interval(&obs(s, &[200]));
+        }
+        let rate = b.rate(ServiceId(0));
+        // Offer 10× the rate for 10 s; admitted should track `rate`.
+        let mut admitted = 0u64;
+        let offers = (rate * 10.0) as u64 * 10;
+        for k in 0..offers {
+            let t = SimTime::from_secs(30)
+                + SimDuration::from_nanos(k * 10_000_000_000 / offers.max(1));
+            if b.admit(ServiceId(0), &meta(), t) {
+                admitted += 1;
+            }
+        }
+        let admitted_rate = admitted as f64 / 10.0;
+        assert!(
+            (admitted_rate - rate).abs() / rate < 0.25,
+            "admitted {admitted_rate} vs credit rate {rate}"
+        );
+    }
+
+    #[test]
+    fn credit_floor_grows_with_client_count() {
+        // Even with a crushed AIMD rate, many clients force issuance.
+        let mut b = Breakwater::new(1, BreakwaterConfig::default());
+        let mut o = obs(1, &[500]);
+        o.api_paths = vec![vec![ServiceId(0)]];
+        o.apis = vec![ApiWindow {
+            api: ApiId(0),
+            name: "a".into(),
+            business: BusinessPriority(0),
+            offered: 4_000.0,
+            admitted: 4_000.0,
+            goodput: 100.0,
+            slo_violated: 0.0,
+            failed: 0.0,
+            p50: None,
+            p95: None,
+            p99: None,
+            rate_limit: f64::INFINITY,
+        }];
+        for s in 1..=30 {
+            o.now = SimTime::from_secs(s);
+            b.on_interval(&o);
+        }
+        // AIMD rate is at the floor, but 4000 clients × 0.3 = 1200 rps
+        // of credits must still be issued.
+        let meta = meta();
+        let mut admitted = 0u64;
+        for k in 0..20_000u64 {
+            let t = SimTime::from_secs(30) + SimDuration::from_nanos(k * 500_000);
+            if b.admit(ServiceId(0), &meta, t) {
+                admitted += 1;
+            }
+        }
+        let rate = admitted as f64 / 10.0;
+        assert!(
+            rate > 900.0,
+            "credit floor must dominate the crushed AIMD rate, got {rate}"
+        );
+    }
+
+    #[test]
+    fn services_are_independent() {
+        let mut b = Breakwater::new(2, BreakwaterConfig::default());
+        for s in 1..=10 {
+            b.on_interval(&obs(s, &[300, 1]));
+        }
+        assert!(b.rate(ServiceId(0)) < b.rate(ServiceId(1)));
+    }
+}

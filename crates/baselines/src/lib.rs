@@ -1,0 +1,29 @@
+//! # baselines — comparator overload controllers
+//!
+//! Re-implementations of the two systems the paper benchmarks against
+//! (§5 "Baseline implementation and parameters"), acting at the same
+//! point they act in the paper: *inside* the application, per service,
+//! via the engine's [`cluster::admission::AdmissionControl`] hook.
+//!
+//! * [`dagor`] — WeChat's DAGOR: per-service admission thresholds over
+//!   (business, user) priority pairs, adjusted each second from local
+//!   queueing delay, with thresholds propagated upstream so callers drop
+//!   doomed sub-requests early.
+//! * [`breakwater`] — Breakwater: per-server credit pools (modeled as a
+//!   rate) grown additively while the local delay is under target and
+//!   shrunk multiplicatively with overload severity, enforced with a
+//!   token bucket on the server's incoming calls.
+//! * [`wisp`] — WISP: per-service AIMD rate limits propagated toward the
+//!   entry via a-priori call-graph weights. Discussed (not evaluated) in
+//!   the paper's §7; implemented here as an extension comparator.
+//!
+//! The "no overload control" baseline is [`cluster::NoControl`] (entry)
+//! plus no admission hook (services admit everything).
+
+pub mod breakwater;
+pub mod dagor;
+pub mod wisp;
+
+pub use breakwater::{Breakwater, BreakwaterConfig};
+pub use dagor::{Dagor, DagorConfig};
+pub use wisp::{Wisp, WispConfig};

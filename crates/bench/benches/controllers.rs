@@ -1,0 +1,70 @@
+//! End-to-end controller benchmarks: a short overload scenario per
+//! controller, so `cargo bench` tracks the relative cost of simulating
+//! each control scheme (engine + controller, 30 simulated seconds).
+
+use baselines::{Breakwater, BreakwaterConfig, Dagor, DagorConfig};
+use cluster::{Engine, EngineConfig, Harness, NoControl, OpenLoopWorkload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use topfull::{TopFull, TopFullConfig};
+
+fn engine() -> Engine {
+    let ob = apps::OnlineBoutique::build();
+    let rates: Vec<(cluster::ApiId, f64)> =
+        ob.apis().iter().map(|a| (*a, 400.0)).collect();
+    Engine::new(
+        ob.topology.clone(),
+        EngineConfig::default(),
+        Box::new(OpenLoopWorkload::constant(rates)),
+    )
+}
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scenario-30s-online-boutique");
+    g.sample_size(10);
+    g.bench_function("no-control", |b| {
+        b.iter(|| {
+            let mut h = Harness::new(engine(), Box::new(NoControl));
+            h.run_for_secs(30);
+            h.result().mean_total_goodput(10.0, 30.0)
+        })
+    });
+    g.bench_function("dagor", |b| {
+        b.iter(|| {
+            let mut e = engine();
+            e.set_admission(Box::new(Dagor::new(
+                e.topology().num_services(),
+                DagorConfig::default(),
+            )));
+            let mut h = Harness::new(e, Box::new(NoControl));
+            h.run_for_secs(30);
+            h.result().mean_total_goodput(10.0, 30.0)
+        })
+    });
+    g.bench_function("breakwater", |b| {
+        b.iter(|| {
+            let mut e = engine();
+            e.set_admission(Box::new(Breakwater::new(
+                e.topology().num_services(),
+                BreakwaterConfig::default(),
+            )));
+            let mut h = Harness::new(e, Box::new(NoControl));
+            h.run_for_secs(30);
+            h.result().mean_total_goodput(10.0, 30.0)
+        })
+    });
+    g.bench_function("topfull-rl", |b| {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let policy = rl::policy::PolicyValue::new(2, &mut rng);
+        b.iter(|| {
+            let tf = TopFull::new(TopFullConfig::default().with_rl(policy.clone()));
+            let mut h = Harness::new(engine(), Box::new(tf));
+            h.run_for_secs(30);
+            h.result().mean_total_goodput(10.0, 30.0)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! §6.4 "Online deployment overhead cost" micro-benchmarks.
+//!
+//! The paper reports, per control cycle: clustering ≈ 1.26 × 10⁶ cycles
+//! on Train Ticket (41 services) and a single RL inference ≈ 2.33 × 10⁶
+//! cycles, concluding one Xeon core can control ≈15 000 microservices
+//! with 1 000 independent clusters. These benches measure the same
+//! operations in this implementation (convert: cycles ≈ seconds × clock;
+//! EXPERIMENTS.md records the comparison at 2.8 GHz).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+
+/// Clustering cost on Train Ticket (41 services, paper's benchmark).
+fn bench_clustering_trainticket(c: &mut Criterion) {
+    let tt = apps::TrainTicket::build();
+    let paths = tt.topology.api_service_map();
+    // A representative overloaded set: the shared query core.
+    let overloaded = vec![tt.basic, tt.station, tt.order, tt.travel];
+    c.bench_function("clustering/train-ticket-41svc", |b| {
+        b.iter(|| topfull::cluster_apis(black_box(&paths), black_box(&overloaded)))
+    });
+}
+
+/// Clustering cost on the 127-service real-trace demo.
+fn bench_clustering_demo(c: &mut Criterion) {
+    let demo = apps::AlibabaDemo::build(7);
+    let paths = demo.topology.api_service_map();
+    let overloaded = demo.hot_services.clone();
+    c.bench_function("clustering/trace-demo-127svc", |b| {
+        b.iter(|| topfull::cluster_apis(black_box(&paths), black_box(&overloaded)))
+    });
+}
+
+/// Clustering cost at Alibaba-trace scale (23 481 services, 68
+/// overloaded → 57 clusters; the §6.4 scalability claim).
+fn bench_clustering_trace(c: &mut Criterion) {
+    let tr = apps::trace::SyntheticTrace::generate(1);
+    let paths: Vec<Vec<cluster::ServiceId>> = tr
+        .api_paths
+        .iter()
+        .map(|p| p.iter().map(|s| cluster::ServiceId(*s)).collect())
+        .collect();
+    let overloaded: Vec<cluster::ServiceId> = tr
+        .overloaded(apps::trace::OVERLOAD_THRESHOLD)
+        .into_iter()
+        .map(cluster::ServiceId)
+        .collect();
+    c.bench_function("clustering/alibaba-trace-23k", |b| {
+        b.iter(|| topfull::cluster_apis(black_box(&paths), black_box(&overloaded)))
+    });
+}
+
+/// A single RL inference (the paper's 2.33 × 10⁶-cycle number).
+fn bench_rl_inference(c: &mut Criterion) {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+    let policy = rl::policy::PolicyValue::new(2, &mut rng);
+    c.bench_function("rl/inference", |b| {
+        b.iter(|| policy.act_deterministic(black_box(&[0.93, 1.2])))
+    });
+}
+
+/// Token-bucket admission (per-request gateway cost).
+fn bench_token_bucket(c: &mut Criterion) {
+    use simnet::{SimTime, TokenBucket};
+    let mut bucket = TokenBucket::new(1e6, 1e4, SimTime::ZERO);
+    let mut t = 0u64;
+    c.bench_function("gateway/token-bucket-admit", |b| {
+        b.iter(|| {
+            t += 1_000;
+            bucket.try_admit(black_box(SimTime::from_nanos(t)))
+        })
+    });
+}
+
+/// Event-queue throughput (the simulator substrate itself).
+fn bench_event_queue(c: &mut Criterion) {
+    use simnet::{EventQueue, SimTime};
+    c.bench_function("simnet/event-queue-push-pop-1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule(SimTime::from_nanos((i * 7919) % 100_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            acc
+        })
+    });
+}
+
+/// One full TopFull control decision on a Train Ticket observation
+/// (clustering + state building + RL inferences + Algorithm 1).
+fn bench_full_control_cycle(c: &mut Criterion) {
+    use cluster::Controller;
+    let tt = apps::TrainTicket::build();
+    let rates: Vec<(cluster::ApiId, f64)> =
+        tt.apis().iter().map(|a| (*a, 1100.0)).collect();
+    let w = cluster::OpenLoopWorkload::constant(rates);
+    let mut engine = cluster::Engine::new(
+        tt.topology.clone(),
+        cluster::EngineConfig::default(),
+        Box::new(w),
+    );
+    engine.run_until(simnet::SimTime::from_secs(5));
+    let obs = engine.latest_observation().expect("ran 5s").clone();
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+    let policy = rl::policy::PolicyValue::new(2, &mut rng);
+    let mut tf = topfull::TopFull::new(topfull::TopFullConfig::default().with_rl(policy));
+    c.bench_function("topfull/control-cycle-train-ticket", |b| {
+        b.iter(|| tf.control(black_box(&obs)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_clustering_trainticket,
+    bench_clustering_demo,
+    bench_clustering_trace,
+    bench_rl_inference,
+    bench_token_bucket,
+    bench_event_queue,
+    bench_full_control_cycle,
+);
+criterion_main!(benches);

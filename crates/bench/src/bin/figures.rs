@@ -1,0 +1,68 @@
+//! Experiment runner: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p topfull-bench --bin figures -- <experiment>…
+//! cargo run --release -p topfull-bench --bin figures -- all
+//! cargo run --release -p topfull-bench --bin figures -- train
+//! ```
+
+use topfull_bench::experiments as ex;
+use topfull_bench::models;
+
+const EXPERIMENTS: &[(&str, fn())] = &[
+    ("table1", ex::table1::run),
+    ("fig4", ex::fig04::run),
+    ("fig8", ex::fig08::run),
+    ("fig9", ex::fig09::run),
+    ("fig10", ex::fig10::run),
+    ("fig11", ex::fig11::run),
+    ("fig12", ex::fig12::run),
+    ("fig13", ex::fig13::run),
+    ("fig14", ex::fig14::run),
+    ("fig15", ex::fig15::run),
+    ("fig16", ex::fig16::run),
+    ("fig17", ex::fig17::run),
+    ("fig18", ex::fig18::run),
+    ("fig19", ex::fig19::run),
+    ("retry-storm", ex::retry_storm::run),
+    ("refinements", ex::refinements::run),
+    ("trace-analysis", ex::trace_analysis::run),
+    ("training-cost", ex::training_cost::run),
+];
+
+fn usage() -> ! {
+    eprintln!("usage: figures <experiment>… | all | train");
+    eprintln!("experiments:");
+    for (name, _) in EXPERIMENTS {
+        eprintln!("  {name}");
+    }
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    for arg in &args {
+        match arg.as_str() {
+            "all" => {
+                for (name, f) in EXPERIMENTS {
+                    eprintln!("\n>>> running {name}");
+                    f();
+                }
+            }
+            "train" => {
+                // Force the full Sim2Real pipeline (cached afterwards).
+                let _ = models::base_model();
+                let _ = models::transfer_tt();
+                let _ = models::transfer_ob();
+                eprintln!("models trained and cached under artifacts/models/");
+            }
+            name => match EXPERIMENTS.iter().find(|(n, _)| *n == name) {
+                Some((_, f)) => f(),
+                None => usage(),
+            },
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Figure 8: goodput under overload — TopFull vs DAGOR vs Breakwater vs
+//! no control on Online Boutique.
+//!
+//! "The overload is generated from 2600 Locust users invoking 1 request
+//! per second. … TopFull outperforms DAGOR by 1.82x and Breakwater by
+//! 2.26x on total average goodput under overload." Breakwater carries no
+//! business priorities here ("we regarded all APIs as having the same
+//! business priority"), so every controller runs with uniform priorities.
+
+use crate::models;
+use crate::report::{f1, ratio, Report};
+use crate::scenarios::Roster;
+use apps::OnlineBoutique;
+use cluster::types::BusinessPriority;
+use cluster::{ClosedLoopWorkload, Engine};
+use simnet::SimDuration;
+
+pub const USERS: u32 = 2600;
+const RUN_SECS: u64 = 120;
+const MEASURE_FROM: f64 = 30.0;
+
+/// Build the Fig. 8 engine: uniform priorities, closed-loop users.
+pub fn engine(users: u32, seed: u64) -> (OnlineBoutique, Engine) {
+    let mut ob = OnlineBoutique::build();
+    for api in ob.apis() {
+        ob.topology.api_mut(api).business = BusinessPriority(0);
+    }
+    let weights = ob.apis().iter().map(|a| (*a, 1.0)).collect();
+    let w = ClosedLoopWorkload::fixed(weights, users, SimDuration::from_secs(1));
+    let engine = Engine::new(
+        ob.topology.clone(),
+        crate::scenarios::engine_config(seed),
+        Box::new(w),
+    );
+    (ob, engine)
+}
+
+/// Run one roster entry; returns (per-API mean goodput, total).
+pub fn run_one(roster: Roster, users: u32, seed: u64) -> (Vec<f64>, f64) {
+    let (ob, eng) = engine(users, seed);
+    let mut h = roster.into_harness(eng);
+    h.run_for_secs(RUN_SECS);
+    let r = h.result();
+    let per_api: Vec<f64> = ob
+        .apis()
+        .iter()
+        .map(|a| r.mean_goodput_api(*a, MEASURE_FROM, RUN_SECS as f64))
+        .collect();
+    let total = r.mean_total_goodput(MEASURE_FROM, RUN_SECS as f64);
+    (per_api, total)
+}
+
+pub fn run() {
+    let mut r = Report::new(
+        "fig08",
+        "Goodput under overload (Online Boutique, 2600 users)",
+    );
+    let policy = models::policy_for("online-boutique");
+    let rosters = vec![
+        Roster::None,
+        Roster::Breakwater,
+        Roster::Wisp,
+        Roster::Dagor { alpha: 0.05 },
+        Roster::TopFull(policy),
+    ];
+    let mut rows = Vec::new();
+    let mut totals = std::collections::HashMap::new();
+    for roster in rosters {
+        let label = roster.label();
+        let (per_api, total) = run_one(roster, USERS, 42);
+        totals.insert(label, total);
+        let mut row = vec![label.to_string()];
+        row.extend(per_api.iter().map(|g| f1(*g)));
+        row.push(f1(total));
+        rows.push(row);
+    }
+    r.table(
+        "avg goodput (rps) per API and total",
+        &[
+            "controller",
+            "api1 postcheckout",
+            "api2 getproduct",
+            "api3 getcart",
+            "api4 postcart",
+            "api5 emptycart",
+            "total",
+        ],
+        rows,
+    );
+    let tf = totals["topfull"];
+    r.compare(
+        "TopFull / DAGOR total goodput",
+        "1.82x",
+        ratio(tf, totals["dagor"]),
+        "",
+    );
+    r.compare(
+        "TopFull / Breakwater total goodput",
+        "2.26x",
+        ratio(tf, totals["breakwater"]),
+        "",
+    );
+    r.compare(
+        "TopFull / no-control total goodput",
+        ">1x",
+        ratio(tf, totals["no-control"]),
+        "",
+    );
+    r.compare(
+        "TopFull / WISP total goodput (extension; WISP not in paper eval)",
+        ">1x expected (§7 analysis)",
+        ratio(tf, totals["wisp"]),
+        "",
+    );
+    r.finish();
+}

@@ -1,0 +1,73 @@
+//! Figure 9: goodput vs user demand.
+//!
+//! "We compare the performance of each load control at different incoming
+//! request rates. … TopFull and DAGOR show consistent performance with
+//! respect to the number of user demands, while Breakwater suffers from
+//! further performance degradation when user demands increase" — the
+//! multi-tier `(1-p)^k` effect analyzed in §6.1.
+
+use crate::experiments::fig08;
+use crate::models;
+use crate::report::{f1, Report};
+use crate::scenarios::Roster;
+use simnet::stats;
+
+const USER_SWEEP: [u32; 5] = [1500, 2000, 2600, 3200, 4000];
+
+pub fn run() {
+    let mut r = Report::new("fig09", "Goodput vs user demand (Online Boutique)");
+    let policy = models::policy_for("online-boutique");
+    let mut rows = Vec::new();
+    let mut by_controller: std::collections::HashMap<&str, Vec<f64>> =
+        std::collections::HashMap::new();
+    for users in USER_SWEEP {
+        let rosters = vec![
+            Roster::Breakwater,
+            Roster::Dagor { alpha: 0.05 },
+            Roster::TopFull(policy.clone()),
+        ];
+        let mut row = vec![users.to_string()];
+        for roster in rosters {
+            let label = roster.label();
+            let (_, total) = fig08::run_one(roster, users, 42);
+            by_controller.entry(label).or_default().push(total);
+            row.push(f1(total));
+        }
+        rows.push(row);
+    }
+    r.table(
+        "total goodput (rps) vs users",
+        &["users", "breakwater", "dagor", "topfull"],
+        rows,
+    );
+    // Consistency = relative spread across the sweep; the paper's claim
+    // is that TopFull/DAGOR stay flat while Breakwater degrades.
+    for (label, totals) in [
+        ("breakwater", &by_controller["breakwater"]),
+        ("dagor", &by_controller["dagor"]),
+        ("topfull", &by_controller["topfull"]),
+    ] {
+        let spread = if stats::mean(totals) > 0.0 {
+            stats::std_dev(totals) / stats::mean(totals)
+        } else {
+            0.0
+        };
+        let paper = match label {
+            "breakwater" => "degrades with demand",
+            _ => "consistent",
+        };
+        r.compare(
+            format!("{label}: relative spread across sweep"),
+            paper,
+            format!("{:.1}%", spread * 100.0),
+            "",
+        );
+    }
+    let bw = &by_controller["breakwater"];
+    r.note(format!(
+        "breakwater goodput from {} to {} rps across the sweep (paper: decreasing)",
+        f1(bw[0]),
+        f1(*bw.last().expect("non-empty"))
+    ));
+    r.finish();
+}

@@ -1,0 +1,117 @@
+//! Figure 10: component-wise performance breakdown.
+//!
+//! "In real-trace demo, when TopFull employs MIMD instead of RL, the
+//! goodput decreases by 11.1%. TopFull without clustering … degrades by
+//! 18.7%. In Train Ticket, … MIMD … decreased by 18.4%, … without
+//! clustering … 22.5%. In Online Boutique, the goodput decreased by
+//! 34.4% with MIMD. Without dynamic clustering …, the goodput decreased
+//! by 2.6%" (Online Boutique has one dominant shared bottleneck, so
+//! clustering cannot fragment the problem much).
+
+use crate::models;
+use crate::report::{f1, Report};
+use crate::scenarios::{alibaba_surged, Roster};
+use apps::{OnlineBoutique, TrainTicket};
+use cluster::{ClosedLoopWorkload, Engine, OpenLoopWorkload};
+use simnet::SimDuration;
+
+const RUN_SECS: u64 = 120;
+const MEASURE_FROM: f64 = 30.0;
+
+fn measure(mut h: cluster::Harness) -> f64 {
+    h.run_for_secs(RUN_SECS);
+    h.result().mean_total_goodput(MEASURE_FROM, RUN_SECS as f64)
+}
+
+fn boutique_engine(seed: u64) -> Engine {
+    let ob = OnlineBoutique::build();
+    let weights = ob.apis().iter().map(|a| (*a, 1.0)).collect();
+    let w = ClosedLoopWorkload::fixed(weights, 2600, SimDuration::from_secs(1));
+    Engine::new(
+        ob.topology.clone(),
+        crate::scenarios::engine_config(seed),
+        Box::new(w),
+    )
+}
+
+fn trainticket_engine(seed: u64) -> Engine {
+    let tt = TrainTicket::build();
+    // Overload the six measured APIs.
+    let rates: Vec<(cluster::ApiId, f64)> =
+        tt.apis().iter().map(|a| (*a, 1100.0)).collect();
+    let w = OpenLoopWorkload::constant(rates);
+    Engine::new(
+        tt.topology.clone(),
+        crate::scenarios::engine_config(seed),
+        Box::new(w),
+    )
+}
+
+fn alibaba_engine(seed: u64) -> Engine {
+    alibaba_surged(2.0, seed).1
+}
+
+pub fn run() {
+    let mut r = Report::new("fig10", "Component-wise breakdown (3 applications)");
+    type AppRow = (&'static str, fn(u64) -> Engine, &'static str);
+    let apps: [AppRow; 3] = [
+        ("trace-demo", alibaba_engine, "base"),
+        ("train-ticket", trainticket_engine, "train-ticket"),
+        ("online-boutique", boutique_engine, "online-boutique"),
+    ];
+    // Paper-reported degradations for the comparison rows.
+    let paper_mimd = [("trace-demo", 11.1), ("train-ticket", 18.4), ("online-boutique", 34.4)];
+    let paper_noclu = [("trace-demo", 18.7), ("train-ticket", 22.5), ("online-boutique", 2.6)];
+    let mut rows = Vec::new();
+    for (app, mk, policy_key) in apps {
+        let policy = models::policy_for(policy_key);
+        let variants = vec![
+            Roster::None,
+            Roster::Dagor { alpha: 0.05 },
+            Roster::TopFullMimd,
+            Roster::TopFullNoCluster(policy.clone()),
+            Roster::TopFull(policy.clone()),
+        ];
+        let mut by: std::collections::HashMap<&str, f64> = std::collections::HashMap::new();
+        for v in variants {
+            let label = v.label();
+            by.insert(label, measure(v.into_harness(mk(1010))));
+        }
+        let tf = by["topfull"];
+        rows.push(vec![
+            app.to_string(),
+            f1(by["no-control"]),
+            f1(by["dagor"]),
+            f1(by["topfull-mimd"]),
+            f1(by["topfull-no-cluster"]),
+            f1(tf),
+        ]);
+        let deg = |x: f64| {
+            if tf > 0.0 {
+                format!("{:.1}%", (1.0 - x / tf) * 100.0)
+            } else {
+                "n/a".to_string()
+            }
+        };
+        let p_m = paper_mimd.iter().find(|(a, _)| *a == app).expect("known").1;
+        let p_c = paper_noclu.iter().find(|(a, _)| *a == app).expect("known").1;
+        r.compare(
+            format!("{app}: goodput loss with MIMD instead of RL"),
+            format!("{p_m}%"),
+            deg(by["topfull-mimd"]),
+            "",
+        );
+        r.compare(
+            format!("{app}: goodput loss without clustering"),
+            format!("{p_c}%"),
+            deg(by["topfull-no-cluster"]),
+            "",
+        );
+    }
+    r.table(
+        "avg total goodput (rps)",
+        &["app", "no-control", "dagor", "w/ MIMD", "w/o cluster", "topfull"],
+        rows,
+    );
+    r.finish();
+}

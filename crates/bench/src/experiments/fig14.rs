@@ -1,0 +1,112 @@
+//! Figure 14: Train Ticket under traffic surge with the autoscaler.
+//!
+//! "TopFull with the autoscaler achieves a higher average goodput at
+//! every APIs compared to the standalone autoscaler and TopFull(BW) …
+//! In Train Ticket, TopFull serves 1.38x higher average goodput during
+//! traffic surge compared to the autoscaler solo while using the same
+//! number of vCPUs. TopFull also serves 1.75x … compared to the
+//! TopFull(BW)."
+
+use crate::models;
+use crate::report::{f1, ratio, Report};
+use crate::scenarios::{engine_config, Roster};
+use apps::TrainTicket;
+use cluster::autoscaler::{HpaConfig, VmPoolConfig};
+use cluster::{Engine, OpenLoopWorkload, RateSchedule};
+use simnet::{SimDuration, SimTime};
+
+const RUN_SECS: u64 = 240;
+const SURGE_AT: u64 = 20;
+const SURGE_END: u64 = 200;
+pub const MEASURE_FROM: f64 = SURGE_AT as f64;
+pub const MEASURE_TO: f64 = SURGE_END as f64;
+
+/// Train Ticket engine with HPA and a 4× surge on all six APIs.
+pub fn engine(seed: u64) -> (TrainTicket, Engine) {
+    let tt = TrainTicket::build();
+    let rates: Vec<(cluster::ApiId, RateSchedule)> = tt
+        .apis()
+        .iter()
+        .map(|a| {
+            (
+                *a,
+                RateSchedule::surge(
+                    120.0,
+                    1400.0,
+                    SimTime::from_secs(SURGE_AT),
+                    SimTime::from_secs(SURGE_END),
+                ),
+            )
+        })
+        .collect();
+    let w = OpenLoopWorkload::new(rates);
+    let mut cfg = engine_config(seed);
+    // Scheduling + image pull at scale: new pods take 30 s.
+    cfg.pod_startup = SimDuration::from_secs(30);
+    let mut engine = Engine::new(tt.topology.clone(), cfg, Box::new(w));
+    // A finite node pool: scaling beyond the two initial VMs waits for
+    // cluster-autoscaler provisioning (the timescale gap of §1).
+    engine.set_vm_pool(VmPoolConfig {
+        vcpus_per_vm: 48,
+        initial_vms: 3,
+        max_vms: 10,
+        vm_startup: SimDuration::from_secs(40),
+        vcpus_per_pod: 1.0,
+    });
+    engine.enable_hpa(HpaConfig::default());
+    (tt, engine)
+}
+
+/// Returns per-API mean goodput during the surge and the total timeline.
+pub fn run_one(roster: Roster, seed: u64) -> (Vec<f64>, f64, Vec<(f64, f64)>) {
+    let (tt, eng) = engine(seed);
+    let mut h = roster.into_harness(eng);
+    h.run_for_secs(RUN_SECS);
+    let r = h.result();
+    let per_api: Vec<f64> = tt
+        .apis()
+        .iter()
+        .map(|a| r.mean_goodput_api(*a, MEASURE_FROM, MEASURE_TO))
+        .collect();
+    let total = r.mean_total_goodput(MEASURE_FROM, MEASURE_TO);
+    (per_api, total, r.total_goodput_series())
+}
+
+pub fn run() {
+    let mut r = Report::new("fig14", "Train Ticket: performance under traffic surge (with HPA)");
+    let policy = models::policy_for("train-ticket");
+    let cases = vec![
+        ("autoscaler-solo", Roster::None),
+        ("topfull-bw", Roster::TopFullBw),
+        ("topfull", Roster::TopFull(policy)),
+    ];
+    let mut rows = Vec::new();
+    let mut totals = std::collections::HashMap::new();
+    for (label, roster) in cases {
+        let (per_api, total, series) = run_one(roster, 14);
+        totals.insert(label, total);
+        let mut row = vec![label.to_string()];
+        row.extend(per_api.iter().map(|g| f1(*g)));
+        row.push(f1(total));
+        rows.push(row);
+        r.series(label, series);
+    }
+    r.table(
+        "avg goodput (rps) during surge",
+        &["controller", "api1", "api2", "api3", "api4", "api5", "api6", "total"],
+        rows,
+    );
+    r.compare(
+        "TopFull / autoscaler-solo",
+        "1.38x",
+        ratio(totals["topfull"], totals["autoscaler-solo"]),
+        "",
+    );
+    r.compare(
+        "TopFull / TopFull(BW)",
+        "1.75x",
+        ratio(totals["topfull"], totals["topfull-bw"]),
+        "",
+    );
+    r.finish();
+}

@@ -1,0 +1,176 @@
+//! Figure 16: resource saving under traffic spikes.
+//!
+//! "We show the potential resource saving of TopFull by comparing the
+//! performance … with and without TopFull while varying the degree of
+//! overprovisioning for critical microservices. For the traffic spikes,
+//! we generate a temporary load increase that lasts for two minutes. …
+//! In Train Ticket, TopFull shows the same or higher average goodput
+//! with up to 50% fewer vCPUs … \[and\] 2.98x higher average goodput …
+//! when 5 vCPUs allocated. In Online Boutique, … up to 57% fewer vCPUs
+//! … \[and\] 12.96x higher … when 15 vCPUs allocated."
+//!
+//! One vCPU = one pod in the simulator, so "allocated vCPUs" is the
+//! total pod count pre-provisioned across the app's critical services.
+
+use crate::models;
+use crate::report::{f1, ratio, Report};
+use crate::scenarios::{engine_config, Roster};
+use apps::{OnlineBoutique, TrainTicket};
+use cluster::{ClosedLoopWorkload, Engine, OpenLoopWorkload, RateSchedule};
+use simnet::{SimDuration, SimTime};
+
+const RUN_SECS: u64 = 180;
+const SPIKE_AT: u64 = 20;
+const SPIKE_END: u64 = 140; // two-minute spike
+
+/// Train Ticket engine with `vcpus` pods split across its critical
+/// services (travel, ticketinfo, basic, station, seat).
+fn tt_engine(vcpus: u32, seed: u64) -> Engine {
+    let mut tt = TrainTicket::build();
+    let critical = [tt.travel, tt.ticketinfo, tt.basic, tt.station, tt.seat];
+    let share = (vcpus / critical.len() as u32).max(1);
+    let mut left = vcpus;
+    for (i, svc) in critical.iter().enumerate() {
+        let n = if i + 1 == critical.len() {
+            left.max(1)
+        } else {
+            share.min(left.saturating_sub((critical.len() - 1 - i) as u32)).max(1)
+        };
+        left = left.saturating_sub(n);
+        tt.topology.service_mut(*svc).replicas = n;
+    }
+    let rates: Vec<(cluster::ApiId, RateSchedule)> = tt
+        .apis()
+        .iter()
+        .map(|a| {
+            (
+                *a,
+                RateSchedule::surge(
+                    80.0,
+                    450.0,
+                    SimTime::from_secs(SPIKE_AT),
+                    SimTime::from_secs(SPIKE_END),
+                ),
+            )
+        })
+        .collect();
+    Engine::new(
+        tt.topology.clone(),
+        engine_config(seed),
+        Box::new(OpenLoopWorkload::new(rates)),
+    )
+}
+
+/// Online Boutique engine with `vcpus` pods split across its critical
+/// services (recommendation, checkout, productcatalog, cart, frontend).
+fn ob_engine(vcpus: u32, seed: u64) -> Engine {
+    let mut ob = OnlineBoutique::build();
+    let critical = [ob.recommendation, ob.checkout, ob.productcatalog, ob.cart, ob.frontend];
+    let share = (vcpus / critical.len() as u32).max(1);
+    let mut left = vcpus;
+    for (i, svc) in critical.iter().enumerate() {
+        let n = if i + 1 == critical.len() {
+            left.max(1)
+        } else {
+            share.min(left.saturating_sub((critical.len() - 1 - i) as u32)).max(1)
+        };
+        left = left.saturating_sub(n);
+        ob.topology.service_mut(*svc).replicas = n;
+    }
+    let weights = ob.apis().iter().map(|a| (*a, 1.0)).collect();
+    let users = RateSchedule::surge(
+        300.0,
+        3000.0,
+        SimTime::from_secs(SPIKE_AT),
+        SimTime::from_secs(SPIKE_END),
+    );
+    let w = ClosedLoopWorkload::new(weights, users, SimDuration::from_secs(1));
+    Engine::new(ob.topology.clone(), engine_config(seed), Box::new(w))
+}
+
+fn measure(roster: Roster, engine: Engine) -> f64 {
+    let mut h = roster.into_harness(engine);
+    h.run_for_secs(RUN_SECS);
+    h.result()
+        .mean_total_goodput(SPIKE_AT as f64, SPIKE_END as f64)
+}
+
+/// `(vcpu, without, with)` sweep rows for one app.
+fn sweep(
+    mk: impl Fn(u32, u64) -> Engine,
+    vcpus: &[u32],
+    policy: rl::policy::PolicyValue,
+    seed: u64,
+) -> Vec<(u32, f64, f64)> {
+    vcpus
+        .iter()
+        .map(|&v| {
+            let without = measure(Roster::None, mk(v, seed));
+            let with = measure(Roster::TopFull(policy.clone()), mk(v, seed));
+            (v, without, with)
+        })
+        .collect()
+}
+
+/// Resource saving: the smallest vCPU count where TopFull matches the
+/// best no-TopFull goodput achieved at any higher vCPU count.
+fn saving(rows: &[(u32, f64, f64)]) -> Option<f64> {
+    for &(v_with, _, with) in rows {
+        for &(v_without, without, _) in rows.iter().rev() {
+            if v_without > v_with && with >= without * 0.98 {
+                return Some(1.0 - f64::from(v_with) / f64::from(v_without));
+            }
+        }
+    }
+    None
+}
+
+pub fn run() {
+    let mut r = Report::new("fig16", "Average goodput vs pre-allocated vCPUs under spikes");
+    let tt_policy = models::policy_for("train-ticket");
+    let ob_policy = models::policy_for("online-boutique");
+    let tt_rows = sweep(tt_engine, &[5, 10, 15, 20, 30, 40], tt_policy, 16);
+    let ob_rows = sweep(ob_engine, &[10, 15, 25, 35, 50], ob_policy, 16);
+    for (name, rows) in [("train-ticket", &tt_rows), ("online-boutique", &ob_rows)] {
+        r.table(
+            &format!("{name}: goodput vs allocated vCPUs"),
+            &["vcpus", "without topfull", "with topfull"],
+            rows.iter()
+                .map(|(v, wo, w)| vec![v.to_string(), f1(*wo), f1(*w)])
+                .collect(),
+        );
+    }
+    let tt_low = tt_rows[0];
+    r.compare(
+        "Train Ticket gain at 5 vCPUs (with/without)",
+        "2.98x",
+        ratio(tt_low.2, tt_low.1),
+        "",
+    );
+    // The paper's 12.96x appears at its most constrained allocation
+    // (15 of their vCPU units); ours is the 10-pod point.
+    let ob_low = ob_rows[0];
+    r.compare(
+        "Online Boutique gain at the scarcest allocation",
+        "12.96x (at 15 vCPUs)",
+        format!("{} (at {} vCPUs)", ratio(ob_low.2, ob_low.1), ob_low.0),
+        "",
+    );
+    if let Some(s) = saving(&tt_rows) {
+        r.compare(
+            "Train Ticket vCPU saving at equal goodput",
+            "up to 50%",
+            format!("{:.0}%", s * 100.0),
+            "",
+        );
+    }
+    if let Some(s) = saving(&ob_rows) {
+        r.compare(
+            "Online Boutique vCPU saving at equal goodput",
+            "up to 57%",
+            format!("{:.0}%", s * 100.0),
+            "",
+        );
+    }
+    r.finish();
+}

@@ -1,0 +1,53 @@
+//! Figure 17: performance gain of transfer learning.
+//!
+//! "We transfer the pre-trained model to the Train Ticket application and
+//! Online Boutique application to generate Transfer-TT and Transfer-OB
+//! models … We validate our pre-trained model, Transfer-TT, and
+//! Transfer-OB through an overload scenario on the Train Ticket
+//! application. … The transfer learned model serves 8-9% more requests
+//! compared to the base model. … the base model itself shows a
+//! reasonable performance by achieving an average goodput of 939 rps
+//! during a traffic surge, which is a 1.13x higher value compared to the
+//! autoscaler standalone which serves 829 rps."
+
+use crate::experiments::fig14;
+use crate::models;
+use crate::report::{f1, ratio, Report};
+use crate::scenarios::Roster;
+
+pub fn run() {
+    let mut r = Report::new("fig17", "RL models under traffic surge (Train Ticket)");
+    let cases = vec![
+        ("autoscaler-solo", Roster::None),
+        ("base-model", Roster::TopFull(models::base_model())),
+        ("transfer-ob", Roster::TopFull(models::transfer_ob())),
+        ("transfer-tt", Roster::TopFull(models::transfer_tt())),
+    ];
+    let mut totals = std::collections::HashMap::new();
+    let mut rows = Vec::new();
+    for (label, roster) in cases {
+        let (_, total, _) = fig14::run_one(roster, 17);
+        totals.insert(label, total);
+        rows.push(vec![label.to_string(), f1(total)]);
+    }
+    r.table("avg goodput (rps) during surge", &["model", "goodput"], rows);
+    r.compare(
+        "base model / autoscaler-solo",
+        "1.13x (939 vs 829 rps)",
+        ratio(totals["base-model"], totals["autoscaler-solo"]),
+        "",
+    );
+    r.compare(
+        "Transfer-TT / base model",
+        "1.08-1.09x",
+        ratio(totals["transfer-tt"], totals["base-model"]),
+        "",
+    );
+    r.compare(
+        "Transfer-OB / base model (cross-app transfer)",
+        "≈1.08x (both transferred models gain)",
+        ratio(totals["transfer-ob"], totals["base-model"]),
+        "",
+    );
+    r.finish();
+}

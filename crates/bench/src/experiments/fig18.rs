@@ -1,0 +1,92 @@
+//! Figure 18: adaptation to temporary pod failures.
+//!
+//! "We delete 25 pods among 35 pods of ts-station microservice at time
+//! 50s. Then, Kubernetes automatically starts scaling 25 pods … Without
+//! TopFull, microservices serve almost zero goodput until the failures
+//! are recovered even though 10 ts-station pods are alive. On the
+//! contrary, TopFull detects overload in ts-station and starts load
+//! control on APIs that pass ts-station microservice, guaranteeing
+//! goodput that can be achieved with 10 ts-station pods."
+
+use crate::models;
+use crate::report::{f1, ratio, Report};
+use crate::scenarios::{engine_config, Roster};
+use apps::TrainTicket;
+use cluster::failure::FailureSpec;
+use cluster::{Engine, OpenLoopWorkload};
+use simnet::{SimDuration, SimTime};
+
+const RUN_SECS: u64 = 220;
+const KILL_AT: u64 = 50;
+/// Replacement pods take this long to come back (models image pull +
+/// scheduling at scale; the degraded window of the paper's Figure 18).
+const POD_STARTUP: u64 = 90;
+
+fn engine(seed: u64) -> (TrainTicket, Engine) {
+    let mut tt = TrainTicket::build();
+    // The paper's deployment runs ts-station at 35 pods and the workload
+    // keeps it near capacity, so losing 25 pods is a 70% capacity cut.
+    // Slower pods (0.1×) put 35 of them at ≈86% utilization under this
+    // workload, matching that regime.
+    tt.topology.service_mut(tt.station).replicas = 35;
+    tt.topology.service_mut(tt.station).pod_speed = 0.1;
+    let rates: Vec<(cluster::ApiId, f64)> = tt
+        .apis()
+        .iter()
+        .map(|a| (*a, 600.0))
+        .collect();
+    let w = OpenLoopWorkload::constant(rates);
+    let mut cfg = engine_config(seed);
+    cfg.pod_startup = SimDuration::from_secs(POD_STARTUP);
+    let mut engine = Engine::new(tt.topology.clone(), cfg, Box::new(w));
+    engine.inject_failures(vec![FailureSpec {
+        at: SimTime::from_secs(KILL_AT),
+        service: tt.station,
+        pods: 25,
+    }]);
+    (tt, engine)
+}
+
+/// Returns (goodput during failure window, timeline).
+fn run_one(roster: Roster, seed: u64) -> (f64, Vec<(f64, f64)>) {
+    let (_, eng) = engine(seed);
+    let mut h = roster.into_harness(eng);
+    h.run_for_secs(RUN_SECS);
+    let r = h.result();
+    let failure_window = r.mean_total_goodput(
+        (KILL_AT + 10) as f64,
+        (KILL_AT + POD_STARTUP) as f64,
+    );
+    (failure_window, r.total_goodput_series())
+}
+
+pub fn run() {
+    let mut r = Report::new("fig18", "Adaptation toward temporary pod failures (ts-station)");
+    let policy = models::policy_for("train-ticket");
+    let (none_fail, none_series) = run_one(Roster::None, 18);
+    let (tf_fail, tf_series) = run_one(Roster::TopFull(policy), 18);
+    r.series("no topfull", none_series);
+    r.series("topfull", tf_series);
+    r.table(
+        "goodput during the failure window (rps)",
+        &["controller", "goodput"],
+        vec![
+            vec!["no-topfull".into(), f1(none_fail)],
+            vec!["topfull".into(), f1(tf_fail)],
+        ],
+    );
+    r.compare(
+        "without TopFull during failures",
+        "almost zero goodput",
+        f1(none_fail),
+        "rps",
+    );
+    r.compare(
+        "TopFull during failures",
+        "≈10/35 of pre-failure capacity",
+        f1(tf_fail),
+        "rps",
+    );
+    r.compare("TopFull / no-TopFull during failures", ">>1x", ratio(tf_fail, none_fail), "");
+    r.finish();
+}

@@ -1,0 +1,84 @@
+//! Figure 19: sensitivity to VM startup time.
+//!
+//! "we emulated different VM startup times … we tested TopFull with 20s,
+//! 40s, and 60s VM startup. … Both autoscaler standalone and TopFull
+//! with autoscaler show higher average goodput when VM startup time is
+//! reduced. Also, the sensitivity test shows that TopFull still shows up
+//! to 1.52x higher average goodput compared to autoscaler standalone."
+
+use crate::models;
+use crate::report::{f1, ratio, Report};
+use crate::scenarios::{engine_config, Roster};
+use cluster::autoscaler::{HpaConfig, VmPoolConfig};
+use cluster::{ClosedLoopWorkload, Engine, RateSchedule};
+use simnet::{SimDuration, SimTime};
+
+const RUN_SECS: u64 = 220;
+const SURGE_AT: u64 = 20;
+const SURGE_END: u64 = 180; // the paper's surge "lasted 160 seconds"
+
+fn engine(vm_startup_secs: u64, seed: u64) -> Engine {
+    let ob = apps::OnlineBoutique::build();
+    let weights = ob.apis().iter().map(|a| (*a, 1.0)).collect();
+    let users = RateSchedule::surge(
+        400.0,
+        4000.0,
+        SimTime::from_secs(SURGE_AT),
+        SimTime::from_secs(SURGE_END),
+    );
+    let w = ClosedLoopWorkload::new(weights, users, SimDuration::from_secs(1));
+    let mut cfg = engine_config(seed);
+    cfg.pod_startup = SimDuration::from_secs(20);
+    let mut engine = Engine::new(ob.topology.clone(), cfg, Box::new(w));
+    // A tight VM pool so scaling must wait for new VMs.
+    engine.set_vm_pool(VmPoolConfig {
+        vcpus_per_vm: 48,
+        initial_vms: 1,
+        max_vms: 10,
+        vm_startup: SimDuration::from_secs(vm_startup_secs),
+        vcpus_per_pod: 1.0,
+    });
+    engine.enable_hpa(HpaConfig::default());
+    engine
+}
+
+fn measure(roster: Roster, vm_startup: u64, seed: u64) -> f64 {
+    let mut h = roster.into_harness(engine(vm_startup, seed));
+    h.run_for_secs(RUN_SECS);
+    h.result()
+        .mean_total_goodput(SURGE_AT as f64, SURGE_END as f64)
+}
+
+pub fn run() {
+    let mut r = Report::new("fig19", "Average goodput vs VM startup time (Online Boutique)");
+    let policy = models::policy_for("online-boutique");
+    let mut rows = Vec::new();
+    let mut best_gain: f64 = 0.0;
+    let mut solo_by_startup = Vec::new();
+    for startup in [20u64, 40, 60] {
+        let solo = measure(Roster::None, startup, 19);
+        let tf = measure(Roster::TopFull(policy.clone()), startup, 19);
+        best_gain = best_gain.max(if solo > 0.0 { tf / solo } else { 0.0 });
+        solo_by_startup.push(solo);
+        rows.push(vec![
+            format!("{startup}s"),
+            f1(solo),
+            f1(tf),
+            ratio(tf, solo),
+        ]);
+    }
+    r.table(
+        "avg goodput (rps) during surge",
+        &["vm startup", "autoscaler-solo", "topfull", "gain"],
+        rows,
+    );
+    r.compare("max TopFull gain across startup times", "up to 1.52x", format!("{best_gain:.2}x"), "");
+    let monotone = solo_by_startup.windows(2).all(|w| w[0] >= w[1] * 0.95);
+    r.compare(
+        "goodput improves with faster VM startup",
+        "yes",
+        if monotone { "yes" } else { "no" },
+        "",
+    );
+    r.finish();
+}

@@ -1,0 +1,21 @@
+//! One module per paper table/figure. Each exposes `run()` which prints
+//! and persists a [`crate::report::Report`].
+
+pub mod fig04;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod refinements;
+pub mod retry_storm;
+pub mod table1;
+pub mod trace_analysis;
+pub mod training_cost;

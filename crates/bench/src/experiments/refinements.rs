@@ -1,0 +1,203 @@
+//! Extension ablation: the three controller refinements DESIGN.md §5
+//! documents on top of the paper's Algorithm 1 (no paper counterpart).
+//!
+//! 1. **Multi-target per cluster** — act on every overloaded service in
+//!    a cluster each interval (fewest-API order, claimed candidates)
+//!    instead of literally one at a time. Without it, a target the RL
+//!    holds hovering at the detection threshold starves control of every
+//!    other bottleneck in the cluster.
+//! 2. **Contributing-only cuts** — Algorithm 1's "lowest priority
+//!    candidate" may be idle or already at the floor; cutting it relieves
+//!    nothing while the actual offender keeps hammering.
+//! 3. **Chiu–Jain group steps** — proportional cuts + equal-share raises
+//!    converge same-priority APIs toward an even split; equal factors in
+//!    both directions freeze the transient's skew.
+//!
+//! Each row disables exactly one refinement on the Train Ticket and
+//! Online Boutique overload scenarios and reports the goodput cost.
+
+use crate::models;
+use crate::report::{f1, Report};
+use apps::{OnlineBoutique, TrainTicket};
+use cluster::{ClosedLoopWorkload, Engine, Harness, OpenLoopWorkload};
+use rl::policy::PolicyValue;
+use simnet::SimDuration;
+use topfull::{TopFull, TopFullConfig};
+
+const RUN_SECS: u64 = 120;
+const MEASURE_FROM: f64 = 30.0;
+
+fn trainticket_engine(seed: u64) -> Engine {
+    let tt = TrainTicket::build();
+    let rates: Vec<(cluster::ApiId, f64)> =
+        tt.apis().iter().map(|a| (*a, 1100.0)).collect();
+    Engine::new(
+        tt.topology.clone(),
+        crate::scenarios::engine_config(seed),
+        Box::new(OpenLoopWorkload::constant(rates)),
+    )
+}
+
+fn boutique_engine(seed: u64) -> Engine {
+    let ob = OnlineBoutique::build();
+    let weights = ob.apis().iter().map(|a| (*a, 1.0)).collect();
+    let w = ClosedLoopWorkload::fixed(weights, 2600, SimDuration::from_secs(1));
+    Engine::new(
+        ob.topology.clone(),
+        crate::scenarios::engine_config(seed),
+        Box::new(w),
+    )
+}
+
+/// Getproduct surges alone while idle lower-priority APIs share its
+/// Recommendation bottleneck: verbatim Algorithm 1 keeps "cutting" the
+/// idle getcart and never touches the offender — the scenario
+/// refinement 2 exists for. Returns the surging API's goodput.
+fn idle_lowprio_offender_goodput(cfg: TopFullConfig, seed: u64) -> f64 {
+    let mut ob = OnlineBoutique::build();
+    for (i, api) in ob.apis().into_iter().enumerate() {
+        ob.topology.api_mut(api).business = cluster::types::BusinessPriority(i as u8);
+    }
+    let rates = vec![(ob.getproduct, 1200.0)];
+    let engine = Engine::new(
+        ob.topology.clone(),
+        crate::scenarios::engine_config(seed),
+        Box::new(OpenLoopWorkload::constant(rates)),
+    );
+    let mut h = Harness::new(engine, Box::new(TopFull::new(cfg)));
+    h.run_for_secs(RUN_SECS);
+    h.result()
+        .mean_goodput_api(ob.getproduct, MEASURE_FROM, RUN_SECS as f64)
+}
+
+/// Two equal-priority APIs with 3:1 offered skew on the shared
+/// Recommendation bottleneck: the scenario refinement 3 (fair group
+/// steps) exists for. Returns `(minority goodput, majority/minority)`.
+fn skewed_pair_split(cfg: TopFullConfig, seed: u64) -> (f64, f64) {
+    let ob = OnlineBoutique::build();
+    let rates = vec![(ob.getproduct, 900.0), (ob.getcart, 300.0)];
+    let engine = Engine::new(
+        ob.topology.clone(),
+        crate::scenarios::engine_config(seed),
+        Box::new(OpenLoopWorkload::constant(rates)),
+    );
+    let mut h = Harness::new(engine, Box::new(TopFull::new(cfg)));
+    h.run_for_secs(300);
+    let gp = h.result().mean_goodput_api(ob.getproduct, 200.0, 300.0);
+    let gc = h.result().mean_goodput_api(ob.getcart, 200.0, 300.0);
+    (gc.min(gp), gp.max(gc) / gp.min(gc).max(1.0))
+}
+
+fn measure(engine: Engine, cfg: TopFullConfig) -> f64 {
+    let mut h = Harness::new(engine, Box::new(TopFull::new(cfg)));
+    h.run_for_secs(RUN_SECS);
+    h.result().mean_total_goodput(MEASURE_FROM, RUN_SECS as f64)
+}
+
+fn variants(policy: &PolicyValue) -> Vec<(&'static str, TopFullConfig)> {
+    let base = || TopFullConfig::default().with_rl(policy.clone());
+    vec![
+        ("all refinements (default)", base()),
+        (
+            "single target per cluster",
+            TopFullConfig {
+                single_target_per_cluster: true,
+                ..base()
+            },
+        ),
+        (
+            "verbatim Algorithm 1 cuts",
+            TopFullConfig {
+                restrict_cuts_to_contributing: false,
+                ..base()
+            },
+        ),
+        (
+            "multiplicative group raises",
+            TopFullConfig {
+                fair_group_steps: false,
+                ..base()
+            },
+        ),
+    ]
+}
+
+pub fn run() {
+    let mut r = Report::new(
+        "refinements",
+        "Extension: ablating the DESIGN.md §5 controller refinements",
+    );
+    let apps: Vec<(&str, fn(u64) -> Engine, &str)> = vec![
+        ("train-ticket", trainticket_engine, "train-ticket"),
+        ("online-boutique", boutique_engine, "online-boutique"),
+    ];
+    let mut rows = Vec::new();
+    for (app, mk, policy_key) in apps {
+        let policy = models::policy_for(policy_key);
+        let mut baseline = 0.0;
+        for (i, (label, cfg)) in variants(&policy).into_iter().enumerate() {
+            let goodput = measure(mk(2020), cfg);
+            if i == 0 {
+                baseline = goodput;
+            }
+            let delta = if baseline > 0.0 {
+                format!("{:+.1}%", (goodput / baseline - 1.0) * 100.0)
+            } else {
+                "n/a".into()
+            };
+            rows.push(vec![app.to_string(), label.to_string(), f1(goodput), delta]);
+        }
+    }
+    r.table(
+        "avg total goodput (rps) with one refinement disabled",
+        &["app", "variant", "goodput", "vs default"],
+        rows,
+    );
+
+    // Focused mechanism demos: each disabled refinement against the
+    // scenario shape it exists for.
+    let policy = models::policy_for("online-boutique");
+    let base = TopFullConfig::default().with_rl(policy.clone());
+    let verbatim = TopFullConfig {
+        restrict_cuts_to_contributing: false,
+        ..base.clone()
+    };
+    let refined_g = idle_lowprio_offender_goodput(base.clone(), 2021);
+    let verbatim_g = idle_lowprio_offender_goodput(verbatim, 2021);
+    r.table(
+        "refinement 2: surging API goodput when idle low-priority APIs share its bottleneck",
+        &["variant", "offender goodput (rps)"],
+        vec![
+            vec!["contributing-only cuts (default)".into(), f1(refined_g)],
+            vec!["verbatim Algorithm 1".into(), f1(verbatim_g)],
+        ],
+    );
+    let unfair = TopFullConfig {
+        fair_group_steps: false,
+        ..base.clone()
+    };
+    let (fair_min, fair_ratio) = skewed_pair_split(base, 2022);
+    let (unfair_min, unfair_ratio) = skewed_pair_split(unfair, 2022);
+    r.table(
+        "refinement 3: equal-priority split under 3:1 offered skew (shared bottleneck)",
+        &["variant", "minority API goodput (rps)", "majority/minority"],
+        vec![
+            vec![
+                "Chiu-Jain group steps (default)".into(),
+                f1(fair_min),
+                format!("{fair_ratio:.2}x"),
+            ],
+            vec![
+                "multiplicative both ways".into(),
+                f1(unfair_min),
+                format!("{unfair_ratio:.2}x"),
+            ],
+        ],
+    );
+    r.note(
+        "no paper counterpart: these are the engineering choices this \
+         reproduction had to make where the paper's prose is ambiguous \
+         (see DESIGN.md §5); negative deltas justify the defaults",
+    );
+    r.finish();
+}

@@ -1,0 +1,32 @@
+//! # topfull-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§6).
+//! Shared infrastructure lives here:
+//!
+//! * [`models`] — the Sim2Real training pipeline producing the base
+//!   (graph-simulator) policy and the Transfer-TT / Transfer-OB
+//!   specialized policies, cached as JSON under `artifacts/models/`.
+//! * [`scenarios`] — engine/workload builders for the three benchmark
+//!   applications and the controller roster (TopFull, TopFull ablations,
+//!   DAGOR, Breakwater, no-control, HPA combinations).
+//! * [`report`] — uniform "paper vs measured" result rows and JSON dumps
+//!   under `artifacts/results/`.
+//! * [`experiments`] — one module per figure/table; the `figures` binary
+//!   dispatches to them.
+//!
+//! Run everything with `cargo run --release -p topfull-bench --bin
+//! figures -- all`, or a single experiment with e.g. `-- fig8`.
+
+pub mod experiments;
+pub mod models;
+pub mod report;
+pub mod scenarios;
+
+/// Repository-relative artifacts directory (models, results).
+pub fn artifacts_dir() -> std::path::PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; artifacts live at the repo root.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../artifacts")
+        .components()
+        .collect()
+}

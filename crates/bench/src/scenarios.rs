@@ -1,0 +1,213 @@
+//! Scenario and controller builders shared by the experiments.
+
+use apps::{AlibabaDemo, OnlineBoutique, TrainTicket};
+use baselines::{Breakwater, BreakwaterConfig, Dagor, DagorConfig, Wisp, WispConfig};
+use cluster::{
+    ClosedLoopWorkload, Controller, Engine, EngineConfig, Harness, NoControl, OpenLoopWorkload,
+    RateSchedule, Topology, Workload,
+};
+use rl::policy::PolicyValue;
+use simnet::SimDuration;
+use topfull::{TopFull, TopFullConfig};
+
+/// The controller roster used across experiments.
+#[derive(Clone)]
+pub enum Roster {
+    /// No overload control anywhere.
+    None,
+    /// DAGOR per-service admission control (α = multiplicative decrease).
+    Dagor { alpha: f64 },
+    /// Breakwater per-service credit control.
+    Breakwater,
+    /// WISP upward-propagated rate limits (§7; extension comparator).
+    Wisp,
+    /// TopFull with the RL policy.
+    TopFull(PolicyValue),
+    /// TopFull ablation: MIMD steps instead of RL (§6.2).
+    TopFullMimd,
+    /// TopFull ablation: clustering disabled (§6.2).
+    TopFullNoCluster(PolicyValue),
+    /// TopFull with Breakwater's control law (TopFull(BW), §6.3).
+    TopFullBw,
+}
+
+impl Roster {
+    /// Short label for report rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Roster::None => "no-control",
+            Roster::Dagor { .. } => "dagor",
+            Roster::Breakwater => "breakwater",
+            Roster::Wisp => "wisp",
+            Roster::TopFull(_) => "topfull",
+            Roster::TopFullMimd => "topfull-mimd",
+            Roster::TopFullNoCluster(_) => "topfull-no-cluster",
+            Roster::TopFullBw => "topfull-bw",
+        }
+    }
+
+    /// Install this roster entry into an engine + harness pair.
+    pub fn into_harness(self, mut engine: Engine) -> Harness {
+        let n = engine.topology().num_services();
+        let controller: Box<dyn Controller> = match self {
+            Roster::None => Box::new(NoControl),
+            Roster::Dagor { alpha } => {
+                engine.set_admission(Box::new(Dagor::new(
+                    n,
+                    DagorConfig {
+                        alpha,
+                        ..DagorConfig::default()
+                    },
+                )));
+                Box::new(NoControl)
+            }
+            Roster::Breakwater => {
+                engine.set_admission(Box::new(Breakwater::new(n, BreakwaterConfig::default())));
+                Box::new(NoControl)
+            }
+            Roster::Wisp => {
+                let wisp = Wisp::new(engine.topology(), WispConfig::default());
+                engine.set_admission(Box::new(wisp));
+                Box::new(NoControl)
+            }
+            Roster::TopFull(policy) => {
+                Box::new(TopFull::new(TopFullConfig::default().with_rl(policy)))
+            }
+            Roster::TopFullMimd => Box::new(TopFull::new(TopFullConfig::default().with_mimd())),
+            Roster::TopFullNoCluster(policy) => Box::new(TopFull::new(
+                TopFullConfig::default().with_rl(policy).without_clustering(),
+            )),
+            Roster::TopFullBw => Box::new(TopFull::new(TopFullConfig::default().with_bw())),
+        };
+        Harness::new(engine, controller)
+    }
+}
+
+/// Default engine config for experiments (1 s SLO, 1 s control cadence).
+pub fn engine_config(seed: u64) -> EngineConfig {
+    EngineConfig {
+        seed,
+        ..EngineConfig::default()
+    }
+}
+
+/// Online Boutique with a closed-loop Locust-style population split
+/// uniformly across the five APIs (§6.1: "2600 Locust users invoking 1
+/// request per second").
+pub fn boutique_closed_loop(users: u32, seed: u64) -> (OnlineBoutique, Engine) {
+    let ob = OnlineBoutique::build();
+    let weights = ob.apis().iter().map(|a| (*a, 1.0)).collect();
+    let w = ClosedLoopWorkload::fixed(weights, users, SimDuration::from_secs(1));
+    let engine = Engine::new(ob.topology.clone(), engine_config(seed), Box::new(w));
+    (ob, engine)
+}
+
+/// Online Boutique with per-API open-loop schedules.
+pub fn boutique_open_loop(
+    rates: impl Fn(&OnlineBoutique) -> Vec<(cluster::ApiId, RateSchedule)>,
+    seed: u64,
+) -> (OnlineBoutique, Engine) {
+    let ob = OnlineBoutique::build();
+    let w = OpenLoopWorkload::new(rates(&ob));
+    let engine = Engine::new(ob.topology.clone(), engine_config(seed), Box::new(w));
+    (ob, engine)
+}
+
+/// Train Ticket with per-API open-loop schedules.
+pub fn trainticket_open_loop(
+    rates: impl Fn(&TrainTicket) -> Vec<(cluster::ApiId, RateSchedule)>,
+    seed: u64,
+) -> (TrainTicket, Engine) {
+    let tt = TrainTicket::build();
+    let w = OpenLoopWorkload::new(rates(&tt));
+    let engine = Engine::new(tt.topology.clone(), engine_config(seed), Box::new(w));
+    (tt, engine)
+}
+
+/// The Alibaba real-trace demo with a surge overloading its hot services.
+pub fn alibaba_surged(surge: f64, seed: u64) -> (AlibabaDemo, Engine) {
+    let demo = AlibabaDemo::build(7);
+    // Offered load per API proportional to its hot anchor's capacity.
+    let rates: Vec<(cluster::ApiId, f64)> = demo
+        .apis
+        .iter()
+        .map(|a| (*a, 120.0 * surge))
+        .collect();
+    let w = OpenLoopWorkload::constant(rates);
+    let engine = Engine::new(demo.topology.clone(), engine_config(seed), Box::new(w));
+    (demo, engine)
+}
+
+/// Build an engine for an arbitrary topology with constant open-loop
+/// rates on every API.
+pub fn uniform_open_loop(topo: Topology, rate_per_api: f64, seed: u64) -> Engine {
+    let rates: Vec<(cluster::ApiId, f64)> =
+        topo.apis().map(|(id, _)| (id, rate_per_api)).collect();
+    let w: Box<dyn Workload> = Box::new(OpenLoopWorkload::constant(rates));
+    Engine::new(topo, engine_config(seed), w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_labels_are_distinct() {
+        let policy = rl::policy::PolicyValue::new(
+            2,
+            &mut <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(1),
+        );
+        let rosters = [
+            Roster::None,
+            Roster::Dagor { alpha: 0.05 },
+            Roster::Breakwater,
+            Roster::Wisp,
+            Roster::TopFull(policy.clone()),
+            Roster::TopFullMimd,
+            Roster::TopFullNoCluster(policy),
+            Roster::TopFullBw,
+        ];
+        let labels: std::collections::HashSet<&str> =
+            rosters.iter().map(Roster::label).collect();
+        assert_eq!(labels.len(), rosters.len(), "labels must be unique");
+    }
+
+    #[test]
+    fn every_roster_builds_a_harness() {
+        let policy = rl::policy::PolicyValue::new(
+            2,
+            &mut <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(2),
+        );
+        for roster in [
+            Roster::None,
+            Roster::Dagor { alpha: 0.05 },
+            Roster::Breakwater,
+            Roster::Wisp,
+            Roster::TopFull(policy.clone()),
+            Roster::TopFullMimd,
+            Roster::TopFullNoCluster(policy),
+            Roster::TopFullBw,
+        ] {
+            let (_, engine) = boutique_closed_loop(10, 1);
+            let mut h = roster.into_harness(engine);
+            h.run_for_secs(3);
+            assert_eq!(h.result().samples.len(), 3);
+        }
+    }
+
+    #[test]
+    fn builders_produce_expected_apps() {
+        let (ob, e) = boutique_closed_loop(100, 1);
+        assert_eq!(e.topology().num_services(), 11);
+        assert_eq!(ob.apis().len(), 5);
+        let (tt, e) = trainticket_open_loop(|tt| vec![(tt.query_order, RateSchedule::constant(10.0))], 1);
+        assert_eq!(e.topology().num_services(), 41);
+        assert_eq!(tt.apis().len(), 6);
+        let (demo, e) = alibaba_surged(1.0, 1);
+        assert_eq!(e.topology().num_services(), 127);
+        assert_eq!(demo.apis.len(), 25);
+        let topo = apps::OnlineBoutique::build().topology;
+        let e = uniform_open_loop(topo, 10.0, 1);
+        assert_eq!(e.topology().num_apis(), 5);
+    }
+}

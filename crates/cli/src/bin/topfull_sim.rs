@@ -1,0 +1,95 @@
+//! `topfull-sim` — run overload-control scenarios from JSON files.
+//!
+//! ```text
+//! topfull-sim run scenario.json [--json]   # execute a scenario
+//! topfull-sim compare scenario.json        # same scenario, every controller
+//! topfull-sim example                      # print a documented example
+//! topfull-sim check scenario.json          # validate without running
+//! ```
+
+use topfull_cli::{build_scenario, parse_scenario, render_report, run_scenario, Scenario};
+
+fn usage() -> ! {
+    eprintln!("usage:");
+    eprintln!("  topfull-sim run <scenario.json> [--json]");
+    eprintln!("  topfull-sim compare <scenario.json>");
+    eprintln!("  topfull-sim check <scenario.json>");
+    eprintln!("  topfull-sim example");
+    std::process::exit(2)
+}
+
+fn load(path: &str) -> Scenario {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    parse_scenario(&text).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("example") => {
+            let sc = Scenario::example();
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&sc).expect("serializable")
+            );
+        }
+        Some("check") => {
+            let path = args.get(1).unwrap_or_else(|| usage());
+            let sc = load(path);
+            match build_scenario(&sc) {
+                Ok(built) => {
+                    println!(
+                        "ok: {} — {} services, {} APIs, {}s",
+                        sc.name,
+                        built.engine.topology().num_services(),
+                        built.engine.topology().num_apis(),
+                        sc.duration_secs
+                    );
+                }
+                Err(e) => {
+                    eprintln!("invalid: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("compare") => {
+            let path = args.get(1).unwrap_or_else(|| usage());
+            let sc = load(path);
+            match topfull_cli::report::compare(&sc) {
+                Ok(table) => print!("{table}"),
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("run") => {
+            let path = args.get(1).unwrap_or_else(|| usage());
+            let as_json = args.iter().any(|a| a == "--json");
+            let sc = load(path);
+            match run_scenario(&sc) {
+                Ok(out) => {
+                    if as_json {
+                        println!(
+                            "{}",
+                            serde_json::to_string_pretty(&out).expect("serializable")
+                        );
+                    } else {
+                        print!("{}", render_report(&sc, &out));
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,374 @@
+//! Scenario → engine/controller translation.
+
+use crate::schema::{
+    AppSpec, AutoscalerSpec, CallSpec, ControllerSpec, Scenario, WorkloadSpec,
+};
+use apps::{AlibabaDemo, OnlineBoutique, TrainTicket};
+use baselines::{Breakwater, BreakwaterConfig, Dagor, DagorConfig, Wisp, WispConfig};
+use cluster::autoscaler::{HpaConfig, VmPoolConfig};
+use cluster::types::BusinessPriority;
+use cluster::{
+    ApiId, CallNode, ClosedLoopWorkload, Controller, Engine, EngineConfig, NoControl,
+    OpenLoopWorkload, RateSchedule, RetryStormWorkload, ServiceId, Topology, Workload,
+};
+use rl::policy::PolicyValue;
+use simnet::{SimDuration, SimTime};
+use topfull::{TopFull, TopFullConfig};
+
+/// A scenario compiled into runnable parts.
+pub struct BuiltScenario {
+    pub engine: Engine,
+    pub controller: Box<dyn Controller>,
+    /// API names in id order, for reporting.
+    pub api_names: Vec<String>,
+}
+
+/// Resolve an API name to its id.
+fn api_id(topo: &Topology, name: &str) -> Result<ApiId, String> {
+    topo.api_by_name(name)
+        .ok_or_else(|| format!("unknown API '{name}'"))
+}
+
+/// Resolve a service name to its id.
+fn service_id(topo: &Topology, name: &str) -> Result<ServiceId, String> {
+    topo.service_by_name(name)
+        .ok_or_else(|| format!("unknown service '{name}'"))
+}
+
+fn build_call(topo: &Topology, spec: &CallSpec) -> Result<CallNode, String> {
+    let svc = service_id(topo, &spec.service)?;
+    let mut children = Vec::with_capacity(spec.children.len());
+    for c in &spec.children {
+        children.push(build_call(topo, c)?);
+    }
+    Ok(CallNode::with_children(
+        svc,
+        SimDuration::from_secs_f64(spec.cost_ms / 1e3),
+        children,
+    ))
+}
+
+fn build_topology(app: &AppSpec) -> Result<Topology, String> {
+    match app {
+        AppSpec::Builtin {
+            name,
+            topology_seed,
+        } => match name.as_str() {
+            "online-boutique" => Ok(OnlineBoutique::build().topology),
+            "train-ticket" => Ok(TrainTicket::build().topology),
+            "alibaba-demo" => Ok(AlibabaDemo::build(*topology_seed).topology),
+            other => Err(format!(
+                "unknown builtin app '{other}' (try online-boutique, train-ticket, alibaba-demo)"
+            )),
+        },
+        AppSpec::Inline { services, apis } => {
+            if services.is_empty() {
+                return Err("inline app needs at least one service".into());
+            }
+            if apis.is_empty() {
+                return Err("inline app needs at least one API".into());
+            }
+            let mut topo = Topology::new("inline");
+            for s in services {
+                let mut spec = cluster::ServiceSpec::new(&s.name, s.replicas);
+                if let Some(q) = s.queue_capacity {
+                    spec = spec.queue_capacity(q);
+                }
+                if let Some(p) = s.pod_speed {
+                    spec = spec.pod_speed(p);
+                }
+                if s.crash_on_overload {
+                    spec = spec.crash_on_overload();
+                }
+                topo.add_service(spec);
+            }
+            for a in apis {
+                if a.paths.is_empty() {
+                    return Err(format!("API '{}' has no paths", a.name));
+                }
+                let mut paths = Vec::with_capacity(a.paths.len());
+                for p in &a.paths {
+                    paths.push((p.weight, build_call(&topo, &p.root)?));
+                }
+                topo.add_api(
+                    cluster::ApiSpec::branching(&a.name, paths)
+                        .business(BusinessPriority(a.business_priority)),
+                );
+            }
+            Ok(topo)
+        }
+    }
+}
+
+fn build_workload(topo: &Topology, spec: &WorkloadSpec) -> Result<Box<dyn Workload>, String> {
+    match spec {
+        WorkloadSpec::OpenLoop { rates } => {
+            let mut schedules = Vec::with_capacity(rates.len());
+            for r in rates {
+                let api = api_id(topo, &r.api)?;
+                let steps = r
+                    .steps
+                    .iter()
+                    .map(|(s, v)| (SimTime::from_secs(*s), *v))
+                    .collect();
+                schedules.push((api, RateSchedule::steps(steps)));
+            }
+            Ok(Box::new(OpenLoopWorkload::new(schedules)))
+        }
+        WorkloadSpec::ClosedLoop {
+            users_steps,
+            think_ms,
+            api_weights,
+        } => {
+            let weights = resolve_weights(topo, api_weights)?;
+            let sched = RateSchedule::steps(
+                users_steps
+                    .iter()
+                    .map(|(s, u)| (SimTime::from_secs(*s), *u))
+                    .collect(),
+            );
+            Ok(Box::new(ClosedLoopWorkload::new(
+                weights,
+                sched,
+                SimDuration::from_millis(*think_ms),
+            )))
+        }
+        WorkloadSpec::RetryStorm {
+            users,
+            think_ms,
+            api_weights,
+            max_retries,
+            retry_backoff_ms,
+        } => {
+            let weights = resolve_weights(topo, api_weights)?;
+            Ok(Box::new(RetryStormWorkload::new(
+                weights,
+                *users,
+                SimDuration::from_millis(*think_ms),
+                *max_retries,
+                SimDuration::from_millis(*retry_backoff_ms),
+            )))
+        }
+    }
+}
+
+fn resolve_weights(
+    topo: &Topology,
+    weights: &[(String, f64)],
+) -> Result<Vec<(ApiId, f64)>, String> {
+    if weights.is_empty() {
+        return Err("api_weights must not be empty".into());
+    }
+    weights
+        .iter()
+        .map(|(name, w)| api_id(topo, name).map(|id| (id, *w)))
+        .collect()
+}
+
+fn build_controller(
+    spec: &ControllerSpec,
+    engine: &mut Engine,
+) -> Result<Box<dyn Controller>, String> {
+    let n = engine.topology().num_services();
+    Ok(match spec {
+        ControllerSpec::None => Box::new(NoControl),
+        ControllerSpec::Dagor { alpha } => {
+            engine.set_admission(Box::new(Dagor::new(
+                n,
+                DagorConfig {
+                    alpha: *alpha,
+                    ..DagorConfig::default()
+                },
+            )));
+            Box::new(NoControl)
+        }
+        ControllerSpec::Breakwater => {
+            engine.set_admission(Box::new(Breakwater::new(n, BreakwaterConfig::default())));
+            Box::new(NoControl)
+        }
+        ControllerSpec::Wisp => {
+            let wisp = Wisp::new(engine.topology(), WispConfig::default());
+            engine.set_admission(Box::new(wisp));
+            Box::new(NoControl)
+        }
+        ControllerSpec::Topfull {
+            rate_controller,
+            clustering,
+        } => {
+            let mut cfg = TopFullConfig::default();
+            if !clustering {
+                cfg = cfg.without_clustering();
+            }
+            cfg = match rate_controller.as_str() {
+                "mimd" => cfg.with_mimd(),
+                "bw" => cfg.with_bw(),
+                rl if rl.starts_with("rl:") => {
+                    let path = &rl[3..];
+                    let policy = PolicyValue::load(std::path::Path::new(path))
+                        .map_err(|e| format!("cannot load RL policy '{path}': {e}"))?;
+                    cfg.with_rl(policy)
+                }
+                other => {
+                    return Err(format!(
+                        "unknown rate_controller '{other}' (mimd | bw | rl:<path>)"
+                    ))
+                }
+            };
+            Box::new(TopFull::new(cfg))
+        }
+    })
+}
+
+/// Compile a scenario into an engine + controller ready to run.
+pub fn build_scenario(sc: &Scenario) -> Result<BuiltScenario, String> {
+    let topo = build_topology(&sc.app)?;
+    let api_names: Vec<String> = topo.apis().map(|(_, a)| a.name.clone()).collect();
+    let workload = build_workload(&topo, &sc.workload)?;
+    let mut cfg = EngineConfig {
+        seed: sc.seed,
+        slo: SimDuration::from_millis(sc.slo_ms),
+        ..EngineConfig::default()
+    };
+    if let Some(AutoscalerSpec {
+        pod_startup_secs: Some(p),
+        ..
+    }) = &sc.autoscaler
+    {
+        cfg.pod_startup = SimDuration::from_secs(*p);
+    }
+    let mut engine = Engine::new(topo, cfg, workload);
+    if let Some(auto) = &sc.autoscaler {
+        if let Some(pool) = &auto.vm_pool {
+            engine.set_vm_pool(VmPoolConfig {
+                vcpus_per_vm: pool.vcpus_per_vm,
+                initial_vms: pool.initial_vms,
+                max_vms: pool.max_vms,
+                vm_startup: SimDuration::from_secs(pool.vm_startup_secs),
+                vcpus_per_pod: 1.0,
+            });
+        }
+        engine.enable_hpa(HpaConfig {
+            target_utilization: auto.target_utilization,
+            sync_period: SimDuration::from_secs(auto.sync_period_secs),
+            ..HpaConfig::default()
+        });
+    }
+    if !sc.failures.is_empty() {
+        let mut specs = Vec::with_capacity(sc.failures.len());
+        for f in &sc.failures {
+            let svc = service_id(engine.topology(), &f.service)?;
+            specs.push(cluster::failure::FailureSpec {
+                at: SimTime::from_secs(f.at_secs),
+                service: svc,
+                pods: f.pods,
+            });
+        }
+        engine.inject_failures(specs);
+    }
+    let controller = build_controller(&sc.controller, &mut engine)?;
+    Ok(BuiltScenario {
+        engine,
+        controller,
+        api_names,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Scenario;
+
+    #[test]
+    fn example_scenario_builds() {
+        let sc = Scenario::example();
+        let built = build_scenario(&sc).expect("builds");
+        assert_eq!(built.api_names, vec!["get"]);
+        assert_eq!(built.engine.topology().num_services(), 2);
+    }
+
+    #[test]
+    fn builtin_apps_build() {
+        for (name, services) in [
+            ("online-boutique", 11),
+            ("train-ticket", 41),
+            ("alibaba-demo", 127),
+        ] {
+            let json = format!(
+                r#"{{
+                    "app": {{"type": "builtin", "name": "{name}"}},
+                    "workload": {{"type": "open_loop", "rates": []}}
+                }}"#
+            );
+            let sc = crate::parse_scenario(&json).expect("parse");
+            let built = build_scenario(&sc).expect(name);
+            assert_eq!(built.engine.topology().num_services(), services);
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        let json = r#"{
+            "app": {"type": "builtin", "name": "online-boutique"},
+            "workload": {"type": "open_loop", "rates": [
+                {"api": "no-such-api", "steps": [[0, 1.0]]}
+            ]}
+        }"#;
+        let sc = crate::parse_scenario(json).expect("parse");
+        let err = match build_scenario(&sc) {
+            Err(e) => e,
+            Ok(_) => panic!("unknown API must be rejected"),
+        };
+        assert!(err.contains("no-such-api"));
+
+        let json = r#"{
+            "app": {"type": "builtin", "name": "bogus"},
+            "workload": {"type": "open_loop", "rates": []}
+        }"#;
+        let sc = crate::parse_scenario(json).expect("parse");
+        assert!(build_scenario(&sc).is_err());
+    }
+
+    #[test]
+    fn controller_wiring_works() {
+        for ctrl in [
+            r#"{"type": "none"}"#,
+            r#"{"type": "dagor", "alpha": 0.1}"#,
+            r#"{"type": "breakwater"}"#,
+            r#"{"type": "wisp"}"#,
+            r#"{"type": "topfull", "rate_controller": "mimd"}"#,
+            r#"{"type": "topfull", "rate_controller": "bw", "clustering": false}"#,
+        ] {
+            let json = format!(
+                r#"{{
+                    "app": {{"type": "builtin", "name": "online-boutique"}},
+                    "workload": {{"type": "open_loop", "rates": []}},
+                    "controller": {ctrl}
+                }}"#
+            );
+            let sc = crate::parse_scenario(&json).expect("parse");
+            build_scenario(&sc).expect(ctrl);
+        }
+        // Unknown rate controller fails loudly.
+        let json = r#"{
+            "app": {"type": "builtin", "name": "online-boutique"},
+            "workload": {"type": "open_loop", "rates": []},
+            "controller": {"type": "topfull", "rate_controller": "magic"}
+        }"#;
+        let sc = crate::parse_scenario(json).expect("parse");
+        assert!(build_scenario(&sc).is_err());
+    }
+
+    #[test]
+    fn failures_resolve_service_names() {
+        let json = r#"{
+            "app": {"type": "builtin", "name": "train-ticket"},
+            "workload": {"type": "open_loop", "rates": []},
+            "failures": [{"at_secs": 10, "service": "ts-station-service", "pods": 2}]
+        }"#;
+        let sc = crate::parse_scenario(json).expect("parse");
+        build_scenario(&sc).expect("valid failure spec");
+        let bad = json.replace("ts-station-service", "ts-nope");
+        let sc = crate::parse_scenario(&bad).expect("parse");
+        assert!(build_scenario(&sc).is_err());
+    }
+}

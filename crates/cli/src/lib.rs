@@ -1,0 +1,29 @@
+//! # topfull-cli — JSON scenario runner
+//!
+//! Lets operators exercise the TopFull stack without writing Rust: a
+//! scenario file describes an application topology (or names a built-in
+//! benchmark), a workload, a controller, and optional autoscaling /
+//! failure injection; `topfull-sim run scenario.json` executes it and
+//! prints per-API goodput, latency and an optional timeline.
+//!
+//! See [`schema`] for the file format, [`build`] for the
+//! scenario → engine translation, and [`report`] for the output.
+
+pub mod build;
+pub mod report;
+pub mod schema;
+
+pub use build::build_scenario;
+pub use report::{render_report, ScenarioOutcome};
+pub use schema::Scenario;
+
+/// Parse a scenario from JSON text.
+pub fn parse_scenario(json: &str) -> Result<Scenario, String> {
+    serde_json::from_str(json).map_err(|e| format!("invalid scenario: {e}"))
+}
+
+/// Run a scenario end to end.
+pub fn run_scenario(sc: &Scenario) -> Result<ScenarioOutcome, String> {
+    let built = build_scenario(sc)?;
+    Ok(report::execute(sc, built))
+}

@@ -1,0 +1,367 @@
+//! Scenario file format (JSON, serde).
+//!
+//! Every field has a sensible default so minimal scenarios stay minimal;
+//! [`Scenario::example`] emits a fully-populated, commented-by-name
+//! example for `topfull-sim example`.
+
+use serde::{Deserialize, Serialize};
+
+/// Top-level scenario.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Display name.
+    #[serde(default = "default_name")]
+    pub name: String,
+    /// RNG seed (runs are deterministic per seed).
+    #[serde(default = "default_seed")]
+    pub seed: u64,
+    /// Simulated duration in seconds.
+    #[serde(default = "default_duration")]
+    pub duration_secs: u64,
+    /// Latency SLO in milliseconds (default 1000, the paper's).
+    #[serde(default = "default_slo_ms")]
+    pub slo_ms: u64,
+    /// The application: inline services+apis, or a named benchmark.
+    pub app: AppSpec,
+    pub workload: WorkloadSpec,
+    #[serde(default)]
+    pub controller: ControllerSpec,
+    #[serde(default)]
+    pub autoscaler: Option<AutoscalerSpec>,
+    #[serde(default)]
+    pub failures: Vec<FailureSpec>,
+    #[serde(default)]
+    pub report: ReportSpec,
+}
+
+fn default_name() -> String {
+    "scenario".into()
+}
+fn default_seed() -> u64 {
+    1
+}
+fn default_duration() -> u64 {
+    120
+}
+fn default_slo_ms() -> u64 {
+    1000
+}
+
+/// Application definition.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum AppSpec {
+    /// A built-in benchmark topology.
+    Builtin {
+        /// `online-boutique`, `train-ticket`, or `alibaba-demo`.
+        name: String,
+        /// Seed for generated topologies (alibaba-demo).
+        #[serde(default = "default_seed")]
+        topology_seed: u64,
+    },
+    /// An inline topology.
+    Inline {
+        services: Vec<ServiceSpec>,
+        apis: Vec<ApiSpec>,
+    },
+}
+
+/// One service.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServiceSpec {
+    pub name: String,
+    pub replicas: u32,
+    #[serde(default)]
+    pub queue_capacity: Option<u32>,
+    #[serde(default)]
+    pub pod_speed: Option<f64>,
+    #[serde(default)]
+    pub crash_on_overload: bool,
+}
+
+/// One external API.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ApiSpec {
+    pub name: String,
+    /// Lower = more important.
+    #[serde(default)]
+    pub business_priority: u8,
+    /// Weighted execution paths (one = non-branching).
+    pub paths: Vec<PathSpec>,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PathSpec {
+    #[serde(default = "default_weight")]
+    pub weight: f64,
+    pub root: CallSpec,
+}
+
+fn default_weight() -> f64 {
+    1.0
+}
+
+/// A call-tree node: process `cost_ms` at `service`, then call children.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CallSpec {
+    pub service: String,
+    pub cost_ms: f64,
+    #[serde(default)]
+    pub children: Vec<CallSpec>,
+}
+
+/// Workload definition.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum WorkloadSpec {
+    /// Poisson arrivals with per-API stepwise rate schedules.
+    OpenLoop { rates: Vec<RateSpec> },
+    /// Locust-style user population.
+    ClosedLoop {
+        /// `(from_secs, users)` steps.
+        users_steps: Vec<(u64, f64)>,
+        #[serde(default = "default_think_ms")]
+        think_ms: u64,
+        api_weights: Vec<(String, f64)>,
+    },
+    /// Closed-loop clients that retry failures (a §1 retry storm).
+    RetryStorm {
+        users: u32,
+        #[serde(default = "default_think_ms")]
+        think_ms: u64,
+        api_weights: Vec<(String, f64)>,
+        #[serde(default = "default_retries")]
+        max_retries: u32,
+        #[serde(default = "default_backoff_ms")]
+        retry_backoff_ms: u64,
+    },
+}
+
+fn default_think_ms() -> u64 {
+    1000
+}
+fn default_retries() -> u32 {
+    3
+}
+fn default_backoff_ms() -> u64 {
+    50
+}
+
+/// Per-API stepwise rate schedule: `(from_secs, rps)`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RateSpec {
+    pub api: String,
+    pub steps: Vec<(u64, f64)>,
+}
+
+/// Overload controller selection.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum ControllerSpec {
+    /// No overload control.
+    #[default]
+    None,
+    /// TopFull at the entry.
+    Topfull {
+        /// `mimd`, `bw`, or `rl:<path-to-policy.json>`.
+        #[serde(default = "default_rate_controller")]
+        rate_controller: String,
+        #[serde(default = "default_true")]
+        clustering: bool,
+    },
+    /// DAGOR per-service admission control.
+    Dagor {
+        #[serde(default = "default_alpha")]
+        alpha: f64,
+    },
+    /// Breakwater per-service credit control.
+    Breakwater,
+    /// WISP upward-propagated rate limits (extension comparator).
+    Wisp,
+}
+
+fn default_rate_controller() -> String {
+    "mimd".into()
+}
+fn default_true() -> bool {
+    true
+}
+fn default_alpha() -> f64 {
+    0.05
+}
+
+/// HPA + optional VM pool.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AutoscalerSpec {
+    #[serde(default = "default_target_util")]
+    pub target_utilization: f64,
+    #[serde(default = "default_sync")]
+    pub sync_period_secs: u64,
+    #[serde(default)]
+    pub pod_startup_secs: Option<u64>,
+    #[serde(default)]
+    pub vm_pool: Option<VmPoolSpec>,
+}
+
+fn default_target_util() -> f64 {
+    0.7
+}
+fn default_sync() -> u64 {
+    15
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct VmPoolSpec {
+    pub vcpus_per_vm: u32,
+    pub initial_vms: u32,
+    pub max_vms: u32,
+    pub vm_startup_secs: u64,
+}
+
+/// Kill `pods` pods of `service` at `at_secs`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FailureSpec {
+    pub at_secs: u64,
+    pub service: String,
+    pub pods: u32,
+}
+
+/// Output options.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ReportSpec {
+    /// Steady-state window start (seconds).
+    #[serde(default = "default_measure_from")]
+    pub measure_from_secs: u64,
+    /// Print a per-second total-goodput timeline.
+    #[serde(default)]
+    pub timeline: bool,
+}
+
+fn default_measure_from() -> u64 {
+    30
+}
+
+impl Default for ReportSpec {
+    fn default() -> Self {
+        ReportSpec {
+            measure_from_secs: default_measure_from(),
+            timeline: false,
+        }
+    }
+}
+
+impl Scenario {
+    /// A fully-populated example scenario (for `topfull-sim example`).
+    pub fn example() -> Scenario {
+        Scenario {
+            name: "two-tier-overload".into(),
+            seed: 7,
+            duration_secs: 120,
+            slo_ms: 1000,
+            app: AppSpec::Inline {
+                services: vec![
+                    ServiceSpec {
+                        name: "frontend".into(),
+                        replicas: 4,
+                        queue_capacity: None,
+                        pod_speed: None,
+                        crash_on_overload: false,
+                    },
+                    ServiceSpec {
+                        name: "backend".into(),
+                        replicas: 1,
+                        queue_capacity: Some(512),
+                        pod_speed: None,
+                        crash_on_overload: false,
+                    },
+                ],
+                apis: vec![ApiSpec {
+                    name: "get".into(),
+                    business_priority: 0,
+                    paths: vec![PathSpec {
+                        weight: 1.0,
+                        root: CallSpec {
+                            service: "frontend".into(),
+                            cost_ms: 1.0,
+                            children: vec![CallSpec {
+                                service: "backend".into(),
+                                cost_ms: 10.0,
+                                children: vec![],
+                            }],
+                        },
+                    }],
+                }],
+            },
+            workload: WorkloadSpec::OpenLoop {
+                rates: vec![RateSpec {
+                    api: "get".into(),
+                    steps: vec![(0, 50.0), (20, 300.0)],
+                }],
+            },
+            controller: ControllerSpec::Topfull {
+                rate_controller: "mimd".into(),
+                clustering: true,
+            },
+            autoscaler: None,
+            failures: vec![],
+            report: ReportSpec {
+                measure_from_secs: 60,
+                timeline: true,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_round_trips_through_json() {
+        let sc = Scenario::example();
+        let json = serde_json::to_string_pretty(&sc).expect("serialize");
+        let back: Scenario = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back.name, "two-tier-overload");
+        assert_eq!(back.duration_secs, 120);
+        match back.app {
+            AppSpec::Inline { services, apis } => {
+                assert_eq!(services.len(), 2);
+                assert_eq!(apis.len(), 1);
+            }
+            _ => panic!("example is inline"),
+        }
+    }
+
+    #[test]
+    fn minimal_scenario_uses_defaults() {
+        let json = r#"{
+            "app": {"type": "builtin", "name": "online-boutique"},
+            "workload": {"type": "open_loop", "rates": [
+                {"api": "getproduct", "steps": [[0, 100.0]]}
+            ]}
+        }"#;
+        let sc: Scenario = serde_json::from_str(json).expect("minimal parse");
+        assert_eq!(sc.seed, 1);
+        assert_eq!(sc.duration_secs, 120);
+        assert!(matches!(sc.controller, ControllerSpec::None));
+        assert!(sc.failures.is_empty());
+    }
+
+    #[test]
+    fn controller_variants_parse() {
+        let tf: ControllerSpec =
+            serde_json::from_str(r#"{"type": "topfull", "rate_controller": "bw"}"#).unwrap();
+        assert!(matches!(tf, ControllerSpec::Topfull { clustering: true, .. }));
+        let dg: ControllerSpec = serde_json::from_str(r#"{"type": "dagor"}"#).unwrap();
+        match dg {
+            ControllerSpec::Dagor { alpha } => assert_eq!(alpha, 0.05),
+            _ => panic!("dagor"),
+        }
+    }
+
+    #[test]
+    fn bad_json_is_an_error() {
+        assert!(crate::parse_scenario("{nope").is_err());
+        assert!(crate::parse_scenario("{}").is_err(), "app+workload required");
+    }
+}

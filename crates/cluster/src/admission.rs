@@ -1,0 +1,70 @@
+//! Per-service admission hooks — the actuation point of DAGOR and
+//! Breakwater.
+//!
+//! The baselines the paper compares against shed load *inside* the
+//! application: each microservice decides per sub-request whether to admit
+//! it, based on local signals (queueing delay, incoming rate). The engine
+//! consults an [`AdmissionControl`] implementation at every call dispatch
+//! — including the entry call — and notifies it once per interval with the
+//! observation so it can move its thresholds.
+//!
+//! Rejecting a sub-request mid-tree fails the whole request, and all work
+//! already performed upstream is wasted: this is precisely the mechanism
+//! behind the starvation problem of the paper's Figure 1.
+
+use crate::observe::ClusterObservation;
+use crate::types::{RequestMeta, ServiceId};
+use simnet::SimTime;
+
+/// A per-service admission controller (DAGOR, Breakwater, …).
+pub trait AdmissionControl: Send {
+    /// Decide whether `service` admits a call of request `meta` at `now`.
+    ///
+    /// Called on every call dispatch; must be cheap. The upstream caller
+    /// consults this *before* sending the sub-request, which also models
+    /// DAGOR's piggybacked-threshold early rejection.
+    fn admit(&mut self, service: ServiceId, meta: &RequestMeta, now: SimTime) -> bool;
+
+    /// Per-interval threshold update with fresh local metrics.
+    fn on_interval(&mut self, obs: &ClusterObservation);
+
+    /// Human-readable name for experiment reports.
+    fn name(&self) -> &str {
+        "admission"
+    }
+}
+
+/// Admit-everything hook; used when only entry-point control is active.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AdmitAll;
+
+impl AdmissionControl for AdmitAll {
+    fn admit(&mut self, _service: ServiceId, _meta: &RequestMeta, _now: SimTime) -> bool {
+        true
+    }
+
+    fn on_interval(&mut self, _obs: &ClusterObservation) {}
+
+    fn name(&self) -> &str {
+        "admit-all"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ApiId, BusinessPriority};
+
+    #[test]
+    fn admit_all_admits() {
+        let meta = RequestMeta {
+            api: ApiId(0),
+            business: BusinessPriority(0),
+            user: 7,
+            arrival: SimTime::ZERO,
+        };
+        let mut a = AdmitAll;
+        assert!(a.admit(ServiceId(0), &meta, SimTime::ZERO));
+        assert_eq!(a.name(), "admit-all");
+    }
+}

@@ -1,0 +1,1668 @@
+//! The discrete-event cluster engine.
+//!
+//! [`Engine`] executes a [`Topology`] under a [`Workload`]: requests
+//! arrive at the gateway, traverse their API's call tree across services
+//! and pods, and complete (within or beyond the SLO) or fail. The engine
+//! also runs the metrics window, the HPA + VM-pool autoscaler, the
+//! crash-loop prober and injected failures — everything that happens
+//! *inside* the cluster. Overload controllers live outside: entry
+//! controllers set gateway rate limits between [`Engine::run_until`]
+//! calls (see [`crate::harness`]), and per-service admission controllers
+//! plug in via [`Engine::set_admission`].
+//!
+//! ## Determinism
+//!
+//! The engine is single-threaded, draws randomness from one seeded RNG,
+//! and uses a FIFO-stable event queue — a run is a pure function of
+//! `(topology, config, workload, seed, control inputs)`.
+
+use crate::admission::AdmissionControl;
+use crate::autoscaler::{Hpa, HpaConfig, VmPool, VmPoolConfig};
+use crate::failure::{CrashLoopConfig, FailureSpec};
+use crate::gateway::Gateway;
+use crate::observe::{ApiWindow, ClusterObservation, ServiceWindow};
+use crate::topology::{CallNode, Topology};
+use crate::tracing::{Span, TraceCollector};
+use crate::types::{ApiId, RequestMeta, RequestOutcome, ServiceId};
+use crate::workload::{Arrival, ResponseKind, UserRef, Workload};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal};
+use simnet::{EventQueue, LatencyHistogram, SimDuration, SimTime};
+use std::collections::{HashMap, VecDeque};
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Root RNG seed; forked per concern.
+    pub seed: u64,
+    /// Latency SLO defining goodput (paper: 1 s).
+    pub slo: SimDuration,
+    /// Observation / control window (paper: 1 s).
+    pub control_interval: SimDuration,
+    /// One-way network latency per hop.
+    pub hop_latency: SimDuration,
+    /// Log-normal sigma of service-time jitter (0 disables).
+    pub service_jitter: f64,
+    /// Gateway token-bucket depth in seconds of rate.
+    pub gateway_burst_secs: f64,
+    /// Time for a new pod to become ready once vCPUs are available.
+    pub pod_startup: SimDuration,
+    /// Crash-loop model for `crash_on_overload` services.
+    pub crash: CrashLoopConfig,
+    /// When true, the observation's `api_paths` come from the distributed
+    /// tracing collector (paths *learned* from spans, §4.1/§5) instead of
+    /// the static topology union.
+    pub learn_paths: bool,
+    /// Span retention window for learned paths.
+    pub trace_window: SimDuration,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            seed: 1,
+            slo: SimDuration::from_secs(1),
+            control_interval: SimDuration::from_secs(1),
+            hop_latency: SimDuration::from_micros(500),
+            service_jitter: 0.1,
+            gateway_burst_secs: 0.05,
+            pod_startup: SimDuration::from_secs(10),
+            crash: CrashLoopConfig::default(),
+            learn_paths: false,
+            trace_window: SimDuration::from_secs(60),
+        }
+    }
+}
+
+/// A call waiting in a pod queue. The cost is embedded so wasted work is
+/// still executed even if the owning request has already failed.
+#[derive(Clone, Copy, Debug)]
+struct QueuedCall {
+    req: u64,
+    node: u32,
+    cost: SimDuration,
+    enqueued: SimTime,
+}
+
+/// A call being processed by a pod.
+#[derive(Clone, Copy, Debug)]
+struct InFlight {
+    req: u64,
+    node: u32,
+    started: SimTime,
+    done_at: SimTime,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum PodPhase {
+    Ready,
+    /// Crashed or injected-killed; restarting at the given time.
+    Down,
+    /// Tombstone after scale-down.
+    Removed,
+}
+
+#[derive(Debug)]
+struct Pod {
+    phase: PodPhase,
+    /// Bumped on crash so stale `PodDone` events are ignored.
+    epoch: u64,
+    queue: VecDeque<QueuedCall>,
+    busy: Option<InFlight>,
+    saturated_probes: u32,
+    /// Consecutive crash-loop count, for exponential restart backoff
+    /// (k8s CrashLoopBackOff: 10 s, 20 s, 40 s, … capped).
+    crash_count: u32,
+}
+
+impl Pod {
+    fn fresh() -> Self {
+        Pod {
+            phase: PodPhase::Ready,
+            epoch: 0,
+            queue: VecDeque::new(),
+            busy: None,
+            saturated_probes: 0,
+            crash_count: 0,
+        }
+    }
+
+    fn is_ready(&self) -> bool {
+        self.phase == PodPhase::Ready
+    }
+
+    fn load(&self) -> usize {
+        self.queue.len() + usize::from(self.busy.is_some())
+    }
+}
+
+/// Per-service runtime state.
+struct ServiceRt {
+    pods: Vec<Pod>,
+    /// Replicas the autoscaler wants.
+    desired: u32,
+    /// Pods allocated vCPUs and starting up (PodReady scheduled).
+    starting: u32,
+    /// Pods waiting for vCPUs.
+    pending_unscheduled: u32,
+    // --- per-window accumulators ---
+    busy_ns: u64,
+    queuing_delay_ns: u64,
+    started_calls: u64,
+    dropped_calls: u64,
+    /// Integral of ready-pod count over the window (pod·ns).
+    alive_integral_ns: u64,
+    alive_last_change: SimTime,
+}
+
+impl ServiceRt {
+    fn ready_pods(&self) -> u32 {
+        self.pods.iter().filter(|p| p.is_ready()).count() as u32
+    }
+
+    /// Pods that exist or are being created (the HPA's "current").
+    fn spec_pods(&self) -> u32 {
+        self.pods
+            .iter()
+            .filter(|p| p.phase != PodPhase::Removed)
+            .count() as u32
+            + self.starting
+            + self.pending_unscheduled
+    }
+
+    fn accumulate_alive(&mut self, now: SimTime) {
+        let ready = u64::from(self.ready_pods());
+        let dt = now.duration_since(self.alive_last_change).as_nanos();
+        self.alive_integral_ns += ready * dt;
+        self.alive_last_change = now;
+    }
+}
+
+/// Flattened call-tree node of a live request.
+#[derive(Clone, Debug)]
+struct NodeRt {
+    service: ServiceId,
+    cost: SimDuration,
+    parent: Option<u32>,
+    children: Vec<u32>,
+    /// Children still running (counts down to completion).
+    pending: u32,
+}
+
+/// A live request.
+struct RequestRt {
+    meta: RequestMeta,
+    user: Option<UserRef>,
+    nodes: Vec<NodeRt>,
+}
+
+/// Per-API per-window metric accumulators.
+#[derive(Clone)]
+struct ApiAccum {
+    offered: u64,
+    admitted: u64,
+    good: u64,
+    slo_violated: u64,
+    failed: u64,
+    latencies: LatencyHistogram,
+}
+
+impl ApiAccum {
+    fn new() -> Self {
+        ApiAccum {
+            offered: 0,
+            admitted: 0,
+            good: 0,
+            slo_violated: 0,
+            failed: 0,
+            latencies: LatencyHistogram::new(),
+        }
+    }
+
+    fn reset(&mut self) {
+        *self = ApiAccum::new();
+    }
+}
+
+/// Cumulative per-API counters over the whole run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ApiTotals {
+    pub offered: u64,
+    pub admitted: u64,
+    pub good: u64,
+    pub slo_violated: u64,
+    pub failed: u64,
+    pub rejected_entry: u64,
+}
+
+enum Ev {
+    Arrival(Arrival),
+    /// A call travelling to `svc`. Service and cost are embedded so the
+    /// call still executes (as wasted work) when its request has already
+    /// failed elsewhere in the tree — an in-flight RPC fan-out does not
+    /// recall sub-requests that were already sent.
+    CallArrive {
+        req: u64,
+        node: u32,
+        svc: ServiceId,
+        cost: SimDuration,
+    },
+    PodDone { svc: ServiceId, pod: u32, epoch: u64 },
+    NodeJoin { req: u64, node: u32 },
+    MetricsTick,
+    WorkloadTick,
+    ClientTimeout { user: UserRef },
+    /// A starting pod of `svc` became ready.
+    PodReady { svc: ServiceId },
+    /// A crashed pod restarts.
+    PodRestart { svc: ServiceId, pod: u32, epoch: u64 },
+    VmReady,
+    InjectFailure(usize),
+}
+
+/// The cluster engine. See module docs.
+pub struct Engine {
+    topo: Topology,
+    cfg: EngineConfig,
+    queue: EventQueue<Ev>,
+    /// Clock floor: `run_until` advances this beyond the last event.
+    now_floor: SimTime,
+    services: Vec<ServiceRt>,
+    gateway: Gateway,
+    workload: Box<dyn Workload>,
+    admission: Option<Box<dyn AdmissionControl>>,
+    hpa: Option<Hpa>,
+    vm_pool: VmPool,
+    failures: Vec<FailureSpec>,
+    requests: HashMap<u64, RequestRt>,
+    next_req_id: u64,
+    rng: SmallRng,
+    api_accums: Vec<ApiAccum>,
+    api_totals: Vec<ApiTotals>,
+    window_start: SimTime,
+    latest_obs: Option<ClusterObservation>,
+    api_paths: Vec<Vec<ServiceId>>,
+    tracer: Option<TraceCollector>,
+    /// Services whose pods crashed at least once (for assertions in tests
+    /// and experiment reporting).
+    pub crash_events: u64,
+}
+
+impl Engine {
+    /// Build an engine over `topo`, driven by `workload`.
+    pub fn new(topo: Topology, cfg: EngineConfig, workload: Box<dyn Workload>) -> Self {
+        let mut vm_pool = VmPool::new(VmPoolConfig {
+            // Effectively unlimited until `set_vm_pool` is called.
+            vcpus_per_vm: u32::MAX / 2,
+            initial_vms: 1,
+            max_vms: 1,
+            vm_startup: SimDuration::from_secs(40),
+            vcpus_per_pod: 1.0,
+        });
+        let services: Vec<ServiceRt> = topo
+            .services()
+            .map(|(_, spec)| {
+                let pods = (0..spec.replicas).map(|_| Pod::fresh()).collect();
+                for _ in 0..spec.replicas {
+                    let ok = vm_pool.try_allocate_pod();
+                    debug_assert!(ok, "initial pods exceed VM pool");
+                }
+                ServiceRt {
+                    pods,
+                    desired: spec.replicas,
+                    starting: 0,
+                    pending_unscheduled: 0,
+                    busy_ns: 0,
+                    queuing_delay_ns: 0,
+                    started_calls: 0,
+                    dropped_calls: 0,
+                    alive_integral_ns: 0,
+                    alive_last_change: SimTime::ZERO,
+                }
+            })
+            .collect();
+        let num_apis = topo.num_apis();
+        let api_paths = topo.api_service_map();
+        let tracer = cfg
+            .learn_paths
+            .then(|| TraceCollector::new(num_apis, cfg.trace_window));
+        let rng = simnet::rng::fork(cfg.seed, "engine");
+        let mut queue = EventQueue::new();
+        queue.schedule(SimTime::ZERO, Ev::WorkloadTick);
+        queue.schedule(SimTime::ZERO + cfg.control_interval, Ev::MetricsTick);
+        Engine {
+            gateway: Gateway::new(num_apis, cfg.gateway_burst_secs),
+            topo,
+            cfg,
+            queue,
+            now_floor: SimTime::ZERO,
+            services,
+            workload,
+            admission: None,
+            hpa: None,
+            vm_pool,
+            failures: Vec::new(),
+            requests: HashMap::new(),
+            next_req_id: 0,
+            rng,
+            api_accums: vec![ApiAccum::new(); num_apis],
+            api_totals: vec![ApiTotals::default(); num_apis],
+            window_start: SimTime::ZERO,
+            latest_obs: None,
+            api_paths,
+            tracer,
+            crash_events: 0,
+        }
+    }
+
+    /// The tracing collector, when `learn_paths` is enabled.
+    pub fn trace_collector(&self) -> Option<&TraceCollector> {
+        self.tracer.as_ref()
+    }
+
+    /// Install a per-service admission controller (DAGOR, Breakwater).
+    pub fn set_admission(&mut self, a: Box<dyn AdmissionControl>) {
+        self.admission = Some(a);
+    }
+
+    /// Enable the HPA over all services, flooring at current replicas.
+    pub fn enable_hpa(&mut self, cfg: HpaConfig) {
+        let mins: Vec<u32> = self.topo.services().map(|(_, s)| s.replicas).collect();
+        self.hpa = Some(Hpa::new(cfg, mins));
+    }
+
+    /// Constrain the cluster to a finite VM pool (enables Fig. 19-style
+    /// VM-provisioning delays). Panics if current pods don't fit.
+    pub fn set_vm_pool(&mut self, cfg: VmPoolConfig) {
+        let mut pool = VmPool::new(cfg);
+        let total_pods: u32 = self.services.iter().map(|s| s.spec_pods()).sum();
+        for _ in 0..total_pods {
+            assert!(
+                pool.try_allocate_pod(),
+                "initial pods exceed configured VM pool"
+            );
+        }
+        self.vm_pool = pool;
+    }
+
+    /// Schedule pod-kill failures.
+    pub fn inject_failures(&mut self, specs: Vec<FailureSpec>) {
+        for spec in specs {
+            let idx = self.failures.len();
+            self.failures.push(spec);
+            self.queue.schedule(spec.at.max(self.now()), Ev::InjectFailure(idx));
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now().max(self.now_floor)
+    }
+
+    /// The topology under simulation.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Latest finalized observation window, if one has completed.
+    pub fn latest_observation(&self) -> Option<&ClusterObservation> {
+        self.latest_obs.as_ref()
+    }
+
+    /// Set the entry rate limit for `api` (requests/s; infinity = none).
+    pub fn set_rate_limit(&mut self, api: ApiId, rate: f64) {
+        let now = self.now();
+        self.gateway.set_rate_limit(api, rate, now);
+    }
+
+    /// Current entry rate limit for `api`.
+    pub fn rate_limit(&self, api: ApiId) -> f64 {
+        self.gateway.rate_limit(api)
+    }
+
+    /// Ready pods of a service.
+    pub fn ready_pods(&self, svc: ServiceId) -> u32 {
+        self.services[svc.idx()].ready_pods()
+    }
+
+    /// vCPUs currently allocated across the cluster.
+    pub fn vcpus_used(&self) -> f64 {
+        self.vm_pool.used()
+    }
+
+    /// Running VM count.
+    pub fn vms(&self) -> u32 {
+        self.vm_pool.vms()
+    }
+
+    /// Cumulative per-API counters since the start of the run.
+    pub fn api_totals(&self, api: ApiId) -> ApiTotals {
+        self.api_totals[api.idx()]
+    }
+
+    /// Events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.queue.events_processed()
+    }
+
+    /// Immediately bring a service to `total` *ready* pods (experiment
+    /// hook emulating an allocation that already completed, e.g. Fig. 16
+    /// pre-provisioning or a specialization-training scale-up). Growth
+    /// stops early if the VM pool is exhausted; shrinking is not done
+    /// here (use the autoscaler for graceful scale-down).
+    pub fn grow_service(&mut self, sid: ServiceId, total: u32) {
+        let now = self.now();
+        self.services[sid.idx()].desired = self.services[sid.idx()].desired.max(total);
+        while self.services[sid.idx()].ready_pods() < total {
+            if !self.vm_pool.try_allocate_pod() {
+                break;
+            }
+            let svc = &mut self.services[sid.idx()];
+            svc.accumulate_alive(now);
+            if let Some(p) = svc.pods.iter_mut().find(|p| p.phase == PodPhase::Removed) {
+                p.phase = PodPhase::Ready;
+                p.epoch += 1;
+                p.saturated_probes = 0;
+                p.queue.clear();
+                p.busy = None;
+            } else {
+                svc.pods.push(Pod::fresh());
+            }
+        }
+    }
+
+    /// Run the simulation up to (and including) time `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some((at, ev)) = self.queue.pop_until(t) {
+            self.handle(at, ev);
+        }
+        self.now_floor = self.now_floor.max(t);
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Arrival(a) => self.on_arrival(now, a),
+            Ev::CallArrive {
+                req,
+                node,
+                svc,
+                cost,
+            } => self.on_call_arrive(now, req, node, svc, cost),
+            Ev::PodDone { svc, pod, epoch } => self.on_pod_done(now, svc, pod, epoch),
+            Ev::NodeJoin { req, node } => self.on_node_complete(now, req, node),
+            Ev::MetricsTick => self.on_metrics_tick(now),
+            Ev::WorkloadTick => self.on_workload_tick(now),
+            Ev::ClientTimeout { user } => self.on_client_timeout(now, user),
+            Ev::PodReady { svc } => self.on_pod_ready(now, svc),
+            Ev::PodRestart { svc, pod, epoch } => self.on_pod_restart(now, svc, pod, epoch),
+            Ev::VmReady => self.on_vm_ready(now),
+            Ev::InjectFailure(i) => self.on_inject_failure(now, i),
+        }
+    }
+
+    fn schedule_arrivals(&mut self, now: SimTime, arrivals: Vec<Arrival>) {
+        for a in arrivals {
+            let at = a.at.max(now);
+            self.queue.schedule(at, Ev::Arrival(Arrival { at, ..a }));
+            if let Some(user) = a.user {
+                if let Some(t) = self.workload.client_timeout() {
+                    self.queue.schedule(at + t, Ev::ClientTimeout { user });
+                }
+            }
+        }
+    }
+
+    fn on_workload_tick(&mut self, now: SimTime) {
+        let arrivals = self.workload.on_tick(now, &mut self.rng);
+        self.schedule_arrivals(now, arrivals);
+        let next = now + self.workload.tick_interval();
+        self.queue.schedule(next, Ev::WorkloadTick);
+    }
+
+    fn on_arrival(&mut self, now: SimTime, a: Arrival) {
+        let acc = &mut self.api_accums[a.api.idx()];
+        acc.offered += 1;
+        self.api_totals[a.api.idx()].offered += 1;
+        if !self.gateway.try_admit(a.api, now) {
+            self.api_totals[a.api.idx()].rejected_entry += 1;
+            self.notify_response(now, a.user, ResponseKind::Failed);
+            return;
+        }
+        self.api_accums[a.api.idx()].admitted += 1;
+        self.api_totals[a.api.idx()].admitted += 1;
+
+        // Materialize the request: sample an execution path, flatten it.
+        let spec = self.topo.api(a.api);
+        let path_idx = sample_weighted(&spec.paths, &mut self.rng);
+        let mut nodes = Vec::with_capacity(spec.paths[path_idx].1.len());
+        flatten(&spec.paths[path_idx].1, None, &mut nodes);
+        let meta = RequestMeta {
+            api: a.api,
+            business: spec.business,
+            user: self.rng.gen_range(0..=127),
+            arrival: now,
+        };
+        let id = self.next_req_id;
+        self.next_req_id += 1;
+        self.requests.insert(
+            id,
+            RequestRt {
+                meta,
+                user: a.user,
+                nodes,
+            },
+        );
+        self.dispatch_call(now, id, 0);
+    }
+
+    /// Dispatch the call for `node` of request `req`: consult admission
+    /// (the upstream checks the downstream's advertised threshold before
+    /// sending) and, if admitted, deliver after one hop of latency.
+    fn dispatch_call(&mut self, now: SimTime, req: u64, node: u32) {
+        let Some(r) = self.requests.get(&req) else {
+            return;
+        };
+        let svc = r.nodes[node as usize].service;
+        let cost = r.nodes[node as usize].cost;
+        let meta = r.meta;
+        if let Some(adm) = self.admission.as_mut() {
+            if !adm.admit(svc, &meta, now) {
+                self.services[svc.idx()].dropped_calls += 1;
+                self.fail_request(now, req, RequestOutcome::RejectedAtService(svc));
+                return;
+            }
+        }
+        self.queue.schedule(
+            now + self.cfg.hop_latency,
+            Ev::CallArrive {
+                req,
+                node,
+                svc,
+                cost,
+            },
+        );
+    }
+
+    fn on_call_arrive(
+        &mut self,
+        now: SimTime,
+        req: u64,
+        node: u32,
+        svc_id: ServiceId,
+        cost: SimDuration,
+    ) {
+        // The request may have failed elsewhere already; the call still
+        // arrives and consumes capacity (wasted work).
+        let request_alive = self.requests.contains_key(&req);
+        let spec_q = self.topo.service(svc_id).queue_capacity as usize;
+        let svc = &mut self.services[svc_id.idx()];
+        // Shortest-queue dispatch across ready pods.
+        let pod_idx = svc
+            .pods
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_ready())
+            .min_by_key(|(i, p)| (p.load(), *i))
+            .map(|(i, _)| i);
+        let Some(pi) = pod_idx else {
+            // No pod alive: the request fails here.
+            svc.dropped_calls += 1;
+            if request_alive {
+                self.fail_request(now, req, RequestOutcome::PodCrashed(svc_id));
+            }
+            return;
+        };
+        if svc.pods[pi].queue.len() >= spec_q {
+            svc.dropped_calls += 1;
+            if request_alive {
+                self.fail_request(now, req, RequestOutcome::QueueOverflow(svc_id));
+            }
+            return;
+        }
+        svc.pods[pi].queue.push_back(QueuedCall {
+            req,
+            node,
+            cost,
+            enqueued: now,
+        });
+        if svc.pods[pi].busy.is_none() {
+            self.start_processing(now, svc_id, pi);
+        }
+    }
+
+    fn start_processing(&mut self, now: SimTime, svc_id: ServiceId, pod: usize) {
+        let speed = self.topo.service(svc_id).pod_speed;
+        let jitter = self.sample_jitter();
+        let svc = &mut self.services[svc_id.idx()];
+        let Some(call) = svc.pods[pod].queue.pop_front() else {
+            return;
+        };
+        svc.queuing_delay_ns += now.duration_since(call.enqueued).as_nanos();
+        svc.started_calls += 1;
+        let proc = call.cost.mul_f64(jitter / speed).max(SimDuration::from_nanos(1));
+        let done_at = now + proc;
+        svc.pods[pod].busy = Some(InFlight {
+            req: call.req,
+            node: call.node,
+            started: now,
+            done_at,
+        });
+        let epoch = svc.pods[pod].epoch;
+        self.queue.schedule(
+            done_at,
+            Ev::PodDone {
+                svc: svc_id,
+                pod: pod as u32,
+                epoch,
+            },
+        );
+    }
+
+    fn sample_jitter(&mut self) -> f64 {
+        let sigma = self.cfg.service_jitter;
+        if sigma <= 0.0 {
+            return 1.0;
+        }
+        // Mean-preserving log-normal: E[exp(N(-σ²/2, σ²))] = 1.
+        let ln = LogNormal::new(-sigma * sigma / 2.0, sigma).expect("valid lognormal");
+        ln.sample(&mut self.rng)
+    }
+
+    fn on_pod_done(&mut self, now: SimTime, svc_id: ServiceId, pod: u32, epoch: u64) {
+        let svc = &mut self.services[svc_id.idx()];
+        let p = &mut svc.pods[pod as usize];
+        if p.epoch != epoch || !p.is_ready() {
+            return; // stale completion from before a crash
+        }
+        let Some(fl) = p.busy.take() else {
+            return;
+        };
+        debug_assert_eq!(fl.done_at, now, "PodDone at wrong time");
+        // Busy-time accounting within the current window.
+        let win_start = self.window_start;
+        svc.busy_ns += now.duration_since(fl.started.max(win_start)).as_nanos();
+        // Next queued call starts immediately.
+        if !svc.pods[pod as usize].queue.is_empty() {
+            self.start_processing(now, svc_id, pod as usize);
+        }
+        // Emit the span to the tracing collector.
+        if let Some(tracer) = self.tracer.as_mut() {
+            if let Some(r) = self.requests.get(&fl.req) {
+                let parent = r.nodes[fl.node as usize]
+                    .parent
+                    .map(|p| r.nodes[p as usize].service);
+                tracer.record(Span {
+                    request: fl.req,
+                    api: r.meta.api,
+                    service: svc_id,
+                    parent,
+                    start: fl.started,
+                    end: now,
+                });
+            }
+        }
+        // Propagate completion of this node's processing.
+        self.on_node_processed(now, fl.req, fl.node);
+    }
+
+    /// A node finished its CPU work: dispatch its children, or complete.
+    fn on_node_processed(&mut self, now: SimTime, req: u64, node: u32) {
+        let Some(r) = self.requests.get_mut(&req) else {
+            return;
+        };
+        let children = r.nodes[node as usize].children.clone();
+        if children.is_empty() {
+            self.on_node_complete(now, req, node);
+        } else {
+            r.nodes[node as usize].pending = children.len() as u32;
+            for c in children {
+                self.dispatch_call(now, req, c);
+                // A child dispatch can fail the whole request (admission
+                // rejection); stop dispatching the rest if so.
+                if !self.requests.contains_key(&req) {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// A node's subtree fully completed (processing + all children).
+    fn on_node_complete(&mut self, now: SimTime, req: u64, node: u32) {
+        let Some(r) = self.requests.get_mut(&req) else {
+            return;
+        };
+        match r.nodes[node as usize].parent {
+            None => self.complete_request(now, req),
+            Some(parent) => {
+                let pn = &mut r.nodes[parent as usize];
+                debug_assert!(pn.pending > 0, "join underflow");
+                pn.pending -= 1;
+                if pn.pending == 0 {
+                    // The parent's response travels one hop back.
+                    self.queue.schedule(
+                        now + self.cfg.hop_latency,
+                        Ev::NodeJoin { req, node: parent },
+                    );
+                }
+            }
+        }
+    }
+
+    fn complete_request(&mut self, now: SimTime, req: u64) {
+        let Some(r) = self.requests.remove(&req) else {
+            return;
+        };
+        let api = r.meta.api;
+        let latency = now.duration_since(r.meta.arrival);
+        let acc = &mut self.api_accums[api.idx()];
+        acc.latencies.record(latency);
+        let kind = if latency <= self.cfg.slo {
+            acc.good += 1;
+            self.api_totals[api.idx()].good += 1;
+            ResponseKind::Success
+        } else {
+            acc.slo_violated += 1;
+            self.api_totals[api.idx()].slo_violated += 1;
+            ResponseKind::Late
+        };
+        self.notify_response(now, r.user, kind);
+    }
+
+    fn fail_request(&mut self, now: SimTime, req: u64, _outcome: RequestOutcome) {
+        let Some(r) = self.requests.remove(&req) else {
+            return;
+        };
+        let api = r.meta.api;
+        self.api_accums[api.idx()].failed += 1;
+        self.api_totals[api.idx()].failed += 1;
+        self.notify_response(now, r.user, ResponseKind::Failed);
+    }
+
+    fn notify_response(&mut self, now: SimTime, user: Option<UserRef>, kind: ResponseKind) {
+        if let Some(u) = user {
+            let follow = self.workload.on_response(u, kind, now, &mut self.rng);
+            self.schedule_arrivals(now, follow);
+        }
+    }
+
+    fn on_client_timeout(&mut self, now: SimTime, user: UserRef) {
+        // The workload ignores stale generations internally, so this is
+        // safe to fire unconditionally.
+        let follow = self
+            .workload
+            .on_response(user, ResponseKind::Timeout, now, &mut self.rng);
+        self.schedule_arrivals(now, follow);
+    }
+
+    // ------------------------------------------------------------------
+    // Metrics, autoscaling, probes
+    // ------------------------------------------------------------------
+
+    fn on_metrics_tick(&mut self, now: SimTime) {
+        let obs = self.finalize_window(now);
+        // Admission controllers update their thresholds on fresh metrics.
+        if let Some(adm) = self.admission.as_mut() {
+            adm.on_interval(&obs);
+        }
+        // Crash-loop probes.
+        self.run_probes(now);
+        // HPA sync on its own cadence (evaluated at metric ticks).
+        self.run_hpa(now, &obs);
+        self.latest_obs = Some(obs);
+        self.queue
+            .schedule(now + self.cfg.control_interval, Ev::MetricsTick);
+    }
+
+    fn finalize_window(&mut self, now: SimTime) -> ClusterObservation {
+        let window = now.duration_since(self.window_start);
+        let window_ns = window.as_nanos().max(1);
+        let mut services = Vec::with_capacity(self.services.len());
+        for (i, svc) in self.services.iter_mut().enumerate() {
+            svc.accumulate_alive(now);
+            // Credit partial busy time of in-flight calls to this window.
+            let mut busy = svc.busy_ns;
+            for p in &svc.pods {
+                if let Some(fl) = p.busy {
+                    busy += now.duration_since(fl.started.max(self.window_start)).as_nanos();
+                }
+            }
+            let denom = svc.alive_integral_ns;
+            let queue_len: u64 = svc.pods.iter().map(|p| p.queue.len() as u64).sum();
+            let utilization = if denom > 0 {
+                (busy as f64 / denom as f64).min(1.0)
+            } else if queue_len > 0 || svc.dropped_calls > 0 {
+                1.0 // all pods down with work arriving: fully overloaded
+            } else {
+                0.0
+            };
+            let mean_qd = svc
+                .queuing_delay_ns
+                .checked_div(svc.started_calls)
+                .map_or(SimDuration::ZERO, SimDuration::from_nanos);
+            let sid = ServiceId(i as u32);
+            services.push(ServiceWindow {
+                service: sid,
+                name: self.topo.service(sid).name.clone(),
+                utilization,
+                alive_pods: svc.ready_pods(),
+                desired_pods: svc.desired,
+                queue_len,
+                mean_queuing_delay: mean_qd,
+                started_calls: svc.started_calls,
+                dropped_calls: svc.dropped_calls,
+            });
+            // Reset window accumulators.
+            svc.busy_ns = 0;
+            svc.queuing_delay_ns = 0;
+            svc.started_calls = 0;
+            svc.dropped_calls = 0;
+            svc.alive_integral_ns = 0;
+            svc.alive_last_change = now;
+        }
+        let secs = window_ns as f64 / 1e9;
+        let mut apis = Vec::with_capacity(self.api_accums.len());
+        for (i, acc) in self.api_accums.iter_mut().enumerate() {
+            let aid = ApiId(i as u32);
+            let spec = self.topo.api(aid);
+            apis.push(ApiWindow {
+                api: aid,
+                name: spec.name.clone(),
+                business: spec.business,
+                offered: acc.offered as f64 / secs,
+                admitted: acc.admitted as f64 / secs,
+                goodput: acc.good as f64 / secs,
+                slo_violated: acc.slo_violated as f64 / secs,
+                failed: acc.failed as f64 / secs,
+                p50: acc.latencies.quantile(0.50),
+                p95: acc.latencies.quantile(0.95),
+                p99: acc.latencies.quantile(0.99),
+                rate_limit: self.gateway.rate_limit(aid),
+            });
+            acc.reset();
+        }
+        self.window_start = now;
+        let api_paths = match self.tracer.as_mut() {
+            Some(tr) => {
+                tr.compact(now);
+                tr.learned_paths(now)
+            }
+            None => self.api_paths.clone(),
+        };
+        ClusterObservation {
+            now,
+            window,
+            services,
+            apis,
+            api_paths,
+            slo: self.cfg.slo,
+        }
+    }
+
+    fn run_probes(&mut self, now: SimTime) {
+        let crash = self.cfg.crash;
+        for i in 0..self.services.len() {
+            let sid = ServiceId(i as u32);
+            if !self.topo.service(sid).crash_on_overload {
+                continue;
+            }
+            let cap = self.topo.service(sid).queue_capacity as f64;
+            let threshold = (cap * crash.saturation_fraction) as usize;
+            for pi in 0..self.services[i].pods.len() {
+                let pod = &mut self.services[i].pods[pi];
+                if !pod.is_ready() {
+                    continue;
+                }
+                if pod.queue.len() >= threshold.max(1) {
+                    pod.saturated_probes += 1;
+                } else {
+                    if pod.saturated_probes == 0 && pod.crash_count > 0 {
+                        // A healthy probe streak decays the backoff.
+                        pod.crash_count -= 1;
+                    }
+                    pod.saturated_probes = 0;
+                }
+                if pod.saturated_probes >= crash.probes_to_crash {
+                    // Exponential CrashLoopBackOff, capped at 32x.
+                    let backoff = crash
+                        .restart_delay
+                        .mul_f64(f64::from(1u32 << pod.crash_count.min(5)));
+                    self.crash_pod(now, sid, pi, backoff);
+                }
+            }
+        }
+    }
+
+    /// Crash a pod: lose its backlog and in-flight call, restart later.
+    fn crash_pod(&mut self, now: SimTime, sid: ServiceId, pod: usize, restart: SimDuration) {
+        self.crash_events += 1;
+        let svc = &mut self.services[sid.idx()];
+        svc.accumulate_alive(now);
+        let p = &mut svc.pods[pod];
+        // Credit busy time up to the crash.
+        if let Some(fl) = p.busy.take() {
+            let win_start = self.window_start;
+            svc.busy_ns += now.duration_since(fl.started.max(win_start)).as_nanos();
+            let req = fl.req;
+            svc.dropped_calls += 1;
+            self.fail_request(now, req, RequestOutcome::PodCrashed(sid));
+        }
+        let svc = &mut self.services[sid.idx()];
+        let p = &mut svc.pods[pod];
+        let dropped: Vec<u64> = p.queue.drain(..).map(|c| c.req).collect();
+        svc.dropped_calls += dropped.len() as u64;
+        p.phase = PodPhase::Down;
+        p.epoch += 1;
+        p.saturated_probes = 0;
+        p.crash_count = p.crash_count.saturating_add(1);
+        let epoch = p.epoch;
+        for req in dropped {
+            self.fail_request(now, req, RequestOutcome::PodCrashed(sid));
+        }
+        self.queue.schedule(
+            now + restart,
+            Ev::PodRestart {
+                svc: sid,
+                pod: pod as u32,
+                epoch,
+            },
+        );
+    }
+
+    fn on_pod_restart(&mut self, now: SimTime, sid: ServiceId, pod: u32, epoch: u64) {
+        let svc = &mut self.services[sid.idx()];
+        if svc.pods[pod as usize].epoch != epoch
+            || svc.pods[pod as usize].phase != PodPhase::Down
+        {
+            return;
+        }
+        svc.accumulate_alive(now);
+        let p = &mut svc.pods[pod as usize];
+        p.phase = PodPhase::Ready;
+        p.saturated_probes = 0;
+    }
+
+    fn run_hpa(&mut self, now: SimTime, obs: &ClusterObservation) {
+        let Some(hpa) = self.hpa.as_mut() else {
+            return;
+        };
+        if !hpa.sync_due(now) {
+            return;
+        }
+        let per_service: Vec<(f64, u32)> = self
+            .services
+            .iter()
+            .zip(obs.services.iter())
+            .map(|(rt, w)| (w.utilization, rt.spec_pods()))
+            .collect();
+        let changes = hpa.sync(now, &per_service);
+        for (sid, desired) in changes {
+            self.scale_service(now, sid, desired);
+        }
+    }
+
+    /// Reconcile a service to `desired` replicas.
+    fn scale_service(&mut self, now: SimTime, sid: ServiceId, desired: u32) {
+        let current = self.services[sid.idx()].spec_pods();
+        self.services[sid.idx()].desired = desired;
+        if desired > current {
+            let add = desired - current;
+            for _ in 0..add {
+                self.create_pod(now, sid);
+            }
+        } else if desired < current {
+            let mut remove = current - desired;
+            let svc = &mut self.services[sid.idx()];
+            // Drop unscheduled pending first (they cost nothing).
+            let from_pending = remove.min(svc.pending_unscheduled);
+            svc.pending_unscheduled -= from_pending;
+            remove -= from_pending;
+            // Then remove idle ready pods; busy pods are left until a
+            // later sync finds them idle (a simple graceful drain).
+            if remove > 0 {
+                svc.accumulate_alive(now);
+                let mut removed = 0;
+                for p in svc.pods.iter_mut() {
+                    if removed == remove {
+                        break;
+                    }
+                    if p.is_ready() && p.busy.is_none() && p.queue.is_empty() {
+                        p.phase = PodPhase::Removed;
+                        p.epoch += 1;
+                        removed += 1;
+                    }
+                }
+                for _ in 0..removed {
+                    self.vm_pool.release_pod();
+                }
+            }
+        }
+    }
+
+    /// Begin creating one pod: allocate vCPUs now if possible, else queue
+    /// it as unscheduled and ask the VM pool to provision.
+    fn create_pod(&mut self, now: SimTime, sid: ServiceId) {
+        if self.vm_pool.try_allocate_pod() {
+            self.services[sid.idx()].starting += 1;
+            self.queue
+                .schedule(now + self.cfg.pod_startup, Ev::PodReady { svc: sid });
+        } else {
+            self.services[sid.idx()].pending_unscheduled += 1;
+            let pending: u32 = self
+                .services
+                .iter()
+                .map(|s| s.pending_unscheduled)
+                .sum();
+            let vms = self.vm_pool.provision_for(pending);
+            let startup = self.vm_pool.config.vm_startup;
+            for _ in 0..vms {
+                self.queue.schedule(now + startup, Ev::VmReady);
+            }
+        }
+    }
+
+    fn on_pod_ready(&mut self, now: SimTime, sid: ServiceId) {
+        let svc = &mut self.services[sid.idx()];
+        if svc.starting == 0 {
+            return;
+        }
+        svc.starting -= 1;
+        svc.accumulate_alive(now);
+        // Reuse a Removed slot if present, else grow.
+        if let Some(p) = svc.pods.iter_mut().find(|p| p.phase == PodPhase::Removed) {
+            p.phase = PodPhase::Ready;
+            p.epoch += 1;
+            p.saturated_probes = 0;
+            p.queue.clear();
+            p.busy = None;
+        } else {
+            svc.pods.push(Pod::fresh());
+        }
+    }
+
+    fn on_vm_ready(&mut self, now: SimTime) {
+        self.vm_pool.vm_ready();
+        // Schedule unscheduled pods FIFO across services (by id).
+        for i in 0..self.services.len() {
+            while self.services[i].pending_unscheduled > 0 && self.vm_pool.try_allocate_pod() {
+                self.services[i].pending_unscheduled -= 1;
+                self.services[i].starting += 1;
+                let sid = ServiceId(i as u32);
+                self.queue
+                    .schedule(now + self.cfg.pod_startup, Ev::PodReady { svc: sid });
+            }
+        }
+    }
+
+    fn on_inject_failure(&mut self, now: SimTime, idx: usize) {
+        let spec = self.failures[idx];
+        let sid = spec.service;
+        // Kill up to `spec.pods` ready pods (k8s will recreate them to
+        // maintain the desired count, after pod startup).
+        let mut killed = 0;
+        for pi in 0..self.services[sid.idx()].pods.len() {
+            if killed == spec.pods {
+                break;
+            }
+            if self.services[sid.idx()].pods[pi].is_ready() {
+                // Reuse the crash path for teardown, then convert the pod
+                // into a permanent tombstone replaced via create_pod.
+                self.crash_pod(now, sid, pi, SimDuration::from_secs(3600));
+                let svc = &mut self.services[sid.idx()];
+                svc.pods[pi].phase = PodPhase::Removed;
+                svc.pods[pi].epoch += 1;
+                self.vm_pool.release_pod();
+                killed += 1;
+            }
+        }
+        for _ in 0..killed {
+            self.create_pod(now, sid);
+        }
+    }
+}
+
+/// Flatten a call tree into `NodeRt`s, parents before children.
+fn flatten(node: &CallNode, parent: Option<u32>, out: &mut Vec<NodeRt>) {
+    let idx = out.len() as u32;
+    out.push(NodeRt {
+        service: node.service,
+        cost: node.cost,
+        parent,
+        children: Vec::with_capacity(node.children.len()),
+        pending: 0,
+    });
+    for c in &node.children {
+        let child_idx = out.len() as u32;
+        out[idx as usize].children.push(child_idx);
+        flatten(c, Some(idx), out);
+    }
+}
+
+/// Sample an index from weighted `(weight, _)` pairs.
+fn sample_weighted<T>(items: &[(f64, T)], rng: &mut SmallRng) -> usize {
+    if items.len() == 1 {
+        return 0;
+    }
+    let total: f64 = items.iter().map(|(w, _)| w.max(0.0)).sum();
+    if total <= 0.0 {
+        return 0;
+    }
+    let mut x = rng.gen::<f64>() * total;
+    for (i, (w, _)) in items.iter().enumerate() {
+        x -= w.max(0.0);
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    items.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{ApiSpec, ServiceSpec};
+    use crate::workload::OpenLoopWorkload;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+
+    /// One service, one API: pod capacity = 1/cost per pod.
+    fn tiny_topo(replicas: u32, cost_ms: u64) -> (Topology, ApiId, ServiceId) {
+        let mut t = Topology::new("tiny");
+        let s = t.add_service(ServiceSpec::new("s", replicas));
+        let api = t.add_api(ApiSpec::single("api", CallNode::leaf(s, ms(cost_ms))));
+        (t, api, s)
+    }
+
+    fn run(topo: Topology, rate: f64, secs: u64) -> Engine {
+        let apis: Vec<ApiId> = topo.apis().map(|(id, _)| id).collect();
+        let w = OpenLoopWorkload::constant(apis.into_iter().map(|a| (a, rate)).collect());
+        let mut e = Engine::new(
+            topo,
+            EngineConfig {
+                service_jitter: 0.0,
+                ..EngineConfig::default()
+            },
+            Box::new(w),
+        );
+        e.run_until(SimTime::from_secs(secs));
+        e
+    }
+
+    #[test]
+    fn underloaded_service_serves_everything() {
+        // 2 pods × 10ms cost = 200 rps capacity; offer 50 rps.
+        let (topo, api, _) = tiny_topo(2, 10);
+        let e = run(topo, 50.0, 20);
+        let t = e.api_totals(api);
+        assert!(t.offered > 800, "Poisson 50rps × 20s ≈ 1000, got {}", t.offered);
+        assert_eq!(t.good + t.slo_violated + t.failed, t.admitted);
+        assert_eq!(t.failed, 0);
+        assert_eq!(t.slo_violated, 0, "underloaded: everything within SLO");
+        assert_eq!(t.good, t.offered, "no entry limiter installed");
+    }
+
+    #[test]
+    fn overloaded_service_saturates_at_capacity() {
+        // 1 pod × 10ms = 100 rps capacity; offer 300 rps.
+        let (topo, api, s) = tiny_topo(1, 10);
+        let mut e = run(topo, 300.0, 30);
+        let t = e.api_totals(api);
+        // Goodput can't exceed capacity; most excess violates SLO or drops.
+        let good_rate = t.good as f64 / 30.0;
+        assert!(good_rate <= 110.0, "goodput {good_rate} > capacity");
+        assert!(
+            t.slo_violated + t.failed > 0,
+            "overload must violate SLOs or drop"
+        );
+        // Utilization reported as saturated.
+        e.run_until(SimTime::from_secs(31));
+        let obs = e.latest_observation().unwrap();
+        assert!(obs.service(s).utilization > 0.95);
+    }
+
+    #[test]
+    fn entry_rate_limit_caps_admission() {
+        let (topo, api, _) = tiny_topo(1, 10);
+        let apis = vec![(api, 300.0)];
+        let w = OpenLoopWorkload::constant(apis);
+        let mut e = Engine::new(
+            topo,
+            EngineConfig {
+                service_jitter: 0.0,
+                ..EngineConfig::default()
+            },
+            Box::new(w),
+        );
+        e.set_rate_limit(api, 80.0);
+        e.run_until(SimTime::from_secs(30));
+        let t = e.api_totals(api);
+        let admitted_rate = t.admitted as f64 / 30.0;
+        assert!(
+            (70.0..=90.0).contains(&admitted_rate),
+            "admitted {admitted_rate} ≈ 80 rps"
+        );
+        // A few requests may still be in flight at the horizon.
+        assert!(
+            t.admitted - t.good <= 3,
+            "admitted load is within capacity: good={} admitted={}",
+            t.good,
+            t.admitted
+        );
+        assert!(t.rejected_entry > 0);
+    }
+
+    #[test]
+    fn latency_composes_along_call_tree() {
+        // frontend(5ms) → backend(10ms): e2e ≈ 5+10 + 4 hops×0.5ms ≈ 17ms.
+        let mut topo = Topology::new("chain");
+        let f = topo.add_service(ServiceSpec::new("front", 2));
+        let b = topo.add_service(ServiceSpec::new("back", 2));
+        let api = topo.add_api(ApiSpec::single(
+            "get",
+            CallNode::with_children(f, ms(5), vec![CallNode::leaf(b, ms(10))]),
+        ));
+        let e = run(topo, 20.0, 10);
+        let _ = api;
+        let obs = e.latest_observation().unwrap();
+        let p50 = obs.apis[0].p50.unwrap();
+        assert!(
+            (15.0..25.0).contains(&p50.as_millis_f64()),
+            "p50 {p50} should be ≈17ms"
+        );
+    }
+
+    #[test]
+    fn parallel_fanout_latency_is_max_not_sum() {
+        let mut topo = Topology::new("fan");
+        let f = topo.add_service(ServiceSpec::new("front", 4));
+        let a = topo.add_service(ServiceSpec::new("a", 4));
+        let b = topo.add_service(ServiceSpec::new("b", 4));
+        topo.add_api(ApiSpec::single(
+            "get",
+            CallNode::with_children(
+                f,
+                ms(1),
+                vec![CallNode::leaf(a, ms(10)), CallNode::leaf(b, ms(30))],
+            ),
+        ));
+        let e = run(topo, 10.0, 10);
+        let obs = e.latest_observation().unwrap();
+        let p50 = obs.apis[0].p50.unwrap().as_millis_f64();
+        assert!(
+            (30.0..40.0).contains(&p50),
+            "fan-out joins at max(10,30)+overheads, got {p50}ms"
+        );
+    }
+
+    #[test]
+    fn queue_overflow_fails_requests() {
+        let mut topo = Topology::new("q");
+        let s = topo.add_service(ServiceSpec::new("s", 1).queue_capacity(4));
+        topo.add_api(ApiSpec::single("x", CallNode::leaf(s, ms(100))));
+        // Capacity 10 rps; offer 200 rps → queues overflow instantly.
+        let e = run(topo, 200.0, 10);
+        let t = e.api_totals(ApiId(0));
+        assert!(t.failed > 0, "bounded queue must drop");
+    }
+
+    #[test]
+    fn observation_cadence_matches_interval() {
+        let (topo, _, _) = tiny_topo(1, 10);
+        let e = run(topo, 10.0, 5);
+        let obs = e.latest_observation().unwrap();
+        assert_eq!(obs.now, SimTime::from_secs(5));
+        assert!((obs.window.as_secs_f64() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_totals() {
+        let totals = |seed: u64| {
+            let (topo, api, _) = tiny_topo(2, 10);
+            let w = OpenLoopWorkload::constant(vec![(api, 150.0)]);
+            let mut e = Engine::new(
+                topo,
+                EngineConfig {
+                    seed,
+                    ..EngineConfig::default()
+                },
+                Box::new(w),
+            );
+            e.run_until(SimTime::from_secs(10));
+            e.api_totals(api)
+        };
+        assert_eq!(totals(7), totals(7));
+        assert_ne!(totals(7).offered, totals(8).offered);
+    }
+
+    #[test]
+    fn injected_failure_kills_and_recovers_pods() {
+        let (topo, _, s) = tiny_topo(10, 10);
+        let w = OpenLoopWorkload::constant(vec![(ApiId(0), 100.0)]);
+        let mut e = Engine::new(
+            topo,
+            EngineConfig {
+                service_jitter: 0.0,
+                pod_startup: SimDuration::from_secs(5),
+                ..EngineConfig::default()
+            },
+            Box::new(w),
+        );
+        e.inject_failures(vec![FailureSpec {
+            at: SimTime::from_secs(10),
+            service: s,
+            pods: 7,
+        }]);
+        e.run_until(SimTime::from_secs(11));
+        assert_eq!(e.ready_pods(s), 3, "7 of 10 pods killed");
+        e.run_until(SimTime::from_secs(20));
+        assert_eq!(e.ready_pods(s), 10, "replacements ready after startup");
+    }
+
+    #[test]
+    fn crash_loop_fires_under_saturation() {
+        let mut topo = Topology::new("crash");
+        let s = topo.add_service(
+            ServiceSpec::new("frag", 1)
+                .queue_capacity(16)
+                .crash_on_overload(),
+        );
+        topo.add_api(ApiSpec::single("x", CallNode::leaf(s, ms(50))));
+        // Capacity 20 rps; offer 500 → queue pinned at cap → crash.
+        let w = OpenLoopWorkload::constant(vec![(ApiId(0), 500.0)]);
+        let mut e = Engine::new(topo, EngineConfig::default(), Box::new(w));
+        e.run_until(SimTime::from_secs(20));
+        assert!(e.crash_events > 0, "saturated pod should crash-loop");
+    }
+
+    #[test]
+    fn hpa_scales_up_under_load() {
+        let (topo, api, s) = tiny_topo(2, 10);
+        // Capacity 200 rps; offer 500.
+        let w = OpenLoopWorkload::constant(vec![(api, 500.0)]);
+        let mut e = Engine::new(
+            topo,
+            EngineConfig {
+                service_jitter: 0.0,
+                pod_startup: SimDuration::from_secs(5),
+                ..EngineConfig::default()
+            },
+            Box::new(w),
+        );
+        e.enable_hpa(HpaConfig {
+            sync_period: SimDuration::from_secs(15),
+            target_utilization: 0.7,
+            ..HpaConfig::default()
+        });
+        e.run_until(SimTime::from_secs(120));
+        assert!(
+            e.ready_pods(s) >= 4,
+            "HPA should have scaled up, pods={}",
+            e.ready_pods(s)
+        );
+        // With enough pods, goodput recovers near offered rate.
+        let obs = e.latest_observation().unwrap();
+        assert!(
+            obs.apis[0].goodput > 350.0,
+            "goodput {} should approach 500 rps after scaling",
+            obs.apis[0].goodput
+        );
+    }
+
+    #[test]
+    fn vm_pool_delays_scale_up() {
+        let (topo, api, s) = tiny_topo(2, 10);
+        let w = OpenLoopWorkload::constant(vec![(api, 800.0)]);
+        let mut e = Engine::new(
+            topo,
+            EngineConfig {
+                service_jitter: 0.0,
+                pod_startup: SimDuration::from_secs(2),
+                ..EngineConfig::default()
+            },
+            Box::new(w),
+        );
+        e.set_vm_pool(VmPoolConfig {
+            vcpus_per_vm: 4,
+            initial_vms: 1,
+            max_vms: 3,
+            vm_startup: SimDuration::from_secs(30),
+            vcpus_per_pod: 1.0,
+        });
+        e.enable_hpa(HpaConfig::default());
+        e.run_until(SimTime::from_secs(25));
+        // Only 4 vCPUs → at most 4 pods before the new VM lands.
+        assert!(e.ready_pods(s) <= 4);
+        e.run_until(SimTime::from_secs(120));
+        assert!(e.vms() > 1, "VM autoscaler should have provisioned");
+        assert!(e.ready_pods(s) > 4, "pods land after VM startup");
+    }
+
+    #[test]
+    fn weighted_sampling_prefers_heavy_branch() {
+        let items = vec![(0.9, "a"), (0.1, "b")];
+        let mut rng = simnet::rng::fork(3, "t");
+        let heavy = (0..1000)
+            .filter(|_| sample_weighted(&items, &mut rng) == 0)
+            .count();
+        assert!((850..=950).contains(&heavy), "got {heavy}");
+    }
+}
+
+#[cfg(test)]
+mod tracing_tests {
+    use super::*;
+    use crate::topology::{ApiSpec, ServiceSpec};
+    use crate::workload::OpenLoopWorkload;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+
+    /// A branching API: branch A → {front, a}, branch B → {front, b}.
+    fn branching_topo() -> (Topology, ApiId, ServiceId, ServiceId) {
+        let mut t = Topology::new("traced");
+        let front = t.add_service(ServiceSpec::new("front", 4));
+        let a = t.add_service(ServiceSpec::new("a", 2));
+        let b = t.add_service(ServiceSpec::new("b", 2));
+        let api = t.add_api(ApiSpec::branching(
+            "br",
+            vec![
+                (
+                    0.9,
+                    CallNode::with_children(front, ms(1), vec![CallNode::leaf(a, ms(2))]),
+                ),
+                (
+                    0.1,
+                    CallNode::with_children(front, ms(1), vec![CallNode::leaf(b, ms(2))]),
+                ),
+            ],
+        ));
+        (t, api, a, b)
+    }
+
+    #[test]
+    fn learned_paths_converge_to_exercised_branches() {
+        let (topo, api, a, b) = branching_topo();
+        let w = OpenLoopWorkload::constant(vec![(api, 200.0)]);
+        let mut e = Engine::new(
+            topo,
+            EngineConfig {
+                learn_paths: true,
+                ..EngineConfig::default()
+            },
+            Box::new(w),
+        );
+        e.run_until(SimTime::from_secs(10));
+        let obs = e.latest_observation().expect("ran").clone();
+        let path = &obs.api_paths[api.idx()];
+        // With 2000 requests at 90/10 branching, both branches have been
+        // exercised, so the learned path covers everything.
+        assert!(path.contains(&a), "hot branch learned: {path:?}");
+        assert!(path.contains(&b), "cold branch learned: {path:?}");
+        assert!(e.trace_collector().expect("enabled").spans_recorded() > 1000);
+    }
+
+    #[test]
+    fn learned_paths_start_empty_and_grow() {
+        let (topo, api, _, _) = branching_topo();
+        let w = OpenLoopWorkload::constant(vec![(api, 50.0)]);
+        let mut e = Engine::new(
+            topo,
+            EngineConfig {
+                learn_paths: true,
+                ..EngineConfig::default()
+            },
+            Box::new(w),
+        );
+        e.run_until(SimTime::from_secs(1));
+        let early = e.latest_observation().expect("tick").api_paths[api.idx()].len();
+        e.run_until(SimTime::from_secs(20));
+        let late = e.latest_observation().expect("tick").api_paths[api.idx()].len();
+        assert!(late >= early, "paths only grow under steady traffic");
+        assert!(late >= 2, "at least front + one branch learned");
+    }
+
+    #[test]
+    fn static_paths_remain_default() {
+        let (topo, api, a, b) = branching_topo();
+        let w = OpenLoopWorkload::constant(vec![(api, 10.0)]);
+        let mut e = Engine::new(topo, EngineConfig::default(), Box::new(w));
+        assert!(e.trace_collector().is_none());
+        e.run_until(SimTime::from_secs(2));
+        let obs = e.latest_observation().expect("tick").clone();
+        // Static union: every possible branch present from the start.
+        let path = &obs.api_paths[api.idx()];
+        assert!(path.contains(&a) && path.contains(&b));
+    }
+}
+
+#[cfg(test)]
+mod lifecycle_tests {
+    use super::*;
+    use crate::autoscaler::HpaConfig;
+    use crate::topology::{ApiSpec, ServiceSpec};
+    use crate::workload::{ClosedLoopWorkload, OpenLoopWorkload, RateSchedule};
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+
+    #[test]
+    fn hpa_scales_down_after_load_drops() {
+        let mut topo = Topology::new("downscale");
+        let s = topo.add_service(ServiceSpec::new("s", 2));
+        let api = topo.add_api(ApiSpec::single("a", CallNode::leaf(s, ms(10))));
+        // Load for 60 s, then quiet for the rest.
+        let w = OpenLoopWorkload::new(vec![(
+            api,
+            RateSchedule::steps(vec![
+                (SimTime::ZERO, 600.0),
+                (SimTime::from_secs(60), 10.0),
+            ]),
+        )]);
+        let mut e = Engine::new(
+            topo,
+            EngineConfig {
+                service_jitter: 0.0,
+                pod_startup: SimDuration::from_secs(2),
+                ..EngineConfig::default()
+            },
+            Box::new(w),
+        );
+        e.enable_hpa(HpaConfig {
+            stabilization: SimDuration::from_secs(30),
+            ..HpaConfig::default()
+        });
+        e.run_until(SimTime::from_secs(55));
+        let peak = e.ready_pods(s);
+        assert!(peak >= 4, "scaled up under load, pods={peak}");
+        e.run_until(SimTime::from_secs(200));
+        let settled = e.ready_pods(s);
+        assert!(
+            settled < peak,
+            "scaled down after the load dropped: {peak} → {settled}"
+        );
+        assert!(settled >= 2, "never below the min replicas");
+    }
+
+    #[test]
+    fn grow_service_adds_ready_pods_immediately() {
+        let mut topo = Topology::new("grow");
+        let s = topo.add_service(ServiceSpec::new("s", 1));
+        topo.add_api(ApiSpec::single("a", CallNode::leaf(s, ms(10))));
+        let w = OpenLoopWorkload::constant(vec![(ApiId(0), 50.0)]);
+        let mut e = Engine::new(topo, EngineConfig::default(), Box::new(w));
+        e.run_until(SimTime::from_secs(2));
+        assert_eq!(e.ready_pods(s), 1);
+        e.grow_service(s, 5);
+        assert_eq!(e.ready_pods(s), 5, "growth is immediate (no startup)");
+        let used = e.vcpus_used();
+        assert!((used - 5.0).abs() < 1e-9, "vCPU accounting follows: {used}");
+    }
+
+    #[test]
+    fn closed_loop_client_timeout_keeps_users_alive() {
+        // One pod at 10 ms with a huge queue: responses take far longer
+        // than the 10 s client timeout under heavy overload, yet users
+        // keep issuing (via the timeout path), so offered load persists.
+        let mut topo = Topology::new("timeout");
+        let s = topo.add_service(ServiceSpec::new("s", 1).queue_capacity(100_000));
+        let api = topo.add_api(ApiSpec::single("a", CallNode::leaf(s, ms(10))));
+        let w = ClosedLoopWorkload::fixed(vec![(api, 1.0)], 500, SimDuration::from_secs(1));
+        let mut e = Engine::new(
+            topo,
+            EngineConfig {
+                service_jitter: 0.0,
+                ..EngineConfig::default()
+            },
+            Box::new(w),
+        );
+        e.run_until(SimTime::from_secs(60));
+        let t = e.api_totals(api);
+        // 500 users, ~100 rps capacity → backlog far beyond the timeout.
+        // Users must still have issued many generations of requests.
+        assert!(
+            t.offered > 1500,
+            "timed-out users keep issuing, offered={}",
+            t.offered
+        );
+    }
+
+    #[test]
+    fn learned_and_static_paths_agree_for_non_branching_apis() {
+        let mut topo = Topology::new("agree");
+        let f = topo.add_service(ServiceSpec::new("f", 2));
+        let b = topo.add_service(ServiceSpec::new("b", 2));
+        let api = topo.add_api(ApiSpec::single(
+            "a",
+            CallNode::with_children(f, ms(1), vec![CallNode::leaf(b, ms(2))]),
+        ));
+        let static_paths = topo.api_service_map();
+        let w = OpenLoopWorkload::constant(vec![(api, 100.0)]);
+        let mut e = Engine::new(
+            topo,
+            EngineConfig {
+                learn_paths: true,
+                ..EngineConfig::default()
+            },
+            Box::new(w),
+        );
+        e.run_until(SimTime::from_secs(5));
+        let mut learned = e.latest_observation().expect("tick").api_paths[api.idx()].clone();
+        learned.sort();
+        let mut want = static_paths[api.idx()].clone();
+        want.sort();
+        assert_eq!(learned, want);
+    }
+}

@@ -1,0 +1,81 @@
+//! Failure injection and the overload crash-loop model.
+//!
+//! Two failure mechanisms from the paper's evaluation:
+//!
+//! * **Injected pod kills** (Fig. 18): "We delete 25 pods among 35 pods of
+//!   ts-station microservice at time 50s. Then, Kubernetes automatically
+//!   starts scaling 25 pods to maintain the number of 35 healthy pods."
+//!   A [`FailureSpec`] schedules exactly that: pods die instantly, losing
+//!   queued and in-flight work, and replacements become ready after the
+//!   pod startup delay.
+//! * **Overload crash-loops** (§6.3): "Recommendation microservice's pods
+//!   completely failed at the initial traffic surge… they kept failing
+//!   until enough pods are allocated at once. … such pod failures can
+//!   occur when liveness and readiness probes fail due to sudden
+//!   overload." [`CrashLoopConfig`] models this: a pod whose queue is
+//!   saturated for `probes_to_crash` consecutive probe intervals crashes
+//!   (dropping its backlog) and restarts after `restart_delay`.
+
+use crate::types::ServiceId;
+use serde::{Deserialize, Serialize};
+use simnet::{SimDuration, SimTime};
+
+/// Kill `pods` pods of `service` at time `at`; replacements are recreated
+/// after the engine's pod startup delay.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FailureSpec {
+    pub at: SimTime,
+    pub service: ServiceId,
+    pub pods: u32,
+}
+
+/// Liveness-probe crash-loop parameters for services with
+/// `crash_on_overload` set.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CrashLoopConfig {
+    /// Queue fill fraction (of `queue_capacity`) above which a probe
+    /// counts the pod as saturated.
+    pub saturation_fraction: f64,
+    /// Consecutive saturated probes before the pod crashes.
+    pub probes_to_crash: u32,
+    /// Probe cadence.
+    pub probe_interval: SimDuration,
+    /// Downtime before the crashed pod restarts (k8s CrashLoopBackOff is
+    /// 10 s at first and grows; we use a fixed backoff).
+    pub restart_delay: SimDuration,
+}
+
+impl Default for CrashLoopConfig {
+    fn default() -> Self {
+        CrashLoopConfig {
+            saturation_fraction: 0.95,
+            probes_to_crash: 6,
+            probe_interval: SimDuration::from_secs(1),
+            restart_delay: SimDuration::from_secs(10),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_spec_is_plain_data() {
+        let f = FailureSpec {
+            at: SimTime::from_secs(50),
+            service: ServiceId(3),
+            pods: 25,
+        };
+        assert_eq!(f.pods, 25);
+        assert_eq!(f, f.clone());
+    }
+
+    #[test]
+    fn crash_loop_defaults_are_sane() {
+        let c = CrashLoopConfig::default();
+        assert!(c.saturation_fraction > 0.0 && c.saturation_fraction <= 1.0);
+        assert!(c.probes_to_crash >= 1);
+        assert!(!c.restart_delay.is_zero());
+    }
+}

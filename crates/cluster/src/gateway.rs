@@ -1,0 +1,137 @@
+//! Entry gateway: per-API token-bucket rate limiting.
+//!
+//! "The rate limiter is attached at the entry and performs load control
+//! according to the given rate limit thresholds" (§5). Each external API
+//! has its own token bucket; the controller moves the bucket rates, and
+//! every arriving request either takes a token or is rejected at the door
+//! (costing the cluster nothing — the whole point of top-down control).
+
+use crate::types::ApiId;
+use simnet::{SimTime, TokenBucket};
+
+/// Rate limit state for one API.
+struct ApiLimiter {
+    /// `None` = unlimited (no bucket consulted).
+    bucket: Option<TokenBucket>,
+    rate: f64,
+}
+
+/// The entry gateway: one limiter per API.
+pub struct Gateway {
+    limiters: Vec<ApiLimiter>,
+    /// Burst size as a fraction of the rate (seconds of burst).
+    burst_secs: f64,
+}
+
+impl Gateway {
+    /// A gateway for `num_apis` APIs, all initially unlimited.
+    ///
+    /// `burst_secs` sets bucket depth = `rate × burst_secs` (clamped to at
+    /// least 1 token); the paper's 1-second control cadence makes ~50 ms
+    /// of burst a reasonable default.
+    pub fn new(num_apis: usize, burst_secs: f64) -> Self {
+        Gateway {
+            limiters: (0..num_apis)
+                .map(|_| ApiLimiter {
+                    bucket: None,
+                    rate: f64::INFINITY,
+                })
+                .collect(),
+            burst_secs: burst_secs.max(1e-3),
+        }
+    }
+
+    /// Current rate limit for `api` (`f64::INFINITY` when unlimited).
+    pub fn rate_limit(&self, api: ApiId) -> f64 {
+        self.limiters[api.idx()].rate
+    }
+
+    /// Set the rate limit for `api` at time `now`. `f64::INFINITY` (or any
+    /// non-finite value) removes the limit; negative rates clamp to zero
+    /// (admit nothing once the bucket drains).
+    pub fn set_rate_limit(&mut self, api: ApiId, rate: f64, now: SimTime) {
+        let lim = &mut self.limiters[api.idx()];
+        if !rate.is_finite() {
+            lim.bucket = None;
+            lim.rate = f64::INFINITY;
+            return;
+        }
+        let rate = rate.max(0.0);
+        let burst = (rate * self.burst_secs).max(1.0);
+        match &mut lim.bucket {
+            Some(b) => b.set_rate_and_burst(rate, burst, now),
+            None => lim.bucket = Some(TokenBucket::new(rate, burst, now)),
+        }
+        lim.rate = rate;
+    }
+
+    /// Admit or reject one request for `api` arriving at `now`.
+    pub fn try_admit(&mut self, api: ApiId, now: SimTime) -> bool {
+        match &mut self.limiters[api.idx()].bucket {
+            Some(b) => b.try_admit(now),
+            None => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::SimDuration;
+
+    #[test]
+    fn unlimited_by_default() {
+        let mut g = Gateway::new(2, 0.05);
+        assert!(g.rate_limit(ApiId(0)).is_infinite());
+        for i in 0..10_000 {
+            assert!(g.try_admit(ApiId(0), SimTime::from_nanos(i)));
+        }
+    }
+
+    #[test]
+    fn limit_caps_admitted_rate() {
+        let mut g = Gateway::new(1, 0.05);
+        g.set_rate_limit(ApiId(0), 100.0, SimTime::ZERO);
+        let mut admitted = 0;
+        // Offer 1000 rps for 2 s.
+        for ms in 0..2000u64 {
+            if g.try_admit(ApiId(0), SimTime::from_millis(ms)) {
+                admitted += 1;
+            }
+        }
+        assert!(
+            (195..=215).contains(&admitted),
+            "expected ≈200 admits at 100 rps over 2 s, got {admitted}"
+        );
+    }
+
+    #[test]
+    fn removing_limit_restores_unlimited() {
+        let mut g = Gateway::new(1, 0.05);
+        g.set_rate_limit(ApiId(0), 1.0, SimTime::ZERO);
+        assert!(g.try_admit(ApiId(0), SimTime::ZERO));
+        assert!(!g.try_admit(ApiId(0), SimTime::ZERO));
+        g.set_rate_limit(ApiId(0), f64::INFINITY, SimTime::ZERO);
+        assert!(g.rate_limit(ApiId(0)).is_infinite());
+        assert!(g.try_admit(ApiId(0), SimTime::ZERO));
+    }
+
+    #[test]
+    fn zero_rate_blocks_after_burst() {
+        let mut g = Gateway::new(1, 0.05);
+        g.set_rate_limit(ApiId(0), 0.0, SimTime::ZERO);
+        // Minimum burst of 1 token, then nothing ever again.
+        let _ = g.try_admit(ApiId(0), SimTime::ZERO);
+        let later = SimTime::ZERO + SimDuration::from_secs(100);
+        assert!(!g.try_admit(ApiId(0), later));
+    }
+
+    #[test]
+    fn per_api_limits_are_independent() {
+        let mut g = Gateway::new(2, 0.05);
+        g.set_rate_limit(ApiId(0), 0.0, SimTime::ZERO);
+        let _ = g.try_admit(ApiId(0), SimTime::ZERO);
+        assert!(!g.try_admit(ApiId(0), SimTime::from_secs(1)));
+        assert!(g.try_admit(ApiId(1), SimTime::from_secs(1)));
+    }
+}

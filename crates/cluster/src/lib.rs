@@ -1,0 +1,53 @@
+//! # cluster — a microservice cluster simulator
+//!
+//! A deterministic discrete-event model of a microservice application, the
+//! substrate on which the TopFull reproduction runs. It stands in for the
+//! paper's Kubernetes + Istio + Locust testbed (see DESIGN.md §2) while
+//! preserving the dynamics the evaluation depends on:
+//!
+//! * **Services and pods** — each service runs `replicas` pods; a pod is a
+//!   single-server FIFO queue with bounded backlog. Overload manifests as
+//!   queue growth → latency growth → SLO violations, exactly the signal
+//!   chain the paper's controllers react to.
+//! * **APIs and execution paths** — an external API owns one or more
+//!   weighted call trees over services ([`topology`]); a request fans out
+//!   through its tree, and its end-to-end latency is the root's completion
+//!   time. Work already done upstream of a downstream drop is wasted,
+//!   which is the starvation mechanism of the paper's Figure 1.
+//! * **Entry gateway** — per-API token-bucket rate limiting, the actuation
+//!   point of TopFull ([`gateway`]).
+//! * **Per-service admission hooks** — the actuation point of DAGOR and
+//!   Breakwater ([`admission`]).
+//! * **Autoscaling** — an HPA replica law plus a VM-pool cluster
+//!   autoscaler with provisioning delays ([`autoscaler`]).
+//! * **Failure injection** — scheduled pod kills and an overload
+//!   crash-loop model ([`failure`]).
+//! * **Observation** — 1-second snapshots of per-service utilization and
+//!   per-API goodput/latency percentiles ([`observe`]), mirroring the
+//!   paper's cAdvisor + Istio tracing collector.
+//!
+//! The [`engine::Engine`] ties these together; [`harness`] runs an engine
+//! against a [`controller::Controller`] at the control cadence.
+
+pub mod admission;
+pub mod autoscaler;
+pub mod controller;
+pub mod engine;
+pub mod failure;
+pub mod gateway;
+pub mod harness;
+pub mod observe;
+pub mod topology;
+pub mod tracing;
+pub mod types;
+pub mod workload;
+
+pub use controller::{Controller, NoControl, RateLimitUpdate};
+pub use engine::{Engine, EngineConfig};
+pub use harness::{Harness, RunResult};
+pub use observe::{ApiWindow, ClusterObservation, ServiceWindow};
+pub use topology::{ApiSpec, CallNode, ServiceSpec, Topology};
+pub use types::{ApiId, BusinessPriority, RequestMeta, ServiceId};
+pub use workload::{
+    ClosedLoopWorkload, OpenLoopWorkload, RateSchedule, ResponseKind, RetryStormWorkload, Workload,
+};

@@ -1,0 +1,218 @@
+//! API clustering for parallel load control (§4.2).
+//!
+//! Equation 2: APIs *i* and *j* belong to the same cluster iff some
+//! overloaded microservice lies on both of their execution paths; the
+//! relation is closed transitively ("even if API 1 and API 3 do not
+//! directly share any overloaded microservices, they are clustered
+//! together if there exists API 2 that shares overloaded microservices
+//! with both"). Branching APIs already contribute *every* possible path
+//! to `api_paths` (the engine exports the union), so they are handled as
+//! "an API that is involved in every microservice in its possible
+//! execution paths".
+//!
+//! Clustering runs from scratch each control interval — re-clustering is
+//! how the controller tracks the changing overloaded set (§4.2
+//! "Re-clustering dynamically").
+
+use cluster::types::{ApiId, ServiceId};
+
+/// One independent sub-problem: APIs tied together by shared overloaded
+/// microservices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cluster {
+    /// Member APIs, ascending.
+    pub apis: Vec<ApiId>,
+    /// Overloaded services on the members' paths, ascending.
+    pub overloaded: Vec<ServiceId>,
+}
+
+/// Union–find with path compression.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let r = self.find(self.parent[x]);
+            self.parent[x] = r;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic: smaller root wins.
+            let (lo, hi) = (ra.min(rb), ra.max(rb));
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+/// Cluster APIs over the currently overloaded services.
+///
+/// * `api_paths[i]` — every service on any possible path of API `i`.
+/// * `overloaded` — services currently past the overload threshold.
+///
+/// Returns clusters ordered by their smallest member API; APIs whose
+/// paths contain no overloaded service appear in no cluster.
+pub fn cluster_apis(api_paths: &[Vec<ServiceId>], overloaded: &[ServiceId]) -> Vec<Cluster> {
+    if overloaded.is_empty() {
+        return Vec::new();
+    }
+    let over: std::collections::HashSet<ServiceId> = overloaded.iter().copied().collect();
+    // APIs participating in the overload problem.
+    let involved: Vec<usize> = api_paths
+        .iter()
+        .enumerate()
+        .filter(|(_, path)| path.iter().any(|s| over.contains(s)))
+        .map(|(i, _)| i)
+        .collect();
+    if involved.is_empty() {
+        return Vec::new();
+    }
+    // Union APIs through each overloaded service they share.
+    let mut dsu = Dsu::new(involved.len());
+    let mut first_user: std::collections::HashMap<ServiceId, usize> =
+        std::collections::HashMap::new();
+    for (k, &api) in involved.iter().enumerate() {
+        for s in &api_paths[api] {
+            if !over.contains(s) {
+                continue;
+            }
+            match first_user.entry(*s) {
+                std::collections::hash_map::Entry::Occupied(e) => dsu.union(*e.get(), k),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(k);
+                }
+            }
+        }
+    }
+    // Materialize clusters.
+    let mut by_root: std::collections::BTreeMap<usize, Cluster> =
+        std::collections::BTreeMap::new();
+    for (k, &api) in involved.iter().enumerate() {
+        let root = dsu.find(k);
+        let c = by_root.entry(root).or_insert_with(|| Cluster {
+            apis: Vec::new(),
+            overloaded: Vec::new(),
+        });
+        c.apis.push(ApiId(api as u32));
+        for s in &api_paths[api] {
+            if over.contains(s) && !c.overloaded.contains(s) {
+                c.overloaded.push(*s);
+            }
+        }
+    }
+    let mut out: Vec<Cluster> = by_root.into_values().collect();
+    for c in out.iter_mut() {
+        c.apis.sort();
+        c.apis.dedup();
+        c.overloaded.sort();
+    }
+    out.sort_by_key(|c| c.apis[0]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(xs: &[u32]) -> Vec<ServiceId> {
+        xs.iter().map(|x| ServiceId(*x)).collect()
+    }
+
+    #[test]
+    fn no_overload_no_clusters() {
+        let paths = vec![sid(&[0, 1]), sid(&[1, 2])];
+        assert!(cluster_apis(&paths, &[]).is_empty());
+    }
+
+    #[test]
+    fn uninvolved_apis_are_excluded() {
+        let paths = vec![sid(&[0, 1]), sid(&[2, 3])];
+        let clusters = cluster_apis(&paths, &sid(&[0]));
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].apis, vec![ApiId(0)]);
+        assert_eq!(clusters[0].overloaded, sid(&[0]));
+    }
+
+    #[test]
+    fn apis_sharing_an_overloaded_service_cluster_together() {
+        // Figure 1: API0 → {A, B}, API1 → {A}; A overloaded.
+        let paths = vec![sid(&[0, 1]), sid(&[0])];
+        let clusters = cluster_apis(&paths, &sid(&[0]));
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].apis, vec![ApiId(0), ApiId(1)]);
+    }
+
+    #[test]
+    fn transitive_closure_merges_via_middle_api() {
+        // The paper's example: API0–API1 share overloaded s0, API1–API2
+        // share overloaded s1, so all three form one cluster although
+        // API0 and API2 share nothing directly.
+        let paths = vec![sid(&[0]), sid(&[0, 1]), sid(&[1])];
+        let clusters = cluster_apis(&paths, &sid(&[0, 1]));
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].apis, vec![ApiId(0), ApiId(1), ApiId(2)]);
+        assert_eq!(clusters[0].overloaded, sid(&[0, 1]));
+    }
+
+    #[test]
+    fn independent_overloads_form_separate_clusters() {
+        let paths = vec![sid(&[0, 9]), sid(&[1, 9]), sid(&[2])];
+        let clusters = cluster_apis(&paths, &sid(&[0, 1, 2]));
+        // Service 9 is NOT overloaded, so APIs 0 and 1 stay apart.
+        assert_eq!(clusters.len(), 3);
+        assert_eq!(clusters[0].apis, vec![ApiId(0)]);
+        assert_eq!(clusters[1].apis, vec![ApiId(1)]);
+        assert_eq!(clusters[2].apis, vec![ApiId(2)]);
+    }
+
+    #[test]
+    fn cluster_inter_independence_invariant() {
+        // Property: no overloaded service appears in two clusters.
+        let paths = vec![
+            sid(&[0, 1, 2]),
+            sid(&[2, 3]),
+            sid(&[4, 5]),
+            sid(&[5, 6]),
+            sid(&[7]),
+        ];
+        let overloaded = sid(&[2, 5, 7]);
+        let clusters = cluster_apis(&paths, &overloaded);
+        let mut seen = std::collections::HashSet::new();
+        for c in &clusters {
+            for s in &c.overloaded {
+                assert!(seen.insert(*s), "{s} appears in two clusters");
+            }
+        }
+        assert_eq!(clusters.len(), 3);
+    }
+
+    #[test]
+    fn deterministic_ordering() {
+        let paths = vec![sid(&[3]), sid(&[2]), sid(&[1])];
+        let clusters = cluster_apis(&paths, &sid(&[1, 2, 3]));
+        let firsts: Vec<ApiId> = clusters.iter().map(|c| c.apis[0]).collect();
+        assert_eq!(firsts, vec![ApiId(0), ApiId(1), ApiId(2)]);
+    }
+
+    #[test]
+    fn branching_api_unions_through_any_branch() {
+        // API0's path union covers both branches {0,1} and {0,2};
+        // overload on 2 clusters it with API1 even though branch 1
+        // alone wouldn't.
+        let paths = vec![sid(&[0, 1, 2]), sid(&[2, 5])];
+        let clusters = cluster_apis(&paths, &sid(&[2]));
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].apis, vec![ApiId(0), ApiId(1)]);
+    }
+}

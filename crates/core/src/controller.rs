@@ -1,0 +1,1040 @@
+//! The TopFull control loop (§4.1, Algorithm 1).
+//!
+//! Once per control interval:
+//!
+//! 1. **Detect** overloaded services (utilization threshold, §4.2).
+//! 2. **Cluster** the involved APIs into independent sub-problems
+//!    (Equation 2); re-clustering is implicit because clustering runs
+//!    from scratch on the current overloaded set.
+//! 3. **Per cluster, in parallel**: pick the target microservice — "we
+//!    iteratively choose the overloaded microservice utilized by the
+//!    fewest APIs" — gather its candidate APIs, form the RL state
+//!    (Σgoodput/Σlimit, max tail latency), and get a multiplicative step
+//!    from the rate controller. Apply it per Algorithm 1: negative steps
+//!    hit the lowest-business-priority candidates; positive steps raise
+//!    the highest-priority candidates, and only those with no *other*
+//!    overloaded service on their path (§4.1's rate-increase rule).
+//! 4. **Recovery**: rate-limited APIs whose paths are currently free of
+//!    overloaded services are "handled separately by a rate controller
+//!    for possible recovery" — each gets its own controller decision, and
+//!    a limit that has stayed comfortably above the offered load is
+//!    removed entirely.
+
+use crate::clustering::{cluster_apis, Cluster};
+use crate::detector::OverloadDetector;
+use crate::rate_controller::{
+    BwRateController, MimdController, RateController, RateState, RlRateController,
+};
+use cluster::observe::ClusterObservation;
+use cluster::types::{ApiId, ServiceId};
+use cluster::{Controller, RateLimitUpdate};
+use rl::policy::PolicyValue;
+use std::sync::Arc;
+
+/// TopFull configuration.
+#[derive(Clone)]
+pub struct TopFullConfig {
+    /// Utilization threshold entering the overloaded set (paper: 0.8).
+    pub overload_enter: f64,
+    /// Hysteresis exit threshold.
+    pub overload_exit: f64,
+    /// Disable for the §6.2 "w/o cluster" ablation: all involved APIs and
+    /// overloaded services form a single sub-problem handled serially.
+    pub clustering_enabled: bool,
+    /// Floor for any rate limit (requests/s).
+    pub min_rate: f64,
+    /// Remove a recovery API's limit after it has exceeded the offered
+    /// load by this factor...
+    pub release_headroom: f64,
+    /// ...for this many consecutive intervals.
+    pub release_after: u32,
+    /// Refinement ablation: process only the single fewest-API target
+    /// per cluster per interval (a literal reading of §4.1's "one at a
+    /// time"); the default acts on every overloaded service each
+    /// interval. See DESIGN.md §5, refinement 1.
+    pub single_target_per_cluster: bool,
+    /// Refinement ablation: when false, decreases follow Algorithm 1
+    /// verbatim and may target idle or floor-pinned APIs. See DESIGN.md
+    /// §5, refinement 2.
+    pub restrict_cuts_to_contributing: bool,
+    /// Refinement ablation: when false, group increases are
+    /// multiplicative per API (like decreases), freezing whatever rate
+    /// ratio the transient produced between same-priority APIs. See
+    /// DESIGN.md §5, refinement 3.
+    pub fair_group_steps: bool,
+    /// The step-size policy shared by all cluster/recovery controllers.
+    pub rate_controller: Arc<dyn RateController>,
+}
+
+impl Default for TopFullConfig {
+    fn default() -> Self {
+        TopFullConfig {
+            overload_enter: 0.8,
+            overload_exit: 0.75,
+            clustering_enabled: true,
+            min_rate: 1.0,
+            release_headroom: 2.0,
+            release_after: 5,
+            single_target_per_cluster: false,
+            restrict_cuts_to_contributing: true,
+            fair_group_steps: true,
+            rate_controller: Arc::new(MimdController::paper_default()),
+        }
+    }
+}
+
+impl TopFullConfig {
+    /// Use the trained RL policy (TopFull proper).
+    pub fn with_rl(mut self, policy: PolicyValue) -> Self {
+        self.rate_controller = Arc::new(RlRateController::new(policy));
+        self
+    }
+
+    /// Use the MIMD ablation controller (§6.2).
+    pub fn with_mimd(mut self) -> Self {
+        self.rate_controller = Arc::new(MimdController::paper_default());
+        self
+    }
+
+    /// Use custom MIMD steps (Fig. 13 sweep).
+    pub fn with_mimd_steps(mut self, decrease: f64, increase: f64) -> Self {
+        self.rate_controller = Arc::new(MimdController::with_steps(decrease, increase));
+        self
+    }
+
+    /// Use the Breakwater-style AIMD controller (TopFull(BW), §6.3).
+    pub fn with_bw(mut self) -> Self {
+        self.rate_controller = Arc::new(BwRateController::default());
+        self
+    }
+
+    /// Disable clustering (§6.2 "w/o cluster" ablation).
+    pub fn without_clustering(mut self) -> Self {
+        self.clustering_enabled = false;
+        self
+    }
+}
+
+/// One per-cluster decision, kept for tests and experiment tracing.
+#[derive(Clone, Debug)]
+pub struct ClusterDecision {
+    pub target: ServiceId,
+    pub candidates: Vec<ApiId>,
+    pub action: f64,
+    pub applied_to: Vec<ApiId>,
+}
+
+/// The TopFull controller; plugs into [`cluster::Harness`].
+pub struct TopFull {
+    cfg: TopFullConfig,
+    detector: Option<OverloadDetector>,
+    /// Mirror of current per-API limits (`INFINITY` = unlimited).
+    limits: Vec<f64>,
+    /// Consecutive headroom intervals per API (release counter).
+    headroom_ticks: Vec<u32>,
+    /// Last interval's decisions, for inspection.
+    pub last_decisions: Vec<ClusterDecision>,
+}
+
+impl TopFull {
+    pub fn new(cfg: TopFullConfig) -> Self {
+        TopFull {
+            cfg,
+            detector: None,
+            limits: Vec::new(),
+            headroom_ticks: Vec::new(),
+            last_decisions: Vec::new(),
+        }
+    }
+
+    fn ensure_sized(&mut self, obs: &ClusterObservation) {
+        if self.detector.is_none() {
+            self.detector = Some(OverloadDetector::with_thresholds(
+                obs.services.len(),
+                self.cfg.overload_enter,
+                self.cfg.overload_exit,
+            ));
+        }
+        if self.limits.len() < obs.apis.len() {
+            self.limits.resize(obs.apis.len(), f64::INFINITY);
+            self.headroom_ticks.resize(obs.apis.len(), 0);
+        }
+    }
+
+    /// Effective limit used in the goodput-ratio feature: the actual
+    /// limit if finite, else the currently admitted (≈ offered) rate.
+    fn effective_limit(&self, obs: &ClusterObservation, api: ApiId) -> f64 {
+        let l = self.limits[api.idx()];
+        if l.is_finite() {
+            l
+        } else {
+            obs.api(api).admitted.max(obs.api(api).offered).max(1.0)
+        }
+    }
+
+    /// RL state for a candidate set (§4.3 "RL model design").
+    fn state_for(&self, obs: &ClusterObservation, apis: &[ApiId]) -> RateState {
+        let goodput: f64 = apis.iter().map(|a| obs.api(*a).goodput).sum();
+        let limit: f64 = apis.iter().map(|a| self.effective_limit(obs, *a)).sum();
+        let slo = obs.slo.as_secs_f64().max(1e-9);
+        let lat = apis
+            .iter()
+            .map(|a| obs.api(*a).tail_latency().as_secs_f64())
+            .fold(0.0, f64::max);
+        RateState {
+            goodput_ratio: if limit > 0.0 {
+                (goodput / limit).clamp(0.0, 2.0)
+            } else {
+                0.0
+            },
+            latency_ratio: (lat / slo).clamp(0.0, 5.0),
+            total_limit: limit,
+        }
+    }
+
+    /// Algorithm 1: pick the highest/lowest business-priority subset of
+    /// the candidates (all ties included).
+    fn priority_targets(
+        obs: &ClusterObservation,
+        candidates: &[ApiId],
+        increase: bool,
+    ) -> Vec<ApiId> {
+        let key = |a: &ApiId| obs.api(*a).business;
+        let best = if increase {
+            candidates.iter().map(key).min()
+        } else {
+            candidates.iter().map(key).max()
+        };
+        match best {
+            Some(b) => candidates
+                .iter()
+                .copied()
+                .filter(|a| key(a) == b)
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    fn apply_action(
+        &mut self,
+        obs: &ClusterObservation,
+        api: ApiId,
+        action: f64,
+        updates: &mut Vec<RateLimitUpdate>,
+    ) {
+        self.apply_group_action(obs, &[api], action, updates);
+    }
+
+    /// Apply one step to a target group.
+    ///
+    /// Decreases are multiplicative per API ("we reduce the rates of
+    /// corresponding APIs equally" — the same factor for everyone);
+    /// increases distribute the group's total step in **equal absolute
+    /// shares**. The combination is the Chiu–Jain fairness argument:
+    /// proportional cuts + equal gains converge same-priority APIs
+    /// toward an even split of the bottleneck, instead of freezing
+    /// whatever ratio the initial transient produced.
+    fn apply_group_action(
+        &mut self,
+        obs: &ClusterObservation,
+        apis: &[ApiId],
+        action: f64,
+        updates: &mut Vec<RateLimitUpdate>,
+    ) {
+        let action = action.clamp(-0.5, 0.5);
+        // Raising only applies to already-limited APIs.
+        let group: Vec<ApiId> = if action >= 0.0 {
+            apis.iter()
+                .copied()
+                .filter(|a| self.limits[a.idx()].is_finite())
+                .collect()
+        } else {
+            apis.to_vec()
+        };
+        if group.is_empty() {
+            return;
+        }
+        // First throttle initializes a limit from the observed admitted
+        // rate; the group total drives the step size.
+        let bases: Vec<f64> = group
+            .iter()
+            .map(|a| {
+                let cur = self.limits[a.idx()];
+                if cur.is_finite() {
+                    cur
+                } else {
+                    obs.api(*a).admitted.max(self.cfg.min_rate)
+                }
+            })
+            .collect();
+        let total: f64 = bases.iter().sum();
+        let share = action * total / group.len() as f64;
+        for (api, base) in group.iter().zip(bases) {
+            let next = if action >= 0.0 && self.cfg.fair_group_steps {
+                // Equal absolute gains across the group.
+                (base + share).max(self.cfg.min_rate)
+            } else {
+                // Proportional (multiplicative) steps.
+                (base * (1.0 + action)).max(self.cfg.min_rate)
+            };
+            self.limits[api.idx()] = next;
+            self.headroom_ticks[api.idx()] = 0;
+            updates.push(RateLimitUpdate::limit(*api, next));
+        }
+    }
+}
+
+impl Controller for TopFull {
+    fn control(&mut self, obs: &ClusterObservation) -> Vec<RateLimitUpdate> {
+        self.ensure_sized(obs);
+        let overloaded = self
+            .detector
+            .as_mut()
+            .expect("sized above")
+            .detect(obs);
+        let clusters: Vec<Cluster> = if self.cfg.clustering_enabled {
+            cluster_apis(&obs.api_paths, &overloaded)
+        } else if overloaded.is_empty() {
+            Vec::new()
+        } else {
+            // Ablation: one monolithic sub-problem.
+            let over_set: std::collections::HashSet<ServiceId> =
+                overloaded.iter().copied().collect();
+            let apis: Vec<ApiId> = obs
+                .api_paths
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.iter().any(|s| over_set.contains(s)))
+                .map(|(i, _)| ApiId(i as u32))
+                .collect();
+            if apis.is_empty() {
+                Vec::new()
+            } else {
+                vec![Cluster {
+                    apis,
+                    overloaded: overloaded.clone(),
+                }]
+            }
+        };
+
+        // Per-cluster target selection + decision; decisions run in
+        // parallel (the point of clustering, §4.2), results merged in
+        // cluster order for determinism.
+        //
+        // Within a cluster, overloaded services are processed in
+        // fewest-API-first order (§4.1's target priority). Each target
+        // *claims* its candidate APIs so one API receives at most one
+        // decision per interval; later targets control the remainder.
+        // This keeps the paper's prioritization while guaranteeing every
+        // bottleneck in the cluster is acted on each interval — a single
+        // never-resolving target must not leave the rest uncontrolled.
+        let mut prepared: Vec<(ServiceId, Vec<ApiId>)> = Vec::new();
+        for c in &clusters {
+            let mut targets = c.overloaded.clone();
+            targets.sort_by_key(|s| {
+                let users = obs
+                    .api_paths
+                    .iter()
+                    .filter(|path| path.contains(s))
+                    .count();
+                (users, s.0)
+            });
+            let mut claimed: std::collections::HashSet<ApiId> =
+                std::collections::HashSet::new();
+            let mut cluster_decisions = 0;
+            for target in targets {
+                if self.cfg.single_target_per_cluster && cluster_decisions >= 1 {
+                    break;
+                }
+                let candidates: Vec<ApiId> = c
+                    .apis
+                    .iter()
+                    .copied()
+                    .filter(|a| {
+                        !claimed.contains(a) && obs.api_paths[a.idx()].contains(&target)
+                    })
+                    .collect();
+                if candidates.is_empty() {
+                    continue;
+                }
+                for a in &candidates {
+                    claimed.insert(*a);
+                }
+                prepared.push((target, candidates));
+                cluster_decisions += 1;
+            }
+        }
+        if !self.cfg.clustering_enabled {
+            // §6.2 "w/o cluster" ablation: naive sequential load control —
+            // one decision per interval over the monolithic problem.
+            prepared.truncate(1);
+        }
+        let states: Vec<RateState> = prepared
+            .iter()
+            .map(|(_, cands)| self.state_for(obs, cands))
+            .collect();
+        let controller = Arc::clone(&self.cfg.rate_controller);
+        let actions: Vec<f64> = if states.len() > 1 {
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = states
+                    .iter()
+                    .map(|s| {
+                        let c = &controller;
+                        scope.spawn(move |_| c.decide(*s))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("decision worker"))
+                    .collect()
+            })
+            .expect("decision scope")
+        } else {
+            states.iter().map(|s| controller.decide(*s)).collect()
+        };
+
+        // Eligibility for rate increases uses the *instantaneous* enter
+        // threshold, not the hysteresis set: a service cooling through
+        // the 0.75–0.8 band still anchors its cluster, but must not veto
+        // recovery of every API crossing it — otherwise near-threshold
+        // services freeze the whole application below capacity.
+        let hot_now: std::collections::HashSet<ServiceId> = obs
+            .services
+            .iter()
+            .filter(|s| s.utilization > self.cfg.overload_enter)
+            .map(|s| s.service)
+            .collect();
+        let mut updates = Vec::new();
+        self.last_decisions.clear();
+
+        for ((target, candidates), action) in prepared.into_iter().zip(actions) {
+            let applied_to: Vec<ApiId> = if action >= 0.0 {
+                // §4.1 rate-increase rule: only candidates whose path has
+                // no overloaded service other than the target.
+                let eligible: Vec<ApiId> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|a| {
+                        obs.api_paths[a.idx()]
+                            .iter()
+                            .all(|s| *s == target || !hot_now.contains(s))
+                    })
+                    .collect();
+                Self::priority_targets(obs, &eligible, true)
+            } else {
+                // Rate-limiting an API that carries no load — or one
+                // already cut to the floor — cannot relieve the target;
+                // cut among the candidates still contributing traffic
+                // (lowest business priority first). The ablation flag
+                // reverts to verbatim Algorithm 1.
+                let pool: Vec<ApiId> = if self.cfg.restrict_cuts_to_contributing {
+                    candidates
+                        .iter()
+                        .copied()
+                        .filter(|a| {
+                            let carries_load =
+                                obs.api(*a).admitted > 0.5 || obs.api(*a).offered > 0.5;
+                            let can_go_lower = self.limits[a.idx()] > self.cfg.min_rate;
+                            carries_load && can_go_lower
+                        })
+                        .collect()
+                } else {
+                    candidates.clone()
+                };
+                Self::priority_targets(obs, &pool, false)
+            };
+            self.apply_group_action(obs, &applied_to, action, &mut updates);
+            self.last_decisions.push(ClusterDecision {
+                target,
+                candidates,
+                action,
+                applied_to,
+            });
+        }
+
+        // Recovery: rate-limited APIs whose paths are currently free of
+        // hot services get individual decisions ("handled separately by a
+        // rate controller for possible recovery", §4.1), and
+        // long-standing headroom releases the limit entirely. An API can
+        // still be inside a cluster through a cooling (hysteresis-band)
+        // service — that must not block its recovery — but an API that
+        // was a decision target this tick is skipped.
+        let acted_on: std::collections::HashSet<ApiId> = self
+            .last_decisions
+            .iter()
+            .flat_map(|d| d.applied_to.iter().copied())
+            .collect();
+        for i in 0..obs.apis.len() {
+            let api = ApiId(i as u32);
+            if !self.limits[i].is_finite() || acted_on.contains(&api) {
+                continue;
+            }
+            let path_hot = obs.api_paths[i].iter().any(|s| hot_now.contains(s));
+            if path_hot {
+                continue;
+            }
+            let offered = obs.api(api).offered;
+            let slo_ok = obs.api(api).tail_latency() <= obs.slo;
+            if self.limits[i] >= offered * self.cfg.release_headroom && slo_ok {
+                self.headroom_ticks[i] += 1;
+                if self.headroom_ticks[i] >= self.cfg.release_after {
+                    self.limits[i] = f64::INFINITY;
+                    self.headroom_ticks[i] = 0;
+                    updates.push(RateLimitUpdate::unlimited(api));
+                    continue;
+                }
+            } else {
+                self.headroom_ticks[i] = 0;
+            }
+            let state = self.state_for(obs, &[api]);
+            let action = self.cfg.rate_controller.decide(state);
+            // Preserve the headroom counter across the action.
+            let ticks = self.headroom_ticks[i];
+            self.apply_action(obs, api, action, &mut updates);
+            self.headroom_ticks[i] = ticks;
+        }
+        updates
+    }
+
+    fn name(&self) -> &str {
+        "topfull"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::observe::{ApiWindow, ServiceWindow};
+    use cluster::types::BusinessPriority;
+    use simnet::{SimDuration, SimTime};
+
+    /// Hand-built observation: utilization per service, per-API
+    /// (offered, admitted, goodput, p99 ms, business, rate_limit).
+    fn obs(
+        utils: &[f64],
+        apis: &[(f64, f64, f64, u64, u8, f64)],
+        paths: Vec<Vec<ServiceId>>,
+    ) -> ClusterObservation {
+        ClusterObservation {
+            now: SimTime::from_secs(1),
+            window: SimDuration::from_secs(1),
+            services: utils
+                .iter()
+                .enumerate()
+                .map(|(i, u)| ServiceWindow {
+                    service: ServiceId(i as u32),
+                    name: format!("s{i}"),
+                    utilization: *u,
+                    alive_pods: 1,
+                    desired_pods: 1,
+                    queue_len: 0,
+                    mean_queuing_delay: SimDuration::ZERO,
+                    started_calls: 10,
+                    dropped_calls: 0,
+                })
+                .collect(),
+            apis: apis
+                .iter()
+                .enumerate()
+                .map(|(i, (off, adm, good, p99, biz, lim))| ApiWindow {
+                    api: ApiId(i as u32),
+                    name: format!("a{i}"),
+                    business: BusinessPriority(*biz),
+                    offered: *off,
+                    admitted: *adm,
+                    goodput: *good,
+                    slo_violated: 0.0,
+                    failed: 0.0,
+                    p50: Some(SimDuration::from_millis(*p99 / 2)),
+                    p95: Some(SimDuration::from_millis(*p99)),
+                    p99: Some(SimDuration::from_millis(*p99)),
+                    rate_limit: *lim,
+                })
+                .collect(),
+            api_paths: paths,
+            slo: SimDuration::from_secs(1),
+        }
+    }
+
+    fn sid(xs: &[u32]) -> Vec<ServiceId> {
+        xs.iter().map(|x| ServiceId(*x)).collect()
+    }
+
+    #[test]
+    fn no_overload_no_action() {
+        let mut tf = TopFull::new(TopFullConfig::default());
+        let o = obs(
+            &[0.5, 0.6],
+            &[(100.0, 100.0, 100.0, 10, 0, f64::INFINITY)],
+            vec![sid(&[0, 1])],
+        );
+        assert!(tf.control(&o).is_empty());
+        assert!(tf.last_decisions.is_empty());
+    }
+
+    #[test]
+    fn overload_throttles_and_initializes_from_admitted() {
+        let mut tf = TopFull::new(TopFullConfig::default());
+        // Service 0 overloaded; latency 2 s (past SLO) → MIMD decreases.
+        let o = obs(
+            &[0.95],
+            &[(300.0, 300.0, 80.0, 2000, 0, f64::INFINITY)],
+            vec![sid(&[0])],
+        );
+        let ups = tf.control(&o);
+        assert_eq!(ups.len(), 1);
+        assert_eq!(ups[0].api, ApiId(0));
+        // Initialized from admitted (300) then −5%: 285.
+        assert!((ups[0].rate - 285.0).abs() < 1e-9, "got {}", ups[0].rate);
+    }
+
+    #[test]
+    fn decrease_hits_lowest_priority_only() {
+        let mut tf = TopFull::new(TopFullConfig::default());
+        // Both APIs pass overloaded service 0; API1 has lower priority
+        // (higher value).
+        let o = obs(
+            &[0.95],
+            &[
+                (200.0, 200.0, 50.0, 2000, 0, f64::INFINITY),
+                (200.0, 200.0, 50.0, 2000, 3, f64::INFINITY),
+            ],
+            vec![sid(&[0]), sid(&[0])],
+        );
+        let ups = tf.control(&o);
+        assert_eq!(ups.len(), 1, "only the lowest priority is cut");
+        assert_eq!(ups[0].api, ApiId(1));
+    }
+
+    #[test]
+    fn equal_priorities_are_cut_together() {
+        let mut tf = TopFull::new(TopFullConfig::default());
+        let o = obs(
+            &[0.95],
+            &[
+                (200.0, 200.0, 50.0, 2000, 1, f64::INFINITY),
+                (200.0, 200.0, 50.0, 2000, 1, f64::INFINITY),
+            ],
+            vec![sid(&[0]), sid(&[0])],
+        );
+        let ups = tf.control(&o);
+        assert_eq!(ups.len(), 2, "§4.1: reduce corresponding APIs equally");
+    }
+
+    #[test]
+    fn increase_requires_overload_free_path_beyond_target() {
+        // Two overloaded services; API0 touches both, API1 only the
+        // target. A positive action may only lift API1 (and only if it is
+        // already limited).
+        let mut tf = TopFull::new(
+            TopFullConfig::default().with_mimd_steps(0.05, 0.2),
+        );
+        // Pre-limit both APIs.
+        tf.limits = vec![100.0, 100.0];
+        tf.headroom_ticks = vec![0, 0];
+        tf.detector = Some(OverloadDetector::with_thresholds(3, 0.8, 0.75));
+        // Latency below SLO → MIMD increases; service 1 is the target
+        // (fewest APIs pass it? both pass 1... paths: API0: {1, 2};
+        // API1: {1}; service 2 used by 1 API → target = 2, candidates =
+        // {API0}. API0 touches target 2 and overloaded 1 → ineligible.
+        let o = obs(
+            &[0.5, 0.95, 0.95],
+            &[
+                (200.0, 100.0, 100.0, 100, 0, 100.0),
+                (200.0, 100.0, 100.0, 100, 1, 100.0),
+            ],
+            vec![sid(&[1, 2]), sid(&[1])],
+        );
+        let ups = tf.control(&o);
+        // Cluster contains both APIs (share service 1). First target =
+        // svc 2 (1 user); candidate {API0} is blocked from increasing
+        // because API0 also passes hot svc 1. Second target = svc 1;
+        // remaining candidate {API1} only touches its own target, so the
+        // probe increase applies to it alone.
+        assert_eq!(ups.len(), 1, "only API1 may be raised: {ups:?}");
+        assert_eq!(ups[0].api, ApiId(1));
+        assert!(
+            !tf.last_decisions
+                .iter()
+                .any(|d| d.applied_to.contains(&ApiId(0))),
+            "increase must not leak past other overloads"
+        );
+    }
+
+    #[test]
+    fn recovery_raises_limited_api_when_path_clear() {
+        let mut tf = TopFull::new(TopFullConfig::default());
+        tf.limits = vec![100.0];
+        tf.headroom_ticks = vec![0];
+        tf.detector = Some(OverloadDetector::with_thresholds(1, 0.8, 0.75));
+        // No overload anywhere; API0 is limited to 100 while offering
+        // 300 → recovery controller should raise it (MIMD +1%).
+        let o = obs(
+            &[0.5],
+            &[(300.0, 100.0, 100.0, 50, 0, 100.0)],
+            vec![sid(&[0])],
+        );
+        let ups = tf.control(&o);
+        assert_eq!(ups.len(), 1);
+        assert!((ups[0].rate - 101.0).abs() < 1e-9, "got {}", ups[0].rate);
+    }
+
+    #[test]
+    fn longstanding_headroom_releases_the_limit() {
+        let mut tf = TopFull::new(TopFullConfig {
+            release_after: 3,
+            ..TopFullConfig::default()
+        });
+        tf.limits = vec![1000.0];
+        tf.headroom_ticks = vec![0];
+        tf.detector = Some(OverloadDetector::with_thresholds(1, 0.8, 0.75));
+        // Offered 100 ≪ limit 1000 (headroom 10×) with low latency.
+        let o = obs(
+            &[0.3],
+            &[(100.0, 100.0, 100.0, 50, 0, 1000.0)],
+            vec![sid(&[0])],
+        );
+        let mut released = false;
+        for _ in 0..5 {
+            for u in tf.control(&o) {
+                if u.rate.is_infinite() {
+                    released = true;
+                }
+            }
+        }
+        assert!(released, "limit should be released after headroom ticks");
+        assert!(tf.limits[0].is_infinite());
+    }
+
+    #[test]
+    fn ablation_without_clustering_forms_one_problem() {
+        let mut tf = TopFull::new(TopFullConfig::default().without_clustering());
+        // Two disjoint overloads would normally be two clusters.
+        let o = obs(
+            &[0.95, 0.95],
+            &[
+                (200.0, 200.0, 50.0, 2000, 0, f64::INFINITY),
+                (200.0, 200.0, 50.0, 2000, 0, f64::INFINITY),
+            ],
+            vec![sid(&[0]), sid(&[1])],
+        );
+        tf.control(&o);
+        assert_eq!(
+            tf.last_decisions.len(),
+            1,
+            "ablation must solve one monolithic problem"
+        );
+        let mut tf2 = TopFull::new(TopFullConfig::default());
+        tf2.control(&o);
+        assert_eq!(tf2.last_decisions.len(), 2, "clustering splits in two");
+    }
+
+    #[test]
+    fn target_is_fewest_api_service() {
+        let mut tf = TopFull::new(TopFullConfig::default());
+        // Both services overloaded and in one cluster via API0;
+        // service 1 carries fewer APIs → chosen as target.
+        let o = obs(
+            &[0.95, 0.95],
+            &[
+                (200.0, 200.0, 50.0, 2000, 0, f64::INFINITY),
+                (200.0, 200.0, 50.0, 2000, 1, f64::INFINITY),
+            ],
+            vec![sid(&[0, 1]), sid(&[0])],
+        );
+        tf.control(&o);
+        assert_eq!(tf.last_decisions.len(), 2, "both overloaded services acted on");
+        assert_eq!(
+            tf.last_decisions[0].target,
+            ServiceId(1),
+            "fewest-API service processed first"
+        );
+    }
+}
+
+#[cfg(test)]
+mod fairness_tests {
+    use super::*;
+    use cluster::{ApiSpec, CallNode, Engine, EngineConfig, Harness, OpenLoopWorkload};
+    use cluster::{ServiceSpec, Topology};
+    use simnet::{SimDuration, SimTime};
+
+    /// Two same-priority APIs share one bottleneck; whatever skew the
+    /// initial transient creates, the Chiu–Jain group actions must
+    /// converge the pair toward an even split.
+    #[test]
+    fn equal_priority_apis_converge_to_fair_share() {
+        let mut topo = Topology::new("fair");
+        let s = topo.add_service(ServiceSpec::new("shared", 2));
+        let mk = |t: &mut Topology, name: &str, s| {
+            t.add_api(ApiSpec::single(
+                name,
+                CallNode::leaf(s, SimDuration::from_millis(10)),
+            ))
+        };
+        let a = mk(&mut topo, "a", s);
+        let b = mk(&mut topo, "b", s);
+        // Capacity 200 rps; offered very asymmetrically: 900 vs 300.
+        let w = OpenLoopWorkload::constant(vec![(a, 900.0), (b, 300.0)]);
+        let engine = Engine::new(
+            topo,
+            EngineConfig {
+                seed: 5,
+                service_jitter: 0.0,
+                ..EngineConfig::default()
+            },
+            Box::new(w),
+        );
+        let tf = TopFull::new(TopFullConfig::default().with_mimd());
+        let mut h = Harness::new(engine, Box::new(tf));
+        h.run_until(SimTime::from_secs(600));
+        let ga = h.result().mean_goodput_api(a, 450.0, 600.0);
+        let gb = h.result().mean_goodput_api(b, 450.0, 600.0);
+        assert!(
+            ga + gb > 120.0,
+            "bottleneck well utilized: {ga} + {gb}"
+        );
+        // The offered skew is 3:1; multiplicative cuts + equal-share
+        // raises must pull the served split well inside that.
+        let ratio = ga.max(gb) / ga.min(gb).max(1.0);
+        assert!(
+            ratio < 2.5,
+            "equal-priority split should approach fairness: {ga} vs {gb}"
+        );
+    }
+
+    /// Distinct priorities must NOT be fair: the high-priority API gets
+    /// the bottleneck, the low one survives at the floor.
+    #[test]
+    fn distinct_priorities_prefer_the_important_api() {
+        let mut topo = Topology::new("prio");
+        let s = topo.add_service(ServiceSpec::new("shared", 2));
+        let a = topo.add_api(
+            ApiSpec::single("vip", CallNode::leaf(s, SimDuration::from_millis(10)))
+                .business(cluster::types::BusinessPriority(0)),
+        );
+        let b = topo.add_api(
+            ApiSpec::single("batch", CallNode::leaf(s, SimDuration::from_millis(10)))
+                .business(cluster::types::BusinessPriority(5)),
+        );
+        let w = OpenLoopWorkload::constant(vec![(a, 400.0), (b, 400.0)]);
+        let engine = Engine::new(
+            topo,
+            EngineConfig {
+                seed: 6,
+                service_jitter: 0.0,
+                ..EngineConfig::default()
+            },
+            Box::new(w),
+        );
+        let tf = TopFull::new(TopFullConfig::default().with_mimd());
+        let mut h = Harness::new(engine, Box::new(tf));
+        h.run_until(SimTime::from_secs(240));
+        let ga = h.result().mean_goodput_api(a, 150.0, 240.0);
+        let gb = h.result().mean_goodput_api(b, 150.0, 240.0);
+        assert!(
+            ga > 2.0 * gb,
+            "priority must dominate the split: vip={ga} batch={gb}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod refinement_flag_tests {
+    use super::*;
+    use cluster::{ApiSpec, CallNode, Engine, EngineConfig, Harness, OpenLoopWorkload};
+    use cluster::{ServiceSpec, Topology};
+    use simnet::SimDuration;
+
+    /// Two independent bottlenecks inside one cluster (linked by a
+    /// spanning API): single-target mode must act on only one per tick.
+    fn two_bottleneck_engine(seed: u64) -> Engine {
+        let mut topo = Topology::new("two-bn");
+        let a = topo.add_service(ServiceSpec::new("a", 1));
+        let b = topo.add_service(ServiceSpec::new("b", 1));
+        let api_a = topo.add_api(ApiSpec::single(
+            "on-a",
+            CallNode::leaf(a, SimDuration::from_millis(10)),
+        ));
+        let api_b = topo.add_api(ApiSpec::single(
+            "on-b",
+            CallNode::leaf(b, SimDuration::from_millis(10)),
+        ));
+        // A spanning API links the two bottlenecks into one cluster.
+        let spanning = topo.add_api(ApiSpec::single(
+            "span",
+            CallNode::with_children(
+                a,
+                SimDuration::from_millis(1),
+                vec![CallNode::leaf(b, SimDuration::from_millis(1))],
+            ),
+        ));
+        let w = OpenLoopWorkload::constant(vec![
+            (api_a, 400.0),
+            (api_b, 400.0),
+            (spanning, 50.0),
+        ]);
+        Engine::new(
+            topo,
+            EngineConfig {
+                seed,
+                service_jitter: 0.0,
+                ..EngineConfig::default()
+            },
+            Box::new(w),
+        )
+    }
+
+    fn run_with(cfg: TopFullConfig, seed: u64) -> f64 {
+        let mut h = Harness::new(two_bottleneck_engine(seed), Box::new(TopFull::new(cfg)));
+        h.run_for_secs(120);
+        h.result().mean_total_goodput(60.0, 120.0)
+    }
+
+    #[test]
+    fn multi_target_beats_single_target_on_linked_bottlenecks() {
+        let multi = run_with(TopFullConfig::default().with_mimd(), 41);
+        let single = run_with(
+            TopFullConfig {
+                single_target_per_cluster: true,
+                ..TopFullConfig::default()
+            }
+            .with_mimd(),
+            41,
+        );
+        assert!(
+            multi >= single,
+            "acting on every bottleneck per interval must not lose: \
+             multi={multi} single={single}"
+        );
+    }
+
+    #[test]
+    fn verbatim_algorithm1_can_cut_idle_apis() {
+        // Overloaded service 0; an idle low-priority API shares its path.
+        let mk_obs = || {
+            use cluster::observe::{ApiWindow, ServiceWindow};
+            use cluster::types::BusinessPriority;
+            use simnet::SimTime;
+            ClusterObservation {
+                now: SimTime::from_secs(1),
+                window: SimDuration::from_secs(1),
+                services: vec![ServiceWindow {
+                    service: ServiceId(0),
+                    name: "s0".into(),
+                    utilization: 0.95,
+                    alive_pods: 1,
+                    desired_pods: 1,
+                    queue_len: 50,
+                    mean_queuing_delay: SimDuration::from_millis(100),
+                    started_calls: 100,
+                    dropped_calls: 0,
+                }],
+                apis: vec![
+                    ApiWindow {
+                        api: ApiId(0),
+                        name: "busy".into(),
+                        business: BusinessPriority(0),
+                        offered: 300.0,
+                        admitted: 300.0,
+                        goodput: 80.0,
+                        slo_violated: 100.0,
+                        failed: 0.0,
+                        p50: Some(SimDuration::from_millis(1500)),
+                        p95: Some(SimDuration::from_millis(2000)),
+                        p99: Some(SimDuration::from_millis(2000)),
+                        rate_limit: f64::INFINITY,
+                    },
+                    ApiWindow {
+                        api: ApiId(1),
+                        name: "idle".into(),
+                        business: BusinessPriority(5),
+                        offered: 0.0,
+                        admitted: 0.0,
+                        goodput: 0.0,
+                        slo_violated: 0.0,
+                        failed: 0.0,
+                        p50: None,
+                        p95: None,
+                        p99: None,
+                        rate_limit: f64::INFINITY,
+                    },
+                ],
+                api_paths: vec![vec![ServiceId(0)], vec![ServiceId(0)]],
+                slo: SimDuration::from_secs(1),
+            }
+        };
+        // Refined behaviour: the busy API is cut.
+        let mut refined = TopFull::new(TopFullConfig::default());
+        let ups = refined.control(&mk_obs());
+        assert_eq!(ups.len(), 1);
+        assert_eq!(ups[0].api, ApiId(0), "refined controller cuts the load");
+        // Verbatim Algorithm 1: the idle lowest-priority API is cut
+        // (uselessly) instead.
+        let mut verbatim = TopFull::new(TopFullConfig {
+            restrict_cuts_to_contributing: false,
+            ..TopFullConfig::default()
+        });
+        let ups = verbatim.control(&mk_obs());
+        assert_eq!(ups.len(), 1);
+        assert_eq!(ups[0].api, ApiId(1), "verbatim targets the idle API");
+    }
+
+    #[test]
+    fn unfair_group_steps_preserve_the_skew() {
+        // Directly exercise apply_group_action on a skewed pair.
+        use cluster::observe::{ApiWindow, ServiceWindow};
+        use cluster::types::BusinessPriority;
+        use simnet::SimTime;
+        let obs = ClusterObservation {
+            now: SimTime::from_secs(1),
+            window: SimDuration::from_secs(1),
+            services: vec![ServiceWindow {
+                service: ServiceId(0),
+                name: "s0".into(),
+                utilization: 0.5,
+                alive_pods: 1,
+                desired_pods: 1,
+                queue_len: 0,
+                mean_queuing_delay: SimDuration::ZERO,
+                started_calls: 0,
+                dropped_calls: 0,
+            }],
+            apis: (0..2)
+                .map(|i| ApiWindow {
+                    api: ApiId(i),
+                    name: format!("a{i}"),
+                    business: BusinessPriority(0),
+                    offered: 100.0,
+                    admitted: 100.0,
+                    goodput: 100.0,
+                    slo_violated: 0.0,
+                    failed: 0.0,
+                    p50: None,
+                    p95: None,
+                    p99: None,
+                    rate_limit: f64::INFINITY,
+                })
+                .collect(),
+            api_paths: vec![vec![ServiceId(0)], vec![ServiceId(0)]],
+            slo: SimDuration::from_secs(1),
+        };
+        let raise = |fair: bool| {
+            let mut tf = TopFull::new(TopFullConfig {
+                fair_group_steps: fair,
+                ..TopFullConfig::default()
+            });
+            tf.limits = vec![300.0, 100.0]; // 3:1 skew
+            tf.headroom_ticks = vec![0, 0];
+            let mut ups = Vec::new();
+            tf.apply_group_action(&obs, &[ApiId(0), ApiId(1)], 0.2, &mut ups);
+            (tf.limits[0], tf.limits[1])
+        };
+        let (fa, fb) = raise(true);
+        let (ua, ub) = raise(false);
+        // Fair: equal absolute gains shrink the relative skew.
+        assert!(fa / fb < 3.0, "fair steps reduce the ratio: {fa}/{fb}");
+        // Unfair: multiplicative raise keeps the 3:1 ratio exactly.
+        assert!((ua / ub - 3.0).abs() < 1e-9, "unfair keeps 3:1: {ua}/{ub}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Overload detection from per-service resource utilization.
+//!
+//! "We detect overloaded microservices when the resource utilization of a
+//! microservice exceeds a predetermined threshold" (§4.2). The paper's
+//! trace analysis classifies services as overloaded above 0.8 CPU
+//! utilization, which we adopt as the default. A small hysteresis gap
+//! keeps services from flapping in and out of the overloaded set at the
+//! 1-second cadence.
+
+use cluster::observe::ClusterObservation;
+use cluster::types::ServiceId;
+
+/// Utilization-threshold overload detector with hysteresis.
+#[derive(Clone, Debug)]
+pub struct OverloadDetector {
+    /// Enter the overloaded set above this utilization.
+    pub enter: f64,
+    /// Leave the overloaded set below this utilization.
+    pub exit: f64,
+    currently_overloaded: Vec<bool>,
+}
+
+impl OverloadDetector {
+    /// Detector with the paper's 0.8 threshold (exit at 0.75).
+    pub fn new(num_services: usize) -> Self {
+        Self::with_thresholds(num_services, 0.8, 0.75)
+    }
+
+    /// Detector with explicit enter/exit thresholds (`exit ≤ enter`).
+    pub fn with_thresholds(num_services: usize, enter: f64, exit: f64) -> Self {
+        assert!(exit <= enter, "hysteresis requires exit ≤ enter");
+        OverloadDetector {
+            enter,
+            exit,
+            currently_overloaded: vec![false; num_services],
+        }
+    }
+
+    /// Update from an observation; returns the overloaded set, ascending.
+    pub fn detect(&mut self, obs: &ClusterObservation) -> Vec<ServiceId> {
+        let mut out = Vec::new();
+        for w in &obs.services {
+            let flag = &mut self.currently_overloaded[w.service.idx()];
+            if *flag {
+                if w.utilization < self.exit {
+                    *flag = false;
+                }
+            } else if w.utilization > self.enter {
+                *flag = true;
+            }
+            if *flag {
+                out.push(w.service);
+            }
+        }
+        out
+    }
+
+    /// Whether a service is currently flagged.
+    pub fn is_overloaded(&self, svc: ServiceId) -> bool {
+        self.currently_overloaded[svc.idx()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::observe::{ApiWindow, ServiceWindow};
+    use simnet::{SimDuration, SimTime};
+
+    fn obs(utils: &[f64]) -> ClusterObservation {
+        ClusterObservation {
+            now: SimTime::from_secs(1),
+            window: SimDuration::from_secs(1),
+            services: utils
+                .iter()
+                .enumerate()
+                .map(|(i, u)| ServiceWindow {
+                    service: ServiceId(i as u32),
+                    name: format!("s{i}"),
+                    utilization: *u,
+                    alive_pods: 1,
+                    desired_pods: 1,
+                    queue_len: 0,
+                    mean_queuing_delay: SimDuration::ZERO,
+                    started_calls: 0,
+                    dropped_calls: 0,
+                })
+                .collect(),
+            apis: Vec::<ApiWindow>::new(),
+            api_paths: vec![],
+            slo: SimDuration::from_secs(1),
+        }
+    }
+
+    #[test]
+    fn detects_above_enter_threshold() {
+        let mut d = OverloadDetector::new(3);
+        let got = d.detect(&obs(&[0.5, 0.85, 0.79]));
+        assert_eq!(got, vec![ServiceId(1)]);
+    }
+
+    #[test]
+    fn hysteresis_holds_between_thresholds() {
+        let mut d = OverloadDetector::new(1);
+        assert_eq!(d.detect(&obs(&[0.9])).len(), 1);
+        // 0.77 is between exit (0.75) and enter (0.8): stays overloaded.
+        assert_eq!(d.detect(&obs(&[0.77])).len(), 1);
+        assert!(d.is_overloaded(ServiceId(0)));
+        // Below exit: clears.
+        assert!(d.detect(&obs(&[0.7])).is_empty());
+        // Back between thresholds: stays clear.
+        assert!(d.detect(&obs(&[0.77])).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exit ≤ enter")]
+    fn invalid_thresholds_panic() {
+        OverloadDetector::with_thresholds(1, 0.5, 0.9);
+    }
+}

@@ -1,0 +1,208 @@
+//! Pluggable rate-step policies for per-cluster control.
+//!
+//! A [`RateController`] turns the end-to-end state of a candidate API set
+//! — "1) the ratio of goodput to the current rate limit, and 2) the
+//! end-to-end percentile latency" (§4.3) — into a multiplicative step in
+//! `[-0.5, 0.5]`. Three implementations from the paper:
+//!
+//! * [`RlRateController`] — the trained PPO policy (TopFull proper).
+//! * [`MimdController`] — the §6.2 ablation: a fixed 0.05 multiplicative
+//!   decrease past the SLO, a fixed 0.01 increase otherwise. Also
+//!   parameterizes the DAGOR-style static stepping of Fig. 13 / Table 2.
+//! * [`BwRateController`] — §6.3's TopFull(BW): Breakwater's control law
+//!   at the entry (additive increase under the delay target,
+//!   multiplicative decrease proportional to overload severity).
+
+use rl::policy::PolicyValue;
+
+/// End-to-end state of the candidate API set.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RateState {
+    /// Σ goodput / Σ current rate limits over the candidates, in `[0, 2]`.
+    pub goodput_ratio: f64,
+    /// Max end-to-end tail latency over candidates, divided by the SLO.
+    pub latency_ratio: f64,
+    /// Σ current rate limits (requests/s) — lets additive controllers
+    /// convert their step to a multiplicative action.
+    pub total_limit: f64,
+}
+
+/// A step-size policy. Must be `Send + Sync`: clusters are controlled in
+/// parallel.
+pub trait RateController: Send + Sync {
+    /// Multiplicative step in `[-0.5, 0.5]` applied per Algorithm 1.
+    fn decide(&self, s: RateState) -> f64;
+
+    /// Name for experiment reports.
+    fn name(&self) -> &str;
+}
+
+/// The RL policy (deterministic at inference).
+pub struct RlRateController {
+    pub policy: PolicyValue,
+}
+
+impl RlRateController {
+    pub fn new(policy: PolicyValue) -> Self {
+        RlRateController { policy }
+    }
+}
+
+impl RateController for RlRateController {
+    fn decide(&self, s: RateState) -> f64 {
+        self.policy
+            .act_deterministic(&[s.goodput_ratio.clamp(0.0, 2.0), s.latency_ratio.clamp(0.0, 5.0)])
+    }
+
+    fn name(&self) -> &str {
+        "rl"
+    }
+}
+
+/// Threshold-based multiplicative increase/decrease (the ablation):
+/// "it makes a 0.05 multiplicative decrease to the current target rate
+/// limit when the latency exceeds the SLO. It makes 0.01 multiplicative
+/// increase step to the target APIs, otherwise" (§6.2).
+#[derive(Clone, Copy, Debug)]
+pub struct MimdController {
+    pub decrease: f64,
+    pub increase: f64,
+}
+
+impl MimdController {
+    /// The paper's default steps (−0.05 / +0.01).
+    pub fn paper_default() -> Self {
+        MimdController {
+            decrease: 0.05,
+            increase: 0.01,
+        }
+    }
+
+    /// Custom steps, for the Fig. 13 step-size sweep.
+    pub fn with_steps(decrease: f64, increase: f64) -> Self {
+        MimdController { decrease, increase }
+    }
+}
+
+impl RateController for MimdController {
+    fn decide(&self, s: RateState) -> f64 {
+        if s.latency_ratio > 1.0 {
+            -self.decrease.clamp(0.0, 0.5)
+        } else {
+            self.increase.clamp(0.0, 0.5)
+        }
+    }
+
+    fn name(&self) -> &str {
+        "mimd"
+    }
+}
+
+/// Breakwater's control law as an entry rate controller (TopFull(BW)):
+/// additive increase while the latency signal is under target,
+/// multiplicative decrease proportional to overload severity (§6.3).
+#[derive(Clone, Copy, Debug)]
+pub struct BwRateController {
+    /// Additive step (requests/s) while healthy.
+    pub additive: f64,
+    /// Severity sensitivity of the decrease.
+    pub beta: f64,
+    /// Latency target as a fraction of the SLO.
+    pub target_ratio: f64,
+}
+
+impl Default for BwRateController {
+    fn default() -> Self {
+        BwRateController {
+            additive: 50.0,
+            beta: 0.4,
+            target_ratio: 0.8,
+        }
+    }
+}
+
+impl RateController for BwRateController {
+    fn decide(&self, s: RateState) -> f64 {
+        if s.latency_ratio <= self.target_ratio {
+            if s.total_limit <= 0.0 {
+                return 0.5;
+            }
+            (self.additive / s.total_limit).min(0.5)
+        } else {
+            let severity =
+                ((s.latency_ratio - self.target_ratio) / s.latency_ratio).clamp(0.0, 1.0);
+            -(self.beta * severity).min(0.5)
+        }
+    }
+
+    fn name(&self) -> &str {
+        "breakwater-style"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn st(goodput_ratio: f64, latency_ratio: f64, total_limit: f64) -> RateState {
+        RateState {
+            goodput_ratio,
+            latency_ratio,
+            total_limit,
+        }
+    }
+
+    #[test]
+    fn mimd_steps_match_paper() {
+        let c = MimdController::paper_default();
+        assert_eq!(c.decide(st(0.5, 2.0, 100.0)), -0.05);
+        assert_eq!(c.decide(st(1.0, 0.5, 100.0)), 0.01);
+        // Boundary: exactly at the SLO counts as healthy.
+        assert_eq!(c.decide(st(1.0, 1.0, 100.0)), 0.01);
+    }
+
+    #[test]
+    fn mimd_custom_steps_clamped() {
+        let c = MimdController::with_steps(0.9, 0.9);
+        assert_eq!(c.decide(st(0.5, 2.0, 100.0)), -0.5);
+        assert_eq!(c.decide(st(0.5, 0.5, 100.0)), 0.5);
+    }
+
+    #[test]
+    fn bw_additive_is_rate_relative() {
+        let c = BwRateController::default();
+        // +50 rps on a 500 rps limit = +0.1 multiplicative.
+        let a = c.decide(st(1.0, 0.5, 500.0));
+        assert!((a - 0.1).abs() < 1e-12);
+        // Same additive step is a bigger fraction of a small limit.
+        let b = c.decide(st(1.0, 0.5, 100.0));
+        assert!((b - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bw_decrease_scales_with_severity() {
+        let c = BwRateController::default();
+        let mild = c.decide(st(0.5, 1.0, 500.0));
+        let severe = c.decide(st(0.5, 4.0, 500.0));
+        assert!(mild < 0.0 && severe < mild, "mild {mild}, severe {severe}");
+        assert!(severe >= -0.5);
+    }
+
+    #[test]
+    fn rl_controller_outputs_bounded_actions() {
+        let policy = PolicyValue::new(2, &mut SmallRng::seed_from_u64(1));
+        let c = RlRateController::new(policy);
+        for s in [st(0.0, 5.0, 10.0), st(1.0, 0.0, 1e6), st(2.0, 1.0, 0.0)] {
+            let a = c.decide(s);
+            assert!((-0.5..=0.5).contains(&a), "action {a} out of range");
+        }
+    }
+
+    #[test]
+    fn controllers_have_names() {
+        assert_eq!(MimdController::paper_default().name(), "mimd");
+        assert_eq!(BwRateController::default().name(), "breakwater-style");
+    }
+}

@@ -1,0 +1,187 @@
+//! Policy diagnostics: inspect what a trained rate controller will do.
+//!
+//! The whole controller hinges on a 2-dim → 1-dim function, so it can be
+//! audited exhaustively: [`action_surface`] samples the policy over the
+//! (goodput-ratio, latency-ratio) grid, and [`PolicyAudit`] checks the
+//! qualitative properties a safe overload-control policy must have —
+//! aggressive cuts under deep overload, gentle probing near the optimum,
+//! recovery when underutilized (§4.3: "an effective rate controller
+//! should make aggressive decisions in the initial phase of overload
+//! according to its severity and then finely adjust the rate-limit").
+//!
+//! The experiment harness prints audits next to training reports, and the
+//! controller tests gate on them before trusting a policy.
+
+use crate::policy::PolicyValue;
+use serde::Serialize;
+
+/// The policy's action over a state grid.
+#[derive(Clone, Debug, Serialize)]
+pub struct ActionSurface {
+    /// Goodput-ratio axis values.
+    pub ratios: Vec<f64>,
+    /// Latency-ratio axis values.
+    pub latencies: Vec<f64>,
+    /// `actions[i][j]` = action at `(ratios[i], latencies[j])`.
+    pub actions: Vec<Vec<f64>>,
+}
+
+/// Sample the deterministic policy over a regular grid.
+pub fn action_surface(
+    policy: &PolicyValue,
+    ratio_range: (f64, f64),
+    latency_range: (f64, f64),
+    steps: usize,
+) -> ActionSurface {
+    let steps = steps.max(2);
+    let axis = |lo: f64, hi: f64| -> Vec<f64> {
+        (0..steps)
+            .map(|i| lo + (hi - lo) * i as f64 / (steps - 1) as f64)
+            .collect()
+    };
+    let ratios = axis(ratio_range.0, ratio_range.1);
+    let latencies = axis(latency_range.0, latency_range.1);
+    let actions = ratios
+        .iter()
+        .map(|r| {
+            latencies
+                .iter()
+                .map(|l| policy.act_deterministic(&[*r, *l]))
+                .collect()
+        })
+        .collect();
+    ActionSurface {
+        ratios,
+        latencies,
+        actions,
+    }
+}
+
+impl ActionSurface {
+    /// Render as a compact ASCII heat map (rows = goodput ratio,
+    /// columns = latency ratio; `-`/`+` intensity = cut/raise).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "rows: goodput/limit {:.2}..{:.2}; cols: latency/SLO {:.2}..{:.2}",
+            self.ratios.first().copied().unwrap_or(0.0),
+            self.ratios.last().copied().unwrap_or(0.0),
+            self.latencies.first().copied().unwrap_or(0.0),
+            self.latencies.last().copied().unwrap_or(0.0),
+        );
+        for row in &self.actions {
+            for a in row {
+                let c = match *a {
+                    x if x <= -0.4 => 'X',
+                    x if x <= -0.2 => 'x',
+                    x if x < -0.02 => '-',
+                    x if x < 0.02 => '.',
+                    x if x < 0.2 => '+',
+                    _ => 'P',
+                };
+                s.push(c);
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Qualitative audit of a rate-controller policy.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct PolicyAudit {
+    /// Cuts hard (≤ -0.3) under deep overload (low ratio, high latency).
+    pub cuts_under_deep_overload: bool,
+    /// Raises (> 0) when fully utilized with low latency.
+    pub raises_when_healthy: bool,
+    /// Action magnitude near the presumed optimum (ratio ≈ 1,
+    /// latency ≈ 0.5) is small (|a| < 0.15) — fine adjustment.
+    pub gentle_near_optimum: bool,
+    /// Monotone-ish in latency: at ratio 1, the action at latency 2.0 is
+    /// at most the action at latency 0.2.
+    pub latency_monotone: bool,
+}
+
+impl PolicyAudit {
+    /// Run the audit.
+    pub fn run(policy: &PolicyValue) -> PolicyAudit {
+        let act = |r: f64, l: f64| policy.act_deterministic(&[r, l]);
+        PolicyAudit {
+            cuts_under_deep_overload: act(0.3, 3.0) <= -0.3 && act(0.2, 5.0) <= -0.3,
+            raises_when_healthy: act(1.0, 0.05) > 0.0 && act(1.2, 0.1) > 0.0,
+            gentle_near_optimum: act(0.95, 0.5).abs() < 0.15,
+            latency_monotone: act(1.0, 2.0) <= act(1.0, 0.2),
+        }
+    }
+
+    /// All properties hold.
+    pub fn passes(&self) -> bool {
+        self.cuts_under_deep_overload
+            && self.raises_when_healthy
+            && self.gentle_near_optimum
+            && self.latency_monotone
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph_env::GraphEnv;
+    use crate::ppo::PpoConfig;
+    use crate::trainer::{Trainer, TrainerConfig};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn surface_has_grid_shape() {
+        let p = PolicyValue::new(2, &mut SmallRng::seed_from_u64(1));
+        let s = action_surface(&p, (0.0, 2.0), (0.0, 5.0), 8);
+        assert_eq!(s.ratios.len(), 8);
+        assert_eq!(s.latencies.len(), 8);
+        assert_eq!(s.actions.len(), 8);
+        assert!(s.actions.iter().all(|r| r.len() == 8));
+        assert!(s
+            .actions
+            .iter()
+            .flatten()
+            .all(|a| (-0.5..=0.5).contains(a)));
+    }
+
+    #[test]
+    fn render_is_one_char_per_cell() {
+        let p = PolicyValue::new(2, &mut SmallRng::seed_from_u64(2));
+        let s = action_surface(&p, (0.0, 2.0), (0.0, 5.0), 6);
+        let text = s.render();
+        let rows: Vec<&str> = text.lines().skip(1).collect();
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().all(|r| r.chars().count() == 6));
+    }
+
+    #[test]
+    fn untrained_policy_fails_the_audit() {
+        // An untrained network is near-zero everywhere: it won't cut hard
+        // under deep overload.
+        let p = PolicyValue::new(2, &mut SmallRng::seed_from_u64(3));
+        let audit = PolicyAudit::run(&p);
+        assert!(!audit.cuts_under_deep_overload);
+        assert!(!audit.passes());
+    }
+
+    #[test]
+    #[ignore = "trains a policy (~1 min); run with --ignored"]
+    fn trained_policy_passes_the_audit() {
+        let mut trainer = Trainer::new(TrainerConfig {
+            ppo: PpoConfig::fast(),
+            episodes: 2000,
+            checkpoint_every: 200,
+            validation_episodes: 8,
+            workers: 4,
+            seed: 77,
+        });
+        let report = trainer.train(GraphEnv::new);
+        let audit = PolicyAudit::run(&report.best_model);
+        assert!(audit.cuts_under_deep_overload, "{audit:?}");
+        assert!(audit.raises_when_healthy, "{audit:?}");
+        assert!(audit.latency_monotone, "{audit:?}");
+    }
+}

@@ -1,0 +1,28 @@
+//! Environment abstraction for the rate-controller agent.
+
+use rand::rngs::SmallRng;
+
+/// One step's outcome.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StepResult {
+    /// Next state (goodput/limit ratio, normalized tail latency).
+    pub state: [f64; 2],
+    /// Reward: `ΔGoodput − ρ·max(0, latency − SLO)` (Equation 3).
+    pub reward: f64,
+    /// Episode termination.
+    pub done: bool,
+}
+
+/// An episodic environment with the paper's 2-dim state / 1-dim action.
+pub trait RlEnv {
+    /// Start a new episode; returns the initial state.
+    fn reset(&mut self, rng: &mut SmallRng) -> [f64; 2];
+
+    /// Apply a (clipped) multiplicative rate action in `[-0.5, 0.5]`.
+    fn step(&mut self, action: f64, rng: &mut SmallRng) -> StepResult;
+
+    /// Fixed episode length (the paper uses 50 steps, Table 1).
+    fn horizon(&self) -> usize {
+        50
+    }
+}

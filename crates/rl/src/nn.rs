@@ -1,0 +1,347 @@
+//! Minimal neural-network substrate: tanh MLPs with manual backprop,
+//! flat parameter storage, and the Adam optimizer.
+//!
+//! The paper's models are tiny — "Our RL model is lightweight, having
+//! two-dimensional state space and one-dimensional action space" (§6.4) —
+//! so a per-sample forward/backward over `Vec<f64>` is both simple and
+//! fast enough (inference is a few thousand flops; the paper reports
+//! 2.33 × 10⁶ cycles per inference on a Xeon).
+//!
+//! Parameters live in one flat `Vec<f64>` (weights then biases, layer by
+//! layer), which makes the optimizer and serialization trivial.
+
+use rand::rngs::SmallRng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// A multi-layer perceptron with tanh hidden activations and a linear
+/// output layer, parameters stored flat.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Mlp {
+    /// Layer widths, input first: e.g. `[2, 64, 64, 1]`.
+    pub dims: Vec<usize>,
+    /// All parameters: per layer, row-major `out×in` weights then `out`
+    /// biases.
+    pub params: Vec<f64>,
+}
+
+/// Forward-pass cache needed for backprop.
+pub struct Tape {
+    /// Activations per layer, `act[0]` = input, `act[L]` = output.
+    act: Vec<Vec<f64>>,
+}
+
+impl Mlp {
+    /// Number of parameters for the given dims.
+    pub fn param_count(dims: &[usize]) -> usize {
+        dims.windows(2).map(|w| w[0] * w[1] + w[1]).sum()
+    }
+
+    /// Xavier-style random initialization.
+    pub fn new(dims: &[usize], rng: &mut SmallRng) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output dims");
+        let mut params = Vec::with_capacity(Self::param_count(dims));
+        for w in dims.windows(2) {
+            let (nin, nout) = (w[0], w[1]);
+            let std = (2.0 / (nin + nout) as f64).sqrt();
+            let dist = Normal::new(0.0, std).expect("valid normal");
+            for _ in 0..nin * nout {
+                params.push(dist.sample(rng));
+            }
+            params.extend(std::iter::repeat_n(0.0, nout));
+        }
+        Mlp {
+            dims: dims.to_vec(),
+            params,
+        }
+    }
+
+    /// Offset of layer `l`'s weights within `params`.
+    fn layer_offset(&self, l: usize) -> usize {
+        self.dims
+            .windows(2)
+            .take(l)
+            .map(|w| w[0] * w[1] + w[1])
+            .sum()
+    }
+
+    /// Forward pass without a tape (inference).
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        self.forward_tape(x).0
+    }
+
+    /// Forward pass returning the output and the backprop tape.
+    pub fn forward_tape(&self, x: &[f64]) -> (Vec<f64>, Tape) {
+        assert_eq!(x.len(), self.dims[0], "input dim mismatch");
+        let n_layers = self.dims.len() - 1;
+        let mut act = Vec::with_capacity(n_layers + 1);
+        act.push(x.to_vec());
+        for l in 0..n_layers {
+            let (nin, nout) = (self.dims[l], self.dims[l + 1]);
+            let off = self.layer_offset(l);
+            let w = &self.params[off..off + nin * nout];
+            let b = &self.params[off + nin * nout..off + nin * nout + nout];
+            let prev = &act[l];
+            let mut out = vec![0.0; nout];
+            for o in 0..nout {
+                let mut s = b[o];
+                let row = &w[o * nin..(o + 1) * nin];
+                for i in 0..nin {
+                    s += row[i] * prev[i];
+                }
+                // tanh on hidden layers, linear output.
+                out[o] = if l + 1 < n_layers { s.tanh() } else { s };
+            }
+            act.push(out);
+        }
+        let out = act.last().expect("output").clone();
+        (out, Tape { act })
+    }
+
+    /// Backprop `d_out` (∂loss/∂output) through the tape; accumulates
+    /// parameter gradients into `grad` (same length as `params`) and
+    /// returns ∂loss/∂input.
+    pub fn backward(&self, tape: &Tape, d_out: &[f64], grad: &mut [f64]) -> Vec<f64> {
+        assert_eq!(grad.len(), self.params.len());
+        let n_layers = self.dims.len() - 1;
+        assert_eq!(d_out.len(), self.dims[n_layers]);
+        let mut delta = d_out.to_vec();
+        for l in (0..n_layers).rev() {
+            let (nin, nout) = (self.dims[l], self.dims[l + 1]);
+            let off = self.layer_offset(l);
+            // For hidden layers, delta arrives post-activation; convert
+            // through tanh': 1 - y².
+            if l + 1 < n_layers {
+                let y = &tape.act[l + 1];
+                for o in 0..nout {
+                    delta[o] *= 1.0 - y[o] * y[o];
+                }
+            }
+            let prev = &tape.act[l];
+            // Parameter grads.
+            for o in 0..nout {
+                let g_row = &mut grad[off + o * nin..off + (o + 1) * nin];
+                for i in 0..nin {
+                    g_row[i] += delta[o] * prev[i];
+                }
+            }
+            for o in 0..nout {
+                grad[off + nin * nout + o] += delta[o];
+            }
+            // Input grads for the next (shallower) layer.
+            let w = &self.params[off..off + nin * nout];
+            let mut d_in = vec![0.0; nin];
+            for o in 0..nout {
+                let row = &w[o * nin..(o + 1) * nin];
+                for i in 0..nin {
+                    d_in[i] += row[i] * delta[o];
+                }
+            }
+            delta = d_in;
+        }
+        delta
+    }
+}
+
+/// Adam optimizer over a flat parameter vector.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Adam {
+    pub lr: f64,
+    pub beta1: f64,
+    pub beta2: f64,
+    pub eps: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Adam with the usual (0.9, 0.999) moments.
+    pub fn new(lr: f64, n_params: usize) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: vec![0.0; n_params],
+            v: vec![0.0; n_params],
+            t: 0,
+        }
+    }
+
+    /// One descent step: `params -= lr * m̂ / (√v̂ + ε)`.
+    pub fn step(&mut self, params: &mut [f64], grad: &[f64]) {
+        assert_eq!(params.len(), self.m.len());
+        assert_eq!(grad.len(), self.m.len());
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grad[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
+            let mhat = self.m[i] / b1t;
+            let vhat = self.v[i] / b2t;
+            params[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+}
+
+/// Global-norm gradient clipping; returns the pre-clip norm.
+pub fn clip_grad_norm(grad: &mut [f64], max_norm: f64) -> f64 {
+    let norm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for g in grad.iter_mut() {
+            *g *= scale;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn param_count_is_consistent() {
+        let dims = [2, 64, 64, 1];
+        let net = Mlp::new(&dims, &mut rng());
+        assert_eq!(net.params.len(), Mlp::param_count(&dims));
+        assert_eq!(Mlp::param_count(&[2, 3]), 2 * 3 + 3);
+    }
+
+    #[test]
+    fn forward_shapes_and_determinism() {
+        let net = Mlp::new(&[2, 8, 3], &mut rng());
+        let y1 = net.forward(&[0.5, -0.2]);
+        let y2 = net.forward(&[0.5, -0.2]);
+        assert_eq!(y1.len(), 3);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        // Loss = sum(outputs); check dL/dθ numerically.
+        let mut net = Mlp::new(&[3, 5, 4, 2], &mut rng());
+        let x = [0.3, -0.7, 1.1];
+        let (_, tape) = net.forward_tape(&x);
+        let mut grad = vec![0.0; net.params.len()];
+        net.backward(&tape, &[1.0, 1.0], &mut grad);
+        let eps = 1e-6;
+        // Spot-check a spread of parameters (all would be slow-ish).
+        for &pi in &[0usize, 7, 20, 33, 41, net.params.len() - 1] {
+            let orig = net.params[pi];
+            net.params[pi] = orig + eps;
+            let up: f64 = net.forward(&x).iter().sum();
+            net.params[pi] = orig - eps;
+            let dn: f64 = net.forward(&x).iter().sum();
+            net.params[pi] = orig;
+            let numeric = (up - dn) / (2.0 * eps);
+            assert!(
+                (numeric - grad[pi]).abs() < 1e-5,
+                "param {pi}: numeric {numeric} vs analytic {}",
+                grad[pi]
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let net = Mlp::new(&[2, 6, 1], &mut rng());
+        let x = [0.4, -0.9];
+        let (_, tape) = net.forward_tape(&x);
+        let mut grad = vec![0.0; net.params.len()];
+        let d_in = net.backward(&tape, &[1.0], &mut grad);
+        let eps = 1e-6;
+        for i in 0..2 {
+            let mut xp = x;
+            xp[i] += eps;
+            let up = net.forward(&xp)[0];
+            xp[i] -= 2.0 * eps;
+            let dn = net.forward(&xp)[0];
+            let numeric = (up - dn) / (2.0 * eps);
+            assert!(
+                (numeric - d_in[i]).abs() < 1e-5,
+                "input {i}: numeric {numeric} vs analytic {}",
+                d_in[i]
+            );
+        }
+    }
+
+    #[test]
+    fn adam_fits_a_regression() {
+        // Fit y = 2x₁ - 3x₂ + 1 with a linear net (no hidden layer).
+        let mut net = Mlp::new(&[2, 1], &mut rng());
+        let mut opt = Adam::new(0.05, net.params.len());
+        let data: Vec<([f64; 2], f64)> = (0..50)
+            .map(|i| {
+                let x1 = (i as f64 / 25.0) - 1.0;
+                let x2 = ((i * 7 % 50) as f64 / 25.0) - 1.0;
+                ([x1, x2], 2.0 * x1 - 3.0 * x2 + 1.0)
+            })
+            .collect();
+        for _ in 0..400 {
+            let mut grad = vec![0.0; net.params.len()];
+            for (x, y) in &data {
+                let (out, tape) = net.forward_tape(x);
+                let err = out[0] - y;
+                net.backward(&tape, &[2.0 * err / data.len() as f64], &mut grad);
+            }
+            opt.step(&mut net.params, &grad);
+        }
+        let mse: f64 = data
+            .iter()
+            .map(|(x, y)| (net.forward(x)[0] - y).powi(2))
+            .sum::<f64>()
+            / data.len() as f64;
+        assert!(mse < 1e-3, "Adam should fit the line, mse={mse}");
+    }
+
+    #[test]
+    fn nonlinear_fit_with_hidden_layer() {
+        // Fit y = x² on [-1, 1]; impossible for a linear model.
+        let mut net = Mlp::new(&[1, 16, 1], &mut rng());
+        let mut opt = Adam::new(0.01, net.params.len());
+        let xs: Vec<f64> = (0..41).map(|i| -1.0 + i as f64 / 20.0).collect();
+        for _ in 0..2000 {
+            let mut grad = vec![0.0; net.params.len()];
+            for &x in &xs {
+                let (out, tape) = net.forward_tape(&[x]);
+                let err = out[0] - x * x;
+                net.backward(&tape, &[2.0 * err / xs.len() as f64], &mut grad);
+            }
+            opt.step(&mut net.params, &grad);
+        }
+        let worst = xs
+            .iter()
+            .map(|&x| (net.forward(&[x])[0] - x * x).abs())
+            .fold(0.0, f64::max);
+        assert!(worst < 0.08, "x² fit worst-case error {worst}");
+    }
+
+    #[test]
+    fn grad_clip_preserves_direction() {
+        let mut g = vec![3.0, 4.0];
+        let norm = clip_grad_norm(&mut g, 1.0);
+        assert!((norm - 5.0).abs() < 1e-12);
+        assert!((g[0] - 0.6).abs() < 1e-12);
+        assert!((g[1] - 0.8).abs() < 1e-12);
+        // Under the cap: untouched.
+        let mut g2 = vec![0.1, 0.1];
+        clip_grad_norm(&mut g2, 1.0);
+        assert_eq!(g2, vec![0.1, 0.1]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let net = Mlp::new(&[2, 4, 1], &mut rng());
+        let json = serde_json::to_string(&net).unwrap();
+        let back: Mlp = serde_json::from_str(&json).unwrap();
+        assert_eq!(net.forward(&[0.2, 0.8]), back.forward(&[0.2, 0.8]));
+    }
+}

@@ -1,0 +1,190 @@
+//! Diagonal-Gaussian policy and value function.
+//!
+//! The actor maps the 2-dim state to the mean of a 1-dim Gaussian whose
+//! log-std is a free learnable parameter (RLlib's default for continuous
+//! PPO); the critic is a separate MLP. Sampled actions are clipped to the
+//! paper's `[-0.5, 0.5]` action space at *application* time while
+//! log-probabilities are computed on the unclipped sample, matching
+//! RLlib's space-clipping behaviour.
+
+use crate::nn::Mlp;
+use crate::{ACTION_HIGH, ACTION_LOW};
+use rand::rngs::SmallRng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+const LN_2PI: f64 = 1.837_877_066_409_345_5;
+
+/// Actor-critic parameters: policy mean net, log-std, and value net.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PolicyValue {
+    pub pi: Mlp,
+    /// Global log standard deviation of the action Gaussian.
+    pub log_std: f64,
+    pub vf: Mlp,
+}
+
+impl PolicyValue {
+    /// Fresh networks: `state_dim → 64 → 64 → 1` for both heads.
+    pub fn new(state_dim: usize, rng: &mut SmallRng) -> Self {
+        PolicyValue {
+            pi: Mlp::new(&[state_dim, 64, 64, 1], rng),
+            // std ≈ 0.2: explores a meaningful fraction of [-0.5, 0.5].
+            log_std: -1.6,
+            vf: Mlp::new(&[state_dim, 64, 64, 1], rng),
+        }
+    }
+
+    /// Deterministic action (the mean), clipped to the action space.
+    pub fn act_deterministic(&self, state: &[f64]) -> f64 {
+        self.pi.forward(state)[0].clamp(ACTION_LOW, ACTION_HIGH)
+    }
+
+    /// Sample an action; returns `(raw_sample, clipped_action, log_prob)`.
+    ///
+    /// `raw_sample` feeds the PPO update; `clipped_action` is what the
+    /// environment executes.
+    pub fn act_stochastic(&self, state: &[f64], rng: &mut SmallRng) -> (f64, f64, f64) {
+        let mean = self.pi.forward(state)[0];
+        let std = self.log_std.exp();
+        let raw = Normal::new(mean, std).expect("valid normal").sample(rng);
+        let logp = self.log_prob_given_mean(mean, raw);
+        (raw, raw.clamp(ACTION_LOW, ACTION_HIGH), logp)
+    }
+
+    /// Log-probability of `raw` under the current policy at `state`.
+    pub fn log_prob(&self, state: &[f64], raw: f64) -> f64 {
+        self.log_prob_given_mean(self.pi.forward(state)[0], raw)
+    }
+
+    fn log_prob_given_mean(&self, mean: f64, raw: f64) -> f64 {
+        let std = self.log_std.exp();
+        let z = (raw - mean) / std;
+        -0.5 * z * z - self.log_std - 0.5 * LN_2PI
+    }
+
+    /// State value estimate.
+    pub fn value(&self, state: &[f64]) -> f64 {
+        self.vf.forward(state)[0]
+    }
+
+    /// Analytic KL divergence `KL(old ‖ new)` between two Gaussians with
+    /// means at `state` under each policy.
+    pub fn kl_from(&self, old: &PolicyValue, state: &[f64]) -> f64 {
+        let m_old = old.pi.forward(state)[0];
+        let m_new = self.pi.forward(state)[0];
+        let s_old = old.log_std.exp();
+        let s_new = self.log_std.exp();
+        (self.log_std - old.log_std)
+            + (s_old * s_old + (m_old - m_new).powi(2)) / (2.0 * s_new * s_new)
+            - 0.5
+    }
+
+    /// Policy entropy (state-independent for a global std).
+    pub fn entropy(&self) -> f64 {
+        0.5 * (LN_2PI + 1.0) + self.log_std
+    }
+
+    /// Save as JSON.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let json = serde_json::to_string(self).expect("serializable");
+        std::fs::write(path, json)
+    }
+
+    /// Load from JSON.
+    pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn pv() -> PolicyValue {
+        PolicyValue::new(2, &mut SmallRng::seed_from_u64(1))
+    }
+
+    #[test]
+    fn deterministic_action_is_in_bounds() {
+        let p = pv();
+        for s in [[-5.0, 5.0], [0.0, 0.0], [100.0, -100.0]] {
+            let a = p.act_deterministic(&s);
+            assert!((ACTION_LOW..=ACTION_HIGH).contains(&a));
+        }
+    }
+
+    #[test]
+    fn stochastic_actions_explore() {
+        let p = pv();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let actions: Vec<f64> = (0..100)
+            .map(|_| p.act_stochastic(&[0.5, 0.5], &mut rng).1)
+            .collect();
+        let mean = actions.iter().sum::<f64>() / actions.len() as f64;
+        let var = actions.iter().map(|a| (a - mean).powi(2)).sum::<f64>() / 100.0;
+        assert!(var > 1e-4, "sampling must explore, var={var}");
+        assert!(actions.iter().all(|a| (ACTION_LOW..=ACTION_HIGH).contains(a)));
+    }
+
+    #[test]
+    fn log_prob_integrates_to_one_ish() {
+        // Riemann-sum the density over a wide interval ≈ 1.
+        let p = pv();
+        let s = [0.3, 0.7];
+        let mean = p.pi.forward(&s)[0];
+        let step = 0.001;
+        let mut total = 0.0;
+        let mut x = mean - 3.0;
+        while x < mean + 3.0 {
+            total += p.log_prob(&s, x).exp() * step;
+            x += step;
+        }
+        assert!((total - 1.0).abs() < 0.01, "density sums to {total}");
+    }
+
+    #[test]
+    fn kl_of_identical_policies_is_zero() {
+        let p = pv();
+        let kl = p.kl_from(&p, &[0.1, 0.9]);
+        assert!(kl.abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_grows_with_mean_shift() {
+        let p = pv();
+        let mut q = p.clone();
+        // Nudge the output bias of the mean net.
+        let n = q.pi.params.len();
+        q.pi.params[n - 1] += 0.5;
+        let kl = q.kl_from(&p, &[0.1, 0.9]);
+        assert!(kl > 0.0);
+    }
+
+    #[test]
+    fn entropy_tracks_log_std() {
+        let mut p = pv();
+        let e1 = p.entropy();
+        p.log_std += 1.0;
+        assert!((p.entropy() - e1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join("topfull-rl-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("policy.json");
+        let p = pv();
+        p.save(&path).unwrap();
+        let q = PolicyValue::load(&path).unwrap();
+        // JSON float round-trips can differ in the last ulp.
+        let da = (p.act_deterministic(&[0.2, 0.4]) - q.act_deterministic(&[0.2, 0.4])).abs();
+        let dv = (p.value(&[0.2, 0.4]) - q.value(&[0.2, 0.4])).abs();
+        assert!(da < 1e-12, "action drift {da}");
+        assert!(dv < 1e-12, "value drift {dv}");
+        std::fs::remove_file(&path).ok();
+    }
+}

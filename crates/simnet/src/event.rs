@@ -1,0 +1,213 @@
+//! Deterministic event queue for discrete-event simulation.
+//!
+//! A simulation is a loop that pops the earliest scheduled event, advances
+//! the virtual clock to its timestamp, and handles it (possibly scheduling
+//! more events). [`EventQueue`] guarantees *stable* ordering: events with
+//! equal timestamps pop in the order they were pushed, so a simulation is a
+//! pure function of its inputs and seed — no heap-order nondeterminism.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a time, ordered for a min-heap with FIFO
+/// tie-breaking.
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (then
+        // first-pushed) event is the maximum.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of simulation events with a built-in clock.
+///
+/// The queue tracks `now`, the timestamp of the most recently popped event.
+/// Scheduling an event in the past is a logic error and panics in debug
+/// builds; in release builds the event is clamped to `now` to keep the
+/// clock monotonic.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    seq: u64,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at the epoch.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Current virtual time: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events popped so far (simulation progress counter).
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    ///
+    /// `at` must not precede the current clock; see the type-level docs.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduled event in the past: at={at} now={}",
+            self.now
+        );
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Pop the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.at >= self.now, "clock went backwards");
+        self.now = s.at;
+        self.popped += 1;
+        Some((s.at, s.event))
+    }
+
+    /// Pop the earliest event only if it fires at or before `limit`.
+    ///
+    /// Returns `None` (leaving the event queued and the clock untouched)
+    /// when the next event is beyond the limit. This is the primitive for
+    /// running a simulation up to a horizon.
+    pub fn pop_until(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(t) if t <= limit => self.pop(),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), "c");
+        q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(5));
+        assert_eq!(q.events_processed(), 1);
+    }
+
+    #[test]
+    fn pop_until_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), "early");
+        q.schedule(SimTime::from_secs(10), "late");
+        assert_eq!(q.pop_until(SimTime::from_secs(5)).unwrap().1, "early");
+        assert!(q.pop_until(SimTime::from_secs(5)).is_none());
+        assert_eq!(q.len(), 1, "late event still queued");
+        assert_eq!(q.now(), SimTime::from_secs(1), "clock stays at last pop");
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_deterministic() {
+        // Two runs with the same operations produce identical sequences.
+        let run = || {
+            let mut q = EventQueue::new();
+            let mut out = Vec::new();
+            q.schedule(SimTime::from_millis(10), 0u32);
+            q.schedule(SimTime::from_millis(10), 1);
+            while let Some((t, e)) = q.pop() {
+                out.push((t, e));
+                if e < 4 {
+                    q.schedule(t + SimDuration::from_millis(1), e + 2);
+                    q.schedule(t + SimDuration::from_millis(1), e + 100);
+                }
+            }
+            out
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled event in the past")]
+    #[cfg(debug_assertions)]
+    fn scheduling_in_the_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(2), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(1), ());
+    }
+}

@@ -1,0 +1,35 @@
+//! # simnet — discrete-event simulation substrate
+//!
+//! Deterministic building blocks for simulating networked systems:
+//!
+//! * [`time`] — a virtual clock ([`SimTime`], [`SimDuration`]) with
+//!   nanosecond resolution.
+//! * [`event`] — a binary-heap [`event::EventQueue`] with stable FIFO
+//!   tie-breaking, so simulations are reproducible given a seed.
+//! * [`histogram`] — log-bucketed latency histograms with bounded relative
+//!   quantile error, used for end-to-end percentile latencies.
+//! * [`token_bucket`] — the token-bucket rate limiter used by the entry
+//!   gateway (the paper's rate limiter is a Go token bucket; §5).
+//! * [`window`] — per-interval counters and rate meters for goodput
+//!   accounting.
+//! * [`rng`] — seeded RNG forking so every component draws from an
+//!   independent, reproducible stream.
+//! * [`stats`] — small numeric helpers (means, percentiles of samples).
+//!
+//! Everything here is pure computation over a virtual clock: no wall-clock
+//! time, no threads, no I/O. Simulations built on `simnet` are functions of
+//! their seed.
+
+pub mod event;
+pub mod histogram;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod token_bucket;
+pub mod window;
+
+pub use event::EventQueue;
+pub use histogram::LatencyHistogram;
+pub use time::{SimDuration, SimTime};
+pub use token_bucket::TokenBucket;
+pub use window::RateMeter;

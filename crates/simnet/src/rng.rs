@@ -1,0 +1,80 @@
+//! Seeded RNG forking.
+//!
+//! Every stochastic component in the simulator owns an RNG forked from a
+//! root seed via a distinct label, so (a) a run is a pure function of its
+//! seed and (b) adding draws in one component never perturbs another —
+//! experiments stay comparable across code changes.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Derive a child seed from `root` and a label using the SplitMix64
+/// finalizer (good avalanche, stable across platforms).
+pub fn derive_seed(root: u64, label: &str) -> u64 {
+    let mut h = root ^ 0x9E37_79B9_7F4A_7C15;
+    for &b in label.as_bytes() {
+        h ^= u64::from(b);
+        h = splitmix64(h);
+    }
+    splitmix64(h)
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fork an independent RNG stream for the component named `label`.
+pub fn fork(root: u64, label: &str) -> SmallRng {
+    SmallRng::seed_from_u64(derive_seed(root, label))
+}
+
+/// Fork an independent RNG stream for the `i`-th instance of a component.
+pub fn fork_indexed(root: u64, label: &str, i: u64) -> SmallRng {
+    SmallRng::seed_from_u64(splitmix64(derive_seed(root, label) ^ i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_inputs_same_stream() {
+        let a: Vec<u32> = fork(7, "svc").sample_iter(rand::distributions::Standard).take(8).collect();
+        let b: Vec<u32> = fork(7, "svc").sample_iter(rand::distributions::Standard).take(8).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_labels_different_streams() {
+        let a: u64 = fork(7, "svc-a").gen();
+        let b: u64 = fork(7, "svc-b").gen();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_roots_different_streams() {
+        let a: u64 = fork(1, "svc").gen();
+        let b: u64 = fork(2, "svc").gen();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn indexed_forks_are_distinct() {
+        let a: u64 = fork_indexed(7, "pod", 0).gen();
+        let b: u64 = fork_indexed(7, "pod", 1).gen();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn derive_seed_avalanches() {
+        // Not a statistical test, just a sanity check that adjacent labels
+        // don't produce adjacent seeds.
+        let s1 = derive_seed(0, "a");
+        let s2 = derive_seed(0, "b");
+        assert!(s1.abs_diff(s2) > 1 << 32);
+    }
+}

@@ -1,0 +1,121 @@
+//! Small numeric helpers over sample slices.
+//!
+//! The experiment harness reports means, percentiles and simple summaries
+//! of per-second series (goodput timelines, latency series). These are
+//! exact computations over in-memory samples, unlike the streaming
+//! [`crate::histogram::LatencyHistogram`].
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation; 0 for fewer than two samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Exact `q`-quantile (nearest-rank) of the samples; `None` when empty.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len());
+    Some(v[rank - 1])
+}
+
+/// Minimum; `None` when empty.
+pub fn min(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().reduce(f64::min)
+}
+
+/// Maximum; `None` when empty.
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().reduce(f64::max)
+}
+
+/// Summary of a sample series.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    pub count: usize,
+    pub mean: f64,
+    pub std_dev: f64,
+    pub min: f64,
+    pub p50: f64,
+    pub p95: f64,
+    pub max: f64,
+}
+
+/// Compute a [`Summary`]; `None` when empty.
+pub fn summarize(xs: &[f64]) -> Option<Summary> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(Summary {
+        count: xs.len(),
+        mean: mean(xs),
+        std_dev: std_dev(xs),
+        min: min(xs).unwrap(),
+        p50: quantile(xs, 0.5).unwrap(),
+        p95: quantile(xs, 0.95).unwrap(),
+        max: max(xs).unwrap(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_dev() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slices_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert!(quantile(&[], 0.5).is_none());
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn quantile_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(quantile(&xs, 0.5), Some(50.0));
+        assert_eq!(quantile(&xs, 0.95), Some(95.0));
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(100.0));
+    }
+
+    #[test]
+    fn quantile_does_not_mutate_input_order() {
+        let xs = [3.0, 1.0, 2.0];
+        let _ = quantile(&xs, 0.5);
+        assert_eq!(xs, [3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn summary_fields_consistent() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let s = summarize(&xs).unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.p50, 2.0);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+    }
+}

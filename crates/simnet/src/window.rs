@@ -1,0 +1,175 @@
+//! Per-interval counters for rate accounting.
+//!
+//! The control plane observes the cluster once per second (§5). These
+//! helpers turn discrete events ("a good response completed") into
+//! per-window rates ("goodput this second"), and keep a short history for
+//! smoothing.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Counts events in fixed, consecutive windows of virtual time and reports
+/// per-window rates.
+///
+/// `record(now)` adds an event; `rate(now)` returns events/second over the
+/// most recently *completed* window (the in-progress window is excluded so
+/// rates do not flap mid-window).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RateMeter {
+    window: SimDuration,
+    /// Index of the window currently being filled.
+    current_index: u64,
+    current_count: u64,
+    /// (window index, count) of recently completed windows, oldest first.
+    history: VecDeque<(u64, u64)>,
+    history_len: usize,
+}
+
+impl RateMeter {
+    /// A meter with the given window size, keeping `history_len` completed
+    /// windows (at least 1).
+    pub fn new(window: SimDuration, history_len: usize) -> Self {
+        assert!(!window.is_zero(), "window must be positive");
+        RateMeter {
+            window,
+            current_index: 0,
+            current_count: 0,
+            history: VecDeque::new(),
+            history_len: history_len.max(1),
+        }
+    }
+
+    fn index_of(&self, t: SimTime) -> u64 {
+        t.as_nanos() / self.window.as_nanos()
+    }
+
+    /// Roll the current window forward to contain `now`, completing (and
+    /// archiving) any windows that have fully elapsed.
+    fn roll(&mut self, now: SimTime) {
+        let idx = self.index_of(now);
+        while self.current_index < idx {
+            self.history.push_back((self.current_index, self.current_count));
+            while self.history.len() > self.history_len {
+                self.history.pop_front();
+            }
+            self.current_index += 1;
+            self.current_count = 0;
+        }
+    }
+
+    /// Record one event at time `now`.
+    pub fn record(&mut self, now: SimTime) {
+        self.record_n(now, 1);
+    }
+
+    /// Record `n` events at time `now`.
+    pub fn record_n(&mut self, now: SimTime, n: u64) {
+        self.roll(now);
+        self.current_count += n;
+    }
+
+    /// Events/second over the last completed window before `now`; 0 if that
+    /// window saw no events (or none has completed yet).
+    pub fn rate(&mut self, now: SimTime) -> f64 {
+        self.roll(now);
+        let want = self.current_index.wrapping_sub(1);
+        let count = self
+            .history
+            .iter()
+            .rev()
+            .find(|(i, _)| *i == want)
+            .map(|(_, c)| *c)
+            .unwrap_or(0);
+        count as f64 / self.window.as_secs_f64()
+    }
+
+    /// Mean events/second over up to the last `n` completed windows.
+    pub fn mean_rate(&mut self, now: SimTime, n: usize) -> f64 {
+        self.roll(now);
+        if n == 0 {
+            return 0.0;
+        }
+        // Only count windows that actually elapsed (index < current).
+        let first = self.current_index.saturating_sub(n as u64);
+        let elapsed = (self.current_index - first) as f64;
+        if elapsed == 0.0 {
+            return 0.0;
+        }
+        let total: u64 = self
+            .history
+            .iter()
+            .filter(|(i, _)| *i >= first)
+            .map(|(_, c)| *c)
+            .sum();
+        total as f64 / (elapsed * self.window.as_secs_f64())
+    }
+
+    /// Raw count in the window currently being filled.
+    pub fn in_progress_count(&self) -> u64 {
+        self.current_count
+    }
+
+    /// The configured window size.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sec(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn rate_reports_last_completed_window() {
+        let mut m = RateMeter::new(SimDuration::from_secs(1), 8);
+        for _ in 0..50 {
+            m.record(SimTime::from_millis(100));
+        }
+        // Window 0 not yet complete.
+        assert_eq!(m.rate(SimTime::from_millis(900)), 0.0);
+        // After t=1s window 0 completes with 50 events → 50 rps.
+        assert_eq!(m.rate(sec(1)), 50.0);
+        // Window 1 empty → at t=2s the rate drops to 0.
+        assert_eq!(m.rate(sec(2)), 0.0);
+    }
+
+    #[test]
+    fn mean_rate_smooths_over_windows() {
+        let mut m = RateMeter::new(SimDuration::from_secs(1), 8);
+        m.record_n(SimTime::from_millis(500), 10); // window 0
+        m.record_n(SimTime::from_millis(1500), 30); // window 1
+        let mean = m.mean_rate(sec(2), 2);
+        assert!((mean - 20.0).abs() < 1e-9, "mean of 10 and 30 rps, got {mean}");
+    }
+
+    #[test]
+    fn mean_rate_counts_empty_elapsed_windows() {
+        let mut m = RateMeter::new(SimDuration::from_secs(1), 8);
+        m.record_n(SimTime::from_millis(500), 40);
+        // Windows 0..4 elapsed by t=4; three were empty.
+        let mean = m.mean_rate(sec(4), 4);
+        assert!((mean - 10.0).abs() < 1e-9, "40 events over 4 s, got {mean}");
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut m = RateMeter::new(SimDuration::from_secs(1), 3);
+        for s in 0..100u64 {
+            m.record_n(sec(s), 1);
+        }
+        assert!(m.history.len() <= 3);
+    }
+
+    #[test]
+    fn sub_second_windows_scale_rates() {
+        let mut m = RateMeter::new(SimDuration::from_millis(100), 4);
+        m.record_n(SimTime::from_millis(50), 5);
+        // 5 events in a 0.1 s window → 50 events/s.
+        assert_eq!(m.rate(SimTime::from_millis(150)), 50.0);
+    }
+}
