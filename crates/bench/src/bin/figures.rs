@@ -28,6 +28,7 @@ const EXPERIMENTS: &[(&str, fn())] = &[
     ("refinements", ex::refinements::run),
     ("trace-analysis", ex::trace_analysis::run),
     ("training-cost", ex::training_cost::run),
+    ("chaos", ex::chaos::run),
 ];
 
 fn usage() -> ! {

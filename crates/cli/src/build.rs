@@ -1,7 +1,7 @@
 //! Scenario → engine/controller translation.
 
 use crate::schema::{
-    AppSpec, AutoscalerSpec, CallSpec, ControllerSpec, Scenario, WorkloadSpec,
+    AppSpec, AutoscalerSpec, CallSpec, ControllerSpec, FaultSpecJson, Scenario, WorkloadSpec,
 };
 use apps::{AlibabaDemo, OnlineBoutique, TrainTicket};
 use baselines::{Breakwater, BreakwaterConfig, Dagor, DagorConfig, Wisp, WispConfig};
@@ -21,6 +21,8 @@ pub struct BuiltScenario {
     pub controller: Box<dyn Controller>,
     /// API names in id order, for reporting.
     pub api_names: Vec<String>,
+    /// Run under the harness watchdog (hardened TopFull).
+    pub hardened: bool,
 }
 
 /// Resolve an API name to its id.
@@ -194,6 +196,7 @@ fn build_controller(
         ControllerSpec::Topfull {
             rate_controller,
             clustering,
+            hardened,
         } => {
             let mut cfg = TopFullConfig::default();
             if !clustering {
@@ -214,6 +217,9 @@ fn build_controller(
                     ))
                 }
             };
+            if *hardened {
+                cfg = cfg.hardened();
+            }
             Box::new(TopFull::new(cfg))
         }
     })
@@ -265,11 +271,101 @@ pub fn build_scenario(sc: &Scenario) -> Result<BuiltScenario, String> {
         }
         engine.inject_failures(specs);
     }
+    if !sc.faults.is_empty() {
+        let mut specs = Vec::with_capacity(sc.faults.len());
+        for f in &sc.faults {
+            specs.push(build_fault(engine.topology(), f)?);
+        }
+        engine.inject_faults(specs);
+    }
     let controller = build_controller(&sc.controller, &mut engine)?;
+    let hardened = matches!(sc.controller, ControllerSpec::Topfull { hardened: true, .. });
     Ok(BuiltScenario {
         engine,
         controller,
         api_names,
+        hardened,
+    })
+}
+
+/// JSON fault → engine fault (service names resolved, seconds → SimTime).
+fn build_fault(
+    topo: &Topology,
+    f: &FaultSpecJson,
+) -> Result<cluster::FaultSpec, String> {
+    use cluster::FaultSpec as F;
+    let svc = |name: &str| service_id(topo, name);
+    let opt_svc = |name: &Option<String>| -> Result<Option<ServiceId>, String> {
+        name.as_deref().map(&svc).transpose()
+    };
+    Ok(match f {
+        FaultSpecJson::PodKill {
+            at_secs,
+            service,
+            pods,
+        } => F::PodKill {
+            at: SimTime::from_secs(*at_secs),
+            service: svc(service)?,
+            pods: *pods,
+        },
+        FaultSpecJson::SlowPods {
+            from_secs,
+            until_secs,
+            service,
+            factor,
+        } => F::SlowPods {
+            from: SimTime::from_secs(*from_secs),
+            until: SimTime::from_secs(*until_secs),
+            service: svc(service)?,
+            factor: *factor,
+        },
+        FaultSpecJson::NetworkDegrade {
+            from_secs,
+            until_secs,
+            service,
+            extra_latency_ms,
+            loss,
+        } => F::NetworkDegrade {
+            from: SimTime::from_secs(*from_secs),
+            until: SimTime::from_secs(*until_secs),
+            service: opt_svc(service)?,
+            extra_latency: SimDuration::from_millis(*extra_latency_ms),
+            loss: *loss,
+        },
+        FaultSpecJson::TelemetryDropout {
+            from_secs,
+            until_secs,
+            service,
+        } => F::TelemetryDropout {
+            from: SimTime::from_secs(*from_secs),
+            until: SimTime::from_secs(*until_secs),
+            service: opt_svc(service)?,
+        },
+        FaultSpecJson::TelemetryStaleness {
+            from_secs,
+            until_secs,
+            by_secs,
+        } => F::TelemetryStaleness {
+            from: SimTime::from_secs(*from_secs),
+            until: SimTime::from_secs(*until_secs),
+            by: SimDuration::from_secs(*by_secs),
+        },
+        FaultSpecJson::TelemetryNoise {
+            from_secs,
+            until_secs,
+            sigma,
+        } => F::TelemetryNoise {
+            from: SimTime::from_secs(*from_secs),
+            until: SimTime::from_secs(*until_secs),
+            sigma: *sigma,
+        },
+        FaultSpecJson::ControllerStall {
+            from_secs,
+            until_secs,
+        } => F::ControllerStall {
+            from: SimTime::from_secs(*from_secs),
+            until: SimTime::from_secs(*until_secs),
+        },
     })
 }
 
@@ -355,6 +451,36 @@ mod tests {
             "controller": {"type": "topfull", "rate_controller": "magic"}
         }"#;
         let sc = crate::parse_scenario(json).expect("parse");
+        assert!(build_scenario(&sc).is_err());
+    }
+
+    #[test]
+    fn faults_resolve_and_hardened_flag_propagates() {
+        let json = r#"{
+            "app": {"type": "builtin", "name": "online-boutique"},
+            "workload": {"type": "open_loop", "rates": [
+                {"api": "getproduct", "steps": [[0, 100.0]]}
+            ]},
+            "controller": {"type": "topfull", "rate_controller": "mimd", "hardened": true},
+            "faults": [
+                {"kind": "slow_pods", "from_secs": 10, "until_secs": 20,
+                 "service": "productcatalogservice", "factor": 4.0},
+                {"kind": "telemetry_dropout", "from_secs": 15, "until_secs": 25},
+                {"kind": "telemetry_staleness", "from_secs": 25, "until_secs": 30, "by_secs": 5},
+                {"kind": "telemetry_noise", "from_secs": 30, "until_secs": 35, "sigma": 0.5},
+                {"kind": "network_degrade", "from_secs": 35, "until_secs": 40,
+                 "service": "cartservice", "extra_latency_ms": 20, "loss": 0.1},
+                {"kind": "controller_stall", "from_secs": 40, "until_secs": 45},
+                {"kind": "pod_kill", "at_secs": 50, "service": "cartservice", "pods": 1}
+            ]
+        }"#;
+        let sc = crate::parse_scenario(json).expect("parse");
+        assert_eq!(sc.faults.len(), 7);
+        let built = build_scenario(&sc).expect("faults build");
+        assert!(built.hardened, "hardened flag must reach the harness");
+        // Unknown service names inside a fault fail loudly.
+        let bad = json.replace("productcatalogservice", "no-such-service");
+        let sc = crate::parse_scenario(&bad).expect("parse");
         assert!(build_scenario(&sc).is_err());
     }
 

@@ -2,7 +2,7 @@
 
 use crate::build::BuiltScenario;
 use crate::schema::Scenario;
-use cluster::{ApiId, Harness};
+use cluster::{ApiId, Harness, WatchdogConfig};
 use serde::Serialize;
 
 /// The measured outcome of a scenario run.
@@ -27,8 +27,13 @@ pub fn execute(sc: &Scenario, built: BuiltScenario) -> ScenarioOutcome {
         engine,
         controller,
         api_names,
+        hardened,
     } = built;
-    let mut h = Harness::new(engine, controller);
+    let mut h = if hardened {
+        Harness::with_watchdog(engine, controller, WatchdogConfig::default())
+    } else {
+        Harness::new(engine, controller)
+    };
     h.run_for_secs(sc.duration_secs);
     let from = sc.report.measure_from_secs as f64;
     let to = sc.duration_secs as f64;
@@ -76,6 +81,7 @@ pub fn compare(sc: &Scenario) -> Result<String, String> {
             ControllerSpec::Topfull {
                 rate_controller: "mimd".into(),
                 clustering: true,
+                hardened: false,
             },
         ),
     ];

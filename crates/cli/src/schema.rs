@@ -30,6 +30,10 @@ pub struct Scenario {
     pub autoscaler: Option<AutoscalerSpec>,
     #[serde(default)]
     pub failures: Vec<FailureSpec>,
+    /// Gray-failure fault schedule (slow pods, lossy links, degraded
+    /// telemetry, controller stalls).
+    #[serde(default)]
+    pub faults: Vec<FaultSpecJson>,
     #[serde(default)]
     pub report: ReportSpec,
 }
@@ -168,6 +172,10 @@ pub enum ControllerSpec {
         rate_controller: String,
         #[serde(default = "default_true")]
         clustering: bool,
+        /// Run the hardened loop: safe-fallback rate controller plus the
+        /// harness watchdog (freeze → decay when telemetry goes dark).
+        #[serde(default)]
+        hardened: bool,
     },
     /// DAGOR per-service admission control.
     Dagor {
@@ -224,6 +232,61 @@ pub struct FailureSpec {
     pub at_secs: u64,
     pub service: String,
     pub pods: u32,
+}
+
+/// One scheduled gray-failure fault (JSON form of
+/// [`cluster::FaultSpec`]; windows are `[from_secs, until_secs)`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum FaultSpecJson {
+    /// Kill `pods` pods of `service` at `at_secs` (same effect as an
+    /// entry in `failures`, schedulable alongside the gray faults).
+    PodKill {
+        at_secs: u64,
+        service: String,
+        pods: u32,
+    },
+    /// Multiply `service`'s service time by `factor` inside the window.
+    SlowPods {
+        from_secs: u64,
+        until_secs: u64,
+        service: String,
+        factor: f64,
+    },
+    /// Add per-hop latency and a loss probability on calls into
+    /// `service` (all services when omitted).
+    NetworkDegrade {
+        from_secs: u64,
+        until_secs: u64,
+        #[serde(default)]
+        service: Option<String>,
+        #[serde(default)]
+        extra_latency_ms: u64,
+        #[serde(default)]
+        loss: f64,
+    },
+    /// Blank `service`'s utilization (all services when omitted) in the
+    /// controller-facing observation.
+    TelemetryDropout {
+        from_secs: u64,
+        until_secs: u64,
+        #[serde(default)]
+        service: Option<String>,
+    },
+    /// Serve the controller observations `by_secs` old.
+    TelemetryStaleness {
+        from_secs: u64,
+        until_secs: u64,
+        by_secs: u64,
+    },
+    /// Multiplicative lognormal noise (σ = `sigma`) on utilization.
+    TelemetryNoise {
+        from_secs: u64,
+        until_secs: u64,
+        sigma: f64,
+    },
+    /// The control loop misses every tick inside the window.
+    ControllerStall { from_secs: u64, until_secs: u64 },
 }
 
 /// Output options.
@@ -301,9 +364,11 @@ impl Scenario {
             controller: ControllerSpec::Topfull {
                 rate_controller: "mimd".into(),
                 clustering: true,
+                hardened: false,
             },
             autoscaler: None,
             failures: vec![],
+            faults: vec![],
             report: ReportSpec {
                 measure_from_secs: 60,
                 timeline: true,

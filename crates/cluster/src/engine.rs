@@ -19,6 +19,7 @@
 use crate::admission::AdmissionControl;
 use crate::autoscaler::{Hpa, HpaConfig, VmPool, VmPoolConfig};
 use crate::failure::{CrashLoopConfig, FailureSpec};
+use crate::faults::{FaultPlane, FaultSpec};
 use crate::gateway::Gateway;
 use crate::observe::{ApiWindow, ClusterObservation, ServiceWindow};
 use crate::topology::{CallNode, Topology};
@@ -275,6 +276,7 @@ pub struct Engine {
     hpa: Option<Hpa>,
     vm_pool: VmPool,
     failures: Vec<FailureSpec>,
+    faults: FaultPlane,
     requests: HashMap<u64, RequestRt>,
     next_req_id: u64,
     rng: SmallRng,
@@ -282,6 +284,7 @@ pub struct Engine {
     api_totals: Vec<ApiTotals>,
     window_start: SimTime,
     latest_obs: Option<ClusterObservation>,
+    latest_true_obs: Option<ClusterObservation>,
     api_paths: Vec<Vec<ServiceId>>,
     tracer: Option<TraceCollector>,
     /// Services whose pods crashed at least once (for assertions in tests
@@ -328,6 +331,7 @@ impl Engine {
             .learn_paths
             .then(|| TraceCollector::new(num_apis, cfg.trace_window));
         let rng = simnet::rng::fork(cfg.seed, "engine");
+        let seed_for_faults = cfg.seed;
         let mut queue = EventQueue::new();
         queue.schedule(SimTime::ZERO, Ev::WorkloadTick);
         queue.schedule(SimTime::ZERO + cfg.control_interval, Ev::MetricsTick);
@@ -343,6 +347,7 @@ impl Engine {
             hpa: None,
             vm_pool,
             failures: Vec::new(),
+            faults: FaultPlane::new(simnet::rng::fork(seed_for_faults, "faults")),
             requests: HashMap::new(),
             next_req_id: 0,
             rng,
@@ -350,6 +355,7 @@ impl Engine {
             api_totals: vec![ApiTotals::default(); num_apis],
             window_start: SimTime::ZERO,
             latest_obs: None,
+            latest_true_obs: None,
             api_paths,
             tracer,
             crash_events: 0,
@@ -395,6 +401,24 @@ impl Engine {
         }
     }
 
+    /// Install a schedule of [`FaultSpec`]s (the gray-failure fault
+    /// plane). Pod kills route through the existing failure path; all
+    /// other faults are evaluated per event from their own RNG fork, so
+    /// the base simulation streams are unperturbed.
+    pub fn inject_faults(&mut self, specs: Vec<FaultSpec>) {
+        let kills = self.faults.add(specs);
+        if !kills.is_empty() {
+            self.inject_failures(kills);
+        }
+    }
+
+    /// Whether the control plane is stalled right now (a
+    /// [`FaultSpec::ControllerStall`] window is active). The harness
+    /// checks this each tick and skips control while true.
+    pub fn control_stalled(&self) -> bool {
+        self.faults.control_stalled(self.now())
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.queue.now().max(self.now_floor)
@@ -410,9 +434,17 @@ impl Engine {
         &self.cfg
     }
 
-    /// Latest finalized observation window, if one has completed.
+    /// Latest finalized observation window, if one has completed. This
+    /// is the *controller-facing* view: telemetry faults (dropout,
+    /// staleness, noise) have already been applied.
     pub fn latest_observation(&self) -> Option<&ClusterObservation> {
         self.latest_obs.as_ref()
+    }
+
+    /// Latest finalized window *before* telemetry faults — ground truth
+    /// for measurement and experiment reporting.
+    pub fn latest_true_observation(&self) -> Option<&ClusterObservation> {
+        self.latest_true_obs.as_ref()
     }
 
     /// Set the entry rate limit for `api` (requests/s; infinity = none).
@@ -582,8 +614,14 @@ impl Engine {
                 return;
             }
         }
+        let net = self.faults.net_effect(now, svc);
+        if net.dropped {
+            self.services[svc.idx()].dropped_calls += 1;
+            self.fail_request(now, req, RequestOutcome::NetworkLost(svc));
+            return;
+        }
         self.queue.schedule(
-            now + self.cfg.hop_latency,
+            now + self.cfg.hop_latency + net.extra,
             Ev::CallArrive {
                 req,
                 node,
@@ -643,13 +681,17 @@ impl Engine {
     fn start_processing(&mut self, now: SimTime, svc_id: ServiceId, pod: usize) {
         let speed = self.topo.service(svc_id).pod_speed;
         let jitter = self.sample_jitter();
+        let slow = self.faults.slow_factor(now, svc_id);
         let svc = &mut self.services[svc_id.idx()];
         let Some(call) = svc.pods[pod].queue.pop_front() else {
             return;
         };
         svc.queuing_delay_ns += now.duration_since(call.enqueued).as_nanos();
         svc.started_calls += 1;
-        let proc = call.cost.mul_f64(jitter / speed).max(SimDuration::from_nanos(1));
+        let proc = call
+            .cost
+            .mul_f64(jitter * slow / speed)
+            .max(SimDuration::from_nanos(1));
         let done_at = now + proc;
         svc.pods[pod].busy = Some(InFlight {
             req: call.req,
@@ -818,7 +860,13 @@ impl Engine {
         self.run_probes(now);
         // HPA sync on its own cadence (evaluated at metric ticks).
         self.run_hpa(now, &obs);
-        self.latest_obs = Some(obs);
+        // Telemetry faults distort only what leaves the cluster toward
+        // the control plane; admission, probes and the HPA above ran on
+        // the true window (they are in-cluster mechanisms, not part of
+        // the observability pipeline being degraded). The true window is
+        // kept alongside for ground-truth measurement.
+        self.latest_true_obs = Some(obs.clone());
+        self.latest_obs = Some(self.faults.distort(now, obs));
         self.queue
             .schedule(now + self.cfg.control_interval, Ev::MetricsTick);
     }
@@ -932,10 +980,11 @@ impl Engine {
                     pod.saturated_probes = 0;
                 }
                 if pod.saturated_probes >= crash.probes_to_crash {
-                    // Exponential CrashLoopBackOff, capped at 32x.
+                    // This crash is number `crash_count + 1`; the backoff
+                    // policy (fixed, or capped exponential) sets the delay.
                     let backoff = crash
-                        .restart_delay
-                        .mul_f64(f64::from(1u32 << pod.crash_count.min(5)));
+                        .backoff
+                        .delay(crash.restart_delay, pod.crash_count + 1);
                     self.crash_pod(now, sid, pi, backoff);
                 }
             }

@@ -29,6 +29,42 @@ pub struct FailureSpec {
     pub pods: u32,
 }
 
+/// How a crashed pod's restart delay grows across consecutive crashes.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum RestartBackoff {
+    /// Every restart waits exactly `restart_delay` (the original model;
+    /// keeps the Fig. 18 recovery timeline paper-faithful).
+    Fixed,
+    /// k8s CrashLoopBackOff: `restart_delay` doubles per consecutive
+    /// crash (10 s, 20 s, 40 s, …) up to `cap`. A healthy probe streak
+    /// decays the crash count back down.
+    Exponential { cap: SimDuration },
+}
+
+impl Default for RestartBackoff {
+    fn default() -> Self {
+        // k8s caps CrashLoopBackOff at 5 minutes.
+        RestartBackoff::Exponential {
+            cap: SimDuration::from_secs(300),
+        }
+    }
+}
+
+impl RestartBackoff {
+    /// The delay before restart number `crash_count` (1 = first crash).
+    pub fn delay(self, base: SimDuration, crash_count: u32) -> SimDuration {
+        match self {
+            RestartBackoff::Fixed => base,
+            RestartBackoff::Exponential { cap } => {
+                // 2^(count-1), saturating well before overflow.
+                let doublings = crash_count.saturating_sub(1).min(30);
+                base.mul_f64(f64::from(1u32 << doublings.min(20))).min(cap)
+            }
+        }
+    }
+}
+
 /// Liveness-probe crash-loop parameters for services with
 /// `crash_on_overload` set.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -40,9 +76,12 @@ pub struct CrashLoopConfig {
     pub probes_to_crash: u32,
     /// Probe cadence.
     pub probe_interval: SimDuration,
-    /// Downtime before the crashed pod restarts (k8s CrashLoopBackOff is
-    /// 10 s at first and grows; we use a fixed backoff).
+    /// Base downtime before the crashed pod restarts (k8s
+    /// CrashLoopBackOff starts at 10 s).
     pub restart_delay: SimDuration,
+    /// How the delay grows across consecutive crashes.
+    #[serde(default)]
+    pub backoff: RestartBackoff,
 }
 
 impl Default for CrashLoopConfig {
@@ -52,6 +91,7 @@ impl Default for CrashLoopConfig {
             probes_to_crash: 6,
             probe_interval: SimDuration::from_secs(1),
             restart_delay: SimDuration::from_secs(10),
+            backoff: RestartBackoff::default(),
         }
     }
 }

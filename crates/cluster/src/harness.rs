@@ -84,12 +84,75 @@ impl RunResult {
     }
 }
 
+/// Watchdog tuning for the hardened harness loop
+/// ([`Harness::with_watchdog`]).
+#[derive(Clone, Copy, Debug)]
+pub struct WatchdogConfig {
+    /// An observation older than this counts as dark (stale telemetry).
+    pub max_obs_age: SimDuration,
+    /// Consecutive dark ticks before the watchdog engages.
+    pub dark_after: u32,
+    /// Ticks to hold rate limits frozen once engaged, before decaying.
+    pub freeze_ticks: u32,
+    /// Per-tick multiplicative decay applied to finite limits after the
+    /// freeze expires (gently sheds load while blind).
+    pub decay: f64,
+    /// Limits never decay below this rate (requests/s).
+    pub floor: f64,
+    /// Maximum per-tick growth factor of any limit while re-entering
+    /// control after an outage (smooth ramp instead of a step).
+    pub reentry_growth: f64,
+    /// Ticks the re-entry ramp lasts.
+    pub reentry_ticks: u32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            max_obs_age: SimDuration::from_secs(3),
+            dark_after: 2,
+            freeze_ticks: 5,
+            decay: 0.98,
+            floor: 1.0,
+            reentry_growth: 1.25,
+            reentry_ticks: 5,
+        }
+    }
+}
+
+/// What the watchdog did over a run (for tests and experiment reports).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WatchdogStats {
+    /// Control ticks skipped because the control plane was stalled.
+    pub stalled_ticks: u64,
+    /// Ticks spent with limits frozen (observations dark).
+    pub frozen_ticks: u64,
+    /// Ticks spent decaying limits (still dark past the freeze window).
+    pub decayed_ticks: u64,
+    /// Times control was re-entered after an outage.
+    pub reentries: u64,
+}
+
+struct Watchdog {
+    cfg: WatchdogConfig,
+    dark_streak: u32,
+    reentry_left: u32,
+    stats: WatchdogStats,
+}
+
+impl Watchdog {
+    fn engaged(&self) -> bool {
+        self.dark_streak >= self.cfg.dark_after
+    }
+}
+
 /// Couples an engine and a controller at the control cadence.
 pub struct Harness {
     pub engine: Engine,
     controller: Box<dyn Controller>,
     result: RunResult,
     next_tick: SimTime,
+    watchdog: Option<Watchdog>,
 }
 
 impl Harness {
@@ -105,7 +168,35 @@ impl Harness {
                 num_apis,
             },
             next_tick: SimTime::ZERO + interval,
+            watchdog: None,
         }
+    }
+
+    /// The hardened loop: like [`Harness::new`], plus a watchdog that
+    /// (a) skips control ticks while the control plane is stalled,
+    /// (b) freezes rate limits when observations go dark (stale, or all
+    /// utilizations unreadable), then gently decays them toward a floor,
+    /// and (c) ramps limit growth when control re-enters, instead of
+    /// letting the controller's stale internal state step limits up
+    /// abruptly.
+    pub fn with_watchdog(
+        engine: Engine,
+        controller: Box<dyn Controller>,
+        cfg: WatchdogConfig,
+    ) -> Self {
+        let mut h = Harness::new(engine, controller);
+        h.watchdog = Some(Watchdog {
+            cfg,
+            dark_streak: 0,
+            reentry_left: 0,
+            stats: WatchdogStats::default(),
+        });
+        h
+    }
+
+    /// What the watchdog did so far (zeroes when none is attached).
+    pub fn watchdog_stats(&self) -> WatchdogStats {
+        self.watchdog.as_ref().map(|w| w.stats).unwrap_or_default()
     }
 
     /// Run until `t`, ticking the controller at every control interval.
@@ -113,16 +204,92 @@ impl Harness {
         let interval = self.engine.config().control_interval;
         while self.next_tick <= t {
             self.engine.run_until(self.next_tick);
+            // Measurement records ground truth; the controller sees the
+            // (possibly fault-distorted) observability-pipeline view.
+            if let Some(truth) = self.engine.latest_true_observation().cloned() {
+                self.record(&truth);
+            }
             if let Some(obs) = self.engine.latest_observation().cloned() {
-                self.record(&obs);
-                let updates = self.controller.control(&obs);
-                for u in updates {
-                    self.engine.set_rate_limit(u.api, u.rate);
-                }
+                self.control_tick(&obs);
             }
             self.next_tick += interval;
         }
         self.engine.run_until(t);
+    }
+
+    /// One control decision, routed through the watchdog when attached.
+    fn control_tick(&mut self, obs: &ClusterObservation) {
+        let Some(mut wd) = self.watchdog.take() else {
+            // A stalled control plane stalls every controller, watchdog
+            // or not — the fault models the loop itself being down.
+            if self.engine.control_stalled() {
+                return;
+            }
+            let updates = self.controller.control(obs);
+            for u in updates {
+                self.engine.set_rate_limit(u.api, u.rate);
+            }
+            return;
+        };
+        let stalled = self.engine.control_stalled();
+        if stalled {
+            // The control plane missed this tick entirely; limits stay
+            // exactly where they are.
+            wd.stats.stalled_ticks += 1;
+            self.watchdog = Some(wd);
+            return;
+        }
+        let dark = self.next_tick.duration_since(obs.now) > wd.cfg.max_obs_age
+            || obs
+                .services
+                .iter()
+                .all(|s| !s.utilization.is_finite());
+        if dark {
+            wd.dark_streak = wd.dark_streak.saturating_add(1);
+            if wd.engaged() {
+                if wd.dark_streak - wd.cfg.dark_after < wd.cfg.freeze_ticks {
+                    wd.stats.frozen_ticks += 1;
+                } else {
+                    // Still blind past the freeze window: decay finite
+                    // limits toward the floor — load gently sheds instead
+                    // of running open-loop on the last pre-outage limits.
+                    wd.stats.decayed_ticks += 1;
+                    for i in 0..self.result.num_apis {
+                        let api = ApiId(i as u32);
+                        let l = self.engine.rate_limit(api);
+                        if l.is_finite() {
+                            let next = (l * wd.cfg.decay).max(wd.cfg.floor);
+                            self.engine.set_rate_limit(api, next);
+                        }
+                    }
+                }
+                self.watchdog = Some(wd);
+                return;
+            }
+            // Not yet engaged: fall through — one flaky tick is the
+            // hardened controller's problem, not the watchdog's.
+        } else {
+            if wd.engaged() {
+                wd.stats.reentries += 1;
+                wd.reentry_left = wd.cfg.reentry_ticks;
+            }
+            wd.dark_streak = 0;
+        }
+        let updates = self.controller.control(obs);
+        for u in updates {
+            let mut rate = u.rate;
+            if wd.reentry_left > 0 {
+                let cur = self.engine.rate_limit(u.api);
+                if cur.is_finite() {
+                    // Ramp: no limit may grow faster than the configured
+                    // factor per tick right after an outage.
+                    rate = rate.min(cur * wd.cfg.reentry_growth);
+                }
+            }
+            self.engine.set_rate_limit(u.api, rate);
+        }
+        wd.reentry_left = wd.reentry_left.saturating_sub(1);
+        self.watchdog = Some(wd);
     }
 
     /// Convenience: run for `secs` of simulated time from the start.

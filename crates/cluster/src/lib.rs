@@ -21,7 +21,9 @@
 //! * **Autoscaling** — an HPA replica law plus a VM-pool cluster
 //!   autoscaler with provisioning delays ([`autoscaler`]).
 //! * **Failure injection** — scheduled pod kills and an overload
-//!   crash-loop model ([`failure`]).
+//!   crash-loop model ([`failure`]), plus a gray-failure fault plane
+//!   (slow pods, lossy links, degraded telemetry, controller stalls —
+//!   [`faults`]).
 //! * **Observation** — 1-second snapshots of per-service utilization and
 //!   per-API goodput/latency percentiles ([`observe`]), mirroring the
 //!   paper's cAdvisor + Istio tracing collector.
@@ -34,6 +36,7 @@ pub mod autoscaler;
 pub mod controller;
 pub mod engine;
 pub mod failure;
+pub mod faults;
 pub mod gateway;
 pub mod harness;
 pub mod observe;
@@ -44,7 +47,8 @@ pub mod workload;
 
 pub use controller::{Controller, NoControl, RateLimitUpdate};
 pub use engine::{Engine, EngineConfig};
-pub use harness::{Harness, RunResult};
+pub use faults::FaultSpec;
+pub use harness::{Harness, RunResult, WatchdogConfig, WatchdogStats};
 pub use observe::{ApiWindow, ClusterObservation, ServiceWindow};
 pub use topology::{ApiSpec, CallNode, ServiceSpec, Topology};
 pub use types::{ApiId, BusinessPriority, RequestMeta, ServiceId};

@@ -88,6 +88,9 @@ pub enum RequestOutcome {
     QueueOverflow(ServiceId),
     /// Lost because the pod processing it crashed.
     PodCrashed(ServiceId),
+    /// Lost in transit to a service on a degraded network path
+    /// ([`crate::faults::FaultSpec::NetworkDegrade`]).
+    NetworkLost(ServiceId),
     /// Abandoned by a closed-loop client that timed out waiting.
     ClientTimeout,
 }
@@ -106,6 +109,7 @@ impl RequestOutcome {
             RequestOutcome::RejectedAtService(_)
                 | RequestOutcome::QueueOverflow(_)
                 | RequestOutcome::PodCrashed(_)
+                | RequestOutcome::NetworkLost(_)
         )
     }
 }

@@ -24,6 +24,7 @@ use crate::clustering::{cluster_apis, Cluster};
 use crate::detector::OverloadDetector;
 use crate::rate_controller::{
     BwRateController, MimdController, RateController, RateState, RlRateController,
+    SafeRateController,
 };
 use cluster::observe::ClusterObservation;
 use cluster::types::{ApiId, ServiceId};
@@ -43,6 +44,10 @@ pub struct TopFullConfig {
     pub clustering_enabled: bool,
     /// Floor for any rate limit (requests/s).
     pub min_rate: f64,
+    /// Ceiling for any finite rate limit (requests/s). `INFINITY` means
+    /// no ceiling; releasing a limit entirely is separate and always
+    /// allowed.
+    pub max_rate: f64,
     /// Remove a recovery API's limit after it has exceeded the offered
     /// load by this factor...
     pub release_headroom: f64,
@@ -73,6 +78,7 @@ impl Default for TopFullConfig {
             overload_exit: 0.75,
             clustering_enabled: true,
             min_rate: 1.0,
+            max_rate: f64::INFINITY,
             release_headroom: 2.0,
             release_after: 5,
             single_target_per_cluster: false,
@@ -108,9 +114,42 @@ impl TopFullConfig {
         self
     }
 
+    /// Use an arbitrary step policy (tests, chaos injection, new
+    /// controllers without a dedicated builder).
+    pub fn with_rate_controller(mut self, rc: Arc<dyn RateController>) -> Self {
+        self.rate_controller = rc;
+        self
+    }
+
     /// Disable clustering (§6.2 "w/o cluster" ablation).
     pub fn without_clustering(mut self) -> Self {
         self.clustering_enabled = false;
+        self
+    }
+
+    /// Absolute floor and ceiling on every finite rate limit. Degenerate
+    /// inputs are sanitized: a non-finite or negative floor falls back to
+    /// the default (1 rps), a ceiling below the floor snaps to the floor.
+    pub fn with_rate_bounds(mut self, min_rate: f64, max_rate: f64) -> Self {
+        self.min_rate = if min_rate.is_finite() && min_rate > 0.0 {
+            min_rate
+        } else {
+            1.0
+        };
+        self.max_rate = if max_rate.is_nan() {
+            f64::INFINITY
+        } else {
+            max_rate.max(self.min_rate)
+        };
+        self
+    }
+
+    /// Wrap the configured step policy in a [`SafeRateController`]:
+    /// degraded state routes to the MIMD fallback, and a primary that
+    /// repeatedly returns non-finite or out-of-range actions is benched.
+    pub fn hardened(mut self) -> Self {
+        self.rate_controller =
+            Arc::new(SafeRateController::with_defaults(Arc::clone(&self.rate_controller)));
         self
     }
 }
@@ -149,11 +188,16 @@ impl TopFull {
 
     fn ensure_sized(&mut self, obs: &ClusterObservation) {
         if self.detector.is_none() {
-            self.detector = Some(OverloadDetector::with_thresholds(
-                obs.services.len(),
-                self.cfg.overload_enter,
-                self.cfg.overload_exit,
-            ));
+            // A malformed threshold pair must not take the control loop
+            // down mid-run; fall back to the paper's defaults.
+            self.detector = Some(
+                OverloadDetector::with_thresholds(
+                    obs.services.len(),
+                    self.cfg.overload_enter,
+                    self.cfg.overload_exit,
+                )
+                .unwrap_or_else(|_| OverloadDetector::new(obs.services.len())),
+            );
         }
         if self.limits.len() < obs.apis.len() {
             self.limits.resize(obs.apis.len(), f64::INFINITY);
@@ -241,6 +285,11 @@ impl TopFull {
         action: f64,
         updates: &mut Vec<RateLimitUpdate>,
     ) {
+        // A poisoned action (NaN from an unhardened policy) must not
+        // poison the limit mirror — drop the step entirely.
+        if !action.is_finite() {
+            return;
+        }
         let action = action.clamp(-0.5, 0.5);
         // Raising only applies to already-limited APIs.
         let group: Vec<ApiId> = if action >= 0.0 {
@@ -263,20 +312,42 @@ impl TopFull {
                 if cur.is_finite() {
                     cur
                 } else {
-                    obs.api(*a).admitted.max(self.cfg.min_rate)
+                    let adm = obs.api(*a).admitted;
+                    // NaN admitted (degraded telemetry) → start from the
+                    // floor; `max` with NaN already discards it, this just
+                    // makes the intent explicit.
+                    if adm.is_finite() {
+                        adm.max(self.cfg.min_rate)
+                    } else {
+                        self.cfg.min_rate
+                    }
                 }
             })
             .collect();
         let total: f64 = bases.iter().sum();
         let share = action * total / group.len() as f64;
         for (api, base) in group.iter().zip(bases) {
+            // Re-derive sane bounds even if the config fields were set
+            // directly to degenerate values (`clamp` panics on NaN or an
+            // inverted range).
+            let floor = if self.cfg.min_rate.is_finite() && self.cfg.min_rate > 0.0 {
+                self.cfg.min_rate
+            } else {
+                1.0
+            };
+            let ceil = if self.cfg.max_rate.is_nan() {
+                f64::INFINITY
+            } else {
+                self.cfg.max_rate.max(floor)
+            };
             let next = if action >= 0.0 && self.cfg.fair_group_steps {
                 // Equal absolute gains across the group.
-                (base + share).max(self.cfg.min_rate)
+                base + share
             } else {
                 // Proportional (multiplicative) steps.
-                (base * (1.0 + action)).max(self.cfg.min_rate)
-            };
+                base * (1.0 + action)
+            }
+            .clamp(floor, ceil);
             self.limits[api.idx()] = next;
             self.headroom_ticks[api.idx()] = 0;
             updates.push(RateLimitUpdate::limit(*api, next));
@@ -287,11 +358,12 @@ impl TopFull {
 impl Controller for TopFull {
     fn control(&mut self, obs: &ClusterObservation) -> Vec<RateLimitUpdate> {
         self.ensure_sized(obs);
-        let overloaded = self
-            .detector
-            .as_mut()
-            .expect("sized above")
-            .detect(obs);
+        let Some(detector) = self.detector.as_mut() else {
+            // Unreachable after ensure_sized, but a missing detector must
+            // degrade to "no action", never to a panic mid-run.
+            return Vec::new();
+        };
+        let overloaded = detector.detect(obs);
         let clusters: Vec<Cluster> = if self.cfg.clustering_enabled {
             cluster_apis(&obs.api_paths, &overloaded)
         } else if overloaded.is_empty() {
@@ -385,10 +457,12 @@ impl Controller for TopFull {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("decision worker"))
+                    // A panicked decision worker yields a no-op step, not
+                    // a poisoned control loop.
+                    .map(|h| h.join().unwrap_or(0.0))
                     .collect()
             })
-            .expect("decision scope")
+            .unwrap_or_else(|_| vec![0.0; states.len()])
         } else {
             states.iter().map(|s| controller.decide(*s)).collect()
         };
@@ -632,7 +706,7 @@ mod tests {
         // Pre-limit both APIs.
         tf.limits = vec![100.0, 100.0];
         tf.headroom_ticks = vec![0, 0];
-        tf.detector = Some(OverloadDetector::with_thresholds(3, 0.8, 0.75));
+        tf.detector = Some(OverloadDetector::with_thresholds(3, 0.8, 0.75).unwrap());
         // Latency below SLO → MIMD increases; service 1 is the target
         // (fewest APIs pass it? both pass 1... paths: API0: {1, 2};
         // API1: {1}; service 2 used by 1 API → target = 2, candidates =
@@ -666,7 +740,7 @@ mod tests {
         let mut tf = TopFull::new(TopFullConfig::default());
         tf.limits = vec![100.0];
         tf.headroom_ticks = vec![0];
-        tf.detector = Some(OverloadDetector::with_thresholds(1, 0.8, 0.75));
+        tf.detector = Some(OverloadDetector::with_thresholds(1, 0.8, 0.75).unwrap());
         // No overload anywhere; API0 is limited to 100 while offering
         // 300 → recovery controller should raise it (MIMD +1%).
         let o = obs(
@@ -687,7 +761,7 @@ mod tests {
         });
         tf.limits = vec![1000.0];
         tf.headroom_ticks = vec![0];
-        tf.detector = Some(OverloadDetector::with_thresholds(1, 0.8, 0.75));
+        tf.detector = Some(OverloadDetector::with_thresholds(1, 0.8, 0.75).unwrap());
         // Offered 100 ≪ limit 1000 (headroom 10×) with low latency.
         let o = obs(
             &[0.3],

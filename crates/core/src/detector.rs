@@ -6,9 +6,42 @@
 //! utilization, which we adopt as the default. A small hysteresis gap
 //! keeps services from flapping in and out of the overloaded set at the
 //! 1-second cadence.
+//!
+//! The detector also tolerates degraded telemetry: a non-finite
+//! utilization sample (NaN from a metrics dropout, say) is replaced by the
+//! service's last good value as long as that value is younger than
+//! [`OverloadDetector::max_sample_age`]. Past that age the service's
+//! state is *unknown*, which is treated as not-newly-overloaded: the flag
+//! is held where it was, so a blinded detector neither flags healthy
+//! services nor releases pressure on services that were overloaded when
+//! the lights went out.
 
 use cluster::observe::ClusterObservation;
 use cluster::types::ServiceId;
+use simnet::{SimDuration, SimTime};
+use std::fmt;
+
+/// Rejected detector configuration (see
+/// [`OverloadDetector::with_thresholds`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct InvalidThresholds {
+    /// The offending enter threshold.
+    pub enter: f64,
+    /// The offending exit threshold.
+    pub exit: f64,
+}
+
+impl fmt::Display for InvalidThresholds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hysteresis requires finite exit ≤ enter, got enter={} exit={}",
+            self.enter, self.exit
+        )
+    }
+}
+
+impl std::error::Error for InvalidThresholds {}
 
 /// Utilization-threshold overload detector with hysteresis.
 #[derive(Clone, Debug)]
@@ -17,36 +50,72 @@ pub struct OverloadDetector {
     pub enter: f64,
     /// Leave the overloaded set below this utilization.
     pub exit: f64,
+    /// How stale a last-good utilization sample may be and still stand in
+    /// for a missing one.
+    pub max_sample_age: SimDuration,
     currently_overloaded: Vec<bool>,
+    last_good: Vec<f64>,
+    last_good_at: Vec<Option<SimTime>>,
 }
 
 impl OverloadDetector {
     /// Detector with the paper's 0.8 threshold (exit at 0.75).
     pub fn new(num_services: usize) -> Self {
-        Self::with_thresholds(num_services, 0.8, 0.75)
+        Self::with_thresholds(num_services, 0.8, 0.75).expect("default thresholds are valid")
     }
 
-    /// Detector with explicit enter/exit thresholds (`exit ≤ enter`).
-    pub fn with_thresholds(num_services: usize, enter: f64, exit: f64) -> Self {
-        assert!(exit <= enter, "hysteresis requires exit ≤ enter");
-        OverloadDetector {
+    /// Detector with explicit enter/exit thresholds. Both must be finite
+    /// with `exit ≤ enter`, otherwise the configuration is rejected.
+    pub fn with_thresholds(
+        num_services: usize,
+        enter: f64,
+        exit: f64,
+    ) -> Result<Self, InvalidThresholds> {
+        if !enter.is_finite() || !exit.is_finite() || exit > enter {
+            return Err(InvalidThresholds { enter, exit });
+        }
+        Ok(OverloadDetector {
             enter,
             exit,
+            max_sample_age: SimDuration::from_secs(5),
             currently_overloaded: vec![false; num_services],
-        }
+            last_good: vec![0.0; num_services],
+            last_good_at: vec![None; num_services],
+        })
+    }
+
+    /// Override the staleness bound on last-good utilization samples.
+    pub fn with_max_sample_age(mut self, age: SimDuration) -> Self {
+        self.max_sample_age = age;
+        self
     }
 
     /// Update from an observation; returns the overloaded set, ascending.
     pub fn detect(&mut self, obs: &ClusterObservation) -> Vec<ServiceId> {
         let mut out = Vec::new();
         for w in &obs.services {
-            let flag = &mut self.currently_overloaded[w.service.idx()];
-            if *flag {
-                if w.utilization < self.exit {
-                    *flag = false;
+            let i = w.service.idx();
+            let util = if w.utilization.is_finite() {
+                self.last_good[i] = w.utilization;
+                self.last_good_at[i] = Some(obs.now);
+                Some(w.utilization)
+            } else {
+                // Degraded sample: fall back to the last good value if it
+                // is fresh enough, else the state is unknown.
+                self.last_good_at[i]
+                    .filter(|t| obs.now.duration_since(*t) <= self.max_sample_age)
+                    .map(|_| self.last_good[i])
+            };
+            let flag = &mut self.currently_overloaded[i];
+            // Unknown (`None`) is not healthy: hold the flag as-is.
+            if let Some(u) = util {
+                if *flag {
+                    if u < self.exit {
+                        *flag = false;
+                    }
+                } else if u > self.enter {
+                    *flag = true;
                 }
-            } else if w.utilization > self.enter {
-                *flag = true;
             }
             if *flag {
                 out.push(w.service);
@@ -65,11 +134,10 @@ impl OverloadDetector {
 mod tests {
     use super::*;
     use cluster::observe::{ApiWindow, ServiceWindow};
-    use simnet::{SimDuration, SimTime};
 
-    fn obs(utils: &[f64]) -> ClusterObservation {
+    fn obs_at(now: SimTime, utils: &[f64]) -> ClusterObservation {
         ClusterObservation {
-            now: SimTime::from_secs(1),
+            now,
             window: SimDuration::from_secs(1),
             services: utils
                 .iter()
@@ -90,6 +158,10 @@ mod tests {
             api_paths: vec![],
             slo: SimDuration::from_secs(1),
         }
+    }
+
+    fn obs(utils: &[f64]) -> ClusterObservation {
+        obs_at(SimTime::from_secs(1), utils)
     }
 
     #[test]
@@ -113,8 +185,47 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exit ≤ enter")]
-    fn invalid_thresholds_panic() {
-        OverloadDetector::with_thresholds(1, 0.5, 0.9);
+    fn invalid_thresholds_are_rejected() {
+        assert!(OverloadDetector::with_thresholds(1, 0.5, 0.9).is_err());
+        assert!(OverloadDetector::with_thresholds(1, f64::NAN, 0.5).is_err());
+        assert!(OverloadDetector::with_thresholds(1, 0.8, f64::NEG_INFINITY).is_err());
+        let err = OverloadDetector::with_thresholds(1, 0.5, 0.9).unwrap_err();
+        assert!(err.to_string().contains("exit ≤ enter"));
+    }
+
+    #[test]
+    fn nan_falls_back_to_fresh_last_good_value() {
+        let mut d = OverloadDetector::new(1);
+        assert_eq!(d.detect(&obs_at(SimTime::from_secs(1), &[0.9])).len(), 1);
+        // Dropout 2 s later: last good value (0.9) is fresh → stays flagged.
+        assert_eq!(
+            d.detect(&obs_at(SimTime::from_secs(3), &[f64::NAN])).len(),
+            1
+        );
+        // Healthy sample below exit clears it again.
+        assert!(d.detect(&obs_at(SimTime::from_secs(4), &[0.5])).is_empty());
+        // NaN with a fresh *healthy* last-good value does not flag.
+        assert!(d.detect(&obs_at(SimTime::from_secs(5), &[f64::NAN])).is_empty());
+    }
+
+    #[test]
+    fn stale_unknown_holds_flag_state() {
+        let mut d = OverloadDetector::new(2);
+        // Service 0 overloaded, service 1 healthy at t=1.
+        assert_eq!(
+            d.detect(&obs_at(SimTime::from_secs(1), &[0.9, 0.2])),
+            vec![ServiceId(0)]
+        );
+        // Total dropout at t=60: both last-good samples are stale, so the
+        // state is unknown — flags hold (0 stays flagged, 1 stays clear).
+        let got = d.detect(&obs_at(SimTime::from_secs(60), &[f64::NAN, f64::NAN]));
+        assert_eq!(got, vec![ServiceId(0)]);
+    }
+
+    #[test]
+    fn nan_never_newly_flags_a_service() {
+        let mut d = OverloadDetector::new(1);
+        // No history at all: NaN must not flag.
+        assert!(d.detect(&obs_at(SimTime::from_secs(1), &[f64::NAN])).is_empty());
     }
 }

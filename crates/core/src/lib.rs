@@ -54,7 +54,8 @@ pub mod rate_controller;
 
 pub use clustering::{cluster_apis, Cluster};
 pub use controller::{TopFull, TopFullConfig};
-pub use detector::OverloadDetector;
+pub use detector::{InvalidThresholds, OverloadDetector};
 pub use rate_controller::{
     BwRateController, MimdController, RateController, RateState, RlRateController,
+    SafeRateController,
 };

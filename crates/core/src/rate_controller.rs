@@ -140,6 +140,113 @@ impl RateController for BwRateController {
     }
 }
 
+/// Fault-tolerant wrapper around any [`RateController`].
+///
+/// Three hazards it absorbs (none of which the inner controllers were
+/// written to survive):
+///
+/// * **Degraded state** — any non-finite field of [`RateState`] (NaN
+///   goodput from a telemetry dropout, say) routes the decision to the
+///   MIMD fallback on a sanitized, conservatively pessimistic state.
+/// * **Misbehaving primary** — a non-finite or out-of-range action from
+///   the primary is a *strike*; the output is clamped (or replaced by the
+///   fallback's). After `max_strikes` strikes the primary is tripped and
+///   the fallback takes over permanently.
+/// * **Range violations** — the final answer is always finite and within
+///   `[-0.5, 0.5]`, whatever the wrapped controller returned.
+pub struct SafeRateController {
+    primary: std::sync::Arc<dyn RateController>,
+    fallback: MimdController,
+    strikes: std::sync::atomic::AtomicU32,
+    max_strikes: u32,
+    label: String,
+}
+
+impl SafeRateController {
+    /// Wrap `primary`, falling back to the paper's MIMD steps after
+    /// `max_strikes` bad actions.
+    pub fn new(primary: std::sync::Arc<dyn RateController>, max_strikes: u32) -> Self {
+        let label = format!("safe({})", primary.name());
+        SafeRateController {
+            primary,
+            fallback: MimdController::paper_default(),
+            strikes: std::sync::atomic::AtomicU32::new(0),
+            max_strikes,
+            label,
+        }
+    }
+
+    /// Wrap with the default strike budget (5).
+    pub fn with_defaults(primary: std::sync::Arc<dyn RateController>) -> Self {
+        Self::new(primary, 5)
+    }
+
+    /// Strikes accumulated so far (for reports and tests).
+    pub fn strikes(&self) -> u32 {
+        self.strikes.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Whether the primary has been permanently benched.
+    pub fn tripped(&self) -> bool {
+        self.strikes() >= self.max_strikes
+    }
+
+    fn strike(&self) {
+        self.strikes
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Replace non-finite state fields with conservative stand-ins: an
+    /// unreadable latency is presumed over the SLO (shed load), an
+    /// unreadable goodput or limit is presumed zero.
+    fn sanitize(s: RateState) -> RateState {
+        RateState {
+            goodput_ratio: if s.goodput_ratio.is_finite() {
+                s.goodput_ratio
+            } else {
+                0.0
+            },
+            latency_ratio: if s.latency_ratio.is_finite() {
+                s.latency_ratio
+            } else {
+                1.5
+            },
+            total_limit: if s.total_limit.is_finite() {
+                s.total_limit
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+impl RateController for SafeRateController {
+    fn decide(&self, s: RateState) -> f64 {
+        let degraded = !s.goodput_ratio.is_finite()
+            || !s.latency_ratio.is_finite()
+            || !s.total_limit.is_finite();
+        let action = if degraded || self.tripped() {
+            self.fallback.decide(Self::sanitize(s))
+        } else {
+            let a = self.primary.decide(s);
+            if !a.is_finite() {
+                self.strike();
+                self.fallback.decide(s)
+            } else {
+                if a.abs() > 0.5 {
+                    self.strike();
+                }
+                a
+            }
+        };
+        action.clamp(-0.5, 0.5)
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,5 +311,84 @@ mod tests {
     fn controllers_have_names() {
         assert_eq!(MimdController::paper_default().name(), "mimd");
         assert_eq!(BwRateController::default().name(), "breakwater-style");
+    }
+
+    /// A controller that replays a fixed script of (possibly hostile)
+    /// actions.
+    struct Rogue {
+        script: Vec<f64>,
+        at: std::sync::atomic::AtomicUsize,
+    }
+
+    impl Rogue {
+        fn new(script: Vec<f64>) -> Self {
+            Rogue {
+                script,
+                at: std::sync::atomic::AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl RateController for Rogue {
+        fn decide(&self, _s: RateState) -> f64 {
+            let i = self.at.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.script[i % self.script.len()]
+        }
+
+        fn name(&self) -> &str {
+            "rogue"
+        }
+    }
+
+    #[test]
+    fn safe_wrapper_clamps_and_replaces_hostile_actions() {
+        let rogue = Rogue::new(vec![f64::NAN, f64::INFINITY, -7.0, 10.0, f64::NEG_INFINITY]);
+        let safe = SafeRateController::new(std::sync::Arc::new(rogue), 100);
+        for _ in 0..50 {
+            let a = safe.decide(st(1.0, 0.5, 100.0));
+            assert!(a.is_finite(), "action must be finite");
+            assert!((-0.5..=0.5).contains(&a), "action {a} out of range");
+        }
+        assert!(safe.strikes() > 0);
+    }
+
+    #[test]
+    fn safe_wrapper_trips_to_mimd_after_max_strikes() {
+        let rogue = Rogue::new(vec![f64::NAN]);
+        let safe = SafeRateController::new(std::sync::Arc::new(rogue), 3);
+        for _ in 0..3 {
+            safe.decide(st(1.0, 0.5, 100.0));
+        }
+        assert!(safe.tripped());
+        // Once tripped, the fallback answers: MIMD's +0.01 under the SLO,
+        // −0.05 over it — and the rogue is never consulted again.
+        assert_eq!(safe.decide(st(1.0, 0.5, 100.0)), 0.01);
+        assert_eq!(safe.decide(st(0.2, 2.0, 100.0)), -0.05);
+        assert_eq!(safe.strikes(), 3);
+    }
+
+    #[test]
+    fn safe_wrapper_routes_degraded_state_to_fallback() {
+        // A well-behaved primary that would *increase* on this state —
+        // but the state is degraded, so the conservative fallback runs.
+        let polite = MimdController::with_steps(0.4, 0.4);
+        let safe = SafeRateController::with_defaults(std::sync::Arc::new(polite));
+        // Unreadable latency is presumed over the SLO → decrease.
+        let a = safe.decide(st(1.0, f64::NAN, 100.0));
+        assert_eq!(a, -0.05);
+        // Degraded state is not the primary's fault: no strike.
+        assert_eq!(safe.strikes(), 0);
+        // Non-finite goodput/limit also count as degraded but sanitize to
+        // a healthy-latency state → MIMD's gentle increase.
+        assert_eq!(safe.decide(st(f64::INFINITY, 0.5, 100.0)), 0.01);
+    }
+
+    #[test]
+    fn safe_wrapper_passes_good_actions_through() {
+        let safe = SafeRateController::with_defaults(std::sync::Arc::new(MimdController::paper_default()));
+        assert_eq!(safe.decide(st(1.0, 0.5, 100.0)), 0.01);
+        assert_eq!(safe.decide(st(0.3, 3.0, 100.0)), -0.05);
+        assert_eq!(safe.strikes(), 0);
+        assert_eq!(safe.name(), "safe(mimd)");
     }
 }

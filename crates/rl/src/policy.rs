@@ -35,9 +35,17 @@ impl PolicyValue {
         }
     }
 
-    /// Deterministic action (the mean), clipped to the action space.
+    /// Deterministic action (the mean), clipped to the action space. A
+    /// non-finite mean (diverged or corrupted weights, NaN in the state)
+    /// yields the neutral action 0.0 — `clamp` alone would pass NaN
+    /// through to the rate limiter.
     pub fn act_deterministic(&self, state: &[f64]) -> f64 {
-        self.pi.forward(state)[0].clamp(ACTION_LOW, ACTION_HIGH)
+        let mean = self.pi.forward(state)[0];
+        if mean.is_finite() {
+            mean.clamp(ACTION_LOW, ACTION_HIGH)
+        } else {
+            0.0
+        }
     }
 
     /// Sample an action; returns `(raw_sample, clipped_action, log_prob)`.
@@ -106,6 +114,20 @@ mod tests {
 
     fn pv() -> PolicyValue {
         PolicyValue::new(2, &mut SmallRng::seed_from_u64(1))
+    }
+
+    #[test]
+    fn non_finite_state_yields_neutral_action() {
+        let p = pv();
+        for s in [
+            [f64::NAN, 0.5],
+            [0.5, f64::INFINITY],
+            [f64::NEG_INFINITY, f64::NAN],
+        ] {
+            let a = p.act_deterministic(&s);
+            assert!(a.is_finite(), "action must stay finite, got {a}");
+            assert!((ACTION_LOW..=ACTION_HIGH).contains(&a));
+        }
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Offline shim for the subset of `crossbeam` this workspace uses:
+//! `crossbeam::thread::scope` with spawned closures that receive the
+//! scope handle. Implemented over `std::thread::scope` (stable since
+//! Rust 1.63), so soundness comes from std.
+//!
+//! API differences from real crossbeam are confined to what the
+//! workspace never relies on: `scope` itself returns
+//! `Ok(...)`unconditionally (std scopes propagate child panics by
+//! resuming them on join, which the workspace treats as fatal anyway).
+
+pub mod thread {
+    use std::marker::PhantomData;
+
+    /// Handle passed to `scope`'s closure and to each spawned closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        _marker: PhantomData<&'env ()>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope handle
+        /// (crossbeam convention) so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+            'env: 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || {
+                    let scope = Scope {
+                        inner,
+                        _marker: PhantomData,
+                    };
+                    f(&scope)
+                }),
+            }
+        }
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread; `Err` carries the panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            // std's ScopedJoinHandle::join already returns Result rather
+            // than resuming the panic, matching crossbeam.
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || self.inner.join()))
+                .and_then(|r| r)
+        }
+    }
+
+    /// Run `f` with a scope; all threads spawned in the scope are joined
+    /// before this returns.
+    pub fn scope<'env, F, T>(f: F) -> std::thread::Result<T>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                let scope = Scope {
+                    inner: s,
+                    _marker: PhantomData,
+                };
+                f(&scope)
+            })
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_share_borrows() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .iter()
+                .map(|x| scope.spawn(move |_| *x * 10))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn child_panic_surfaces_via_join() {
+        let res = crate::thread::scope(|scope| {
+            let h = scope.spawn(|_| -> u32 { panic!("boom") });
+            h.join()
+        });
+        // Join inside the scope returns Err; the scope itself succeeds.
+        assert!(res.unwrap().is_err());
+    }
+}

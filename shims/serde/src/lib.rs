@@ -1,0 +1,421 @@
+//! Offline shim for the subset of `serde` this workspace uses.
+//!
+//! Instead of serde's visitor architecture, this shim converts through an
+//! owned JSON-like [`Value`] tree: `Serialize` renders to a `Value`,
+//! `Deserialize` reads from one. `serde_json` (the sibling shim) handles
+//! the text encoding. The derive macros (`serde_derive`, re-exported
+//! here) generate `to_value` / `from_value` bodies supporting the
+//! attribute forms this workspace actually uses: `#[serde(default)]`,
+//! `#[serde(default = "path")]`, and container-level
+//! `#[serde(tag = "...", rename_all = "snake_case")]`.
+//!
+//! Behavioral parity notes (matching serde_json where the workspace can
+//! observe it): non-finite floats serialize to `null`; newtype structs
+//! are transparent; unit enum variants serialize as strings; missing
+//! fields deserialize as `None` for `Option` and error otherwise.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-like value tree — the interchange format between the traits
+/// and the `serde_json` text codec.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Any JSON integer; `i128` covers the full `u64` and `i64` ranges.
+    Int(i128),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered, so serialized output is stable.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => {
+                fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: a message plus breadcrumb context.
+#[derive(Clone, Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+
+    pub fn missing_field(key: &str) -> Self {
+        Error {
+            msg: format!("missing field `{key}`"),
+        }
+    }
+
+    pub fn expected(what: &str, got: &Value) -> Self {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        };
+        Error {
+            msg: format!("expected {what}, found {kind}"),
+        }
+    }
+
+    /// Add field context to an inner error.
+    pub fn in_field(self, key: &str) -> Self {
+        Error {
+            msg: format!("{}: {}", key, self.msg),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Render to a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Build from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------
+// Derive-support helpers (called from generated code).
+// ---------------------------------------------------------------------
+
+/// Required-field lookup. A missing field is probed against `Null` so
+/// `Option<T>` fields behave as optional, matching serde.
+pub fn de_field<T: Deserialize>(v: &Value, key: &str) -> Result<T, Error> {
+    match v {
+        Value::Object(_) => match v.get(key) {
+            Some(fv) => T::from_value(fv).map_err(|e| e.in_field(key)),
+            None => T::from_value(&Value::Null).map_err(|_| Error::missing_field(key)),
+        },
+        other => Err(Error::expected("object", other)),
+    }
+}
+
+/// `#[serde(default)]` / `#[serde(default = "path")]` field lookup.
+pub fn de_field_or<T, F>(v: &Value, key: &str, default: F) -> Result<T, Error>
+where
+    T: Deserialize,
+    F: FnOnce() -> T,
+{
+    match v {
+        Value::Object(_) => match v.get(key) {
+            Some(fv) => T::from_value(fv).map_err(|e| e.in_field(key)),
+            None => Ok(default()),
+        },
+        other => Err(Error::expected("object", other)),
+    }
+}
+
+/// Externally-tagged enum helper: a single-key object is
+/// `{"Variant": payload}`.
+pub fn as_variant(v: &Value) -> Option<(&str, &Value)> {
+    match v {
+        Value::Object(fields) if fields.len() == 1 => {
+            Some((fields[0].0.as_str(), &fields[0].1))
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive and container impls.
+// ---------------------------------------------------------------------
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| Error::custom(format!(
+                            "integer {i} out of range for {}", stringify!($t)))),
+                    other => Err(Error::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                // serde_json renders non-finite floats as null.
+                if self.is_finite() {
+                    Value::Float(f64::from(*self))
+                } else {
+                    Value::Null
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    other => Err(Error::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(xs) => xs.iter().map(T::from_value).collect(),
+            other => Err(Error::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(xs) => xs.iter().map(T::from_value).collect(),
+            other => Err(Error::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(xs) if xs.len() == 2 => {
+                Ok((A::from_value(&xs[0])?, B::from_value(&xs[1])?))
+            }
+            other => Err(Error::expected("2-element array", other)),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(xs) if xs.len() == 3 => Ok((
+                A::from_value(&xs[0])?,
+                B::from_value(&xs[1])?,
+                C::from_value(&xs[2])?,
+            )),
+            other => Err(Error::expected("3-element array", other)),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize, D: Serialize> Serialize for (A, B, C, D) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+            self.3.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize, D: Deserialize> Deserialize for (A, B, C, D) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(xs) if xs.len() == 4 => Ok((
+                A::from_value(&xs[0])?,
+                B::from_value(&xs[1])?,
+                C::from_value(&xs[2])?,
+                D::from_value(&xs[3])?,
+            )),
+            other => Err(Error::expected("4-element array", other)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_missing_field_is_none() {
+        let v = Value::Object(vec![("a".into(), Value::Int(1))]);
+        let got: Option<u32> = de_field(&v, "b").unwrap();
+        assert!(got.is_none());
+        let got: u32 = de_field(&v, "a").unwrap();
+        assert_eq!(got, 1);
+        assert!(de_field::<u32>(&v, "b").is_err());
+    }
+
+    #[test]
+    fn default_field_lookup() {
+        let v = Value::Object(vec![]);
+        let got: u64 = de_field_or(&v, "seed", || 42).unwrap();
+        assert_eq!(got, 42);
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        assert_eq!(f64::NAN.to_value(), Value::Null);
+        assert_eq!(f64::INFINITY.to_value(), Value::Null);
+        assert_eq!(1.5f64.to_value(), Value::Float(1.5));
+    }
+
+    #[test]
+    fn int_range_checked() {
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+        assert_eq!(u8::from_value(&Value::Int(7)).unwrap(), 7);
+        // Floats promote from ints but not vice versa.
+        assert_eq!(f64::from_value(&Value::Int(7)).unwrap(), 7.0);
+        assert!(u8::from_value(&Value::Float(7.0)).is_err());
+    }
+}
