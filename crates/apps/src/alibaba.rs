@@ -71,11 +71,7 @@ impl AlibabaDemo {
 
         // Pick 13 hot services from the aggregation + logic layers and
         // shrink them: few replicas, heavier per-call cost.
-        let mut mid: Vec<ServiceId> = aggregation
-            .iter()
-            .chain(logic.iter())
-            .copied()
-            .collect();
+        let mut mid: Vec<ServiceId> = aggregation.iter().chain(logic.iter()).copied().collect();
         mid.shuffle(&mut rng);
         let hot_services: Vec<ServiceId> = mid[..NUM_HOT].to_vec();
         for &h in &hot_services {
@@ -98,10 +94,11 @@ impl AlibabaDemo {
         unused_logic.shuffle(&mut rng);
         unused_data.shuffle(&mut rng);
 
-        let pick = |pool: &mut Vec<ServiceId>, all: &[ServiceId], rng: &mut rand::rngs::SmallRng| {
-            pool.pop()
-                .unwrap_or_else(|| *all.choose(rng).expect("non-empty layer"))
-        };
+        let pick =
+            |pool: &mut Vec<ServiceId>, all: &[ServiceId], rng: &mut rand::rngs::SmallRng| {
+                pool.pop()
+                    .unwrap_or_else(|| *all.choose(rng).expect("non-empty layer"))
+            };
 
         let hot_cost = |svc: ServiceId, hot: &[ServiceId], rng: &mut rand::rngs::SmallRng| {
             let base = if hot.contains(&svc) {
@@ -115,10 +112,11 @@ impl AlibabaDemo {
         // Path builder: entry → agg → {1..3 logic} → {0..1 data each},
         // with a forced station at `anchor` (a hot service) so hot
         // services are shared across APIs.
-        let build_path = |anchor: Option<ServiceId>, rng: &mut rand::rngs::SmallRng,
-                              unused_agg: &mut Vec<ServiceId>,
-                              unused_logic: &mut Vec<ServiceId>,
-                              unused_data: &mut Vec<ServiceId>| {
+        let build_path = |anchor: Option<ServiceId>,
+                          rng: &mut rand::rngs::SmallRng,
+                          unused_agg: &mut Vec<ServiceId>,
+                          unused_logic: &mut Vec<ServiceId>,
+                          unused_data: &mut Vec<ServiceId>| {
             let entry = *layers.entries.choose(rng).expect("entries");
             let anchored_agg = matches!(anchor, Some(a) if layers.aggregation.contains(&a));
             let agg = if anchored_agg {
@@ -132,8 +130,7 @@ impl AlibabaDemo {
             // the aggregation pool so every service lands on some path.
             if anchored_agg {
                 if let Some(extra) = unused_agg.pop() {
-                    logic_children
-                        .push(CallNode::leaf(extra, hot_cost(extra, &hot_services, rng)));
+                    logic_children.push(CallNode::leaf(extra, hot_cost(extra, &hot_services, rng)));
                 }
             }
             for li in 0..n_logic {
@@ -189,8 +186,7 @@ impl AlibabaDemo {
                 paths.push((1.0 / (b as f64 + 1.0), root));
             }
             let api = t.add_api(
-                ApiSpec::branching(format!("api-{i:02}"), paths)
-                    .business(BusinessPriority(0)),
+                ApiSpec::branching(format!("api-{i:02}"), paths).business(BusinessPriority(0)),
             );
             apis.push(api);
         }
@@ -219,18 +215,9 @@ mod tests {
         assert_eq!(d.topology.num_apis(), 25);
         assert_eq!(d.total_paths(), 43, "43 execution paths");
         assert_eq!(d.hot_services.len(), 13);
-        let branching = d
-            .topology
-            .apis()
-            .filter(|(_, a)| a.paths.len() > 1)
-            .count();
+        let branching = d.topology.apis().filter(|(_, a)| a.paths.len() > 1).count();
         assert_eq!(branching, 8, "8 branching APIs");
-        let max_branches = d
-            .topology
-            .apis()
-            .map(|(_, a)| a.paths.len())
-            .max()
-            .unwrap();
+        let max_branches = d.topology.apis().map(|(_, a)| a.paths.len()).max().unwrap();
         assert_eq!(max_branches, 6, "branching up to 6");
     }
 

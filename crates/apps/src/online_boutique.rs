@@ -313,7 +313,11 @@ mod tests {
         for api in ob.apis() {
             let spec = ob.topology.api(api);
             for (_, root) in &spec.paths {
-                assert_eq!(root.service, ob.frontend, "{} enters via frontend", spec.name);
+                assert_eq!(
+                    root.service, ob.frontend,
+                    "{} enters via frontend",
+                    spec.name
+                );
             }
         }
     }

@@ -109,8 +109,9 @@ impl SyntheticTrace {
     pub fn generate(seed: u64) -> Self {
         let mut rng = fork(seed, "alibaba-trace");
         // Background utilization: busy cluster, but below threshold.
-        let mut utilization: Vec<f64> =
-            (0..NUM_SERVICES).map(|_| rng.gen_range(0.05..0.75)).collect();
+        let mut utilization: Vec<f64> = (0..NUM_SERVICES)
+            .map(|_| rng.gen_range(0.05..0.75))
+            .collect();
 
         // Choose the 68 overloaded services: 49 isolated + 8 groups
         // ([3,3,3,2,2,2,2,2] = 19) → 57 clusters, 68/57 = 1.19
@@ -192,8 +193,7 @@ impl SyntheticTrace {
 
     /// §2 starvation-vulnerability analysis.
     pub fn starvation_analysis(&self, threshold: f64) -> StarvationStats {
-        let over: std::collections::HashSet<u32> =
-            self.overloaded(threshold).into_iter().collect();
+        let over: std::collections::HashSet<u32> = self.overloaded(threshold).into_iter().collect();
         // Contending APIs per overloaded service.
         let mut contenders: std::collections::HashMap<u32, usize> =
             std::collections::HashMap::new();
@@ -240,10 +240,7 @@ impl SyntheticTrace {
             parent[x]
         }
         for path in &self.api_paths {
-            let on_over: Vec<usize> = path
-                .iter()
-                .filter_map(|s| index.get(s).copied())
-                .collect();
+            let on_over: Vec<usize> = path.iter().filter_map(|s| index.get(s).copied()).collect();
             for w in on_over.windows(2) {
                 let (a, b) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
                 if a != b {
@@ -251,15 +248,13 @@ impl SyntheticTrace {
                 }
             }
         }
-        let mut sizes: std::collections::HashMap<usize, usize> =
-            std::collections::HashMap::new();
+        let mut sizes: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
         for i in 0..over.len() {
             let r = find(&mut parent, i);
             *sizes.entry(r).or_insert(0) += 1;
         }
         let isolated = sizes.values().filter(|s| **s == 1).count();
-        let mut group_sizes: Vec<usize> =
-            sizes.values().copied().filter(|s| *s >= 2).collect();
+        let mut group_sizes: Vec<usize> = sizes.values().copied().filter(|s| *s >= 2).collect();
         group_sizes.sort_unstable();
         SharingStats {
             overloaded: over.len(),

@@ -142,11 +142,7 @@ impl TrainTicket {
                         travel,
                         ms_f(3.0),
                         vec![
-                            CallNode::with_children(
-                                ticketinfo,
-                                ms_f(1.5),
-                                vec![basic_fanout(2.0)],
-                            ),
+                            CallNode::with_children(ticketinfo, ms_f(1.5), vec![basic_fanout(2.0)]),
                             CallNode::with_children(
                                 seat,
                                 ms_f(1.5),
@@ -173,11 +169,7 @@ impl TrainTicket {
                         travel2,
                         ms_f(3.0),
                         vec![
-                            CallNode::with_children(
-                                ticketinfo,
-                                ms_f(1.5),
-                                vec![basic_fanout(2.0)],
-                            ),
+                            CallNode::with_children(ticketinfo, ms_f(1.5), vec![basic_fanout(2.0)]),
                             CallNode::with_children(
                                 seat,
                                 ms_f(1.5),

@@ -149,6 +149,7 @@ mod tests {
             business: BusinessPriority(0),
             user: 0,
             arrival: SimTime::ZERO,
+            deadline: None,
         }
     }
 
@@ -174,6 +175,7 @@ mod tests {
             apis: Vec::<ApiWindow>::new(),
             api_paths: vec![],
             slo: SimDuration::from_secs(1),
+            resilience: Default::default(),
         }
     }
 

@@ -179,6 +179,7 @@ mod tests {
             business: BusinessPriority(business),
             user,
             arrival: SimTime::ZERO,
+            deadline: None,
         }
     }
 
@@ -204,6 +205,7 @@ mod tests {
             apis: Vec::<ApiWindow>::new(),
             api_paths: vec![],
             slo: SimDuration::from_secs(1),
+            resilience: Default::default(),
         }
     }
 
@@ -240,7 +242,10 @@ mod tests {
         offer(&mut d, svc, 0, 10_000, &mut rng);
         d.on_interval(&obs_with_delay(&[50]));
         let th = d.threshold(svc);
-        assert!(th < 128, "threshold must cut into the occupied tier, got {th}");
+        assert!(
+            th < 128,
+            "threshold must cut into the occupied tier, got {th}"
+        );
         let admitted = offer(&mut d, svc, 0, 10_000, &mut rng);
         let frac = f64::from(admitted) / 10_000.0;
         assert!(

@@ -105,9 +105,7 @@ impl Wisp {
             rates: vec![cfg.initial_rate; n],
             effective: vec![cfg.initial_rate; n],
             buckets: (0..n)
-                .map(|_| {
-                    TokenBucket::new(cfg.initial_rate, cfg.initial_rate * 0.05, SimTime::ZERO)
-                })
+                .map(|_| TokenBucket::new(cfg.initial_rate, cfg.initial_rate * 0.05, SimTime::ZERO))
                 .collect(),
             children,
             cfg,
@@ -232,6 +230,7 @@ mod tests {
             apis: Vec::<ApiWindow>::new(),
             api_paths: vec![],
             slo: SimDuration::from_secs(1),
+            resilience: Default::default(),
         }
     }
 
@@ -324,12 +323,12 @@ mod tests {
             business: cluster::types::BusinessPriority(0),
             user: 0,
             arrival: SimTime::ZERO,
+            deadline: None,
         };
         let mut admitted = 0u64;
         let offers = 20_000u64;
         for k in 0..offers {
-            let t = SimTime::from_secs(30)
-                + SimDuration::from_nanos(k * 10_000_000_000 / offers);
+            let t = SimTime::from_secs(30) + SimDuration::from_nanos(k * 10_000_000_000 / offers);
             if w.admit(front, &meta, t) {
                 admitted += 1;
             }

@@ -10,8 +10,7 @@ use topfull::{TopFull, TopFullConfig};
 
 fn engine() -> Engine {
     let ob = apps::OnlineBoutique::build();
-    let rates: Vec<(cluster::ApiId, f64)> =
-        ob.apis().iter().map(|a| (*a, 400.0)).collect();
+    let rates: Vec<(cluster::ApiId, f64)> = ob.apis().iter().map(|a| (*a, 400.0)).collect();
     Engine::new(
         ob.topology.clone(),
         EngineConfig::default(),

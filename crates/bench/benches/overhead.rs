@@ -95,8 +95,7 @@ fn bench_event_queue(c: &mut Criterion) {
 fn bench_full_control_cycle(c: &mut Criterion) {
     use cluster::Controller;
     let tt = apps::TrainTicket::build();
-    let rates: Vec<(cluster::ApiId, f64)> =
-        tt.apis().iter().map(|a| (*a, 1100.0)).collect();
+    let rates: Vec<(cluster::ApiId, f64)> = tt.apis().iter().map(|a| (*a, 1100.0)).collect();
     let w = cluster::OpenLoopWorkload::constant(rates);
     let mut engine = cluster::Engine::new(
         tt.topology.clone(),

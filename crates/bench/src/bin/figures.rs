@@ -25,6 +25,7 @@ const EXPERIMENTS: &[(&str, fn())] = &[
     ("fig18", ex::fig18::run),
     ("fig19", ex::fig19::run),
     ("retry-storm", ex::retry_storm::run),
+    ("metastable", ex::metastable::run),
     ("refinements", ex::refinements::run),
     ("trace-analysis", ex::trace_analysis::run),
     ("training-cost", ex::training_cost::run),

@@ -13,9 +13,7 @@
 use crate::report::{f1, ratio, Report};
 use crate::scenarios::engine_config;
 use apps::OnlineBoutique;
-use cluster::{
-    Engine, FaultSpec, Harness, OpenLoopWorkload, RateSchedule, WatchdogConfig,
-};
+use cluster::{Engine, FaultSpec, Harness, OpenLoopWorkload, RateSchedule, WatchdogConfig};
 use simnet::{SimDuration, SimTime};
 use topfull::{TopFull, TopFullConfig};
 

@@ -37,8 +37,7 @@ fn boutique_engine(seed: u64) -> Engine {
 fn trainticket_engine(seed: u64) -> Engine {
     let tt = TrainTicket::build();
     // Overload the six measured APIs.
-    let rates: Vec<(cluster::ApiId, f64)> =
-        tt.apis().iter().map(|a| (*a, 1100.0)).collect();
+    let rates: Vec<(cluster::ApiId, f64)> = tt.apis().iter().map(|a| (*a, 1100.0)).collect();
     let w = OpenLoopWorkload::constant(rates);
     Engine::new(
         tt.topology.clone(),
@@ -60,8 +59,16 @@ pub fn run() {
         ("online-boutique", boutique_engine, "online-boutique"),
     ];
     // Paper-reported degradations for the comparison rows.
-    let paper_mimd = [("trace-demo", 11.1), ("train-ticket", 18.4), ("online-boutique", 34.4)];
-    let paper_noclu = [("trace-demo", 18.7), ("train-ticket", 22.5), ("online-boutique", 2.6)];
+    let paper_mimd = [
+        ("trace-demo", 11.1),
+        ("train-ticket", 18.4),
+        ("online-boutique", 34.4),
+    ];
+    let paper_noclu = [
+        ("trace-demo", 18.7),
+        ("train-ticket", 22.5),
+        ("online-boutique", 2.6),
+    ];
     let mut rows = Vec::new();
     for (app, mk, policy_key) in apps {
         let policy = models::policy_for(policy_key);
@@ -94,7 +101,11 @@ pub fn run() {
             }
         };
         let p_m = paper_mimd.iter().find(|(a, _)| *a == app).expect("known").1;
-        let p_c = paper_noclu.iter().find(|(a, _)| *a == app).expect("known").1;
+        let p_c = paper_noclu
+            .iter()
+            .find(|(a, _)| *a == app)
+            .expect("known")
+            .1;
         r.compare(
             format!("{app}: goodput loss with MIMD instead of RL"),
             format!("{p_m}%"),
@@ -110,7 +121,14 @@ pub fn run() {
     }
     r.table(
         "avg total goodput (rps)",
-        &["app", "no-control", "dagor", "w/ MIMD", "w/o cluster", "topfull"],
+        &[
+            "app",
+            "no-control",
+            "dagor",
+            "w/ MIMD",
+            "w/o cluster",
+            "topfull",
+        ],
         rows,
     );
     r.finish();

@@ -58,16 +58,37 @@ pub fn run() {
         "avg goodput (rps); API1 highest priority",
         &["controller", "api1", "api2", "api3", "api4"],
         vec![
-            vec!["dagor".into(), f1(dagor[0]), f1(dagor[1]), f1(dagor[2]), f1(dagor[3])],
+            vec![
+                "dagor".into(),
+                f1(dagor[0]),
+                f1(dagor[1]),
+                f1(dagor[2]),
+                f1(dagor[3]),
+            ],
             vec!["topfull".into(), f1(tf[0]), f1(tf[1]), f1(tf[2]), f1(tf[3])],
         ],
     );
     let avg_tf: f64 = tf.iter().sum::<f64>() / 4.0;
     let avg_dg: f64 = dagor.iter().sum::<f64>() / 4.0;
-    r.compare("TopFull / DAGOR average goodput", "2.60x", ratio(avg_tf, avg_dg), "");
-    r.compare("API 1 (highest priority)", "1.58x", ratio(tf[0], dagor[0]), "");
+    r.compare(
+        "TopFull / DAGOR average goodput",
+        "2.60x",
+        ratio(avg_tf, avg_dg),
+        "",
+    );
+    r.compare(
+        "API 1 (highest priority)",
+        "1.58x",
+        ratio(tf[0], dagor[0]),
+        "",
+    );
     r.compare("API 2", "7.55x", ratio(tf[1], dagor[1]), "");
-    r.compare("API 4 (lowest priority)", "22.45x", ratio(tf[3], dagor[3]), "");
+    r.compare(
+        "API 4 (lowest priority)",
+        "22.45x",
+        ratio(tf[3], dagor[3]),
+        "",
+    );
     r.note(
         "shape to hold: DAGOR starves low-priority APIs almost completely; \
          TopFull keeps them alive while preserving high-priority goodput",

@@ -7,9 +7,9 @@
 //! comparison of the convergence speed is provided in Table 2":
 //! DAGOR(0.05) = 27 s, DAGOR(0.1) = 19 s, DAGOR(0.5) = ∞, TopFull = 5 s.
 
+use crate::models;
 use crate::report::Report;
 use crate::scenarios::{boutique_open_loop, Roster};
-use crate::models;
 use cluster::RateSchedule;
 use simnet::stats;
 use simnet::SimTime;
@@ -69,7 +69,10 @@ fn run_one(roster: Roster, seed: u64) -> Vec<(f64, f64)> {
 }
 
 pub fn run() {
-    let mut r = Report::new("fig13_table2", "Adaptation speed after overload (Fig. 13, Table 2)");
+    let mut r = Report::new(
+        "fig13_table2",
+        "Adaptation speed after overload (Fig. 13, Table 2)",
+    );
     let policy = models::policy_for("online-boutique");
     let cases: Vec<(&str, Roster, &str)> = vec![
         ("DAGOR (0.05)", Roster::Dagor { alpha: 0.05 }, "27 s"),

@@ -73,7 +73,10 @@ pub fn run_one(roster: Roster, seed: u64) -> (Vec<f64>, f64, Vec<(f64, f64)>) {
 }
 
 pub fn run() {
-    let mut r = Report::new("fig14", "Train Ticket: performance under traffic surge (with HPA)");
+    let mut r = Report::new(
+        "fig14",
+        "Train Ticket: performance under traffic surge (with HPA)",
+    );
     let policy = models::policy_for("train-ticket");
     let cases = vec![
         ("autoscaler-solo", Roster::None),
@@ -93,7 +96,16 @@ pub fn run() {
     }
     r.table(
         "avg goodput (rps) during surge",
-        &["controller", "api1", "api2", "api3", "api4", "api5", "api6", "total"],
+        &[
+            "controller",
+            "api1",
+            "api2",
+            "api3",
+            "api4",
+            "api5",
+            "api6",
+            "total",
+        ],
         rows,
     );
     r.compare(

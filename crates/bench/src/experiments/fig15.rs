@@ -90,7 +90,15 @@ pub fn run() {
     }
     r.table(
         "avg goodput (rps) during surge",
-        &["controller", "api1", "api2", "api3", "api4", "api5", "total"],
+        &[
+            "controller",
+            "api1",
+            "api2",
+            "api3",
+            "api4",
+            "api5",
+            "total",
+        ],
         rows,
     );
     r.compare(

@@ -34,7 +34,9 @@ fn tt_engine(vcpus: u32, seed: u64) -> Engine {
         let n = if i + 1 == critical.len() {
             left.max(1)
         } else {
-            share.min(left.saturating_sub((critical.len() - 1 - i) as u32)).max(1)
+            share
+                .min(left.saturating_sub((critical.len() - 1 - i) as u32))
+                .max(1)
         };
         left = left.saturating_sub(n);
         tt.topology.service_mut(*svc).replicas = n;
@@ -65,14 +67,22 @@ fn tt_engine(vcpus: u32, seed: u64) -> Engine {
 /// services (recommendation, checkout, productcatalog, cart, frontend).
 fn ob_engine(vcpus: u32, seed: u64) -> Engine {
     let mut ob = OnlineBoutique::build();
-    let critical = [ob.recommendation, ob.checkout, ob.productcatalog, ob.cart, ob.frontend];
+    let critical = [
+        ob.recommendation,
+        ob.checkout,
+        ob.productcatalog,
+        ob.cart,
+        ob.frontend,
+    ];
     let share = (vcpus / critical.len() as u32).max(1);
     let mut left = vcpus;
     for (i, svc) in critical.iter().enumerate() {
         let n = if i + 1 == critical.len() {
             left.max(1)
         } else {
-            share.min(left.saturating_sub((critical.len() - 1 - i) as u32)).max(1)
+            share
+                .min(left.saturating_sub((critical.len() - 1 - i) as u32))
+                .max(1)
         };
         left = left.saturating_sub(n);
         ob.topology.service_mut(*svc).replicas = n;
@@ -126,7 +136,10 @@ fn saving(rows: &[(u32, f64, f64)]) -> Option<f64> {
 }
 
 pub fn run() {
-    let mut r = Report::new("fig16", "Average goodput vs pre-allocated vCPUs under spikes");
+    let mut r = Report::new(
+        "fig16",
+        "Average goodput vs pre-allocated vCPUs under spikes",
+    );
     let tt_policy = models::policy_for("train-ticket");
     let ob_policy = models::policy_for("online-boutique");
     let tt_rows = sweep(tt_engine, &[5, 10, 15, 20, 30, 40], tt_policy, 16);

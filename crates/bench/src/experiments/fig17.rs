@@ -30,7 +30,11 @@ pub fn run() {
         totals.insert(label, total);
         rows.push(vec![label.to_string(), f1(total)]);
     }
-    r.table("avg goodput (rps) during surge", &["model", "goodput"], rows);
+    r.table(
+        "avg goodput (rps) during surge",
+        &["model", "goodput"],
+        rows,
+    );
     r.compare(
         "base model / autoscaler-solo",
         "1.13x (939 vs 829 rps)",

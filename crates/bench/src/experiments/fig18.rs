@@ -30,11 +30,7 @@ fn engine(seed: u64) -> (TrainTicket, Engine) {
     // workload, matching that regime.
     tt.topology.service_mut(tt.station).replicas = 35;
     tt.topology.service_mut(tt.station).pod_speed = 0.1;
-    let rates: Vec<(cluster::ApiId, f64)> = tt
-        .apis()
-        .iter()
-        .map(|a| (*a, 600.0))
-        .collect();
+    let rates: Vec<(cluster::ApiId, f64)> = tt.apis().iter().map(|a| (*a, 600.0)).collect();
     let w = OpenLoopWorkload::constant(rates);
     let mut cfg = engine_config(seed);
     cfg.pod_startup = SimDuration::from_secs(POD_STARTUP);
@@ -53,15 +49,16 @@ fn run_one(roster: Roster, seed: u64) -> (f64, Vec<(f64, f64)>) {
     let mut h = roster.into_harness(eng);
     h.run_for_secs(RUN_SECS);
     let r = h.result();
-    let failure_window = r.mean_total_goodput(
-        (KILL_AT + 10) as f64,
-        (KILL_AT + POD_STARTUP) as f64,
-    );
+    let failure_window =
+        r.mean_total_goodput((KILL_AT + 10) as f64, (KILL_AT + POD_STARTUP) as f64);
     (failure_window, r.total_goodput_series())
 }
 
 pub fn run() {
-    let mut r = Report::new("fig18", "Adaptation toward temporary pod failures (ts-station)");
+    let mut r = Report::new(
+        "fig18",
+        "Adaptation toward temporary pod failures (ts-station)",
+    );
     let policy = models::policy_for("train-ticket");
     let (none_fail, none_series) = run_one(Roster::None, 18);
     let (tf_fail, tf_series) = run_one(Roster::TopFull(policy), 18);
@@ -87,6 +84,11 @@ pub fn run() {
         f1(tf_fail),
         "rps",
     );
-    r.compare("TopFull / no-TopFull during failures", ">>1x", ratio(tf_fail, none_fail), "");
+    r.compare(
+        "TopFull / no-TopFull during failures",
+        ">>1x",
+        ratio(tf_fail, none_fail),
+        "",
+    );
     r.finish();
 }

@@ -50,7 +50,10 @@ fn measure(roster: Roster, vm_startup: u64, seed: u64) -> f64 {
 }
 
 pub fn run() {
-    let mut r = Report::new("fig19", "Average goodput vs VM startup time (Online Boutique)");
+    let mut r = Report::new(
+        "fig19",
+        "Average goodput vs VM startup time (Online Boutique)",
+    );
     let policy = models::policy_for("online-boutique");
     let mut rows = Vec::new();
     let mut best_gain: f64 = 0.0;
@@ -72,7 +75,12 @@ pub fn run() {
         &["vm startup", "autoscaler-solo", "topfull", "gain"],
         rows,
     );
-    r.compare("max TopFull gain across startup times", "up to 1.52x", format!("{best_gain:.2}x"), "");
+    r.compare(
+        "max TopFull gain across startup times",
+        "up to 1.52x",
+        format!("{best_gain:.2}x"),
+        "",
+    );
     let monotone = solo_by_startup.windows(2).all(|w| w[0] >= w[1] * 0.95);
     r.compare(
         "goodput improves with faster VM startup",

@@ -1,0 +1,160 @@
+//! Extension experiment: metastable retry storms vs the request-plane
+//! resilience layer (not a paper figure).
+//!
+//! A retry storm is the canonical metastable failure: shed load comes
+//! back multiplied, so the cluster stays saturated long after the
+//! trigger is gone. This experiment quantifies how much of that
+//! amplification the resilience layer removes, by crossing three client
+//! retry policies — none, unbounded, budgeted (gRPC/Finagle-style token
+//! bucket) — with deadline propagation + doomed-work cancellation on or
+//! off, under both TopFull(MIMD) entry control and DAGOR per-service
+//! admission.
+//!
+//! The claims under test:
+//! * unbounded retries measurably collapse goodput below the no-retry
+//!   baseline (the storm feeds itself);
+//! * budgeted retries plus deadline cancellation sustain ≥90% of the
+//!   no-retry baseline — the budget starves the storm, cancellation
+//!   stops doomed work from burning capacity;
+//! * the doomed-work-cancelled and retries-suppressed counters are
+//!   nonzero, i.e. the mechanisms actually engaged.
+
+use crate::report::{f1, ratio, Report};
+use crate::scenarios::{engine_config, Roster};
+use apps::OnlineBoutique;
+use cluster::{
+    DeadlineConfig, Engine, ResilienceConfig, ResilienceStats, RetryBudgetConfig,
+    RetryStormWorkload,
+};
+use simnet::SimDuration;
+
+const RUN_SECS: u64 = 150;
+const MEASURE_FROM: f64 = 30.0;
+const USERS: u32 = 2600;
+const SEED: u64 = 23;
+
+/// Client retry policy arm.
+#[derive(Clone, Copy)]
+enum RetryArm {
+    None,
+    Unbounded,
+    Budgeted,
+}
+
+impl RetryArm {
+    fn label(self) -> &'static str {
+        match self {
+            RetryArm::None => "no-retry",
+            RetryArm::Unbounded => "unbounded",
+            RetryArm::Budgeted => "budgeted",
+        }
+    }
+}
+
+fn engine(arm: RetryArm, deadlines: bool) -> Engine {
+    let ob = OnlineBoutique::build();
+    let weights = ob.apis().iter().map(|a| (*a, 1.0)).collect();
+    let max_retries = match arm {
+        RetryArm::None => 0,
+        // "Unbounded" within a client timeout: far more attempts than
+        // any request could ever need.
+        RetryArm::Unbounded | RetryArm::Budgeted => 100,
+    };
+    let mut w = RetryStormWorkload::new(
+        weights,
+        USERS,
+        SimDuration::from_secs(1),
+        max_retries,
+        SimDuration::from_millis(50),
+    );
+    if matches!(arm, RetryArm::Budgeted) {
+        w = w.with_retry_budget(RetryBudgetConfig::default());
+    }
+    let mut e = Engine::new(ob.topology.clone(), engine_config(SEED), Box::new(w));
+    if deadlines {
+        e.set_resilience(ResilienceConfig {
+            deadlines: Some(DeadlineConfig::default()),
+            breakers: None,
+        });
+    }
+    e
+}
+
+/// One run: steady-state goodput + the resilience counters.
+fn run_one(roster: Roster, arm: RetryArm, deadlines: bool) -> (f64, ResilienceStats) {
+    let mut h = roster.into_harness(engine(arm, deadlines));
+    h.run_for_secs(RUN_SECS);
+    let goodput = h.result().mean_total_goodput(MEASURE_FROM, RUN_SECS as f64);
+    (goodput, h.engine.resilience_totals())
+}
+
+pub fn run() {
+    let mut r = Report::new(
+        "metastable",
+        "Extension: retry-storm metastability vs budgeted retries + deadlines",
+    );
+    for roster in [Roster::TopFullMimd, Roster::Dagor { alpha: 0.05 }] {
+        let ctrl = roster.label();
+        let mut rows = Vec::new();
+        let mut results = Vec::new();
+        for arm in [RetryArm::None, RetryArm::Unbounded, RetryArm::Budgeted] {
+            for deadlines in [false, true] {
+                let (good, stats) = run_one(roster.clone(), arm, deadlines);
+                rows.push(vec![
+                    arm.label().into(),
+                    if deadlines { "on" } else { "off" }.into(),
+                    f1(good),
+                    stats.retries_issued.to_string(),
+                    stats.retries_suppressed.to_string(),
+                    stats.doomed_cancelled.to_string(),
+                ]);
+                results.push((arm.label(), deadlines, good, stats));
+            }
+        }
+        r.table(
+            &format!("{ctrl}: goodput by retry policy × deadlines"),
+            &[
+                "retries",
+                "deadlines",
+                "goodput (rps)",
+                "issued",
+                "suppressed",
+                "doomed-cancelled",
+            ],
+            rows,
+        );
+        let find = |label: &str, dl: bool| {
+            results
+                .iter()
+                .find(|(l, d, _, _)| *l == label && *d == dl)
+                .expect("arm present")
+        };
+        let baseline = find("no-retry", false).2;
+        let unbounded = find("unbounded", false).2;
+        let hardened = find("budgeted", true);
+        r.compare(
+            format!("{ctrl}: budgeted+deadlines ÷ no-retry baseline"),
+            "≥0.90 (storm fully defused)",
+            ratio(hardened.2, baseline),
+            "",
+        );
+        r.compare(
+            format!("{ctrl}: unbounded ÷ no-retry baseline"),
+            "<1x (storm collapses goodput)",
+            ratio(unbounded, baseline),
+            "",
+        );
+        let s = &hardened.3;
+        r.note(format!(
+            "{ctrl}: hardened arm engaged its mechanisms — {} retries \
+             suppressed, {} doomed calls cancelled, {} client timeouts torn down",
+            s.retries_suppressed, s.doomed_cancelled, s.client_cancelled
+        ));
+    }
+    r.note(
+        "budgeted retries starve the storm (only successes refill the \
+         bucket) while deadline cancellation stops abandoned work from \
+         re-consuming the capacity the controller just protected",
+    );
+    r.finish();
+}

@@ -15,6 +15,7 @@ pub mod fig16;
 pub mod fig17;
 pub mod fig18;
 pub mod fig19;
+pub mod metastable;
 pub mod refinements;
 pub mod retry_storm;
 pub mod table1;

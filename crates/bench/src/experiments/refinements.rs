@@ -29,8 +29,7 @@ const MEASURE_FROM: f64 = 30.0;
 
 fn trainticket_engine(seed: u64) -> Engine {
     let tt = TrainTicket::build();
-    let rates: Vec<(cluster::ApiId, f64)> =
-        tt.apis().iter().map(|a| (*a, 1100.0)).collect();
+    let rates: Vec<(cluster::ApiId, f64)> = tt.apis().iter().map(|a| (*a, 1100.0)).collect();
     Engine::new(
         tt.topology.clone(),
         crate::scenarios::engine_config(seed),
@@ -127,7 +126,8 @@ pub fn run() {
         "refinements",
         "Extension: ablating the DESIGN.md §5 controller refinements",
     );
-    let apps: Vec<(&str, fn(u64) -> Engine, &str)> = vec![
+    type AppRow = (&'static str, fn(u64) -> Engine, &'static str);
+    let apps: Vec<AppRow> = vec![
         ("train-ticket", trainticket_engine, "train-ticket"),
         ("online-boutique", boutique_engine, "online-boutique"),
     ];

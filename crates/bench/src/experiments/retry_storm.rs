@@ -67,7 +67,11 @@ pub fn run() {
         "goodput and offered-load amplification under retries",
         &["controller", "goodput (rps)", "offered ÷ nominal"],
         vec![
-            vec!["no-control".into(), f1(none_good), format!("{none_amp:.2}x")],
+            vec![
+                "no-control".into(),
+                f1(none_good),
+                format!("{none_amp:.2}x"),
+            ],
             vec!["dagor".into(), f1(dagor_good), format!("{dagor_amp:.2}x")],
             vec!["topfull".into(), f1(tf_good), format!("{tf_amp:.2}x")],
         ],

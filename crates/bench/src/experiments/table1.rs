@@ -7,7 +7,12 @@ pub fn run() {
     let mut r = Report::new("table1", "RL training parameters (paper Table 1)");
     let c = PpoConfig::default();
     r.compare("Steps in episode", 50, c.steps_per_episode, "");
-    r.compare("Learning rate", "5e-5", format!("{:e}", c.learning_rate), "");
+    r.compare(
+        "Learning rate",
+        "5e-5",
+        format!("{:e}", c.learning_rate),
+        "",
+    );
     r.compare("Kullback-Leibler coeff", 0.2, c.kl_coeff, "");
     r.compare("Kullback-Leibler target", 0.01, c.kl_target, "");
     r.compare("Minibatch size", 128, c.minibatch_size, "");

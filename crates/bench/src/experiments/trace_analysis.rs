@@ -50,7 +50,12 @@ pub fn run() {
         format!("{:.0}%", sharing.isolated_fraction() * 100.0),
         "",
     );
-    r.compare("mean sharing-group size", "2.38", format!("{:.2}", sharing.mean_group_size()), "");
+    r.compare(
+        "mean sharing-group size",
+        "2.38",
+        format!("{:.2}", sharing.mean_group_size()),
+        "",
+    );
 
     // Clustering through TopFull's own production clustering code.
     let paths: Vec<Vec<ServiceId>> = tr

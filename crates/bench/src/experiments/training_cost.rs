@@ -24,7 +24,10 @@ const STEPS_PER_EPISODE: f64 = 50.0;
 const AZURE_RATE_PER_HOUR: f64 = 8.1; // 3 × D48ds_v5
 
 pub fn run() {
-    let mut r = Report::new("training_cost", "Training cost and transfer-learning benefit (§6.4)");
+    let mut r = Report::new(
+        "training_cost",
+        "Training cost and transfer-learning benefit (§6.4)",
+    );
 
     // Measure graph-simulator episode throughput (env + policy inference).
     let mut rng = rand::rngs::SmallRng::seed_from_u64(5);

@@ -75,7 +75,9 @@ impl Roster {
             }
             Roster::TopFullMimd => Box::new(TopFull::new(TopFullConfig::default().with_mimd())),
             Roster::TopFullNoCluster(policy) => Box::new(TopFull::new(
-                TopFullConfig::default().with_rl(policy).without_clustering(),
+                TopFullConfig::default()
+                    .with_rl(policy)
+                    .without_clustering(),
             )),
             Roster::TopFullBw => Box::new(TopFull::new(TopFullConfig::default().with_bw())),
         };
@@ -128,11 +130,7 @@ pub fn trainticket_open_loop(
 pub fn alibaba_surged(surge: f64, seed: u64) -> (AlibabaDemo, Engine) {
     let demo = AlibabaDemo::build(7);
     // Offered load per API proportional to its hot anchor's capacity.
-    let rates: Vec<(cluster::ApiId, f64)> = demo
-        .apis
-        .iter()
-        .map(|a| (*a, 120.0 * surge))
-        .collect();
+    let rates: Vec<(cluster::ApiId, f64)> = demo.apis.iter().map(|a| (*a, 120.0 * surge)).collect();
     let w = OpenLoopWorkload::constant(rates);
     let engine = Engine::new(demo.topology.clone(), engine_config(seed), Box::new(w));
     (demo, engine)
@@ -141,8 +139,7 @@ pub fn alibaba_surged(surge: f64, seed: u64) -> (AlibabaDemo, Engine) {
 /// Build an engine for an arbitrary topology with constant open-loop
 /// rates on every API.
 pub fn uniform_open_loop(topo: Topology, rate_per_api: f64, seed: u64) -> Engine {
-    let rates: Vec<(cluster::ApiId, f64)> =
-        topo.apis().map(|(id, _)| (id, rate_per_api)).collect();
+    let rates: Vec<(cluster::ApiId, f64)> = topo.apis().map(|(id, _)| (id, rate_per_api)).collect();
     let w: Box<dyn Workload> = Box::new(OpenLoopWorkload::constant(rates));
     Engine::new(topo, engine_config(seed), w)
 }
@@ -167,8 +164,7 @@ mod tests {
             Roster::TopFullNoCluster(policy),
             Roster::TopFullBw,
         ];
-        let labels: std::collections::HashSet<&str> =
-            rosters.iter().map(Roster::label).collect();
+        let labels: std::collections::HashSet<&str> = rosters.iter().map(Roster::label).collect();
         assert_eq!(labels.len(), rosters.len(), "labels must be unique");
     }
 
@@ -200,7 +196,8 @@ mod tests {
         let (ob, e) = boutique_closed_loop(100, 1);
         assert_eq!(e.topology().num_services(), 11);
         assert_eq!(ob.apis().len(), 5);
-        let (tt, e) = trainticket_open_loop(|tt| vec![(tt.query_order, RateSchedule::constant(10.0))], 1);
+        let (tt, e) =
+            trainticket_open_loop(|tt| vec![(tt.query_order, RateSchedule::constant(10.0))], 1);
         assert_eq!(e.topology().num_services(), 41);
         assert_eq!(tt.apis().len(), 6);
         let (demo, e) = alibaba_surged(1.0, 1);

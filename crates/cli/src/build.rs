@@ -1,15 +1,17 @@
 //! Scenario → engine/controller translation.
 
 use crate::schema::{
-    AppSpec, AutoscalerSpec, CallSpec, ControllerSpec, FaultSpecJson, Scenario, WorkloadSpec,
+    AppSpec, AutoscalerSpec, CallSpec, ControllerSpec, FaultSpecJson, ResilienceSpec, Scenario,
+    WorkloadSpec,
 };
 use apps::{AlibabaDemo, OnlineBoutique, TrainTicket};
 use baselines::{Breakwater, BreakwaterConfig, Dagor, DagorConfig, Wisp, WispConfig};
 use cluster::autoscaler::{HpaConfig, VmPoolConfig};
 use cluster::types::BusinessPriority;
 use cluster::{
-    ApiId, CallNode, ClosedLoopWorkload, Controller, Engine, EngineConfig, NoControl,
-    OpenLoopWorkload, RateSchedule, RetryStormWorkload, ServiceId, Topology, Workload,
+    ApiId, BreakerConfig, CallNode, ClosedLoopWorkload, Controller, DeadlineConfig, Engine,
+    EngineConfig, NoControl, OpenLoopWorkload, RateSchedule, ResilienceConfig, RetryBudgetConfig,
+    RetryStormWorkload, ServiceId, Topology, Workload,
 };
 use rl::policy::PolicyValue;
 use simnet::{SimDuration, SimTime};
@@ -102,7 +104,19 @@ fn build_topology(app: &AppSpec) -> Result<Topology, String> {
     }
 }
 
-fn build_workload(topo: &Topology, spec: &WorkloadSpec) -> Result<Box<dyn Workload>, String> {
+fn build_workload(
+    topo: &Topology,
+    spec: &WorkloadSpec,
+    resilience: Option<&ResilienceSpec>,
+) -> Result<Box<dyn Workload>, String> {
+    let retry_budget = resilience.and_then(|r| r.retry_budget.as_ref());
+    if retry_budget.is_some() && !matches!(spec, WorkloadSpec::RetryStorm { .. }) {
+        return Err(
+            "resilience.retry_budget requires the retry_storm workload (it bounds the \
+             retrying client population)"
+                .into(),
+        );
+    }
     match spec {
         WorkloadSpec::OpenLoop { rates } => {
             let mut schedules = Vec::with_capacity(rates.len());
@@ -143,13 +157,21 @@ fn build_workload(topo: &Topology, spec: &WorkloadSpec) -> Result<Box<dyn Worklo
             retry_backoff_ms,
         } => {
             let weights = resolve_weights(topo, api_weights)?;
-            Ok(Box::new(RetryStormWorkload::new(
+            let mut w = RetryStormWorkload::new(
                 weights,
                 *users,
                 SimDuration::from_millis(*think_ms),
                 *max_retries,
                 SimDuration::from_millis(*retry_backoff_ms),
-            )))
+            );
+            if let Some(b) = retry_budget {
+                w = w.with_retry_budget(RetryBudgetConfig {
+                    max_tokens: b.max_tokens,
+                    token_ratio: b.token_ratio,
+                    retry_cost: b.retry_cost,
+                });
+            }
+            Ok(Box::new(w))
         }
     }
 }
@@ -229,7 +251,7 @@ fn build_controller(
 pub fn build_scenario(sc: &Scenario) -> Result<BuiltScenario, String> {
     let topo = build_topology(&sc.app)?;
     let api_names: Vec<String> = topo.apis().map(|(_, a)| a.name.clone()).collect();
-    let workload = build_workload(&topo, &sc.workload)?;
+    let workload = build_workload(&topo, &sc.workload, sc.resilience.as_ref())?;
     let mut cfg = EngineConfig {
         seed: sc.seed,
         slo: SimDuration::from_millis(sc.slo_ms),
@@ -243,6 +265,22 @@ pub fn build_scenario(sc: &Scenario) -> Result<BuiltScenario, String> {
         cfg.pod_startup = SimDuration::from_secs(*p);
     }
     let mut engine = Engine::new(topo, cfg, workload);
+    if let Some(res) = &sc.resilience {
+        if res.deadlines.is_some() || res.breakers.is_some() {
+            engine.set_resilience(ResilienceConfig {
+                deadlines: res.deadlines.as_ref().map(|d| DeadlineConfig {
+                    budget: d.budget_ms.map(SimDuration::from_millis),
+                    cancel_doomed: d.cancel_doomed,
+                }),
+                breakers: res.breakers.as_ref().map(|b| BreakerConfig {
+                    failure_threshold: b.failure_threshold,
+                    min_calls: b.min_calls,
+                    open_for: SimDuration::from_millis(b.open_for_ms),
+                    half_open_probes: b.half_open_probes,
+                }),
+            });
+        }
+    }
     if let Some(auto) = &sc.autoscaler {
         if let Some(pool) = &auto.vm_pool {
             engine.set_vm_pool(VmPoolConfig {
@@ -279,7 +317,10 @@ pub fn build_scenario(sc: &Scenario) -> Result<BuiltScenario, String> {
         engine.inject_faults(specs);
     }
     let controller = build_controller(&sc.controller, &mut engine)?;
-    let hardened = matches!(sc.controller, ControllerSpec::Topfull { hardened: true, .. });
+    let hardened = matches!(
+        sc.controller,
+        ControllerSpec::Topfull { hardened: true, .. }
+    );
     Ok(BuiltScenario {
         engine,
         controller,
@@ -289,10 +330,7 @@ pub fn build_scenario(sc: &Scenario) -> Result<BuiltScenario, String> {
 }
 
 /// JSON fault → engine fault (service names resolved, seconds → SimTime).
-fn build_fault(
-    topo: &Topology,
-    f: &FaultSpecJson,
-) -> Result<cluster::FaultSpec, String> {
+fn build_fault(topo: &Topology, f: &FaultSpecJson) -> Result<cluster::FaultSpec, String> {
     use cluster::FaultSpec as F;
     let svc = |name: &str| service_id(topo, name);
     let opt_svc = |name: &Option<String>| -> Result<Option<ServiceId>, String> {
@@ -482,6 +520,35 @@ mod tests {
         let bad = json.replace("productcatalogservice", "no-such-service");
         let sc = crate::parse_scenario(&bad).expect("parse");
         assert!(build_scenario(&sc).is_err());
+    }
+
+    #[test]
+    fn resilience_keys_build_and_are_validated() {
+        // Full resilience block on a retry storm: builds.
+        let json = r#"{
+            "app": {"type": "builtin", "name": "online-boutique"},
+            "workload": {"type": "retry_storm", "users": 50,
+                         "api_weights": [["getproduct", 1.0]]},
+            "resilience": {
+                "deadlines": {"budget_ms": 800, "cancel_doomed": true},
+                "retry_budget": {"max_tokens": 50.0, "token_ratio": 0.2},
+                "breakers": {"failure_threshold": 0.4, "min_calls": 10}
+            }
+        }"#;
+        let sc = crate::parse_scenario(json).expect("parse");
+        build_scenario(&sc).expect("resilience builds");
+        // A retry budget without retrying clients is a config error.
+        let json = r#"{
+            "app": {"type": "builtin", "name": "online-boutique"},
+            "workload": {"type": "open_loop", "rates": []},
+            "resilience": {"retry_budget": {}}
+        }"#;
+        let sc = crate::parse_scenario(json).expect("parse");
+        let err = match build_scenario(&sc) {
+            Err(e) => e,
+            Ok(_) => panic!("budget without retry_storm must be rejected"),
+        };
+        assert!(err.contains("retry_storm"), "{err}");
     }
 
     #[test]

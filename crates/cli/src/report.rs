@@ -2,7 +2,7 @@
 
 use crate::build::BuiltScenario;
 use crate::schema::Scenario;
-use cluster::{ApiId, Harness, WatchdogConfig};
+use cluster::{ApiId, Harness, ResilienceStats, WatchdogConfig};
 use serde::Serialize;
 
 /// The measured outcome of a scenario run.
@@ -17,6 +17,8 @@ pub struct ScenarioOutcome {
     pub offered_per_api: Vec<(String, f64)>,
     /// Pod crash-loop events over the run.
     pub crash_events: u64,
+    /// Request-plane resilience counters over the whole run.
+    pub resilience: ResilienceStats,
     /// `(t, total goodput)` timeline.
     pub timeline: Vec<(f64, f64)>,
 }
@@ -63,6 +65,7 @@ pub fn execute(sc: &Scenario, built: BuiltScenario) -> ScenarioOutcome {
         goodput_per_api,
         offered_per_api,
         crash_events: h.engine.crash_events,
+        resilience: h.engine.resilience_totals(),
         timeline: r.total_goodput_series(),
     }
 }
@@ -112,8 +115,11 @@ pub fn compare(sc: &Scenario) -> Result<String, String> {
         .iter()
         .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
     {
-        let _ = writeln!(out, "
-best: {best} at {top:.1} rps");
+        let _ = writeln!(
+            out,
+            "
+best: {best} at {top:.1} rps"
+        );
     }
     Ok(out)
 }
@@ -122,12 +128,12 @@ best: {best} at {top:.1} rps");
 pub fn render_report(sc: &Scenario, out: &ScenarioOutcome) -> String {
     use std::fmt::Write;
     let mut s = String::new();
-    let _ = writeln!(s, "scenario: {} ({}s simulated)", out.name, out.duration_secs);
     let _ = writeln!(
         s,
-        "steady state from t={}s:",
-        sc.report.measure_from_secs
+        "scenario: {} ({}s simulated)",
+        out.name, out.duration_secs
     );
+    let _ = writeln!(s, "steady state from t={}s:", sc.report.measure_from_secs);
     let _ = writeln!(s, "{:<24} {:>12} {:>12}", "api", "offered", "goodput");
     for ((name, good), (_, offered)) in out.goodput_per_api.iter().zip(&out.offered_per_api) {
         if *offered < 0.01 && *good < 0.01 {
@@ -138,6 +144,19 @@ pub fn render_report(sc: &Scenario, out: &ScenarioOutcome) -> String {
     let _ = writeln!(s, "{:<24} {:>12} {:>12.1}", "total", "", out.total_goodput);
     if out.crash_events > 0 {
         let _ = writeln!(s, "pod crash-loop events: {}", out.crash_events);
+    }
+    if out.resilience.any() {
+        let r = &out.resilience;
+        let _ = writeln!(
+            s,
+            "resilience: doomed-cancelled={} deadline-rejected={} client-cancelled={}",
+            r.doomed_cancelled, r.deadline_rejected, r.client_cancelled
+        );
+        let _ = writeln!(
+            s,
+            "            retries issued={} suppressed={} breaker rejected={} transitions={}",
+            r.retries_issued, r.retries_suppressed, r.breaker_rejected, r.breaker_transitions
+        );
     }
     if sc.report.timeline {
         let _ = writeln!(s, "\ntimeline (total goodput, rps):");

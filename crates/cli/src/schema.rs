@@ -34,6 +34,9 @@ pub struct Scenario {
     /// telemetry, controller stalls).
     #[serde(default)]
     pub faults: Vec<FaultSpecJson>,
+    /// Request-plane resilience: deadlines, retry budgets, breakers.
+    #[serde(default)]
+    pub resilience: Option<ResilienceSpec>,
     #[serde(default)]
     pub report: ReportSpec,
 }
@@ -289,6 +292,82 @@ pub enum FaultSpecJson {
     ControllerStall { from_secs: u64, until_secs: u64 },
 }
 
+/// Request-plane resilience layer (deadline propagation, adaptive retry
+/// budgets, per-edge circuit breakers). All three parts are optional and
+/// independent.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ResilienceSpec {
+    /// Deadline propagation + doomed-work cancellation.
+    #[serde(default)]
+    pub deadlines: Option<DeadlineSpecJson>,
+    /// Client-side adaptive retry budget (requires the `retry_storm`
+    /// workload, which owns the retrying clients).
+    #[serde(default)]
+    pub retry_budget: Option<RetryBudgetSpecJson>,
+    /// Per-downstream-edge circuit breakers.
+    #[serde(default)]
+    pub breakers: Option<BreakerSpecJson>,
+}
+
+/// Deadline policy (JSON form of [`cluster::DeadlineConfig`]).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DeadlineSpecJson {
+    /// Per-request budget in ms; omitted = client timeout, else the SLO.
+    #[serde(default)]
+    pub budget_ms: Option<u64>,
+    /// Skip queued work for cancelled requests and tear down the
+    /// in-flight subtree when the client timeout fires.
+    #[serde(default = "default_true")]
+    pub cancel_doomed: bool,
+}
+
+/// Retry budget tuning (JSON form of [`cluster::RetryBudgetConfig`]).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RetryBudgetSpecJson {
+    #[serde(default = "default_budget_tokens")]
+    pub max_tokens: f64,
+    #[serde(default = "default_token_ratio")]
+    pub token_ratio: f64,
+    #[serde(default = "default_retry_cost")]
+    pub retry_cost: f64,
+}
+
+fn default_budget_tokens() -> f64 {
+    100.0
+}
+fn default_token_ratio() -> f64 {
+    0.1
+}
+fn default_retry_cost() -> f64 {
+    1.0
+}
+
+/// Circuit-breaker tuning (JSON form of [`cluster::BreakerConfig`]).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BreakerSpecJson {
+    #[serde(default = "default_failure_threshold")]
+    pub failure_threshold: f64,
+    #[serde(default = "default_min_calls")]
+    pub min_calls: u32,
+    #[serde(default = "default_open_for_ms")]
+    pub open_for_ms: u64,
+    #[serde(default = "default_half_open_probes")]
+    pub half_open_probes: u32,
+}
+
+fn default_failure_threshold() -> f64 {
+    0.5
+}
+fn default_min_calls() -> u32 {
+    20
+}
+fn default_open_for_ms() -> u64 {
+    2000
+}
+fn default_half_open_probes() -> u32 {
+    5
+}
+
 /// Output options.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ReportSpec {
@@ -369,6 +448,19 @@ impl Scenario {
             autoscaler: None,
             failures: vec![],
             faults: vec![],
+            resilience: Some(ResilienceSpec {
+                deadlines: Some(DeadlineSpecJson {
+                    budget_ms: None,
+                    cancel_doomed: true,
+                }),
+                retry_budget: None,
+                breakers: Some(BreakerSpecJson {
+                    failure_threshold: 0.5,
+                    min_calls: 20,
+                    open_for_ms: 2000,
+                    half_open_probes: 5,
+                }),
+            }),
             report: ReportSpec {
                 measure_from_secs: 60,
                 timeline: true,
@@ -416,7 +508,13 @@ mod tests {
     fn controller_variants_parse() {
         let tf: ControllerSpec =
             serde_json::from_str(r#"{"type": "topfull", "rate_controller": "bw"}"#).unwrap();
-        assert!(matches!(tf, ControllerSpec::Topfull { clustering: true, .. }));
+        assert!(matches!(
+            tf,
+            ControllerSpec::Topfull {
+                clustering: true,
+                ..
+            }
+        ));
         let dg: ControllerSpec = serde_json::from_str(r#"{"type": "dagor"}"#).unwrap();
         match dg {
             ControllerSpec::Dagor { alpha } => assert_eq!(alpha, 0.05),
@@ -427,6 +525,9 @@ mod tests {
     #[test]
     fn bad_json_is_an_error() {
         assert!(crate::parse_scenario("{nope").is_err());
-        assert!(crate::parse_scenario("{}").is_err(), "app+workload required");
+        assert!(
+            crate::parse_scenario("{}").is_err(),
+            "app+workload required"
+        );
     }
 }

@@ -62,6 +62,7 @@ mod tests {
             business: BusinessPriority(0),
             user: 7,
             arrival: SimTime::ZERO,
+            deadline: None,
         };
         let mut a = AdmitAll;
         assert!(a.admit(ServiceId(0), &meta, SimTime::ZERO));

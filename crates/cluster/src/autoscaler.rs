@@ -91,11 +91,7 @@ impl Hpa {
     ///
     /// `current_replicas` should count pods that exist or are being
     /// created (k8s scales on spec, not readiness).
-    pub fn sync(
-        &mut self,
-        now: SimTime,
-        per_service: &[(f64, u32)],
-    ) -> Vec<(ServiceId, u32)> {
+    pub fn sync(&mut self, now: SimTime, per_service: &[(f64, u32)]) -> Vec<(ServiceId, u32)> {
         assert_eq!(per_service.len(), self.states.len());
         self.last_sync = now;
         self.first_sync_done = true;
@@ -217,10 +213,8 @@ impl VmPool {
     /// VMs to start provisioning now (the caller schedules their arrival
     /// after `config.vm_startup`).
     pub fn provision_for(&mut self, pending_pods: u32) -> u32 {
-        let need_vcpus =
-            self.vcpus_used + f64::from(pending_pods) * self.config.vcpus_per_pod;
-        let have = self.capacity()
-            + f64::from(self.vms_provisioning * self.config.vcpus_per_vm);
+        let need_vcpus = self.vcpus_used + f64::from(pending_pods) * self.config.vcpus_per_pod;
+        let have = self.capacity() + f64::from(self.vms_provisioning * self.config.vcpus_per_vm);
         let deficit = need_vcpus - have;
         if deficit <= 0.0 {
             return 0;
@@ -272,7 +266,9 @@ mod tests {
     fn hpa_tolerance_band_holds() {
         let mut h = hpa2();
         // 0.52/0.5 = 1.04 → within 10% tolerance → no change.
-        assert!(h.sync(SimTime::from_secs(15), &[(0.52, 4), (0.45, 2)]).is_empty());
+        assert!(h
+            .sync(SimTime::from_secs(15), &[(0.52, 4), (0.45, 2)])
+            .is_empty());
     }
 
     #[test]

@@ -81,6 +81,7 @@ mod tests {
             apis: vec![],
             api_paths: vec![],
             slo: simnet::SimDuration::from_secs(1),
+            resilience: Default::default(),
         };
         assert!(NoControl.control(&obs).is_empty());
         assert_eq!(NoControl.name(), "no-control");

@@ -22,6 +22,7 @@ use crate::failure::{CrashLoopConfig, FailureSpec};
 use crate::faults::{FaultPlane, FaultSpec};
 use crate::gateway::Gateway;
 use crate::observe::{ApiWindow, ClusterObservation, ServiceWindow};
+use crate::resilience::{EdgeBreakers, ResilienceConfig, ResilienceStats};
 use crate::topology::{CallNode, Topology};
 use crate::tracing::{Span, TraceCollector};
 use crate::types::{ApiId, RequestMeta, RequestOutcome, ServiceId};
@@ -249,15 +250,30 @@ enum Ev {
         svc: ServiceId,
         cost: SimDuration,
     },
-    PodDone { svc: ServiceId, pod: u32, epoch: u64 },
-    NodeJoin { req: u64, node: u32 },
+    PodDone {
+        svc: ServiceId,
+        pod: u32,
+        epoch: u64,
+    },
+    NodeJoin {
+        req: u64,
+        node: u32,
+    },
     MetricsTick,
     WorkloadTick,
-    ClientTimeout { user: UserRef },
+    ClientTimeout {
+        user: UserRef,
+    },
     /// A starting pod of `svc` became ready.
-    PodReady { svc: ServiceId },
+    PodReady {
+        svc: ServiceId,
+    },
     /// A crashed pod restarts.
-    PodRestart { svc: ServiceId, pod: u32, epoch: u64 },
+    PodRestart {
+        svc: ServiceId,
+        pod: u32,
+        epoch: u64,
+    },
     VmReady,
     InjectFailure(usize),
 }
@@ -287,9 +303,34 @@ pub struct Engine {
     latest_true_obs: Option<ClusterObservation>,
     api_paths: Vec<Vec<ServiceId>>,
     tracer: Option<TraceCollector>,
+    /// Resolved per-request deadline budget (`None` = deadlines off).
+    deadline_budget: Option<SimDuration>,
+    /// Skip doomed queued work and tear down timed-out requests.
+    cancel_doomed: bool,
+    /// Per-downstream-edge circuit breakers (`None` = breakers off).
+    breakers: Option<EdgeBreakers>,
+    /// Resilience counters for the current window / whole run.
+    res_window: ResilienceStats,
+    res_totals: ResilienceStats,
+    /// Workload retry counters already folded into the stats above.
+    retry_snapshot: (u64, u64),
+    /// Breaker transitions already folded into the stats above.
+    breaker_snapshot: u64,
+    /// Live root request per closed-loop `(user, generation)`, so a
+    /// firing client timeout can tear down the in-flight subtree.
+    user_reqs: HashMap<(u32, u64), u64>,
     /// Services whose pods crashed at least once (for assertions in tests
     /// and experiment reporting).
     pub crash_events: u64,
+}
+
+/// What to do with the call at the head of a pod queue.
+enum Triage {
+    Execute,
+    /// Owning request already cancelled: skip, count doomed work avoided.
+    SkipDoomed,
+    /// Deadline expired while queued: skip and fail the request.
+    SkipExpired,
 }
 
 impl Engine {
@@ -358,8 +399,57 @@ impl Engine {
             latest_true_obs: None,
             api_paths,
             tracer,
+            deadline_budget: None,
+            cancel_doomed: false,
+            breakers: None,
+            res_window: ResilienceStats::default(),
+            res_totals: ResilienceStats::default(),
+            retry_snapshot: (0, 0),
+            breaker_snapshot: 0,
+            user_reqs: HashMap::new(),
             crash_events: 0,
         }
+    }
+
+    /// Enable the request-plane resilience layer ([`crate::resilience`]):
+    /// deadline propagation with doomed-work cancellation and/or
+    /// per-edge circuit breakers. The deadline budget defaults to the
+    /// workload's client timeout, falling back to the latency SLO.
+    pub fn set_resilience(&mut self, cfg: ResilienceConfig) {
+        match cfg.deadlines {
+            Some(d) => {
+                let budget = d
+                    .budget
+                    .or_else(|| self.workload.client_timeout())
+                    .unwrap_or(self.cfg.slo);
+                self.deadline_budget = Some(budget);
+                self.cancel_doomed = d.cancel_doomed;
+            }
+            None => {
+                self.deadline_budget = None;
+                self.cancel_doomed = false;
+            }
+        }
+        self.breakers = cfg.breakers.map(EdgeBreakers::new);
+    }
+
+    /// Cumulative resilience counters since the start of the run,
+    /// including the window in progress.
+    pub fn resilience_totals(&self) -> ResilienceStats {
+        let mut t = self.res_totals;
+        t.add(&self.res_window);
+        let (ri, rs) = self.workload.retry_stats();
+        t.retries_issued += ri - self.retry_snapshot.0;
+        t.retries_suppressed += rs - self.retry_snapshot.1;
+        if let Some(b) = &self.breakers {
+            t.breaker_transitions += b.transitions() - self.breaker_snapshot;
+        }
+        t
+    }
+
+    /// The edge breakers, when enabled (state inspection for tests).
+    pub fn breakers(&self) -> Option<&EdgeBreakers> {
+        self.breakers.as_ref()
     }
 
     /// The tracing collector, when `learn_paths` is enabled.
@@ -397,7 +487,8 @@ impl Engine {
         for spec in specs {
             let idx = self.failures.len();
             self.failures.push(spec);
-            self.queue.schedule(spec.at.max(self.now()), Ev::InjectFailure(idx));
+            self.queue
+                .schedule(spec.at.max(self.now()), Ev::InjectFailure(idx));
         }
     }
 
@@ -583,6 +674,7 @@ impl Engine {
             business: spec.business,
             user: self.rng.gen_range(0..=127),
             arrival: now,
+            deadline: self.deadline_budget.map(|b| now + b),
         };
         let id = self.next_req_id;
         self.next_req_id += 1;
@@ -594,12 +686,19 @@ impl Engine {
                 nodes,
             },
         );
+        if self.cancel_doomed {
+            if let Some(u) = a.user {
+                self.user_reqs.insert((u.id, u.gen), id);
+            }
+        }
         self.dispatch_call(now, id, 0);
     }
 
-    /// Dispatch the call for `node` of request `req`: consult admission
-    /// (the upstream checks the downstream's advertised threshold before
-    /// sending) and, if admitted, deliver after one hop of latency.
+    /// Dispatch the call for `node` of request `req`: check the deadline
+    /// and the edge's circuit breaker on the caller side, consult
+    /// admission (the upstream checks the downstream's advertised
+    /// threshold before sending) and, if admitted, deliver after one hop
+    /// of latency.
     fn dispatch_call(&mut self, now: SimTime, req: u64, node: u32) {
         let Some(r) = self.requests.get(&req) else {
             return;
@@ -607,9 +706,28 @@ impl Engine {
         let svc = r.nodes[node as usize].service;
         let cost = r.nodes[node as usize].cost;
         let meta = r.meta;
+        // A caller never dispatches work its deadline can no longer use.
+        if let Some(dl) = meta.deadline {
+            if now >= dl {
+                self.res_window.deadline_rejected += 1;
+                self.fail_request(now, req, RequestOutcome::DeadlineExpired(svc));
+                return;
+            }
+        }
+        let caller = r.nodes[node as usize]
+            .parent
+            .map(|p| r.nodes[p as usize].service);
+        if let Some(b) = self.breakers.as_mut() {
+            if !b.allow(caller, svc, now) {
+                self.res_window.breaker_rejected += 1;
+                self.fail_request(now, req, RequestOutcome::BreakerOpen(svc));
+                return;
+            }
+        }
         if let Some(adm) = self.admission.as_mut() {
             if !adm.admit(svc, &meta, now) {
                 self.services[svc.idx()].dropped_calls += 1;
+                self.record_edge_failure(now, caller, svc);
                 self.fail_request(now, req, RequestOutcome::RejectedAtService(svc));
                 return;
             }
@@ -617,6 +735,7 @@ impl Engine {
         let net = self.faults.net_effect(now, svc);
         if net.dropped {
             self.services[svc.idx()].dropped_calls += 1;
+            self.record_edge_failure(now, caller, svc);
             self.fail_request(now, req, RequestOutcome::NetworkLost(svc));
             return;
         }
@@ -631,6 +750,29 @@ impl Engine {
         );
     }
 
+    fn record_edge_failure(&mut self, now: SimTime, caller: Option<ServiceId>, callee: ServiceId) {
+        if let Some(b) = self.breakers.as_mut() {
+            b.on_failure(caller, callee, now);
+        }
+    }
+
+    fn record_edge_success(&mut self, now: SimTime, req: u64, node: u32, callee: ServiceId) {
+        if self.breakers.is_none() {
+            return;
+        }
+        // The caller is the node's parent; unknowable once the request is
+        // gone (wasted work), in which case nothing is recorded.
+        let Some(r) = self.requests.get(&req) else {
+            return;
+        };
+        let caller = r.nodes[node as usize]
+            .parent
+            .map(|p| r.nodes[p as usize].service);
+        if let Some(b) = self.breakers.as_mut() {
+            b.on_success(caller, callee, now);
+        }
+    }
+
     fn on_call_arrive(
         &mut self,
         now: SimTime,
@@ -639,9 +781,29 @@ impl Engine {
         svc_id: ServiceId,
         cost: SimDuration,
     ) {
-        // The request may have failed elsewhere already; the call still
-        // arrives and consumes capacity (wasted work).
+        // The request may have failed elsewhere already; by default the
+        // call still arrives and consumes capacity (wasted work), but
+        // with cancellation enabled the service recognizes the dead
+        // request and drops the call at the door.
         let request_alive = self.requests.contains_key(&req);
+        if !request_alive && self.cancel_doomed {
+            self.res_window.doomed_cancelled += 1;
+            return;
+        }
+        // The service checks the propagated deadline before accepting.
+        if let Some(dl) = self.requests.get(&req).and_then(|r| r.meta.deadline) {
+            if now >= dl {
+                self.res_window.deadline_rejected += 1;
+                self.services[svc_id.idx()].dropped_calls += 1;
+                self.fail_request(now, req, RequestOutcome::DeadlineExpired(svc_id));
+                return;
+            }
+        }
+        let caller = self.requests.get(&req).and_then(|r| {
+            r.nodes[node as usize]
+                .parent
+                .map(|p| r.nodes[p as usize].service)
+        });
         let spec_q = self.topo.service(svc_id).queue_capacity as usize;
         let svc = &mut self.services[svc_id.idx()];
         // Shortest-queue dispatch across ready pods.
@@ -656,6 +818,7 @@ impl Engine {
             // No pod alive: the request fails here.
             svc.dropped_calls += 1;
             if request_alive {
+                self.record_edge_failure(now, caller, svc_id);
                 self.fail_request(now, req, RequestOutcome::PodCrashed(svc_id));
             }
             return;
@@ -663,6 +826,7 @@ impl Engine {
         if svc.pods[pi].queue.len() >= spec_q {
             svc.dropped_calls += 1;
             if request_alive {
+                self.record_edge_failure(now, caller, svc_id);
                 self.fail_request(now, req, RequestOutcome::QueueOverflow(svc_id));
             }
             return;
@@ -678,14 +842,42 @@ impl Engine {
         }
     }
 
+    /// The service checks each queued call before spending CPU on it:
+    /// work for an already-cancelled request is skipped (doomed-work
+    /// cancellation), and a call whose deadline expired while queued
+    /// fails without executing.
+    fn triage(&self, now: SimTime, call: &QueuedCall) -> Triage {
+        match self.requests.get(&call.req) {
+            None if self.cancel_doomed => Triage::SkipDoomed,
+            None => Triage::Execute,
+            Some(r) => match r.meta.deadline {
+                Some(dl) if now >= dl => Triage::SkipExpired,
+                _ => Triage::Execute,
+            },
+        }
+    }
+
     fn start_processing(&mut self, now: SimTime, svc_id: ServiceId, pod: usize) {
+        let call = loop {
+            let Some(call) = self.services[svc_id.idx()].pods[pod].queue.pop_front() else {
+                return;
+            };
+            match self.triage(now, &call) {
+                Triage::Execute => break call,
+                Triage::SkipDoomed => {
+                    self.res_window.doomed_cancelled += 1;
+                }
+                Triage::SkipExpired => {
+                    self.res_window.deadline_rejected += 1;
+                    self.services[svc_id.idx()].dropped_calls += 1;
+                    self.fail_request(now, call.req, RequestOutcome::DeadlineExpired(svc_id));
+                }
+            }
+        };
         let speed = self.topo.service(svc_id).pod_speed;
         let jitter = self.sample_jitter();
         let slow = self.faults.slow_factor(now, svc_id);
         let svc = &mut self.services[svc_id.idx()];
-        let Some(call) = svc.pods[pod].queue.pop_front() else {
-            return;
-        };
         svc.queuing_delay_ns += now.duration_since(call.enqueued).as_nanos();
         svc.started_calls += 1;
         let proc = call
@@ -753,6 +945,8 @@ impl Engine {
                 });
             }
         }
+        // A completed call is a success signal for its inbound edge.
+        self.record_edge_success(now, fl.req, fl.node, svc_id);
         // Propagate completion of this node's processing.
         self.on_node_processed(now, fl.req, fl.node);
     }
@@ -804,6 +998,9 @@ impl Engine {
         let Some(r) = self.requests.remove(&req) else {
             return;
         };
+        if let Some(u) = r.user {
+            self.user_reqs.remove(&(u.id, u.gen));
+        }
         let api = r.meta.api;
         let latency = now.duration_since(r.meta.arrival);
         let acc = &mut self.api_accums[api.idx()];
@@ -824,6 +1021,9 @@ impl Engine {
         let Some(r) = self.requests.remove(&req) else {
             return;
         };
+        if let Some(u) = r.user {
+            self.user_reqs.remove(&(u.id, u.gen));
+        }
         let api = r.meta.api;
         self.api_accums[api.idx()].failed += 1;
         self.api_totals[api.idx()].failed += 1;
@@ -839,11 +1039,26 @@ impl Engine {
 
     fn on_client_timeout(&mut self, now: SimTime, user: UserRef) {
         // The workload ignores stale generations internally, so this is
-        // safe to fire unconditionally.
+        // safe to fire unconditionally. Notifying first bumps the user's
+        // generation, so the teardown's failure notification below is
+        // recognized as stale and cannot resurrect the user.
         let follow = self
             .workload
             .on_response(user, ResponseKind::Timeout, now, &mut self.rng);
         self.schedule_arrivals(now, follow);
+        // With cancellation enabled, the abandoned request's in-flight
+        // subtree is torn down instead of silently finishing: queued
+        // calls get skipped at their pods, scheduled hops evaporate on
+        // arrival. (In-flight CPU work still runs to completion — a
+        // busy pod cannot be preempted mid-call.)
+        if self.cancel_doomed {
+            if let Some(req) = self.user_reqs.remove(&(user.id, user.gen)) {
+                if self.requests.contains_key(&req) {
+                    self.res_window.client_cancelled += 1;
+                    self.fail_request(now, req, RequestOutcome::ClientTimeout);
+                }
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -881,7 +1096,9 @@ impl Engine {
             let mut busy = svc.busy_ns;
             for p in &svc.pods {
                 if let Some(fl) = p.busy {
-                    busy += now.duration_since(fl.started.max(self.window_start)).as_nanos();
+                    busy += now
+                        .duration_since(fl.started.max(self.window_start))
+                        .as_nanos();
                 }
             }
             let denom = svc.alive_integral_ns;
@@ -946,6 +1163,20 @@ impl Engine {
             }
             None => self.api_paths.clone(),
         };
+        // Fold client-side retry counters and breaker transitions into
+        // this window, then roll the window into the run totals.
+        let (ri, rs) = self.workload.retry_stats();
+        self.res_window.retries_issued += ri - self.retry_snapshot.0;
+        self.res_window.retries_suppressed += rs - self.retry_snapshot.1;
+        self.retry_snapshot = (ri, rs);
+        if let Some(b) = &self.breakers {
+            let t = b.transitions();
+            self.res_window.breaker_transitions += t - self.breaker_snapshot;
+            self.breaker_snapshot = t;
+        }
+        let resilience = self.res_window;
+        self.res_totals.add(&resilience);
+        self.res_window = ResilienceStats::default();
         ClusterObservation {
             now,
             window,
@@ -953,6 +1184,7 @@ impl Engine {
             apis,
             api_paths,
             slo: self.cfg.slo,
+            resilience,
         }
     }
 
@@ -1029,9 +1261,7 @@ impl Engine {
 
     fn on_pod_restart(&mut self, now: SimTime, sid: ServiceId, pod: u32, epoch: u64) {
         let svc = &mut self.services[sid.idx()];
-        if svc.pods[pod as usize].epoch != epoch
-            || svc.pods[pod as usize].phase != PodPhase::Down
-        {
+        if svc.pods[pod as usize].epoch != epoch || svc.pods[pod as usize].phase != PodPhase::Down {
             return;
         }
         svc.accumulate_alive(now);
@@ -1106,11 +1336,7 @@ impl Engine {
                 .schedule(now + self.cfg.pod_startup, Ev::PodReady { svc: sid });
         } else {
             self.services[sid.idx()].pending_unscheduled += 1;
-            let pending: u32 = self
-                .services
-                .iter()
-                .map(|s| s.pending_unscheduled)
-                .sum();
+            let pending: u32 = self.services.iter().map(|s| s.pending_unscheduled).sum();
             let vms = self.vm_pool.provision_for(pending);
             let startup = self.vm_pool.config.vm_startup;
             for _ in 0..vms {
@@ -1218,6 +1444,7 @@ fn sample_weighted<T>(items: &[(f64, T)], rng: &mut SmallRng) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::resilience::{BreakerConfig, DeadlineConfig};
     use crate::topology::{ApiSpec, ServiceSpec};
     use crate::workload::OpenLoopWorkload;
 
@@ -1254,7 +1481,11 @@ mod tests {
         let (topo, api, _) = tiny_topo(2, 10);
         let e = run(topo, 50.0, 20);
         let t = e.api_totals(api);
-        assert!(t.offered > 800, "Poisson 50rps × 20s ≈ 1000, got {}", t.offered);
+        assert!(
+            t.offered > 800,
+            "Poisson 50rps × 20s ≈ 1000, got {}",
+            t.offered
+        );
         assert_eq!(t.good + t.slo_violated + t.failed, t.admitted);
         assert_eq!(t.failed, 0);
         assert_eq!(t.slo_violated, 0, "underloaded: everything within SLO");
@@ -1506,6 +1737,167 @@ mod tests {
             .count();
         assert!((850..=950).contains(&heavy), "got {heavy}");
     }
+
+    /// 4 users with a 1 s timeout against a 3 s single-pod service:
+    /// every request is doomed, queued calls pile up behind the pod.
+    fn doomed_engine(cancel: bool) -> Engine {
+        let (topo, api, _) = tiny_topo(1, 3000);
+        let w = crate::workload::ClosedLoopWorkload::fixed(vec![(api, 1.0)], 4, ms(100))
+            .timeout(Some(SimDuration::from_secs(1)));
+        let mut e = Engine::new(
+            topo,
+            EngineConfig {
+                service_jitter: 0.0,
+                ..EngineConfig::default()
+            },
+            Box::new(w),
+        );
+        if cancel {
+            e.set_resilience(ResilienceConfig {
+                deadlines: Some(DeadlineConfig::default()),
+                breakers: None,
+            });
+        }
+        e.run_until(SimTime::from_secs(30));
+        e
+    }
+
+    #[test]
+    fn client_timeout_tears_down_doomed_work() {
+        let e = doomed_engine(true);
+        let t = e.api_totals(ApiId(0));
+        assert_eq!(t.good, 0, "nothing completes within a 1 s timeout");
+        // ≤: the 4 users' final requests may still be in flight.
+        assert!(t.good + t.slo_violated + t.failed <= t.admitted);
+        assert!(t.admitted - (t.good + t.slo_violated + t.failed) <= 4);
+        let r = e.resilience_totals();
+        assert!(r.client_cancelled > 0, "timeouts tear requests down: {r:?}");
+        assert!(
+            r.doomed_cancelled > 0,
+            "queued calls behind the pod are skipped, not executed: {r:?}"
+        );
+    }
+
+    #[test]
+    fn late_response_after_timeout_neither_counts_goodput_nor_resurrects_user() {
+        // The seed's wasted-work default: the pod finishes the 3 s call
+        // after the 1 s client timeout already gave up. The late
+        // completion must not count as goodput, and the stale
+        // notification must not re-activate the user (which would
+        // inflate the offered rate).
+        let e = doomed_engine(false);
+        let t = e.api_totals(ApiId(0));
+        assert_eq!(t.good, 0, "late completions are not goodput");
+        // Without cancellation, abandoned requests linger in the queue
+        // and drain at 1 per 3 s — most are unfinished at the horizon.
+        assert!(t.good + t.slo_violated + t.failed <= t.admitted);
+        // 4 users cycling timeout (1 s) + think (0.1 s) ≈ 27 requests
+        // each over 30 s. Resurrected users would roughly double this.
+        assert!(
+            (80..=130).contains(&t.offered),
+            "one request per user per cycle, got {}",
+            t.offered
+        );
+        // Resilience disabled: no counters move.
+        assert_eq!(e.resilience_totals(), ResilienceStats::default());
+    }
+
+    #[test]
+    fn breaker_opens_on_failing_edge_and_sheds_dispatch() {
+        // front (fast, wide) → back (1 pod, 100 ms, queue of 2): the
+        // downstream edge fails almost every call, so its breaker opens
+        // and dispatches are declined at the caller.
+        let mut topo = Topology::new("brk");
+        let f = topo.add_service(ServiceSpec::new("front", 4));
+        let b = topo.add_service(ServiceSpec::new("back", 1).queue_capacity(2));
+        let api = topo.add_api(ApiSpec::single(
+            "x",
+            CallNode::with_children(f, ms(1), vec![CallNode::leaf(b, ms(100))]),
+        ));
+        let w = OpenLoopWorkload::constant(vec![(api, 300.0)]);
+        let mut e = Engine::new(
+            topo,
+            EngineConfig {
+                service_jitter: 0.0,
+                ..EngineConfig::default()
+            },
+            Box::new(w),
+        );
+        e.set_resilience(ResilienceConfig {
+            deadlines: None,
+            breakers: Some(BreakerConfig::default()),
+        });
+        e.run_until(SimTime::from_secs(20));
+        let r = e.resilience_totals();
+        assert!(
+            r.breaker_rejected > 0,
+            "open breaker rejects dispatch: {r:?}"
+        );
+        assert!(r.breaker_transitions > 0, "breaker changed state: {r:?}");
+        let t = e.api_totals(api);
+        assert_eq!(t.good + t.slo_violated + t.failed, t.admitted);
+        // The healthy entry edge (gateway → front) stays closed.
+        assert_eq!(
+            e.breakers().unwrap().state(None, f),
+            crate::resilience::BreakerState::Closed
+        );
+    }
+
+    #[test]
+    fn resilience_determinism_same_seed_same_counters() {
+        let run = |seed: u64| {
+            let (topo, api, _) = tiny_topo(1, 20);
+            let w =
+                crate::workload::RetryStormWorkload::new(vec![(api, 1.0)], 120, ms(100), 5, ms(10))
+                    .with_retry_budget(crate::resilience::RetryBudgetConfig::default());
+            let mut e = Engine::new(
+                topo,
+                EngineConfig {
+                    seed,
+                    ..EngineConfig::default()
+                },
+                Box::new(w),
+            );
+            e.set_resilience(ResilienceConfig {
+                deadlines: Some(DeadlineConfig::default()),
+                breakers: Some(BreakerConfig::default()),
+            });
+            e.run_until(SimTime::from_secs(20));
+            (e.api_totals(api), e.resilience_totals())
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11).0.offered, run(12).0.offered);
+    }
+
+    #[test]
+    fn deadline_expiry_rejects_queued_work_without_cancellation() {
+        // Deadlines on but doomed-work cancellation off: queued calls
+        // whose deadline passed are rejected when the pod reaches them
+        // (DeadlineExpired), not silently executed.
+        let (topo, api, _) = tiny_topo(1, 500);
+        let w = OpenLoopWorkload::constant(vec![(api, 50.0)]);
+        let mut e = Engine::new(
+            topo,
+            EngineConfig {
+                service_jitter: 0.0,
+                ..EngineConfig::default()
+            },
+            Box::new(w),
+        );
+        e.set_resilience(ResilienceConfig {
+            deadlines: Some(DeadlineConfig {
+                budget: Some(SimDuration::from_secs(1)),
+                cancel_doomed: false,
+            }),
+            breakers: None,
+        });
+        e.run_until(SimTime::from_secs(20));
+        let r = e.resilience_totals();
+        assert!(r.deadline_rejected > 0, "expired deadlines reject: {r:?}");
+        assert_eq!(r.doomed_cancelled, 0, "cancellation was off");
+        let t = e.api_totals(api);
+        assert!(t.good + t.slo_violated + t.failed <= t.admitted);
+    }
 }
 
 #[cfg(test)]
@@ -1615,10 +2007,7 @@ mod lifecycle_tests {
         // Load for 60 s, then quiet for the rest.
         let w = OpenLoopWorkload::new(vec![(
             api,
-            RateSchedule::steps(vec![
-                (SimTime::ZERO, 600.0),
-                (SimTime::from_secs(60), 10.0),
-            ]),
+            RateSchedule::steps(vec![(SimTime::ZERO, 600.0), (SimTime::from_secs(60), 10.0)]),
         )]);
         let mut e = Engine::new(
             topo,

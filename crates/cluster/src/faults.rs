@@ -141,11 +141,7 @@ impl FaultPlane {
         let mut kills = Vec::new();
         for spec in specs {
             if let FaultSpec::PodKill { at, service, pods } = spec {
-                kills.push(FailureSpec {
-                    at,
-                    service,
-                    pods,
-                });
+                kills.push(FailureSpec { at, service, pods });
             } else {
                 self.has_telemetry |= spec.is_telemetry();
                 self.has_net |= matches!(spec, FaultSpec::NetworkDegrade { .. });
@@ -177,7 +173,10 @@ impl FaultPlane {
                 factor,
             } = s
             {
-                if *service == svc && active(now, *from, *until) && factor.is_finite() && *factor > 0.0
+                if *service == svc
+                    && active(now, *from, *until)
+                    && factor.is_finite()
+                    && *factor > 0.0
                 {
                     f *= factor;
                 }
@@ -240,9 +239,7 @@ impl FaultPlane {
             .specs
             .iter()
             .filter_map(|s| match s {
-                FaultSpec::TelemetryStaleness { from, until, by }
-                    if active(now, *from, *until) =>
-                {
+                FaultSpec::TelemetryStaleness { from, until, by } if active(now, *from, *until) => {
                     Some(*by)
                 }
                 _ => None,
@@ -284,8 +281,8 @@ impl FaultPlane {
                             // two independent uniforms (Box–Muller).
                             let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
                             let u2: f64 = self.rng.gen();
-                            let z = (-2.0 * u1.ln()).sqrt()
-                                * (2.0 * std::f64::consts::PI * u2).cos();
+                            let z =
+                                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                             let mult = (-sigma * sigma / 2.0 + sigma * z).exp();
                             w.utilization = (w.utilization * mult).clamp(0.0, 2.0);
                         }
@@ -333,6 +330,7 @@ mod tests {
             apis: Vec::<ApiWindow>::new(),
             api_paths: vec![],
             slo: SimDuration::from_secs(1),
+            resilience: Default::default(),
         }
     }
 
@@ -372,8 +370,16 @@ mod tests {
         assert_eq!(p.slow_factor(t(5), ServiceId(0)), 1.0);
         assert_eq!(p.slow_factor(t(12), ServiceId(0)), 3.0);
         assert_eq!(p.slow_factor(t(17), ServiceId(0)), 6.0);
-        assert_eq!(p.slow_factor(t(20), ServiceId(0)), 2.0, "until is exclusive");
-        assert_eq!(p.slow_factor(t(12), ServiceId(1)), 1.0, "other services untouched");
+        assert_eq!(
+            p.slow_factor(t(20), ServiceId(0)),
+            2.0,
+            "until is exclusive"
+        );
+        assert_eq!(
+            p.slow_factor(t(12), ServiceId(1)),
+            1.0,
+            "other services untouched"
+        );
     }
 
     #[test]

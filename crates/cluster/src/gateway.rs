@@ -27,8 +27,9 @@ impl Gateway {
     /// A gateway for `num_apis` APIs, all initially unlimited.
     ///
     /// `burst_secs` sets bucket depth = `rate × burst_secs` (clamped to at
-    /// least 1 token); the paper's 1-second control cadence makes ~50 ms
-    /// of burst a reasonable default.
+    /// least 1 token for positive rates; a rate of exactly 0 gets depth
+    /// 0); the paper's 1-second control cadence makes ~50 ms of burst a
+    /// reasonable default.
     pub fn new(num_apis: usize, burst_secs: f64) -> Self {
         Gateway {
             limiters: (0..num_apis)
@@ -47,8 +48,9 @@ impl Gateway {
     }
 
     /// Set the rate limit for `api` at time `now`. `f64::INFINITY` (or any
-    /// non-finite value) removes the limit; negative rates clamp to zero
-    /// (admit nothing once the bucket drains).
+    /// non-finite value) removes the limit; zero (and negative rates,
+    /// which clamp to zero) admits nothing at all — the bucket depth is
+    /// forced to 0 so not even a burst token leaks through.
     pub fn set_rate_limit(&mut self, api: ApiId, rate: f64, now: SimTime) {
         let lim = &mut self.limiters[api.idx()];
         if !rate.is_finite() {
@@ -57,7 +59,11 @@ impl Gateway {
             return;
         }
         let rate = rate.max(0.0);
-        let burst = (rate * self.burst_secs).max(1.0);
+        let burst = if rate > 0.0 {
+            (rate * self.burst_secs).max(1.0)
+        } else {
+            0.0
+        };
         match &mut lim.bucket {
             Some(b) => b.set_rate_and_burst(rate, burst, now),
             None => lim.bucket = Some(TokenBucket::new(rate, burst, now)),
@@ -117,20 +123,34 @@ mod tests {
     }
 
     #[test]
-    fn zero_rate_blocks_after_burst() {
+    fn zero_rate_admits_nothing_at_all() {
         let mut g = Gateway::new(1, 0.05);
         g.set_rate_limit(ApiId(0), 0.0, SimTime::ZERO);
-        // Minimum burst of 1 token, then nothing ever again.
-        let _ = g.try_admit(ApiId(0), SimTime::ZERO);
+        // No burst token leaks through a "zero" limit: not even the
+        // first request is admitted, ever.
+        assert!(!g.try_admit(ApiId(0), SimTime::ZERO));
         let later = SimTime::ZERO + SimDuration::from_secs(100);
         assert!(!g.try_admit(ApiId(0), later));
+        // Restoring a positive rate brings back at least one burst token.
+        g.set_rate_limit(ApiId(0), 1.0, later);
+        assert!(g.try_admit(ApiId(0), later + SimDuration::from_secs(1)));
+    }
+
+    #[test]
+    fn tiny_positive_rate_still_keeps_one_burst_token() {
+        let mut g = Gateway::new(1, 0.05);
+        g.set_rate_limit(ApiId(0), 0.01, SimTime::ZERO);
+        // Positive rates keep the ≥1-token depth clamp so they can
+        // always eventually admit.
+        assert!(g.try_admit(ApiId(0), SimTime::ZERO));
+        assert!(!g.try_admit(ApiId(0), SimTime::ZERO));
     }
 
     #[test]
     fn per_api_limits_are_independent() {
         let mut g = Gateway::new(2, 0.05);
         g.set_rate_limit(ApiId(0), 0.0, SimTime::ZERO);
-        let _ = g.try_admit(ApiId(0), SimTime::ZERO);
+        assert!(!g.try_admit(ApiId(0), SimTime::ZERO));
         assert!(!g.try_admit(ApiId(0), SimTime::from_secs(1)));
         assert!(g.try_admit(ApiId(1), SimTime::from_secs(1)));
     }

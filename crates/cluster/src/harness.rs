@@ -9,6 +9,7 @@
 use crate::controller::Controller;
 use crate::engine::Engine;
 use crate::observe::ClusterObservation;
+use crate::resilience::ResilienceStats;
 use crate::types::ApiId;
 use simnet::stats;
 use simnet::{SimDuration, SimTime};
@@ -29,6 +30,9 @@ pub struct TickSample {
     pub pods: u32,
     /// vCPUs allocated.
     pub vcpus: f64,
+    /// Request-plane resilience counters for this window (doomed work
+    /// cancelled, retries suppressed, breaker activity, …).
+    pub resilience: ResilienceStats,
 }
 
 /// Result of a harness run: the full per-interval timeline.
@@ -81,6 +85,15 @@ impl RunResult {
             .iter()
             .map(|s| (s.at.as_secs_f64(), s.goodput.iter().sum()))
             .collect()
+    }
+
+    /// Resilience counters summed over the whole run.
+    pub fn total_resilience(&self) -> ResilienceStats {
+        let mut total = ResilienceStats::default();
+        for s in &self.samples {
+            total.add(&s.resilience);
+        }
+        total
     }
 }
 
@@ -240,10 +253,7 @@ impl Harness {
             return;
         }
         let dark = self.next_tick.duration_since(obs.now) > wd.cfg.max_obs_age
-            || obs
-                .services
-                .iter()
-                .all(|s| !s.utilization.is_finite());
+            || obs.services.iter().all(|s| !s.utilization.is_finite());
         if dark {
             wd.dark_streak = wd.dark_streak.saturating_add(1);
             if wd.engaged() {
@@ -315,6 +325,7 @@ impl Harness {
             p99,
             pods,
             vcpus: self.engine.vcpus_used(),
+            resilience: obs.resilience,
         });
     }
 

@@ -40,6 +40,7 @@ pub mod faults;
 pub mod gateway;
 pub mod harness;
 pub mod observe;
+pub mod resilience;
 pub mod topology;
 pub mod tracing;
 pub mod types;
@@ -50,6 +51,10 @@ pub use engine::{Engine, EngineConfig};
 pub use faults::FaultSpec;
 pub use harness::{Harness, RunResult, WatchdogConfig, WatchdogStats};
 pub use observe::{ApiWindow, ClusterObservation, ServiceWindow};
+pub use resilience::{
+    BreakerConfig, BreakerState, DeadlineConfig, EdgeBreakers, ResilienceConfig, ResilienceStats,
+    RetryBudget, RetryBudgetConfig,
+};
 pub use topology::{ApiSpec, CallNode, ServiceSpec, Topology};
 pub use types::{ApiId, BusinessPriority, RequestMeta, ServiceId};
 pub use workload::{

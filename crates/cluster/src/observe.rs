@@ -6,6 +6,7 @@
 //! [`ClusterObservation`] is that snapshot: per-service windows, per-API
 //! windows, and the static API→services map.
 
+use crate::resilience::ResilienceStats;
 use crate::types::{ApiId, BusinessPriority, ServiceId};
 use serde::{Deserialize, Serialize};
 use simnet::{SimDuration, SimTime};
@@ -84,6 +85,11 @@ pub struct ClusterObservation {
     pub api_paths: Vec<Vec<ServiceId>>,
     /// The latency SLO in force.
     pub slo: SimDuration,
+    /// Request-plane resilience counters for this window (doomed work
+    /// cancelled, deadline rejects, retry-budget suppression, breaker
+    /// activity). All-zero unless [`crate::resilience`] is enabled.
+    #[serde(default)]
+    pub resilience: ResilienceStats,
 }
 
 impl ClusterObservation {
@@ -149,16 +155,14 @@ mod tests {
             apis: vec![mk_api(0, 100.0), mk_api(1, 50.0)],
             api_paths: vec![vec![ServiceId(0), ServiceId(1)], vec![ServiceId(2)]],
             slo: SimDuration::from_secs(1),
+            resilience: ResilienceStats::default(),
         }
     }
 
     #[test]
     fn overloaded_services_by_threshold() {
         let o = obs();
-        assert_eq!(
-            o.overloaded_services(0.8),
-            vec![ServiceId(1), ServiceId(2)]
-        );
+        assert_eq!(o.overloaded_services(0.8), vec![ServiceId(1), ServiceId(2)]);
         assert_eq!(o.overloaded_services(0.99), vec![]);
     }
 

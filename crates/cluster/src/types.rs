@@ -5,15 +5,11 @@ use simnet::SimTime;
 use std::fmt;
 
 /// Index of a service within a [`crate::topology::Topology`].
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ServiceId(pub u32);
 
 /// Index of an external API within a [`crate::topology::Topology`].
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ApiId(pub u32);
 
 impl ServiceId {
@@ -71,6 +67,12 @@ pub struct RequestMeta {
     pub user: u8,
     /// Arrival time at the entry gateway.
     pub arrival: SimTime,
+    /// Absolute deadline propagated with the request (DAGOR-style):
+    /// derived at entry from the client timeout / latency SLO when
+    /// deadline propagation is enabled ([`crate::resilience`]). Services
+    /// check it before starting work and before dispatching sub-calls;
+    /// `None` disables all deadline machinery.
+    pub deadline: Option<SimTime>,
 }
 
 /// Terminal status of a request.
@@ -93,6 +95,12 @@ pub enum RequestOutcome {
     NetworkLost(ServiceId),
     /// Abandoned by a closed-loop client that timed out waiting.
     ClientTimeout,
+    /// Failed because its propagated deadline expired before a service
+    /// could start (or continue) working on it.
+    DeadlineExpired(ServiceId),
+    /// Rejected at dispatch by an open circuit breaker on the edge into
+    /// this service ([`crate::resilience::EdgeBreakers`]).
+    BreakerOpen(ServiceId),
 }
 
 impl RequestOutcome {
@@ -110,6 +118,8 @@ impl RequestOutcome {
                 | RequestOutcome::QueueOverflow(_)
                 | RequestOutcome::PodCrashed(_)
                 | RequestOutcome::NetworkLost(_)
+                | RequestOutcome::DeadlineExpired(_)
+                | RequestOutcome::BreakerOpen(_)
         )
     }
 }
@@ -136,7 +146,10 @@ mod tests {
         assert!(RequestOutcome::Good.is_good());
         assert!(!RequestOutcome::SloViolated.is_good());
         assert!(RequestOutcome::QueueOverflow(ServiceId(0)).failed_in_cluster());
+        assert!(RequestOutcome::DeadlineExpired(ServiceId(1)).failed_in_cluster());
+        assert!(RequestOutcome::BreakerOpen(ServiceId(1)).failed_in_cluster());
         assert!(!RequestOutcome::RejectedAtEntry.failed_in_cluster());
+        assert!(!RequestOutcome::ClientTimeout.failed_in_cluster());
         assert!(!RequestOutcome::Good.failed_in_cluster());
     }
 

@@ -8,6 +8,7 @@
 //! rate-scheduled Poisson arrivals, useful when the experiment wants an
 //! arrival process that does not self-throttle under overload.
 
+use crate::resilience::{RetryBudget, RetryBudgetConfig};
 use crate::types::ApiId;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -86,6 +87,13 @@ pub trait Workload: Send {
     /// long and issues its next one. `None` disables timeouts.
     fn client_timeout(&self) -> Option<SimDuration> {
         None
+    }
+
+    /// Cumulative `(retries_issued, retries_suppressed)` counters for
+    /// retry-aware populations; the engine folds these into its
+    /// resilience observability. Non-retrying workloads report zeros.
+    fn retry_stats(&self) -> (u64, u64) {
+        (0, 0)
     }
 }
 
@@ -336,9 +344,8 @@ impl Workload for ClosedLoopWorkload {
                 }
             };
             self.users[id as usize].active = true;
-            let jitter = SimDuration::from_secs_f64(
-                rng.gen::<f64>() * self.tick_interval().as_secs_f64(),
-            );
+            let jitter =
+                SimDuration::from_secs_f64(rng.gen::<f64>() * self.tick_interval().as_secs_f64());
             out.push(self.issue(id, now + jitter, rng));
         }
         // Shrink: park surplus users; in-flight requests are ignored on
@@ -392,12 +399,7 @@ mod tests {
 
     #[test]
     fn rate_schedule_steps() {
-        let s = RateSchedule::surge(
-            100.0,
-            500.0,
-            SimTime::from_secs(10),
-            SimTime::from_secs(20),
-        );
+        let s = RateSchedule::surge(100.0, 500.0, SimTime::from_secs(10), SimTime::from_secs(20));
         assert_eq!(s.at(SimTime::ZERO), 100.0);
         assert_eq!(s.at(SimTime::from_secs(10)), 500.0);
         assert_eq!(s.at(SimTime::from_secs(19)), 500.0);
@@ -460,11 +462,7 @@ mod tests {
 
     #[test]
     fn closed_loop_spawns_to_target() {
-        let mut w = ClosedLoopWorkload::fixed(
-            vec![(ApiId(0), 1.0)],
-            10,
-            SimDuration::from_secs(1),
-        );
+        let mut w = ClosedLoopWorkload::fixed(vec![(ApiId(0), 1.0)], 10, SimDuration::from_secs(1));
         let arrivals = w.on_tick(SimTime::ZERO, &mut rng());
         assert_eq!(arrivals.len(), 10);
         assert_eq!(w.active_users(), 10);
@@ -474,13 +472,17 @@ mod tests {
 
     #[test]
     fn closed_loop_user_paces_to_think_time() {
-        let mut w =
-            ClosedLoopWorkload::fixed(vec![(ApiId(0), 1.0)], 1, SimDuration::from_secs(1));
+        let mut w = ClosedLoopWorkload::fixed(vec![(ApiId(0), 1.0)], 1, SimDuration::from_secs(1));
         let mut r = rng();
         let first = w.on_tick(SimTime::ZERO, &mut r)[0];
         let user = first.user.unwrap();
         // Fast response (100 ms): next request waits until think time.
-        let next = w.on_response(user, ResponseKind::Success, first.at + SimDuration::from_millis(100), &mut r);
+        let next = w.on_response(
+            user,
+            ResponseKind::Success,
+            first.at + SimDuration::from_millis(100),
+            &mut r,
+        );
         assert_eq!(next.len(), 1);
         assert_eq!(next[0].at, first.at + SimDuration::from_secs(1));
         // Slow response (3 s): next request issues immediately.
@@ -492,12 +494,16 @@ mod tests {
 
     #[test]
     fn closed_loop_ignores_stale_generation() {
-        let mut w =
-            ClosedLoopWorkload::fixed(vec![(ApiId(0), 1.0)], 1, SimDuration::from_secs(1));
+        let mut w = ClosedLoopWorkload::fixed(vec![(ApiId(0), 1.0)], 1, SimDuration::from_secs(1));
         let mut r = rng();
         let first = w.on_tick(SimTime::ZERO, &mut r)[0];
         let user = first.user.unwrap();
-        let next = w.on_response(user, ResponseKind::Success, first.at + SimDuration::from_millis(10), &mut r);
+        let next = w.on_response(
+            user,
+            ResponseKind::Success,
+            first.at + SimDuration::from_millis(10),
+            &mut r,
+        );
         assert_eq!(next.len(), 1);
         // The old generation responds again (e.g. timeout raced response).
         assert!(w
@@ -507,15 +513,9 @@ mod tests {
 
     #[test]
     fn closed_loop_shrinks_population() {
-        let sched = RateSchedule::steps(vec![
-            (SimTime::ZERO, 5.0),
-            (SimTime::from_secs(10), 2.0),
-        ]);
-        let mut w = ClosedLoopWorkload::new(
-            vec![(ApiId(0), 1.0)],
-            sched,
-            SimDuration::from_secs(1),
-        );
+        let sched = RateSchedule::steps(vec![(SimTime::ZERO, 5.0), (SimTime::from_secs(10), 2.0)]);
+        let mut w =
+            ClosedLoopWorkload::new(vec![(ApiId(0), 1.0)], sched, SimDuration::from_secs(1));
         let mut r = rng();
         w.on_tick(SimTime::ZERO, &mut r);
         assert_eq!(w.active_users(), 5);
@@ -558,8 +558,15 @@ pub struct RetryStormWorkload {
     retry_backoff: SimDuration,
     /// Outstanding retry budget per user id.
     budget: Vec<u32>,
+    /// Optional shared adaptive budget across the population
+    /// (gRPC/Finagle-style, [`crate::resilience::RetryBudget`]): retries
+    /// spend from a bucket only successes refill, so a storm
+    /// self-extinguishes instead of amplifying shed load.
+    adaptive: Option<RetryBudget>,
     /// Total retries issued (observability for experiments).
     retries_issued: u64,
+    /// Retries the adaptive budget refused.
+    retries_suppressed: u64,
 }
 
 impl RetryStormWorkload {
@@ -576,13 +583,27 @@ impl RetryStormWorkload {
             max_retries,
             retry_backoff,
             budget: Vec::new(),
+            adaptive: None,
             retries_issued: 0,
+            retries_suppressed: 0,
         }
+    }
+
+    /// Builder: bound the whole population by a shared adaptive retry
+    /// budget. Suppressed retries fall back to normal think-time pacing.
+    pub fn with_retry_budget(mut self, cfg: RetryBudgetConfig) -> Self {
+        self.adaptive = Some(RetryBudget::new(cfg));
+        self
     }
 
     /// Total retries issued so far.
     pub fn retries_issued(&self) -> u64 {
         self.retries_issued
+    }
+
+    /// Retries the adaptive budget suppressed so far.
+    pub fn retries_suppressed(&self) -> u64 {
+        self.retries_suppressed
     }
 
     fn ensure_budget(&mut self, id: u32) {
@@ -612,24 +633,39 @@ impl Workload for RetryStormWorkload {
         rng: &mut SmallRng,
     ) -> Vec<Arrival> {
         self.ensure_budget(user.id);
-        if kind.is_retryable() && self.budget[user.id as usize] > 0 {
-            self.budget[user.id as usize] -= 1;
-            self.retries_issued += 1;
-            // Reissue almost immediately: the inner workload's pacing is
-            // bypassed by shifting the issue time to `now + backoff`.
-            let mut follow = self.inner.on_response(user, kind, now, rng);
-            for a in follow.iter_mut() {
-                a.at = now + self.retry_backoff;
-                if let Some(u) = a.user {
-                    // Retries keep their remaining budget.
-                    self.ensure_budget(u.id);
-                }
-            }
+        let mut follow = self.inner.on_response(user, kind, now, rng);
+        if follow.is_empty() {
+            // Stale generation or parked user: nothing was reissued, so
+            // no retry is charged (a late response racing the client
+            // timeout must not burn budget).
             return follow;
         }
-        // Success (or budget exhausted): normal pacing, fresh budget.
+        if kind == ResponseKind::Success {
+            if let Some(b) = self.adaptive.as_mut() {
+                b.on_success();
+            }
+        }
+        if kind.is_retryable() && self.budget[user.id as usize] > 0 {
+            let admitted = match self.adaptive.as_mut() {
+                Some(b) => b.try_retry(),
+                None => true,
+            };
+            if admitted {
+                self.budget[user.id as usize] -= 1;
+                self.retries_issued += 1;
+                // Reissue almost immediately: the inner workload's pacing
+                // is bypassed by shifting the issue time to `now + backoff`.
+                for a in follow.iter_mut() {
+                    a.at = now + self.retry_backoff;
+                }
+                return follow;
+            }
+            self.retries_suppressed += 1;
+        }
+        // Success, per-op budget exhausted, or retry suppressed by the
+        // adaptive budget: normal pacing, fresh per-op budget.
         self.budget[user.id as usize] = self.max_retries;
-        self.inner.on_response(user, kind, now, rng)
+        follow
     }
 
     fn tick_interval(&self) -> SimDuration {
@@ -638,6 +674,10 @@ impl Workload for RetryStormWorkload {
 
     fn client_timeout(&self) -> Option<SimDuration> {
         self.inner.client_timeout()
+    }
+
+    fn retry_stats(&self) -> (u64, u64) {
+        (self.retries_issued, self.retries_suppressed)
     }
 }
 
@@ -721,6 +761,99 @@ mod retry_tests {
         let t3 = a2.at + SimDuration::from_millis(5);
         let _ = w.on_response(a2.user.expect("user"), ResponseKind::Failed, t3, &mut r);
         assert_eq!(w.retries_issued(), 2, "budget was refilled by the success");
+    }
+
+    #[test]
+    fn adaptive_budget_suppresses_sustained_retries() {
+        let mut w = RetryStormWorkload::new(
+            vec![(ApiId(0), 1.0)],
+            1,
+            SimDuration::from_secs(1),
+            10,
+            SimDuration::from_millis(1),
+        )
+        .with_retry_budget(RetryBudgetConfig {
+            max_tokens: 2.0,
+            token_ratio: 0.5,
+            retry_cost: 1.0,
+        });
+        let mut r = rng();
+        let mut arrival = w.on_tick(SimTime::ZERO, &mut r)[0];
+        let mut t = arrival.at;
+        for _ in 0..5 {
+            t += SimDuration::from_millis(5);
+            let user = arrival.user.expect("closed loop");
+            let follow = w.on_response(user, ResponseKind::Failed, t, &mut r);
+            assert_eq!(follow.len(), 1, "suppression still paces, never parks");
+            arrival = follow[0];
+        }
+        // The shared bucket held 2 tokens and nothing refilled it: only
+        // 2 of the 5 failures became retries.
+        assert_eq!(w.retries_issued(), 2);
+        assert_eq!(w.retries_suppressed(), 3);
+        assert_eq!(w.retry_stats(), (2, 3));
+    }
+
+    #[test]
+    fn successes_refill_the_adaptive_budget() {
+        let mut w = RetryStormWorkload::new(
+            vec![(ApiId(0), 1.0)],
+            1,
+            SimDuration::from_secs(1),
+            10,
+            SimDuration::from_millis(1),
+        )
+        .with_retry_budget(RetryBudgetConfig {
+            max_tokens: 1.0,
+            token_ratio: 0.5,
+            retry_cost: 1.0,
+        });
+        let mut r = rng();
+        let mut arrival = w.on_tick(SimTime::ZERO, &mut r)[0];
+        let mut t = arrival.at;
+        let mut respond = |w: &mut RetryStormWorkload, a: Arrival, kind| {
+            t += SimDuration::from_millis(5);
+            w.on_response(a.user.expect("user"), kind, t, &mut r)[0]
+        };
+        // Drain the single token, then get suppressed.
+        arrival = respond(&mut w, arrival, ResponseKind::Failed);
+        arrival = respond(&mut w, arrival, ResponseKind::Failed);
+        assert_eq!((w.retries_issued(), w.retries_suppressed()), (1, 1));
+        // Two successes deposit 2 × 0.5 tokens → one retry affordable.
+        arrival = respond(&mut w, arrival, ResponseKind::Success);
+        arrival = respond(&mut w, arrival, ResponseKind::Success);
+        respond(&mut w, arrival, ResponseKind::Failed);
+        assert_eq!((w.retries_issued(), w.retries_suppressed()), (2, 1));
+    }
+
+    #[test]
+    fn stale_response_does_not_burn_retry_budget() {
+        let mut w = RetryStormWorkload::new(
+            vec![(ApiId(0), 1.0)],
+            1,
+            SimDuration::from_secs(1),
+            3,
+            SimDuration::from_millis(1),
+        );
+        let mut r = rng();
+        let first = w.on_tick(SimTime::ZERO, &mut r)[0];
+        let user = first.user.expect("closed loop");
+        // The client timeout fires: the user reissues (new generation).
+        let t1 = first.at + SimDuration::from_secs(10);
+        let follow = w.on_response(user, ResponseKind::Timeout, t1, &mut r);
+        assert_eq!(follow.len(), 1);
+        let issued = w.retries_issued();
+        // The abandoned request's late Failed response arrives afterwards
+        // with the stale generation: ignored, and no retry charged.
+        let t2 = t1 + SimDuration::from_millis(5);
+        assert!(w
+            .on_response(user, ResponseKind::Failed, t2, &mut r)
+            .is_empty());
+        assert_eq!(
+            w.retries_issued(),
+            issued,
+            "stale response charges no retry"
+        );
     }
 
     #[test]

@@ -96,8 +96,7 @@ pub fn cluster_apis(api_paths: &[Vec<ServiceId>], overloaded: &[ServiceId]) -> V
         }
     }
     // Materialize clusters.
-    let mut by_root: std::collections::BTreeMap<usize, Cluster> =
-        std::collections::BTreeMap::new();
+    let mut by_root: std::collections::BTreeMap<usize, Cluster> = std::collections::BTreeMap::new();
     for (k, &api) in involved.iter().enumerate() {
         let root = dsu.find(k);
         let c = by_root.entry(root).or_insert_with(|| Cluster {

@@ -148,8 +148,9 @@ impl TopFullConfig {
     /// degraded state routes to the MIMD fallback, and a primary that
     /// repeatedly returns non-finite or out-of-range actions is benched.
     pub fn hardened(mut self) -> Self {
-        self.rate_controller =
-            Arc::new(SafeRateController::with_defaults(Arc::clone(&self.rate_controller)));
+        self.rate_controller = Arc::new(SafeRateController::with_defaults(Arc::clone(
+            &self.rate_controller,
+        )));
         self
     }
 }
@@ -250,11 +251,7 @@ impl TopFull {
             candidates.iter().map(key).max()
         };
         match best {
-            Some(b) => candidates
-                .iter()
-                .copied()
-                .filter(|a| key(a) == b)
-                .collect(),
+            Some(b) => candidates.iter().copied().filter(|a| key(a) == b).collect(),
             None => Vec::new(),
         }
     }
@@ -404,15 +401,10 @@ impl Controller for TopFull {
         for c in &clusters {
             let mut targets = c.overloaded.clone();
             targets.sort_by_key(|s| {
-                let users = obs
-                    .api_paths
-                    .iter()
-                    .filter(|path| path.contains(s))
-                    .count();
+                let users = obs.api_paths.iter().filter(|path| path.contains(s)).count();
                 (users, s.0)
             });
-            let mut claimed: std::collections::HashSet<ApiId> =
-                std::collections::HashSet::new();
+            let mut claimed: std::collections::HashSet<ApiId> = std::collections::HashSet::new();
             let mut cluster_decisions = 0;
             for target in targets {
                 if self.cfg.single_target_per_cluster && cluster_decisions >= 1 {
@@ -422,9 +414,7 @@ impl Controller for TopFull {
                     .apis
                     .iter()
                     .copied()
-                    .filter(|a| {
-                        !claimed.contains(a) && obs.api_paths[a.idx()].contains(&target)
-                    })
+                    .filter(|a| !claimed.contains(a) && obs.api_paths[a.idx()].contains(&target))
                     .collect();
                 if candidates.is_empty() {
                     continue;
@@ -627,6 +617,7 @@ mod tests {
                 .collect(),
             api_paths: paths,
             slo: SimDuration::from_secs(1),
+            resilience: Default::default(),
         }
     }
 
@@ -700,9 +691,7 @@ mod tests {
         // Two overloaded services; API0 touches both, API1 only the
         // target. A positive action may only lift API1 (and only if it is
         // already limited).
-        let mut tf = TopFull::new(
-            TopFullConfig::default().with_mimd_steps(0.05, 0.2),
-        );
+        let mut tf = TopFull::new(TopFullConfig::default().with_mimd_steps(0.05, 0.2));
         // Pre-limit both APIs.
         tf.limits = vec![100.0, 100.0];
         tf.headroom_ticks = vec![0, 0];
@@ -817,7 +806,11 @@ mod tests {
             vec![sid(&[0, 1]), sid(&[0])],
         );
         tf.control(&o);
-        assert_eq!(tf.last_decisions.len(), 2, "both overloaded services acted on");
+        assert_eq!(
+            tf.last_decisions.len(),
+            2,
+            "both overloaded services acted on"
+        );
         assert_eq!(
             tf.last_decisions[0].target,
             ServiceId(1),
@@ -864,10 +857,7 @@ mod fairness_tests {
         h.run_until(SimTime::from_secs(600));
         let ga = h.result().mean_goodput_api(a, 450.0, 600.0);
         let gb = h.result().mean_goodput_api(b, 450.0, 600.0);
-        assert!(
-            ga + gb > 120.0,
-            "bottleneck well utilized: {ga} + {gb}"
-        );
+        assert!(ga + gb > 120.0, "bottleneck well utilized: {ga} + {gb}");
         // The offered skew is 3:1; multiplicative cuts + equal-share
         // raises must pull the served split well inside that.
         let ratio = ga.max(gb) / ga.min(gb).max(1.0);
@@ -943,11 +933,7 @@ mod refinement_flag_tests {
                 vec![CallNode::leaf(b, SimDuration::from_millis(1))],
             ),
         ));
-        let w = OpenLoopWorkload::constant(vec![
-            (api_a, 400.0),
-            (api_b, 400.0),
-            (spanning, 50.0),
-        ]);
+        let w = OpenLoopWorkload::constant(vec![(api_a, 400.0), (api_b, 400.0), (spanning, 50.0)]);
         Engine::new(
             topo,
             EngineConfig {
@@ -1036,6 +1022,7 @@ mod refinement_flag_tests {
                 ],
                 api_paths: vec![vec![ServiceId(0)], vec![ServiceId(0)]],
                 slo: SimDuration::from_secs(1),
+                resilience: Default::default(),
             }
         };
         // Refined behaviour: the busy API is cut.
@@ -1092,6 +1079,7 @@ mod refinement_flag_tests {
                 .collect(),
             api_paths: vec![vec![ServiceId(0)], vec![ServiceId(0)]],
             slo: SimDuration::from_secs(1),
+            resilience: Default::default(),
         };
         let raise = |fair: bool| {
             let mut tf = TopFull::new(TopFullConfig {

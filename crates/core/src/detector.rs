@@ -157,6 +157,7 @@ mod tests {
             apis: Vec::<ApiWindow>::new(),
             api_paths: vec![],
             slo: SimDuration::from_secs(1),
+            resilience: Default::default(),
         }
     }
 
@@ -205,7 +206,9 @@ mod tests {
         // Healthy sample below exit clears it again.
         assert!(d.detect(&obs_at(SimTime::from_secs(4), &[0.5])).is_empty());
         // NaN with a fresh *healthy* last-good value does not flag.
-        assert!(d.detect(&obs_at(SimTime::from_secs(5), &[f64::NAN])).is_empty());
+        assert!(d
+            .detect(&obs_at(SimTime::from_secs(5), &[f64::NAN]))
+            .is_empty());
     }
 
     #[test]
@@ -226,6 +229,8 @@ mod tests {
     fn nan_never_newly_flags_a_service() {
         let mut d = OverloadDetector::new(1);
         // No history at all: NaN must not flag.
-        assert!(d.detect(&obs_at(SimTime::from_secs(1), &[f64::NAN])).is_empty());
+        assert!(d
+            .detect(&obs_at(SimTime::from_secs(1), &[f64::NAN]))
+            .is_empty());
     }
 }

@@ -50,8 +50,10 @@ impl RlRateController {
 
 impl RateController for RlRateController {
     fn decide(&self, s: RateState) -> f64 {
-        self.policy
-            .act_deterministic(&[s.goodput_ratio.clamp(0.0, 2.0), s.latency_ratio.clamp(0.0, 5.0)])
+        self.policy.act_deterministic(&[
+            s.goodput_ratio.clamp(0.0, 2.0),
+            s.latency_ratio.clamp(0.0, 5.0),
+        ])
     }
 
     fn name(&self) -> &str {
@@ -385,7 +387,8 @@ mod tests {
 
     #[test]
     fn safe_wrapper_passes_good_actions_through() {
-        let safe = SafeRateController::with_defaults(std::sync::Arc::new(MimdController::paper_default()));
+        let safe =
+            SafeRateController::with_defaults(std::sync::Arc::new(MimdController::paper_default()));
         assert_eq!(safe.decide(st(1.0, 0.5, 100.0)), 0.01);
         assert_eq!(safe.decide(st(0.3, 3.0, 100.0)), -0.05);
         assert_eq!(safe.strikes(), 0);

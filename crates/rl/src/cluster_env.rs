@@ -82,8 +82,7 @@ impl ClusterEnv {
         let engine = self.engine.as_mut().expect("reset first");
         let n = engine.topology().num_apis() as f64;
         let per_api = self.limit / n;
-        let apis: Vec<cluster::ApiId> =
-            engine.topology().apis().map(|(id, _)| id).collect();
+        let apis: Vec<cluster::ApiId> = engine.topology().apis().map(|(id, _)| id).collect();
         for api in apis {
             engine.set_rate_limit(api, per_api);
         }

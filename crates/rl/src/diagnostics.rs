@@ -63,7 +63,9 @@ impl ActionSurface {
     pub fn render(&self) -> String {
         use std::fmt::Write;
         let mut s = String::new();
-        let _ = writeln!(s, "rows: goodput/limit {:.2}..{:.2}; cols: latency/SLO {:.2}..{:.2}",
+        let _ = writeln!(
+            s,
+            "rows: goodput/limit {:.2}..{:.2}; cols: latency/SLO {:.2}..{:.2}",
             self.ratios.first().copied().unwrap_or(0.0),
             self.ratios.last().copied().unwrap_or(0.0),
             self.latencies.first().copied().unwrap_or(0.0),
@@ -140,11 +142,7 @@ mod tests {
         assert_eq!(s.latencies.len(), 8);
         assert_eq!(s.actions.len(), 8);
         assert!(s.actions.iter().all(|r| r.len() == 8));
-        assert!(s
-            .actions
-            .iter()
-            .flatten()
-            .all(|a| (-0.5..=0.5).contains(a)));
+        assert!(s.actions.iter().flatten().all(|a| (-0.5..=0.5).contains(a)));
     }
 
     #[test]

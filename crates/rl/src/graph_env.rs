@@ -294,7 +294,7 @@ mod tests {
         env.reset(&mut r);
         env.limit = env.bottleneck_capacity() * 0.5;
         env.demand = env.limit * 2.0; // plenty of demand, limit binds
-        // Drain any initial backlog.
+                                      // Drain any initial backlog.
         for d in env.dags.iter_mut() {
             for n in d.nodes.iter_mut() {
                 n.backlog = 0.0;

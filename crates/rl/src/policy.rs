@@ -149,7 +149,9 @@ mod tests {
         let mean = actions.iter().sum::<f64>() / actions.len() as f64;
         let var = actions.iter().map(|a| (a - mean).powi(2)).sum::<f64>() / 100.0;
         assert!(var > 1e-4, "sampling must explore, var={var}");
-        assert!(actions.iter().all(|a| (ACTION_LOW..=ACTION_HIGH).contains(a)));
+        assert!(actions
+            .iter()
+            .all(|a| (ACTION_LOW..=ACTION_HIGH).contains(a)));
     }
 
     #[test]

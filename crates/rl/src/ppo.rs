@@ -228,13 +228,17 @@ impl Ppo {
                     let surr1 = ratio * s.advantage;
                     let surr2 = ratio.clamp(1.0 - clip, 1.0 + clip) * s.advantage;
                     // Clipped-surrogate gradient w.r.t. logp.
-                    let g_logp_surr = if surr1 <= surr2 { -ratio * s.advantage } else { 0.0 };
+                    let g_logp_surr = if surr1 <= surr2 {
+                        -ratio * s.advantage
+                    } else {
+                        0.0
+                    };
                     // KL(old ‖ new) gradient.
                     let s_old = log_std_old.exp();
                     let dm = mean - s.mean_old;
                     let g_mean_kl = self.kl_coeff * dm / (std_new * std_new);
-                    let g_logstd_kl = self.kl_coeff
-                        * (1.0 - (s_old * s_old + dm * dm) / (std_new * std_new));
+                    let g_logstd_kl =
+                        self.kl_coeff * (1.0 - (s_old * s_old + dm * dm) / (std_new * std_new));
                     // Chain rule: dlogp/dmean = z/std, dlogp/dlogstd = z²−1.
                     let d_mean = g_logp_surr * (z / std_new) + g_mean_kl;
                     g_logstd += (g_logp_surr * (z * z - 1.0) + g_logstd_kl) / n;
@@ -244,11 +248,9 @@ impl Ppo {
                     let (vout, vtape) = self.model.vf.forward_tape(&s.state);
                     let verr = vout[0] - s.ret;
                     stats.value_loss += 0.5 * verr * verr / n;
-                    self.model.vf.backward(
-                        &vtape,
-                        &[self.config.vf_coeff * verr / n],
-                        &mut g_vf,
-                    );
+                    self.model
+                        .vf
+                        .backward(&vtape, &[self.config.vf_coeff * verr / n], &mut g_vf);
                 }
                 clip_grad_norm(&mut g_pi, self.config.grad_clip);
                 clip_grad_norm(&mut g_vf, self.config.grad_clip);
@@ -278,11 +280,8 @@ impl Ppo {
         }
         stats.mean_kl = kl;
         stats.kl_coeff = self.kl_coeff;
-        stats.mean_reward_per_episode = episodes
-            .iter()
-            .map(Episode::total_reward)
-            .sum::<f64>()
-            / episodes.len().max(1) as f64;
+        stats.mean_reward_per_episode =
+            episodes.iter().map(Episode::total_reward).sum::<f64>() / episodes.len().max(1) as f64;
         let total_updates =
             (self.config.sgd_iters * samples.len().div_ceil(self.config.minibatch_size)) as f64;
         stats.policy_loss /= total_updates.max(1.0) / self.config.sgd_iters as f64;
@@ -367,7 +366,9 @@ mod tests {
             },
         );
         for _ in 0..60 {
-            let eps: Vec<Episode> = (0..256).map(|_| bandit_episode(&ppo.model, &mut r)).collect();
+            let eps: Vec<Episode> = (0..256)
+                .map(|_| bandit_episode(&ppo.model, &mut r))
+                .collect();
             ppo.update(&eps, &mut r);
         }
         // The deterministic action should now be near 0.3 everywhere.
@@ -431,7 +432,9 @@ mod tests {
         );
         let c0 = ppo.kl_coeff();
         for _ in 0..5 {
-            let eps: Vec<Episode> = (0..64).map(|_| bandit_episode(&ppo.model, &mut r)).collect();
+            let eps: Vec<Episode> = (0..64)
+                .map(|_| bandit_episode(&ppo.model, &mut r))
+                .collect();
             ppo.update(&eps, &mut r);
         }
         assert!(ppo.kl_coeff() > c0, "KL coeff should rise under big steps");
@@ -453,8 +456,9 @@ mod tests {
             let model = PolicyValue::new(2, &mut r);
             let mut ppo = Ppo::new(model, PpoConfig::fast());
             for _ in 0..3 {
-                let eps: Vec<Episode> =
-                    (0..32).map(|_| bandit_episode(&ppo.model, &mut r)).collect();
+                let eps: Vec<Episode> = (0..32)
+                    .map(|_| bandit_episode(&ppo.model, &mut r))
+                    .collect();
                 ppo.update(&eps, &mut r);
             }
             ppo.model.act_deterministic(&[0.4, 0.6])

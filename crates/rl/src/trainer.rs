@@ -140,9 +140,8 @@ impl Trainer {
         E: RlEnv + Send,
         F: Fn() -> E + Sync,
     {
-        let eps_per_iter = (self.config.ppo.train_batch_size
-            / self.config.ppo.steps_per_episode)
-            .max(1);
+        let eps_per_iter =
+            (self.config.ppo.train_batch_size / self.config.ppo.steps_per_episode).max(1);
         let workers = self.config.workers.max(1);
         let mut episodes_run = 0usize;
         let mut since_checkpoint = 0usize;
@@ -172,9 +171,7 @@ impl Trainer {
                         scope.spawn(move |_| {
                             let mut env = make_env();
                             let mut rng = SmallRng::seed_from_u64(
-                                derive_seed(seed, "rollout")
-                                    ^ (iter << 8)
-                                    ^ w as u64,
+                                derive_seed(seed, "rollout") ^ (iter << 8) ^ w as u64,
                             );
                             (0..count)
                                 .map(|_| run_episode(&mut env, model, &mut rng, false))

@@ -257,7 +257,9 @@ mod tests {
     fn saturating_add_at_max() {
         let t = SimTime::MAX + SimDuration::from_secs(1);
         assert_eq!(t, SimTime::MAX);
-        assert!(SimTime::MAX.checked_add(SimDuration::from_nanos(1)).is_none());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_nanos(1))
+            .is_none());
     }
 
     #[test]

@@ -26,11 +26,13 @@ impl TokenBucket {
     /// A bucket refilling at `rate` tokens/s with capacity `burst`,
     /// starting full at time `now`.
     ///
-    /// `rate` is clamped to be non-negative; `burst` to at least 1 so a
-    /// positive-rate bucket can always eventually admit.
+    /// Both `rate` and `burst` are clamped to be non-negative. A zero
+    /// `burst` admits nothing ever — that is how a gateway expresses a
+    /// true "admit zero" limit — so callers wanting a bucket that can
+    /// always eventually admit must pass `burst ≥ 1` themselves.
     pub fn new(rate: f64, burst: f64, now: SimTime) -> Self {
         let rate = rate.max(0.0);
-        let burst = burst.max(1.0);
+        let burst = burst.max(0.0);
         TokenBucket {
             rate,
             burst,
@@ -56,11 +58,11 @@ impl TokenBucket {
         self.rate = rate.max(0.0);
     }
 
-    /// Change both rate and burst.
+    /// Change both rate and burst (non-negative, like [`TokenBucket::new`]).
     pub fn set_rate_and_burst(&mut self, rate: f64, burst: f64, now: SimTime) {
         self.refill(now);
         self.rate = rate.max(0.0);
-        self.burst = burst.max(1.0);
+        self.burst = burst.max(0.0);
         self.tokens = self.tokens.min(self.burst);
     }
 
@@ -156,9 +158,15 @@ mod tests {
         while b.try_admit(t0) {}
         let t1 = t0 + SimDuration::from_secs(1); // earns 10 at old rate
         b.set_rate(0.0, t1);
-        assert!((b.available(t1) - 10.0).abs() < 1e-9, "old-rate tokens kept");
+        assert!(
+            (b.available(t1) - 10.0).abs() < 1e-9,
+            "old-rate tokens kept"
+        );
         let t2 = t1 + SimDuration::from_secs(5);
-        assert!((b.available(t2) - 10.0).abs() < 1e-9, "zero rate earns none");
+        assert!(
+            (b.available(t2) - 10.0).abs() < 1e-9,
+            "zero rate earns none"
+        );
     }
 
     #[test]
@@ -173,9 +181,21 @@ mod tests {
     fn negative_inputs_are_clamped() {
         let mut b = TokenBucket::new(-5.0, -3.0, SimTime::ZERO);
         assert_eq!(b.rate(), 0.0);
-        assert_eq!(b.burst(), 1.0);
-        assert!(b.try_admit(SimTime::ZERO), "clamped burst of 1");
+        assert_eq!(b.burst(), 0.0);
+        assert!(
+            !b.try_admit(SimTime::ZERO),
+            "zero-depth bucket admits nothing"
+        );
         assert!(!b.try_admit(SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn zero_burst_admits_nothing_even_with_positive_rate() {
+        let mut b = TokenBucket::new(100.0, 0.0, SimTime::ZERO);
+        assert!(!b.try_admit(SimTime::ZERO));
+        // Refill is capped at the zero depth: still nothing later.
+        assert!(!b.try_admit(SimTime::from_secs(100)));
+        assert_eq!(b.available(SimTime::from_secs(200)), 0.0);
     }
 }
 
@@ -210,11 +230,12 @@ mod proptests {
             );
         }
 
-        /// Tokens never go negative and never exceed burst.
+        /// Tokens never go negative and never exceed burst (depth), for
+        /// any depth including zero.
         #[test]
         fn tokens_stay_in_range(
             rate in 0.0f64..1_000.0,
-            burst in 1.0f64..50.0,
+            burst in 0.0f64..50.0,
             steps in prop::collection::vec((0u64..5_000_000u64, any::<bool>()), 1..200),
         ) {
             let mut b = TokenBucket::new(rate, burst, SimTime::ZERO);
@@ -228,6 +249,34 @@ mod proptests {
                 let avail = b.available(t);
                 prop_assert!(avail >= -1e-9, "negative tokens: {avail}");
                 prop_assert!(avail <= burst + 1e-9, "over burst: {avail}");
+            }
+        }
+
+        /// Refill is monotone in elapsed time: observing the bucket at a
+        /// sorted sequence of times (no admits in between) never shows
+        /// the available tokens decreasing.
+        #[test]
+        fn refill_monotone_in_elapsed_time(
+            rate in 0.0f64..1_000.0,
+            burst in 0.0f64..50.0,
+            drain in 0u32..60,
+            times in prop::collection::vec(0u64..10_000_000_000u64, 2..100),
+        ) {
+            let mut b = TokenBucket::new(rate, burst, SimTime::ZERO);
+            // Start from an arbitrary partial fill.
+            for _ in 0..drain {
+                let _ = b.try_admit(SimTime::ZERO);
+            }
+            let mut sorted = times;
+            sorted.sort_unstable();
+            let mut prev = b.available(SimTime::ZERO);
+            for &t in &sorted {
+                let avail = b.available(SimTime::from_nanos(t));
+                prop_assert!(
+                    avail >= prev - 1e-9,
+                    "tokens decreased without an admit: {prev} -> {avail}"
+                );
+                prev = avail;
             }
         }
     }

@@ -49,7 +49,8 @@ impl RateMeter {
     fn roll(&mut self, now: SimTime) {
         let idx = self.index_of(now);
         while self.current_index < idx {
-            self.history.push_back((self.current_index, self.current_count));
+            self.history
+                .push_back((self.current_index, self.current_count));
             while self.history.len() > self.history_len {
                 self.history.pop_front();
             }
@@ -144,7 +145,10 @@ mod tests {
         m.record_n(SimTime::from_millis(500), 10); // window 0
         m.record_n(SimTime::from_millis(1500), 30); // window 1
         let mean = m.mean_rate(sec(2), 2);
-        assert!((mean - 20.0).abs() < 1e-9, "mean of 10 and 30 rps, got {mean}");
+        assert!(
+            (mean - 20.0).abs() < 1e-9,
+            "mean of 10 and 30 rps, got {mean}"
+        );
     }
 
     #[test]

@@ -16,9 +16,9 @@ use topfull_suite::cluster::autoscaler::HpaConfig;
 use topfull_suite::cluster::{
     ClosedLoopWorkload, Controller, Engine, EngineConfig, Harness, NoControl, RateSchedule,
 };
+use topfull_suite::rl::graph_env::GraphEnv;
 use topfull_suite::rl::ppo::PpoConfig;
 use topfull_suite::rl::trainer::{Trainer, TrainerConfig};
-use topfull_suite::rl::graph_env::GraphEnv;
 use topfull_suite::simnet::{SimDuration, SimTime};
 use topfull_suite::topfull::{TopFull, TopFullConfig};
 
@@ -104,7 +104,5 @@ fn main() {
         "\nTopFull gain: {:.2}x  (paper reports 3.91x on this scenario)",
         with_tf / solo.max(1.0)
     );
-    println!(
-        "crash-loop events: {solo_crashes} without control vs {tf_crashes} with TopFull"
-    );
+    println!("crash-loop events: {solo_crashes} without control vs {tf_crashes} with TopFull");
 }

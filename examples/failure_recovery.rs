@@ -47,7 +47,9 @@ fn run(label: &str, controller: Box<dyn Controller>) -> Vec<(f64, f64)> {
     let series = h.result().total_goodput_series();
     let during = h.result().mean_total_goodput(60.0, 140.0);
     let after = h.result().mean_total_goodput(160.0, 220.0);
-    println!("{label:<14} goodput during failure: {during:>6.0} rps   after recovery: {after:>6.0} rps");
+    println!(
+        "{label:<14} goodput during failure: {during:>6.0} rps   after recovery: {after:>6.0} rps"
+    );
     series
 }
 
@@ -67,9 +69,6 @@ fn main() {
     println!("\ntimeline (total goodput, rps):");
     println!("{:>5} {:>12} {:>12}", "t(s)", "no-control", "topfull");
     for i in (0..none.len()).step_by(10) {
-        println!(
-            "{:>5.0} {:>12.0} {:>12.0}",
-            none[i].0, none[i].1, tf[i].1
-        );
+        println!("{:>5.0} {:>12.0} {:>12.0}", none[i].0, none[i].1, tf[i].1);
     }
 }

@@ -8,9 +8,7 @@
 
 use topfull_suite::apps::OnlineBoutique;
 use topfull_suite::baselines::{Dagor, DagorConfig};
-use topfull_suite::cluster::{
-    Engine, EngineConfig, Harness, NoControl, OpenLoopWorkload,
-};
+use topfull_suite::cluster::{Engine, EngineConfig, Harness, NoControl, OpenLoopWorkload};
 use topfull_suite::topfull::{TopFull, TopFullConfig};
 
 fn engine(seed: u64) -> (OnlineBoutique, Engine) {
@@ -75,13 +73,17 @@ fn main() {
     ));
     let cfg = match policy {
         Ok(p) => {
-            println!("
-(using the cached RL policy)");
+            println!(
+                "
+(using the cached RL policy)"
+            );
             TopFullConfig::default().with_rl(p)
         }
         Err(_) => {
-            println!("
-(no cached RL policy; using the MIMD fallback)");
+            println!(
+                "
+(no cached RL policy; using the MIMD fallback)"
+            );
             TopFullConfig::default().with_mimd()
         }
     };
@@ -92,5 +94,8 @@ fn main() {
 
     let d = dagor.result().mean_total_goodput(40.0, 120.0);
     let t = topfull.result().mean_total_goodput(40.0, 120.0);
-    println!("\ntotal goodput: DAGOR {d:.0} rps vs TopFull {t:.0} rps ({:.2}x)", t / d.max(1.0));
+    println!(
+        "\ntotal goodput: DAGOR {d:.0} rps vs TopFull {t:.0} rps ({:.2}x)",
+        t / d.max(1.0)
+    );
 }

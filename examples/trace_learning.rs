@@ -76,9 +76,7 @@ fn main() {
         println!("  t={s:>2}s  spans={spans:>6}  learned path: {path:?}");
     }
     let final_path = h.engine.latest_observation().expect("ran").api_paths[0].len();
-    println!(
-        "\nall {final_path} services on the (branching) path were discovered from traffic;"
-    );
+    println!("\nall {final_path} services on the (branching) path were discovered from traffic;");
     println!("TopFull clusters and rate-limits using exactly these learned paths.");
     let goodput = h.result().mean_total_goodput(20.0, 30.0);
     println!("steady goodput under control: {goodput:.0} rps");

@@ -75,12 +75,9 @@ pub mod thread {
 mod tests {
     #[test]
     fn scoped_threads_share_borrows() {
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let total: u64 = crate::thread::scope(|scope| {
-            let handles: Vec<_> = data
-                .iter()
-                .map(|x| scope.spawn(move |_| *x * 10))
-                .collect();
+            let handles: Vec<_> = data.iter().map(|x| scope.spawn(move |_| *x * 10)).collect();
             handles.into_iter().map(|h| h.join().unwrap()).sum()
         })
         .unwrap();

@@ -35,9 +35,7 @@ impl Value {
     /// Look up a key in an object value.
     pub fn get(&self, key: &str) -> Option<&Value> {
         match self {
-            Value::Object(fields) => {
-                fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-            }
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -138,9 +136,7 @@ where
 /// `{"Variant": payload}`.
 pub fn as_variant(v: &Value) -> Option<(&str, &Value)> {
     match v {
-        Value::Object(fields) if fields.len() == 1 => {
-            Some((fields[0].0.as_str(), &fields[0].1))
-        }
+        Value::Object(fields) if fields.len() == 1 => Some((fields[0].0.as_str(), &fields[0].1)),
         _ => None,
     }
 }

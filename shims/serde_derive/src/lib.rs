@@ -18,13 +18,17 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
 }
 
 // ---------------------------------------------------------------------
@@ -102,7 +106,10 @@ fn parse_serde_attr(stream: TokenStream, attrs: &mut SerdeAttrs) {
             ("default", Some(path)) => attrs.default = Some(path),
             ("tag", Some(t)) => attrs.tag = Some(t),
             ("rename_all", Some(style)) => {
-                assert_eq!(style, "snake_case", "only rename_all = \"snake_case\" is supported");
+                assert_eq!(
+                    style, "snake_case",
+                    "only rename_all = \"snake_case\" is supported"
+                );
                 attrs.snake = true;
             }
             (other, _) => panic!("unsupported serde attribute `{other}`"),
@@ -405,8 +412,7 @@ fn gen_serialize(item: &Item) -> String {
                         v.name
                     ),
                     (VariantKind::Struct(fields), tag) => {
-                        let binds: Vec<String> =
-                            fields.iter().map(|f| f.name.clone()).collect();
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
                         let mut inner = match tag {
                             Some(t) => format!(
                                 "let mut __fields: Vec<(String, serde::Value)> = \
@@ -492,7 +498,10 @@ fn gen_deserialize(item: &Item) -> String {
                     let vname = item.variant_name(v);
                     match &v.kind {
                         VariantKind::Unit => {
-                            arms.push_str(&format!("\"{vname}\" => Ok({name}::{v}),\n", v = v.name));
+                            arms.push_str(&format!(
+                                "\"{vname}\" => Ok({name}::{v}),\n",
+                                v = v.name
+                            ));
                         }
                         VariantKind::Struct(fields) => {
                             arms.push_str(&format!(
@@ -552,9 +561,7 @@ fn gen_deserialize(item: &Item) -> String {
                             )),
                             VariantKind::Tuple(n) => {
                                 let elems: Vec<String> = (0..*n)
-                                    .map(|i| {
-                                        format!("serde::Deserialize::from_value(&__xs[{i}])?")
-                                    })
+                                    .map(|i| format!("serde::Deserialize::from_value(&__xs[{i}])?"))
                                     .collect();
                                 arms.push_str(&format!(
                                     "\"{vname}\" => {{\n\

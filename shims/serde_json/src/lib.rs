@@ -327,9 +327,9 @@ impl<'a> Parser<'a> {
                             } else {
                                 char::from_u32(hi)
                             };
-                            out.push(c.ok_or_else(|| {
-                                Error::parse("invalid \\u escape", self.pos)
-                            })?);
+                            out.push(
+                                c.ok_or_else(|| Error::parse("invalid \\u escape", self.pos))?,
+                            );
                         }
                         _ => return Err(Error::parse("invalid escape", self.pos - 1)),
                     }
@@ -345,10 +345,10 @@ impl<'a> Parser<'a> {
             .bytes
             .get(self.pos..end)
             .ok_or_else(|| Error::parse("truncated \\u escape", self.pos))?;
-        let s = std::str::from_utf8(chunk)
-            .map_err(|_| Error::parse("invalid \\u escape", self.pos))?;
-        let v = u32::from_str_radix(s, 16)
-            .map_err(|_| Error::parse("invalid \\u escape", self.pos))?;
+        let s =
+            std::str::from_utf8(chunk).map_err(|_| Error::parse("invalid \\u escape", self.pos))?;
+        let v =
+            u32::from_str_radix(s, 16).map_err(|_| Error::parse("invalid \\u escape", self.pos))?;
         self.pos = end;
         Ok(v)
     }

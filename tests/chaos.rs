@@ -29,7 +29,10 @@ fn chaos_engine(seed: u64) -> Engine {
     let rates = vec![
         (
             ob.getproduct,
-            RateSchedule::steps(vec![(SimTime::ZERO, 150.0), (SimTime::from_secs(15), 300.0)]),
+            RateSchedule::steps(vec![
+                (SimTime::ZERO, 150.0),
+                (SimTime::from_secs(15), 300.0),
+            ]),
         ),
         (ob.getcart, RateSchedule::constant(100.0)),
         (ob.postcheckout, RateSchedule::constant(60.0)),
@@ -75,11 +78,7 @@ const CEIL: f64 = 10_000.0;
 fn assert_limits_bounded(r: &RunResult) {
     for s in &r.samples {
         for (i, l) in s.rate_limit.iter().enumerate() {
-            assert!(
-                !l.is_nan(),
-                "NaN rate limit for api {i} at {:?}",
-                s.at
-            );
+            assert!(!l.is_nan(), "NaN rate limit for api {i} at {:?}", s.at);
             if l.is_finite() {
                 assert!(
                     (FLOOR..=CEIL).contains(l),

@@ -22,7 +22,11 @@ fn config(seed: u64) -> EngineConfig {
 /// The Figure 1 topology: API1 → {A, B}, API2 → {A}; B is the narrow
 /// service. Per-service shedding wastes A's capacity on API1 requests
 /// that die at B; TopFull must not.
-fn fig1_topology() -> (Topology, topfull_suite::cluster::ApiId, topfull_suite::cluster::ApiId) {
+fn fig1_topology() -> (
+    Topology,
+    topfull_suite::cluster::ApiId,
+    topfull_suite::cluster::ApiId,
+) {
     let mut t = Topology::new("fig1");
     let a = t.add_service(ServiceSpec::new("A", 4)); // 4 pods × 1 ms = 4000 rps
     let b = t.add_service(ServiceSpec::new("B", 1)); // 1 pod × 1 ms = 1000 rps
@@ -57,7 +61,11 @@ fn topfull_avoids_fig1_starvation() {
         g2 > 1.2 * g1,
         "API2 must get the larger share of A once API1 is B-capped: {g1} vs {g2}"
     );
-    assert!(g1 + g2 > 2200.0, "total near the 4000-capped optimum, got {}", g1 + g2);
+    assert!(
+        g1 + g2 > 2200.0,
+        "total near the 4000-capped optimum, got {}",
+        g1 + g2
+    );
 }
 
 #[test]
@@ -167,10 +175,7 @@ fn pod_failures_recover_under_topfull() {
     assert!(during > 100.0, "goodput during failures: {during}");
     // …and the 15 replacement pods restore station capacity afterwards.
     let after = h.result().mean_total_goodput(80.0, 120.0);
-    assert!(
-        after > during,
-        "recovery expected: {during} → {after}"
-    );
+    assert!(after > during, "recovery expected: {during} → {after}");
     let station_pods = h.engine.ready_pods(tt.station);
     assert_eq!(station_pods, 20, "replacements restore the pod count");
 }
@@ -240,5 +245,8 @@ fn alibaba_demo_runs_under_full_control_stack() {
     let mut h = Harness::new(engine, Box::new(tf));
     h.run_for_secs(60);
     let total = h.result().mean_total_goodput(30.0, 60.0);
-    assert!(total > 500.0, "the 127-service demo must serve load: {total}");
+    assert!(
+        total > 500.0,
+        "the 127-service demo must serve load: {total}"
+    );
 }

@@ -16,19 +16,14 @@ use topfull_suite::topfull::{
 };
 
 /// Strategy: random API paths over `n_services`.
-fn paths_strategy(
-    n_services: u32,
-    n_apis: usize,
-) -> impl Strategy<Value = Vec<Vec<ServiceId>>> {
-    prop::collection::vec(
-        prop::collection::btree_set(0..n_services, 1..6),
-        1..=n_apis,
+fn paths_strategy(n_services: u32, n_apis: usize) -> impl Strategy<Value = Vec<Vec<ServiceId>>> {
+    prop::collection::vec(prop::collection::btree_set(0..n_services, 1..6), 1..=n_apis).prop_map(
+        |apis| {
+            apis.into_iter()
+                .map(|set| set.into_iter().map(ServiceId).collect())
+                .collect()
+        },
     )
-    .prop_map(|apis| {
-        apis.into_iter()
-            .map(|set| set.into_iter().map(ServiceId).collect())
-            .collect()
-    })
 }
 
 /// A step policy replaying an arbitrary (possibly hostile) script:
@@ -50,12 +45,28 @@ impl RateController for ScriptedRateController {
 }
 
 /// Decode a generated `(kind, from, len, param)` row into a fault.
-fn decode_fault(kind: u32, from: u64, len: u64, param: f64, a: ServiceId, b: ServiceId) -> FaultSpec {
+fn decode_fault(
+    kind: u32,
+    from: u64,
+    len: u64,
+    param: f64,
+    a: ServiceId,
+    b: ServiceId,
+) -> FaultSpec {
     let from_t = SimTime::from_secs(from);
     let until = SimTime::from_secs(from + len);
     match kind {
-        0 => FaultSpec::PodKill { at: from_t, service: a, pods: 1 },
-        1 => FaultSpec::SlowPods { from: from_t, until, service: b, factor: param },
+        0 => FaultSpec::PodKill {
+            at: from_t,
+            service: a,
+            pods: 1,
+        },
+        1 => FaultSpec::SlowPods {
+            from: from_t,
+            until,
+            service: b,
+            factor: param,
+        },
         2 => FaultSpec::NetworkDegrade {
             from: from_t,
             until,
@@ -63,14 +74,25 @@ fn decode_fault(kind: u32, from: u64, len: u64, param: f64, a: ServiceId, b: Ser
             extra_latency: SimDuration::from_millis(param as u64),
             loss: (param / 100.0).clamp(0.0, 0.3),
         },
-        3 => FaultSpec::TelemetryDropout { from: from_t, until, service: None },
+        3 => FaultSpec::TelemetryDropout {
+            from: from_t,
+            until,
+            service: None,
+        },
         4 => FaultSpec::TelemetryStaleness {
             from: from_t,
             until,
             by: SimDuration::from_secs((param as u64 % 8) + 1),
         },
-        5 => FaultSpec::TelemetryNoise { from: from_t, until, sigma: param / 10.0 },
-        _ => FaultSpec::ControllerStall { from: from_t, until },
+        5 => FaultSpec::TelemetryNoise {
+            from: from_t,
+            until,
+            sigma: param / 10.0,
+        },
+        _ => FaultSpec::ControllerStall {
+            from: from_t,
+            until,
+        },
     }
 }
 

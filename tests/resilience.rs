@@ -1,0 +1,200 @@
+//! Request-plane resilience integration and property tests: arbitrary
+//! deadline/budget/breaker configurations must never deadlock the
+//! simulation, the budgeted-retry arm must never end up goodput-worse
+//! than unbounded retries, and every run must be deterministic per seed.
+
+use proptest::prelude::*;
+use topfull_suite::apps::OnlineBoutique;
+use topfull_suite::cluster::resilience::{
+    BreakerConfig, DeadlineConfig, ResilienceConfig, ResilienceStats, RetryBudgetConfig,
+};
+use topfull_suite::cluster::{Engine, EngineConfig, RetryStormWorkload};
+use topfull_suite::simnet::{SimDuration, SimTime};
+
+const RUN_SECS: u64 = 40;
+
+/// An overloaded Online Boutique with a retrying client population.
+fn storm_engine(
+    seed: u64,
+    users: u32,
+    max_retries: u32,
+    budget: Option<RetryBudgetConfig>,
+    resilience: ResilienceConfig,
+) -> Engine {
+    let ob = OnlineBoutique::build();
+    let weights = ob.apis().iter().map(|a| (*a, 1.0)).collect();
+    let mut w = RetryStormWorkload::new(
+        weights,
+        users,
+        SimDuration::from_secs(1),
+        max_retries,
+        SimDuration::from_millis(50),
+    );
+    if let Some(b) = budget {
+        w = w.with_retry_budget(b);
+    }
+    let mut e = Engine::new(
+        ob.topology.clone(),
+        EngineConfig {
+            seed,
+            ..EngineConfig::default()
+        },
+        Box::new(w),
+    );
+    e.set_resilience(resilience);
+    e
+}
+
+/// Sum of per-API totals: (good, admitted, finished).
+fn totals(e: &Engine) -> (u64, u64, u64) {
+    let n = e.topology().num_apis();
+    let mut good = 0;
+    let mut admitted = 0;
+    let mut finished = 0;
+    for i in 0..n {
+        let t = e.api_totals(topfull_suite::cluster::ApiId(i as u32));
+        good += t.good;
+        admitted += t.admitted;
+        finished += t.good + t.slo_violated + t.failed;
+    }
+    (good, admitted, finished)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary resilience configurations never deadlock: virtual time
+    /// reaches the horizon, events keep flowing, accounting stays sane.
+    #[test]
+    fn arbitrary_configs_never_deadlock(
+        seed in 0u64..1000,
+        budget_ms in 0u64..20_000,
+        cancel_doomed in any::<bool>(),
+        with_deadlines in any::<bool>(),
+        with_breakers in any::<bool>(),
+        failure_threshold in 0.0f64..1.0,
+        min_calls in 1u32..50,
+        open_for_ms in 1u64..10_000,
+        half_open_probes in 0u32..10,
+        max_tokens in 0.0f64..200.0,
+        token_ratio in 0.0f64..1.0,
+        retry_cost in 0.0f64..5.0,
+    ) {
+        let cfg = ResilienceConfig {
+            deadlines: with_deadlines.then_some(DeadlineConfig {
+                // 0 stands in for "derive from timeout/SLO".
+                budget: (budget_ms > 0).then(|| SimDuration::from_millis(budget_ms)),
+                cancel_doomed,
+            }),
+            breakers: with_breakers.then_some(BreakerConfig {
+                failure_threshold,
+                min_calls,
+                open_for: SimDuration::from_millis(open_for_ms),
+                half_open_probes,
+            }),
+        };
+        let budget = RetryBudgetConfig { max_tokens, token_ratio, retry_cost };
+        let mut e = storm_engine(seed, 400, 10, Some(budget), cfg);
+        e.run_until(SimTime::from_secs(RUN_SECS));
+        // The horizon was reached and the run made real progress.
+        prop_assert!(e.events_processed() > 1000, "simulation stalled");
+        let (_, admitted, finished) = totals(&e);
+        prop_assert!(finished <= admitted, "finished {finished} > admitted {admitted}");
+        prop_assert!(admitted > 0, "nothing ever admitted");
+    }
+
+    /// Same seed + same config ⇒ bit-identical totals and counters.
+    #[test]
+    fn resilient_runs_are_deterministic_per_seed(
+        seed in 0u64..1000,
+        cancel_doomed in any::<bool>(),
+        with_breakers in any::<bool>(),
+    ) {
+        let run = || {
+            let cfg = ResilienceConfig {
+                deadlines: Some(DeadlineConfig { budget: None, cancel_doomed }),
+                breakers: with_breakers.then_some(BreakerConfig::default()),
+            };
+            let mut e = storm_engine(
+                seed, 400, 10, Some(RetryBudgetConfig::default()), cfg,
+            );
+            e.run_until(SimTime::from_secs(RUN_SECS));
+            let r = e.resilience_totals();
+            (totals(&e), r)
+        };
+        let (a, ra) = run();
+        let (b, rb) = run();
+        prop_assert_eq!(a, b, "totals diverged for seed {}", seed);
+        prop_assert_eq!(ra, rb, "resilience counters diverged for seed {}", seed);
+    }
+}
+
+/// The budgeted arm never does meaningfully worse than unbounded
+/// retries: the budget only suppresses work that was going to fail, so
+/// goodput must be at least on par across seeds.
+#[test]
+fn budgeted_retries_never_goodput_worse_than_unbounded() {
+    for seed in [7, 23, 101] {
+        let arm = |budget: Option<RetryBudgetConfig>| {
+            let cfg = ResilienceConfig {
+                deadlines: Some(DeadlineConfig::default()),
+                breakers: None,
+            };
+            let mut e = storm_engine(seed, 1800, 100, budget, cfg);
+            e.run_until(SimTime::from_secs(60));
+            totals(&e).0
+        };
+        let unbounded = arm(None);
+        let budgeted = arm(Some(RetryBudgetConfig::default()));
+        // 5% tolerance: the two arms sample different RNG streams, so
+        // exact dominance per-seed is not guaranteed, only the shape.
+        assert!(
+            budgeted as f64 >= unbounded as f64 * 0.95,
+            "seed {seed}: budgeted {budgeted} < unbounded {unbounded}"
+        );
+    }
+}
+
+/// With deadlines + a retry budget under sustained overload, every
+/// deadline-side mechanism visibly engages. Breakers are off here on
+/// purpose: they shed load so aggressively that queues never get long
+/// enough for deadlines to expire.
+#[test]
+fn deadline_mechanisms_engage_under_storm() {
+    let cfg = ResilienceConfig {
+        deadlines: Some(DeadlineConfig {
+            // A tight explicit budget so queued calls expire well before
+            // the 10 s client timeout (bounded queues overflow first at
+            // looser budgets, failing requests before expiry).
+            budget: Some(SimDuration::from_millis(200)),
+            cancel_doomed: true,
+        }),
+        breakers: None,
+    };
+    let mut e = storm_engine(23, 2600, 100, Some(RetryBudgetConfig::default()), cfg);
+    e.run_until(SimTime::from_secs(60));
+    let r = e.resilience_totals();
+    assert!(r.retries_issued > 0, "{r:?}");
+    assert!(r.retries_suppressed > 0, "{r:?}");
+    assert!(r.doomed_cancelled > 0, "{r:?}");
+    assert!(r.deadline_rejected > 0, "{r:?}");
+    assert_ne!(r, ResilienceStats::default());
+}
+
+/// Breakers on a storming cluster open and reject at dispatch.
+#[test]
+fn breakers_engage_under_storm() {
+    let cfg = ResilienceConfig {
+        deadlines: None,
+        breakers: Some(BreakerConfig {
+            failure_threshold: 0.3,
+            min_calls: 10,
+            ..BreakerConfig::default()
+        }),
+    };
+    let mut e = storm_engine(23, 2600, 100, Some(RetryBudgetConfig::default()), cfg);
+    e.run_until(SimTime::from_secs(60));
+    let r = e.resilience_totals();
+    assert!(r.breaker_rejected > 0, "{r:?}");
+    assert!(r.breaker_transitions > 0, "{r:?}");
+}
