@@ -1,0 +1,112 @@
+//! Shared experiment execution built on the [`crate::runner`] pool.
+//!
+//! Every figure used to hand-roll the same loop: build a topology, pick
+//! a controller arm, wrap the pair in a [`Harness`], run it for a fixed
+//! horizon, and pull numbers out of the result. These helpers fold that
+//! boilerplate into one place and route the independent runs through a
+//! [`RunPlan`], so sweeps execute in parallel while the reported rows
+//! keep their submission order (and therefore their bytes) at any
+//! worker count.
+
+use crate::runner::RunPlan;
+use crate::scenarios::Roster;
+use cluster::{Engine, Harness, ResilienceStats, RunResult, WatchdogStats};
+
+/// Everything an experiment may need from one finished run, captured
+/// before the harness (and its non-`Send` engine) is dropped inside the
+/// worker thread.
+pub struct ArmOutcome {
+    /// The roster label (or a caller-supplied override).
+    pub label: String,
+    /// The full per-interval timeline.
+    pub result: RunResult,
+    /// Simulator events processed over the run (a cheap whole-run
+    /// checksum: any behavioral divergence moves it).
+    pub events_processed: u64,
+    /// Pod crash-loop events over the run.
+    pub crash_events: u64,
+    /// Request-plane resilience counters summed over the run.
+    pub resilience: ResilienceStats,
+    /// Watchdog activity (zeroes when no watchdog was attached).
+    pub watchdog: WatchdogStats,
+}
+
+/// Run an already-built harness for `secs` and capture the outcome.
+pub fn finish(label: &str, mut h: Harness, secs: u64) -> ArmOutcome {
+    h.run_for_secs(secs);
+    ArmOutcome {
+        label: label.to_string(),
+        events_processed: h.engine.events_processed(),
+        crash_events: h.engine.crash_events,
+        resilience: h.engine.resilience_totals(),
+        watchdog: h.watchdog_stats(),
+        result: h.into_result(),
+    }
+}
+
+/// One arm: install `roster` over `engine`, run `secs`, capture.
+pub fn run_arm(label: &str, roster: Roster, engine: Engine, secs: u64) -> ArmOutcome {
+    finish(label, roster.into_harness(engine), secs)
+}
+
+/// Fan a set of `(label, roster)` arms over the worker pool, each arm
+/// building its engine from `mk` *inside* its worker (engines are not
+/// `Send`). Results come back in arm order. Fetch any RL policies the
+/// rosters need before calling this — training must not race.
+pub fn run_arms(
+    arms: Vec<(&'static str, Roster)>,
+    mk: impl Fn() -> Engine + Sync,
+    secs: u64,
+) -> Vec<ArmOutcome> {
+    let mk = &mk;
+    let mut plan = RunPlan::new();
+    for (label, roster) in arms {
+        plan.submit(move || run_arm(label, roster, mk(), secs));
+    }
+    plan.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::boutique_closed_loop;
+
+    fn fingerprint(o: &ArmOutcome) -> Vec<u64> {
+        o.result
+            .samples
+            .iter()
+            .flat_map(|s| s.goodput.iter().map(|g| g.to_bits()))
+            .collect()
+    }
+
+    #[test]
+    fn run_arms_matches_serial_execution() {
+        let arms = || {
+            vec![
+                ("no-control", Roster::None),
+                ("topfull-mimd", Roster::TopFullMimd),
+                ("dagor", Roster::Dagor { alpha: 0.05 }),
+            ]
+        };
+        let mk = || boutique_closed_loop(400, 7).1;
+        let parallel = run_arms(arms(), mk, 15);
+        let serial: Vec<ArmOutcome> = arms()
+            .into_iter()
+            .map(|(label, roster)| run_arm(label, roster, mk(), 15))
+            .collect();
+        assert_eq!(parallel.len(), serial.len());
+        for (p, s) in parallel.iter().zip(&serial) {
+            assert_eq!(p.label, s.label);
+            assert_eq!(fingerprint(p), fingerprint(s), "arm {}", p.label);
+            assert_eq!(p.resilience, s.resilience);
+        }
+    }
+
+    #[test]
+    fn outcome_captures_harness_state() {
+        let o = run_arm("none", Roster::None, boutique_closed_loop(100, 3).1, 5);
+        assert_eq!(o.label, "none");
+        assert_eq!(o.result.samples.len(), 5);
+        assert_eq!(o.watchdog, WatchdogStats::default());
+    }
+}

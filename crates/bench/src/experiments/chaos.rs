@@ -117,8 +117,9 @@ pub fn run() {
         "chaos",
         "Gray-failure chaos: hardened vs unhardened control loop",
     );
-    let plain = run_one(false, 11);
-    let hard = run_one(true, 11);
+    let mut runs = crate::runner::run_over(vec![false, true], |hardened| run_one(hardened, 11));
+    let hard = runs.pop().expect("two runs");
+    let plain = runs.pop().expect("two runs");
     r.series("unhardened", plain.series);
     r.series("hardened", hard.series);
     r.table(

@@ -8,8 +8,10 @@
 //! by 2.6%" (Online Boutique has one dominant shared bottleneck, so
 //! clustering cannot fragment the problem much).
 
+use crate::exec;
 use crate::models;
 use crate::report::{f1, Report};
+use crate::runner::RunPlan;
 use crate::scenarios::{alibaba_surged, Roster};
 use apps::{OnlineBoutique, TrainTicket};
 use cluster::{ClosedLoopWorkload, Engine, OpenLoopWorkload};
@@ -17,11 +19,6 @@ use simnet::SimDuration;
 
 const RUN_SECS: u64 = 120;
 const MEASURE_FROM: f64 = 30.0;
-
-fn measure(mut h: cluster::Harness) -> f64 {
-    h.run_for_secs(RUN_SECS);
-    h.result().mean_total_goodput(MEASURE_FROM, RUN_SECS as f64)
-}
 
 fn boutique_engine(seed: u64) -> Engine {
     let ob = OnlineBoutique::build();
@@ -69,21 +66,33 @@ pub fn run() {
         ("train-ticket", 22.5),
         ("online-boutique", 2.6),
     ];
-    let mut rows = Vec::new();
-    for (app, mk, policy_key) in apps {
+    // Train/fetch each app's policy before the fan-out, then submit all
+    // app × variant runs through one plan.
+    let mut plan = RunPlan::new();
+    for (_, mk, policy_key) in apps {
         let policy = models::policy_for(policy_key);
         let variants = vec![
             Roster::None,
             Roster::Dagor { alpha: 0.05 },
             Roster::TopFullMimd,
             Roster::TopFullNoCluster(policy.clone()),
-            Roster::TopFull(policy.clone()),
+            Roster::TopFull(policy),
         ];
-        let mut by: std::collections::HashMap<&str, f64> = std::collections::HashMap::new();
         for v in variants {
             let label = v.label();
-            by.insert(label, measure(v.into_harness(mk(1010))));
+            plan.submit(move || {
+                let o = exec::run_arm(label, v, mk(1010), RUN_SECS);
+                (
+                    label,
+                    o.result.mean_total_goodput(MEASURE_FROM, RUN_SECS as f64),
+                )
+            });
         }
+    }
+    let measured = plan.run();
+    let mut rows = Vec::new();
+    for (chunk, (app, _, _)) in measured.chunks(5).zip(apps) {
+        let by: std::collections::HashMap<&str, f64> = chunk.iter().copied().collect();
         let tf = by["topfull"];
         rows.push(vec![
             app.to_string(),

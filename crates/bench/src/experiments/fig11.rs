@@ -52,8 +52,12 @@ pub fn run() {
         "Per-API goodput with business priorities (DAGOR vs TopFull)",
     );
     let policy = models::policy_for("online-boutique");
-    let dagor = run_one(Roster::Dagor { alpha: 0.05 }, 11);
-    let tf = run_one(Roster::TopFull(policy), 11);
+    let mut runs = crate::runner::run_over(
+        vec![Roster::Dagor { alpha: 0.05 }, Roster::TopFull(policy)],
+        |roster| run_one(roster, 11),
+    );
+    let tf = runs.pop().expect("two runs");
+    let dagor = runs.pop().expect("two runs");
     r.table(
         "avg goodput (rps); API1 highest priority",
         &["controller", "api1", "api2", "api3", "api4"],

@@ -80,9 +80,11 @@ pub fn run() {
         ("DAGOR (0.5)", Roster::Dagor { alpha: 0.5 }, "inf"),
         ("TopFull (RL)", Roster::TopFull(policy), "5 s"),
     ];
+    let runs = crate::runner::run_over(cases, |(label, roster, paper)| {
+        (label, paper, run_one(roster, 100))
+    });
     let mut measured = Vec::new();
-    for (label, roster, paper) in cases {
-        let series = run_one(roster, 100);
+    for (label, paper, series) in runs {
         let conv = convergence_secs(&series);
         let shown = conv.map_or("inf".to_string(), |c| format!("{c:.0} s"));
         r.compare(format!("convergence: {label}"), paper, &shown, "");

@@ -83,10 +83,10 @@ pub fn run() {
         ("topfull-bw", Roster::TopFullBw),
         ("topfull", Roster::TopFull(policy)),
     ];
+    let runs = crate::runner::run_over(cases, |(label, roster)| (label, run_one(roster, 14)));
     let mut rows = Vec::new();
     let mut totals = std::collections::HashMap::new();
-    for (label, roster) in cases {
-        let (per_api, total, series) = run_one(roster, 14);
+    for (label, (per_api, total, series)) in runs {
         totals.insert(label, total);
         let mut row = vec![label.to_string()];
         row.extend(per_api.iter().map(|g| f1(*g)));

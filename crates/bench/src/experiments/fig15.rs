@@ -75,11 +75,11 @@ pub fn run() {
         ("topfull-bw", Roster::TopFullBw),
         ("topfull", Roster::TopFull(policy)),
     ];
+    let runs = crate::runner::run_over(cases, |(label, roster)| (label, run_one(roster, 15)));
     let mut rows = Vec::new();
     let mut totals = std::collections::HashMap::new();
     let mut crash_counts = std::collections::HashMap::new();
-    for (label, roster) in cases {
-        let (per_api, total, series, crashes) = run_one(roster, 15);
+    for (label, (per_api, total, series, crashes)) in runs {
         totals.insert(label, total);
         crash_counts.insert(label, crashes);
         let mut row = vec![label.to_string()];

@@ -105,20 +105,27 @@ fn measure(roster: Roster, engine: Engine) -> f64 {
         .mean_total_goodput(SPIKE_AT as f64, SPIKE_END as f64)
 }
 
-/// `(vcpu, without, with)` sweep rows for one app.
+/// `(vcpu, without, with)` sweep rows for one app. Both arms of every
+/// allocation point run through the worker pool; the paired results are
+/// reassembled in vCPU order.
 fn sweep(
-    mk: impl Fn(u32, u64) -> Engine,
+    mk: impl Fn(u32, u64) -> Engine + Sync,
     vcpus: &[u32],
     policy: rl::policy::PolicyValue,
     seed: u64,
 ) -> Vec<(u32, f64, f64)> {
+    let mk = &mk;
+    let mut plan = crate::runner::RunPlan::new();
+    for &v in vcpus {
+        plan.submit(move || measure(Roster::None, mk(v, seed)));
+        let p = policy.clone();
+        plan.submit(move || measure(Roster::TopFull(p), mk(v, seed)));
+    }
+    let out = plan.run();
     vcpus
         .iter()
-        .map(|&v| {
-            let without = measure(Roster::None, mk(v, seed));
-            let with = measure(Roster::TopFull(policy.clone()), mk(v, seed));
-            (v, without, with)
-        })
+        .zip(out.chunks(2))
+        .map(|(&v, pair)| (v, pair[0], pair[1]))
         .collect()
 }
 

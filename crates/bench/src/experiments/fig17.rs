@@ -23,10 +23,13 @@ pub fn run() {
         ("transfer-ob", Roster::TopFull(models::transfer_ob())),
         ("transfer-tt", Roster::TopFull(models::transfer_tt())),
     ];
+    let runs = crate::runner::run_over(cases, |(label, roster)| {
+        let (_, total, _) = fig14::run_one(roster, 17);
+        (label, total)
+    });
     let mut totals = std::collections::HashMap::new();
     let mut rows = Vec::new();
-    for (label, roster) in cases {
-        let (_, total, _) = fig14::run_one(roster, 17);
+    for (label, total) in runs {
         totals.insert(label, total);
         rows.push(vec![label.to_string(), f1(total)]);
     }

@@ -60,8 +60,11 @@ pub fn run() {
         "Adaptation toward temporary pod failures (ts-station)",
     );
     let policy = models::policy_for("train-ticket");
-    let (none_fail, none_series) = run_one(Roster::None, 18);
-    let (tf_fail, tf_series) = run_one(Roster::TopFull(policy), 18);
+    let mut runs = crate::runner::run_over(vec![Roster::None, Roster::TopFull(policy)], |roster| {
+        run_one(roster, 18)
+    });
+    let (tf_fail, tf_series) = runs.pop().expect("two runs");
+    let (none_fail, none_series) = runs.pop().expect("two runs");
     r.series("no topfull", none_series);
     r.series("topfull", tf_series);
     r.table(

@@ -55,12 +55,19 @@ pub fn run() {
         "Average goodput vs VM startup time (Online Boutique)",
     );
     let policy = models::policy_for("online-boutique");
+    let startups = [20u64, 40, 60];
+    let mut plan = crate::runner::RunPlan::new();
+    for &startup in &startups {
+        plan.submit(move || measure(Roster::None, startup, 19));
+        let p = policy.clone();
+        plan.submit(move || measure(Roster::TopFull(p), startup, 19));
+    }
+    let out = plan.run();
     let mut rows = Vec::new();
     let mut best_gain: f64 = 0.0;
     let mut solo_by_startup = Vec::new();
-    for startup in [20u64, 40, 60] {
-        let solo = measure(Roster::None, startup, 19);
-        let tf = measure(Roster::TopFull(policy.clone()), startup, 19);
+    for (&startup, pair) in startups.iter().zip(out.chunks(2)) {
+        let (solo, tf) = (pair[0], pair[1]);
         best_gain = best_gain.max(if solo > 0.0 { tf / solo } else { 0.0 });
         solo_by_startup.push(solo);
         rows.push(vec![

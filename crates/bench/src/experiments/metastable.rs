@@ -95,21 +95,26 @@ pub fn run() {
     );
     for roster in [Roster::TopFullMimd, Roster::Dagor { alpha: 0.05 }] {
         let ctrl = roster.label();
-        let mut rows = Vec::new();
-        let mut results = Vec::new();
+        let mut arms = Vec::new();
         for arm in [RetryArm::None, RetryArm::Unbounded, RetryArm::Budgeted] {
             for deadlines in [false, true] {
-                let (good, stats) = run_one(roster.clone(), arm, deadlines);
-                rows.push(vec![
-                    arm.label().into(),
-                    if deadlines { "on" } else { "off" }.into(),
-                    f1(good),
-                    stats.retries_issued.to_string(),
-                    stats.retries_suppressed.to_string(),
-                    stats.doomed_cancelled.to_string(),
-                ]);
-                results.push((arm.label(), deadlines, good, stats));
+                arms.push((arm, deadlines));
             }
+        }
+        let results: Vec<_> = crate::runner::run_over(arms, |(arm, deadlines)| {
+            let (good, stats) = run_one(roster.clone(), arm, deadlines);
+            (arm.label(), deadlines, good, stats)
+        });
+        let mut rows = Vec::new();
+        for (label, deadlines, good, stats) in &results {
+            rows.push(vec![
+                (*label).into(),
+                if *deadlines { "on" } else { "off" }.into(),
+                f1(*good),
+                stats.retries_issued.to_string(),
+                stats.retries_suppressed.to_string(),
+                stats.doomed_cancelled.to_string(),
+            ]);
         }
         r.table(
             &format!("{ctrl}: goodput by retry policy × deadlines"),

@@ -11,15 +11,23 @@
 //!   DAGOR, Breakwater, no-control, HPA combinations).
 //! * [`report`] — uniform "paper vs measured" result rows and JSON dumps
 //!   under `artifacts/results/`.
+//! * [`runner`] — the parallel run executor: independent `(app, arm,
+//!   seed)` runs fan out over a worker pool (`TOPFULL_WORKERS` overrides
+//!   the size, `=1` forces serial) with byte-identical artifacts at any
+//!   worker count.
+//! * [`exec`] — shared roster-sweep helpers built on the runner, so each
+//!   experiment submits arms instead of hand-rolling harness loops.
 //! * [`experiments`] — one module per figure/table; the `figures` binary
 //!   dispatches to them.
 //!
 //! Run everything with `cargo run --release -p topfull-bench --bin
 //! figures -- all`, or a single experiment with e.g. `-- fig8`.
 
+pub mod exec;
 pub mod experiments;
 pub mod models;
 pub mod report;
+pub mod runner;
 pub mod scenarios;
 
 /// Repository-relative artifacts directory (models, results).

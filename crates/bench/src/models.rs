@@ -45,9 +45,10 @@ fn trainer_config(episodes: usize, seed: u64) -> TrainerConfig {
         episodes,
         checkpoint_every: 50,
         validation_episodes: 12,
-        workers: std::thread::available_parallelism()
-            .map(|n| n.get().min(8))
-            .unwrap_or(4),
+        // Deliberately NOT `runner::worker_count()`: rollout seeding
+        // depends on the worker count, so honoring TOPFULL_WORKERS here
+        // would change the models the pipeline produces and caches.
+        workers: crate::runner::default_workers(),
         seed,
     }
 }

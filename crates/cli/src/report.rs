@@ -99,11 +99,20 @@ pub fn compare(sc: &Scenario) -> Result<String, String> {
         "{:<14} {:>12} {:>14}",
         "controller", "goodput", "pod crashes"
     );
-    let mut rows: Vec<(String, f64)> = Vec::new();
+    // Controller variants are independent runs of the same scenario:
+    // fan them out over the experiment worker pool, consuming outcomes
+    // in roster order so the table is identical at any worker count.
+    let mut plan = topfull_bench::runner::RunPlan::new();
     for (label, ctrl) in rosters {
-        let mut variant = sc.clone();
-        variant.controller = ctrl;
-        let outcome = crate::run_scenario(&variant)?;
+        plan.submit(move || {
+            let mut variant = sc.clone();
+            variant.controller = ctrl;
+            (label, crate::run_scenario(&variant))
+        });
+    }
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    for (label, outcome) in plan.run() {
+        let outcome = outcome?;
         let _ = writeln!(
             out,
             "{:<14} {:>12.1} {:>14}",

@@ -1,0 +1,485 @@
+//! The request lifecycle: arrival, dispatch, subtree fan-out,
+//! completion, and teardown.
+//!
+//! Every point where a cross-cutting concern can veto a call goes
+//! through [`Planes::check`](super::planes::Planes::check): the caller
+//! side before dispatch, the service side on arrival, and the pod side
+//! before CPU is spent. The handlers here apply the returned
+//! [`Verdict`] mechanically — which counters move and which requests
+//! fail is decided by the planes.
+
+use super::planes::{CallCtx, LifecyclePoint, Verdict};
+use super::pods::{InFlight, QueuedCall};
+use super::{Engine, Ev, NodeRt, RequestRt};
+use crate::topology::CallNode;
+use crate::tracing::Span;
+use crate::types::{RequestMeta, RequestOutcome, ServiceId};
+use crate::workload::{Arrival, ResponseKind, UserRef};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal};
+use simnet::{SimDuration, SimTime};
+
+impl Engine {
+    pub(super) fn schedule_arrivals(&mut self, now: SimTime, arrivals: Vec<Arrival>) {
+        for a in arrivals {
+            let at = a.at.max(now);
+            self.queue.schedule(at, Ev::Arrival(Arrival { at, ..a }));
+            if let Some(user) = a.user {
+                if let Some(t) = self.workload.client_timeout() {
+                    self.queue.schedule(at + t, Ev::ClientTimeout { user });
+                }
+            }
+        }
+    }
+
+    pub(super) fn on_workload_tick(&mut self, now: SimTime) {
+        let arrivals = self.workload.on_tick(now, &mut self.rng);
+        self.schedule_arrivals(now, arrivals);
+        let next = now + self.workload.tick_interval();
+        self.queue.schedule(next, Ev::WorkloadTick);
+    }
+
+    pub(super) fn on_arrival(&mut self, now: SimTime, a: Arrival) {
+        let acc = &mut self.metrics.api_accums[a.api.idx()];
+        acc.offered += 1;
+        self.metrics.api_totals[a.api.idx()].offered += 1;
+        if !self.gateway.try_admit(a.api, now) {
+            self.metrics.api_totals[a.api.idx()].rejected_entry += 1;
+            self.notify_response(now, a.user, ResponseKind::Failed);
+            return;
+        }
+        self.metrics.api_accums[a.api.idx()].admitted += 1;
+        self.metrics.api_totals[a.api.idx()].admitted += 1;
+
+        // Materialize the request: sample an execution path, flatten it.
+        let spec = self.topo.api(a.api);
+        let path_idx = sample_weighted(&spec.paths, &mut self.rng);
+        let mut nodes = Vec::with_capacity(spec.paths[path_idx].1.len());
+        flatten(&spec.paths[path_idx].1, None, &mut nodes);
+        let meta = RequestMeta {
+            api: a.api,
+            business: spec.business,
+            user: self.rng.gen_range(0..=127),
+            arrival: now,
+            deadline: self.planes.resilience.deadline_budget.map(|b| now + b),
+        };
+        let id = self.next_req_id;
+        self.next_req_id += 1;
+        self.requests.insert(
+            id,
+            RequestRt {
+                meta,
+                user: a.user,
+                nodes,
+            },
+        );
+        if self.planes.resilience.cancel_doomed {
+            if let Some(u) = a.user {
+                self.user_reqs.insert((u.id, u.gen), id);
+            }
+        }
+        self.dispatch_call(now, id, 0);
+    }
+
+    /// Apply a [`Verdict::Fail`]: charge the dropped call and the edge
+    /// breaker as the verdict directs, then fail the owning request.
+    fn apply_fail(
+        &mut self,
+        now: SimTime,
+        req: u64,
+        ctx: &CallCtx,
+        outcome: RequestOutcome,
+        drop_at_callee: bool,
+        edge_failure: bool,
+    ) {
+        if drop_at_callee {
+            self.services[ctx.callee.idx()].dropped_calls += 1;
+        }
+        if edge_failure {
+            self.planes
+                .resilience
+                .on_edge_failure(now, ctx.caller, ctx.callee);
+        }
+        self.fail_request(now, req, outcome);
+    }
+
+    /// Dispatch the call for `node` of request `req`: consult the planes
+    /// on the caller side (deadline, circuit breaker, the downstream's
+    /// advertised admission threshold, network faults) and, if admitted,
+    /// deliver after one hop of latency.
+    pub(super) fn dispatch_call(&mut self, now: SimTime, req: u64, node: u32) {
+        let Some(r) = self.requests.get(&req) else {
+            return;
+        };
+        let svc = r.nodes[node as usize].service;
+        let cost = r.nodes[node as usize].cost;
+        let ctx = CallCtx {
+            meta: Some(r.meta),
+            caller: r.nodes[node as usize]
+                .parent
+                .map(|p| r.nodes[p as usize].service),
+            callee: svc,
+        };
+        match self.planes.check(LifecyclePoint::Dispatch, &ctx, now) {
+            Verdict::Proceed { extra } => {
+                self.queue.schedule(
+                    now + self.cfg.hop_latency + extra,
+                    Ev::CallArrive {
+                        req,
+                        node,
+                        svc,
+                        cost,
+                    },
+                );
+            }
+            Verdict::Cancel => {}
+            Verdict::Fail {
+                outcome,
+                drop_at_callee,
+                edge_failure,
+            } => self.apply_fail(now, req, &ctx, outcome, drop_at_callee, edge_failure),
+        }
+    }
+
+    fn record_edge_success(&mut self, now: SimTime, req: u64, node: u32, callee: ServiceId) {
+        if self.planes.resilience.breakers.is_none() {
+            return;
+        }
+        // The caller is the node's parent; unknowable once the request is
+        // gone (wasted work), in which case nothing is recorded.
+        let Some(r) = self.requests.get(&req) else {
+            return;
+        };
+        let caller = r.nodes[node as usize]
+            .parent
+            .map(|p| r.nodes[p as usize].service);
+        self.planes.resilience.on_edge_success(now, caller, callee);
+    }
+
+    pub(super) fn on_call_arrive(
+        &mut self,
+        now: SimTime,
+        req: u64,
+        node: u32,
+        svc_id: ServiceId,
+        cost: SimDuration,
+    ) {
+        // The request may have failed elsewhere already; by default the
+        // call still arrives and consumes capacity (wasted work), but the
+        // planes may recognize the dead request and drop the call at the
+        // door, or reject it for an expired deadline.
+        let r = self.requests.get(&req);
+        let request_alive = r.is_some();
+        let ctx = CallCtx {
+            meta: r.map(|r| r.meta),
+            caller: r.and_then(|r| {
+                r.nodes[node as usize]
+                    .parent
+                    .map(|p| r.nodes[p as usize].service)
+            }),
+            callee: svc_id,
+        };
+        match self.planes.check(LifecyclePoint::Arrival, &ctx, now) {
+            Verdict::Proceed { .. } => {}
+            Verdict::Cancel => return,
+            Verdict::Fail {
+                outcome,
+                drop_at_callee,
+                edge_failure,
+            } => {
+                self.apply_fail(now, req, &ctx, outcome, drop_at_callee, edge_failure);
+                return;
+            }
+        }
+        let spec_q = self.topo.service(svc_id).queue_capacity as usize;
+        let svc = &mut self.services[svc_id.idx()];
+        // Shortest-queue dispatch across ready pods.
+        let pod_idx = svc
+            .pods
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_ready())
+            .min_by_key(|(i, p)| (p.load(), *i))
+            .map(|(i, _)| i);
+        let Some(pi) = pod_idx else {
+            // No pod alive: the request fails here.
+            svc.dropped_calls += 1;
+            if request_alive {
+                self.planes
+                    .resilience
+                    .on_edge_failure(now, ctx.caller, svc_id);
+                self.fail_request(now, req, RequestOutcome::PodCrashed(svc_id));
+            }
+            return;
+        };
+        if svc.pods[pi].queue.len() >= spec_q {
+            svc.dropped_calls += 1;
+            if request_alive {
+                self.planes
+                    .resilience
+                    .on_edge_failure(now, ctx.caller, svc_id);
+                self.fail_request(now, req, RequestOutcome::QueueOverflow(svc_id));
+            }
+            return;
+        }
+        svc.pods[pi].queue.push_back(QueuedCall {
+            req,
+            node,
+            cost,
+            enqueued: now,
+        });
+        if svc.pods[pi].busy.is_none() {
+            self.start_processing(now, svc_id, pi);
+        }
+    }
+
+    /// The service checks each queued call with the planes before
+    /// spending CPU on it: work for an already-cancelled request is
+    /// skipped (doomed-work cancellation), and a call whose deadline
+    /// expired while queued fails without executing.
+    pub(super) fn start_processing(&mut self, now: SimTime, svc_id: ServiceId, pod: usize) {
+        let call = loop {
+            let Some(call) = self.services[svc_id.idx()].pods[pod].queue.pop_front() else {
+                return;
+            };
+            let ctx = CallCtx {
+                meta: self.requests.get(&call.req).map(|r| r.meta),
+                caller: None,
+                callee: svc_id,
+            };
+            match self.planes.check(LifecyclePoint::Process, &ctx, now) {
+                Verdict::Proceed { .. } => break call,
+                Verdict::Cancel => {}
+                Verdict::Fail {
+                    outcome,
+                    drop_at_callee,
+                    edge_failure,
+                } => {
+                    self.apply_fail(now, call.req, &ctx, outcome, drop_at_callee, edge_failure);
+                }
+            }
+        };
+        let speed = self.topo.service(svc_id).pod_speed;
+        let jitter = self.sample_jitter();
+        let slow = self.planes.faults.slow_factor(now, svc_id);
+        let svc = &mut self.services[svc_id.idx()];
+        svc.queuing_delay_ns += now.duration_since(call.enqueued).as_nanos();
+        svc.started_calls += 1;
+        let proc = call
+            .cost
+            .mul_f64(jitter * slow / speed)
+            .max(SimDuration::from_nanos(1));
+        let done_at = now + proc;
+        svc.pods[pod].busy = Some(InFlight {
+            req: call.req,
+            node: call.node,
+            started: now,
+            done_at,
+        });
+        let epoch = svc.pods[pod].epoch;
+        self.queue.schedule(
+            done_at,
+            Ev::PodDone {
+                svc: svc_id,
+                pod: pod as u32,
+                epoch,
+            },
+        );
+    }
+
+    fn sample_jitter(&mut self) -> f64 {
+        let sigma = self.cfg.service_jitter;
+        if sigma <= 0.0 {
+            return 1.0;
+        }
+        // Mean-preserving log-normal: E[exp(N(-σ²/2, σ²))] = 1.
+        let ln = LogNormal::new(-sigma * sigma / 2.0, sigma).expect("valid lognormal");
+        ln.sample(&mut self.rng)
+    }
+
+    pub(super) fn on_pod_done(&mut self, now: SimTime, svc_id: ServiceId, pod: u32, epoch: u64) {
+        let win_start = self.metrics.window_start;
+        let svc = &mut self.services[svc_id.idx()];
+        let p = &mut svc.pods[pod as usize];
+        if p.epoch != epoch || !p.is_ready() {
+            return; // stale completion from before a crash
+        }
+        let Some(fl) = p.busy.take() else {
+            return;
+        };
+        debug_assert_eq!(fl.done_at, now, "PodDone at wrong time");
+        // Busy-time accounting within the current window.
+        svc.busy_ns += now.duration_since(fl.started.max(win_start)).as_nanos();
+        // Next queued call starts immediately.
+        if !svc.pods[pod as usize].queue.is_empty() {
+            self.start_processing(now, svc_id, pod as usize);
+        }
+        // Emit the span to the tracing collector.
+        if let Some(tracer) = self.tracer.as_mut() {
+            if let Some(r) = self.requests.get(&fl.req) {
+                let parent = r.nodes[fl.node as usize]
+                    .parent
+                    .map(|p| r.nodes[p as usize].service);
+                tracer.record(Span {
+                    request: fl.req,
+                    api: r.meta.api,
+                    service: svc_id,
+                    parent,
+                    start: fl.started,
+                    end: now,
+                });
+            }
+        }
+        // A completed call is a success signal for its inbound edge.
+        self.record_edge_success(now, fl.req, fl.node, svc_id);
+        // Propagate completion of this node's processing.
+        self.on_node_processed(now, fl.req, fl.node);
+    }
+
+    /// A node finished its CPU work: dispatch its children, or complete.
+    fn on_node_processed(&mut self, now: SimTime, req: u64, node: u32) {
+        let Some(r) = self.requests.get_mut(&req) else {
+            return;
+        };
+        let children = r.nodes[node as usize].children.clone();
+        if children.is_empty() {
+            self.on_node_complete(now, req, node);
+        } else {
+            r.nodes[node as usize].pending = children.len() as u32;
+            for c in children {
+                self.dispatch_call(now, req, c);
+                // A child dispatch can fail the whole request (admission
+                // rejection); stop dispatching the rest if so.
+                if !self.requests.contains_key(&req) {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// A node's subtree fully completed (processing + all children).
+    pub(super) fn on_node_complete(&mut self, now: SimTime, req: u64, node: u32) {
+        let Some(r) = self.requests.get_mut(&req) else {
+            return;
+        };
+        match r.nodes[node as usize].parent {
+            None => self.complete_request(now, req),
+            Some(parent) => {
+                let pn = &mut r.nodes[parent as usize];
+                debug_assert!(pn.pending > 0, "join underflow");
+                pn.pending -= 1;
+                if pn.pending == 0 {
+                    // The parent's response travels one hop back.
+                    self.queue.schedule(
+                        now + self.cfg.hop_latency,
+                        Ev::NodeJoin { req, node: parent },
+                    );
+                }
+            }
+        }
+    }
+
+    fn complete_request(&mut self, now: SimTime, req: u64) {
+        let Some(r) = self.requests.remove(&req) else {
+            return;
+        };
+        if let Some(u) = r.user {
+            self.user_reqs.remove(&(u.id, u.gen));
+        }
+        let api = r.meta.api;
+        let latency = now.duration_since(r.meta.arrival);
+        let acc = &mut self.metrics.api_accums[api.idx()];
+        acc.latencies.record(latency);
+        let kind = if latency <= self.cfg.slo {
+            acc.good += 1;
+            self.metrics.api_totals[api.idx()].good += 1;
+            ResponseKind::Success
+        } else {
+            acc.slo_violated += 1;
+            self.metrics.api_totals[api.idx()].slo_violated += 1;
+            ResponseKind::Late
+        };
+        self.notify_response(now, r.user, kind);
+    }
+
+    pub(super) fn fail_request(&mut self, now: SimTime, req: u64, _outcome: RequestOutcome) {
+        let Some(r) = self.requests.remove(&req) else {
+            return;
+        };
+        if let Some(u) = r.user {
+            self.user_reqs.remove(&(u.id, u.gen));
+        }
+        let api = r.meta.api;
+        self.metrics.api_accums[api.idx()].failed += 1;
+        self.metrics.api_totals[api.idx()].failed += 1;
+        self.notify_response(now, r.user, ResponseKind::Failed);
+    }
+
+    fn notify_response(&mut self, now: SimTime, user: Option<UserRef>, kind: ResponseKind) {
+        if let Some(u) = user {
+            let follow = self.workload.on_response(u, kind, now, &mut self.rng);
+            self.schedule_arrivals(now, follow);
+        }
+    }
+
+    pub(super) fn on_client_timeout(&mut self, now: SimTime, user: UserRef) {
+        // The workload ignores stale generations internally, so this is
+        // safe to fire unconditionally. Notifying first bumps the user's
+        // generation, so the teardown's failure notification below is
+        // recognized as stale and cannot resurrect the user.
+        let follow = self
+            .workload
+            .on_response(user, ResponseKind::Timeout, now, &mut self.rng);
+        self.schedule_arrivals(now, follow);
+        // With cancellation enabled, the abandoned request's in-flight
+        // subtree is torn down instead of silently finishing: queued
+        // calls get skipped at their pods, scheduled hops evaporate on
+        // arrival. (In-flight CPU work still runs to completion — a
+        // busy pod cannot be preempted mid-call.)
+        if self.planes.resilience.cancel_doomed {
+            if let Some(req) = self.user_reqs.remove(&(user.id, user.gen)) {
+                if self.requests.contains_key(&req) {
+                    self.planes.resilience.window.client_cancelled += 1;
+                    self.fail_request(now, req, RequestOutcome::ClientTimeout);
+                }
+            }
+        }
+    }
+}
+
+/// Flatten a call tree into `NodeRt`s, parents before children.
+pub(super) fn flatten(node: &CallNode, parent: Option<u32>, out: &mut Vec<NodeRt>) {
+    let idx = out.len() as u32;
+    out.push(NodeRt {
+        service: node.service,
+        cost: node.cost,
+        parent,
+        children: Vec::with_capacity(node.children.len()),
+        pending: 0,
+    });
+    for c in &node.children {
+        let child_idx = out.len() as u32;
+        out[idx as usize].children.push(child_idx);
+        flatten(c, Some(idx), out);
+    }
+}
+
+/// Sample an index from weighted `(weight, _)` pairs.
+pub(super) fn sample_weighted<T>(items: &[(f64, T)], rng: &mut SmallRng) -> usize {
+    if items.len() == 1 {
+        return 0;
+    }
+    let total: f64 = items.iter().map(|(w, _)| w.max(0.0)).sum();
+    if total <= 0.0 {
+        return 0;
+    }
+    let mut x = rng.gen::<f64>() * total;
+    for (i, (w, _)) in items.iter().enumerate() {
+        x -= w.max(0.0);
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    items.len() - 1
+}

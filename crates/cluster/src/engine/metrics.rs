@@ -1,0 +1,189 @@
+//! Metric accumulators, window close, and observation building.
+//!
+//! Per-API counters accumulate into [`ApiAccum`]s (window-scoped) and
+//! [`ApiTotals`] (run-scoped); per-service accumulators live on the pod
+//! runtime and are drained here at each metrics tick, when the window is
+//! folded into a [`ClusterObservation`] for the control plane.
+
+use super::{Engine, Ev};
+use crate::observe::{ApiWindow, ClusterObservation, ServiceWindow};
+use crate::types::{ApiId, ServiceId};
+use simnet::{LatencyHistogram, SimDuration, SimTime};
+
+/// Per-API per-window metric accumulators.
+#[derive(Clone)]
+pub(super) struct ApiAccum {
+    pub(super) offered: u64,
+    pub(super) admitted: u64,
+    pub(super) good: u64,
+    pub(super) slo_violated: u64,
+    pub(super) failed: u64,
+    pub(super) latencies: LatencyHistogram,
+}
+
+impl ApiAccum {
+    pub(super) fn new() -> Self {
+        ApiAccum {
+            offered: 0,
+            admitted: 0,
+            good: 0,
+            slo_violated: 0,
+            failed: 0,
+            latencies: LatencyHistogram::new(),
+        }
+    }
+
+    pub(super) fn reset(&mut self) {
+        *self = ApiAccum::new();
+    }
+}
+
+/// Cumulative per-API counters over the whole run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ApiTotals {
+    pub offered: u64,
+    pub admitted: u64,
+    pub good: u64,
+    pub slo_violated: u64,
+    pub failed: u64,
+    pub rejected_entry: u64,
+}
+
+/// The engine's metric state: window accumulators, run totals, and the
+/// latest finalized observations.
+pub(super) struct MetricsState {
+    pub(super) api_accums: Vec<ApiAccum>,
+    pub(super) api_totals: Vec<ApiTotals>,
+    pub(super) window_start: SimTime,
+    pub(super) latest_obs: Option<ClusterObservation>,
+    pub(super) latest_true_obs: Option<ClusterObservation>,
+    /// Static per-API service paths (topology union), used when path
+    /// learning is disabled.
+    pub(super) api_paths: Vec<Vec<ServiceId>>,
+}
+
+impl MetricsState {
+    pub(super) fn new(num_apis: usize, api_paths: Vec<Vec<ServiceId>>) -> Self {
+        MetricsState {
+            api_accums: vec![ApiAccum::new(); num_apis],
+            api_totals: vec![ApiTotals::default(); num_apis],
+            window_start: SimTime::ZERO,
+            latest_obs: None,
+            latest_true_obs: None,
+            api_paths,
+        }
+    }
+}
+
+impl Engine {
+    pub(super) fn on_metrics_tick(&mut self, now: SimTime) {
+        let obs = self.finalize_window(now);
+        // Admission controllers update their thresholds on fresh metrics.
+        self.planes.admission.on_interval(&obs);
+        // Crash-loop probes.
+        self.run_probes(now);
+        // HPA sync on its own cadence (evaluated at metric ticks).
+        self.run_hpa(now, &obs);
+        // Telemetry faults distort only what leaves the cluster toward
+        // the control plane; admission, probes and the HPA above ran on
+        // the true window (they are in-cluster mechanisms, not part of
+        // the observability pipeline being degraded). The true window is
+        // kept alongside for ground-truth measurement.
+        self.metrics.latest_true_obs = Some(obs.clone());
+        self.metrics.latest_obs = Some(self.planes.faults.distort(now, obs));
+        self.queue
+            .schedule(now + self.cfg.control_interval, Ev::MetricsTick);
+    }
+
+    pub(super) fn finalize_window(&mut self, now: SimTime) -> ClusterObservation {
+        let window = now.duration_since(self.metrics.window_start);
+        let window_ns = window.as_nanos().max(1);
+        let mut services = Vec::with_capacity(self.services.len());
+        for (i, svc) in self.services.iter_mut().enumerate() {
+            svc.accumulate_alive(now);
+            // Credit partial busy time of in-flight calls to this window.
+            let mut busy = svc.busy_ns;
+            for p in &svc.pods {
+                if let Some(fl) = p.busy {
+                    busy += now
+                        .duration_since(fl.started.max(self.metrics.window_start))
+                        .as_nanos();
+                }
+            }
+            let denom = svc.alive_integral_ns;
+            let queue_len: u64 = svc.pods.iter().map(|p| p.queue.len() as u64).sum();
+            let utilization = if denom > 0 {
+                (busy as f64 / denom as f64).min(1.0)
+            } else if queue_len > 0 || svc.dropped_calls > 0 {
+                1.0 // all pods down with work arriving: fully overloaded
+            } else {
+                0.0
+            };
+            let mean_qd = svc
+                .queuing_delay_ns
+                .checked_div(svc.started_calls)
+                .map_or(SimDuration::ZERO, SimDuration::from_nanos);
+            let sid = ServiceId(i as u32);
+            services.push(ServiceWindow {
+                service: sid,
+                name: self.topo.service(sid).name.clone(),
+                utilization,
+                alive_pods: svc.ready_pods(),
+                desired_pods: svc.desired,
+                queue_len,
+                mean_queuing_delay: mean_qd,
+                started_calls: svc.started_calls,
+                dropped_calls: svc.dropped_calls,
+            });
+            // Reset window accumulators.
+            svc.busy_ns = 0;
+            svc.queuing_delay_ns = 0;
+            svc.started_calls = 0;
+            svc.dropped_calls = 0;
+            svc.alive_integral_ns = 0;
+            svc.alive_last_change = now;
+        }
+        let secs = window_ns as f64 / 1e9;
+        let mut apis = Vec::with_capacity(self.metrics.api_accums.len());
+        for (i, acc) in self.metrics.api_accums.iter_mut().enumerate() {
+            let aid = ApiId(i as u32);
+            let spec = self.topo.api(aid);
+            apis.push(ApiWindow {
+                api: aid,
+                name: spec.name.clone(),
+                business: spec.business,
+                offered: acc.offered as f64 / secs,
+                admitted: acc.admitted as f64 / secs,
+                goodput: acc.good as f64 / secs,
+                slo_violated: acc.slo_violated as f64 / secs,
+                failed: acc.failed as f64 / secs,
+                p50: acc.latencies.quantile(0.50),
+                p95: acc.latencies.quantile(0.95),
+                p99: acc.latencies.quantile(0.99),
+                rate_limit: self.gateway.rate_limit(aid),
+            });
+            acc.reset();
+        }
+        self.metrics.window_start = now;
+        let api_paths = match self.tracer.as_mut() {
+            Some(tr) => {
+                tr.compact(now);
+                tr.learned_paths(now)
+            }
+            None => self.metrics.api_paths.clone(),
+        };
+        let resilience = self
+            .planes
+            .resilience
+            .close_window(self.workload.retry_stats());
+        ClusterObservation {
+            now,
+            window,
+            services,
+            apis,
+            api_paths,
+            slo: self.cfg.slo,
+            resilience,
+        }
+    }
+}

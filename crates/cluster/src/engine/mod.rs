@@ -1,0 +1,414 @@
+//! The discrete-event cluster engine.
+//!
+//! [`Engine`] executes a [`Topology`] under a [`Workload`]: requests
+//! arrive at the gateway, traverse their API's call tree across services
+//! and pods, and complete (within or beyond the SLO) or fail. The engine
+//! also runs the metrics window, the HPA + VM-pool autoscaler, the
+//! crash-loop prober and injected failures — everything that happens
+//! *inside* the cluster. Overload controllers live outside: entry
+//! controllers set gateway rate limits between [`Engine::run_until`]
+//! calls (see [`crate::harness`]), and per-service admission controllers
+//! plug in via [`Engine::set_admission`].
+//!
+//! ## Module layout
+//!
+//! * [`mod@self`] — the [`Engine`] facade: construction, the public
+//!   control surface, and the `run_until` event loop.
+//! * `lifecycle` — request arrival, dispatch, subtree fan-out, and
+//!   completion/teardown.
+//! * `pods` — the [`Pod`]/[`ServiceRt`] runtime: crash loops, epochs,
+//!   scaling, and the VM pool.
+//! * `metrics` — per-window accumulators, window close, and observation
+//!   building.
+//! * `planes` — the uniform [`planes::Plane`] hook through which
+//!   admission, resilience, and fault injection observe and veto the
+//!   request lifecycle.
+//!
+//! ## Determinism
+//!
+//! The engine is single-threaded, draws randomness from one seeded RNG,
+//! and uses a FIFO-stable event queue — a run is a pure function of
+//! `(topology, config, workload, seed, control inputs)`.
+
+mod lifecycle;
+mod metrics;
+mod planes;
+mod pods;
+#[cfg(test)]
+mod tests;
+
+pub use metrics::ApiTotals;
+
+use crate::admission::AdmissionControl;
+use crate::autoscaler::{Hpa, HpaConfig, VmPool, VmPoolConfig};
+use crate::failure::{CrashLoopConfig, FailureSpec};
+use crate::faults::FaultSpec;
+use crate::gateway::Gateway;
+use crate::observe::ClusterObservation;
+use crate::resilience::{EdgeBreakers, ResilienceConfig, ResilienceStats};
+use crate::topology::Topology;
+use crate::tracing::TraceCollector;
+use crate::types::{ApiId, ServiceId};
+use crate::workload::{Arrival, UserRef, Workload};
+use metrics::MetricsState;
+use planes::Planes;
+use pods::ServiceRt;
+use rand::rngs::SmallRng;
+use simnet::{EventQueue, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Root RNG seed; forked per concern.
+    pub seed: u64,
+    /// Latency SLO defining goodput (paper: 1 s).
+    pub slo: SimDuration,
+    /// Observation / control window (paper: 1 s).
+    pub control_interval: SimDuration,
+    /// One-way network latency per hop.
+    pub hop_latency: SimDuration,
+    /// Log-normal sigma of service-time jitter (0 disables).
+    pub service_jitter: f64,
+    /// Gateway token-bucket depth in seconds of rate.
+    pub gateway_burst_secs: f64,
+    /// Time for a new pod to become ready once vCPUs are available.
+    pub pod_startup: SimDuration,
+    /// Crash-loop model for `crash_on_overload` services.
+    pub crash: CrashLoopConfig,
+    /// When true, the observation's `api_paths` come from the distributed
+    /// tracing collector (paths *learned* from spans, §4.1/§5) instead of
+    /// the static topology union.
+    pub learn_paths: bool,
+    /// Span retention window for learned paths.
+    pub trace_window: SimDuration,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            seed: 1,
+            slo: SimDuration::from_secs(1),
+            control_interval: SimDuration::from_secs(1),
+            hop_latency: SimDuration::from_micros(500),
+            service_jitter: 0.1,
+            gateway_burst_secs: 0.05,
+            pod_startup: SimDuration::from_secs(10),
+            crash: CrashLoopConfig::default(),
+            learn_paths: false,
+            trace_window: SimDuration::from_secs(60),
+        }
+    }
+}
+
+/// Flattened call-tree node of a live request.
+#[derive(Clone, Debug)]
+struct NodeRt {
+    service: ServiceId,
+    cost: SimDuration,
+    parent: Option<u32>,
+    children: Vec<u32>,
+    /// Children still running (counts down to completion).
+    pending: u32,
+}
+
+/// A live request.
+struct RequestRt {
+    meta: crate::types::RequestMeta,
+    user: Option<UserRef>,
+    nodes: Vec<NodeRt>,
+}
+
+enum Ev {
+    Arrival(Arrival),
+    /// A call travelling to `svc`. Service and cost are embedded so the
+    /// call still executes (as wasted work) when its request has already
+    /// failed elsewhere in the tree — an in-flight RPC fan-out does not
+    /// recall sub-requests that were already sent.
+    CallArrive {
+        req: u64,
+        node: u32,
+        svc: ServiceId,
+        cost: SimDuration,
+    },
+    PodDone {
+        svc: ServiceId,
+        pod: u32,
+        epoch: u64,
+    },
+    NodeJoin {
+        req: u64,
+        node: u32,
+    },
+    MetricsTick,
+    WorkloadTick,
+    ClientTimeout {
+        user: UserRef,
+    },
+    /// A starting pod of `svc` became ready.
+    PodReady {
+        svc: ServiceId,
+    },
+    /// A crashed pod restarts.
+    PodRestart {
+        svc: ServiceId,
+        pod: u32,
+        epoch: u64,
+    },
+    VmReady,
+    InjectFailure(usize),
+}
+
+/// The cluster engine. See module docs.
+pub struct Engine {
+    topo: Topology,
+    cfg: EngineConfig,
+    queue: EventQueue<Ev>,
+    /// Clock floor: `run_until` advances this beyond the last event.
+    now_floor: SimTime,
+    services: Vec<ServiceRt>,
+    gateway: Gateway,
+    workload: Box<dyn Workload>,
+    /// Admission, resilience, and fault-injection hooks (see `planes`).
+    planes: Planes,
+    hpa: Option<Hpa>,
+    vm_pool: VmPool,
+    failures: Vec<FailureSpec>,
+    requests: HashMap<u64, RequestRt>,
+    next_req_id: u64,
+    rng: SmallRng,
+    /// Per-window and cumulative metric accumulators.
+    metrics: MetricsState,
+    tracer: Option<TraceCollector>,
+    /// Live root request per closed-loop `(user, generation)`, so a
+    /// firing client timeout can tear down the in-flight subtree.
+    user_reqs: HashMap<(u32, u64), u64>,
+    /// Services whose pods crashed at least once (for assertions in tests
+    /// and experiment reporting).
+    pub crash_events: u64,
+}
+
+impl Engine {
+    /// Build an engine over `topo`, driven by `workload`.
+    pub fn new(topo: Topology, cfg: EngineConfig, workload: Box<dyn Workload>) -> Self {
+        let mut vm_pool = VmPool::new(VmPoolConfig {
+            // Effectively unlimited until `set_vm_pool` is called.
+            vcpus_per_vm: u32::MAX / 2,
+            initial_vms: 1,
+            max_vms: 1,
+            vm_startup: SimDuration::from_secs(40),
+            vcpus_per_pod: 1.0,
+        });
+        let services: Vec<ServiceRt> = topo
+            .services()
+            .map(|(_, spec)| {
+                for _ in 0..spec.replicas {
+                    let ok = vm_pool.try_allocate_pod();
+                    debug_assert!(ok, "initial pods exceed VM pool");
+                }
+                ServiceRt::fresh(spec.replicas)
+            })
+            .collect();
+        let num_apis = topo.num_apis();
+        let api_paths = topo.api_service_map();
+        let tracer = cfg
+            .learn_paths
+            .then(|| TraceCollector::new(num_apis, cfg.trace_window));
+        let rng = simnet::rng::fork(cfg.seed, "engine");
+        let seed_for_faults = cfg.seed;
+        let mut queue = EventQueue::new();
+        queue.schedule(SimTime::ZERO, Ev::WorkloadTick);
+        queue.schedule(SimTime::ZERO + cfg.control_interval, Ev::MetricsTick);
+        Engine {
+            gateway: Gateway::new(num_apis, cfg.gateway_burst_secs),
+            topo,
+            cfg,
+            queue,
+            now_floor: SimTime::ZERO,
+            services,
+            workload,
+            planes: Planes::new(simnet::rng::fork(seed_for_faults, "faults")),
+            hpa: None,
+            vm_pool,
+            failures: Vec::new(),
+            requests: HashMap::new(),
+            next_req_id: 0,
+            rng,
+            metrics: MetricsState::new(num_apis, api_paths),
+            tracer,
+            user_reqs: HashMap::new(),
+            crash_events: 0,
+        }
+    }
+
+    /// Enable the request-plane resilience layer ([`crate::resilience`]):
+    /// deadline propagation with doomed-work cancellation and/or
+    /// per-edge circuit breakers. The deadline budget defaults to the
+    /// workload's client timeout, falling back to the latency SLO.
+    pub fn set_resilience(&mut self, cfg: ResilienceConfig) {
+        let fallback = self.workload.client_timeout().unwrap_or(self.cfg.slo);
+        self.planes.resilience.configure(cfg, fallback);
+    }
+
+    /// Cumulative resilience counters since the start of the run,
+    /// including the window in progress.
+    pub fn resilience_totals(&self) -> ResilienceStats {
+        self.planes.resilience.totals(self.workload.retry_stats())
+    }
+
+    /// The edge breakers, when enabled (state inspection for tests).
+    pub fn breakers(&self) -> Option<&EdgeBreakers> {
+        self.planes.resilience.breakers.as_ref()
+    }
+
+    /// The tracing collector, when `learn_paths` is enabled.
+    pub fn trace_collector(&self) -> Option<&TraceCollector> {
+        self.tracer.as_ref()
+    }
+
+    /// Install a per-service admission controller (DAGOR, Breakwater).
+    pub fn set_admission(&mut self, a: Box<dyn AdmissionControl>) {
+        self.planes.admission.ctrl = Some(a);
+    }
+
+    /// Enable the HPA over all services, flooring at current replicas.
+    pub fn enable_hpa(&mut self, cfg: HpaConfig) {
+        let mins: Vec<u32> = self.topo.services().map(|(_, s)| s.replicas).collect();
+        self.hpa = Some(Hpa::new(cfg, mins));
+    }
+
+    /// Constrain the cluster to a finite VM pool (enables Fig. 19-style
+    /// VM-provisioning delays). Panics if current pods don't fit.
+    pub fn set_vm_pool(&mut self, cfg: VmPoolConfig) {
+        let mut pool = VmPool::new(cfg);
+        let total_pods: u32 = self.services.iter().map(|s| s.spec_pods()).sum();
+        for _ in 0..total_pods {
+            assert!(
+                pool.try_allocate_pod(),
+                "initial pods exceed configured VM pool"
+            );
+        }
+        self.vm_pool = pool;
+    }
+
+    /// Schedule pod-kill failures.
+    pub fn inject_failures(&mut self, specs: Vec<FailureSpec>) {
+        for spec in specs {
+            let idx = self.failures.len();
+            self.failures.push(spec);
+            self.queue
+                .schedule(spec.at.max(self.now()), Ev::InjectFailure(idx));
+        }
+    }
+
+    /// Install a schedule of [`FaultSpec`]s (the gray-failure fault
+    /// plane). Pod kills route through the existing failure path; all
+    /// other faults are evaluated per event from their own RNG fork, so
+    /// the base simulation streams are unperturbed.
+    pub fn inject_faults(&mut self, specs: Vec<FaultSpec>) {
+        let kills = self.planes.faults.add(specs);
+        if !kills.is_empty() {
+            self.inject_failures(kills);
+        }
+    }
+
+    /// Whether the control plane is stalled right now (a
+    /// [`FaultSpec::ControllerStall`] window is active). The harness
+    /// checks this each tick and skips control while true.
+    pub fn control_stalled(&self) -> bool {
+        self.planes.faults.control_stalled(self.now())
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now().max(self.now_floor)
+    }
+
+    /// The topology under simulation.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Latest finalized observation window, if one has completed. This
+    /// is the *controller-facing* view: telemetry faults (dropout,
+    /// staleness, noise) have already been applied.
+    pub fn latest_observation(&self) -> Option<&ClusterObservation> {
+        self.metrics.latest_obs.as_ref()
+    }
+
+    /// Latest finalized window *before* telemetry faults — ground truth
+    /// for measurement and experiment reporting.
+    pub fn latest_true_observation(&self) -> Option<&ClusterObservation> {
+        self.metrics.latest_true_obs.as_ref()
+    }
+
+    /// Set the entry rate limit for `api` (requests/s; infinity = none).
+    pub fn set_rate_limit(&mut self, api: ApiId, rate: f64) {
+        let now = self.now();
+        self.gateway.set_rate_limit(api, rate, now);
+    }
+
+    /// Current entry rate limit for `api`.
+    pub fn rate_limit(&self, api: ApiId) -> f64 {
+        self.gateway.rate_limit(api)
+    }
+
+    /// Ready pods of a service.
+    pub fn ready_pods(&self, svc: ServiceId) -> u32 {
+        self.services[svc.idx()].ready_pods()
+    }
+
+    /// vCPUs currently allocated across the cluster.
+    pub fn vcpus_used(&self) -> f64 {
+        self.vm_pool.used()
+    }
+
+    /// Running VM count.
+    pub fn vms(&self) -> u32 {
+        self.vm_pool.vms()
+    }
+
+    /// Cumulative per-API counters since the start of the run.
+    pub fn api_totals(&self, api: ApiId) -> ApiTotals {
+        self.metrics.api_totals[api.idx()]
+    }
+
+    /// Events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.queue.events_processed()
+    }
+
+    /// Run the simulation up to (and including) time `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some((at, ev)) = self.queue.pop_until(t) {
+            self.handle(at, ev);
+        }
+        self.now_floor = self.now_floor.max(t);
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Arrival(a) => self.on_arrival(now, a),
+            Ev::CallArrive {
+                req,
+                node,
+                svc,
+                cost,
+            } => self.on_call_arrive(now, req, node, svc, cost),
+            Ev::PodDone { svc, pod, epoch } => self.on_pod_done(now, svc, pod, epoch),
+            Ev::NodeJoin { req, node } => self.on_node_complete(now, req, node),
+            Ev::MetricsTick => self.on_metrics_tick(now),
+            Ev::WorkloadTick => self.on_workload_tick(now),
+            Ev::ClientTimeout { user } => self.on_client_timeout(now, user),
+            Ev::PodReady { svc } => self.on_pod_ready(now, svc),
+            Ev::PodRestart { svc, pod, epoch } => self.on_pod_restart(now, svc, pod, epoch),
+            Ev::VmReady => self.on_vm_ready(now),
+            Ev::InjectFailure(i) => self.on_inject_failure(now, i),
+        }
+    }
+}

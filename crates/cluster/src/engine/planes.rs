@@ -1,0 +1,321 @@
+//! Cross-cutting planes hooked into the request lifecycle.
+//!
+//! Three concerns veto or observe requests as they move through the
+//! cluster: per-service **admission** control (DAGOR, Breakwater), the
+//! request-plane **resilience** layer (deadlines, doomed-work
+//! cancellation, circuit breakers), and the gray-failure **fault**
+//! plane (degraded network paths). Before this module they were each
+//! hand-threaded through the engine's lifecycle handlers; now they all
+//! implement one [`Plane`] trait consulted at the same three
+//! [`LifecyclePoint`]s, in a fixed order, and answer with a uniform
+//! [`Verdict`] the lifecycle code applies mechanically.
+//!
+//! Keeping the consultation order fixed (resilience → admission →
+//! faults) and short-circuiting on the first veto preserves the exact
+//! event and RNG sequence of the monolithic engine — determinism is the
+//! refactor's regression oracle.
+
+use crate::admission::AdmissionControl;
+use crate::faults::FaultPlane;
+use crate::observe::ClusterObservation;
+use crate::resilience::{EdgeBreakers, ResilienceConfig, ResilienceStats};
+use crate::types::{RequestMeta, RequestOutcome, ServiceId};
+use rand::rngs::SmallRng;
+use simnet::{SimDuration, SimTime};
+
+/// Where in the request lifecycle a plane is being consulted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(super) enum LifecyclePoint {
+    /// Caller side, before a sub-call is sent downstream.
+    Dispatch,
+    /// Service side, as the call reaches the pod queues.
+    Arrival,
+    /// Pod side, before CPU is spent on a queued call.
+    Process,
+}
+
+/// The call a plane is asked to judge.
+#[derive(Clone, Copy, Debug)]
+pub(super) struct CallCtx {
+    /// Request metadata; `None` when the owning request already
+    /// terminated elsewhere (the call is wasted work in flight).
+    pub meta: Option<RequestMeta>,
+    /// Service of the calling node (`None` at the entry edge or when the
+    /// request is gone).
+    pub caller: Option<ServiceId>,
+    /// Service the call targets.
+    pub callee: ServiceId,
+}
+
+/// A plane's answer at a lifecycle point.
+#[derive(Clone, Copy, Debug)]
+pub(super) enum Verdict {
+    /// Let the call continue; `extra` is added network latency
+    /// (dispatch only).
+    Proceed { extra: SimDuration },
+    /// Drop the call silently — its request is already gone and the
+    /// plane accounted for the skipped work.
+    Cancel,
+    /// Fail the owning request. `drop_at_callee` charges a dropped call
+    /// to the target service; `edge_failure` feeds the caller→callee
+    /// circuit breaker.
+    Fail {
+        outcome: RequestOutcome,
+        drop_at_callee: bool,
+        edge_failure: bool,
+    },
+}
+
+impl Verdict {
+    pub(super) fn proceed() -> Self {
+        Verdict::Proceed {
+            extra: SimDuration::ZERO,
+        }
+    }
+}
+
+/// One cross-cutting concern hooked into the lifecycle. Implementations
+/// must be deterministic: any randomness comes from their own forked RNG
+/// stream so enabling a plane never perturbs the base simulation.
+pub(super) trait Plane {
+    fn check(&mut self, point: LifecyclePoint, ctx: &CallCtx, now: SimTime) -> Verdict;
+}
+
+/// The engine's plane stack, consulted in fixed order.
+pub(super) struct Planes {
+    pub(super) resilience: ResiliencePlane,
+    pub(super) admission: AdmissionPlane,
+    pub(super) faults: FaultPlane,
+}
+
+impl Planes {
+    pub(super) fn new(fault_rng: SmallRng) -> Self {
+        Planes {
+            resilience: ResiliencePlane::default(),
+            admission: AdmissionPlane { ctrl: None },
+            faults: FaultPlane::new(fault_rng),
+        }
+    }
+
+    /// Consult every plane at `point`, short-circuiting on the first
+    /// veto; `Proceed` latencies accumulate.
+    pub(super) fn check(&mut self, point: LifecyclePoint, ctx: &CallCtx, now: SimTime) -> Verdict {
+        let mut total = SimDuration::ZERO;
+        let stack: [&mut dyn Plane; 3] =
+            [&mut self.resilience, &mut self.admission, &mut self.faults];
+        for plane in stack {
+            match plane.check(point, ctx, now) {
+                Verdict::Proceed { extra } => total += extra,
+                veto => return veto,
+            }
+        }
+        Verdict::Proceed { extra: total }
+    }
+}
+
+/// Per-service admission control (DAGOR, Breakwater): the upstream
+/// checks the downstream's advertised threshold before sending.
+pub(super) struct AdmissionPlane {
+    pub(super) ctrl: Option<Box<dyn AdmissionControl>>,
+}
+
+impl AdmissionPlane {
+    /// Admission controllers update their thresholds on fresh metrics.
+    pub(super) fn on_interval(&mut self, obs: &ClusterObservation) {
+        if let Some(ctrl) = self.ctrl.as_mut() {
+            ctrl.on_interval(obs);
+        }
+    }
+}
+
+impl Plane for AdmissionPlane {
+    fn check(&mut self, point: LifecyclePoint, ctx: &CallCtx, now: SimTime) -> Verdict {
+        if point != LifecyclePoint::Dispatch {
+            return Verdict::proceed();
+        }
+        let (Some(ctrl), Some(meta)) = (self.ctrl.as_mut(), ctx.meta.as_ref()) else {
+            return Verdict::proceed();
+        };
+        if ctrl.admit(ctx.callee, meta, now) {
+            Verdict::proceed()
+        } else {
+            Verdict::Fail {
+                outcome: RequestOutcome::RejectedAtService(ctx.callee),
+                drop_at_callee: true,
+                edge_failure: true,
+            }
+        }
+    }
+}
+
+/// The request-plane resilience layer ([`crate::resilience`]): deadline
+/// propagation, doomed-work cancellation, and per-edge circuit breakers.
+#[derive(Default)]
+pub(super) struct ResiliencePlane {
+    /// Resolved per-request deadline budget (`None` = deadlines off).
+    pub(super) deadline_budget: Option<SimDuration>,
+    /// Skip doomed queued work and tear down timed-out requests.
+    pub(super) cancel_doomed: bool,
+    /// Per-downstream-edge circuit breakers (`None` = breakers off).
+    pub(super) breakers: Option<EdgeBreakers>,
+    /// Resilience counters for the current window / whole run.
+    pub(super) window: ResilienceStats,
+    totals: ResilienceStats,
+    /// Workload retry counters already folded into the stats above.
+    retry_snapshot: (u64, u64),
+    /// Breaker transitions already folded into the stats above.
+    breaker_snapshot: u64,
+}
+
+impl ResiliencePlane {
+    /// Apply a [`ResilienceConfig`], resolving the deadline budget
+    /// against `fallback` (client timeout, else the latency SLO).
+    pub(super) fn configure(&mut self, cfg: ResilienceConfig, fallback: SimDuration) {
+        match cfg.deadlines {
+            Some(d) => {
+                self.deadline_budget = Some(d.budget.unwrap_or(fallback));
+                self.cancel_doomed = d.cancel_doomed;
+            }
+            None => {
+                self.deadline_budget = None;
+                self.cancel_doomed = false;
+            }
+        }
+        self.breakers = cfg.breakers.map(EdgeBreakers::new);
+    }
+
+    /// Cumulative counters including the window in progress, folding in
+    /// the workload's live retry counters.
+    pub(super) fn totals(&self, retry_stats: (u64, u64)) -> ResilienceStats {
+        let mut t = self.totals;
+        t.add(&self.window);
+        let (ri, rs) = retry_stats;
+        t.retries_issued += ri - self.retry_snapshot.0;
+        t.retries_suppressed += rs - self.retry_snapshot.1;
+        if let Some(b) = &self.breakers {
+            t.breaker_transitions += b.transitions() - self.breaker_snapshot;
+        }
+        t
+    }
+
+    /// Close the metrics window: fold client-side retry counters and
+    /// breaker transitions into it, roll it into the run totals, and
+    /// return the closed window's stats.
+    pub(super) fn close_window(&mut self, retry_stats: (u64, u64)) -> ResilienceStats {
+        let (ri, rs) = retry_stats;
+        self.window.retries_issued += ri - self.retry_snapshot.0;
+        self.window.retries_suppressed += rs - self.retry_snapshot.1;
+        self.retry_snapshot = (ri, rs);
+        if let Some(b) = &self.breakers {
+            let t = b.transitions();
+            self.window.breaker_transitions += t - self.breaker_snapshot;
+            self.breaker_snapshot = t;
+        }
+        let closed = self.window;
+        self.totals.add(&closed);
+        self.window = ResilienceStats::default();
+        closed
+    }
+
+    /// A failed call is a failure signal for its inbound edge.
+    pub(super) fn on_edge_failure(
+        &mut self,
+        now: SimTime,
+        caller: Option<ServiceId>,
+        callee: ServiceId,
+    ) {
+        if let Some(b) = self.breakers.as_mut() {
+            b.on_failure(caller, callee, now);
+        }
+    }
+
+    /// A completed call is a success signal for its inbound edge.
+    pub(super) fn on_edge_success(
+        &mut self,
+        now: SimTime,
+        caller: Option<ServiceId>,
+        callee: ServiceId,
+    ) {
+        if let Some(b) = self.breakers.as_mut() {
+            b.on_success(caller, callee, now);
+        }
+    }
+
+    fn deadline_expired(&self, ctx: &CallCtx, now: SimTime) -> bool {
+        matches!(ctx.meta.and_then(|m| m.deadline), Some(dl) if now >= dl)
+    }
+}
+
+impl Plane for ResiliencePlane {
+    fn check(&mut self, point: LifecyclePoint, ctx: &CallCtx, now: SimTime) -> Verdict {
+        match point {
+            // A caller never dispatches work its deadline can no longer
+            // use, nor across an open breaker.
+            LifecyclePoint::Dispatch => {
+                if self.deadline_expired(ctx, now) {
+                    self.window.deadline_rejected += 1;
+                    return Verdict::Fail {
+                        outcome: RequestOutcome::DeadlineExpired(ctx.callee),
+                        drop_at_callee: false,
+                        edge_failure: false,
+                    };
+                }
+                if let Some(b) = self.breakers.as_mut() {
+                    if !b.allow(ctx.caller, ctx.callee, now) {
+                        self.window.breaker_rejected += 1;
+                        return Verdict::Fail {
+                            outcome: RequestOutcome::BreakerOpen(ctx.callee),
+                            drop_at_callee: false,
+                            edge_failure: false,
+                        };
+                    }
+                }
+                Verdict::proceed()
+            }
+            // The service recognizes dead requests at the door and
+            // checks the propagated deadline before accepting; a pod
+            // re-checks both before spending CPU on a queued call.
+            LifecyclePoint::Arrival | LifecyclePoint::Process => {
+                if ctx.meta.is_none() {
+                    if self.cancel_doomed {
+                        self.window.doomed_cancelled += 1;
+                        return Verdict::Cancel;
+                    }
+                    return Verdict::proceed();
+                }
+                if self.deadline_expired(ctx, now) {
+                    self.window.deadline_rejected += 1;
+                    return Verdict::Fail {
+                        outcome: RequestOutcome::DeadlineExpired(ctx.callee),
+                        drop_at_callee: true,
+                        edge_failure: false,
+                    };
+                }
+                Verdict::proceed()
+            }
+        }
+    }
+}
+
+/// The gray-failure fault plane's lifecycle hook: degraded network paths
+/// drop or delay forward calls at dispatch. (Its telemetry distortions
+/// and slow-pod factors are queried from the metrics and pod runtimes
+/// directly — they shape observations and service times, not call
+/// admission.)
+impl Plane for FaultPlane {
+    fn check(&mut self, point: LifecyclePoint, ctx: &CallCtx, now: SimTime) -> Verdict {
+        if point != LifecyclePoint::Dispatch {
+            return Verdict::proceed();
+        }
+        let net = self.net_effect(now, ctx.callee);
+        if net.dropped {
+            Verdict::Fail {
+                outcome: RequestOutcome::NetworkLost(ctx.callee),
+                drop_at_callee: true,
+                edge_failure: true,
+            }
+        } else {
+            Verdict::Proceed { extra: net.extra }
+        }
+    }
+}

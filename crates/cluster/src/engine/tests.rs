@@ -1,0 +1,671 @@
+//! Engine behavior tests, grouped by the module they exercise most.
+
+mod core {
+    use crate::autoscaler::{HpaConfig, VmPoolConfig};
+    use crate::engine::lifecycle::sample_weighted;
+    use crate::engine::{Engine, EngineConfig};
+    use crate::failure::FailureSpec;
+    use crate::resilience::{BreakerConfig, DeadlineConfig, ResilienceConfig, ResilienceStats};
+    use crate::topology::{ApiSpec, CallNode, ServiceSpec, Topology};
+    use crate::types::{ApiId, ServiceId};
+    use crate::workload::OpenLoopWorkload;
+    use simnet::{SimDuration, SimTime};
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+
+    /// One service, one API: pod capacity = 1/cost per pod.
+    fn tiny_topo(replicas: u32, cost_ms: u64) -> (Topology, ApiId, ServiceId) {
+        let mut t = Topology::new("tiny");
+        let s = t.add_service(ServiceSpec::new("s", replicas));
+        let api = t.add_api(ApiSpec::single("api", CallNode::leaf(s, ms(cost_ms))));
+        (t, api, s)
+    }
+
+    fn run(topo: Topology, rate: f64, secs: u64) -> Engine {
+        let apis: Vec<ApiId> = topo.apis().map(|(id, _)| id).collect();
+        let w = OpenLoopWorkload::constant(apis.into_iter().map(|a| (a, rate)).collect());
+        let mut e = Engine::new(
+            topo,
+            EngineConfig {
+                service_jitter: 0.0,
+                ..EngineConfig::default()
+            },
+            Box::new(w),
+        );
+        e.run_until(SimTime::from_secs(secs));
+        e
+    }
+
+    #[test]
+    fn underloaded_service_serves_everything() {
+        // 2 pods × 10ms cost = 200 rps capacity; offer 50 rps.
+        let (topo, api, _) = tiny_topo(2, 10);
+        let e = run(topo, 50.0, 20);
+        let t = e.api_totals(api);
+        assert!(
+            t.offered > 800,
+            "Poisson 50rps × 20s ≈ 1000, got {}",
+            t.offered
+        );
+        assert_eq!(t.good + t.slo_violated + t.failed, t.admitted);
+        assert_eq!(t.failed, 0);
+        assert_eq!(t.slo_violated, 0, "underloaded: everything within SLO");
+        assert_eq!(t.good, t.offered, "no entry limiter installed");
+    }
+
+    #[test]
+    fn overloaded_service_saturates_at_capacity() {
+        // 1 pod × 10ms = 100 rps capacity; offer 300 rps.
+        let (topo, api, s) = tiny_topo(1, 10);
+        let mut e = run(topo, 300.0, 30);
+        let t = e.api_totals(api);
+        // Goodput can't exceed capacity; most excess violates SLO or drops.
+        let good_rate = t.good as f64 / 30.0;
+        assert!(good_rate <= 110.0, "goodput {good_rate} > capacity");
+        assert!(
+            t.slo_violated + t.failed > 0,
+            "overload must violate SLOs or drop"
+        );
+        // Utilization reported as saturated.
+        e.run_until(SimTime::from_secs(31));
+        let obs = e.latest_observation().unwrap();
+        assert!(obs.service(s).utilization > 0.95);
+    }
+
+    #[test]
+    fn entry_rate_limit_caps_admission() {
+        let (topo, api, _) = tiny_topo(1, 10);
+        let apis = vec![(api, 300.0)];
+        let w = OpenLoopWorkload::constant(apis);
+        let mut e = Engine::new(
+            topo,
+            EngineConfig {
+                service_jitter: 0.0,
+                ..EngineConfig::default()
+            },
+            Box::new(w),
+        );
+        e.set_rate_limit(api, 80.0);
+        e.run_until(SimTime::from_secs(30));
+        let t = e.api_totals(api);
+        let admitted_rate = t.admitted as f64 / 30.0;
+        assert!(
+            (70.0..=90.0).contains(&admitted_rate),
+            "admitted {admitted_rate} ≈ 80 rps"
+        );
+        // A few requests may still be in flight at the horizon.
+        assert!(
+            t.admitted - t.good <= 3,
+            "admitted load is within capacity: good={} admitted={}",
+            t.good,
+            t.admitted
+        );
+        assert!(t.rejected_entry > 0);
+    }
+
+    #[test]
+    fn latency_composes_along_call_tree() {
+        // frontend(5ms) → backend(10ms): e2e ≈ 5+10 + 4 hops×0.5ms ≈ 17ms.
+        let mut topo = Topology::new("chain");
+        let f = topo.add_service(ServiceSpec::new("front", 2));
+        let b = topo.add_service(ServiceSpec::new("back", 2));
+        let api = topo.add_api(ApiSpec::single(
+            "get",
+            CallNode::with_children(f, ms(5), vec![CallNode::leaf(b, ms(10))]),
+        ));
+        let e = run(topo, 20.0, 10);
+        let _ = api;
+        let obs = e.latest_observation().unwrap();
+        let p50 = obs.apis[0].p50.unwrap();
+        assert!(
+            (15.0..25.0).contains(&p50.as_millis_f64()),
+            "p50 {p50} should be ≈17ms"
+        );
+    }
+
+    #[test]
+    fn parallel_fanout_latency_is_max_not_sum() {
+        let mut topo = Topology::new("fan");
+        let f = topo.add_service(ServiceSpec::new("front", 4));
+        let a = topo.add_service(ServiceSpec::new("a", 4));
+        let b = topo.add_service(ServiceSpec::new("b", 4));
+        topo.add_api(ApiSpec::single(
+            "get",
+            CallNode::with_children(
+                f,
+                ms(1),
+                vec![CallNode::leaf(a, ms(10)), CallNode::leaf(b, ms(30))],
+            ),
+        ));
+        let e = run(topo, 10.0, 10);
+        let obs = e.latest_observation().unwrap();
+        let p50 = obs.apis[0].p50.unwrap().as_millis_f64();
+        assert!(
+            (30.0..40.0).contains(&p50),
+            "fan-out joins at max(10,30)+overheads, got {p50}ms"
+        );
+    }
+
+    #[test]
+    fn queue_overflow_fails_requests() {
+        let mut topo = Topology::new("q");
+        let s = topo.add_service(ServiceSpec::new("s", 1).queue_capacity(4));
+        topo.add_api(ApiSpec::single("x", CallNode::leaf(s, ms(100))));
+        // Capacity 10 rps; offer 200 rps → queues overflow instantly.
+        let e = run(topo, 200.0, 10);
+        let t = e.api_totals(ApiId(0));
+        assert!(t.failed > 0, "bounded queue must drop");
+    }
+
+    #[test]
+    fn observation_cadence_matches_interval() {
+        let (topo, _, _) = tiny_topo(1, 10);
+        let e = run(topo, 10.0, 5);
+        let obs = e.latest_observation().unwrap();
+        assert_eq!(obs.now, SimTime::from_secs(5));
+        assert!((obs.window.as_secs_f64() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_totals() {
+        let totals = |seed: u64| {
+            let (topo, api, _) = tiny_topo(2, 10);
+            let w = OpenLoopWorkload::constant(vec![(api, 150.0)]);
+            let mut e = Engine::new(
+                topo,
+                EngineConfig {
+                    seed,
+                    ..EngineConfig::default()
+                },
+                Box::new(w),
+            );
+            e.run_until(SimTime::from_secs(10));
+            e.api_totals(api)
+        };
+        assert_eq!(totals(7), totals(7));
+        assert_ne!(totals(7).offered, totals(8).offered);
+    }
+
+    #[test]
+    fn injected_failure_kills_and_recovers_pods() {
+        let (topo, _, s) = tiny_topo(10, 10);
+        let w = OpenLoopWorkload::constant(vec![(ApiId(0), 100.0)]);
+        let mut e = Engine::new(
+            topo,
+            EngineConfig {
+                service_jitter: 0.0,
+                pod_startup: SimDuration::from_secs(5),
+                ..EngineConfig::default()
+            },
+            Box::new(w),
+        );
+        e.inject_failures(vec![FailureSpec {
+            at: SimTime::from_secs(10),
+            service: s,
+            pods: 7,
+        }]);
+        e.run_until(SimTime::from_secs(11));
+        assert_eq!(e.ready_pods(s), 3, "7 of 10 pods killed");
+        e.run_until(SimTime::from_secs(20));
+        assert_eq!(e.ready_pods(s), 10, "replacements ready after startup");
+    }
+
+    #[test]
+    fn crash_loop_fires_under_saturation() {
+        let mut topo = Topology::new("crash");
+        let s = topo.add_service(
+            ServiceSpec::new("frag", 1)
+                .queue_capacity(16)
+                .crash_on_overload(),
+        );
+        topo.add_api(ApiSpec::single("x", CallNode::leaf(s, ms(50))));
+        // Capacity 20 rps; offer 500 → queue pinned at cap → crash.
+        let w = OpenLoopWorkload::constant(vec![(ApiId(0), 500.0)]);
+        let mut e = Engine::new(topo, EngineConfig::default(), Box::new(w));
+        e.run_until(SimTime::from_secs(20));
+        assert!(e.crash_events > 0, "saturated pod should crash-loop");
+    }
+
+    #[test]
+    fn hpa_scales_up_under_load() {
+        let (topo, api, s) = tiny_topo(2, 10);
+        // Capacity 200 rps; offer 500.
+        let w = OpenLoopWorkload::constant(vec![(api, 500.0)]);
+        let mut e = Engine::new(
+            topo,
+            EngineConfig {
+                service_jitter: 0.0,
+                pod_startup: SimDuration::from_secs(5),
+                ..EngineConfig::default()
+            },
+            Box::new(w),
+        );
+        e.enable_hpa(HpaConfig {
+            sync_period: SimDuration::from_secs(15),
+            target_utilization: 0.7,
+            ..HpaConfig::default()
+        });
+        e.run_until(SimTime::from_secs(120));
+        assert!(
+            e.ready_pods(s) >= 4,
+            "HPA should have scaled up, pods={}",
+            e.ready_pods(s)
+        );
+        // With enough pods, goodput recovers near offered rate.
+        let obs = e.latest_observation().unwrap();
+        assert!(
+            obs.apis[0].goodput > 350.0,
+            "goodput {} should approach 500 rps after scaling",
+            obs.apis[0].goodput
+        );
+    }
+
+    #[test]
+    fn vm_pool_delays_scale_up() {
+        let (topo, api, s) = tiny_topo(2, 10);
+        let w = OpenLoopWorkload::constant(vec![(api, 800.0)]);
+        let mut e = Engine::new(
+            topo,
+            EngineConfig {
+                service_jitter: 0.0,
+                pod_startup: SimDuration::from_secs(2),
+                ..EngineConfig::default()
+            },
+            Box::new(w),
+        );
+        e.set_vm_pool(VmPoolConfig {
+            vcpus_per_vm: 4,
+            initial_vms: 1,
+            max_vms: 3,
+            vm_startup: SimDuration::from_secs(30),
+            vcpus_per_pod: 1.0,
+        });
+        e.enable_hpa(HpaConfig::default());
+        e.run_until(SimTime::from_secs(25));
+        // Only 4 vCPUs → at most 4 pods before the new VM lands.
+        assert!(e.ready_pods(s) <= 4);
+        e.run_until(SimTime::from_secs(120));
+        assert!(e.vms() > 1, "VM autoscaler should have provisioned");
+        assert!(e.ready_pods(s) > 4, "pods land after VM startup");
+    }
+
+    #[test]
+    fn weighted_sampling_prefers_heavy_branch() {
+        let items = vec![(0.9, "a"), (0.1, "b")];
+        let mut rng = simnet::rng::fork(3, "t");
+        let heavy = (0..1000)
+            .filter(|_| sample_weighted(&items, &mut rng) == 0)
+            .count();
+        assert!((850..=950).contains(&heavy), "got {heavy}");
+    }
+
+    /// 4 users with a 1 s timeout against a 3 s single-pod service:
+    /// every request is doomed, queued calls pile up behind the pod.
+    fn doomed_engine(cancel: bool) -> Engine {
+        let (topo, api, _) = tiny_topo(1, 3000);
+        let w = crate::workload::ClosedLoopWorkload::fixed(vec![(api, 1.0)], 4, ms(100))
+            .timeout(Some(SimDuration::from_secs(1)));
+        let mut e = Engine::new(
+            topo,
+            EngineConfig {
+                service_jitter: 0.0,
+                ..EngineConfig::default()
+            },
+            Box::new(w),
+        );
+        if cancel {
+            e.set_resilience(ResilienceConfig {
+                deadlines: Some(DeadlineConfig::default()),
+                breakers: None,
+            });
+        }
+        e.run_until(SimTime::from_secs(30));
+        e
+    }
+
+    #[test]
+    fn client_timeout_tears_down_doomed_work() {
+        let e = doomed_engine(true);
+        let t = e.api_totals(ApiId(0));
+        assert_eq!(t.good, 0, "nothing completes within a 1 s timeout");
+        // ≤: the 4 users' final requests may still be in flight.
+        assert!(t.good + t.slo_violated + t.failed <= t.admitted);
+        assert!(t.admitted - (t.good + t.slo_violated + t.failed) <= 4);
+        let r = e.resilience_totals();
+        assert!(r.client_cancelled > 0, "timeouts tear requests down: {r:?}");
+        assert!(
+            r.doomed_cancelled > 0,
+            "queued calls behind the pod are skipped, not executed: {r:?}"
+        );
+    }
+
+    #[test]
+    fn late_response_after_timeout_neither_counts_goodput_nor_resurrects_user() {
+        // The seed's wasted-work default: the pod finishes the 3 s call
+        // after the 1 s client timeout already gave up. The late
+        // completion must not count as goodput, and the stale
+        // notification must not re-activate the user (which would
+        // inflate the offered rate).
+        let e = doomed_engine(false);
+        let t = e.api_totals(ApiId(0));
+        assert_eq!(t.good, 0, "late completions are not goodput");
+        // Without cancellation, abandoned requests linger in the queue
+        // and drain at 1 per 3 s — most are unfinished at the horizon.
+        assert!(t.good + t.slo_violated + t.failed <= t.admitted);
+        // 4 users cycling timeout (1 s) + think (0.1 s) ≈ 27 requests
+        // each over 30 s. Resurrected users would roughly double this.
+        assert!(
+            (80..=130).contains(&t.offered),
+            "one request per user per cycle, got {}",
+            t.offered
+        );
+        // Resilience disabled: no counters move.
+        assert_eq!(e.resilience_totals(), ResilienceStats::default());
+    }
+
+    #[test]
+    fn breaker_opens_on_failing_edge_and_sheds_dispatch() {
+        // front (fast, wide) → back (1 pod, 100 ms, queue of 2): the
+        // downstream edge fails almost every call, so its breaker opens
+        // and dispatches are declined at the caller.
+        let mut topo = Topology::new("brk");
+        let f = topo.add_service(ServiceSpec::new("front", 4));
+        let b = topo.add_service(ServiceSpec::new("back", 1).queue_capacity(2));
+        let api = topo.add_api(ApiSpec::single(
+            "x",
+            CallNode::with_children(f, ms(1), vec![CallNode::leaf(b, ms(100))]),
+        ));
+        let w = OpenLoopWorkload::constant(vec![(api, 300.0)]);
+        let mut e = Engine::new(
+            topo,
+            EngineConfig {
+                service_jitter: 0.0,
+                ..EngineConfig::default()
+            },
+            Box::new(w),
+        );
+        e.set_resilience(ResilienceConfig {
+            deadlines: None,
+            breakers: Some(BreakerConfig::default()),
+        });
+        e.run_until(SimTime::from_secs(20));
+        let r = e.resilience_totals();
+        assert!(
+            r.breaker_rejected > 0,
+            "open breaker rejects dispatch: {r:?}"
+        );
+        assert!(r.breaker_transitions > 0, "breaker changed state: {r:?}");
+        let t = e.api_totals(api);
+        assert_eq!(t.good + t.slo_violated + t.failed, t.admitted);
+        // The healthy entry edge (gateway → front) stays closed.
+        assert_eq!(
+            e.breakers().unwrap().state(None, f),
+            crate::resilience::BreakerState::Closed
+        );
+    }
+
+    #[test]
+    fn resilience_determinism_same_seed_same_counters() {
+        let run = |seed: u64| {
+            let (topo, api, _) = tiny_topo(1, 20);
+            let w =
+                crate::workload::RetryStormWorkload::new(vec![(api, 1.0)], 120, ms(100), 5, ms(10))
+                    .with_retry_budget(crate::resilience::RetryBudgetConfig::default());
+            let mut e = Engine::new(
+                topo,
+                EngineConfig {
+                    seed,
+                    ..EngineConfig::default()
+                },
+                Box::new(w),
+            );
+            e.set_resilience(ResilienceConfig {
+                deadlines: Some(DeadlineConfig::default()),
+                breakers: Some(BreakerConfig::default()),
+            });
+            e.run_until(SimTime::from_secs(20));
+            (e.api_totals(api), e.resilience_totals())
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11).0.offered, run(12).0.offered);
+    }
+
+    #[test]
+    fn deadline_expiry_rejects_queued_work_without_cancellation() {
+        // Deadlines on but doomed-work cancellation off: queued calls
+        // whose deadline passed are rejected when the pod reaches them
+        // (DeadlineExpired), not silently executed.
+        let (topo, api, _) = tiny_topo(1, 500);
+        let w = OpenLoopWorkload::constant(vec![(api, 50.0)]);
+        let mut e = Engine::new(
+            topo,
+            EngineConfig {
+                service_jitter: 0.0,
+                ..EngineConfig::default()
+            },
+            Box::new(w),
+        );
+        e.set_resilience(ResilienceConfig {
+            deadlines: Some(DeadlineConfig {
+                budget: Some(SimDuration::from_secs(1)),
+                cancel_doomed: false,
+            }),
+            breakers: None,
+        });
+        e.run_until(SimTime::from_secs(20));
+        let r = e.resilience_totals();
+        assert!(r.deadline_rejected > 0, "expired deadlines reject: {r:?}");
+        assert_eq!(r.doomed_cancelled, 0, "cancellation was off");
+        let t = e.api_totals(api);
+        assert!(t.good + t.slo_violated + t.failed <= t.admitted);
+    }
+}
+
+mod tracing_tests {
+    use crate::engine::{Engine, EngineConfig};
+    use crate::topology::{ApiSpec, CallNode, ServiceSpec, Topology};
+    use crate::types::{ApiId, ServiceId};
+    use crate::workload::OpenLoopWorkload;
+    use simnet::{SimDuration, SimTime};
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+
+    /// A branching API: branch A → {front, a}, branch B → {front, b}.
+    fn branching_topo() -> (Topology, ApiId, ServiceId, ServiceId) {
+        let mut t = Topology::new("traced");
+        let front = t.add_service(ServiceSpec::new("front", 4));
+        let a = t.add_service(ServiceSpec::new("a", 2));
+        let b = t.add_service(ServiceSpec::new("b", 2));
+        let api = t.add_api(ApiSpec::branching(
+            "br",
+            vec![
+                (
+                    0.9,
+                    CallNode::with_children(front, ms(1), vec![CallNode::leaf(a, ms(2))]),
+                ),
+                (
+                    0.1,
+                    CallNode::with_children(front, ms(1), vec![CallNode::leaf(b, ms(2))]),
+                ),
+            ],
+        ));
+        (t, api, a, b)
+    }
+
+    #[test]
+    fn learned_paths_converge_to_exercised_branches() {
+        let (topo, api, a, b) = branching_topo();
+        let w = OpenLoopWorkload::constant(vec![(api, 200.0)]);
+        let mut e = Engine::new(
+            topo,
+            EngineConfig {
+                learn_paths: true,
+                ..EngineConfig::default()
+            },
+            Box::new(w),
+        );
+        e.run_until(SimTime::from_secs(10));
+        let obs = e.latest_observation().expect("ran").clone();
+        let path = &obs.api_paths[api.idx()];
+        // With 2000 requests at 90/10 branching, both branches have been
+        // exercised, so the learned path covers everything.
+        assert!(path.contains(&a), "hot branch learned: {path:?}");
+        assert!(path.contains(&b), "cold branch learned: {path:?}");
+        assert!(e.trace_collector().expect("enabled").spans_recorded() > 1000);
+    }
+
+    #[test]
+    fn learned_paths_start_empty_and_grow() {
+        let (topo, api, _, _) = branching_topo();
+        let w = OpenLoopWorkload::constant(vec![(api, 50.0)]);
+        let mut e = Engine::new(
+            topo,
+            EngineConfig {
+                learn_paths: true,
+                ..EngineConfig::default()
+            },
+            Box::new(w),
+        );
+        e.run_until(SimTime::from_secs(1));
+        let early = e.latest_observation().expect("tick").api_paths[api.idx()].len();
+        e.run_until(SimTime::from_secs(20));
+        let late = e.latest_observation().expect("tick").api_paths[api.idx()].len();
+        assert!(late >= early, "paths only grow under steady traffic");
+        assert!(late >= 2, "at least front + one branch learned");
+    }
+
+    #[test]
+    fn static_paths_remain_default() {
+        let (topo, api, a, b) = branching_topo();
+        let w = OpenLoopWorkload::constant(vec![(api, 10.0)]);
+        let mut e = Engine::new(topo, EngineConfig::default(), Box::new(w));
+        assert!(e.trace_collector().is_none());
+        e.run_until(SimTime::from_secs(2));
+        let obs = e.latest_observation().expect("tick").clone();
+        // Static union: every possible branch present from the start.
+        let path = &obs.api_paths[api.idx()];
+        assert!(path.contains(&a) && path.contains(&b));
+    }
+}
+
+mod lifecycle_tests {
+    use crate::autoscaler::HpaConfig;
+    use crate::engine::{Engine, EngineConfig};
+    use crate::topology::{ApiSpec, CallNode, ServiceSpec, Topology};
+    use crate::types::ApiId;
+    use crate::workload::{ClosedLoopWorkload, OpenLoopWorkload, RateSchedule};
+    use simnet::{SimDuration, SimTime};
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+
+    #[test]
+    fn hpa_scales_down_after_load_drops() {
+        let mut topo = Topology::new("downscale");
+        let s = topo.add_service(ServiceSpec::new("s", 2));
+        let api = topo.add_api(ApiSpec::single("a", CallNode::leaf(s, ms(10))));
+        // Load for 60 s, then quiet for the rest.
+        let w = OpenLoopWorkload::new(vec![(
+            api,
+            RateSchedule::steps(vec![(SimTime::ZERO, 600.0), (SimTime::from_secs(60), 10.0)]),
+        )]);
+        let mut e = Engine::new(
+            topo,
+            EngineConfig {
+                service_jitter: 0.0,
+                pod_startup: SimDuration::from_secs(2),
+                ..EngineConfig::default()
+            },
+            Box::new(w),
+        );
+        e.enable_hpa(HpaConfig {
+            stabilization: SimDuration::from_secs(30),
+            ..HpaConfig::default()
+        });
+        e.run_until(SimTime::from_secs(55));
+        let peak = e.ready_pods(s);
+        assert!(peak >= 4, "scaled up under load, pods={peak}");
+        e.run_until(SimTime::from_secs(200));
+        let settled = e.ready_pods(s);
+        assert!(
+            settled < peak,
+            "scaled down after the load dropped: {peak} → {settled}"
+        );
+        assert!(settled >= 2, "never below the min replicas");
+    }
+
+    #[test]
+    fn grow_service_adds_ready_pods_immediately() {
+        let mut topo = Topology::new("grow");
+        let s = topo.add_service(ServiceSpec::new("s", 1));
+        topo.add_api(ApiSpec::single("a", CallNode::leaf(s, ms(10))));
+        let w = OpenLoopWorkload::constant(vec![(ApiId(0), 50.0)]);
+        let mut e = Engine::new(topo, EngineConfig::default(), Box::new(w));
+        e.run_until(SimTime::from_secs(2));
+        assert_eq!(e.ready_pods(s), 1);
+        e.grow_service(s, 5);
+        assert_eq!(e.ready_pods(s), 5, "growth is immediate (no startup)");
+        let used = e.vcpus_used();
+        assert!((used - 5.0).abs() < 1e-9, "vCPU accounting follows: {used}");
+    }
+
+    #[test]
+    fn closed_loop_client_timeout_keeps_users_alive() {
+        // One pod at 10 ms with a huge queue: responses take far longer
+        // than the 10 s client timeout under heavy overload, yet users
+        // keep issuing (via the timeout path), so offered load persists.
+        let mut topo = Topology::new("timeout");
+        let s = topo.add_service(ServiceSpec::new("s", 1).queue_capacity(100_000));
+        let api = topo.add_api(ApiSpec::single("a", CallNode::leaf(s, ms(10))));
+        let w = ClosedLoopWorkload::fixed(vec![(api, 1.0)], 500, SimDuration::from_secs(1));
+        let mut e = Engine::new(
+            topo,
+            EngineConfig {
+                service_jitter: 0.0,
+                ..EngineConfig::default()
+            },
+            Box::new(w),
+        );
+        e.run_until(SimTime::from_secs(60));
+        let t = e.api_totals(api);
+        // 500 users, ~100 rps capacity → backlog far beyond the timeout.
+        // Users must still have issued many generations of requests.
+        assert!(
+            t.offered > 1500,
+            "timed-out users keep issuing, offered={}",
+            t.offered
+        );
+    }
+
+    #[test]
+    fn learned_and_static_paths_agree_for_non_branching_apis() {
+        let mut topo = Topology::new("agree");
+        let f = topo.add_service(ServiceSpec::new("f", 2));
+        let b = topo.add_service(ServiceSpec::new("b", 2));
+        let api = topo.add_api(ApiSpec::single(
+            "a",
+            CallNode::with_children(f, ms(1), vec![CallNode::leaf(b, ms(2))]),
+        ));
+        let static_paths = topo.api_service_map();
+        let w = OpenLoopWorkload::constant(vec![(api, 100.0)]);
+        let mut e = Engine::new(
+            topo,
+            EngineConfig {
+                learn_paths: true,
+                ..EngineConfig::default()
+            },
+            Box::new(w),
+        );
+        e.run_until(SimTime::from_secs(5));
+        let mut learned = e.latest_observation().expect("tick").api_paths[api.idx()].clone();
+        learned.sort();
+        let mut want = static_paths[api.idx()].clone();
+        want.sort();
+        assert_eq!(learned, want);
+    }
+}

@@ -44,6 +44,7 @@ pub struct RunResult {
 
 impl RunResult {
     /// Mean goodput of one API over an inclusive time range (seconds).
+    /// An `ApiId` outside this run's topology reads as 0 rps.
     pub fn mean_goodput_api(&self, api: ApiId, from_s: f64, to_s: f64) -> f64 {
         let xs: Vec<f64> = self
             .samples
@@ -52,7 +53,7 @@ impl RunResult {
                 let t = s.at.as_secs_f64();
                 t >= from_s && t <= to_s
             })
-            .map(|s| s.goodput[api.idx()])
+            .map(|s| s.goodput.get(api.idx()).copied().unwrap_or(0.0))
             .collect();
         stats::mean(&xs)
     }
@@ -71,11 +72,17 @@ impl RunResult {
         stats::mean(&xs)
     }
 
-    /// Per-API goodput timeline as `(seconds, rps)` pairs.
+    /// Per-API goodput timeline as `(seconds, rps)` pairs. An `ApiId`
+    /// outside this run's topology reads as 0 rps.
     pub fn goodput_series(&self, api: ApiId) -> Vec<(f64, f64)> {
         self.samples
             .iter()
-            .map(|s| (s.at.as_secs_f64(), s.goodput[api.idx()]))
+            .map(|s| {
+                (
+                    s.at.as_secs_f64(),
+                    s.goodput.get(api.idx()).copied().unwrap_or(0.0),
+                )
+            })
             .collect()
     }
 
@@ -407,6 +414,18 @@ mod tests {
         );
         // And the recorded rate limit reflects it.
         assert_eq!(r.samples.last().unwrap().rate_limit[0], 30.0);
+    }
+
+    #[test]
+    fn out_of_range_api_reads_as_zero() {
+        let mut h = Harness::new(engine(50.0), Box::new(NoControl));
+        h.run_for_secs(5);
+        let r = h.result();
+        // The topology has one API; ApiId(7) must not panic.
+        assert_eq!(r.mean_goodput_api(ApiId(7), 0.0, 5.0), 0.0);
+        let series = r.goodput_series(ApiId(7));
+        assert_eq!(series.len(), 5);
+        assert!(series.iter().all(|(_, v)| *v == 0.0));
     }
 
     #[test]

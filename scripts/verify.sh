@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate — the exact commands CI and the roadmap
+# require to pass on every PR (see ROADMAP.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings
+cargo fmt --check
+
+echo "tier-1 verify: OK"

@@ -1,0 +1,110 @@
+//! Golden determinism fingerprint for the decomposed engine and the
+//! parallel run executor.
+//!
+//! The simulation is specified to be a pure function of `(topology,
+//! config, workload, seed)`: same inputs, same event sequence, same
+//! artifacts — on any machine, at any worker count. This test pins that
+//! contract to a recorded constant: an FNV-1a hash over each run's
+//! processed-event count, its per-API goodput series, and its resilience
+//! totals. If the engine refactor (or any future change) perturbs even
+//! one event, the fingerprint moves and the constant must be
+//! re-recorded **deliberately**, with the behavioral change explained in
+//! the commit.
+//!
+//! The parallel test runs the identical plan on four workers and must
+//! reproduce the serial fingerprint bit-for-bit — the run executor is
+//! not allowed to reorder, drop, or perturb anything.
+
+use topfull_bench::exec::{self, ArmOutcome};
+use topfull_bench::runner::RunPlan;
+use topfull_bench::scenarios::{boutique_closed_loop, Roster};
+
+/// Recorded fingerprint of [`plan_arms`] under [`fingerprint`]. Update
+/// only for an intentional behavioral change.
+const GOLDEN: u64 = 0xef5a_adab_332d_da25;
+
+const RUN_SECS: u64 = 30;
+
+fn mk_engine() -> cluster::Engine {
+    // An overloaded boutique with deadlines enabled, so the fingerprint
+    // covers admission, SLO accounting, and the resilience plane.
+    let (_, mut e) = boutique_closed_loop(1200, 42);
+    e.set_resilience(cluster::ResilienceConfig {
+        deadlines: Some(cluster::DeadlineConfig::default()),
+        breakers: None,
+    });
+    e
+}
+
+fn plan_arms(workers: usize) -> Vec<ArmOutcome> {
+    let arms = vec![
+        ("no-control", Roster::None),
+        ("dagor", Roster::Dagor { alpha: 0.05 }),
+        ("topfull-mimd", Roster::TopFullMimd),
+        ("breakwater", Roster::Breakwater),
+    ];
+    let mut plan = RunPlan::new().with_workers(workers);
+    for (label, roster) in arms {
+        plan.submit(move || exec::run_arm(label, roster, mk_engine(), RUN_SECS));
+    }
+    plan.run()
+}
+
+/// FNV-1a (64-bit). Deliberately not `DefaultHasher`, whose output may
+/// change between Rust releases.
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+fn fingerprint(outcomes: &[ArmOutcome]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for o in outcomes {
+        fnv1a(&mut h, o.label.as_bytes());
+        fnv1a(&mut h, &o.events_processed.to_le_bytes());
+        fnv1a(&mut h, &o.crash_events.to_le_bytes());
+        for s in &o.result.samples {
+            for g in &s.goodput {
+                // Exact bits: determinism means identical floats, not
+                // approximately-equal floats.
+                fnv1a(&mut h, &g.to_bits().to_le_bytes());
+            }
+        }
+        let r = &o.resilience;
+        for c in [
+            r.doomed_cancelled,
+            r.deadline_rejected,
+            r.client_cancelled,
+            r.retries_issued,
+            r.retries_suppressed,
+            r.breaker_rejected,
+            r.breaker_transitions,
+        ] {
+            fnv1a(&mut h, &c.to_le_bytes());
+        }
+    }
+    h
+}
+
+#[test]
+fn serial_run_matches_golden_fingerprint() {
+    let got = fingerprint(&plan_arms(1));
+    assert_eq!(
+        got, GOLDEN,
+        "serial fingerprint drifted: got {got:#018x}, recorded {GOLDEN:#018x} — \
+         the engine's behavior changed; re-record only if intentional"
+    );
+}
+
+#[test]
+fn parallel_run_matches_golden_fingerprint() {
+    let got = fingerprint(&plan_arms(4));
+    assert_eq!(
+        got, GOLDEN,
+        "parallel fingerprint diverged from the recorded serial one: \
+         got {got:#018x}, recorded {GOLDEN:#018x} — the run executor \
+         perturbed a run"
+    );
+}
