@@ -1,0 +1,88 @@
+//! Live serving plane hot paths.
+//!
+//! `admission/…` and `parse/…` measure the two operations the gateway
+//! performs per request line before work is enqueued; their sum bounds
+//! per-request gateway overhead. `gateway/…` measures the full loopback
+//! round trip — TCP read, parse, token bucket, worker burn, TCP write —
+//! by pipelining a batch of requests over one connection against a
+//! near-zero-cost topology. Results are recorded in `BENCH_live.json`
+//! at the repo root with the single-vCPU caveat.
+
+use cluster::{ApiId, CallNode, EntryAdmission, Topology};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use liveserve::{gateway, LiveConfig, LiveServer};
+use simnet::{SimDuration, SimTime};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Token-bucket admission with a finite limit — the gateway's per-line
+/// admission decision, shared verbatim with the simulator.
+fn bench_admission(c: &mut Criterion) {
+    let mut adm = EntryAdmission::new(4, 0.05);
+    adm.set_rate_limit(ApiId(0), 1e9, SimTime::ZERO);
+    let mut now = SimTime::ZERO;
+    c.bench_function("admission/try_admit-finite-limit", |b| {
+        b.iter(|| {
+            now = now + SimDuration::from_nanos(100);
+            black_box(adm.try_admit(ApiId(0), now))
+        })
+    });
+}
+
+/// Wire-protocol parse of one request line.
+fn bench_parse(c: &mut Criterion) {
+    c.bench_function("parse/request-line", |b| {
+        b.iter(|| black_box(gateway::parse_request(black_box("REQ 123456789 3"))))
+    });
+}
+
+fn tiny_topology() -> Topology {
+    let mut t = Topology::new("live-bench");
+    let svc = t.add_service(cluster::ServiceSpec::new("echo", 1).queue_capacity(1024));
+    t.add_api(cluster::ApiSpec::single(
+        "ping",
+        CallNode::leaf(svc, SimDuration::from_micros(5)),
+    ));
+    t
+}
+
+/// Full loopback round trip, 1000 pipelined requests per iteration.
+fn bench_gateway_roundtrip(c: &mut Criterion) {
+    let cfg = LiveConfig {
+        slo: Duration::from_millis(100),
+        ..LiveConfig::default()
+    };
+    let server = LiveServer::start(&tiny_topology(), cfg).expect("bind loopback");
+    let stream = TcpStream::connect(server.addr()).expect("connect");
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut id: u64 = 0;
+    c.bench_function("gateway/roundtrip-1000-pipelined", |b| {
+        b.iter(|| {
+            let mut batch = String::with_capacity(1000 * 16);
+            for _ in 0..1000 {
+                id += 1;
+                batch.push_str(&format!("REQ {id} 0\n"));
+            }
+            writer.write_all(batch.as_bytes()).expect("write");
+            writer.flush().expect("flush");
+            let mut line = String::new();
+            for _ in 0..1000 {
+                line.clear();
+                reader.read_line(&mut line).expect("reply");
+            }
+            black_box(id)
+        })
+    });
+    server.shutdown();
+}
+
+criterion_group!(
+    benches,
+    bench_admission,
+    bench_parse,
+    bench_gateway_roundtrip
+);
+criterion_main!(benches);

@@ -30,6 +30,7 @@ const EXPERIMENTS: &[(&str, fn())] = &[
     ("trace-analysis", ex::trace_analysis::run),
     ("training-cost", ex::training_cost::run),
     ("chaos", ex::chaos::run),
+    ("sim2real", ex::sim2real::run),
 ];
 
 fn usage() -> ! {

@@ -18,6 +18,7 @@ pub mod fig19;
 pub mod metastable;
 pub mod refinements;
 pub mod retry_storm;
+pub mod sim2real;
 pub mod table1;
 pub mod trace_analysis;
 pub mod training_cost;

@@ -1,0 +1,65 @@
+//! `topfull` — run scenarios against the live serving plane (Sim2Real).
+//!
+//! ```text
+//! topfull live <scenario.json> --duration <secs> [--json]
+//! ```
+//!
+//! Serves the scenario's topology as a real multi-threaded TCP gateway
+//! plus CPU-burning worker pool on 127.0.0.1, replays its workload as
+//! socket clients (step schedules compressed to the requested wall-clock
+//! duration), and drives the same TopFull controller the simulator uses
+//! on a real timer tick. Output is the simulator's report schema, so
+//! live and simulated runs diff directly.
+
+use topfull_cli::{parse_scenario, render_report, run_live, Scenario};
+
+fn usage() -> ! {
+    eprintln!("usage:");
+    eprintln!("  topfull live <scenario.json> --duration <secs> [--json]");
+    std::process::exit(2)
+}
+
+fn load(path: &str) -> Scenario {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    parse_scenario(&text).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("live") => {
+            let path = args.get(1).unwrap_or_else(|| usage());
+            let duration = args
+                .iter()
+                .position(|a| a == "--duration")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or_else(|| usage());
+            let as_json = args.iter().any(|a| a == "--json");
+            let sc = load(path);
+            match run_live(&sc, duration) {
+                Ok(out) => {
+                    if as_json {
+                        println!(
+                            "{}",
+                            serde_json::to_string_pretty(&out).expect("serializable outcome")
+                        );
+                    } else {
+                        print!("{}", render_report(&sc, &out));
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -52,7 +52,10 @@ fn build_call(topo: &Topology, spec: &CallSpec) -> Result<CallNode, String> {
     ))
 }
 
-fn build_topology(app: &AppSpec) -> Result<Topology, String> {
+/// Build the topology for an app spec. Shared by the simulator path and
+/// the live plane (`crate::live`), which serves the identical topology
+/// over TCP.
+pub fn build_topology(app: &AppSpec) -> Result<Topology, String> {
     match app {
         AppSpec::Builtin {
             name,
@@ -219,32 +222,44 @@ fn build_controller(
             rate_controller,
             clustering,
             hardened,
-        } => {
-            let mut cfg = TopFullConfig::default();
-            if !clustering {
-                cfg = cfg.without_clustering();
-            }
-            cfg = match rate_controller.as_str() {
-                "mimd" => cfg.with_mimd(),
-                "bw" => cfg.with_bw(),
-                rl if rl.starts_with("rl:") => {
-                    let path = &rl[3..];
-                    let policy = PolicyValue::load(std::path::Path::new(path))
-                        .map_err(|e| format!("cannot load RL policy '{path}': {e}"))?;
-                    cfg.with_rl(policy)
-                }
-                other => {
-                    return Err(format!(
-                        "unknown rate_controller '{other}' (mimd | bw | rl:<path>)"
-                    ))
-                }
-            };
-            if *hardened {
-                cfg = cfg.hardened();
-            }
-            Box::new(TopFull::new(cfg))
-        }
+        } => Box::new(TopFull::new(topfull_config(
+            rate_controller,
+            *clustering,
+            *hardened,
+        )?)),
     })
+}
+
+/// TopFull configuration from scenario knobs. Shared by the simulator
+/// path and the live plane — identical config, virtual or wall clock.
+pub fn topfull_config(
+    rate_controller: &str,
+    clustering: bool,
+    hardened: bool,
+) -> Result<TopFullConfig, String> {
+    let mut cfg = TopFullConfig::default();
+    if !clustering {
+        cfg = cfg.without_clustering();
+    }
+    cfg = match rate_controller {
+        "mimd" => cfg.with_mimd(),
+        "bw" => cfg.with_bw(),
+        rl if rl.starts_with("rl:") => {
+            let path = &rl[3..];
+            let policy = PolicyValue::load(std::path::Path::new(path))
+                .map_err(|e| format!("cannot load RL policy '{path}': {e}"))?;
+            cfg.with_rl(policy)
+        }
+        other => {
+            return Err(format!(
+                "unknown rate_controller '{other}' (mimd | bw | rl:<path>)"
+            ))
+        }
+    };
+    if hardened {
+        cfg = cfg.hardened();
+    }
+    Ok(cfg)
 }
 
 /// Compile a scenario into an engine + controller ready to run.

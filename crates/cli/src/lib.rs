@@ -10,10 +10,12 @@
 //! scenario → engine translation, and [`report`] for the output.
 
 pub mod build;
+pub mod live;
 pub mod report;
 pub mod schema;
 
 pub use build::build_scenario;
+pub use live::run_live;
 pub use report::{render_report, ScenarioOutcome};
 pub use schema::Scenario;
 

@@ -1,0 +1,254 @@
+//! Scenario → live plane translation (`topfull live`).
+//!
+//! Takes the *same* scenario file the simulator runs and serves it for
+//! real: the topology becomes a CPU-burning worker pool behind a
+//! loopback TCP gateway ([`liveserve`]), the workload becomes socket
+//! clients, and the controller — built by the exact code path the
+//! simulator uses ([`crate::build::topfull_config`]) — runs on a
+//! wall-clock tick. Workload step times are compressed by
+//! `live_duration / scenario.duration_secs`, so a 120-second simulated
+//! scenario replays its shape in, say, a 24-second live run.
+//!
+//! Live mode controls **entry admission only**; per-service admission
+//! baselines (DAGOR, Breakwater, WISP) and the retry-storm workload have
+//! no live equivalent and are rejected loudly.
+
+use crate::build::{build_topology, topfull_config};
+use crate::report::ScenarioOutcome;
+use crate::schema::{ControllerSpec, LiveSpec, Scenario, WorkloadSpec};
+use cluster::{Controller, NoControl, ResilienceStats, Topology};
+use liveserve::{ClosedLoopSpec, LiveConfig, LiveServer, LoadGen, OpenLoopArm};
+use std::time::Duration;
+use topfull::TopFull;
+
+/// Build the live controller for a scenario. Only entry-level
+/// controllers can drive the live gateway.
+fn build_live_controller(sc: &Scenario) -> Result<Box<dyn Controller>, String> {
+    match &sc.controller {
+        ControllerSpec::None => Ok(Box::new(NoControl)),
+        ControllerSpec::Topfull {
+            rate_controller,
+            clustering,
+            hardened,
+        } => Ok(Box::new(TopFull::new(topfull_config(
+            rate_controller,
+            *clustering,
+            *hardened,
+        )?))),
+        other => Err(format!(
+            "live mode drives entry admission only; per-service admission \
+             controller {other:?} has no live equivalent (use topfull or none)"
+        )),
+    }
+}
+
+/// Compress a `(from_secs, value)` schedule by `scale`.
+fn scale_steps(steps: &[(u64, f64)], scale: f64) -> Vec<(f64, f64)> {
+    steps.iter().map(|&(t, v)| (t as f64 * scale, v)).collect()
+}
+
+fn api_index(topo: &Topology, name: &str) -> Result<usize, String> {
+    topo.api_by_name(name)
+        .map(|id| id.idx())
+        .ok_or_else(|| format!("unknown API '{name}'"))
+}
+
+/// Translate the scenario workload into live clients.
+fn build_load(
+    topo: &Topology,
+    spec: &WorkloadSpec,
+    scale: f64,
+) -> Result<(Option<ClosedLoopSpec>, Vec<OpenLoopArm>), String> {
+    match spec {
+        WorkloadSpec::OpenLoop { rates } => {
+            let mut arms = Vec::with_capacity(rates.len());
+            for r in rates {
+                arms.push(OpenLoopArm {
+                    api: api_index(topo, &r.api)?,
+                    rate_steps: scale_steps(&r.steps, scale),
+                });
+            }
+            Ok((None, arms))
+        }
+        WorkloadSpec::ClosedLoop {
+            users_steps,
+            think_ms,
+            api_weights,
+        } => {
+            let mut weights = Vec::with_capacity(api_weights.len());
+            for (name, w) in api_weights {
+                weights.push((api_index(topo, name)?, *w));
+            }
+            if weights.is_empty() {
+                return Err("api_weights must not be empty".into());
+            }
+            Ok((
+                Some(ClosedLoopSpec {
+                    users_steps: scale_steps(users_steps, scale),
+                    think: Duration::from_millis(*think_ms),
+                    api_weights: weights,
+                }),
+                Vec::new(),
+            ))
+        }
+        WorkloadSpec::RetryStorm { .. } => Err(
+            "the retry_storm workload has no live equivalent (its retrying \
+             clients live inside the simulator); use open_loop or closed_loop"
+                .into(),
+        ),
+    }
+}
+
+/// Run a scenario against the live plane for `duration_secs` of wall
+/// clock, returning the same outcome shape as the simulator.
+pub fn run_live(sc: &Scenario, duration_secs: u64) -> Result<ScenarioOutcome, String> {
+    if duration_secs == 0 {
+        return Err("live duration must be at least 1 second".into());
+    }
+    if sc.duration_secs == 0 {
+        return Err("scenario duration_secs must be positive".into());
+    }
+    let topo = build_topology(&sc.app)?;
+    let mut controller = build_live_controller(sc)?;
+    let scale = duration_secs as f64 / sc.duration_secs as f64;
+    let (closed, arms) = build_load(&topo, &sc.workload, scale)?;
+    let live = sc.live.clone().unwrap_or_default();
+    let cfg = live_config(&live, sc.slo_ms);
+    let mut server =
+        LiveServer::start(&topo, cfg).map_err(|e| format!("cannot start live server: {e}"))?;
+    let gen = LoadGen::start(server.addr(), closed, arms)
+        .map_err(|e| format!("cannot start load generator: {e}"))?;
+    let result = server.run(controller.as_mut(), Duration::from_secs(duration_secs));
+    gen.stop();
+    server.shutdown();
+
+    // Steady state starts where the simulator's would, compressed by the
+    // same factor as the workload schedule.
+    let from = sc.report.measure_from_secs as f64 * scale;
+    let mean_from =
+        |f: &dyn Fn(&cluster::ClusterObservation) -> f64| result.mean_over(from, f64::INFINITY, f);
+    let goodput_per_api = result
+        .api_names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.clone(), mean_from(&|o| o.apis[i].goodput)))
+        .collect();
+    let offered_per_api = result
+        .api_names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.clone(), mean_from(&|o| o.apis[i].offered)))
+        .collect();
+    Ok(ScenarioOutcome {
+        name: sc.name.clone(),
+        duration_secs,
+        total_goodput: mean_from(&|o| o.apis.iter().map(|a| a.goodput).sum()),
+        goodput_per_api,
+        offered_per_api,
+        crash_events: 0,
+        resilience: ResilienceStats::default(),
+        timeline: result.total_goodput_series(),
+    })
+}
+
+fn live_config(live: &LiveSpec, slo_ms: u64) -> LiveConfig {
+    LiveConfig {
+        slo: Duration::from_millis(slo_ms),
+        control_interval: Duration::from_millis(live.control_interval_ms.max(10)),
+        cpu_scale: live.cpu_scale,
+        gateway_burst_secs: live.gateway_burst_secs,
+        port: live.port,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_scenario;
+
+    fn tiny_live_scenario(workload: &str, controller: &str) -> Scenario {
+        let json = format!(
+            r#"{{
+                "name": "live-test",
+                "duration_secs": 2,
+                "slo_ms": 100,
+                "app": {{"type": "inline",
+                    "services": [{{"name": "svc", "replicas": 1, "queue_capacity": 64}}],
+                    "apis": [{{"name": "ping", "paths": [
+                        {{"root": {{"service": "svc", "cost_ms": 0.1}}}}
+                    ]}}]
+                }},
+                "workload": {workload},
+                "controller": {controller},
+                "live": {{"control_interval_ms": 100}},
+                "report": {{"measure_from_secs": 0}}
+            }}"#
+        );
+        parse_scenario(&json).expect("parse")
+    }
+
+    #[test]
+    fn open_loop_scenario_serves_real_traffic() {
+        let sc = tiny_live_scenario(
+            r#"{"type": "open_loop", "rates": [{"api": "ping", "steps": [[0, 200.0]]}]}"#,
+            r#"{"type": "topfull", "rate_controller": "mimd"}"#,
+        );
+        let out = run_live(&sc, 2).expect("live run");
+        assert_eq!(out.name, "live-test");
+        assert_eq!(out.duration_secs, 2);
+        assert_eq!(out.goodput_per_api[0].0, "ping");
+        assert!(
+            out.total_goodput > 100.0,
+            "200 rps of 100µs work should mostly complete, got {}",
+            out.total_goodput
+        );
+        assert!(!out.timeline.is_empty());
+    }
+
+    #[test]
+    fn closed_loop_scenario_serves_real_traffic() {
+        let sc = tiny_live_scenario(
+            r#"{"type": "closed_loop", "users_steps": [[0, 4.0]], "think_ms": 10,
+                "api_weights": [["ping", 1.0]]}"#,
+            r#"{"type": "none"}"#,
+        );
+        let out = run_live(&sc, 2).expect("live run");
+        assert!(
+            out.total_goodput > 50.0,
+            "4 users at ~10ms/turn exceed 50 rps, got {}",
+            out.total_goodput
+        );
+    }
+
+    #[test]
+    fn unsupported_modes_are_rejected_loudly() {
+        let sc = tiny_live_scenario(
+            r#"{"type": "retry_storm", "users": 5, "api_weights": [["ping", 1.0]]}"#,
+            r#"{"type": "none"}"#,
+        );
+        let err = run_live(&sc, 1).expect_err("retry storm must be rejected");
+        assert!(err.contains("retry_storm"), "{err}");
+
+        let sc = tiny_live_scenario(
+            r#"{"type": "open_loop", "rates": []}"#,
+            r#"{"type": "dagor"}"#,
+        );
+        let err = run_live(&sc, 1).expect_err("dagor must be rejected");
+        assert!(err.contains("no live equivalent"), "{err}");
+
+        let sc = tiny_live_scenario(
+            r#"{"type": "open_loop", "rates": [{"api": "nope", "steps": []}]}"#,
+            r#"{"type": "none"}"#,
+        );
+        let err = run_live(&sc, 1).expect_err("unknown API must be rejected");
+        assert!(err.contains("nope"), "{err}");
+    }
+
+    #[test]
+    fn schedules_compress_to_the_live_duration() {
+        assert_eq!(
+            scale_steps(&[(0, 10.0), (60, 30.0), (120, 10.0)], 0.25),
+            vec![(0.0, 10.0), (15.0, 30.0), (30.0, 10.0)]
+        );
+    }
+}

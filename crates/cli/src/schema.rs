@@ -37,6 +37,9 @@ pub struct Scenario {
     /// Request-plane resilience: deadlines, retry budgets, breakers.
     #[serde(default)]
     pub resilience: Option<ResilienceSpec>,
+    /// Live-plane tuning for `topfull live` (ignored by the simulator).
+    #[serde(default)]
+    pub live: Option<LiveSpec>,
     #[serde(default)]
     pub report: ReportSpec,
 }
@@ -368,6 +371,48 @@ fn default_half_open_probes() -> u32 {
     5
 }
 
+/// Live-plane (`topfull live`) tuning. The simulated scenario's
+/// topology, workload shape, controller and SLO carry over unchanged;
+/// these knobs only exist because wall-clock capacity depends on the
+/// host.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LiveSpec {
+    /// Multiplier on every call's CPU cost; live capacity scales as
+    /// `1 / cpu_scale`, letting one host emulate a larger cluster.
+    #[serde(default = "default_cpu_scale")]
+    pub cpu_scale: f64,
+    /// Controller tick period in milliseconds.
+    #[serde(default = "default_control_interval_ms")]
+    pub control_interval_ms: u64,
+    /// Gateway token-bucket burst window, in seconds of the current rate.
+    #[serde(default = "default_burst_secs")]
+    pub gateway_burst_secs: f64,
+    /// Loopback TCP port; 0 = ephemeral.
+    #[serde(default)]
+    pub port: u16,
+}
+
+fn default_cpu_scale() -> f64 {
+    1.0
+}
+fn default_control_interval_ms() -> u64 {
+    200
+}
+fn default_burst_secs() -> f64 {
+    0.05
+}
+
+impl Default for LiveSpec {
+    fn default() -> Self {
+        LiveSpec {
+            cpu_scale: default_cpu_scale(),
+            control_interval_ms: default_control_interval_ms(),
+            gateway_burst_secs: default_burst_secs(),
+            port: 0,
+        }
+    }
+}
+
 /// Output options.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ReportSpec {
@@ -461,6 +506,7 @@ impl Scenario {
                     half_open_probes: 5,
                 }),
             }),
+            live: None,
             report: ReportSpec {
                 measure_from_secs: 60,
                 timeline: true,

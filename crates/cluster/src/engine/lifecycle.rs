@@ -12,7 +12,7 @@ use super::planes::{CallCtx, LifecyclePoint, Verdict};
 use super::pods::{InFlight, QueuedCall};
 use super::{Engine, Ev, NodeRt, RequestRt};
 use crate::topology::CallNode;
-use crate::tracing::Span;
+use crate::tracing::{Span, SpanVerdict};
 use crate::types::{RequestMeta, RequestOutcome, ServiceId};
 use crate::workload::{Arrival, ResponseKind, UserRef};
 use rand::rngs::SmallRng;
@@ -46,6 +46,22 @@ impl Engine {
         self.metrics.api_totals[a.api.idx()].offered += 1;
         if !self.gateway.try_admit(a.api, now) {
             self.metrics.api_totals[a.api.idx()].rejected_entry += 1;
+            // Tracing backends see rejections too: a zero-duration span
+            // at the API's entry service carrying the admission verdict,
+            // so live and simulated traces stay comparable. (The id 0 is
+            // a placeholder — rejected requests are never materialized.)
+            if let Some(tracer) = self.tracer.as_mut() {
+                let entry = self.topo.api(a.api).paths[0].1.service;
+                tracer.record(Span {
+                    request: 0,
+                    api: a.api,
+                    service: entry,
+                    parent: None,
+                    start: now,
+                    end: now,
+                    verdict: SpanVerdict::RejectedAtEntry,
+                });
+            }
             self.notify_response(now, a.user, ResponseKind::Failed);
             return;
         }
@@ -328,6 +344,7 @@ impl Engine {
                     parent,
                     start: fl.started,
                     end: now,
+                    verdict: SpanVerdict::Admitted,
                 });
             }
         }

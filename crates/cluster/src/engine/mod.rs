@@ -82,6 +82,9 @@ pub struct EngineConfig {
     pub learn_paths: bool,
     /// Span retention window for learned paths.
     pub trace_window: SimDuration,
+    /// Raw spans to retain in the collector for inspection (0 = none);
+    /// only meaningful with `learn_paths`.
+    pub trace_raw_buffer: usize,
 }
 
 impl Default for EngineConfig {
@@ -97,6 +100,7 @@ impl Default for EngineConfig {
             crash: CrashLoopConfig::default(),
             learn_paths: false,
             trace_window: SimDuration::from_secs(60),
+            trace_raw_buffer: 0,
         }
     }
 }
@@ -211,9 +215,9 @@ impl Engine {
             .collect();
         let num_apis = topo.num_apis();
         let api_paths = topo.api_service_map();
-        let tracer = cfg
-            .learn_paths
-            .then(|| TraceCollector::new(num_apis, cfg.trace_window));
+        let tracer = cfg.learn_paths.then(|| {
+            TraceCollector::new(num_apis, cfg.trace_window).with_raw_buffer(cfg.trace_raw_buffer)
+        });
         let rng = simnet::rng::fork(cfg.seed, "engine");
         let seed_for_faults = cfg.seed;
         let mut queue = EventQueue::new();

@@ -538,6 +538,98 @@ mod tracing_tests {
         assert!(late >= 2, "at least front + one branch learned");
     }
 
+    /// Span assembly across the engine lifecycle hooks: a two-service
+    /// chain must emit one span per call, with the child span pointing at
+    /// its parent service, times ordered by the actual execution
+    /// (parent's CPU completes before the child's call arrives), and the
+    /// admitted verdict on every span.
+    #[test]
+    fn spans_assemble_parent_child_across_lifecycle() {
+        use crate::tracing::SpanVerdict;
+        let mut t = Topology::new("chain");
+        let front = t.add_service(ServiceSpec::new("front", 2));
+        let back = t.add_service(ServiceSpec::new("back", 2));
+        let api = t.add_api(ApiSpec::single(
+            "get",
+            CallNode::with_children(front, ms(1), vec![CallNode::leaf(back, ms(2))]),
+        ));
+        let w = OpenLoopWorkload::constant(vec![(api, 50.0)]);
+        let mut e = Engine::new(
+            t,
+            EngineConfig {
+                learn_paths: true,
+                trace_raw_buffer: 4096,
+                service_jitter: 0.0,
+                ..EngineConfig::default()
+            },
+            Box::new(w),
+        );
+        e.run_until(SimTime::from_secs(5));
+        let tracer = e.trace_collector().expect("enabled");
+        let mut by_req: std::collections::HashMap<u64, Vec<_>> = std::collections::HashMap::new();
+        for s in tracer.raw_spans() {
+            by_req.entry(s.request).or_default().push(*s);
+        }
+        let mut checked = 0;
+        for spans in by_req.values() {
+            if spans.len() != 2 {
+                continue; // request straddling the buffer edge
+            }
+            let front_span = spans.iter().find(|s| s.service == front).expect("front");
+            let back_span = spans.iter().find(|s| s.service == back).expect("back");
+            assert_eq!(front_span.parent, None, "entry span has no parent");
+            assert_eq!(back_span.parent, Some(front), "child links to caller");
+            assert_eq!(front_span.api, api);
+            assert_eq!(front_span.verdict, SpanVerdict::Admitted);
+            assert_eq!(back_span.verdict, SpanVerdict::Admitted);
+            // The parent's CPU completes before the child call arrives.
+            assert!(front_span.end <= back_span.start);
+            assert_eq!(front_span.duration(), ms(1));
+            assert_eq!(back_span.duration(), ms(2));
+            checked += 1;
+        }
+        assert!(checked > 50, "enough complete requests checked: {checked}");
+    }
+
+    /// Entry-gateway rejections surface as zero-duration spans carrying
+    /// the rejection verdict, and never teach the path learner.
+    #[test]
+    fn entry_rejections_emit_verdict_spans() {
+        use crate::tracing::SpanVerdict;
+        let (topo, api, _, _) = branching_topo();
+        let entry = topo.api(api).paths[0].1.service;
+        let w = OpenLoopWorkload::constant(vec![(api, 100.0)]);
+        let mut e = Engine::new(
+            topo,
+            EngineConfig {
+                learn_paths: true,
+                trace_raw_buffer: 1024,
+                ..EngineConfig::default()
+            },
+            Box::new(w),
+        );
+        e.set_rate_limit(api, 0.0); // admit nothing
+        e.run_until(SimTime::from_secs(3));
+        let tracer = e.trace_collector().expect("enabled");
+        assert!(tracer.rejected_recorded() > 100, "rejections were traced");
+        assert_eq!(
+            tracer.rejected_recorded(),
+            tracer.spans_recorded(),
+            "nothing was admitted, so every span is a rejection"
+        );
+        for s in tracer.raw_spans() {
+            assert_eq!(s.verdict, SpanVerdict::RejectedAtEntry);
+            assert_eq!(s.service, entry, "rejection marked at the entry");
+            assert_eq!(s.start, s.end, "zero-duration marker");
+        }
+        let obs = e.latest_observation().expect("tick").clone();
+        assert!(
+            obs.api_paths[api.idx()].is_empty(),
+            "rejected spans must not teach paths: {:?}",
+            obs.api_paths[api.idx()]
+        );
+    }
+
     #[test]
     fn static_paths_remain_default() {
         let (topo, api, a, b) = branching_topo();

@@ -5,22 +5,21 @@
 //! has its own token bucket; the controller moves the bucket rates, and
 //! every arriving request either takes a token or is rejected at the door
 //! (costing the cluster nothing — the whole point of top-down control).
+//!
+//! The limiter bank itself lives in [`crate::entry_admission`] and is
+//! shared with the live TCP gateway (`liveserve`).
 
+use crate::entry_admission::EntryAdmission;
 use crate::types::ApiId;
-use simnet::{SimTime, TokenBucket};
-
-/// Rate limit state for one API.
-struct ApiLimiter {
-    /// `None` = unlimited (no bucket consulted).
-    bucket: Option<TokenBucket>,
-    rate: f64,
-}
+use simnet::SimTime;
 
 /// The entry gateway: one limiter per API.
+///
+/// A thin façade over [`EntryAdmission`], the limiter bank shared with
+/// the live serving plane — admit/deny semantics live there so the
+/// simulated and real gateways cannot drift.
 pub struct Gateway {
-    limiters: Vec<ApiLimiter>,
-    /// Burst size as a fraction of the rate (seconds of burst).
-    burst_secs: f64,
+    admission: EntryAdmission,
 }
 
 impl Gateway {
@@ -32,19 +31,13 @@ impl Gateway {
     /// reasonable default.
     pub fn new(num_apis: usize, burst_secs: f64) -> Self {
         Gateway {
-            limiters: (0..num_apis)
-                .map(|_| ApiLimiter {
-                    bucket: None,
-                    rate: f64::INFINITY,
-                })
-                .collect(),
-            burst_secs: burst_secs.max(1e-3),
+            admission: EntryAdmission::new(num_apis, burst_secs),
         }
     }
 
     /// Current rate limit for `api` (`f64::INFINITY` when unlimited).
     pub fn rate_limit(&self, api: ApiId) -> f64 {
-        self.limiters[api.idx()].rate
+        self.admission.rate_limit(api)
     }
 
     /// Set the rate limit for `api` at time `now`. `f64::INFINITY` (or any
@@ -52,37 +45,19 @@ impl Gateway {
     /// which clamp to zero) admits nothing at all — the bucket depth is
     /// forced to 0 so not even a burst token leaks through.
     pub fn set_rate_limit(&mut self, api: ApiId, rate: f64, now: SimTime) {
-        let lim = &mut self.limiters[api.idx()];
-        if !rate.is_finite() {
-            lim.bucket = None;
-            lim.rate = f64::INFINITY;
-            return;
-        }
-        let rate = rate.max(0.0);
-        let burst = if rate > 0.0 {
-            (rate * self.burst_secs).max(1.0)
-        } else {
-            0.0
-        };
-        match &mut lim.bucket {
-            Some(b) => b.set_rate_and_burst(rate, burst, now),
-            None => lim.bucket = Some(TokenBucket::new(rate, burst, now)),
-        }
-        lim.rate = rate;
+        self.admission.set_rate_limit(api, rate, now);
     }
 
     /// Admit or reject one request for `api` arriving at `now`.
     pub fn try_admit(&mut self, api: ApiId, now: SimTime) -> bool {
-        match &mut self.limiters[api.idx()].bucket {
-            Some(b) => b.try_admit(now),
-            None => true,
-        }
+        self.admission.try_admit(api, now)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::entry_admission::EntryAdmission;
     use simnet::SimDuration;
 
     #[test]
@@ -153,5 +128,50 @@ mod tests {
         assert!(!g.try_admit(ApiId(0), SimTime::ZERO));
         assert!(!g.try_admit(ApiId(0), SimTime::from_secs(1)));
         assert!(g.try_admit(ApiId(1), SimTime::from_secs(1)));
+    }
+
+    /// Sim/live parity: the gateway façade and a bare [`EntryAdmission`]
+    /// (what the live TCP gateway holds) must make identical decisions
+    /// for an identical program of limit changes and arrivals.
+    #[test]
+    fn gateway_and_entry_admission_decide_identically() {
+        let mut g = Gateway::new(2, 0.05);
+        let mut a = EntryAdmission::new(2, 0.05);
+        // A deterministic pseudo-random schedule of limit changes and
+        // arrivals across both APIs, covering unlimited → finite → zero →
+        // restored transitions.
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        let mut step = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut now_ns: u64 = 0;
+        for i in 0..5_000u64 {
+            now_ns += step() % 3_000_000; // ≤3 ms between events
+            let now = SimTime::from_nanos(now_ns);
+            let api = ApiId((step() % 2) as u32);
+            if i % 97 == 0 {
+                let rate = match (step() % 4) as u8 {
+                    0 => f64::INFINITY,
+                    1 => 0.0,
+                    2 => (step() % 500) as f64,
+                    _ => (step() % 50) as f64 / 7.0,
+                };
+                g.set_rate_limit(api, rate, now);
+                a.set_rate_limit(api, rate, now);
+                assert_eq!(
+                    g.rate_limit(api).to_bits(),
+                    a.rate_limit(api).to_bits(),
+                    "limit mirror diverged at step {i}"
+                );
+            }
+            assert_eq!(
+                g.try_admit(api, now),
+                a.try_admit(api, now),
+                "admit decision diverged at step {i} (t={now_ns}ns)"
+            );
+        }
     }
 }

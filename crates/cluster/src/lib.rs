@@ -35,6 +35,7 @@ pub mod admission;
 pub mod autoscaler;
 pub mod controller;
 pub mod engine;
+pub mod entry_admission;
 pub mod failure;
 pub mod faults;
 pub mod gateway;
@@ -48,6 +49,7 @@ pub mod workload;
 
 pub use controller::{Controller, NoControl, RateLimitUpdate};
 pub use engine::{Engine, EngineConfig};
+pub use entry_admission::EntryAdmission;
 pub use faults::FaultSpec;
 pub use harness::{Harness, RunResult, WatchdogConfig, WatchdogStats};
 pub use observe::{ApiWindow, ClusterObservation, ServiceWindow};

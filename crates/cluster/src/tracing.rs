@@ -21,6 +21,23 @@ use crate::types::{ApiId, ServiceId};
 use simnet::{SimDuration, SimTime};
 use std::collections::HashMap;
 
+/// What the entry gateway decided about the request a span belongs to.
+///
+/// Live and simulated traces both carry this, so the two planes'
+/// admission behavior can be compared span-for-span (the sim2real
+/// overlay): an `Admitted` span is real work on a service; a
+/// `RejectedAtEntry` span is a zero-duration marker at the API's entry
+/// service recording that the token bucket turned the request away.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SpanVerdict {
+    /// The request passed the entry rate limiter; the span is real work.
+    #[default]
+    Admitted,
+    /// The request was rejected at the entry token bucket; the span is a
+    /// zero-duration marker and must not teach the path learner.
+    RejectedAtEntry,
+}
+
 /// One completed call, as a tracing backend would record it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Span {
@@ -31,6 +48,8 @@ pub struct Span {
     pub parent: Option<ServiceId>,
     pub start: SimTime,
     pub end: SimTime,
+    /// The entry gateway's admission decision for the owning request.
+    pub verdict: SpanVerdict,
 }
 
 impl Span {
@@ -49,6 +68,8 @@ pub struct TraceCollector {
     window: SimDuration,
     /// Spans recorded (for reporting).
     spans_recorded: u64,
+    /// Of those, spans carrying [`SpanVerdict::RejectedAtEntry`].
+    rejected_recorded: u64,
     /// Optional bounded buffer of raw spans for inspection/debugging.
     keep_raw: usize,
     raw: std::collections::VecDeque<Span>,
@@ -62,6 +83,7 @@ impl TraceCollector {
             last_seen: vec![HashMap::new(); num_apis],
             window,
             spans_recorded: 0,
+            rejected_recorded: 0,
             keep_raw: 0,
             raw: std::collections::VecDeque::new(),
         }
@@ -83,10 +105,22 @@ impl TraceCollector {
         self.spans_recorded
     }
 
-    /// Record one completed call.
+    /// Spans recorded with [`SpanVerdict::RejectedAtEntry`].
+    pub fn rejected_recorded(&self) -> u64 {
+        self.rejected_recorded
+    }
+
+    /// Record one completed call. Entry-rejected spans are counted and
+    /// kept in the raw buffer, but do not teach the path learner: a
+    /// request that never entered the cluster exercised no services.
     pub fn record(&mut self, span: Span) {
         self.spans_recorded += 1;
-        self.last_seen[span.api.idx()].insert(span.service, span.end);
+        match span.verdict {
+            SpanVerdict::Admitted => {
+                self.last_seen[span.api.idx()].insert(span.service, span.end);
+            }
+            SpanVerdict::RejectedAtEntry => self.rejected_recorded += 1,
+        }
         if self.keep_raw > 0 {
             if self.raw.len() == self.keep_raw {
                 self.raw.pop_front();
@@ -141,6 +175,7 @@ mod tests {
             parent: None,
             start: SimTime::from_secs(end_s.saturating_sub(1)),
             end: SimTime::from_secs(end_s),
+            verdict: SpanVerdict::Admitted,
         }
     }
 
@@ -206,5 +241,28 @@ mod tests {
     fn span_duration() {
         let s = span(0, 0, 5);
         assert_eq!(s.duration(), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn rejected_spans_do_not_teach_paths() {
+        let mut c = TraceCollector::new(1, SimDuration::from_secs(60)).with_raw_buffer(8);
+        let mut rej = span(0, 4, 1);
+        rej.verdict = SpanVerdict::RejectedAtEntry;
+        c.record(rej);
+        assert!(
+            c.learned_path(ApiId(0), SimTime::from_secs(2)).is_empty(),
+            "a rejected request exercised no services"
+        );
+        assert_eq!(c.spans_recorded(), 1);
+        assert_eq!(c.rejected_recorded(), 1);
+        // Raw buffer still keeps it for inspection.
+        assert_eq!(c.raw_spans().count(), 1);
+        // An admitted span for the same service does teach the path.
+        c.record(span(0, 4, 2));
+        assert_eq!(
+            c.learned_path(ApiId(0), SimTime::from_secs(3)),
+            vec![ServiceId(4)]
+        );
+        assert_eq!(c.rejected_recorded(), 1);
     }
 }

@@ -1,0 +1,51 @@
+//! Wall-clock → [`SimTime`] mapping.
+//!
+//! The shared admission bank ([`cluster::EntryAdmission`]) and every
+//! other reused component speak [`SimTime`]. The live plane feeds them
+//! wall-clock nanoseconds since server start, so token-bucket refill
+//! arithmetic is *identical* between the simulator (virtual nanoseconds)
+//! and the live gateway (real nanoseconds) — the Sim2Real admission
+//! parity rests on this one conversion.
+
+use simnet::SimTime;
+use std::time::Instant;
+
+/// A monotonic clock anchored at server start.
+#[derive(Clone, Copy, Debug)]
+pub struct WallClock {
+    start: Instant,
+}
+
+impl WallClock {
+    /// Anchor a new clock at the current instant.
+    pub fn start() -> Self {
+        WallClock {
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since the anchor, as a [`SimTime`].
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.start.elapsed().as_nanos() as u64)
+    }
+
+    /// The anchor instant (for latency math in native [`Instant`] terms).
+    pub fn origin(&self) -> Instant {
+        self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic_and_starts_near_zero() {
+        let c = WallClock::start();
+        let a = c.now();
+        assert!(a.as_secs_f64() < 1.0, "fresh clock reads near zero");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = c.now();
+        assert!(b > a, "wall clock advances");
+    }
+}

@@ -1,0 +1,213 @@
+//! The loopback TCP gateway: real sockets in front of the shared
+//! admission bank.
+//!
+//! ## Wire protocol (line-based, one session per connection)
+//!
+//! ```text
+//! client → REQ <id> <api_idx>\n
+//! server → OK <id> <latency_us>\n     request completed end-to-end
+//!          REJ <id>\n                 shed at the entry token bucket
+//!          ERR <id>\n                 dropped at a full service queue
+//!                                     (or the line was malformed; id 0)
+//! ```
+//!
+//! Responses are **not** ordered with respect to requests: a client may
+//! pipeline many `REQ` lines and match replies by id.
+//!
+//! ## Threads
+//!
+//! One acceptor polls a non-blocking listener. Each connection gets a
+//! reader thread (parses `REQ` lines, consults the [`EntryAdmission`]
+//! bank under a mutex, hands admitted jobs to the worker pool) and a
+//! writer thread (drains an `mpsc` channel of response lines, batching
+//! writes so 10k+ responses/sec do not mean 10k+ syscalls). Connection
+//! threads exit when the peer closes or the shutdown flag rises; they
+//! are deliberately not joined — the sockets they own are loopback and
+//! die with the process.
+
+use crate::clock::WallClock;
+use crate::executors::{Job, Routing};
+use crate::metrics::LiveMetrics;
+use cluster::EntryAdmission;
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Shared state every connection thread needs. The shutdown flag is the
+/// same `Arc` the worker pool polls, so one store stops the world.
+pub struct GatewayShared {
+    pub admission: Mutex<EntryAdmission>,
+    pub clock: WallClock,
+    pub metrics: Arc<LiveMetrics>,
+    pub routing: Arc<Routing>,
+    pub shutdown: Arc<AtomicBool>,
+}
+
+/// The accept loop. Owns the listener; spawns reader/writer threads per
+/// connection.
+pub fn acceptor(listener: TcpListener, shared: Arc<GatewayShared>) {
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking listener");
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => spawn_connection(stream, &shared),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn spawn_connection(stream: TcpStream, shared: &Arc<GatewayShared>) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let (reply_tx, reply_rx) = channel::<String>();
+    {
+        let shared = Arc::clone(shared);
+        std::thread::Builder::new()
+            .name("live-conn-writer".into())
+            .spawn(move || writer_loop(stream, &reply_rx, &shared))
+            .expect("spawn writer");
+    }
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name("live-conn-reader".into())
+        .spawn(move || reader_loop(read_half, &reply_tx, &shared))
+        .expect("spawn reader");
+}
+
+/// Batch response lines: wake at most every 5ms, drain whatever is
+/// queued, write it in one buffered flush.
+fn writer_loop(stream: TcpStream, replies: &Receiver<String>, shared: &GatewayShared) {
+    let mut out = BufWriter::new(stream);
+    loop {
+        let first = match replies.recv_timeout(Duration::from_millis(5)) {
+            Ok(line) => Some(line),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        if let Some(line) = first {
+            if out.write_all(line.as_bytes()).is_err() {
+                return;
+            }
+            while let Ok(line) = replies.try_recv() {
+                if out.write_all(line.as_bytes()).is_err() {
+                    return;
+                }
+            }
+            if out.flush().is_err() {
+                return;
+            }
+        }
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+    }
+}
+
+fn reader_loop(stream: TcpStream, replies: &Sender<String>, shared: &GatewayShared) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // peer closed
+            Ok(_) => handle_line(line.trim_end(), replies, shared),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Parse one request line and run it through admission.
+fn handle_line(line: &str, replies: &Sender<String>, shared: &GatewayShared) {
+    if line.is_empty() {
+        return;
+    }
+    let Some((id, api)) = parse_request(line) else {
+        let _ = replies.send("ERR 0\n".into());
+        return;
+    };
+    let num_apis = shared.metrics_num_apis();
+    if api >= num_apis {
+        let _ = replies.send(format!("ERR {id}\n"));
+        return;
+    }
+    shared.metrics.on_offered(api);
+    let admitted = shared
+        .admission
+        .lock()
+        .expect("admission lock")
+        .try_admit(cluster::ApiId(api as u32), shared.clock.now());
+    if !admitted {
+        let _ = replies.send(format!("REJ {id}\n"));
+        return;
+    }
+    shared.metrics.on_admitted(api);
+    let now = Instant::now();
+    shared.routing.submit(
+        Job {
+            id,
+            api,
+            accepted: now,
+            enqueued: now,
+            stage: 0,
+            reply: replies.clone(),
+        },
+        &shared.metrics,
+    );
+}
+
+impl GatewayShared {
+    fn metrics_num_apis(&self) -> usize {
+        self.routing.stages.len()
+    }
+}
+
+/// Parse `REQ <id> <api_idx>` → `(id, api)`.
+pub fn parse_request(line: &str) -> Option<(u64, usize)> {
+    let mut parts = line.split_ascii_whitespace();
+    if parts.next()? != "REQ" {
+        return None;
+    }
+    let id = parts.next()?.parse().ok()?;
+    let api = parts.next()?.parse().ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((id, api))
+}
+
+/// Spawn the acceptor thread for a bound listener.
+pub fn start_acceptor(listener: TcpListener, shared: Arc<GatewayShared>) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("live-acceptor".into())
+        .spawn(move || acceptor(listener, shared))
+        .expect("spawn acceptor")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_lines_parse_strictly() {
+        assert_eq!(parse_request("REQ 7 2"), Some((7, 2)));
+        assert_eq!(parse_request("REQ 0 0"), Some((0, 0)));
+        assert_eq!(parse_request("REQ  12   1"), Some((12, 1)));
+        assert_eq!(parse_request("GET 7 2"), None);
+        assert_eq!(parse_request("REQ 7"), None);
+        assert_eq!(parse_request("REQ 7 2 9"), None);
+        assert_eq!(parse_request("REQ x 2"), None);
+        assert_eq!(parse_request(""), None);
+    }
+}

@@ -1,0 +1,348 @@
+//! # liveserve — the real-time serving plane (Sim2Real)
+//!
+//! Everything else in this workspace runs TopFull against a simulated
+//! cluster. This crate runs the **same controller stack** —
+//! `core::{detector, clustering, rate_controller}`, including a trained
+//! PPO policy — against real threads, real sockets and a real clock:
+//!
+//! * a multi-threaded loopback **TCP gateway** ([`gateway`]) admitting
+//!   per-API requests through the *same* token-bucket bank as the
+//!   simulator's gateway ([`cluster::EntryAdmission`], shared verbatim);
+//! * a **worker pool** ([`executors`]) emulating the application DAG
+//!   with genuine CPU burn and bounded per-service queues;
+//! * **wall-clock metric windows** ([`metrics`]) folding atomics and a
+//!   [`simnet::LatencyHistogram`] into the [`cluster::ClusterObservation`]
+//!   struct the controller already consumes;
+//! * a **load generator** ([`loadgen`]) with closed-loop user pools and
+//!   open-loop surge arms.
+//!
+//! The controller runs on the thread that calls [`LiveServer::run`]
+//! (the [`cluster::Controller`] trait is deliberately not `Send`), on a
+//! real timer tick. Nothing in `core` or the policy knows whether its
+//! observations came from virtual or wall-clock time.
+
+pub mod clock;
+pub mod executors;
+pub mod gateway;
+pub mod loadgen;
+pub mod metrics;
+
+pub use clock::WallClock;
+pub use loadgen::{ClosedLoopSpec, LoadGen, OpenLoopArm};
+pub use metrics::{AppDescriptor, LiveMetrics};
+
+use cluster::observe::ClusterObservation;
+use cluster::{ApiId, Controller, EntryAdmission, Topology};
+use executors::WorkerPool;
+use gateway::GatewayShared;
+use simnet::SimTime;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Live-plane tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct LiveConfig {
+    /// End-to-end latency SLO (goodput = completions within this).
+    pub slo: Duration,
+    /// Controller tick period (the simulator's control interval).
+    pub control_interval: Duration,
+    /// Global CPU-cost multiplier; capacity scales as `1 / cpu_scale`,
+    /// letting one host emulate clusters of different sizes.
+    pub cpu_scale: f64,
+    /// Token-bucket burst window, in seconds of the current rate —
+    /// passed straight to [`EntryAdmission::new`].
+    pub gateway_burst_secs: f64,
+    /// TCP port on 127.0.0.1; `0` picks an ephemeral port.
+    pub port: u16,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            slo: Duration::from_secs(1),
+            control_interval: Duration::from_millis(200),
+            cpu_scale: 1.0,
+            gateway_burst_secs: 0.05,
+            port: 0,
+        }
+    }
+}
+
+/// One control tick's worth of observed state.
+pub struct LiveTick {
+    /// Wall-clock seconds since server start at window close.
+    pub t_secs: f64,
+    pub obs: ClusterObservation,
+}
+
+/// A completed live run.
+pub struct LiveRunResult {
+    pub ticks: Vec<LiveTick>,
+    pub api_names: Vec<String>,
+}
+
+impl LiveRunResult {
+    /// `(t, total goodput rps)` per tick.
+    pub fn total_goodput_series(&self) -> Vec<(f64, f64)> {
+        self.ticks
+            .iter()
+            .map(|t| (t.t_secs, t.obs.apis.iter().map(|a| a.goodput).sum()))
+            .collect()
+    }
+
+    /// `(t, goodput rps)` per tick for one API.
+    pub fn goodput_series(&self, api: usize) -> Vec<(f64, f64)> {
+        self.ticks
+            .iter()
+            .map(|t| (t.t_secs, t.obs.apis[api].goodput))
+            .collect()
+    }
+
+    /// `(t, p99 seconds)` per tick for one API (0.0 when no samples).
+    pub fn p99_series(&self, api: usize) -> Vec<(f64, f64)> {
+        self.ticks
+            .iter()
+            .map(|t| {
+                let p99 = t.obs.apis[api].p99.map_or(0.0, |d| d.as_secs_f64());
+                (t.t_secs, p99)
+            })
+            .collect()
+    }
+
+    /// Mean per-tick value of `f` over ticks with `t_secs` in `[from, to)`.
+    pub fn mean_over(&self, from: f64, to: f64, f: impl Fn(&ClusterObservation) -> f64) -> f64 {
+        let vals: Vec<f64> = self
+            .ticks
+            .iter()
+            .filter(|t| t.t_secs >= from && t.t_secs < to)
+            .map(|t| f(&t.obs))
+            .collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+
+    /// Mean goodput per API over the whole run.
+    pub fn mean_goodput_per_api(&self) -> Vec<(String, f64)> {
+        self.api_names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let m = self.mean_over(0.0, f64::INFINITY, |o| o.apis[i].goodput);
+                (name.clone(), m)
+            })
+            .collect()
+    }
+
+    /// Mean offered load per API over the whole run.
+    pub fn mean_offered_per_api(&self) -> Vec<(String, f64)> {
+        self.api_names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let m = self.mean_over(0.0, f64::INFINITY, |o| o.apis[i].offered);
+                (name.clone(), m)
+            })
+            .collect()
+    }
+}
+
+/// The live serving plane: gateway + worker pool + metric windows.
+pub struct LiveServer {
+    addr: SocketAddr,
+    shared: Arc<GatewayShared>,
+    desc: AppDescriptor,
+    shutdown: Arc<AtomicBool>,
+    pool: Option<WorkerPool>,
+    acceptor: Option<JoinHandle<()>>,
+    window_start: SimTime,
+    control_interval: Duration,
+}
+
+impl LiveServer {
+    /// Bind the gateway, spawn the worker pool, and start accepting.
+    pub fn start(topo: &Topology, cfg: LiveConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
+        let addr = listener.local_addr()?;
+        let clock = WallClock::start();
+        let metrics = Arc::new(LiveMetrics::new(topo.num_apis(), topo.num_services()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (pool, routing) = WorkerPool::start(topo, cfg.cpu_scale, cfg.slo, &metrics, &shutdown);
+        let shared = Arc::new(GatewayShared {
+            admission: Mutex::new(EntryAdmission::new(topo.num_apis(), cfg.gateway_burst_secs)),
+            clock,
+            metrics,
+            routing,
+            shutdown: Arc::clone(&shutdown),
+        });
+        let acceptor = gateway::start_acceptor(listener, Arc::clone(&shared));
+        Ok(LiveServer {
+            addr,
+            shared,
+            desc: AppDescriptor::of(topo, cfg.slo),
+            shutdown,
+            pool: Some(pool),
+            acceptor: Some(acceptor),
+            window_start: SimTime::ZERO,
+            control_interval: cfg.control_interval,
+        })
+    }
+
+    /// Address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current rate limit of one API (`f64::INFINITY` = unlimited).
+    pub fn rate_limit(&self, api: usize) -> f64 {
+        self.shared
+            .admission
+            .lock()
+            .expect("admission lock")
+            .rate_limit(ApiId(api as u32))
+    }
+
+    /// Close the current metric window, run one controller step, and
+    /// apply the resulting rate-limit updates to the admission bank.
+    ///
+    /// Mirrors the simulator's harness ordering exactly: the observation
+    /// carries the limits that were in force *during* the window, and
+    /// updates take effect for the next one.
+    pub fn tick(&mut self, controller: &mut dyn Controller) -> LiveTick {
+        let now = self.shared.clock.now();
+        let window = now.duration_since(self.window_start);
+        self.window_start = now;
+        let rate_limits: Vec<f64> = {
+            let admission = self.shared.admission.lock().expect("admission lock");
+            (0..admission.num_apis())
+                .map(|i| admission.rate_limit(ApiId(i as u32)))
+                .collect()
+        };
+        let obs = self
+            .shared
+            .metrics
+            .observe(&self.desc, now, window, &rate_limits);
+        let updates = controller.control(&obs);
+        if !updates.is_empty() {
+            let mut admission = self.shared.admission.lock().expect("admission lock");
+            let at = self.shared.clock.now();
+            for u in updates {
+                admission.set_rate_limit(u.api, u.rate, at);
+            }
+        }
+        LiveTick {
+            t_secs: now.as_secs_f64(),
+            obs,
+        }
+    }
+
+    /// Drive the control loop for `duration` on the calling thread,
+    /// ticking every `control_interval`.
+    pub fn run(&mut self, controller: &mut dyn Controller, duration: Duration) -> LiveRunResult {
+        let started = Instant::now();
+        let mut next = started + self.control_interval;
+        let mut ticks = Vec::new();
+        loop {
+            let now = Instant::now();
+            if now < next {
+                std::thread::sleep(next - now);
+            }
+            next += self.control_interval;
+            ticks.push(self.tick(controller));
+            if started.elapsed() >= duration {
+                break;
+            }
+        }
+        LiveRunResult {
+            ticks,
+            api_names: self.desc.api_names.clone(),
+        }
+    }
+
+    /// Stop accepting, stop the workers, and join what can be joined.
+    /// Connection threads exit on their next 50ms poll; they are not
+    /// joined (their sockets are loopback and die with the process).
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        if let Some(p) = self.pool.take() {
+            p.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{ApiSpec, CallNode, NoControl, ServiceSpec};
+    use simnet::SimDuration;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    fn tiny_topo() -> Topology {
+        let mut t = Topology::default();
+        let s = t.add_service(ServiceSpec::new("svc", 1).queue_capacity(64));
+        t.add_api(ApiSpec::single(
+            "ping",
+            CallNode::leaf(s, SimDuration::from_micros(50)),
+        ));
+        t
+    }
+
+    #[test]
+    fn end_to_end_request_gets_ok_reply() {
+        let mut server = LiveServer::start(&tiny_topo(), LiveConfig::default()).expect("start");
+        let mut conn = TcpStream::connect(server.addr()).expect("connect");
+        conn.write_all(b"REQ 42 0\n").expect("send");
+        let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("reply");
+        assert!(line.starts_with("OK 42 "), "got {line:?}");
+        // Unknown API and malformed lines answer ERR without killing the
+        // connection.
+        conn.write_all(b"REQ 43 9\njunk\nREQ 44 0\n").expect("send");
+        let mut verdicts = Vec::new();
+        for _ in 0..3 {
+            line.clear();
+            reader.read_line(&mut line).expect("reply");
+            verdicts.push(line.split_whitespace().next().unwrap_or("").to_string());
+        }
+        verdicts.sort();
+        assert_eq!(verdicts, ["ERR", "ERR", "OK"], "verdicts {verdicts:?}");
+        let tick = server.tick(&mut NoControl);
+        assert_eq!(tick.obs.apis[0].name, "ping");
+        server.shutdown();
+    }
+
+    #[test]
+    fn zero_rate_limit_rejects_at_entry() {
+        struct Throttle;
+        impl Controller for Throttle {
+            fn control(&mut self, obs: &ClusterObservation) -> Vec<cluster::RateLimitUpdate> {
+                vec![cluster::RateLimitUpdate {
+                    api: obs.apis[0].api,
+                    rate: 0.0,
+                }]
+            }
+        }
+        let mut server = LiveServer::start(&tiny_topo(), LiveConfig::default()).expect("start");
+        server.tick(&mut Throttle); // applies the zero limit
+        assert_eq!(server.rate_limit(0), 0.0);
+        let mut conn = TcpStream::connect(server.addr()).expect("connect");
+        conn.write_all(b"REQ 7 0\n").expect("send");
+        let mut line = String::new();
+        BufReader::new(conn).read_line(&mut line).expect("reply");
+        assert_eq!(line, "REJ 7\n");
+        let tick = server.tick(&mut NoControl);
+        assert!(tick.obs.apis[0].offered > 0.0);
+        assert_eq!(tick.obs.apis[0].admitted, 0.0);
+        server.shutdown();
+    }
+}

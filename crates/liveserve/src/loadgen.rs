@@ -1,0 +1,264 @@
+//! Load generation against the live gateway.
+//!
+//! Two client shapes, mirroring the simulator's workload specs:
+//!
+//! * **Closed-loop users** — a pool of threads, each holding its own
+//!   connection, that send one request, wait for its reply, think, and
+//!   repeat. The number of *active* users follows a step schedule, which
+//!   is how scenarios express load swings without changing per-user
+//!   behaviour.
+//! * **Open-loop surge arms** — paced senders that push `REQ` lines at a
+//!   scheduled rate regardless of responses (a drainer thread discards
+//!   replies). This is the overload instrument: offered load does not
+//!   back off when the server slows, exactly like the simulator's
+//!   open-loop arrival process.
+
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Piecewise-constant schedule: the value at time `t` is the value of
+/// the last step at or before `t` (0.0 before the first step).
+pub fn value_at(steps: &[(f64, f64)], t_secs: f64) -> f64 {
+    let mut v = 0.0;
+    for &(at, value) in steps {
+        if at <= t_secs {
+            v = value;
+        } else {
+            break;
+        }
+    }
+    v
+}
+
+/// Closed-loop client pool specification.
+pub struct ClosedLoopSpec {
+    /// `(t_secs, active_users)` steps.
+    pub users_steps: Vec<(f64, f64)>,
+    pub think: Duration,
+    /// `(api_idx, weight)`; weights need not be normalized.
+    pub api_weights: Vec<(usize, f64)>,
+}
+
+/// One open-loop surge arm.
+pub struct OpenLoopArm {
+    pub api: usize,
+    /// `(t_secs, requests_per_sec)` steps.
+    pub rate_steps: Vec<(f64, f64)>,
+}
+
+/// Running load generator; stop with [`LoadGen::stop`].
+pub struct LoadGen {
+    stop: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl LoadGen {
+    /// Connect all clients to `addr` and start generating.
+    pub fn start(
+        addr: SocketAddr,
+        closed: Option<ClosedLoopSpec>,
+        arms: Vec<OpenLoopArm>,
+    ) -> std::io::Result<Self> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let start = Instant::now();
+        let mut handles = Vec::new();
+        if let Some(spec) = closed {
+            let max_users = spec
+                .users_steps
+                .iter()
+                .map(|&(_, u)| u)
+                .fold(0.0f64, f64::max)
+                .ceil() as usize;
+            let spec = Arc::new(spec);
+            for slot in 0..max_users {
+                let conn = TcpStream::connect(addr)?;
+                let stop = Arc::clone(&stop);
+                let spec = Arc::clone(&spec);
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("live-user-{slot}"))
+                        .spawn(move || closed_user(conn, slot, &spec, start, &stop))
+                        .expect("spawn user"),
+                );
+            }
+        }
+        for (i, arm) in arms.into_iter().enumerate() {
+            let send_conn = TcpStream::connect(addr)?;
+            let drain_conn = send_conn.try_clone()?;
+            let stop_s = Arc::clone(&stop);
+            let stop_d = Arc::clone(&stop);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("live-arm-{i}"))
+                    .spawn(move || open_loop_sender(send_conn, &arm, start, &stop_s))
+                    .expect("spawn arm sender"),
+            );
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("live-arm-drain-{i}"))
+                    .spawn(move || drain_replies(drain_conn, &stop_d))
+                    .expect("spawn arm drainer"),
+            );
+        }
+        Ok(LoadGen { stop, handles })
+    }
+
+    /// Signal every client thread and join them.
+    pub fn stop(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// xorshift64* — deterministic per-slot API picks without a rand dep.
+fn xorshift(state: &mut u64) -> f64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    (x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn pick_api(weights: &[(usize, f64)], state: &mut u64) -> usize {
+    let total: f64 = weights.iter().map(|&(_, w)| w.max(0.0)).sum();
+    if total <= 0.0 {
+        return weights.first().map_or(0, |&(api, _)| api);
+    }
+    let mut roll = xorshift(state) * total;
+    for &(api, w) in weights {
+        roll -= w.max(0.0);
+        if roll <= 0.0 {
+            return api;
+        }
+    }
+    weights[weights.len() - 1].0
+}
+
+fn closed_user(
+    conn: TcpStream,
+    slot: usize,
+    spec: &ClosedLoopSpec,
+    start: Instant,
+    stop: &AtomicBool,
+) {
+    let _ = conn.set_nodelay(true);
+    let _ = conn.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut writer = BufWriter::new(conn.try_clone().expect("clone user conn"));
+    let mut reader = BufReader::new(conn);
+    let mut rng = 0x9e37_79b9_7f4a_7c15u64 ^ ((slot as u64 + 1) << 17);
+    let mut id: u64 = (slot as u64) << 32;
+    let mut line = String::new();
+    while !stop.load(Ordering::Relaxed) {
+        let active = value_at(&spec.users_steps, start.elapsed().as_secs_f64());
+        if (slot as f64) >= active {
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        }
+        id += 1;
+        let api = pick_api(&spec.api_weights, &mut rng);
+        if writer
+            .write_all(format!("REQ {id} {api}\n").as_bytes())
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+        // Wait for this request's reply (any verdict); a read timeout
+        // counts as a turn so a stalled server cannot wedge the pool.
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+        std::thread::sleep(spec.think);
+    }
+}
+
+fn open_loop_sender(conn: TcpStream, arm: &OpenLoopArm, start: Instant, stop: &AtomicBool) {
+    let _ = conn.set_nodelay(true);
+    let mut writer = BufWriter::new(conn);
+    let mut id: u64 = 1 << 62;
+    let mut carry = 0.0f64;
+    let mut last = Instant::now();
+    while !stop.load(Ordering::Relaxed) {
+        std::thread::sleep(Duration::from_millis(2));
+        let now = Instant::now();
+        let dt = now.duration_since(last).as_secs_f64();
+        last = now;
+        let rate = value_at(&arm.rate_steps, start.elapsed().as_secs_f64());
+        carry += rate * dt;
+        let burst = carry as u64;
+        carry -= burst as f64;
+        for _ in 0..burst {
+            id += 1;
+            if writer
+                .write_all(format!("REQ {id} {}\n", arm.api).as_bytes())
+                .is_err()
+            {
+                return;
+            }
+        }
+        if burst > 0 && writer.flush().is_err() {
+            return;
+        }
+    }
+}
+
+fn drain_replies(conn: TcpStream, stop: &AtomicBool) {
+    let _ = conn.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut reader = BufReader::new(conn);
+    let mut line = String::new();
+    while !stop.load(Ordering::Relaxed) {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_lookup_is_piecewise_constant() {
+        let steps = [(0.0, 10.0), (5.0, 30.0), (10.0, 10.0)];
+        assert_eq!(value_at(&steps, 0.0), 10.0);
+        assert_eq!(value_at(&steps, 4.9), 10.0);
+        assert_eq!(value_at(&steps, 5.0), 30.0);
+        assert_eq!(value_at(&steps, 9.0), 30.0);
+        assert_eq!(value_at(&steps, 100.0), 10.0);
+        assert_eq!(value_at(&[], 3.0), 0.0);
+        assert_eq!(value_at(&[(2.0, 5.0)], 1.0), 0.0, "zero before first step");
+    }
+
+    #[test]
+    fn weighted_pick_respects_weights() {
+        let weights = [(0usize, 3.0), (1usize, 1.0)];
+        let mut rng = 42u64;
+        let mut counts = [0u32; 2];
+        for _ in 0..4000 {
+            counts[pick_api(&weights, &mut rng)] += 1;
+        }
+        let frac = f64::from(counts[0]) / 4000.0;
+        assert!((0.70..0.80).contains(&frac), "got {frac}");
+        // Degenerate weights fall back to the first entry.
+        assert_eq!(pick_api(&[(2, 0.0)], &mut rng), 2);
+    }
+}

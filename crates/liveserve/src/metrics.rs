@@ -1,0 +1,335 @@
+//! Wall-clock metric windows → [`ClusterObservation`].
+//!
+//! The live plane's analogue of the engine's `metrics` module: per-API
+//! and per-service counters accumulate lock-free on the request hot path
+//! (atomics; the latency histogram takes a short mutex), and the control
+//! thread folds a window into the *same* [`ClusterObservation`] struct
+//! the simulator produces — so `core::{detector, clustering,
+//! rate_controller}` and the trained policy run unchanged against real
+//! threads and sockets.
+
+use cluster::observe::{ApiWindow, ClusterObservation, ServiceWindow};
+use cluster::resilience::ResilienceStats;
+use cluster::types::{ApiId, BusinessPriority, ServiceId};
+use cluster::Topology;
+use simnet::{LatencyHistogram, SimDuration, SimTime};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Static facts about the served application, captured once at startup.
+pub struct AppDescriptor {
+    pub service_names: Vec<String>,
+    pub replicas: Vec<u32>,
+    pub api_names: Vec<String>,
+    pub business: Vec<BusinessPriority>,
+    /// Topology union per API — the live plane's execution-path map.
+    pub api_paths: Vec<Vec<ServiceId>>,
+    pub slo: SimDuration,
+}
+
+impl AppDescriptor {
+    /// Capture the descriptor of a topology under a latency SLO.
+    pub fn of(topo: &Topology, slo: Duration) -> Self {
+        AppDescriptor {
+            service_names: topo.services().map(|(_, s)| s.name.clone()).collect(),
+            replicas: topo.services().map(|(_, s)| s.replicas).collect(),
+            api_names: topo.apis().map(|(_, a)| a.name.clone()).collect(),
+            business: topo.apis().map(|(_, a)| a.business).collect(),
+            api_paths: topo.api_service_map(),
+            slo: SimDuration::from_nanos(slo.as_nanos() as u64),
+        }
+    }
+}
+
+/// Per-API window accumulators (atomic on the hot path).
+struct ApiCell {
+    offered: AtomicU64,
+    admitted: AtomicU64,
+    good: AtomicU64,
+    slo_violated: AtomicU64,
+    failed: AtomicU64,
+    latencies: Mutex<LatencyHistogram>,
+}
+
+impl ApiCell {
+    fn new() -> Self {
+        ApiCell {
+            offered: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            good: AtomicU64::new(0),
+            slo_violated: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            latencies: Mutex::new(LatencyHistogram::new()),
+        }
+    }
+}
+
+/// Per-service window accumulators.
+struct ServiceCell {
+    busy_ns: AtomicU64,
+    started_calls: AtomicU64,
+    dropped_calls: AtomicU64,
+    queue_delay_ns: AtomicU64,
+    /// Live queue-depth gauge (not reset at window close).
+    depth: AtomicU64,
+}
+
+impl ServiceCell {
+    fn new() -> Self {
+        ServiceCell {
+            busy_ns: AtomicU64::new(0),
+            started_calls: AtomicU64::new(0),
+            dropped_calls: AtomicU64::new(0),
+            queue_delay_ns: AtomicU64::new(0),
+            depth: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Shared live metric state; cloned into every gateway and worker thread
+/// behind an `Arc`.
+pub struct LiveMetrics {
+    apis: Vec<ApiCell>,
+    services: Vec<ServiceCell>,
+}
+
+impl LiveMetrics {
+    pub fn new(num_apis: usize, num_services: usize) -> Self {
+        LiveMetrics {
+            apis: (0..num_apis).map(|_| ApiCell::new()).collect(),
+            services: (0..num_services).map(|_| ServiceCell::new()).collect(),
+        }
+    }
+
+    // ---- hot-path recording -------------------------------------------
+
+    pub fn on_offered(&self, api: usize) {
+        self.apis[api].offered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn on_admitted(&self, api: usize) {
+        self.apis[api].admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn on_failed(&self, api: usize) {
+        self.apis[api].failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request completed end-to-end with the given latency.
+    pub fn on_complete(&self, api: usize, latency: Duration, slo: Duration) {
+        let cell = &self.apis[api];
+        if latency <= slo {
+            cell.good.fetch_add(1, Ordering::Relaxed);
+        } else {
+            cell.slo_violated.fetch_add(1, Ordering::Relaxed);
+        }
+        let d = SimDuration::from_nanos(latency.as_nanos() as u64);
+        cell.latencies.lock().expect("latency lock").record(d);
+    }
+
+    /// A call started processing after waiting `queued` in the queue.
+    pub fn on_started(&self, svc: usize, queued: Duration) {
+        let cell = &self.services[svc];
+        cell.started_calls.fetch_add(1, Ordering::Relaxed);
+        cell.queue_delay_ns
+            .fetch_add(queued.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// CPU burned at a service (wall time spent in the burn loop).
+    pub fn on_busy(&self, svc: usize, burned: Duration) {
+        self.services[svc]
+            .busy_ns
+            .fetch_add(burned.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// A call was dropped at a full service queue.
+    pub fn on_dropped(&self, svc: usize) {
+        self.services[svc]
+            .dropped_calls
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn depth_inc(&self, svc: usize) {
+        self.services[svc].depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn depth_dec(&self, svc: usize) {
+        // Saturating: a dec can race a window close, never underflow.
+        let d = &self.services[svc].depth;
+        let _ = d.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(1))
+        });
+    }
+
+    // ---- window close -------------------------------------------------
+
+    /// Fold and reset the current window into a [`ClusterObservation`].
+    ///
+    /// `rate_limits` is the admission bank's current per-API limit
+    /// mirror; `now`/`window` come from the server's [`WallClock`].
+    ///
+    /// [`WallClock`]: crate::clock::WallClock
+    pub fn observe(
+        &self,
+        desc: &AppDescriptor,
+        now: SimTime,
+        window: SimDuration,
+        rate_limits: &[f64],
+    ) -> ClusterObservation {
+        let window_ns = window.as_nanos().max(1);
+        let secs = window_ns as f64 / 1e9;
+        let services = self
+            .services
+            .iter()
+            .enumerate()
+            .map(|(i, cell)| {
+                let busy = cell.busy_ns.swap(0, Ordering::Relaxed);
+                let started = cell.started_calls.swap(0, Ordering::Relaxed);
+                let dropped = cell.dropped_calls.swap(0, Ordering::Relaxed);
+                let qd = cell.queue_delay_ns.swap(0, Ordering::Relaxed);
+                // One worker thread emulates all replicas (per-call burn
+                // is divided by the replica count), so the busy fraction
+                // of the window *is* the pool utilization.
+                let utilization = (busy as f64 / window_ns as f64).min(1.0);
+                ServiceWindow {
+                    service: ServiceId(i as u32),
+                    name: desc.service_names[i].clone(),
+                    utilization,
+                    alive_pods: desc.replicas[i],
+                    desired_pods: desc.replicas[i],
+                    queue_len: cell.depth.load(Ordering::Relaxed),
+                    mean_queuing_delay: qd
+                        .checked_div(started)
+                        .map_or(SimDuration::ZERO, SimDuration::from_nanos),
+                    started_calls: started,
+                    dropped_calls: dropped,
+                }
+            })
+            .collect();
+        let apis = self
+            .apis
+            .iter()
+            .enumerate()
+            .map(|(i, cell)| {
+                let mut hist = cell.latencies.lock().expect("latency lock");
+                let (p50, p95, p99) = (
+                    hist.quantile(0.50),
+                    hist.quantile(0.95),
+                    hist.quantile(0.99),
+                );
+                hist.reset();
+                drop(hist);
+                ApiWindow {
+                    api: ApiId(i as u32),
+                    name: desc.api_names[i].clone(),
+                    business: desc.business[i],
+                    offered: cell.offered.swap(0, Ordering::Relaxed) as f64 / secs,
+                    admitted: cell.admitted.swap(0, Ordering::Relaxed) as f64 / secs,
+                    goodput: cell.good.swap(0, Ordering::Relaxed) as f64 / secs,
+                    slo_violated: cell.slo_violated.swap(0, Ordering::Relaxed) as f64 / secs,
+                    failed: cell.failed.swap(0, Ordering::Relaxed) as f64 / secs,
+                    p50,
+                    p95,
+                    p99,
+                    rate_limit: rate_limits[i],
+                }
+            })
+            .collect();
+        ClusterObservation {
+            now,
+            window,
+            services,
+            apis,
+            api_paths: desc.api_paths.clone(),
+            slo: desc.slo,
+            resilience: ResilienceStats::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc() -> AppDescriptor {
+        AppDescriptor {
+            service_names: vec!["s0".into(), "s1".into()],
+            replicas: vec![2, 1],
+            api_names: vec!["a0".into()],
+            business: vec![BusinessPriority(0)],
+            api_paths: vec![vec![ServiceId(0), ServiceId(1)]],
+            slo: SimDuration::from_millis(100),
+        }
+    }
+
+    #[test]
+    fn window_close_computes_rates_and_resets() {
+        let m = LiveMetrics::new(1, 2);
+        for _ in 0..100 {
+            m.on_offered(0);
+        }
+        for _ in 0..80 {
+            m.on_admitted(0);
+        }
+        for _ in 0..60 {
+            m.on_complete(0, Duration::from_millis(10), Duration::from_millis(100));
+        }
+        for _ in 0..10 {
+            m.on_complete(0, Duration::from_millis(500), Duration::from_millis(100));
+        }
+        for _ in 0..10 {
+            m.on_failed(0);
+        }
+        m.on_busy(0, Duration::from_millis(500));
+        m.on_started(0, Duration::from_millis(2));
+        let obs = m.observe(
+            &desc(),
+            SimTime::from_secs(2),
+            SimDuration::from_secs(2),
+            &[f64::INFINITY],
+        );
+        let a = obs.api(ApiId(0));
+        assert_eq!(a.offered, 50.0);
+        assert_eq!(a.admitted, 40.0);
+        assert_eq!(a.goodput, 30.0);
+        assert_eq!(a.slo_violated, 5.0);
+        assert_eq!(a.failed, 5.0);
+        assert!(a.p99.expect("latencies recorded") >= SimDuration::from_millis(400));
+        let s = obs.service(ServiceId(0));
+        assert!((s.utilization - 0.25).abs() < 0.01, "{}", s.utilization);
+        assert_eq!(s.started_calls, 1);
+        // Second window starts from zero.
+        let obs2 = m.observe(
+            &desc(),
+            SimTime::from_secs(3),
+            SimDuration::from_secs(1),
+            &[f64::INFINITY],
+        );
+        assert_eq!(obs2.api(ApiId(0)).offered, 0.0);
+        assert_eq!(obs2.service(ServiceId(0)).utilization, 0.0);
+        assert!(obs2.api(ApiId(0)).p99.is_none(), "histogram was reset");
+    }
+
+    #[test]
+    fn depth_gauge_survives_windows_and_never_underflows() {
+        let m = LiveMetrics::new(1, 1);
+        m.depth_inc(0);
+        m.depth_inc(0);
+        m.depth_dec(0);
+        let d = AppDescriptor {
+            service_names: vec!["s".into()],
+            replicas: vec![1],
+            api_names: vec!["a".into()],
+            business: vec![BusinessPriority(0)],
+            api_paths: vec![vec![ServiceId(0)]],
+            slo: SimDuration::from_secs(1),
+        };
+        let obs = m.observe(&d, SimTime::from_secs(1), SimDuration::from_secs(1), &[1.0]);
+        assert_eq!(obs.service(ServiceId(0)).queue_len, 1);
+        m.depth_dec(0);
+        m.depth_dec(0); // extra dec must not wrap
+        let obs = m.observe(&d, SimTime::from_secs(2), SimDuration::from_secs(1), &[1.0]);
+        assert_eq!(obs.service(ServiceId(0)).queue_len, 0);
+    }
+}

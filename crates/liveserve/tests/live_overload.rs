@@ -1,0 +1,80 @@
+//! Live-mode closed-loop control test: a real TCP surge against a real
+//! CPU-burning worker, with the unmodified TopFull controller (MIMD
+//! step policy) cutting the entry rate limit and then restoring it once
+//! the surge passes.
+//!
+//! Runs on an ephemeral port in a few seconds of wall clock — small
+//! enough for tier-1, real enough to exercise sockets, threads, the
+//! shared admission bank and the wall-clock metric windows end to end.
+
+use cluster::{ApiSpec, CallNode, ServiceSpec, Topology};
+use liveserve::{LiveConfig, LiveServer, LoadGen, OpenLoopArm};
+use simnet::SimDuration;
+use std::time::{Duration, Instant};
+use topfull::{TopFull, TopFullConfig};
+
+#[test]
+fn controller_cuts_then_restores_rate_limit_under_surge() {
+    // One service, one replica, 500µs per request → capacity ≈ 2k rps.
+    let mut topo = Topology::default();
+    let s = topo.add_service(ServiceSpec::new("api", 1).queue_capacity(512));
+    topo.add_api(ApiSpec::single(
+        "hit",
+        CallNode::leaf(s, SimDuration::from_micros(500)),
+    ));
+
+    let cfg = LiveConfig {
+        slo: Duration::from_millis(50),
+        control_interval: Duration::from_millis(100),
+        ..LiveConfig::default()
+    };
+    let mut server = LiveServer::start(&topo, cfg).expect("start live server");
+    let mut ctrl = TopFull::new(TopFullConfig::default().with_mimd());
+
+    // Open-loop surge at ~2.5× capacity for 1.2s, then silence.
+    let gen = LoadGen::start(
+        server.addr(),
+        None,
+        vec![OpenLoopArm {
+            api: 0,
+            rate_steps: vec![(0.0, 5000.0), (1.2, 0.0)],
+        }],
+    )
+    .expect("start load");
+
+    // Phase A — overload: the controller must impose a finite limit.
+    let started = Instant::now();
+    let mut cut = None;
+    while started.elapsed() < Duration::from_millis(1200) {
+        std::thread::sleep(Duration::from_millis(100));
+        server.tick(&mut ctrl);
+        let limit = server.rate_limit(0);
+        if limit.is_finite() {
+            cut = Some(cut.map_or(limit, |c: f64| c.min(limit)));
+        }
+    }
+    let cut = cut.expect("controller never cut the rate limit under a 2.5x surge");
+    assert!(cut >= 1.0, "cut respects the min-rate floor, got {cut}");
+
+    // Phase B — quiet: recovery must raise the limit well past the cut
+    // or release it entirely, within 2s of the surge ending.
+    let quiet = Instant::now();
+    let mut restored = false;
+    let mut last = cut;
+    while quiet.elapsed() < Duration::from_millis(2000) {
+        std::thread::sleep(Duration::from_millis(100));
+        server.tick(&mut ctrl);
+        last = server.rate_limit(0);
+        if last.is_infinite() || last > cut * 1.5 {
+            restored = true;
+            break;
+        }
+    }
+    assert!(
+        restored,
+        "rate limit never recovered after the surge: cut={cut}, last={last}"
+    );
+
+    gen.stop();
+    server.shutdown();
+}

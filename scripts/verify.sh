@@ -9,4 +9,8 @@ cargo test -q
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check
 
+# Live serving plane smoke: real TCP gateway + worker pool must serve a
+# short open-loop burst end to end (wall-clock, ~2s).
+./target/release/topfull live scenarios/live_smoke.json --duration 2 --json > /dev/null
+
 echo "tier-1 verify: OK"
