@@ -1,0 +1,81 @@
+//! Telemetry-plane overhead.
+//!
+//! `obs/…` measures the instrument hot paths in isolation: one counter
+//! increment, one histogram record (both what the engine's per-request
+//! bookkeeping and the live gateway's admit/reject path pay per event),
+//! and a 1000-entry journal fill (ns/iter ÷ 1000 gives the per-decision
+//! cost — decisions happen per control tick, not per request).
+//!
+//! `engine/boutique-600users-10s-telemetry` is byte-for-byte the run
+//! shape of `benches/engine.rs`'s throughput bench, re-measured with the
+//! registry-backed counters in place; comparing its events/s against
+//! `BENCH_engine.json`'s pre-telemetry number is the ≤5% overhead check
+//! recorded in `BENCH_obs.json` at the repo root.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use simnet::SimDuration;
+use topfull_bench::scenarios::boutique_closed_loop;
+
+fn bench_counter_inc(c: &mut Criterion) {
+    let reg = obs::Registry::new();
+    let ctr = reg.counter("bench_events_total", &[("api", "0")]);
+    c.bench_function("obs/counter-inc", |b| {
+        b.iter(|| {
+            ctr.inc();
+            black_box(ctr.get())
+        })
+    });
+}
+
+fn bench_histogram_record(c: &mut Criterion) {
+    let reg = obs::Registry::new();
+    let h = reg.histogram("bench_latency_seconds", &[]);
+    let mut n: u64 = 0;
+    c.bench_function("obs/histogram-record", |b| {
+        b.iter(|| {
+            // Vary the value so bucket search is not branch-predicted away.
+            n = n.wrapping_add(40_961);
+            h.record(SimDuration::from_nanos(1_000_000 + (n & 0xf_ffff)));
+            black_box(&h);
+        })
+    });
+}
+
+fn bench_journal_fill(c: &mut Criterion) {
+    c.bench_function("obs/journal-record-1k", |b| {
+        b.iter(|| {
+            // Fresh journal each iter so every record lands under the
+            // bound (the post-cap drop path is cheaper and would skew).
+            let j = obs::Journal::shared();
+            for i in 0..1000u32 {
+                j.record(obs::JournalEntry::RateBlocked {
+                    t: f64::from(i),
+                    api: i,
+                    reason: "rate-increase blocked: path contains overloaded svc".into(),
+                });
+            }
+            j.len()
+        })
+    });
+}
+
+/// The same run as `engine/boutique-600users-10s`, now with registry
+/// counters live on the per-request path.
+fn bench_engine_with_telemetry(c: &mut Criterion) {
+    c.bench_function("engine/boutique-600users-10s-telemetry", |b| {
+        b.iter(|| {
+            let (_, mut e) = boutique_closed_loop(black_box(600), 5);
+            e.run_until(simnet::SimTime::from_secs(10));
+            e.events_processed()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_counter_inc,
+    bench_histogram_record,
+    bench_journal_fill,
+    bench_engine_with_telemetry,
+);
+criterion_main!(benches);

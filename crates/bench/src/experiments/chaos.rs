@@ -84,6 +84,7 @@ struct ChaosOutcome {
     stalled: u64,
     frozen: u64,
     decayed: u64,
+    journal: Vec<obs::JournalEntry>,
 }
 
 fn run_one(hardened: bool, seed: u64) -> ChaosOutcome {
@@ -109,6 +110,7 @@ fn run_one(hardened: bool, seed: u64) -> ChaosOutcome {
         stalled: stats.stalled_ticks,
         frozen: stats.frozen_ticks,
         decayed: stats.decayed_ticks,
+        journal: h.journal().snapshot(),
     }
 }
 
@@ -172,5 +174,9 @@ pub fn run() {
         f1(plain.during),
         ratio(hard.during, plain.during),
     ));
+    // The hardened arm's decision journal: every detector transition,
+    // re-clustering, rate action, fallback strike and watchdog event —
+    // `topfull explain artifacts/results/chaos.json` renders it.
+    r.journal(hard.journal);
     r.finish();
 }

@@ -85,14 +85,24 @@ pub fn run() {
                 (
                     label,
                     o.result.mean_total_goodput(MEASURE_FROM, RUN_SECS as f64),
+                    o.result.journal,
                 )
             });
         }
     }
-    let measured = plan.run();
+    let mut measured = plan.run();
     let mut rows = Vec::new();
-    for (chunk, (app, _, _)) in measured.chunks(5).zip(apps) {
-        let by: std::collections::HashMap<&str, f64> = chunk.iter().copied().collect();
+    let mut journal = Vec::new();
+    for (chunk, (app, _, _)) in measured.chunks_mut(5).zip(apps) {
+        let by: std::collections::HashMap<&str, f64> =
+            chunk.iter().map(|(l, g, _)| (*l, *g)).collect();
+        // Keep the trace-demo MIMD arm's decision journal as the
+        // artifact's explainable example (`topfull explain …/fig10.json`).
+        if app == "trace-demo" {
+            if let Some((_, _, j)) = chunk.iter_mut().find(|(l, _, _)| *l == "topfull-mimd") {
+                journal = std::mem::take(j);
+            }
+        }
         let tf = by["topfull"];
         rows.push(vec![
             app.to_string(),
@@ -140,5 +150,6 @@ pub fn run() {
         ],
         rows,
     );
+    r.journal(journal);
     r.finish();
 }

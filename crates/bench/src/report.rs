@@ -16,6 +16,10 @@ pub struct Report {
     /// Named `(t, value)` series (timelines).
     pub series: Vec<NamedSeries>,
     pub notes: Vec<String>,
+    /// Controller decision journal from one representative arm, in
+    /// decision order; `topfull explain artifacts/results/<id>.json`
+    /// renders it. Empty when the experiment did not capture one.
+    pub journal: Vec<obs::JournalEntry>,
 }
 
 #[derive(Debug, Serialize)]
@@ -76,6 +80,11 @@ impl Report {
     /// Add a free-form note.
     pub fn note(&mut self, text: impl Into<String>) {
         self.notes.push(text.into());
+    }
+
+    /// Attach a controller decision journal (one representative arm).
+    pub fn journal(&mut self, entries: Vec<obs::JournalEntry>) {
+        self.journal = entries;
     }
 
     /// Print to stdout and persist JSON under `artifacts/results/`.

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! topfull live <scenario.json> --duration <secs> [--json]
+//! topfull explain <run.json|journal.jsonl>
 //! ```
 //!
 //! Serves the scenario's topology as a real multi-threaded TCP gateway
@@ -11,11 +12,12 @@
 //! on a real timer tick. Output is the simulator's report schema, so
 //! live and simulated runs diff directly.
 
-use topfull_cli::{parse_scenario, render_report, run_live, Scenario};
+use topfull_cli::{explain_file, parse_scenario, render_report, run_live, Scenario};
 
 fn usage() -> ! {
     eprintln!("usage:");
     eprintln!("  topfull live <scenario.json> --duration <secs> [--json]");
+    eprintln!("  topfull explain <run.json|journal.jsonl>");
     std::process::exit(2)
 }
 
@@ -54,6 +56,16 @@ fn main() {
                         print!("{}", render_report(&sc, &out));
                     }
                 }
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("explain") => {
+            let path = args.get(1).unwrap_or_else(|| usage());
+            match explain_file(path) {
+                Ok(text) => print!("{text}"),
                 Err(e) => {
                     eprintln!("{e}");
                     std::process::exit(1);

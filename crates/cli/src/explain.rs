@@ -1,0 +1,351 @@
+//! `topfull explain` — render a controller decision journal as a
+//! human-readable timeline.
+//!
+//! Accepts either a run artifact (`topfull-sim run -o run.json`, a
+//! `topfull live` outcome, or a bench report) — any JSON object with a
+//! top-level `"journal"` array — or a raw JSONL journal as written by
+//! [`obs::Journal::to_jsonl`]. The timeline names every overload
+//! detection instant, re-clustering, per-API rate action (with the
+//! state inputs that drove it), §4.1 increase block, headroom release,
+//! and MIMD-fallback strike, followed by a run summary.
+
+use obs::JournalEntry;
+use serde::Deserialize;
+use std::fmt::Write;
+
+/// Read `path` and render its journal. The file may be a JSON object
+/// embedding a `"journal"` array or a JSONL stream of entries.
+pub fn explain_file(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let entries = parse_journal(&text)?;
+    Ok(render_timeline(&entries))
+}
+
+/// Parse journal entries out of either supported input shape.
+pub fn parse_journal(text: &str) -> Result<Vec<JournalEntry>, String> {
+    // A run artifact is one JSON document; try that reading first.
+    if let Ok(doc) = serde_json::from_str::<serde_json::JsonValue>(text) {
+        if let Some(journal) = doc.get("journal") {
+            return match journal {
+                serde::Value::Array(items) => items
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        JournalEntry::from_value(v).map_err(|e| format!("journal[{i}]: {e}"))
+                    })
+                    .collect(),
+                _ => Err("\"journal\" field is not an array".into()),
+            };
+        }
+        // A single journal entry on its own is a one-line JSONL file;
+        // fall through to line-by-line parsing below.
+    }
+    let mut entries = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let entry = serde_json::from_str::<JournalEntry>(line)
+            .map_err(|e| format!("line {}: not a journal entry: {e}", lineno + 1))?;
+        entries.push(entry);
+    }
+    if entries.is_empty() {
+        return Err(
+            "no journal entries found (expected a JSON object with a \"journal\" \
+             array, or JSONL of journal entries)"
+                .into(),
+        );
+    }
+    Ok(entries)
+}
+
+/// Render the decision timeline plus a summary. Pure function of the
+/// entries, so the output is as deterministic as the journal itself.
+pub fn render_timeline(entries: &[JournalEntry]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "controller decision journal — {} entries", entries.len());
+    if entries.is_empty() {
+        let _ = writeln!(
+            s,
+            "(no decisions recorded: the run never left nominal state)"
+        );
+        return s;
+    }
+    for e in entries {
+        let _ = writeln!(s, "{}", render_entry(e));
+    }
+    s.push('\n');
+    s.push_str(&render_summary(entries));
+    s
+}
+
+fn render_entry(e: &JournalEntry) -> String {
+    let t = e.at();
+    match e {
+        JournalEntry::Overload {
+            name,
+            service,
+            utilization,
+            entered,
+            ..
+        } => {
+            let verb = if *entered { "OVERLOAD" } else { "recovered" };
+            format!("t={t:>8.2}s  {verb:<9} {name} (svc {service}) util={utilization:.3}")
+        }
+        JournalEntry::Recluster {
+            clusters,
+            assignment,
+            ..
+        } => {
+            if *clusters == 0 {
+                format!("t={t:>8.2}s  recluster  no overloaded targets; clusters dissolved")
+            } else {
+                format!("t={t:>8.2}s  recluster  {clusters} cluster(s): apis [{assignment}]")
+            }
+        }
+        JournalEntry::RateAction {
+            target_name,
+            apis,
+            action,
+            goodput_ratio,
+            latency_ratio,
+            total_limit,
+            reason,
+            ..
+        } => format!(
+            "t={t:>8.2}s  rate       {target_name}: step {action:+.3} on apis [{apis}] \
+             (goodput {goodput_ratio:.2}, latency {latency_ratio:.2}x SLO, \
+             limit {total_limit:.1} rps) — {reason}"
+        ),
+        JournalEntry::RateBlocked { api, reason, .. } => {
+            format!("t={t:>8.2}s  blocked    api {api}: {reason}")
+        }
+        JournalEntry::Release { api, reason, .. } => {
+            format!("t={t:>8.2}s  release    api {api}: {reason}")
+        }
+        JournalEntry::FallbackStrike {
+            strikes,
+            max_strikes,
+            tripped,
+            ..
+        } => {
+            let tail = if *tripped {
+                " — primary tripped, MIMD fallback engaged"
+            } else {
+                ""
+            };
+            format!("t={t:>8.2}s  strike     fallback strike {strikes}/{max_strikes}{tail}")
+        }
+        JournalEntry::Watchdog { event, .. } => {
+            format!("t={t:>8.2}s  watchdog   {event}")
+        }
+        JournalEntry::PlaneVetoes {
+            resilience,
+            admission,
+            faults,
+            ..
+        } => format!(
+            "t={t:>8.2}s  vetoes     resilience={resilience} admission={admission} \
+             faults={faults} (window)"
+        ),
+        JournalEntry::FaultTelemetry {
+            dropouts,
+            noisy,
+            stale,
+            ..
+        } => format!(
+            "t={t:>8.2}s  telemetry  degraded signals: dropouts={dropouts} \
+             noisy={noisy} stale={stale} (window)"
+        ),
+    }
+}
+
+fn render_summary(entries: &[JournalEntry]) -> String {
+    let mut enters = 0u64;
+    let mut clears = 0u64;
+    let mut first_enter: Option<(f64, String)> = None;
+    let mut reclusters = 0u64;
+    let mut cuts = 0u64;
+    let mut raises = 0u64;
+    let mut blocks = 0u64;
+    let mut releases = 0u64;
+    let mut strikes = 0u64;
+    let mut tripped = false;
+    let mut watchdog = 0u64;
+    for e in entries {
+        match e {
+            JournalEntry::Overload {
+                t, name, entered, ..
+            } => {
+                if *entered {
+                    enters += 1;
+                    if first_enter.is_none() {
+                        first_enter = Some((*t, name.clone()));
+                    }
+                } else {
+                    clears += 1;
+                }
+            }
+            JournalEntry::Recluster { .. } => reclusters += 1,
+            JournalEntry::RateAction { action, .. } => {
+                if *action < 0.0 {
+                    cuts += 1;
+                } else {
+                    raises += 1;
+                }
+            }
+            JournalEntry::RateBlocked { .. } => blocks += 1,
+            JournalEntry::Release { .. } => releases += 1,
+            JournalEntry::FallbackStrike { tripped: trip, .. } => {
+                strikes += 1;
+                tripped |= *trip;
+            }
+            JournalEntry::Watchdog { .. } => watchdog += 1,
+            JournalEntry::PlaneVetoes { .. } | JournalEntry::FaultTelemetry { .. } => {}
+        }
+    }
+    let mut s = String::from("summary:\n");
+    match &first_enter {
+        Some((t, name)) => {
+            let _ = writeln!(
+                s,
+                "  overload detections: {enters} (first: {name} at t={t:.2}s), recoveries: {clears}"
+            );
+        }
+        None => {
+            let _ = writeln!(s, "  overload detections: 0");
+        }
+    }
+    let _ = writeln!(s, "  re-clusterings: {reclusters}");
+    let _ = writeln!(
+        s,
+        "  rate actions: {} ({cuts} cuts, {raises} raises)",
+        cuts + raises
+    );
+    let _ = writeln!(s, "  increases blocked by the path rule: {blocks}");
+    let _ = writeln!(s, "  headroom releases: {releases}");
+    let fb = if strikes > 0 {
+        format!(
+            "  fallback strikes: {strikes}{}",
+            if tripped { " (primary tripped)" } else { "" }
+        )
+    } else {
+        "  fallback strikes: 0".into()
+    };
+    let _ = writeln!(s, "{fb}");
+    if watchdog > 0 {
+        let _ = writeln!(s, "  watchdog events: {watchdog}");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entries() -> Vec<JournalEntry> {
+        vec![
+            JournalEntry::Overload {
+                t: 10.0,
+                service: 4,
+                name: "backend".into(),
+                utilization: 0.97,
+                entered: true,
+            },
+            JournalEntry::Recluster {
+                t: 10.0,
+                clusters: 1,
+                assignment: "0,2".into(),
+            },
+            JournalEntry::RateAction {
+                t: 10.0,
+                target: 4,
+                target_name: "backend".into(),
+                apis: "0,2".into(),
+                action: -0.25,
+                goodput_ratio: 0.4,
+                latency_ratio: 2.5,
+                total_limit: 120.0,
+                reason: "mimd action -0.250".into(),
+            },
+            JournalEntry::RateBlocked {
+                t: 11.0,
+                api: 1,
+                reason: "rate-increase blocked: path contains overloaded backend".into(),
+            },
+            JournalEntry::FallbackStrike {
+                t: 12.0,
+                strikes: 3,
+                max_strikes: 3,
+                tripped: true,
+            },
+            JournalEntry::Release {
+                t: 30.0,
+                api: 0,
+                reason: "limit held 2.0x above offered for 5 intervals".into(),
+            },
+            JournalEntry::Overload {
+                t: 31.0,
+                service: 4,
+                name: "backend".into(),
+                utilization: 0.50,
+                entered: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn timeline_names_detections_strikes_and_releases() {
+        let text = render_timeline(&sample_entries());
+        assert!(
+            text.contains("OVERLOAD  backend (svc 4) util=0.970"),
+            "{text}"
+        );
+        assert!(text.contains("1 cluster(s): apis [0,2]"), "{text}");
+        assert!(text.contains("step -0.250"), "{text}");
+        assert!(text.contains("path contains overloaded backend"), "{text}");
+        assert!(
+            text.contains("fallback strike 3/3 — primary tripped"),
+            "{text}"
+        );
+        assert!(text.contains("release    api 0"), "{text}");
+        assert!(text.contains("recovered backend"), "{text}");
+        assert!(text.contains("overload detections: 1 (first: backend at t=10.00s)"));
+        assert!(text.contains("fallback strikes: 1 (primary tripped)"));
+    }
+
+    #[test]
+    fn parses_jsonl_journals() {
+        let jsonl = obs::to_jsonl(&sample_entries());
+        let back = parse_journal(&jsonl).expect("jsonl parses");
+        assert_eq!(back, sample_entries());
+    }
+
+    #[test]
+    fn parses_run_artifacts_with_embedded_journals() {
+        let jsonl = obs::to_jsonl(&sample_entries());
+        let inner: Vec<String> = jsonl.lines().map(String::from).collect();
+        let doc = format!(
+            r#"{{"name":"run","total_goodput":120.5,"journal":[{}]}}"#,
+            inner.join(",")
+        );
+        let back = parse_journal(&doc).expect("artifact parses");
+        assert_eq!(back, sample_entries());
+    }
+
+    #[test]
+    fn rejects_non_journal_input() {
+        assert!(parse_journal("").is_err());
+        assert!(parse_journal("{\"name\":\"run\"}").is_err());
+        assert!(parse_journal("not json at all").is_err());
+        let err = parse_journal("{\"journal\": 3}").unwrap_err();
+        assert!(err.contains("not an array"), "{err}");
+    }
+
+    #[test]
+    fn empty_journal_renders_nominal_note() {
+        let text = render_timeline(&[]);
+        assert!(text.contains("never left nominal state"), "{text}");
+    }
+}

@@ -10,11 +10,13 @@
 //! scenario → engine translation, and [`report`] for the output.
 
 pub mod build;
+pub mod explain;
 pub mod live;
 pub mod report;
 pub mod schema;
 
 pub use build::build_scenario;
+pub use explain::explain_file;
 pub use live::run_live;
 pub use report::{render_report, ScenarioOutcome};
 pub use schema::Scenario;

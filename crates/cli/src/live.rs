@@ -110,6 +110,8 @@ pub fn run_live(sc: &Scenario, duration_secs: u64) -> Result<ScenarioOutcome, St
     }
     let topo = build_topology(&sc.app)?;
     let mut controller = build_live_controller(sc)?;
+    let journal = obs::Journal::shared();
+    controller.attach_journal(std::sync::Arc::clone(&journal));
     let scale = duration_secs as f64 / sc.duration_secs as f64;
     let (closed, arms) = build_load(&topo, &sc.workload, scale)?;
     let live = sc.live.clone().unwrap_or_default();
@@ -148,6 +150,7 @@ pub fn run_live(sc: &Scenario, duration_secs: u64) -> Result<ScenarioOutcome, St
         crash_events: 0,
         resilience: ResilienceStats::default(),
         timeline: result.total_goodput_series(),
+        journal: journal.snapshot(),
     })
 }
 
@@ -158,6 +161,7 @@ fn live_config(live: &LiveSpec, slo_ms: u64) -> LiveConfig {
         cpu_scale: live.cpu_scale,
         gateway_burst_secs: live.gateway_burst_secs,
         port: live.port,
+        metrics_port: live.metrics_port,
     }
 }
 

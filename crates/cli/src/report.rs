@@ -21,6 +21,9 @@ pub struct ScenarioOutcome {
     pub resilience: ResilienceStats,
     /// `(t, total goodput)` timeline.
     pub timeline: Vec<(f64, f64)>,
+    /// Controller decision journal, in decision order. Feed to
+    /// `topfull explain` to render the timeline.
+    pub journal: Vec<obs::JournalEntry>,
 }
 
 /// Run a built scenario to completion and collect the outcome.
@@ -67,6 +70,7 @@ pub fn execute(sc: &Scenario, built: BuiltScenario) -> ScenarioOutcome {
         crash_events: h.engine.crash_events,
         resilience: h.engine.resilience_totals(),
         timeline: r.total_goodput_series(),
+        journal: h.journal().snapshot(),
     }
 }
 

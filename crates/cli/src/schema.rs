@@ -390,6 +390,10 @@ pub struct LiveSpec {
     /// Loopback TCP port; 0 = ephemeral.
     #[serde(default)]
     pub port: u16,
+    /// Loopback TCP port of the HTTP exposition endpoint
+    /// (`GET /metrics`, `GET /spans`); 0 = ephemeral.
+    #[serde(default)]
+    pub metrics_port: u16,
 }
 
 fn default_cpu_scale() -> f64 {
@@ -409,6 +413,7 @@ impl Default for LiveSpec {
             control_interval_ms: default_control_interval_ms(),
             gateway_burst_secs: default_burst_secs(),
             port: 0,
+            metrics_port: 0,
         }
     }
 }

@@ -44,6 +44,12 @@ pub trait Controller {
     fn name(&self) -> &str {
         "controller"
     }
+
+    /// Adopt a shared decision journal. Controllers that explain their
+    /// verdicts (TopFull) record detector transitions, re-clusterings and
+    /// rate actions here; the default is a no-op so baselines stay
+    /// journal-free.
+    fn attach_journal(&mut self, _journal: std::sync::Arc<obs::Journal>) {}
 }
 
 /// The "no overload control" baseline: never touches any rate limit.

@@ -457,7 +457,7 @@ impl Engine {
         if self.planes.resilience.cancel_doomed {
             if let Some(req) = self.user_reqs.remove(&(user.id, user.gen)) {
                 if self.requests.contains_key(&req) {
-                    self.planes.resilience.window.client_cancelled += 1;
+                    self.planes.resilience.on_client_cancelled();
                     self.fail_request(now, req, RequestOutcome::ClientTimeout);
                 }
             }

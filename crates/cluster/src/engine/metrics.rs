@@ -60,6 +60,11 @@ pub(super) struct MetricsState {
     /// Static per-API service paths (topology union), used when path
     /// learning is disabled.
     pub(super) api_paths: Vec<Vec<ServiceId>>,
+    /// Plane-veto counter values at the last journaled window close.
+    pub(super) veto_base: (u64, u64, u64),
+    /// Fault-telemetry counter values (dropouts, noisy, stale) at the
+    /// last journaled window close.
+    pub(super) fault_base: (u64, u64, u64),
 }
 
 impl MetricsState {
@@ -71,6 +76,8 @@ impl MetricsState {
             latest_obs: None,
             latest_true_obs: None,
             api_paths,
+            veto_base: (0, 0, 0),
+            fault_base: (0, 0, 0),
         }
     }
 }
@@ -91,8 +98,44 @@ impl Engine {
         // kept alongside for ground-truth measurement.
         self.metrics.latest_true_obs = Some(obs.clone());
         self.metrics.latest_obs = Some(self.planes.faults.distort(now, obs));
+        self.journal_window_aggregates(now);
         self.queue
             .schedule(now + self.cfg.control_interval, Ev::MetricsTick);
+    }
+
+    /// Journal per-window plane-veto and fault-telemetry deltas (only for
+    /// windows in which the counters actually moved). Runs after
+    /// `distort`, so this window's telemetry distortions are included.
+    fn journal_window_aggregates(&mut self, now: SimTime) {
+        let Some(journal) = self.journal.as_ref() else {
+            return;
+        };
+        let t = now.as_secs_f64();
+        let v = self.planes.vetoes.snapshot();
+        let base = self.metrics.veto_base;
+        let (dr, da, df) = (v.0 - base.0, v.1 - base.1, v.2 - base.2);
+        if (dr, da, df) != (0, 0, 0) {
+            journal.record(obs::JournalEntry::PlaneVetoes {
+                t,
+                resilience: dr,
+                admission: da,
+                faults: df,
+            });
+        }
+        self.metrics.veto_base = v;
+        let fc = self.planes.faults.counters();
+        let f = (fc.dropouts.get(), fc.noisy.get(), fc.stale.get());
+        let base = self.metrics.fault_base;
+        let (dd, dn, ds) = (f.0 - base.0, f.1 - base.1, f.2 - base.2);
+        if (dd, dn, ds) != (0, 0, 0) {
+            journal.record(obs::JournalEntry::FaultTelemetry {
+                t,
+                dropouts: dd,
+                noisy: dn,
+                stale: ds,
+            });
+        }
+        self.metrics.fault_base = f;
     }
 
     pub(super) fn finalize_window(&mut self, now: SimTime) -> ClusterObservation {

@@ -190,6 +190,11 @@ pub struct Engine {
     /// Services whose pods crashed at least once (for assertions in tests
     /// and experiment reporting).
     pub crash_events: u64,
+    /// Metrics registry; plane counters are adopted into it at build.
+    registry: obs::Registry,
+    /// Decision journal for per-window plane-veto / fault-telemetry
+    /// aggregates (attached by the harness; `None` = not recording).
+    journal: Option<std::sync::Arc<obs::Journal>>,
 }
 
 impl Engine {
@@ -223,6 +228,9 @@ impl Engine {
         let mut queue = EventQueue::new();
         queue.schedule(SimTime::ZERO, Ev::WorkloadTick);
         queue.schedule(SimTime::ZERO + cfg.control_interval, Ev::MetricsTick);
+        let planes = Planes::new(simnet::rng::fork(seed_for_faults, "faults"));
+        let registry = obs::Registry::new();
+        planes.register_into(&registry);
         Engine {
             gateway: Gateway::new(num_apis, cfg.gateway_burst_secs),
             topo,
@@ -231,7 +239,7 @@ impl Engine {
             now_floor: SimTime::ZERO,
             services,
             workload,
-            planes: Planes::new(simnet::rng::fork(seed_for_faults, "faults")),
+            planes,
             hpa: None,
             vm_pool,
             failures: Vec::new(),
@@ -242,7 +250,23 @@ impl Engine {
             tracer,
             user_reqs: HashMap::new(),
             crash_events: 0,
+            registry,
+            journal: None,
         }
+    }
+
+    /// The engine's metrics registry: resilience events, per-plane veto
+    /// counts, and fault-plane telemetry distortions, as cumulative
+    /// instruments renderable in Prometheus text format.
+    pub fn registry(&self) -> &obs::Registry {
+        &self.registry
+    }
+
+    /// Attach a decision journal. The engine records one `PlaneVetoes`
+    /// and one `FaultTelemetry` aggregate per observation window in which
+    /// the respective counters moved.
+    pub fn set_journal(&mut self, journal: std::sync::Arc<obs::Journal>) {
+        self.journal = Some(journal);
     }
 
     /// Enable the request-plane resilience layer ([`crate::resilience`]):

@@ -18,7 +18,7 @@
 use crate::admission::AdmissionControl;
 use crate::faults::FaultPlane;
 use crate::observe::ClusterObservation;
-use crate::resilience::{EdgeBreakers, ResilienceConfig, ResilienceStats};
+use crate::resilience::{EdgeBreakers, ResilienceConfig, ResilienceCounters, ResilienceStats};
 use crate::types::{RequestMeta, RequestOutcome, ServiceId};
 use rand::rngs::SmallRng;
 use simnet::{SimDuration, SimTime};
@@ -81,11 +81,45 @@ pub(super) trait Plane {
     fn check(&mut self, point: LifecyclePoint, ctx: &CallCtx, now: SimTime) -> Verdict;
 }
 
+/// Per-plane veto counters: calls cancelled or failed by each plane,
+/// cumulative over the run. Registered under
+/// `topfull_plane_vetoes_total{plane=…}`; the engine journals per-window
+/// deltas so `topfull explain` can show which plane was shedding.
+#[derive(Clone, Debug, Default)]
+pub(super) struct PlaneVetoCounters {
+    pub(super) resilience: obs::Counter,
+    pub(super) admission: obs::Counter,
+    pub(super) faults: obs::Counter,
+}
+
+impl PlaneVetoCounters {
+    pub(super) fn register_into(&self, reg: &obs::Registry) {
+        for (plane, c) in [
+            ("resilience", &self.resilience),
+            ("admission", &self.admission),
+            ("faults", &self.faults),
+        ] {
+            reg.register_counter("topfull_plane_vetoes_total", &[("plane", plane)], c);
+        }
+    }
+
+    /// Current cumulative counts `(resilience, admission, faults)`.
+    pub(super) fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.resilience.get(),
+            self.admission.get(),
+            self.faults.get(),
+        )
+    }
+}
+
 /// The engine's plane stack, consulted in fixed order.
 pub(super) struct Planes {
     pub(super) resilience: ResiliencePlane,
     pub(super) admission: AdmissionPlane,
     pub(super) faults: FaultPlane,
+    /// How often each plane vetoed a call (Cancel or Fail verdicts).
+    pub(super) vetoes: PlaneVetoCounters,
 }
 
 impl Planes {
@@ -94,19 +128,41 @@ impl Planes {
             resilience: ResiliencePlane::default(),
             admission: AdmissionPlane { ctrl: None },
             faults: FaultPlane::new(fault_rng),
+            vetoes: PlaneVetoCounters::default(),
         }
     }
 
+    /// Adopt every plane counter into `reg` (resilience events, plane
+    /// vetoes, fault-plane telemetry distortions).
+    pub(super) fn register_into(&self, reg: &obs::Registry) {
+        self.resilience.counters.register_into(reg);
+        self.vetoes.register_into(reg);
+        self.faults.counters().register_into(reg);
+    }
+
     /// Consult every plane at `point`, short-circuiting on the first
-    /// veto; `Proceed` latencies accumulate.
+    /// veto; `Proceed` latencies accumulate. The consultation order is
+    /// fixed (resilience → admission → faults) and veto accounting is
+    /// plain counter increments, so adding telemetry never perturbs the
+    /// event or RNG sequence.
     pub(super) fn check(&mut self, point: LifecyclePoint, ctx: &CallCtx, now: SimTime) -> Verdict {
         let mut total = SimDuration::ZERO;
-        let stack: [&mut dyn Plane; 3] =
-            [&mut self.resilience, &mut self.admission, &mut self.faults];
-        for plane in stack {
-            match plane.check(point, ctx, now) {
+        for i in 0..3 {
+            let verdict = match i {
+                0 => self.resilience.check(point, ctx, now),
+                1 => self.admission.check(point, ctx, now),
+                _ => self.faults.check(point, ctx, now),
+            };
+            match verdict {
                 Verdict::Proceed { extra } => total += extra,
-                veto => return veto,
+                veto => {
+                    match i {
+                        0 => self.vetoes.resilience.inc(),
+                        1 => self.vetoes.admission.inc(),
+                        _ => self.vetoes.faults.inc(),
+                    }
+                    return veto;
+                }
             }
         }
         Verdict::Proceed { extra: total }
@@ -158,12 +214,14 @@ pub(super) struct ResiliencePlane {
     pub(super) cancel_doomed: bool,
     /// Per-downstream-edge circuit breakers (`None` = breakers off).
     pub(super) breakers: Option<EdgeBreakers>,
-    /// Resilience counters for the current window / whole run.
-    pub(super) window: ResilienceStats,
-    totals: ResilienceStats,
-    /// Workload retry counters already folded into the stats above.
+    /// Cumulative resilience counters as shared registry instruments;
+    /// windows and run totals are views derived by differencing.
+    pub(super) counters: ResilienceCounters,
+    /// Cumulative snapshot taken when the current window opened.
+    window_base: ResilienceStats,
+    /// Workload retry counters already folded into the counters above.
     retry_snapshot: (u64, u64),
-    /// Breaker transitions already folded into the stats above.
+    /// Breaker transitions already folded into the counters above.
     breaker_snapshot: u64,
 }
 
@@ -187,8 +245,7 @@ impl ResiliencePlane {
     /// Cumulative counters including the window in progress, folding in
     /// the workload's live retry counters.
     pub(super) fn totals(&self, retry_stats: (u64, u64)) -> ResilienceStats {
-        let mut t = self.totals;
-        t.add(&self.window);
+        let mut t = self.counters.snapshot();
         let (ri, rs) = retry_stats;
         t.retries_issued += ri - self.retry_snapshot.0;
         t.retries_suppressed += rs - self.retry_snapshot.1;
@@ -199,22 +256,31 @@ impl ResiliencePlane {
     }
 
     /// Close the metrics window: fold client-side retry counters and
-    /// breaker transitions into it, roll it into the run totals, and
-    /// return the closed window's stats.
+    /// breaker transitions into the cumulative instruments, and return
+    /// the window's stats (cumulative delta since the window opened).
     pub(super) fn close_window(&mut self, retry_stats: (u64, u64)) -> ResilienceStats {
         let (ri, rs) = retry_stats;
-        self.window.retries_issued += ri - self.retry_snapshot.0;
-        self.window.retries_suppressed += rs - self.retry_snapshot.1;
+        self.counters.retries_issued.add(ri - self.retry_snapshot.0);
+        self.counters
+            .retries_suppressed
+            .add(rs - self.retry_snapshot.1);
         self.retry_snapshot = (ri, rs);
         if let Some(b) = &self.breakers {
             let t = b.transitions();
-            self.window.breaker_transitions += t - self.breaker_snapshot;
+            self.counters
+                .breaker_transitions
+                .add(t - self.breaker_snapshot);
             self.breaker_snapshot = t;
         }
-        let closed = self.window;
-        self.totals.add(&closed);
-        self.window = ResilienceStats::default();
+        let cum = self.counters.snapshot();
+        let closed = cum.since(&self.window_base);
+        self.window_base = cum;
         closed
+    }
+
+    /// A root request was torn down by its client's timeout.
+    pub(super) fn on_client_cancelled(&self) {
+        self.counters.client_cancelled.inc();
     }
 
     /// A failed call is a failure signal for its inbound edge.
@@ -253,7 +319,7 @@ impl Plane for ResiliencePlane {
             // use, nor across an open breaker.
             LifecyclePoint::Dispatch => {
                 if self.deadline_expired(ctx, now) {
-                    self.window.deadline_rejected += 1;
+                    self.counters.deadline_rejected.inc();
                     return Verdict::Fail {
                         outcome: RequestOutcome::DeadlineExpired(ctx.callee),
                         drop_at_callee: false,
@@ -262,7 +328,7 @@ impl Plane for ResiliencePlane {
                 }
                 if let Some(b) = self.breakers.as_mut() {
                     if !b.allow(ctx.caller, ctx.callee, now) {
-                        self.window.breaker_rejected += 1;
+                        self.counters.breaker_rejected.inc();
                         return Verdict::Fail {
                             outcome: RequestOutcome::BreakerOpen(ctx.callee),
                             drop_at_callee: false,
@@ -278,13 +344,13 @@ impl Plane for ResiliencePlane {
             LifecyclePoint::Arrival | LifecyclePoint::Process => {
                 if ctx.meta.is_none() {
                     if self.cancel_doomed {
-                        self.window.doomed_cancelled += 1;
+                        self.counters.doomed_cancelled.inc();
                         return Verdict::Cancel;
                     }
                     return Verdict::proceed();
                 }
                 if self.deadline_expired(ctx, now) {
-                    self.window.deadline_rejected += 1;
+                    self.counters.deadline_rejected.inc();
                     return Verdict::Fail {
                         outcome: RequestOutcome::DeadlineExpired(ctx.callee),
                         drop_at_callee: true,

@@ -108,6 +108,36 @@ pub struct NetEffect {
 /// How many true observations to retain for staleness replay.
 const HISTORY_CAP: usize = 64;
 
+/// Cumulative fault-plane telemetry counters: how often the plane
+/// distorted what the control plane saw. Registered under
+/// `topfull_fault_telemetry_total{kind=…}` plus
+/// `topfull_fault_net_drops_total`; the engine journals per-window deltas
+/// so a decision timeline shows when the controller was flying blind.
+#[derive(Clone, Debug, Default)]
+pub struct FaultTelemetryCounters {
+    /// Service utilizations blanked to NaN by a dropout window.
+    pub dropouts: obs::Counter,
+    /// Service utilizations perturbed by telemetry noise.
+    pub noisy: obs::Counter,
+    /// Observations replaced by a stale snapshot.
+    pub stale: obs::Counter,
+    /// Forward calls lost to a degraded network path.
+    pub net_drops: obs::Counter,
+}
+
+impl FaultTelemetryCounters {
+    pub fn register_into(&self, reg: &obs::Registry) {
+        for (kind, c) in [
+            ("dropout", &self.dropouts),
+            ("noise", &self.noisy),
+            ("stale", &self.stale),
+        ] {
+            reg.register_counter("topfull_fault_telemetry_total", &[("kind", kind)], c);
+        }
+        reg.register_counter("topfull_fault_net_drops_total", &[], &self.net_drops);
+    }
+}
+
 /// Runtime evaluating a schedule of [`FaultSpec`]s. Owned by the engine;
 /// all randomness comes from a dedicated forked RNG so the base event
 /// streams are identical with and without faults installed.
@@ -119,6 +149,7 @@ pub struct FaultPlane {
     has_telemetry: bool,
     has_net: bool,
     has_slow: bool,
+    counters: FaultTelemetryCounters,
 }
 
 impl FaultPlane {
@@ -131,7 +162,13 @@ impl FaultPlane {
             has_telemetry: false,
             has_net: false,
             has_slow: false,
+            counters: FaultTelemetryCounters::default(),
         }
+    }
+
+    /// The plane's cumulative telemetry-distortion counters.
+    pub fn counters(&self) -> &FaultTelemetryCounters {
+        &self.counters
     }
 
     /// Install faults. Pod kills are returned as [`FailureSpec`]s for the
@@ -206,8 +243,9 @@ impl FaultPlane {
                 if matches && active(now, *from, *until) {
                     eff.extra += *extra_latency;
                     let p = loss.clamp(0.0, 1.0);
-                    if p > 0.0 && self.rng.gen::<f64>() < p {
+                    if p > 0.0 && self.rng.gen::<f64>() < p && !eff.dropped {
                         eff.dropped = true;
+                        self.counters.net_drops.inc();
                     }
                 }
             }
@@ -249,6 +287,7 @@ impl FaultPlane {
         let mut seen = if lag.is_zero() {
             obs
         } else {
+            self.counters.stale.inc();
             // Newest archived snapshot at least `lag` old; the oldest we
             // have if the pipeline lag exceeds the archive.
             self.history
@@ -269,6 +308,7 @@ impl FaultPlane {
                     for w in &mut seen.services {
                         if service.is_none_or(|t| t == w.service) {
                             w.utilization = f64::NAN;
+                            self.counters.dropouts.inc();
                         }
                     }
                 }
@@ -285,6 +325,7 @@ impl FaultPlane {
                                 (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                             let mult = (-sigma * sigma / 2.0 + sigma * z).exp();
                             w.utilization = (w.utilization * mult).clamp(0.0, 2.0);
+                            self.counters.noisy.inc();
                         }
                     }
                 }
@@ -435,6 +476,27 @@ mod tests {
         let seen = p.distort(t(1), obs_at(t(1), &[0.5, 0.9]));
         assert_eq!(seen.services[0].utilization, 0.5);
         assert!(seen.services[1].utilization.is_nan());
+        assert_eq!(p.counters().dropouts.get(), 1);
+        assert_eq!(p.counters().noisy.get(), 0);
+        assert_eq!(p.counters().stale.get(), 0);
+    }
+
+    #[test]
+    fn telemetry_counters_register_and_count_distortions() {
+        let mut p = plane(vec![FaultSpec::TelemetryStaleness {
+            from: t(0),
+            until: t(100),
+            by: SimDuration::from_secs(1),
+        }]);
+        p.distort(t(1), obs_at(t(1), &[0.5]));
+        p.distort(t(2), obs_at(t(2), &[0.6]));
+        assert_eq!(p.counters().stale.get(), 2);
+        let reg = obs::Registry::new();
+        p.counters().register_into(&reg);
+        assert_eq!(reg.len(), 4);
+        let text = reg.render_prometheus();
+        assert!(text.contains("topfull_fault_telemetry_total{kind=\"stale\"} 2"));
+        assert!(text.contains("topfull_fault_net_drops_total 0"));
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::resilience::ResilienceStats;
 use crate::types::ApiId;
 use simnet::stats;
 use simnet::{SimDuration, SimTime};
+use std::sync::Arc;
 
 /// Per-interval sample of one run.
 #[derive(Clone, Debug)]
@@ -35,11 +36,16 @@ pub struct TickSample {
     pub resilience: ResilienceStats,
 }
 
-/// Result of a harness run: the full per-interval timeline.
+/// Result of a harness run: the full per-interval timeline plus the
+/// control system's decision journal.
 #[derive(Clone, Debug, Default)]
 pub struct RunResult {
     pub samples: Vec<TickSample>,
     pub num_apis: usize,
+    /// Decision journal entries recorded over the run (detector
+    /// transitions, re-clusterings, rate actions, watchdog events, plane
+    /// aggregates). Filled by [`Harness::into_result`].
+    pub journal: Vec<obs::JournalEntry>,
 }
 
 impl RunResult {
@@ -173,23 +179,36 @@ pub struct Harness {
     result: RunResult,
     next_tick: SimTime,
     watchdog: Option<Watchdog>,
+    journal: Arc<obs::Journal>,
 }
 
 impl Harness {
-    /// Wrap `engine`, controlled by `controller`.
-    pub fn new(engine: Engine, controller: Box<dyn Controller>) -> Self {
+    /// Wrap `engine`, controlled by `controller`. A shared decision
+    /// journal is created and attached to both: the controller records
+    /// its verdicts, the engine its per-window plane aggregates.
+    pub fn new(mut engine: Engine, mut controller: Box<dyn Controller>) -> Self {
         let num_apis = engine.topology().num_apis();
         let interval = engine.config().control_interval;
+        let journal = obs::Journal::shared();
+        engine.set_journal(Arc::clone(&journal));
+        controller.attach_journal(Arc::clone(&journal));
         Harness {
             engine,
             controller,
             result: RunResult {
                 samples: Vec::new(),
                 num_apis,
+                journal: Vec::new(),
             },
             next_tick: SimTime::ZERO + interval,
             watchdog: None,
+            journal,
         }
+    }
+
+    /// The shared decision journal.
+    pub fn journal(&self) -> &Arc<obs::Journal> {
+        &self.journal
     }
 
     /// The hardened loop: like [`Harness::new`], plus a watchdog that
@@ -263,6 +282,12 @@ impl Harness {
             || obs.services.iter().all(|s| !s.utilization.is_finite());
         if dark {
             wd.dark_streak = wd.dark_streak.saturating_add(1);
+            if wd.dark_streak == wd.cfg.dark_after {
+                self.journal.record(obs::JournalEntry::Watchdog {
+                    t: obs.now.as_secs_f64(),
+                    event: "engaged: observations dark, limits frozen".into(),
+                });
+            }
             if wd.engaged() {
                 if wd.dark_streak - wd.cfg.dark_after < wd.cfg.freeze_ticks {
                     wd.stats.frozen_ticks += 1;
@@ -270,6 +295,12 @@ impl Harness {
                     // Still blind past the freeze window: decay finite
                     // limits toward the floor — load gently sheds instead
                     // of running open-loop on the last pre-outage limits.
+                    if wd.dark_streak - wd.cfg.dark_after == wd.cfg.freeze_ticks {
+                        self.journal.record(obs::JournalEntry::Watchdog {
+                            t: obs.now.as_secs_f64(),
+                            event: "decaying: still dark past freeze window".into(),
+                        });
+                    }
                     wd.stats.decayed_ticks += 1;
                     for i in 0..self.result.num_apis {
                         let api = ApiId(i as u32);
@@ -289,6 +320,10 @@ impl Harness {
             if wd.engaged() {
                 wd.stats.reentries += 1;
                 wd.reentry_left = wd.cfg.reentry_ticks;
+                self.journal.record(obs::JournalEntry::Watchdog {
+                    t: obs.now.as_secs_f64(),
+                    event: "reentry: observations recovered, ramping limits".into(),
+                });
             }
             wd.dark_streak = 0;
         }
@@ -341,8 +376,10 @@ impl Harness {
         &self.result
     }
 
-    /// Consume the harness, returning the timeline.
-    pub fn into_result(self) -> RunResult {
+    /// Consume the harness, returning the timeline with the decision
+    /// journal embedded.
+    pub fn into_result(mut self) -> RunResult {
+        self.result.journal = self.journal.snapshot();
         self.result
     }
 

@@ -377,15 +377,97 @@ impl ResilienceStats {
         self.breaker_transitions += other.breaker_transitions;
     }
 
+    /// Element-wise difference against an earlier snapshot of the same
+    /// (monotone) counters — how a window is carved out of cumulative
+    /// registry instruments.
+    pub fn since(&self, base: &ResilienceStats) -> ResilienceStats {
+        ResilienceStats {
+            doomed_cancelled: self.doomed_cancelled - base.doomed_cancelled,
+            deadline_rejected: self.deadline_rejected - base.deadline_rejected,
+            client_cancelled: self.client_cancelled - base.client_cancelled,
+            retries_issued: self.retries_issued - base.retries_issued,
+            retries_suppressed: self.retries_suppressed - base.retries_suppressed,
+            breaker_rejected: self.breaker_rejected - base.breaker_rejected,
+            breaker_transitions: self.breaker_transitions - base.breaker_transitions,
+        }
+    }
+
     /// True when any counter is nonzero.
     pub fn any(&self) -> bool {
         *self != ResilienceStats::default()
     }
 }
 
+/// The resilience counters as shared, cumulative registry instruments.
+/// The engine's resilience plane increments these on the hot path and a
+/// [`obs::Registry`] exposes them; windowed [`ResilienceStats`] views are
+/// derived by differencing snapshots, so the stats type stays the plain
+/// `Copy` value every report already serializes.
+#[derive(Clone, Debug, Default)]
+pub struct ResilienceCounters {
+    pub doomed_cancelled: obs::Counter,
+    pub deadline_rejected: obs::Counter,
+    pub client_cancelled: obs::Counter,
+    pub retries_issued: obs::Counter,
+    pub retries_suppressed: obs::Counter,
+    pub breaker_rejected: obs::Counter,
+    pub breaker_transitions: obs::Counter,
+}
+
+impl ResilienceCounters {
+    /// Current cumulative values as a plain stats snapshot.
+    pub fn snapshot(&self) -> ResilienceStats {
+        ResilienceStats {
+            doomed_cancelled: self.doomed_cancelled.get(),
+            deadline_rejected: self.deadline_rejected.get(),
+            client_cancelled: self.client_cancelled.get(),
+            retries_issued: self.retries_issued.get(),
+            retries_suppressed: self.retries_suppressed.get(),
+            breaker_rejected: self.breaker_rejected.get(),
+            breaker_transitions: self.breaker_transitions.get(),
+        }
+    }
+
+    /// Register every counter under `topfull_resilience_events_total`,
+    /// one `event` label per field (see DESIGN.md §13).
+    pub fn register_into(&self, reg: &obs::Registry) {
+        const FAMILY: &str = "topfull_resilience_events_total";
+        for (event, c) in [
+            ("doomed_cancelled", &self.doomed_cancelled),
+            ("deadline_rejected", &self.deadline_rejected),
+            ("client_cancelled", &self.client_cancelled),
+            ("retries_issued", &self.retries_issued),
+            ("retries_suppressed", &self.retries_suppressed),
+            ("breaker_rejected", &self.breaker_rejected),
+            ("breaker_transitions", &self.breaker_transitions),
+        ] {
+            reg.register_counter(FAMILY, &[("event", event)], c);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn counters_snapshot_and_window_difference() {
+        let c = ResilienceCounters::default();
+        c.doomed_cancelled.add(3);
+        c.retries_issued.add(5);
+        let base = c.snapshot();
+        c.doomed_cancelled.inc();
+        c.breaker_rejected.add(2);
+        let win = c.snapshot().since(&base);
+        assert_eq!(win.doomed_cancelled, 1);
+        assert_eq!(win.breaker_rejected, 2);
+        assert_eq!(win.retries_issued, 0, "unchanged counters read as zero");
+        let reg = obs::Registry::new();
+        c.register_into(&reg);
+        assert_eq!(reg.len(), 7);
+        let text = reg.render_prometheus();
+        assert!(text.contains("topfull_resilience_events_total{event=\"doomed_cancelled\"} 4"));
+    }
 
     #[test]
     fn retry_budget_drains_and_refills() {

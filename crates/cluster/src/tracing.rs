@@ -161,6 +161,14 @@ impl TraceCollector {
             m.retain(|_, seen| *seen >= horizon);
         }
     }
+
+    /// Live `(api, service)` entries in the path learner — the
+    /// collector's only unbounded-in-principle state. With `compact`
+    /// called every window close this stays bounded by
+    /// `num_apis × num_services` regardless of run length.
+    pub fn tracked_entries(&self) -> usize {
+        self.last_seen.iter().map(|m| m.len()).sum()
+    }
 }
 
 #[cfg(test)]
@@ -235,6 +243,44 @@ mod tests {
         assert_eq!(c.raw_spans().count(), 3);
         let last: Vec<u32> = c.raw_spans().map(|s| s.service.0).collect();
         assert_eq!(last, vec![7, 8, 9], "keeps the most recent spans");
+    }
+
+    #[test]
+    fn compaction_bounds_memory_over_long_runs() {
+        // Simulated hours of traffic rotating through a large service id
+        // space: without compaction the learner would accumulate one
+        // entry per distinct service ever seen; with per-window
+        // compaction it holds only services fresh within the window.
+        let window = SimDuration::from_secs(60);
+        let mut c = TraceCollector::new(4, window).with_raw_buffer(16);
+        let mut peak = 0usize;
+        for tick in 0..(6 * 60 * 60u64) {
+            let now = SimTime::from_secs(tick);
+            // Each second, each API touches a service id that rotates
+            // through a space far larger than the retention window.
+            for api in 0..4u32 {
+                c.record(Span {
+                    request: tick,
+                    api: ApiId(api),
+                    service: ServiceId((tick % 10_000) as u32 + api),
+                    parent: None,
+                    start: now,
+                    end: now,
+                    verdict: SpanVerdict::Admitted,
+                });
+            }
+            if tick % 60 == 0 {
+                c.compact(now);
+            }
+            peak = peak.max(c.tracked_entries());
+        }
+        // 4 APIs × (60 s window + 60 s compact cadence slack) entries.
+        assert!(
+            peak <= 4 * 2 * (window.as_nanos() / 1_000_000_000) as usize + 8,
+            "tracked entries stay bounded by the window, peak {peak}"
+        );
+        assert!(c.raw_spans().count() <= 16);
+        assert_eq!(c.spans_recorded(), 4 * 6 * 60 * 60);
     }
 
     #[test]

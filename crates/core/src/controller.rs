@@ -174,6 +174,37 @@ pub struct TopFull {
     headroom_ticks: Vec<u32>,
     /// Last interval's decisions, for inspection.
     pub last_decisions: Vec<ClusterDecision>,
+    /// Decision journal (attached by the harness). All writes happen on
+    /// the control thread, so journaling never perturbs the parallel
+    /// decision batch or the determinism contract.
+    journal: Option<Arc<obs::Journal>>,
+    /// Previous detector set, to journal enter/clear transitions only.
+    prev_overloaded: Vec<ServiceId>,
+    /// Previous cluster partition rendered `api,api|api`, to journal
+    /// re-clusterings only when the partition actually changes.
+    prev_assignment: String,
+}
+
+/// Journal-safe float: the JSONL schema keeps NaN/∞ out of the wire
+/// format (the reason string carries the degradation note instead).
+fn jf(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        -1.0
+    }
+}
+
+/// Comma-joined API indices (`"0,2"`) for journal entries.
+fn api_list(apis: &[ApiId]) -> String {
+    let mut s = String::new();
+    for (i, a) in apis.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&a.0.to_string());
+    }
+    s
 }
 
 impl TopFull {
@@ -184,6 +215,67 @@ impl TopFull {
             limits: Vec::new(),
             headroom_ticks: Vec::new(),
             last_decisions: Vec::new(),
+            journal: None,
+            prev_overloaded: Vec::new(),
+            prev_assignment: String::new(),
+        }
+    }
+
+    fn service_name(obs: &ClusterObservation, s: ServiceId) -> String {
+        obs.services
+            .get(s.idx())
+            .map(|w| w.name.clone())
+            .unwrap_or_else(|| format!("svc {}", s.0))
+    }
+
+    /// Journal detector transitions (diff against the previous set).
+    fn journal_overloads(&mut self, obs: &ClusterObservation, overloaded: &[ServiceId]) {
+        if let Some(j) = self.journal.as_ref() {
+            let t = obs.now.as_secs_f64();
+            for s in overloaded {
+                if !self.prev_overloaded.contains(s) {
+                    j.record(obs::JournalEntry::Overload {
+                        t,
+                        service: s.0,
+                        name: Self::service_name(obs, *s),
+                        utilization: jf(obs.services.get(s.idx()).map_or(-1.0, |w| w.utilization)),
+                        entered: true,
+                    });
+                }
+            }
+            for s in &self.prev_overloaded {
+                if !overloaded.contains(s) {
+                    j.record(obs::JournalEntry::Overload {
+                        t,
+                        service: s.0,
+                        name: Self::service_name(obs, *s),
+                        utilization: jf(obs.services.get(s.idx()).map_or(-1.0, |w| w.utilization)),
+                        entered: false,
+                    });
+                }
+            }
+        }
+        self.prev_overloaded = overloaded.to_vec();
+    }
+
+    /// Journal the cluster partition when it differs from the last tick.
+    fn journal_clusters(&mut self, obs: &ClusterObservation, clusters: &[Cluster]) {
+        let mut assignment = String::new();
+        for (i, c) in clusters.iter().enumerate() {
+            if i > 0 {
+                assignment.push('|');
+            }
+            assignment.push_str(&api_list(&c.apis));
+        }
+        if assignment != self.prev_assignment {
+            if let Some(j) = self.journal.as_ref() {
+                j.record(obs::JournalEntry::Recluster {
+                    t: obs.now.as_secs_f64(),
+                    clusters: clusters.len() as u32,
+                    assignment: assignment.clone(),
+                });
+            }
+            self.prev_assignment = assignment;
         }
     }
 
@@ -361,6 +453,7 @@ impl Controller for TopFull {
             return Vec::new();
         };
         let overloaded = detector.detect(obs);
+        self.journal_overloads(obs, &overloaded);
         let clusters: Vec<Cluster> = if self.cfg.clustering_enabled {
             cluster_apis(&obs.api_paths, &overloaded)
         } else if overloaded.is_empty() {
@@ -385,6 +478,8 @@ impl Controller for TopFull {
                 }]
             }
         };
+
+        self.journal_clusters(obs, &clusters);
 
         // Per-cluster target selection + decision; decisions run in
         // parallel (the point of clustering, §4.2), results merged in
@@ -436,6 +531,11 @@ impl Controller for TopFull {
             .map(|(_, cands)| self.state_for(obs, cands))
             .collect();
         let controller = Arc::clone(&self.cfg.rate_controller);
+        // Strike counter before the decision batch; re-read after all
+        // decisions (cluster + recovery) so strike transitions are
+        // journaled here, on the control thread, regardless of which
+        // parallel worker actually triggered them.
+        let strikes_before = controller.fallback_state().map_or(0, |(s, _, _)| s);
         let actions: Vec<f64> = if states.len() > 1 {
             crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = states
@@ -471,19 +571,32 @@ impl Controller for TopFull {
         let mut updates = Vec::new();
         self.last_decisions.clear();
 
-        for ((target, candidates), action) in prepared.into_iter().zip(actions) {
+        for (((target, candidates), action), state) in prepared.into_iter().zip(actions).zip(states)
+        {
             let applied_to: Vec<ApiId> = if action >= 0.0 {
                 // §4.1 rate-increase rule: only candidates whose path has
                 // no overloaded service other than the target.
-                let eligible: Vec<ApiId> = candidates
-                    .iter()
-                    .copied()
-                    .filter(|a| {
-                        obs.api_paths[a.idx()]
-                            .iter()
-                            .all(|s| *s == target || !hot_now.contains(s))
-                    })
-                    .collect();
+                let mut eligible: Vec<ApiId> = Vec::new();
+                for a in candidates.iter().copied() {
+                    match obs.api_paths[a.idx()]
+                        .iter()
+                        .find(|s| **s != target && hot_now.contains(s))
+                    {
+                        None => eligible.push(a),
+                        Some(blocker) => {
+                            if let Some(j) = self.journal.as_ref() {
+                                j.record(obs::JournalEntry::RateBlocked {
+                                    t: obs.now.as_secs_f64(),
+                                    api: a.0,
+                                    reason: format!(
+                                        "rate-increase blocked: path contains overloaded {}",
+                                        Self::service_name(obs, *blocker)
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
                 Self::priority_targets(obs, &eligible, true)
             } else {
                 // Rate-limiting an API that carries no load — or one
@@ -508,6 +621,42 @@ impl Controller for TopFull {
                 Self::priority_targets(obs, &pool, false)
             };
             self.apply_group_action(obs, &applied_to, action, &mut updates);
+            if let Some(j) = self.journal.as_ref() {
+                let name = self.cfg.rate_controller.name();
+                let degraded = !state.goodput_ratio.is_finite()
+                    || !state.latency_ratio.is_finite()
+                    || !state.total_limit.is_finite();
+                let mut reason = if action.is_finite() {
+                    format!("{name} action {action:+.3}")
+                } else {
+                    format!("{name} action non-finite; step dropped")
+                };
+                if degraded {
+                    if name.starts_with("safe(") {
+                        reason.push_str("; degraded telemetry routed to mimd fallback");
+                    } else {
+                        reason.push_str("; degraded telemetry");
+                    }
+                }
+                if applied_to.is_empty() && action.is_finite() {
+                    reason.push_str(if action >= 0.0 {
+                        "; no eligible API to raise"
+                    } else {
+                        "; no contributing API to cut"
+                    });
+                }
+                j.record(obs::JournalEntry::RateAction {
+                    t: obs.now.as_secs_f64(),
+                    target: target.0,
+                    target_name: Self::service_name(obs, target),
+                    apis: api_list(&applied_to),
+                    action: jf(action),
+                    goodput_ratio: jf(state.goodput_ratio),
+                    latency_ratio: jf(state.latency_ratio),
+                    total_limit: jf(state.total_limit),
+                    reason,
+                });
+            }
             self.last_decisions.push(ClusterDecision {
                 target,
                 candidates,
@@ -544,6 +693,16 @@ impl Controller for TopFull {
                 if self.headroom_ticks[i] >= self.cfg.release_after {
                     self.limits[i] = f64::INFINITY;
                     self.headroom_ticks[i] = 0;
+                    if let Some(j) = self.journal.as_ref() {
+                        j.record(obs::JournalEntry::Release {
+                            t: obs.now.as_secs_f64(),
+                            api: api.0,
+                            reason: format!(
+                                "limit held {:.1}x above offered for {} intervals",
+                                self.cfg.release_headroom, self.cfg.release_after
+                            ),
+                        });
+                    }
                     updates.push(RateLimitUpdate::unlimited(api));
                     continue;
                 }
@@ -556,8 +715,55 @@ impl Controller for TopFull {
             let ticks = self.headroom_ticks[i];
             self.apply_action(obs, api, action, &mut updates);
             self.headroom_ticks[i] = ticks;
+            if let Some(j) = self.journal.as_ref() {
+                let name = self.cfg.rate_controller.name();
+                let degraded = !state.goodput_ratio.is_finite()
+                    || !state.latency_ratio.is_finite()
+                    || !state.total_limit.is_finite();
+                let mut reason = if action.is_finite() {
+                    format!("recovery probe: {name} action {action:+.3}")
+                } else {
+                    format!("recovery probe: {name} action non-finite; step dropped")
+                };
+                if degraded {
+                    if name.starts_with("safe(") {
+                        reason.push_str("; degraded telemetry routed to mimd fallback");
+                    } else {
+                        reason.push_str("; degraded telemetry");
+                    }
+                }
+                j.record(obs::JournalEntry::RateAction {
+                    t: obs.now.as_secs_f64(),
+                    target: api.0,
+                    target_name: obs.api(api).name.clone(),
+                    apis: api_list(&[api]),
+                    action: jf(action),
+                    goodput_ratio: jf(state.goodput_ratio),
+                    latency_ratio: jf(state.latency_ratio),
+                    total_limit: jf(state.total_limit),
+                    reason,
+                });
+            }
+        }
+        // Strike transitions accumulated anywhere in this tick's decisions
+        // are journaled once, in order, from the control thread.
+        if let Some(j) = self.journal.as_ref() {
+            if let Some((cur, max_strikes, _)) = self.cfg.rate_controller.fallback_state() {
+                for v in (strikes_before + 1)..=cur {
+                    j.record(obs::JournalEntry::FallbackStrike {
+                        t: obs.now.as_secs_f64(),
+                        strikes: v,
+                        max_strikes,
+                        tripped: v >= max_strikes,
+                    });
+                }
+            }
         }
         updates
+    }
+
+    fn attach_journal(&mut self, journal: Arc<obs::Journal>) {
+        self.journal = Some(journal);
     }
 
     fn name(&self) -> &str {
@@ -816,6 +1022,165 @@ mod tests {
             ServiceId(1),
             "fewest-API service processed first"
         );
+    }
+
+    #[test]
+    fn journal_records_overload_recluster_and_actions() {
+        let mut tf = TopFull::new(TopFullConfig::default());
+        let journal = obs::Journal::shared();
+        tf.attach_journal(std::sync::Arc::clone(&journal));
+        let hot = obs(
+            &[0.95],
+            &[(300.0, 300.0, 80.0, 2000, 0, f64::INFINITY)],
+            vec![sid(&[0])],
+        );
+        tf.control(&hot);
+        let kinds: Vec<&'static str> = journal
+            .snapshot()
+            .iter()
+            .map(|e| match e {
+                obs::JournalEntry::Overload { .. } => "overload",
+                obs::JournalEntry::Recluster { .. } => "recluster",
+                obs::JournalEntry::RateAction { .. } => "rate_action",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["overload", "recluster", "rate_action"]);
+        match &journal.snapshot()[0] {
+            obs::JournalEntry::Overload {
+                entered, service, ..
+            } => {
+                assert!(entered);
+                assert_eq!(*service, 0);
+            }
+            e => panic!("unexpected first entry {e:?}"),
+        }
+        // Same observation again: the set and partition are unchanged, so
+        // only the per-target action is journaled.
+        let before = journal.len();
+        tf.control(&hot);
+        let tail = &journal.snapshot()[before..];
+        assert_eq!(tail.len(), 1);
+        assert!(matches!(tail[0], obs::JournalEntry::RateAction { .. }));
+        // Load clears: the overload exit and empty partition are recorded.
+        let cool = obs(&[0.1], &[(10.0, 10.0, 10.0, 10, 0, 285.0)], vec![sid(&[0])]);
+        tf.limits = vec![f64::INFINITY];
+        tf.control(&cool);
+        let snap = journal.snapshot();
+        assert!(snap
+            .iter()
+            .any(|e| matches!(e, obs::JournalEntry::Overload { entered: false, .. })));
+        assert!(snap
+            .iter()
+            .any(|e| matches!(e, obs::JournalEntry::Recluster { clusters: 0, .. })));
+    }
+
+    #[test]
+    fn journal_records_increase_blocks_and_releases() {
+        // Same topology as increase_requires_overload_free_path_beyond_target.
+        let mut tf = TopFull::new(TopFullConfig::default().with_mimd_steps(0.05, 0.2));
+        let journal = obs::Journal::shared();
+        tf.attach_journal(std::sync::Arc::clone(&journal));
+        tf.limits = vec![100.0, 100.0];
+        tf.headroom_ticks = vec![0, 0];
+        tf.detector = Some(OverloadDetector::with_thresholds(3, 0.8, 0.75).unwrap());
+        let o = obs(
+            &[0.5, 0.95, 0.95],
+            &[
+                (200.0, 100.0, 100.0, 100, 0, 100.0),
+                (200.0, 100.0, 100.0, 100, 1, 100.0),
+            ],
+            vec![sid(&[1, 2]), sid(&[1])],
+        );
+        tf.control(&o);
+        let blocked: Vec<String> = journal
+            .snapshot()
+            .iter()
+            .filter_map(|e| match e {
+                obs::JournalEntry::RateBlocked { api, reason, .. } => {
+                    Some(format!("{api}: {reason}"))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(blocked.len(), 1, "API0 blocked by hot svc 1: {blocked:?}");
+        assert!(blocked[0].starts_with("0:"));
+        assert!(blocked[0].contains("s1"), "{blocked:?}");
+        // Headroom release is journaled.
+        let mut tf = TopFull::new(TopFullConfig {
+            release_after: 2,
+            ..TopFullConfig::default()
+        });
+        let journal = obs::Journal::shared();
+        tf.attach_journal(std::sync::Arc::clone(&journal));
+        tf.limits = vec![1000.0];
+        tf.headroom_ticks = vec![0];
+        tf.detector = Some(OverloadDetector::with_thresholds(1, 0.8, 0.75).unwrap());
+        let idle = obs(
+            &[0.3],
+            &[(100.0, 100.0, 100.0, 50, 0, 1000.0)],
+            vec![sid(&[0])],
+        );
+        for _ in 0..3 {
+            tf.control(&idle);
+        }
+        assert!(journal
+            .snapshot()
+            .iter()
+            .any(|e| matches!(e, obs::JournalEntry::Release { api: 0, .. })));
+    }
+
+    #[test]
+    fn journal_records_fallback_strikes_until_tripped() {
+        /// A broken primary: every action is non-finite, so the safe
+        /// wrapper strikes once per decision until it trips.
+        struct NanPrimary;
+        impl RateController for NanPrimary {
+            fn decide(&self, _s: RateState) -> f64 {
+                f64::NAN
+            }
+            fn name(&self) -> &str {
+                "nan-primary"
+            }
+        }
+        let cfg = TopFullConfig {
+            rate_controller: Arc::new(SafeRateController::new(Arc::new(NanPrimary), 2)),
+            ..TopFullConfig::default()
+        };
+        let mut tf = TopFull::new(cfg);
+        let journal = obs::Journal::shared();
+        tf.attach_journal(std::sync::Arc::clone(&journal));
+        let hot = obs(
+            &[0.95],
+            &[(300.0, 300.0, 80.0, 2000, 0, f64::INFINITY)],
+            vec![sid(&[0])],
+        );
+        tf.control(&hot);
+        tf.control(&hot);
+        let strikes: Vec<(u32, u32, bool)> = journal
+            .snapshot()
+            .iter()
+            .filter_map(|e| match e {
+                obs::JournalEntry::FallbackStrike {
+                    strikes,
+                    max_strikes,
+                    tripped,
+                    ..
+                } => Some((*strikes, *max_strikes, *tripped)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            strikes,
+            vec![(1, 2, false), (2, 2, true)],
+            "one strike journaled per bad decision, tripping at max"
+        );
+        // The rate actions themselves stay finite: the MIMD fallback
+        // supplied every step the broken primary failed to.
+        assert!(journal.snapshot().iter().all(|e| match e {
+            obs::JournalEntry::RateAction { action, .. } => action.is_finite(),
+            _ => true,
+        }));
     }
 }
 

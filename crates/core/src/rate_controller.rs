@@ -35,6 +35,14 @@ pub trait RateController: Send + Sync {
 
     /// Name for experiment reports.
     fn name(&self) -> &str;
+
+    /// For fault-tolerant wrappers: `(strikes, max_strikes, tripped)` of
+    /// the wrapped primary, read on the control thread so the decision
+    /// journal can record strike transitions deterministically. Plain
+    /// controllers report `None`.
+    fn fallback_state(&self) -> Option<(u32, u32, bool)> {
+        None
+    }
 }
 
 /// The RL policy (deterministic at inference).
@@ -246,6 +254,10 @@ impl RateController for SafeRateController {
 
     fn name(&self) -> &str {
         &self.label
+    }
+
+    fn fallback_state(&self) -> Option<(u32, u32, bool)> {
+        Some((self.strikes(), self.max_strikes, self.tripped()))
     }
 }
 

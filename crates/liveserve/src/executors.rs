@@ -17,8 +17,12 @@
 //! another on the child service's thread rather than in parallel — and
 //! only the primary (first) path of a branching API is exercised.
 
+use crate::clock::WallClock;
 use crate::metrics::LiveMetrics;
+use cluster::tracing::{Span, SpanVerdict};
+use cluster::types::{ApiId, ServiceId};
 use cluster::Topology;
+use simnet::SimDuration;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
@@ -54,6 +58,8 @@ pub struct Routing {
     /// Per-service bounded work queues.
     pub queues: Vec<SyncSender<Job>>,
     pub slo: Duration,
+    /// The server's clock, for span timestamps.
+    pub clock: WallClock,
 }
 
 impl Routing {
@@ -117,6 +123,7 @@ impl WorkerPool {
         topo: &Topology,
         cpu_scale: f64,
         slo: Duration,
+        clock: WallClock,
         metrics: &Arc<LiveMetrics>,
         shutdown: &Arc<AtomicBool>,
     ) -> (Self, Arc<Routing>) {
@@ -132,6 +139,7 @@ impl WorkerPool {
             stages,
             queues,
             slo,
+            clock,
         });
         let handles = receivers
             .into_iter()
@@ -185,6 +193,20 @@ fn worker_loop(
         } else {
             let latency = job.accepted.elapsed();
             metrics.on_complete(job.api, latency, routing.slo);
+            // One end-to-end span per completed request, anchored at the
+            // API's entry service — the live analogue of the simulator's
+            // admitted spans (exported via `/spans`).
+            let end = routing.clock.now();
+            let entry = routing.stages[job.api][0].service;
+            metrics.record_span(Span {
+                request: job.id,
+                api: ApiId(job.api as u32),
+                service: ServiceId(entry as u32),
+                parent: None,
+                start: end - SimDuration::from_nanos(latency.as_nanos() as u64),
+                end,
+                verdict: SpanVerdict::Admitted,
+            });
             let _ = job
                 .reply
                 .send(format!("OK {} {}\n", job.id, latency.as_micros()));
@@ -245,8 +267,14 @@ mod tests {
         let topo = two_stage_topo();
         let metrics = Arc::new(LiveMetrics::new(1, 2));
         let shutdown = Arc::new(AtomicBool::new(false));
-        let (pool, routing) =
-            WorkerPool::start(&topo, 1.0, Duration::from_millis(100), &metrics, &shutdown);
+        let (pool, routing) = WorkerPool::start(
+            &topo,
+            1.0,
+            Duration::from_millis(100),
+            WallClock::start(),
+            &metrics,
+            &shutdown,
+        );
         let (tx, rx) = channel();
         let now = Instant::now();
         for id in 0..8 {
@@ -289,8 +317,14 @@ mod tests {
         ));
         let metrics = Arc::new(LiveMetrics::new(1, 1));
         let shutdown = Arc::new(AtomicBool::new(false));
-        let (pool, routing) =
-            WorkerPool::start(&t, 1.0, Duration::from_millis(100), &metrics, &shutdown);
+        let (pool, routing) = WorkerPool::start(
+            &t,
+            1.0,
+            Duration::from_millis(100),
+            WallClock::start(),
+            &metrics,
+            &shutdown,
+        );
         let (tx, rx) = channel();
         // Flood far past the queue bound; at least one ERR must surface.
         let mut accepted = 0;

@@ -149,6 +149,22 @@ fn handle_line(line: &str, replies: &Sender<String>, shared: &GatewayShared) {
         .expect("admission lock")
         .try_admit(cluster::ApiId(api as u32), shared.clock.now());
     if !admitted {
+        shared.metrics.on_rejected(api);
+        // Zero-duration rejection marker at the API's entry service —
+        // the same span the simulator's gateway records, so the sim2real
+        // overlay can compare admission decisions span-for-span.
+        if let Some(entry) = shared.routing.stages[api].first() {
+            let t = shared.clock.now();
+            shared.metrics.record_span(cluster::tracing::Span {
+                request: id,
+                api: cluster::ApiId(api as u32),
+                service: cluster::ServiceId(entry.service as u32),
+                parent: None,
+                start: t,
+                end: t,
+                verdict: cluster::tracing::SpanVerdict::RejectedAtEntry,
+            });
+        }
         let _ = replies.send(format!("REJ {id}\n"));
         return;
     }

@@ -1,0 +1,154 @@
+//! Minimal std-only HTTP exposition endpoint.
+//!
+//! One acceptor thread (same non-blocking poll style as the gateway's)
+//! serves two read-only routes over HTTP/1.1, one request per
+//! connection:
+//!
+//! * `GET /metrics` — Prometheus text exposition format 0.0.4 rendered
+//!   from the server's [`obs::Registry`];
+//! * `GET /spans` — the live [`TraceCollector`] raw span buffer as
+//!   JSONL (`application/x-ndjson`).
+//!
+//! Anything else answers 404. Requests are parsed from the request line
+//! only; headers are drained and ignored. This is an operator/debug
+//! surface, not a general web server — no keep-alive, no TLS, loopback
+//! binding only.
+//!
+//! [`TraceCollector`]: cluster::tracing::TraceCollector
+
+use crate::metrics::LiveMetrics;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// State the exposition endpoint reads from.
+pub struct MetricsHttp {
+    pub registry: Arc<obs::Registry>,
+    pub metrics: Arc<LiveMetrics>,
+    pub shutdown: Arc<AtomicBool>,
+}
+
+/// Spawn the exposition acceptor for a bound listener.
+pub fn start_metrics_server(listener: TcpListener, shared: Arc<MetricsHttp>) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("live-metrics-http".into())
+        .spawn(move || serve_loop(&listener, &shared))
+        .expect("spawn metrics http")
+}
+
+fn serve_loop(listener: &TcpListener, shared: &MetricsHttp) {
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking metrics listener");
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            // Scrapes are rare and tiny; serve inline on the acceptor.
+            Ok((stream, _)) => handle_conn(stream, shared),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn handle_conn(stream: TcpStream, shared: &MetricsHttp) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain headers so the peer is not mid-write when we close.
+    let mut header = String::new();
+    loop {
+        header.clear();
+        match reader.read_line(&mut header) {
+            Ok(0) => break,
+            Ok(_) if header == "\r\n" || header == "\n" => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    let (status, content_type, body) = route(&request_line, shared);
+    respond(stream, status, content_type, &body);
+}
+
+/// Map a request line to `(status, content-type, body)`.
+fn route(request_line: &str, shared: &MetricsHttp) -> (&'static str, &'static str, String) {
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method != "GET" {
+        return (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".into(),
+        );
+    }
+    match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            shared.registry.render_prometheus(),
+        ),
+        "/spans" => (
+            "200 OK",
+            "application/x-ndjson; charset=utf-8",
+            shared.metrics.spans_jsonl(),
+        ),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".into(),
+        ),
+    }
+}
+
+fn respond(mut stream: TcpStream, status: &str, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body.as_bytes()))
+        .and_then(|()| stream.flush());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shared() -> MetricsHttp {
+        let registry = Arc::new(obs::Registry::new());
+        registry.counter("t_total", &[]).add(3);
+        MetricsHttp {
+            registry,
+            metrics: Arc::new(LiveMetrics::new(1, 1)),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    #[test]
+    fn routes_metrics_spans_and_404() {
+        let s = shared();
+        let (status, ctype, body) = route("GET /metrics HTTP/1.1\r\n", &s);
+        assert_eq!(status, "200 OK");
+        assert!(ctype.starts_with("text/plain; version=0.0.4"));
+        assert!(body.contains("t_total 3"), "{body}");
+        let (status, _, _) = route("GET /spans HTTP/1.1\r\n", &s);
+        assert_eq!(status, "200 OK");
+        let (status, _, _) = route("GET /nope HTTP/1.1\r\n", &s);
+        assert_eq!(status, "404 Not Found");
+        let (status, _, _) = route("POST /metrics HTTP/1.1\r\n", &s);
+        assert_eq!(status, "405 Method Not Allowed");
+    }
+}

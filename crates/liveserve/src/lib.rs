@@ -24,6 +24,7 @@
 pub mod clock;
 pub mod executors;
 pub mod gateway;
+pub mod http;
 pub mod loadgen;
 pub mod metrics;
 
@@ -57,6 +58,9 @@ pub struct LiveConfig {
     pub gateway_burst_secs: f64,
     /// TCP port on 127.0.0.1; `0` picks an ephemeral port.
     pub port: u16,
+    /// TCP port of the HTTP exposition endpoint (`GET /metrics`,
+    /// `GET /spans`) on 127.0.0.1; `0` picks an ephemeral port.
+    pub metrics_port: u16,
 }
 
 impl Default for LiveConfig {
@@ -67,6 +71,7 @@ impl Default for LiveConfig {
             cpu_scale: 1.0,
             gateway_burst_secs: 0.05,
             port: 0,
+            metrics_port: 0,
         }
     }
 }
@@ -155,39 +160,60 @@ impl LiveRunResult {
 /// The live serving plane: gateway + worker pool + metric windows.
 pub struct LiveServer {
     addr: SocketAddr,
+    metrics_addr: SocketAddr,
     shared: Arc<GatewayShared>,
+    registry: Arc<obs::Registry>,
     desc: AppDescriptor,
     shutdown: Arc<AtomicBool>,
     pool: Option<WorkerPool>,
     acceptor: Option<JoinHandle<()>>,
+    metrics_acceptor: Option<JoinHandle<()>>,
     window_start: SimTime,
     control_interval: Duration,
 }
 
 impl LiveServer {
-    /// Bind the gateway, spawn the worker pool, and start accepting.
+    /// Bind the gateway and the exposition endpoint, spawn the worker
+    /// pool, and start accepting.
     pub fn start(topo: &Topology, cfg: LiveConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
         let addr = listener.local_addr()?;
+        let metrics_listener = TcpListener::bind(("127.0.0.1", cfg.metrics_port))?;
+        let metrics_addr = metrics_listener.local_addr()?;
         let clock = WallClock::start();
+        let desc = AppDescriptor::of(topo, cfg.slo);
         let metrics = Arc::new(LiveMetrics::new(topo.num_apis(), topo.num_services()));
+        let registry = Arc::new(obs::Registry::new());
+        metrics.register_into(&registry, &desc);
         let shutdown = Arc::new(AtomicBool::new(false));
-        let (pool, routing) = WorkerPool::start(topo, cfg.cpu_scale, cfg.slo, &metrics, &shutdown);
+        let (pool, routing) =
+            WorkerPool::start(topo, cfg.cpu_scale, cfg.slo, clock, &metrics, &shutdown);
         let shared = Arc::new(GatewayShared {
             admission: Mutex::new(EntryAdmission::new(topo.num_apis(), cfg.gateway_burst_secs)),
             clock,
-            metrics,
+            metrics: Arc::clone(&metrics),
             routing,
             shutdown: Arc::clone(&shutdown),
         });
         let acceptor = gateway::start_acceptor(listener, Arc::clone(&shared));
+        let metrics_acceptor = http::start_metrics_server(
+            metrics_listener,
+            Arc::new(http::MetricsHttp {
+                registry: Arc::clone(&registry),
+                metrics,
+                shutdown: Arc::clone(&shutdown),
+            }),
+        );
         Ok(LiveServer {
             addr,
+            metrics_addr,
             shared,
-            desc: AppDescriptor::of(topo, cfg.slo),
+            registry,
+            desc,
             shutdown,
             pool: Some(pool),
             acceptor: Some(acceptor),
+            metrics_acceptor: Some(metrics_acceptor),
             window_start: SimTime::ZERO,
             control_interval: cfg.control_interval,
         })
@@ -196,6 +222,16 @@ impl LiveServer {
     /// Address clients should connect to.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Address of the HTTP exposition endpoint (`/metrics`, `/spans`).
+    pub fn metrics_addr(&self) -> SocketAddr {
+        self.metrics_addr
+    }
+
+    /// The server's metrics registry (instruments registered at start).
+    pub fn registry(&self) -> &Arc<obs::Registry> {
+        &self.registry
     }
 
     /// Current rate limit of one API (`f64::INFINITY` = unlimited).
@@ -227,6 +263,8 @@ impl LiveServer {
             .shared
             .metrics
             .observe(&self.desc, now, window, &rate_limits);
+        // Bound the live path learner exactly like the simulator's tick.
+        self.shared.metrics.compact_traces(now);
         let updates = controller.control(&obs);
         if !updates.is_empty() {
             let mut admission = self.shared.admission.lock().expect("admission lock");
@@ -270,6 +308,9 @@ impl LiveServer {
     pub fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
         if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        if let Some(a) = self.metrics_acceptor.take() {
             let _ = a.join();
         }
         if let Some(p) = self.pool.take() {
@@ -318,6 +359,64 @@ mod tests {
         assert_eq!(verdicts, ["ERR", "ERR", "OK"], "verdicts {verdicts:?}");
         let tick = server.tick(&mut NoControl);
         assert_eq!(tick.obs.apis[0].name, "ping");
+        server.shutdown();
+    }
+
+    /// One `GET` against the exposition endpoint; returns the body.
+    fn http_get(addr: SocketAddr, path: &str) -> String {
+        let mut conn = TcpStream::connect(addr).expect("connect metrics");
+        conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .expect("send request");
+        let mut reader = BufReader::new(conn);
+        let mut status = String::new();
+        reader.read_line(&mut status).expect("status line");
+        assert!(status.contains("200"), "status {status:?}");
+        let mut len = 0usize;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            reader.read_line(&mut line).expect("header");
+            if line == "\r\n" || line == "\n" {
+                break;
+            }
+            if let Some(v) = line
+                .to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(|v| v.trim().to_string())
+            {
+                len = v.parse().expect("content length");
+            }
+        }
+        let mut body = vec![0u8; len];
+        std::io::Read::read_exact(&mut reader, &mut body).expect("body");
+        String::from_utf8(body).expect("utf8 body")
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text_and_spans() {
+        let mut server = LiveServer::start(&tiny_topo(), LiveConfig::default()).expect("start");
+        let mut conn = TcpStream::connect(server.addr()).expect("connect");
+        conn.write_all(b"REQ 1 0\n").expect("send");
+        let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("reply");
+        assert!(line.starts_with("OK 1 "), "got {line:?}");
+        server.tick(&mut NoControl);
+        let text = http_get(server.metrics_addr(), "/metrics");
+        assert!(
+            text.contains("# TYPE topfull_gateway_requests_total counter"),
+            "{text}"
+        );
+        assert!(
+            text.contains("topfull_gateway_requests_total{api=\"ping\",verdict=\"admitted\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("topfull_request_duration_seconds_count{api=\"ping\"} 1"),
+            "{text}"
+        );
+        let spans = http_get(server.metrics_addr(), "/spans");
+        assert!(spans.contains("\"verdict\":\"admitted\""), "{spans}");
         server.shutdown();
     }
 

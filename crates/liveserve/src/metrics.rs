@@ -10,12 +10,18 @@
 
 use cluster::observe::{ApiWindow, ClusterObservation, ServiceWindow};
 use cluster::resilience::ResilienceStats;
+use cluster::tracing::{Span, SpanVerdict, TraceCollector};
 use cluster::types::{ApiId, BusinessPriority, ServiceId};
 use cluster::Topology;
 use simnet::{LatencyHistogram, SimDuration, SimTime};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
+
+/// Raw spans retained for `/spans` export.
+const RAW_SPAN_BUFFER: usize = 2048;
+/// Path-learner retention window for the live tracer.
+const TRACE_WINDOW_SECS: u64 = 60;
 
 /// Static facts about the served application, captured once at startup.
 pub struct AppDescriptor {
@@ -42,7 +48,8 @@ impl AppDescriptor {
     }
 }
 
-/// Per-API window accumulators (atomic on the hot path).
+/// Per-API window accumulators (atomic on the hot path), plus cumulative
+/// registered instruments (never reset; `/metrics` scrapes read these).
 struct ApiCell {
     offered: AtomicU64,
     admitted: AtomicU64,
@@ -50,6 +57,13 @@ struct ApiCell {
     slo_violated: AtomicU64,
     failed: AtomicU64,
     latencies: Mutex<LatencyHistogram>,
+    cum_offered: obs::Counter,
+    cum_admitted: obs::Counter,
+    cum_rejected: obs::Counter,
+    cum_good: obs::Counter,
+    cum_slo_violated: obs::Counter,
+    cum_failed: obs::Counter,
+    cum_latency: obs::Histogram,
 }
 
 impl ApiCell {
@@ -61,6 +75,13 @@ impl ApiCell {
             slo_violated: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             latencies: Mutex::new(LatencyHistogram::new()),
+            cum_offered: obs::Counter::unregistered(),
+            cum_admitted: obs::Counter::unregistered(),
+            cum_rejected: obs::Counter::unregistered(),
+            cum_good: obs::Counter::unregistered(),
+            cum_slo_violated: obs::Counter::unregistered(),
+            cum_failed: obs::Counter::unregistered(),
+            cum_latency: obs::Histogram::unregistered(),
         }
     }
 }
@@ -73,6 +94,9 @@ struct ServiceCell {
     queue_delay_ns: AtomicU64,
     /// Live queue-depth gauge (not reset at window close).
     depth: AtomicU64,
+    /// Registered gauges, refreshed at each window close.
+    util_gauge: obs::Gauge,
+    depth_gauge: obs::Gauge,
 }
 
 impl ServiceCell {
@@ -83,6 +107,8 @@ impl ServiceCell {
             dropped_calls: AtomicU64::new(0),
             queue_delay_ns: AtomicU64::new(0),
             depth: AtomicU64::new(0),
+            util_gauge: obs::Gauge::unregistered(),
+            depth_gauge: obs::Gauge::unregistered(),
         }
     }
 }
@@ -92,6 +118,10 @@ impl ServiceCell {
 pub struct LiveMetrics {
     apis: Vec<ApiCell>,
     services: Vec<ServiceCell>,
+    /// Live span sink: the same [`TraceCollector`] the simulator uses,
+    /// fed wall-clock spans. Bounded raw buffer backs `/spans` export;
+    /// `compact_traces` (called per control tick) bounds the learner.
+    tracer: Mutex<TraceCollector>,
 }
 
 impl LiveMetrics {
@@ -99,21 +129,86 @@ impl LiveMetrics {
         LiveMetrics {
             apis: (0..num_apis).map(|_| ApiCell::new()).collect(),
             services: (0..num_services).map(|_| ServiceCell::new()).collect(),
+            tracer: Mutex::new(
+                TraceCollector::new(num_apis, SimDuration::from_secs(TRACE_WINDOW_SECS))
+                    .with_raw_buffer(RAW_SPAN_BUFFER),
+            ),
+        }
+    }
+
+    /// Adopt every cumulative instrument into `reg` under stable family
+    /// names, labelled with the application's API/service names.
+    pub fn register_into(&self, reg: &obs::Registry, desc: &AppDescriptor) {
+        for (i, cell) in self.apis.iter().enumerate() {
+            let api = desc.api_names[i].as_str();
+            for (verdict, c) in [
+                ("offered", &cell.cum_offered),
+                ("admitted", &cell.cum_admitted),
+                ("rejected", &cell.cum_rejected),
+            ] {
+                reg.register_counter(
+                    "topfull_gateway_requests_total",
+                    &[("api", api), ("verdict", verdict)],
+                    c,
+                );
+            }
+            for (outcome, c) in [
+                ("good", &cell.cum_good),
+                ("slo_violated", &cell.cum_slo_violated),
+                ("failed", &cell.cum_failed),
+            ] {
+                reg.register_counter(
+                    "topfull_request_outcomes_total",
+                    &[("api", api), ("outcome", outcome)],
+                    c,
+                );
+            }
+            reg.register_histogram(
+                "topfull_request_duration_seconds",
+                &[("api", api)],
+                &cell.cum_latency,
+            );
+        }
+        for (i, cell) in self.services.iter().enumerate() {
+            let svc = desc.service_names[i].as_str();
+            reg.register_gauge(
+                "topfull_service_utilization",
+                &[("service", svc)],
+                &cell.util_gauge,
+            );
+            reg.register_gauge(
+                "topfull_service_queue_depth",
+                &[("service", svc)],
+                &cell.depth_gauge,
+            );
         }
     }
 
     // ---- hot-path recording -------------------------------------------
 
     pub fn on_offered(&self, api: usize) {
-        self.apis[api].offered.fetch_add(1, Ordering::Relaxed);
+        let cell = &self.apis[api];
+        cell.offered.fetch_add(1, Ordering::Relaxed);
+        cell.cum_offered.inc();
     }
 
     pub fn on_admitted(&self, api: usize) {
-        self.apis[api].admitted.fetch_add(1, Ordering::Relaxed);
+        let cell = &self.apis[api];
+        cell.admitted.fetch_add(1, Ordering::Relaxed);
+        cell.cum_admitted.inc();
+    }
+
+    /// The entry token bucket turned the request away. Window-level
+    /// rejection is already implied by `offered - admitted`; this feeds
+    /// the cumulative exposition counter only.
+    pub fn on_rejected(&self, api: usize) {
+        self.apis[api].cum_rejected.inc();
     }
 
     pub fn on_failed(&self, api: usize) {
-        self.apis[api].failed.fetch_add(1, Ordering::Relaxed);
+        let cell = &self.apis[api];
+        cell.failed.fetch_add(1, Ordering::Relaxed);
+        cell.cum_failed.inc();
     }
 
     /// A request completed end-to-end with the given latency.
@@ -121,11 +216,55 @@ impl LiveMetrics {
         let cell = &self.apis[api];
         if latency <= slo {
             cell.good.fetch_add(1, Ordering::Relaxed);
+            cell.cum_good.inc();
         } else {
             cell.slo_violated.fetch_add(1, Ordering::Relaxed);
+            cell.cum_slo_violated.inc();
         }
         let d = SimDuration::from_nanos(latency.as_nanos() as u64);
         cell.latencies.lock().expect("latency lock").record(d);
+        cell.cum_latency.record(d);
+    }
+
+    // ---- live tracing --------------------------------------------------
+
+    /// Record one span (completed request or entry rejection).
+    pub fn record_span(&self, span: Span) {
+        self.tracer.lock().expect("tracer lock").record(span);
+    }
+
+    /// Prune expired path-learner entries (called per control tick).
+    pub fn compact_traces(&self, now: SimTime) {
+        self.tracer.lock().expect("tracer lock").compact(now);
+    }
+
+    /// Spans recorded so far (for tests/inspection).
+    pub fn spans_recorded(&self) -> u64 {
+        self.tracer.lock().expect("tracer lock").spans_recorded()
+    }
+
+    /// The raw span buffer as JSONL, one object per span, oldest first.
+    pub fn spans_jsonl(&self) -> String {
+        let tracer = self.tracer.lock().expect("tracer lock");
+        let mut out = String::new();
+        for s in tracer.raw_spans() {
+            let parent = s.parent.map_or("null".to_string(), |p| p.0.to_string());
+            let verdict = match s.verdict {
+                SpanVerdict::Admitted => "admitted",
+                SpanVerdict::RejectedAtEntry => "rejected_at_entry",
+            };
+            out.push_str(&format!(
+                "{{\"request\":{},\"api\":{},\"service\":{},\"parent\":{},\"start\":{},\"end\":{},\"verdict\":\"{}\"}}\n",
+                s.request,
+                s.api.0,
+                s.service.0,
+                parent,
+                s.start.as_secs_f64(),
+                s.end.as_secs_f64(),
+                verdict
+            ));
+        }
+        out
     }
 
     /// A call started processing after waiting `queued` in the queue.
@@ -192,6 +331,9 @@ impl LiveMetrics {
                 // is divided by the replica count), so the busy fraction
                 // of the window *is* the pool utilization.
                 let utilization = (busy as f64 / window_ns as f64).min(1.0);
+                cell.util_gauge.set(utilization);
+                cell.depth_gauge
+                    .set(cell.depth.load(Ordering::Relaxed) as f64);
                 ServiceWindow {
                     service: ServiceId(i as u32),
                     name: desc.service_names[i].clone(),
@@ -309,6 +451,80 @@ mod tests {
         assert_eq!(obs2.api(ApiId(0)).offered, 0.0);
         assert_eq!(obs2.service(ServiceId(0)).utilization, 0.0);
         assert!(obs2.api(ApiId(0)).p99.is_none(), "histogram was reset");
+    }
+
+    #[test]
+    fn cumulative_instruments_survive_window_close() {
+        let m = LiveMetrics::new(1, 1);
+        let reg = obs::Registry::new();
+        let d = AppDescriptor {
+            service_names: vec!["svc".into()],
+            replicas: vec![1],
+            api_names: vec!["ping".into()],
+            business: vec![BusinessPriority(0)],
+            api_paths: vec![vec![ServiceId(0)]],
+            slo: SimDuration::from_millis(100),
+        };
+        m.register_into(&reg, &d);
+        m.on_offered(0);
+        m.on_offered(0);
+        m.on_admitted(0);
+        m.on_rejected(0);
+        m.on_complete(0, Duration::from_millis(10), Duration::from_millis(100));
+        // Window close resets the window atomics but not the cumulative
+        // registered counters.
+        let _ = m.observe(&d, SimTime::from_secs(1), SimDuration::from_secs(1), &[1.0]);
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("topfull_gateway_requests_total{api=\"ping\",verdict=\"offered\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("topfull_gateway_requests_total{api=\"ping\",verdict=\"admitted\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("topfull_gateway_requests_total{api=\"ping\",verdict=\"rejected\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("topfull_request_duration_seconds_count{api=\"ping\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("topfull_service_utilization{service=\"svc\"}"));
+    }
+
+    #[test]
+    fn spans_export_as_jsonl() {
+        let m = LiveMetrics::new(1, 1);
+        m.record_span(Span {
+            request: 7,
+            api: ApiId(0),
+            service: ServiceId(0),
+            parent: None,
+            start: SimTime::from_millis(100),
+            end: SimTime::from_millis(150),
+            verdict: SpanVerdict::Admitted,
+        });
+        m.record_span(Span {
+            request: 8,
+            api: ApiId(0),
+            service: ServiceId(0),
+            parent: None,
+            start: SimTime::from_millis(160),
+            end: SimTime::from_millis(160),
+            verdict: SpanVerdict::RejectedAtEntry,
+        });
+        let jsonl = m.spans_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.contains("\"request\":7"), "{jsonl}");
+        assert!(jsonl.contains("\"verdict\":\"admitted\""), "{jsonl}");
+        assert!(
+            jsonl.contains("\"verdict\":\"rejected_at_entry\""),
+            "{jsonl}"
+        );
+        assert_eq!(m.spans_recorded(), 2);
+        m.compact_traces(SimTime::from_secs(120));
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! The controller decision journal.
+//!
+//! Every verdict the control system reaches — detector transitions,
+//! re-clusterings, per-target rate actions (with the state that produced
+//! them and a human-readable reason), §4.1 increase blocks, limit
+//! releases, fallback strikes, watchdog transitions, and per-window plane
+//! veto / fault-telemetry aggregates — is appended here. The journal is
+//! bounded (overflow is counted, never reallocated past the cap) and all
+//! writes happen on the control thread, so for a fixed (scenario, seed)
+//! the JSONL rendering is byte-identical at any worker count.
+
+use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex};
+
+/// One journal record. Internally tagged; `t` is sim/wall seconds since
+/// run start.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum JournalEntry {
+    /// A service crossed the overload detector's hysteresis band.
+    Overload {
+        t: f64,
+        service: u32,
+        name: String,
+        utilization: f64,
+        /// `true` = entered the overloaded set, `false` = cleared.
+        entered: bool,
+    },
+    /// The API clustering changed (clusters form from scratch each tick;
+    /// recorded only when the resulting partition differs).
+    Recluster {
+        t: f64,
+        clusters: u32,
+        /// `api,api|api` groups in cluster order.
+        assignment: String,
+    },
+    /// One per-target rate decision (Algorithm 1 step).
+    RateAction {
+        t: f64,
+        target: u32,
+        target_name: String,
+        /// APIs the step was applied to, comma-separated indices.
+        apis: String,
+        action: f64,
+        goodput_ratio: f64,
+        latency_ratio: f64,
+        total_limit: f64,
+        reason: String,
+    },
+    /// A candidate was excluded from a rate increase (§4.1 path rule).
+    RateBlocked { t: f64, api: u32, reason: String },
+    /// A long-standing headroom release removed an API's limit.
+    Release { t: f64, api: u32, reason: String },
+    /// The safe rate controller struck its primary.
+    FallbackStrike {
+        t: f64,
+        strikes: u32,
+        max_strikes: u32,
+        tripped: bool,
+    },
+    /// Harness watchdog transition (engage / decay / reentry).
+    Watchdog { t: f64, event: String },
+    /// Per-window request-plane veto counts (only non-zero windows).
+    PlaneVetoes {
+        t: f64,
+        resilience: u64,
+        admission: u64,
+        faults: u64,
+    },
+    /// Per-window degraded-telemetry counts from the fault plane.
+    FaultTelemetry {
+        t: f64,
+        dropouts: u64,
+        noisy: u64,
+        stale: u64,
+    },
+}
+
+impl JournalEntry {
+    /// The entry's timestamp (seconds since run start).
+    pub fn at(&self) -> f64 {
+        match self {
+            JournalEntry::Overload { t, .. }
+            | JournalEntry::Recluster { t, .. }
+            | JournalEntry::RateAction { t, .. }
+            | JournalEntry::RateBlocked { t, .. }
+            | JournalEntry::Release { t, .. }
+            | JournalEntry::FallbackStrike { t, .. }
+            | JournalEntry::Watchdog { t, .. }
+            | JournalEntry::PlaneVetoes { t, .. }
+            | JournalEntry::FaultTelemetry { t, .. } => *t,
+        }
+    }
+}
+
+/// Default bound on retained entries.
+const DEFAULT_CAP: usize = 8192;
+
+struct State {
+    entries: Vec<JournalEntry>,
+    dropped: u64,
+    cap: usize,
+}
+
+/// Bounded, shareable decision journal. Cheap to clone behind an [`Arc`];
+/// recording takes one short mutex on the control thread (never on the
+/// per-request hot path).
+pub struct Journal {
+    state: Mutex<State>,
+}
+
+impl Default for Journal {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Journal {
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAP)
+    }
+
+    /// Journal retaining at most `cap` entries; further records are
+    /// counted in [`Journal::dropped`] instead of growing memory.
+    pub fn with_capacity(cap: usize) -> Self {
+        Journal {
+            state: Mutex::new(State {
+                entries: Vec::new(),
+                dropped: 0,
+                cap: cap.max(1),
+            }),
+        }
+    }
+
+    /// Convenience: a fresh shared journal.
+    pub fn shared() -> Arc<Journal> {
+        Arc::new(Journal::new())
+    }
+
+    pub fn record(&self, entry: JournalEntry) {
+        let mut st = self.state.lock().expect("journal lock");
+        if st.entries.len() >= st.cap {
+            st.dropped += 1;
+        } else {
+            st.entries.push(entry);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("journal lock").entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entries rejected by the bound.
+    pub fn dropped(&self) -> u64 {
+        self.state.lock().expect("journal lock").dropped
+    }
+
+    /// Copy of the recorded entries, in append order.
+    pub fn snapshot(&self) -> Vec<JournalEntry> {
+        self.state.lock().expect("journal lock").entries.clone()
+    }
+}
+
+/// Render entries as JSONL (one deterministic JSON object per line,
+/// field order fixed by declaration order).
+pub fn to_jsonl(entries: &[JournalEntry]) -> String {
+    let mut out = String::new();
+    for e in entries {
+        out.push_str(&serde_json::to_string(e).expect("journal entries serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+/// FNV-1a over a byte string — the fingerprint `tests/determinism.rs`
+/// pins across worker counts.
+pub fn journal_fingerprint(jsonl: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in jsonl.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(t: f64) -> JournalEntry {
+        JournalEntry::Overload {
+            t,
+            service: 3,
+            name: "productcatalogservice".into(),
+            utilization: 0.97,
+            entered: true,
+        }
+    }
+
+    #[test]
+    fn entries_roundtrip_through_jsonl() {
+        let entries = vec![
+            entry(1.0),
+            JournalEntry::RateAction {
+                t: 2.0,
+                target: 3,
+                target_name: "svc".into(),
+                apis: "0,2".into(),
+                action: -0.05,
+                goodput_ratio: 0.41,
+                latency_ratio: 2.1,
+                total_limit: 300.0,
+                reason: "mimd action -0.050".into(),
+            },
+            JournalEntry::FallbackStrike {
+                t: 3.0,
+                strikes: 2,
+                max_strikes: 3,
+                tripped: false,
+            },
+        ];
+        let jsonl = to_jsonl(&entries);
+        assert_eq!(jsonl.lines().count(), 3);
+        let back: Vec<JournalEntry> = jsonl
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("parse line"))
+            .collect();
+        assert_eq!(back, entries);
+        assert!(jsonl.contains("\"kind\":\"fallback_strike\""), "{jsonl}");
+    }
+
+    #[test]
+    fn journal_is_bounded_and_counts_drops() {
+        let j = Journal::with_capacity(4);
+        for i in 0..10 {
+            j.record(entry(i as f64));
+        }
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.dropped(), 6);
+        // The retained prefix is the oldest entries, in order.
+        let snap = j.snapshot();
+        assert_eq!(snap[0].at(), 0.0);
+        assert_eq!(snap[3].at(), 3.0);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let a = to_jsonl(&[entry(1.0)]);
+        let b = to_jsonl(&[entry(1.0)]);
+        let c = to_jsonl(&[entry(2.0)]);
+        assert_eq!(journal_fingerprint(&a), journal_fingerprint(&b));
+        assert_ne!(journal_fingerprint(&a), journal_fingerprint(&c));
+        // FNV-1a of the empty string is the offset basis.
+        assert_eq!(journal_fingerprint(""), 0xcbf2_9ce4_8422_2325);
+    }
+}

@@ -152,6 +152,19 @@ impl LatencyHistogram {
         self.min_seen = self.min_seen.min(other.min_seen);
     }
 
+    /// Iterate occupied buckets as `(upper_edge_nanos, count)` pairs.
+    ///
+    /// Empty buckets are skipped; the upper edge is the exclusive bound
+    /// of the bucket, so cumulative sums over the returned pairs yield a
+    /// valid `le`-style (Prometheus) bucket series.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (self.bucket_floor(i + 1), c))
+    }
+
     /// Forget all samples, keeping the bucket configuration.
     pub fn reset(&mut self) {
         self.counts.clear();
@@ -227,6 +240,21 @@ mod tests {
         h.reset();
         assert!(h.is_empty());
         assert!(h.quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn buckets_enumerate_occupied_ranges() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::from_millis(1));
+        h.record(SimDuration::from_millis(1));
+        h.record(SimDuration::from_millis(100));
+        let bs: Vec<(f64, u64)> = h.buckets().collect();
+        assert_eq!(bs.len(), 2, "two occupied buckets");
+        assert_eq!(bs.iter().map(|(_, c)| c).sum::<u64>(), 3);
+        assert!(bs.windows(2).all(|w| w[0].0 < w[1].0), "edges ascend");
+        // The first bucket's upper edge bounds the 1ms samples with the
+        // histogram's relative error.
+        assert!(bs[0].0 >= 0.9e6 && bs[0].0 <= 1.2e6, "edge {}", bs[0].0);
     }
 
     #[test]

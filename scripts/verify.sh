@@ -10,7 +10,39 @@ cargo clippy --all-targets -- -D warnings
 cargo fmt --check
 
 # Live serving plane smoke: real TCP gateway + worker pool must serve a
-# short open-loop burst end to end (wall-clock, ~2s).
-./target/release/topfull live scenarios/live_smoke.json --duration 2 --json > /dev/null
+# short open-loop burst end to end (wall-clock, ~4s) while the telemetry
+# endpoint answers GET /metrics with valid Prometheus text exposition.
+./target/release/topfull live scenarios/live_smoke.json --duration 4 --json \
+  > /tmp/topfull_live_smoke.json &
+live_pid=$!
+scrape_metrics() {
+  # std-only scrape: the endpoint closes the connection after one
+  # response, so a read loop over /dev/tcp terminates by itself.
+  exec 3<>/dev/tcp/127.0.0.1/19184
+  printf 'GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n' >&3
+  cat <&3
+  exec 3<&- 3>&-
+}
+sleep 2
+m1=$(scrape_metrics)
+sleep 1
+m2=$(scrape_metrics)
+wait "$live_pid"
+grep -q '^# TYPE topfull_request_duration_seconds histogram' <<<"$m1" \
+  || { echo "metrics smoke: latency histogram missing"; exit 1; }
+grep -q 'topfull_gateway_requests_total{api="ping",verdict="admitted"}' <<<"$m1" \
+  || { echo "metrics smoke: per-API admit counter missing"; exit 1; }
+grep -q 'topfull_gateway_requests_total{api="ping",verdict="rejected"}' <<<"$m1" \
+  || { echo "metrics smoke: per-API reject counter missing"; exit 1; }
+c1=$(grep -o 'verdict="admitted"} [0-9.]*' <<<"$m1" | awk '{print int($2)}')
+c2=$(grep -o 'verdict="admitted"} [0-9.]*' <<<"$m2" | awk '{print int($2)}')
+[ "$c2" -ge "$c1" ] && [ "$c2" -gt 0 ] \
+  || { echo "metrics smoke: admit counter not monotone ($c1 -> $c2)"; exit 1; }
+
+# Decision-journal smoke: `topfull explain` must render the journal
+# embedded in a committed experiment artifact.
+./target/release/topfull explain artifacts/results/fig10.json \
+  | grep -q 'rate actions:' \
+  || { echo "explain smoke: no rate actions in fig10 journal"; exit 1; }
 
 echo "tier-1 verify: OK"

@@ -108,3 +108,36 @@ fn parallel_run_matches_golden_fingerprint() {
          perturbed a run"
     );
 }
+
+/// The decision journal is part of the determinism contract: the JSONL
+/// rendering of every arm's journal must be byte-identical between a
+/// serial plan and a four-worker plan. Journal writes all happen on the
+/// thread driving the control loop, so worker count must not reorder,
+/// drop, or reword a single entry.
+#[test]
+fn journal_jsonl_is_identical_across_worker_counts() {
+    let serial = plan_arms(1);
+    let parallel = plan_arms(4);
+    assert_eq!(serial.len(), parallel.len());
+    let mut any_entries = false;
+    for (s, p) in serial.iter().zip(&parallel) {
+        let s_jsonl = obs::to_jsonl(&s.result.journal);
+        let p_jsonl = obs::to_jsonl(&p.result.journal);
+        assert_eq!(
+            s_jsonl, p_jsonl,
+            "arm {}: journal JSONL differs between 1 and 4 workers",
+            s.label
+        );
+        assert_eq!(
+            obs::journal_fingerprint(&s_jsonl),
+            obs::journal_fingerprint(&p_jsonl),
+            "arm {}: journal fingerprint differs between 1 and 4 workers",
+            s.label
+        );
+        any_entries |= !s.result.journal.is_empty();
+    }
+    assert!(
+        any_entries,
+        "the overloaded boutique arms should journal at least one decision"
+    );
+}
