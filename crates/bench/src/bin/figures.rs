@@ -31,6 +31,7 @@ const EXPERIMENTS: &[(&str, fn())] = &[
     ("training-cost", ex::training_cost::run),
     ("chaos", ex::chaos::run),
     ("sim2real", ex::sim2real::run),
+    ("multishard", ex::multishard::run),
 ];
 
 fn usage() -> ! {

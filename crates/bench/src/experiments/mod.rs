@@ -16,6 +16,7 @@ pub mod fig17;
 pub mod fig18;
 pub mod fig19;
 pub mod metastable;
+pub mod multishard;
 pub mod refinements;
 pub mod retry_storm;
 pub mod sim2real;

@@ -12,13 +12,46 @@
 //! on a real timer tick. Output is the simulator's report schema, so
 //! live and simulated runs diff directly.
 
+use topfull_cli::schema::{ShardFaultJson, ShardingSpec};
 use topfull_cli::{explain_file, parse_scenario, render_report, run_live, Scenario};
 
 fn usage() -> ! {
     eprintln!("usage:");
-    eprintln!("  topfull live <scenario.json> --duration <secs> [--json]");
-    eprintln!("  topfull explain <run.json|journal.jsonl>");
+    eprintln!(
+        "  topfull live <scenario.json> --duration <secs> [--json] \
+         [--shards <n>] [--kill-shard <i>@<secs>]"
+    );
+    eprintln!("  topfull explain <run.json|journal.jsonl> [--fingerprint]");
+    eprintln!();
+    eprintln!("  --shards n          run n gateway shards under one logical controller");
+    eprintln!("                      (overrides the scenario's sharding.shards)");
+    eprintln!("  --kill-shard i@secs SIGKILL-style shard death at scenario-time secs");
+    eprintln!("  --fingerprint       print the journal's order-sensitive fingerprint");
     std::process::exit(2)
+}
+
+/// Parse `i@secs` for `--kill-shard`.
+fn parse_kill(arg: &str) -> Option<(usize, u64)> {
+    let (shard, at) = arg.split_once('@')?;
+    Some((shard.parse().ok()?, at.parse().ok()?))
+}
+
+/// Fold `--shards` / `--kill-shard` into the scenario's sharding spec,
+/// creating one (with defaults) if the file had none.
+fn apply_shard_flags(sc: &mut Scenario, shards: Option<usize>, kill: Option<(usize, u64)>) {
+    if shards.is_none() && kill.is_none() {
+        return;
+    }
+    let spec = sc.sharding.get_or_insert_with(|| ShardingSpec {
+        shards: shards.unwrap_or(1),
+        ..ShardingSpec::default()
+    });
+    if let Some(n) = shards {
+        spec.shards = n;
+    }
+    if let Some((shard, at_secs)) = kill {
+        spec.faults.push(ShardFaultJson::Kill { shard, at_secs });
+    }
 }
 
 fn load(path: &str) -> Scenario {
@@ -44,7 +77,20 @@ fn main() {
                 .and_then(|v| v.parse::<u64>().ok())
                 .unwrap_or_else(|| usage());
             let as_json = args.iter().any(|a| a == "--json");
-            let sc = load(path);
+            let shards = args.iter().position(|a| a == "--shards").map(|i| {
+                match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => usage(),
+                }
+            });
+            let kill = args.iter().position(|a| a == "--kill-shard").map(|i| {
+                match args.get(i + 1).map(String::as_str).map(parse_kill) {
+                    Some(Some(k)) => k,
+                    _ => usage(),
+                }
+            });
+            let mut sc = load(path);
+            apply_shard_flags(&mut sc, shards, kill);
             match run_live(&sc, duration) {
                 Ok(out) => {
                     if as_json {
@@ -64,7 +110,12 @@ fn main() {
         }
         Some("explain") => {
             let path = args.get(1).unwrap_or_else(|| usage());
-            match explain_file(path) {
+            let run = if args.iter().any(|a| a == "--fingerprint") {
+                topfull_cli::explain::fingerprint_file(path).map(|fp| format!("{fp}\n"))
+            } else {
+                explain_file(path)
+            };
+            match run {
                 Ok(text) => print!("{text}"),
                 Err(e) => {
                     eprintln!("{e}");

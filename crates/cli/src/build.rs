@@ -2,7 +2,7 @@
 
 use crate::schema::{
     AppSpec, AutoscalerSpec, CallSpec, ControllerSpec, FaultSpecJson, ResilienceSpec, Scenario,
-    WorkloadSpec,
+    ShardFaultJson, ShardingSpec, WorkloadSpec,
 };
 use apps::{AlibabaDemo, OnlineBoutique, TrainTicket};
 use baselines::{Breakwater, BreakwaterConfig, Dagor, DagorConfig, Wisp, WispConfig};
@@ -341,6 +341,67 @@ pub fn build_scenario(sc: &Scenario) -> Result<BuiltScenario, String> {
         controller,
         api_names,
         hardened,
+    })
+}
+
+/// Sharding spec → core sharded-plane config (shared by the simulator
+/// path and, minus simulator-only faults, the live plane).
+pub fn sharded_config(spec: &ShardingSpec) -> Result<topfull::ShardedConfig, String> {
+    if spec.shards == 0 {
+        return Err("sharding.shards must be at least 1".into());
+    }
+    let plane = topfull::ShardPlaneConfig {
+        min_quantum: spec.min_quantum,
+        strike_out: spec.strike_out,
+        reentry_ticks: spec.reentry_ticks,
+        limit_ttl: spec.limit_ttl,
+        ..topfull::ShardPlaneConfig::default()
+    };
+    let mut faults = Vec::with_capacity(spec.faults.len());
+    for f in &spec.faults {
+        faults.push(build_shard_fault(spec.shards, f)?);
+    }
+    Ok(topfull::ShardedConfig {
+        shards: spec.shards,
+        weights: spec.weights.clone(),
+        plane,
+        faults,
+    })
+}
+
+/// JSON shard fault → core shard fault, with index validation.
+fn build_shard_fault(shards: usize, f: &ShardFaultJson) -> Result<cluster::ShardFault, String> {
+    use cluster::ShardFault as SF;
+    let check = |shard: usize| -> Result<usize, String> {
+        if shard >= shards {
+            Err(format!(
+                "shard fault references shard {shard}, but sharding.shards is {shards}"
+            ))
+        } else {
+            Ok(shard)
+        }
+    };
+    Ok(match f {
+        ShardFaultJson::Dropout {
+            shard,
+            from_secs,
+            until_secs,
+        } => SF::Dropout {
+            shard: check(*shard)?,
+            from: SimTime::from_secs(*from_secs),
+            until: SimTime::from_secs(*until_secs),
+        },
+        ShardFaultJson::Kill { shard, at_secs } => SF::Kill {
+            shard: check(*shard)?,
+            at: SimTime::from_secs(*at_secs),
+        },
+        ShardFaultJson::ControllerLoss {
+            from_secs,
+            until_secs,
+        } => SF::ControllerLoss {
+            from: SimTime::from_secs(*from_secs),
+            until: SimTime::from_secs(*until_secs),
+        },
     })
 }
 

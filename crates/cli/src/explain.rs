@@ -158,6 +158,42 @@ fn render_entry(e: &JournalEntry) -> String {
             "t={t:>8.2}s  telemetry  degraded signals: dropouts={dropouts} \
              noisy={noisy} stale={stale} (window)"
         ),
+        JournalEntry::ShardMembership {
+            shard,
+            event,
+            live,
+            total,
+            ..
+        } => format!("t={t:>8.2}s  shard      shard {shard}: {event} ({live}/{total} live)"),
+        JournalEntry::ShardAggregate {
+            reporting,
+            total,
+            goodput,
+            ..
+        } => format!(
+            "t={t:>8.2}s  aggregate  merged {reporting}/{total} shard reports \
+             (goodput {goodput:.1} rps)"
+        ),
+        JournalEntry::ShardSplit {
+            api,
+            global,
+            quotas,
+            reason,
+            ..
+        } => {
+            let g = if *global < 0.0 {
+                "unlimited".to_string()
+            } else {
+                format!("{global:.1} rps")
+            };
+            format!("t={t:>8.2}s  split      api {api}: {g} -> [{quotas}] — {reason}")
+        }
+        JournalEntry::ShardFallback {
+            shard,
+            phase,
+            detail,
+            ..
+        } => format!("t={t:>8.2}s  degrade    shard {shard} [{phase}]: {detail}"),
     }
 }
 
@@ -173,6 +209,9 @@ fn render_summary(entries: &[JournalEntry]) -> String {
     let mut strikes = 0u64;
     let mut tripped = false;
     let mut watchdog = 0u64;
+    let mut shard_events = 0u64;
+    let mut splits = 0u64;
+    let mut degradations = 0u64;
     for e in entries {
         match e {
             JournalEntry::Overload {
@@ -203,6 +242,11 @@ fn render_summary(entries: &[JournalEntry]) -> String {
             }
             JournalEntry::Watchdog { .. } => watchdog += 1,
             JournalEntry::PlaneVetoes { .. } | JournalEntry::FaultTelemetry { .. } => {}
+            JournalEntry::ShardMembership { .. } | JournalEntry::ShardAggregate { .. } => {
+                shard_events += 1
+            }
+            JournalEntry::ShardSplit { .. } => splits += 1,
+            JournalEntry::ShardFallback { .. } => degradations += 1,
         }
     }
     let mut s = String::from("summary:\n");
@@ -237,7 +281,29 @@ fn render_summary(entries: &[JournalEntry]) -> String {
     if watchdog > 0 {
         let _ = writeln!(s, "  watchdog events: {watchdog}");
     }
+    if shard_events + splits + degradations > 0 {
+        let _ = writeln!(
+            s,
+            "  shard plane: {shard_events} membership/aggregate events, \
+             {splits} quota splits, {degradations} local degradations"
+        );
+    }
     s
+}
+
+/// Fingerprint a journal file: parse entries from either supported
+/// shape, re-render as canonical JSONL, and hash. Two runs of the same
+/// plan must print the same value (`scripts/verify.sh` pins this for
+/// the sharded sim at 1 vs 4 workers).
+pub fn fingerprint_file(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let entries = parse_journal(&text)?;
+    let jsonl = obs::to_jsonl(&entries);
+    Ok(format!(
+        "{:#018x} ({} entries)",
+        obs::journal_fingerprint(&jsonl),
+        entries.len()
+    ))
 }
 
 #[cfg(test)]
@@ -341,6 +407,63 @@ mod tests {
         assert!(parse_journal("not json at all").is_err());
         let err = parse_journal("{\"journal\": 3}").unwrap_err();
         assert!(err.contains("not an array"), "{err}");
+    }
+
+    #[test]
+    fn timeline_renders_shard_plane_entries() {
+        let entries = vec![
+            JournalEntry::ShardMembership {
+                t: 60.0,
+                shard: 1,
+                event: "struck out after 3 missed reports; quota redistributed".into(),
+                live: 2,
+                total: 3,
+            },
+            JournalEntry::ShardAggregate {
+                t: 60.0,
+                reporting: 2,
+                total: 3,
+                goodput: 812.5,
+            },
+            JournalEntry::ShardSplit {
+                t: 60.0,
+                api: 0,
+                global: 120.0,
+                quotas: "60.0|-|60.0".into(),
+                reason: "redistribution: live set changed".into(),
+            },
+            JournalEntry::ShardFallback {
+                t: 72.0,
+                shard: 2,
+                phase: "fallback".into(),
+                detail: "ttl expired; local mimd engaged".into(),
+            },
+        ];
+        let text = render_timeline(&entries);
+        assert!(text.contains("shard 1: struck out"), "{text}");
+        assert!(text.contains("merged 2/3 shard reports"), "{text}");
+        assert!(text.contains("120.0 rps -> [60.0|-|60.0]"), "{text}");
+        assert!(text.contains("shard 2 [fallback]"), "{text}");
+        assert!(
+            text.contains("shard plane: 2 membership/aggregate events, 1 quota splits"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_for_same_journal() {
+        let jsonl = obs::to_jsonl(&sample_entries());
+        let dir = std::env::temp_dir();
+        let p1 = dir.join("topfull_fp_a.jsonl");
+        let p2 = dir.join("topfull_fp_b.jsonl");
+        std::fs::write(&p1, &jsonl).unwrap();
+        std::fs::write(&p2, &jsonl).unwrap();
+        let f1 = fingerprint_file(p1.to_str().unwrap()).expect("fingerprints");
+        let f2 = fingerprint_file(p2.to_str().unwrap()).expect("fingerprints");
+        assert_eq!(f1, f2);
+        assert!(f1.starts_with("0x"), "{f1}");
+        let _ = std::fs::remove_file(p1);
+        let _ = std::fs::remove_file(p2);
     }
 
     #[test]

@@ -21,13 +21,205 @@ pub use live::run_live;
 pub use report::{render_report, ScenarioOutcome};
 pub use schema::Scenario;
 
-/// Parse a scenario from JSON text.
+/// Top-level keys the scenario schema accepts. Kept in sync with
+/// [`schema::Scenario`]'s fields; `parse_scenario` rejects anything
+/// else so typos fail loudly instead of being silently ignored.
+const TOP_LEVEL_KEYS: &[&str] = &[
+    "name",
+    "seed",
+    "duration_secs",
+    "slo_ms",
+    "app",
+    "workload",
+    "controller",
+    "autoscaler",
+    "failures",
+    "faults",
+    "resilience",
+    "live",
+    "sharding",
+    "report",
+];
+
+/// Levenshtein edit distance, for the "did you mean" hint.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+/// Reject unknown top-level keys with a "did you mean" suggestion.
+fn check_top_level_keys(value: &serde_json::JsonValue) -> Result<(), String> {
+    let serde::Value::Object(fields) = value else {
+        return Err("invalid scenario: top level must be a JSON object".into());
+    };
+    for (key, _) in fields {
+        if TOP_LEVEL_KEYS.contains(&key.as_str()) {
+            continue;
+        }
+        let nearest = TOP_LEVEL_KEYS
+            .iter()
+            .min_by_key(|k| edit_distance(key, k))
+            .expect("non-empty key list");
+        let hint = if edit_distance(key, nearest) <= 3 {
+            format!(" — did you mean '{nearest}'?")
+        } else {
+            String::new()
+        };
+        return Err(format!(
+            "invalid scenario: unknown top-level key '{key}'{hint}\n\
+             valid keys: {}",
+            TOP_LEVEL_KEYS.join(", ")
+        ));
+    }
+    Ok(())
+}
+
+/// Parse a scenario from JSON text. Unknown top-level keys are an
+/// error (with a "did you mean" hint), not a silent no-op.
 pub fn parse_scenario(json: &str) -> Result<Scenario, String> {
+    let value: serde_json::JsonValue =
+        serde_json::from_str(json).map_err(|e| format!("invalid scenario: {e}"))?;
+    check_top_level_keys(&value)?;
     serde_json::from_str(json).map_err(|e| format!("invalid scenario: {e}"))
 }
 
 /// Run a scenario end to end.
 pub fn run_scenario(sc: &Scenario) -> Result<ScenarioOutcome, String> {
+    if sc.sharding.is_some()
+        && !matches!(
+            sc.controller,
+            schema::ControllerSpec::None | schema::ControllerSpec::Topfull { .. }
+        )
+    {
+        return Err(
+            "sharding splits entry rate limits across gateway shards, so it only \
+             composes with entry controllers ('none' or 'topfull'); per-service \
+             schemes (dagor/breakwater/wisp) don't run at the sharded gateway"
+                .into(),
+        );
+    }
     let built = build_scenario(sc)?;
-    Ok(report::execute(sc, built))
+    match &sc.sharding {
+        Some(spec) => {
+            let cfg = build::sharded_config(spec)?;
+            report::execute_sharded(sc, built, cfg)
+        }
+        None => Ok(report::execute(sc, built)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_top_level_key_gets_a_did_you_mean_hint() {
+        let json = r#"{
+            "app": {"type": "builtin", "name": "online-boutique"},
+            "workload": {"type": "open_loop", "rates": []},
+            "shardng": {"shards": 3}
+        }"#;
+        let err = parse_scenario(json).expect_err("typo must be rejected");
+        assert!(err.contains("unknown top-level key 'shardng'"), "{err}");
+        assert!(err.contains("did you mean 'sharding'?"), "{err}");
+        assert!(err.contains("valid keys:"), "{err}");
+    }
+
+    #[test]
+    fn unrelated_unknown_key_lists_valid_keys_without_a_guess() {
+        let json = r#"{
+            "app": {"type": "builtin", "name": "online-boutique"},
+            "workload": {"type": "open_loop", "rates": []},
+            "zzqx": 1
+        }"#;
+        let err = parse_scenario(json).expect_err("unknown key must be rejected");
+        assert!(err.contains("unknown top-level key 'zzqx'"), "{err}");
+        assert!(!err.contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn sharding_rejects_per_service_controllers() {
+        let mut sc = Scenario::example();
+        sc.controller = schema::ControllerSpec::Dagor { alpha: 0.05 };
+        sc.sharding = Some(schema::ShardingSpec {
+            shards: 3,
+            ..Default::default()
+        });
+        let err = run_scenario(&sc).expect_err("dagor cannot shard at the gateway");
+        assert!(err.contains("entry controllers"), "{err}");
+    }
+
+    #[test]
+    fn sharding_rejects_the_hardened_loop() {
+        let mut sc = Scenario::example();
+        sc.controller = schema::ControllerSpec::Topfull {
+            rate_controller: "mimd".into(),
+            clustering: true,
+            hardened: true,
+        };
+        sc.sharding = Some(schema::ShardingSpec {
+            shards: 2,
+            ..Default::default()
+        });
+        let err = run_scenario(&sc).expect_err("hardened + sharding is ambiguous");
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn sharded_run_matches_single_gateway_within_noise() {
+        let mut sc = Scenario::example();
+        sc.duration_secs = 60;
+        sc.report.measure_from_secs = 30;
+        sc.report.timeline = false;
+        let single = run_scenario(&sc).expect("single runs");
+        sc.sharding = Some(schema::ShardingSpec {
+            shards: 3,
+            ..Default::default()
+        });
+        let sharded = run_scenario(&sc).expect("sharded runs");
+        let plane = sharded.shard_plane.as_ref().expect("plane stats present");
+        assert!(plane.merges > 0, "controller saw merged observations");
+        let (a, b) = (single.total_goodput, sharded.total_goodput);
+        assert!(
+            (a - b).abs() / a.max(1.0) < 0.15,
+            "3-shard goodput {b:.1} strays from single-gateway {a:.1}"
+        );
+        let text = render_report(&sc, &sharded);
+        assert!(text.contains("shard plane:"), "{text}");
+    }
+
+    #[test]
+    fn sharded_kill_redistributes_and_journals() {
+        let mut sc = Scenario::example();
+        sc.duration_secs = 60;
+        sc.report.measure_from_secs = 30;
+        sc.report.timeline = false;
+        sc.sharding = Some(schema::ShardingSpec {
+            shards: 3,
+            faults: vec![schema::ShardFaultJson::Kill {
+                shard: 2,
+                at_secs: 30,
+            }],
+            ..Default::default()
+        });
+        let out = run_scenario(&sc).expect("sharded kill runs");
+        let plane = out.shard_plane.as_ref().expect("plane stats");
+        assert!(plane.strike_outs >= 1, "killed shard must strike out");
+        assert!(plane.redistributions >= 1, "quota must redistribute");
+        let membership: Vec<_> = out
+            .journal
+            .iter()
+            .filter(|e| matches!(e, obs::JournalEntry::ShardMembership { .. }))
+            .collect();
+        assert!(!membership.is_empty(), "membership transitions journaled");
+    }
 }

@@ -15,9 +15,14 @@
 
 use crate::build::{build_topology, topfull_config};
 use crate::report::ScenarioOutcome;
-use crate::schema::{ControllerSpec, LiveSpec, Scenario, WorkloadSpec};
+use crate::schema::{
+    ControllerSpec, LiveSpec, Scenario, ShardFaultJson, ShardingSpec, WorkloadSpec,
+};
 use cluster::{Controller, NoControl, ResilienceStats, Topology};
-use liveserve::{ClosedLoopSpec, LiveConfig, LiveServer, LoadGen, OpenLoopArm};
+use liveserve::{
+    ClosedLoopSpec, LiveConfig, LiveRunResult, LiveServer, LoadGen, OpenLoopArm, ShardedLive,
+    ShardedLiveConfig,
+};
 use std::time::Duration;
 use topfull::TopFull;
 
@@ -99,6 +104,46 @@ fn build_load(
     }
 }
 
+/// Summarize a live run into the simulator's outcome shape. Steady
+/// state starts where the simulator's would, compressed by the same
+/// factor as the workload schedule.
+fn live_outcome(
+    sc: &Scenario,
+    duration_secs: u64,
+    scale: f64,
+    result: &LiveRunResult,
+    journal: &obs::Journal,
+) -> ScenarioOutcome {
+    let from = sc.report.measure_from_secs as f64 * scale;
+    let mean_from =
+        |f: &dyn Fn(&cluster::ClusterObservation) -> f64| result.mean_over(from, f64::INFINITY, f);
+    let goodput_per_api = result
+        .api_names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.clone(), mean_from(&|o| o.apis[i].goodput)))
+        .collect();
+    let offered_per_api = result
+        .api_names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.clone(), mean_from(&|o| o.apis[i].offered)))
+        .collect();
+    ScenarioOutcome {
+        name: sc.name.clone(),
+        duration_secs,
+        total_goodput: mean_from(&|o| o.apis.iter().map(|a| a.goodput).sum()),
+        goodput_per_api,
+        offered_per_api,
+        crash_events: 0,
+        resilience: ResilienceStats::default(),
+        timeline: result.total_goodput_series(),
+        journal: journal.snapshot(),
+        shard_plane: None,
+        shard_guards: None,
+    }
+}
+
 /// Run a scenario against the live plane for `duration_secs` of wall
 /// clock, returning the same outcome shape as the simulator.
 pub fn run_live(sc: &Scenario, duration_secs: u64) -> Result<ScenarioOutcome, String> {
@@ -116,6 +161,20 @@ pub fn run_live(sc: &Scenario, duration_secs: u64) -> Result<ScenarioOutcome, St
     let (closed, arms) = build_load(&topo, &sc.workload, scale)?;
     let live = sc.live.clone().unwrap_or_default();
     let cfg = live_config(&live, sc.slo_ms);
+    if let Some(spec) = &sc.sharding {
+        return run_live_sharded(
+            sc,
+            spec,
+            duration_secs,
+            scale,
+            &topo,
+            controller,
+            journal,
+            cfg,
+            closed,
+            arms,
+        );
+    }
     let mut server =
         LiveServer::start(&topo, cfg).map_err(|e| format!("cannot start live server: {e}"))?;
     let gen = LoadGen::start(server.addr(), closed, arms)
@@ -123,35 +182,87 @@ pub fn run_live(sc: &Scenario, duration_secs: u64) -> Result<ScenarioOutcome, St
     let result = server.run(controller.as_mut(), Duration::from_secs(duration_secs));
     gen.stop();
     server.shutdown();
+    Ok(live_outcome(sc, duration_secs, scale, &result, &journal))
+}
 
-    // Steady state starts where the simulator's would, compressed by the
-    // same factor as the workload schedule.
-    let from = sc.report.measure_from_secs as f64 * scale;
-    let mean_from =
-        |f: &dyn Fn(&cluster::ClusterObservation) -> f64| result.mean_over(from, f64::INFINITY, f);
-    let goodput_per_api = result
-        .api_names
-        .iter()
-        .enumerate()
-        .map(|(i, n)| (n.clone(), mean_from(&|o| o.apis[i].goodput)))
-        .collect();
-    let offered_per_api = result
-        .api_names
-        .iter()
-        .enumerate()
-        .map(|(i, n)| (n.clone(), mean_from(&|o| o.apis[i].offered)))
-        .collect();
-    Ok(ScenarioOutcome {
-        name: sc.name.clone(),
-        duration_secs,
-        total_goodput: mean_from(&|o| o.apis.iter().map(|a| a.goodput).sum()),
-        goodput_per_api,
-        offered_per_api,
-        crash_events: 0,
-        resilience: ResilienceStats::default(),
-        timeline: result.total_goodput_series(),
-        journal: journal.snapshot(),
-    })
+/// Translate the scenario's shard spec into a live fleet config. Fault
+/// times are scenario seconds, compressed by the same factor as the
+/// workload schedule.
+fn sharded_live_config(
+    spec: &ShardingSpec,
+    scale: f64,
+    base: LiveConfig,
+) -> Result<ShardedLiveConfig, String> {
+    if spec.shards == 0 {
+        return Err("sharding.shards must be at least 1".into());
+    }
+    let mut cfg = ShardedLiveConfig::new(spec.shards, base);
+    cfg.plane = topfull::ShardPlaneConfig {
+        min_quantum: spec.min_quantum,
+        strike_out: spec.strike_out,
+        reentry_ticks: spec.reentry_ticks,
+        limit_ttl: spec.limit_ttl,
+        ..Default::default()
+    };
+    for f in &spec.faults {
+        match f {
+            ShardFaultJson::Kill { shard, at_secs } => {
+                if *shard >= spec.shards {
+                    return Err(format!(
+                        "shard fault targets shard {shard} but only {} exist",
+                        spec.shards
+                    ));
+                }
+                if cfg.kill.is_some() {
+                    return Err("live mode supports at most one shard kill per run".into());
+                }
+                cfg.kill = Some((*shard, *at_secs as f64 * scale));
+            }
+            ShardFaultJson::ControllerLoss {
+                from_secs,
+                until_secs,
+            } => {
+                if cfg.controller_loss.is_some() {
+                    return Err("live mode supports one controller-loss window per run".into());
+                }
+                cfg.controller_loss = Some((*from_secs as f64 * scale, *until_secs as f64 * scale));
+            }
+            ShardFaultJson::Dropout { shard, .. } => {
+                return Err(format!(
+                    "the dropout fault (shard {shard}) models a telemetry partition and \
+                     is simulator-only; live mode supports kill and controller_loss"
+                ));
+            }
+        }
+    }
+    Ok(cfg)
+}
+
+/// Run the scenario against N real gateways under one logical
+/// controller (the live half of the sharded control plane).
+#[allow(clippy::too_many_arguments)]
+fn run_live_sharded(
+    sc: &Scenario,
+    spec: &ShardingSpec,
+    duration_secs: u64,
+    scale: f64,
+    topo: &Topology,
+    mut controller: Box<dyn Controller>,
+    journal: std::sync::Arc<obs::Journal>,
+    base: LiveConfig,
+    closed: Option<ClosedLoopSpec>,
+    arms: Vec<OpenLoopArm>,
+) -> Result<ScenarioOutcome, String> {
+    let cfg = sharded_live_config(spec, scale, base)?;
+    let mut fleet = ShardedLive::start(topo, cfg, closed, arms)
+        .map_err(|e| format!("cannot start sharded live fleet: {e}"))?;
+    fleet.attach_journal(std::sync::Arc::clone(&journal));
+    let result = fleet.run(controller.as_mut(), Duration::from_secs(duration_secs));
+    let sharded = fleet.shutdown();
+    let mut out = live_outcome(sc, duration_secs, scale, &result, &journal);
+    out.shard_plane = Some(sharded.plane_stats);
+    out.shard_guards = Some(sharded.guard_stats);
+    Ok(out)
 }
 
 fn live_config(live: &LiveSpec, slo_ms: u64) -> LiveConfig {
@@ -246,6 +357,45 @@ mod tests {
         );
         let err = run_live(&sc, 1).expect_err("unknown API must be rejected");
         assert!(err.contains("nope"), "{err}");
+    }
+
+    #[test]
+    fn sharded_live_run_reports_plane_stats() {
+        let mut sc = tiny_live_scenario(
+            r#"{"type": "open_loop", "rates": [{"api": "ping", "steps": [[0, 150.0]]}]}"#,
+            r#"{"type": "topfull", "rate_controller": "mimd"}"#,
+        );
+        sc.sharding = Some(ShardingSpec {
+            shards: 2,
+            ..Default::default()
+        });
+        let out = run_live(&sc, 2).expect("sharded live run");
+        let plane = out.shard_plane.expect("plane stats present");
+        assert!(plane.merges > 0, "controller ticked on merged observations");
+        assert!(
+            out.total_goodput > 50.0,
+            "two shards of 100µs work should serve >50 rps, got {}",
+            out.total_goodput
+        );
+    }
+
+    #[test]
+    fn dropout_fault_is_simulator_only_in_live_mode() {
+        let mut sc = tiny_live_scenario(
+            r#"{"type": "open_loop", "rates": [{"api": "ping", "steps": [[0, 50.0]]}]}"#,
+            r#"{"type": "none"}"#,
+        );
+        sc.sharding = Some(ShardingSpec {
+            shards: 2,
+            faults: vec![ShardFaultJson::Dropout {
+                shard: 0,
+                from_secs: 0,
+                until_secs: 1,
+            }],
+            ..Default::default()
+        });
+        let err = run_live(&sc, 1).expect_err("dropout must be rejected live");
+        assert!(err.contains("simulator-only"), "{err}");
     }
 
     #[test]

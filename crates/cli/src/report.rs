@@ -24,6 +24,43 @@ pub struct ScenarioOutcome {
     /// Controller decision journal, in decision order. Feed to
     /// `topfull explain` to render the timeline.
     pub journal: Vec<obs::JournalEntry>,
+    /// Shard-plane activity (sharded runs only).
+    pub shard_plane: Option<topfull::ShardPlaneStats>,
+    /// Shard-local guard activity summed over shards (sharded runs only).
+    pub shard_guards: Option<topfull::GuardStats>,
+}
+
+/// Per-API steady-state means out of a [`cluster::RunResult`].
+#[allow(clippy::type_complexity)]
+fn summarize(
+    r: &cluster::RunResult,
+    api_names: &[String],
+    from: f64,
+    to: f64,
+) -> (Vec<(String, f64)>, Vec<(String, f64)>, f64) {
+    let goodput_per_api: Vec<(String, f64)> = api_names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.clone(), r.mean_goodput_api(ApiId(i as u32), from, to)))
+        .collect();
+    let offered_per_api: Vec<(String, f64)> = api_names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            let xs: Vec<f64> = r
+                .samples
+                .iter()
+                .filter(|s| s.at.as_secs_f64() >= from)
+                .map(|s| s.offered[i])
+                .collect();
+            (n.clone(), simnet::stats::mean(&xs))
+        })
+        .collect();
+    (
+        goodput_per_api,
+        offered_per_api,
+        r.mean_total_goodput(from, to),
+    )
 }
 
 /// Run a built scenario to completion and collect the outcome.
@@ -43,35 +80,64 @@ pub fn execute(sc: &Scenario, built: BuiltScenario) -> ScenarioOutcome {
     let from = sc.report.measure_from_secs as f64;
     let to = sc.duration_secs as f64;
     let r = h.result();
-    let goodput_per_api: Vec<(String, f64)> = api_names
-        .iter()
-        .enumerate()
-        .map(|(i, n)| (n.clone(), r.mean_goodput_api(ApiId(i as u32), from, to)))
-        .collect();
-    let offered_per_api: Vec<(String, f64)> = api_names
-        .iter()
-        .enumerate()
-        .map(|(i, n)| {
-            let xs: Vec<f64> = r
-                .samples
-                .iter()
-                .filter(|s| s.at.as_secs_f64() >= from)
-                .map(|s| s.offered[i])
-                .collect();
-            (n.clone(), simnet::stats::mean(&xs))
-        })
-        .collect();
+    let (goodput_per_api, offered_per_api, total_goodput) = summarize(r, &api_names, from, to);
     ScenarioOutcome {
         name: sc.name.clone(),
         duration_secs: sc.duration_secs,
-        total_goodput: r.mean_total_goodput(from, to),
+        total_goodput,
         goodput_per_api,
         offered_per_api,
         crash_events: h.engine.crash_events,
         resilience: h.engine.resilience_totals(),
         timeline: r.total_goodput_series(),
         journal: h.journal().snapshot(),
+        shard_plane: None,
+        shard_guards: None,
     }
+}
+
+/// Run a built scenario under the sharded control plane: the engine's
+/// controller-facing observation is sliced into N virtual gateway
+/// shards, one logical controller runs on the weighted merge, and the
+/// resulting limits are split back per shard (see `topfull::shard`).
+pub fn execute_sharded(
+    sc: &Scenario,
+    built: BuiltScenario,
+    cfg: topfull::ShardedConfig,
+) -> Result<ScenarioOutcome, String> {
+    let BuiltScenario {
+        engine,
+        controller,
+        api_names,
+        hardened,
+    } = built;
+    if hardened {
+        return Err(
+            "sharding and hardened are mutually exclusive: the shard plane carries its \
+             own degradation ladder (limit TTL + local MIMD fallback) in place of the \
+             watchdog"
+                .into(),
+        );
+    }
+    let mut h = topfull::ShardedHarness::new(engine, controller, cfg)?;
+    h.run_for_secs(sc.duration_secs);
+    let from = sc.report.measure_from_secs as f64;
+    let to = sc.duration_secs as f64;
+    let r = h.result();
+    let (goodput_per_api, offered_per_api, total_goodput) = summarize(r, &api_names, from, to);
+    Ok(ScenarioOutcome {
+        name: sc.name.clone(),
+        duration_secs: sc.duration_secs,
+        total_goodput,
+        goodput_per_api,
+        offered_per_api,
+        crash_events: h.engine.crash_events,
+        resilience: h.engine.resilience_totals(),
+        timeline: r.total_goodput_series(),
+        journal: h.journal().snapshot(),
+        shard_plane: Some(h.plane_stats()),
+        shard_guards: Some(h.guard_stats()),
+    })
 }
 
 /// Run the same scenario under a roster of controllers and tabulate.
@@ -170,6 +236,22 @@ pub fn render_report(sc: &Scenario, out: &ScenarioOutcome) -> String {
             "            retries issued={} suppressed={} breaker rejected={} transitions={}",
             r.retries_issued, r.retries_suppressed, r.breaker_rejected, r.breaker_transitions
         );
+    }
+    if let Some(p) = &out.shard_plane {
+        let _ = writeln!(
+            s,
+            "shard plane: merges={} strike-outs={} re-entries={} redistributions={}",
+            p.merges, p.strike_outs, p.reentries, p.redistributions
+        );
+    }
+    if let Some(g) = &out.shard_guards {
+        if g.held_ticks > 0 || g.fallback_ticks > 0 {
+            let _ = writeln!(
+                s,
+                "shard guards: held-ticks={} fallback-ticks={} resyncs={}",
+                g.held_ticks, g.fallback_ticks, g.resyncs
+            );
+        }
     }
     if sc.report.timeline {
         let _ = writeln!(s, "\ntimeline (total goodput, rps):");

@@ -40,6 +40,10 @@ pub struct Scenario {
     /// Live-plane tuning for `topfull live` (ignored by the simulator).
     #[serde(default)]
     pub live: Option<LiveSpec>,
+    /// Sharded control plane: N gateway shards under one logical
+    /// controller, with partition-tolerant failover.
+    #[serde(default)]
+    pub sharding: Option<ShardingSpec>,
     #[serde(default)]
     pub report: ReportSpec,
 }
@@ -418,6 +422,84 @@ impl Default for LiveSpec {
     }
 }
 
+/// Sharded control plane: N gateway shards feed one logical TopFull
+/// controller; the aggregated limits are split back per shard by
+/// observed arrival share. Applies to both the simulator (virtual
+/// shards over one engine) and `topfull live` (N real gateways).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ShardingSpec {
+    /// Number of gateway shards (≥ 1).
+    pub shards: usize,
+    /// Client-affinity weights, one per shard (uniform when omitted).
+    /// Simulator only; live shards always split uniformly.
+    #[serde(default)]
+    pub weights: Option<Vec<f64>>,
+    /// Minimum per-shard quota (rps) so cold shards can still probe.
+    #[serde(default = "default_min_quantum")]
+    pub min_quantum: f64,
+    /// Consecutive missed reports before a shard is declared dead and
+    /// its quota redistributed.
+    #[serde(default = "default_strike_out")]
+    pub strike_out: u32,
+    /// Ticks of ramped re-entry after a dead shard returns.
+    #[serde(default = "default_reentry_ticks")]
+    pub reentry_ticks: u32,
+    /// Ticks a shard holds last-good limits without controller contact
+    /// before decaying into its local MIMD fallback.
+    #[serde(default = "default_limit_ttl")]
+    pub limit_ttl: u32,
+    /// Scheduled shard-plane faults.
+    #[serde(default)]
+    pub faults: Vec<ShardFaultJson>,
+}
+
+impl Default for ShardingSpec {
+    fn default() -> Self {
+        ShardingSpec {
+            shards: 1,
+            weights: None,
+            min_quantum: default_min_quantum(),
+            strike_out: default_strike_out(),
+            reentry_ticks: default_reentry_ticks(),
+            limit_ttl: default_limit_ttl(),
+            faults: vec![],
+        }
+    }
+}
+
+fn default_min_quantum() -> f64 {
+    1.0
+}
+fn default_strike_out() -> u32 {
+    3
+}
+fn default_reentry_ticks() -> u32 {
+    5
+}
+fn default_limit_ttl() -> u32 {
+    5
+}
+
+/// One scheduled shard-plane fault (JSON form of
+/// [`cluster::ShardFault`]; windows are `[from_secs, until_secs)`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum ShardFaultJson {
+    /// Telemetry partition: the shard keeps serving but its reports and
+    /// the controller's pushes don't get through (simulator only).
+    Dropout {
+        shard: usize,
+        from_secs: u64,
+        until_secs: u64,
+    },
+    /// The shard dies abruptly at `at_secs`; its client share fails
+    /// over to the survivors.
+    Kill { shard: usize, at_secs: u64 },
+    /// The logical controller is unreachable inside the window; shards
+    /// degrade to held limits, then the local MIMD fallback.
+    ControllerLoss { from_secs: u64, until_secs: u64 },
+}
+
 /// Output options.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ReportSpec {
@@ -512,6 +594,7 @@ impl Scenario {
                 }),
             }),
             live: None,
+            sharding: None,
             report: ReportSpec {
                 measure_from_secs: 60,
                 timeline: true,

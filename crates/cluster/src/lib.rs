@@ -42,6 +42,7 @@ pub mod gateway;
 pub mod harness;
 pub mod observe;
 pub mod resilience;
+pub mod sharded;
 pub mod topology;
 pub mod tracing;
 pub mod types;
@@ -57,6 +58,7 @@ pub use resilience::{
     BreakerConfig, BreakerState, DeadlineConfig, EdgeBreakers, ResilienceConfig, ResilienceStats,
     RetryBudget, RetryBudgetConfig,
 };
+pub use sharded::{ShardFault, ShardSlicer};
 pub use topology::{ApiSpec, CallNode, ServiceSpec, Topology};
 pub use types::{ApiId, BusinessPriority, RequestMeta, ServiceId};
 pub use workload::{

@@ -51,6 +51,7 @@ pub mod clustering;
 pub mod controller;
 pub mod detector;
 pub mod rate_controller;
+pub mod shard;
 
 pub use clustering::{cluster_apis, Cluster};
 pub use controller::{TopFull, TopFullConfig};
@@ -58,4 +59,8 @@ pub use detector::{InvalidThresholds, OverloadDetector};
 pub use rate_controller::{
     BwRateController, MimdController, RateController, RateState, RlRateController,
     SafeRateController,
+};
+pub use shard::{
+    merge_observations, split_limit, GuardStats, ShardLocalGuard, ShardPlane, ShardPlaneConfig,
+    ShardPlaneStats, ShardedConfig, ShardedHarness,
 };

@@ -27,13 +27,15 @@ pub mod gateway;
 pub mod http;
 pub mod loadgen;
 pub mod metrics;
+pub mod shardrun;
 
 pub use clock::WallClock;
 pub use loadgen::{ClosedLoopSpec, LoadGen, OpenLoopArm};
 pub use metrics::{AppDescriptor, LiveMetrics};
+pub use shardrun::{ShardedLive, ShardedLiveConfig, ShardedLiveResult};
 
 use cluster::observe::ClusterObservation;
-use cluster::{ApiId, Controller, EntryAdmission, Topology};
+use cluster::{ApiId, Controller, EntryAdmission, RateLimitUpdate, Topology};
 use executors::WorkerPool;
 use gateway::GatewayShared;
 use simnet::SimTime;
@@ -157,6 +159,37 @@ impl LiveRunResult {
     }
 }
 
+/// Bind the metrics exposition listener. A busy `port` is retried with
+/// bounded backoff (another shard or a stale listener may still hold
+/// it), then falls back to an ephemeral port — a gateway that serves
+/// traffic but not `/metrics` on the requested port beats one that
+/// refuses to start at all. The substitution is logged to stderr.
+fn bind_metrics(port: u16) -> std::io::Result<TcpListener> {
+    if port == 0 {
+        return TcpListener::bind(("127.0.0.1", 0));
+    }
+    let mut last_err: Option<std::io::Error> = None;
+    for backoff in [
+        Duration::ZERO,
+        Duration::from_millis(25),
+        Duration::from_millis(50),
+    ] {
+        std::thread::sleep(backoff);
+        match TcpListener::bind(("127.0.0.1", port)) {
+            Ok(l) => return Ok(l),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    eprintln!(
+        "liveserve: metrics port {port} unavailable after retries ({}); \
+         serving /metrics on ephemeral port {} instead",
+        last_err.expect("retry loop records an error"),
+        listener.local_addr()?.port()
+    );
+    Ok(listener)
+}
+
 /// The live serving plane: gateway + worker pool + metric windows.
 pub struct LiveServer {
     addr: SocketAddr,
@@ -178,7 +211,7 @@ impl LiveServer {
     pub fn start(topo: &Topology, cfg: LiveConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
         let addr = listener.local_addr()?;
-        let metrics_listener = TcpListener::bind(("127.0.0.1", cfg.metrics_port))?;
+        let metrics_listener = bind_metrics(cfg.metrics_port)?;
         let metrics_addr = metrics_listener.local_addr()?;
         let clock = WallClock::start();
         let desc = AppDescriptor::of(topo, cfg.slo);
@@ -243,13 +276,10 @@ impl LiveServer {
             .rate_limit(ApiId(api as u32))
     }
 
-    /// Close the current metric window, run one controller step, and
-    /// apply the resulting rate-limit updates to the admission bank.
-    ///
-    /// Mirrors the simulator's harness ordering exactly: the observation
-    /// carries the limits that were in force *during* the window, and
-    /// updates take effect for the next one.
-    pub fn tick(&mut self, controller: &mut dyn Controller) -> LiveTick {
+    /// Close the current metric window and return the observation,
+    /// without running a controller. The sharded runner uses this to
+    /// collect per-shard reports before one logical controller step.
+    pub fn observe_tick(&mut self) -> LiveTick {
         let now = self.shared.clock.now();
         let window = now.duration_since(self.window_start);
         self.window_start = now;
@@ -265,18 +295,36 @@ impl LiveServer {
             .observe(&self.desc, now, window, &rate_limits);
         // Bound the live path learner exactly like the simulator's tick.
         self.shared.metrics.compact_traces(now);
-        let updates = controller.control(&obs);
-        if !updates.is_empty() {
-            let mut admission = self.shared.admission.lock().expect("admission lock");
-            let at = self.shared.clock.now();
-            for u in updates {
-                admission.set_rate_limit(u.api, u.rate, at);
-            }
-        }
         LiveTick {
             t_secs: now.as_secs_f64(),
             obs,
         }
+    }
+
+    /// Apply rate-limit updates to the admission bank, effective for
+    /// the next window.
+    pub fn push_limits(&mut self, updates: &[RateLimitUpdate]) {
+        if updates.is_empty() {
+            return;
+        }
+        let mut admission = self.shared.admission.lock().expect("admission lock");
+        let at = self.shared.clock.now();
+        for u in updates {
+            admission.set_rate_limit(u.api, u.rate, at);
+        }
+    }
+
+    /// Close the current metric window, run one controller step, and
+    /// apply the resulting rate-limit updates to the admission bank.
+    ///
+    /// Mirrors the simulator's harness ordering exactly: the observation
+    /// carries the limits that were in force *during* the window, and
+    /// updates take effect for the next one.
+    pub fn tick(&mut self, controller: &mut dyn Controller) -> LiveTick {
+        let tick = self.observe_tick();
+        let updates = controller.control(&tick.obs);
+        self.push_limits(&updates);
+        tick
     }
 
     /// Drive the control loop for `duration` on the calling thread,
@@ -316,6 +364,16 @@ impl LiveServer {
         if let Some(p) = self.pool.take() {
             p.join();
         }
+    }
+
+    /// Abrupt termination — the in-process analogue of SIGKILL for
+    /// chaos drills. The shutdown flag is raised and every handle is
+    /// dropped *without joining*: acceptor, workers and connection
+    /// threads exit on their next poll, in-flight requests are
+    /// abandoned, and nothing waits for a drain.
+    pub fn kill(self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        // `self` drops here; detached threads observe the flag and die.
     }
 }
 

@@ -35,6 +35,7 @@ pub fn value_at(steps: &[(f64, f64)], t_secs: f64) -> f64 {
 }
 
 /// Closed-loop client pool specification.
+#[derive(Clone)]
 pub struct ClosedLoopSpec {
     /// `(t_secs, active_users)` steps.
     pub users_steps: Vec<(f64, f64)>,
@@ -44,6 +45,7 @@ pub struct ClosedLoopSpec {
 }
 
 /// One open-loop surge arm.
+#[derive(Clone)]
 pub struct OpenLoopArm {
     pub api: usize,
     /// `(t_secs, requests_per_sec)` steps.

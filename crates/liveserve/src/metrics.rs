@@ -139,6 +139,24 @@ impl LiveMetrics {
     /// Adopt every cumulative instrument into `reg` under stable family
     /// names, labelled with the application's API/service names.
     pub fn register_into(&self, reg: &obs::Registry, desc: &AppDescriptor) {
+        self.register_with(reg, desc, &[]);
+    }
+
+    /// Like [`LiveMetrics::register_into`], but every family carries an
+    /// extra `shard` label — N gateway shards expose through one
+    /// registry without series collisions.
+    pub fn register_into_sharded(&self, reg: &obs::Registry, desc: &AppDescriptor, shard: usize) {
+        let shard = shard.to_string();
+        self.register_with(reg, desc, &[("shard", shard.as_str())]);
+    }
+
+    fn register_with(&self, reg: &obs::Registry, desc: &AppDescriptor, extra: &[(&str, &str)]) {
+        fn join<'a>(
+            base: &[(&'a str, &'a str)],
+            extra: &[(&'a str, &'a str)],
+        ) -> Vec<(&'a str, &'a str)> {
+            base.iter().chain(extra.iter()).copied().collect()
+        }
         for (i, cell) in self.apis.iter().enumerate() {
             let api = desc.api_names[i].as_str();
             for (verdict, c) in [
@@ -148,7 +166,7 @@ impl LiveMetrics {
             ] {
                 reg.register_counter(
                     "topfull_gateway_requests_total",
-                    &[("api", api), ("verdict", verdict)],
+                    &join(&[("api", api), ("verdict", verdict)], extra),
                     c,
                 );
             }
@@ -159,13 +177,13 @@ impl LiveMetrics {
             ] {
                 reg.register_counter(
                     "topfull_request_outcomes_total",
-                    &[("api", api), ("outcome", outcome)],
+                    &join(&[("api", api), ("outcome", outcome)], extra),
                     c,
                 );
             }
             reg.register_histogram(
                 "topfull_request_duration_seconds",
-                &[("api", api)],
+                &join(&[("api", api)], extra),
                 &cell.cum_latency,
             );
         }
@@ -173,12 +191,12 @@ impl LiveMetrics {
             let svc = desc.service_names[i].as_str();
             reg.register_gauge(
                 "topfull_service_utilization",
-                &[("service", svc)],
+                &join(&[("service", svc)], extra),
                 &cell.util_gauge,
             );
             reg.register_gauge(
                 "topfull_service_queue_depth",
-                &[("service", svc)],
+                &join(&[("service", svc)], extra),
                 &cell.depth_gauge,
             );
         }

@@ -1,0 +1,512 @@
+//! shardrun — N real gateways, one logical TopFull controller.
+//!
+//! The live analogue of `topfull::ShardedHarness`: every shard is a full
+//! [`LiveServer`] (own TCP gateway, worker pool and metric windows), and
+//! one controller runs against the *merged* observation each tick. The
+//! same shard plane as the simulator —
+//! [`topfull::ShardPlane`] for membership/aggregation/quota splits and
+//! [`topfull::ShardLocalGuard`] for controller-loss degradation — sits
+//! between the servers and the controller, so failover behaviour is
+//! byte-identical in kind between sim and live.
+//!
+//! Chaos hooks:
+//!
+//! * **Shard kill** — [`ShardedLiveConfig::kill`] terminates one server
+//!   abruptly mid-run ([`LiveServer::kill`], the in-process SIGKILL).
+//!   Its load generator is stopped and the surviving shards' generators
+//!   are restarted with the dead shard's traffic share redistributed —
+//!   client-side failover. The plane strikes the shard out after
+//!   `strike_out` silent ticks and redistributes its quota.
+//! * **Controller loss** — [`ShardedLiveConfig::controller_loss`]
+//!   suppresses the logical controller for a window; every shard's
+//!   local guard holds last-good limits through the TTL, then degrades
+//!   into the bounded MIMD fallback. Never fail-open.
+
+use crate::loadgen::{value_at, ClosedLoopSpec, LoadGen, OpenLoopArm};
+use crate::{LiveConfig, LiveRunResult, LiveServer, LiveTick};
+use cluster::observe::ClusterObservation;
+use cluster::{ApiId, Controller, RateLimitUpdate, Topology};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use topfull::{
+    merge_observations, GuardStats, ShardLocalGuard, ShardPlane, ShardPlaneConfig, ShardPlaneStats,
+};
+
+/// Configuration of a sharded live run.
+#[derive(Clone)]
+pub struct ShardedLiveConfig {
+    /// Number of gateway shards (each a full [`LiveServer`]).
+    pub shards: usize,
+    /// Per-shard live config. Shard 0 binds `port`/`metrics_port` as
+    /// given; the other shards always take ephemeral ports.
+    pub live: LiveConfig,
+    /// Shard plane tunables (strike-out, re-entry ramp, TTL, …).
+    pub plane: ShardPlaneConfig,
+    /// `(shard, t_secs)`: SIGKILL-style termination of one shard.
+    pub kill: Option<(usize, f64)>,
+    /// `[from, until)` seconds during which the logical controller is
+    /// unreachable; shard-local guards take over.
+    pub controller_loss: Option<(f64, f64)>,
+}
+
+impl ShardedLiveConfig {
+    pub fn new(shards: usize, live: LiveConfig) -> Self {
+        ShardedLiveConfig {
+            shards,
+            live,
+            plane: ShardPlaneConfig::default(),
+            kill: None,
+            controller_loss: None,
+        }
+    }
+}
+
+/// Outcome of a sharded live run.
+pub struct ShardedLiveResult {
+    /// Merged-observation tick series (the logical controller's view).
+    pub result: LiveRunResult,
+    pub plane_stats: ShardPlaneStats,
+    /// Summed over shards.
+    pub guard_stats: GuardStats,
+    /// Which shard was killed, if any.
+    pub killed: Option<usize>,
+}
+
+/// N live gateway shards under one logical controller.
+pub struct ShardedLive {
+    cfg: ShardedLiveConfig,
+    servers: Vec<Option<LiveServer>>,
+    gens: Vec<Option<LoadGen>>,
+    plane: ShardPlane,
+    guards: Vec<ShardLocalGuard>,
+    /// Per-shard per-API entry quotas currently in force.
+    quotas: Vec<Vec<f64>>,
+    /// Last controller-pushed global per-API limits.
+    globals: Vec<f64>,
+    num_apis: usize,
+    api_names: Vec<String>,
+    /// Total (unsplit) workload, kept for failover re-splits.
+    closed: Option<ClosedLoopSpec>,
+    arms: Vec<OpenLoopArm>,
+    killed: Option<usize>,
+}
+
+/// Scale every value of a step schedule by `k` (times stay put).
+fn scale_steps(steps: &[(f64, f64)], k: f64) -> Vec<(f64, f64)> {
+    steps.iter().map(|&(at, v)| (at, v * k)).collect()
+}
+
+/// Re-anchor a step schedule so a generator started at absolute time
+/// `dt` sees the same absolute timeline: the value in force at `dt`
+/// becomes the new t=0 baseline and later steps shift left.
+fn shift_steps(steps: &[(f64, f64)], dt: f64) -> Vec<(f64, f64)> {
+    let mut out = vec![(0.0, value_at(steps, dt))];
+    for &(at, v) in steps {
+        if at > dt {
+            out.push((at - dt, v));
+        }
+    }
+    out
+}
+
+impl ShardedLive {
+    /// Start all shards and their load generators. The `closed` spec
+    /// and `arms` describe the TOTAL offered load; each of the N shards
+    /// receives a `1/N` share (client-side affinity).
+    pub fn start(
+        topo: &Topology,
+        cfg: ShardedLiveConfig,
+        closed: Option<ClosedLoopSpec>,
+        arms: Vec<OpenLoopArm>,
+    ) -> std::io::Result<Self> {
+        assert!(cfg.shards > 0, "at least one shard");
+        let mut servers = Vec::with_capacity(cfg.shards);
+        for s in 0..cfg.shards {
+            let mut live = cfg.live;
+            if s != 0 {
+                live.port = 0;
+                live.metrics_port = 0;
+            }
+            servers.push(Some(LiveServer::start(topo, live)?));
+        }
+        // One scrape shows the whole fleet: every shard's instruments
+        // also register into shard 0's registry under a `shard` label.
+        let reg = Arc::clone(servers[0].as_ref().expect("shard 0").registry());
+        for (s, srv) in servers.iter().enumerate() {
+            let srv = srv.as_ref().expect("just started");
+            srv.shared.metrics.register_into_sharded(&reg, &srv.desc, s);
+        }
+        let num_apis = topo.num_apis();
+        let api_names = servers[0].as_ref().expect("shard 0").desc.api_names.clone();
+        let share = 1.0 / cfg.shards as f64;
+        let mut gens = Vec::with_capacity(cfg.shards);
+        for srv in &servers {
+            let addr = srv.as_ref().expect("just started").addr();
+            gens.push(Some(start_gen(addr, &closed, &arms, share, 0.0)?));
+        }
+        let plane = ShardPlane::new(cfg.shards, cfg.plane);
+        let guards = (0..cfg.shards)
+            .map(|s| ShardLocalGuard::new(s as u32, cfg.plane))
+            .collect();
+        Ok(ShardedLive {
+            quotas: vec![vec![f64::INFINITY; num_apis]; cfg.shards],
+            globals: vec![f64::INFINITY; num_apis],
+            plane,
+            guards,
+            servers,
+            gens,
+            num_apis,
+            api_names,
+            closed,
+            arms,
+            killed: None,
+            cfg,
+        })
+    }
+
+    /// Route membership/aggregation/split/fallback events to `journal`.
+    pub fn attach_journal(&mut self, journal: Arc<obs::Journal>) {
+        self.plane.attach_journal(Arc::clone(&journal));
+        for g in &mut self.guards {
+            g.attach_journal(Arc::clone(&journal));
+        }
+    }
+
+    /// Shard 0's exposition endpoint (all shards' series, `shard` label).
+    pub fn metrics_addr(&self) -> SocketAddr {
+        self.servers[0]
+            .as_ref()
+            .expect("shard 0 lives")
+            .metrics_addr()
+    }
+
+    /// Gateway address of one shard (`None` once killed).
+    pub fn shard_addr(&self, shard: usize) -> Option<SocketAddr> {
+        self.servers[shard].as_ref().map(|s| s.addr())
+    }
+
+    /// Kill `shard` abruptly and fail its traffic over to survivors.
+    fn kill_shard(&mut self, shard: usize, t: f64) {
+        let Some(server) = self.servers[shard].take() else {
+            return;
+        };
+        if let Some(g) = self.gens[shard].take() {
+            g.stop();
+        }
+        server.kill();
+        self.killed = Some(shard);
+        // Client failover: restart the survivors' generators with the
+        // dead shard's share redistributed, schedules re-anchored to
+        // the kill instant so the workload timeline continues.
+        let survivors = self.servers.iter().filter(|s| s.is_some()).count();
+        if survivors == 0 {
+            return;
+        }
+        let share = 1.0 / survivors as f64;
+        for s in 0..self.cfg.shards {
+            let Some(srv) = self.servers[s].as_ref() else {
+                continue;
+            };
+            let addr = srv.addr();
+            if let Some(g) = self.gens[s].take() {
+                g.stop();
+            }
+            match start_gen(addr, &self.closed, &self.arms, share, t) {
+                Ok(g) => self.gens[s] = Some(g),
+                Err(e) => eprintln!("liveserve: shard {s} loadgen restart failed: {e}"),
+            }
+        }
+    }
+
+    /// One logical control tick over all shards; returns the merged
+    /// observation (`None` when no shard reported).
+    fn control_tick(&mut self, t: f64, controller: &mut dyn Controller) -> Option<LiveTick> {
+        let views: Vec<Option<ClusterObservation>> = self
+            .servers
+            .iter_mut()
+            .map(|s| s.as_mut().map(|srv| srv.observe_tick().obs))
+            .collect();
+        let lost = self
+            .cfg
+            .controller_loss
+            .is_some_and(|(from, until)| t >= from && t < until);
+        if !lost {
+            if let Some(merged) = self.plane.observe(t, &views) {
+                let updates = controller.control(&merged);
+                let mut touched: Vec<ApiId> = Vec::new();
+                for u in &updates {
+                    self.globals[u.api.idx()] = u.rate;
+                    touched.push(u.api);
+                }
+                if self.plane.membership_changed() || self.plane.any_ramping() {
+                    touched = (0..self.num_apis).map(|i| ApiId(i as u32)).collect();
+                }
+                for api in touched {
+                    let split = self.plane.split(t, api, self.globals[api.idx()]);
+                    for (s, q) in split.iter().enumerate() {
+                        self.quotas[s][api.idx()] = *q;
+                    }
+                }
+                for s in 0..self.cfg.shards {
+                    let Some(srv) = self.servers[s].as_mut() else {
+                        continue;
+                    };
+                    let ups: Vec<RateLimitUpdate> = (0..self.num_apis)
+                        .map(|i| RateLimitUpdate {
+                            api: ApiId(i as u32),
+                            rate: self.quotas[s][i],
+                        })
+                        .collect();
+                    srv.push_limits(&ups);
+                    self.guards[s].on_push(t);
+                }
+                self.plane.end_tick(t);
+            }
+        } else {
+            // Controller unreachable: each surviving shard degrades on
+            // its own observation slice — hold, then bounded MIMD.
+            for (s, slot) in views.iter().enumerate() {
+                let (Some(srv), Some(view)) = (self.servers[s].as_mut(), slot.as_ref()) else {
+                    continue;
+                };
+                if self.guards[s].tick(t, view, &mut self.quotas[s]) {
+                    let ups: Vec<RateLimitUpdate> = (0..self.num_apis)
+                        .map(|i| RateLimitUpdate {
+                            api: ApiId(i as u32),
+                            rate: self.quotas[s][i],
+                        })
+                        .collect();
+                    srv.push_limits(&ups);
+                }
+            }
+        }
+        let present: Vec<&ClusterObservation> = views.iter().flatten().collect();
+        if present.is_empty() {
+            return None;
+        }
+        Some(LiveTick {
+            t_secs: t,
+            obs: merge_observations(&present),
+        })
+    }
+
+    /// Drive the sharded control loop for `duration` on the calling
+    /// thread, ticking every `control_interval`.
+    pub fn run(&mut self, controller: &mut dyn Controller, duration: Duration) -> LiveRunResult {
+        let started = Instant::now();
+        let interval = self.cfg.live.control_interval;
+        let mut next = started + interval;
+        let mut ticks = Vec::new();
+        loop {
+            let now = Instant::now();
+            if now < next {
+                std::thread::sleep(next - now);
+            }
+            next += interval;
+            let t = started.elapsed().as_secs_f64();
+            if let Some((shard, at)) = self.cfg.kill {
+                if self.killed.is_none() && t >= at {
+                    self.kill_shard(shard, t);
+                }
+            }
+            if let Some(tick) = self.control_tick(t, controller) {
+                ticks.push(tick);
+            }
+            if started.elapsed() >= duration {
+                break;
+            }
+        }
+        LiveRunResult {
+            ticks,
+            api_names: self.api_names.clone(),
+        }
+    }
+
+    pub fn plane_stats(&self) -> ShardPlaneStats {
+        self.plane.stats()
+    }
+
+    /// Guard activity summed over shards.
+    pub fn guard_stats(&self) -> GuardStats {
+        let mut total = GuardStats::default();
+        for g in &self.guards {
+            let s = g.stats();
+            total.held_ticks += s.held_ticks;
+            total.fallback_ticks += s.fallback_ticks;
+            total.resyncs += s.resyncs;
+        }
+        total
+    }
+
+    /// Which shard was killed, if any.
+    pub fn killed(&self) -> Option<usize> {
+        self.killed
+    }
+
+    /// Stop every load generator, drain and shut down surviving shards.
+    pub fn shutdown(mut self) -> ShardedLiveResult {
+        let plane_stats = self.plane_stats();
+        let guard_stats = self.guard_stats();
+        for g in &mut self.gens {
+            if let Some(g) = g.take() {
+                g.stop();
+            }
+        }
+        for s in &mut self.servers {
+            if let Some(s) = s.take() {
+                s.shutdown();
+            }
+        }
+        ShardedLiveResult {
+            result: LiveRunResult {
+                ticks: Vec::new(),
+                api_names: self.api_names.clone(),
+            },
+            plane_stats,
+            guard_stats,
+            killed: self.killed,
+        }
+    }
+}
+
+/// Start one shard's generator: the total workload scaled by `share`,
+/// schedules re-anchored to absolute time `dt`.
+fn start_gen(
+    addr: SocketAddr,
+    closed: &Option<ClosedLoopSpec>,
+    arms: &[OpenLoopArm],
+    share: f64,
+    dt: f64,
+) -> std::io::Result<LoadGen> {
+    let closed = closed.as_ref().map(|c| ClosedLoopSpec {
+        users_steps: scale_steps(&shift_steps(&c.users_steps, dt), share),
+        think: c.think,
+        api_weights: c.api_weights.clone(),
+    });
+    let arms = arms
+        .iter()
+        .map(|a| OpenLoopArm {
+            api: a.api,
+            rate_steps: scale_steps(&shift_steps(&a.rate_steps, dt), share),
+        })
+        .collect();
+    LoadGen::start(addr, closed, arms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{ApiSpec, CallNode, NoControl, ServiceSpec};
+    use simnet::SimDuration;
+
+    fn tiny_topo() -> Topology {
+        let mut t = Topology::default();
+        let s = t.add_service(ServiceSpec::new("svc", 2).queue_capacity(128));
+        t.add_api(ApiSpec::single(
+            "ping",
+            CallNode::leaf(s, SimDuration::from_micros(50)),
+        ));
+        t
+    }
+
+    #[test]
+    fn step_helpers_rescale_and_reanchor() {
+        let steps = [(0.0, 30.0), (10.0, 90.0)];
+        assert_eq!(
+            scale_steps(&steps, 1.0 / 3.0),
+            vec![(0.0, 10.0), (10.0, 30.0)]
+        );
+        // Shift past the first step: its value becomes the baseline.
+        assert_eq!(shift_steps(&steps, 4.0), vec![(0.0, 30.0), (6.0, 90.0)]);
+        // Shift past everything: constant tail.
+        assert_eq!(shift_steps(&steps, 20.0), vec![(0.0, 90.0)]);
+    }
+
+    #[test]
+    fn three_shards_run_merge_and_survive_a_kill() {
+        let mut cfg = ShardedLiveConfig::new(
+            3,
+            LiveConfig {
+                control_interval: Duration::from_millis(50),
+                ..LiveConfig::default()
+            },
+        );
+        cfg.plane.strike_out = 2;
+        cfg.kill = Some((1, 0.4));
+        let arms = vec![OpenLoopArm {
+            api: 0,
+            rate_steps: vec![(0.0, 300.0)],
+        }];
+        let journal = Arc::new(obs::Journal::new());
+        let mut live = ShardedLive::start(&tiny_topo(), cfg, None, arms).expect("start");
+        live.attach_journal(Arc::clone(&journal));
+        let result = live.run(&mut NoControl, Duration::from_secs(1));
+        assert!(!result.ticks.is_empty());
+        assert_eq!(live.killed(), Some(1));
+        // The plane noticed the kill and struck the shard out.
+        assert!(
+            live.plane_stats().strike_outs >= 1,
+            "{:?}",
+            live.plane_stats()
+        );
+        let jsonl = obs::to_jsonl(&journal.snapshot());
+        assert!(jsonl.contains("struck out"), "journal: {jsonl}");
+        let out = live.shutdown();
+        assert_eq!(out.killed, Some(1));
+    }
+
+    #[test]
+    fn sharded_registry_carries_shard_labels() {
+        let cfg = ShardedLiveConfig::new(2, LiveConfig::default());
+        let live = ShardedLive::start(&tiny_topo(), cfg, None, Vec::new()).expect("start");
+        let text = live.servers[0]
+            .as_ref()
+            .expect("shard 0")
+            .registry()
+            .render_prometheus();
+        assert!(text.contains("shard=\"0\""), "{text}");
+        assert!(text.contains("shard=\"1\""), "{text}");
+        live.shutdown();
+    }
+
+    #[test]
+    fn controller_loss_engages_local_guards_without_fail_open() {
+        let mut cfg = ShardedLiveConfig::new(
+            2,
+            LiveConfig {
+                control_interval: Duration::from_millis(40),
+                ..LiveConfig::default()
+            },
+        );
+        cfg.plane.limit_ttl = 2;
+        cfg.controller_loss = Some((0.2, 10.0));
+        let arms = vec![OpenLoopArm {
+            api: 0,
+            rate_steps: vec![(0.0, 200.0)],
+        }];
+        let mut live = ShardedLive::start(&tiny_topo(), cfg, None, arms).expect("start");
+        // A controller that pushes a finite limit before the loss window.
+        struct Fixed;
+        impl Controller for Fixed {
+            fn control(&mut self, obs: &ClusterObservation) -> Vec<RateLimitUpdate> {
+                vec![RateLimitUpdate {
+                    api: obs.apis[0].api,
+                    rate: 120.0,
+                }]
+            }
+        }
+        live.run(&mut Fixed, Duration::from_secs(1));
+        let gs = live.guard_stats();
+        assert!(gs.held_ticks > 0, "guards held: {gs:?}");
+        assert!(gs.fallback_ticks > 0, "guards fell back: {gs:?}");
+        // Never fail-open or fail-closed while blind.
+        for s in 0..2 {
+            for &q in &live.quotas[s] {
+                assert!(q.is_finite(), "blind quota must be finite");
+                assert!(q > 0.0, "blind quota must admit something");
+            }
+        }
+        live.shutdown();
+    }
+}

@@ -74,6 +74,45 @@ pub enum JournalEntry {
         noisy: u64,
         stale: u64,
     },
+    /// A gateway shard changed membership state in the sharded control
+    /// plane (strike-out after missed reports, ramped re-entry, ramp
+    /// completion).
+    ShardMembership {
+        t: f64,
+        shard: u32,
+        event: String,
+        /// Shards currently eligible for quota (live + re-entering).
+        live: u32,
+        total: u32,
+    },
+    /// Per-shard observations were merged into one controller view;
+    /// recorded only when the reporting set changes, not every tick.
+    ShardAggregate {
+        t: f64,
+        reporting: u32,
+        total: u32,
+        goodput: f64,
+    },
+    /// A global per-API limit was split into per-shard quotas (recorded
+    /// on redistribution and during re-entry ramps, not steady state).
+    ShardSplit {
+        t: f64,
+        api: u32,
+        /// Global limit being split; `-1` encodes "unlimited".
+        global: f64,
+        /// Per-shard quotas, `|`-separated in shard order (`-` = dead).
+        quotas: String,
+        reason: String,
+    },
+    /// A shard-local degradation transition: holding last-good limits
+    /// past the push TTL, engaging the local MIMD fallback, or
+    /// resyncing with the controller.
+    ShardFallback {
+        t: f64,
+        shard: u32,
+        phase: String,
+        detail: String,
+    },
 }
 
 impl JournalEntry {
@@ -88,7 +127,11 @@ impl JournalEntry {
             | JournalEntry::FallbackStrike { t, .. }
             | JournalEntry::Watchdog { t, .. }
             | JournalEntry::PlaneVetoes { t, .. }
-            | JournalEntry::FaultTelemetry { t, .. } => *t,
+            | JournalEntry::FaultTelemetry { t, .. }
+            | JournalEntry::ShardMembership { t, .. }
+            | JournalEntry::ShardAggregate { t, .. }
+            | JournalEntry::ShardSplit { t, .. }
+            | JournalEntry::ShardFallback { t, .. } => *t,
         }
     }
 }
@@ -222,9 +265,29 @@ mod tests {
                 max_strikes: 3,
                 tripped: false,
             },
+            JournalEntry::ShardMembership {
+                t: 4.0,
+                shard: 1,
+                event: "struck out after 3 missed reports".into(),
+                live: 2,
+                total: 3,
+            },
+            JournalEntry::ShardSplit {
+                t: 5.0,
+                api: 0,
+                global: 120.0,
+                quotas: "60.0|-|60.0".into(),
+                reason: "redistribution: live set changed".into(),
+            },
+            JournalEntry::ShardFallback {
+                t: 6.0,
+                shard: 2,
+                phase: "fallback".into(),
+                detail: "ttl expired; local mimd engaged".into(),
+            },
         ];
         let jsonl = to_jsonl(&entries);
-        assert_eq!(jsonl.lines().count(), 3);
+        assert_eq!(jsonl.lines().count(), 6);
         let back: Vec<JournalEntry> = jsonl
             .lines()
             .map(|l| serde_json::from_str(l).expect("parse line"))

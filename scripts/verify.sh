@@ -39,10 +39,45 @@ c2=$(grep -o 'verdict="admitted"} [0-9.]*' <<<"$m2" | awk '{print int($2)}')
 [ "$c2" -ge "$c1" ] && [ "$c2" -gt 0 ] \
   || { echo "metrics smoke: admit counter not monotone ($c1 -> $c2)"; exit 1; }
 
+# Sharded live smoke: 3 real gateway shards under one logical
+# controller, shard 1 SIGKILLed mid-run. The fleet must drain cleanly
+# (exit 0), journal the strike-out, and redistribute the dead shard's
+# quota to the survivors.
+./target/release/topfull live scenarios/live_shards_smoke.json \
+  --duration 4 --kill-shard 1@2 --json > /tmp/topfull_live_shards.json &
+shards_pid=$!
+scrape_shard_metrics() {
+  exec 3<>/dev/tcp/127.0.0.1/19185
+  printf 'GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n' >&3
+  cat <&3
+  exec 3<&- 3>&-
+}
+sleep 1
+sm=$(scrape_shard_metrics)
+wait "$shards_pid" \
+  || { echo "shard smoke: fleet did not drain cleanly after kill"; exit 1; }
+grep -q 'shard="2"' <<<"$sm" \
+  || { echo "shard smoke: fleet registry missing shard labels"; exit 1; }
+grep -q 'struck out' /tmp/topfull_live_shards.json \
+  || { echo "shard smoke: kill never journaled a strike-out"; exit 1; }
+grep -Eq '"strike_outs": *1' /tmp/topfull_live_shards.json \
+  || { echo "shard smoke: plane stats missing the strike-out"; exit 1; }
+
+# Journal-fingerprint determinism: the same sharded scenario must
+# journal identically no matter how many experiment workers surround it.
+TOPFULL_WORKERS=1 ./target/release/topfull-sim run scenarios/sharded_surge.json --json \
+  > /tmp/topfull_shard_w1.json
+TOPFULL_WORKERS=4 ./target/release/topfull-sim run scenarios/sharded_surge.json --json \
+  > /tmp/topfull_shard_w4.json
+fp1=$(./target/release/topfull explain /tmp/topfull_shard_w1.json --fingerprint)
+fp4=$(./target/release/topfull explain /tmp/topfull_shard_w4.json --fingerprint)
+[ -n "$fp1" ] && [ "$fp1" = "$fp4" ] \
+  || { echo "fingerprint smoke: journal diverged across workers ($fp1 vs $fp4)"; exit 1; }
+
 # Decision-journal smoke: `topfull explain` must render the journal
 # embedded in a committed experiment artifact.
-./target/release/topfull explain artifacts/results/fig10.json \
+./target/release/topfull explain artifacts/results/multishard.json \
   | grep -q 'rate actions:' \
-  || { echo "explain smoke: no rate actions in fig10 journal"; exit 1; }
+  || { echo "explain smoke: no rate actions in multishard journal"; exit 1; }
 
 echo "tier-1 verify: OK"

@@ -101,6 +101,21 @@ pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, Error>;
 }
 
+// `Value` round-trips through itself, so callers can deserialize into
+// the dynamic tree (`serde_json::from_str::<Value>`) to inspect raw
+// structure — e.g. to validate keys — before a typed parse.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 // ---------------------------------------------------------------------
 // Derive-support helpers (called from generated code).
 // ---------------------------------------------------------------------
@@ -363,18 +378,6 @@ impl<A: Deserialize, B: Deserialize, C: Deserialize, D: Deserialize> Deserialize
             )),
             other => Err(Error::expected("4-element array", other)),
         }
-    }
-}
-
-impl Serialize for Value {
-    fn to_value(&self) -> Value {
-        self.clone()
-    }
-}
-
-impl Deserialize for Value {
-    fn from_value(v: &Value) -> Result<Self, Error> {
-        Ok(v.clone())
     }
 }
 

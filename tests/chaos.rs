@@ -247,3 +247,87 @@ fn watchdog_freezes_then_decays_during_blackout() {
     assert_eq!(stats.reentries, 1, "light returned exactly once");
     assert_limits_bounded(h.result());
 }
+
+/// Shard-kill chaos: 1 of 3 gateway shards dies mid-surge. The plane
+/// strikes it out within the strike-out window, redistributes its quota
+/// to the survivors, and total goodput recovers to within 10% of what a
+/// 2-shard fleet sustains at steady state.
+#[test]
+fn shard_kill_mid_surge_recovers_to_two_shard_steady_state() {
+    use topfull_suite::cluster::ShardFault;
+    use topfull_suite::topfull::{ShardedConfig, ShardedHarness};
+
+    let surged = |seed: u64| {
+        let ob = OnlineBoutique::build();
+        let rates = vec![
+            (
+                ob.getproduct,
+                RateSchedule::steps(vec![
+                    (SimTime::ZERO, 150.0),
+                    (SimTime::from_secs(30), 1200.0),
+                ]),
+            ),
+            (ob.getcart, RateSchedule::constant(100.0)),
+        ];
+        Engine::new(
+            ob.topology.clone(),
+            config(seed),
+            Box::new(OpenLoopWorkload::new(rates)),
+        )
+    };
+    let topfull = || {
+        Box::new(TopFull::new(TopFullConfig::default().with_mimd()))
+            as Box<dyn topfull_suite::cluster::Controller>
+    };
+    let mean_total = |r: &RunResult, from: f64, to: f64| r.mean_total_goodput(from, to);
+
+    // Reference: a healthy 2-shard fleet under the same surge.
+    let mut two = ShardedHarness::new(surged(21), topfull(), ShardedConfig::uniform(2))
+        .expect("valid config");
+    two.run_for_secs(120);
+
+    // Chaos arm: 3 shards, shard 1 SIGKILLed at t=60, mid-surge.
+    let mut cfg = ShardedConfig::uniform(3);
+    cfg.faults = vec![ShardFault::Kill {
+        shard: 1,
+        at: SimTime::from_secs(60),
+    }];
+    let strike_out = cfg.plane.strike_out;
+    let mut three = ShardedHarness::new(surged(21), topfull(), cfg).expect("valid config");
+    three.run_for_secs(120);
+
+    let stats = three.plane_stats();
+    assert!(stats.strike_outs >= 1, "killed shard never struck out");
+    assert_eq!(stats.reentries, 0, "a killed shard cannot return");
+    assert!(stats.redistributions >= 1, "quota never redistributed");
+
+    // The strike-out decision lands within the window: the journal's
+    // membership entry is stamped no later than kill + strike_out + 1
+    // control ticks.
+    let journal = three.journal().snapshot();
+    let struck_at = journal
+        .iter()
+        .find_map(|e| match e {
+            obs::JournalEntry::ShardMembership { t, event, .. } if event.contains("struck out") => {
+                Some(*t)
+            }
+            _ => None,
+        })
+        .expect("strike-out journaled");
+    assert!(
+        struck_at <= 60.0 + strike_out as f64 + 1.0,
+        "strike-out too slow: t={struck_at}"
+    );
+
+    // Recovery: once the strike-out window plus a few settling ticks
+    // pass, the 2-survivor fleet's goodput is within 10% of the
+    // 2-shard steady state over the same interval.
+    let recover_from = 60.0 + strike_out as f64 + 5.0;
+    let reference = mean_total(two.result(), recover_from, 120.0);
+    let recovered = mean_total(three.result(), recover_from, 120.0);
+    assert!(reference > 50.0, "2-shard reference implausibly low");
+    assert!(
+        recovered >= 0.9 * reference,
+        "post-kill goodput {recovered:.1} below 90% of 2-shard steady {reference:.1}"
+    );
+}
