@@ -24,7 +24,7 @@ fn bench_admission(c: &mut Criterion) {
     let mut now = SimTime::ZERO;
     c.bench_function("admission/try_admit-finite-limit", |b| {
         b.iter(|| {
-            now = now + SimDuration::from_nanos(100);
+            now += SimDuration::from_nanos(100);
             black_box(adm.try_admit(ApiId(0), now))
         })
     });

@@ -2,20 +2,41 @@
 //!
 //! ```text
 //! topfull-sim run scenario.json [--json]   # execute a scenario
+//! topfull-sim run scenario.json --check    # validate only, don't run
 //! topfull-sim compare scenario.json        # same scenario, every controller
 //! topfull-sim example                      # print a documented example
 //! topfull-sim check scenario.json          # validate without running
 //! ```
+//!
+//! `check` (and `run --check`) performs the full scenario → engine
+//! build plus the cross-spec composition rules (controller × sharding ×
+//! hardened), so a scenario that checks clean cannot fail at startup.
 
-use topfull_cli::{build_scenario, parse_scenario, render_report, run_scenario, Scenario};
+use topfull_cli::{parse_scenario, render_report, run_scenario, validate_scenario, Scenario};
 
 fn usage() -> ! {
     eprintln!("usage:");
-    eprintln!("  topfull-sim run <scenario.json> [--json]");
+    eprintln!("  topfull-sim run <scenario.json> [--json] [--check]");
     eprintln!("  topfull-sim compare <scenario.json>");
     eprintln!("  topfull-sim check <scenario.json>");
     eprintln!("  topfull-sim example");
     std::process::exit(2)
+}
+
+fn check(path: &str, sc: &Scenario) -> ! {
+    match validate_scenario(sc) {
+        Ok(sum) => {
+            println!(
+                "ok: {} ({path}) — {} services, {} APIs, {}s",
+                sc.name, sum.services, sum.apis, sc.duration_secs
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("invalid: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn load(path: &str) -> Scenario {
@@ -42,21 +63,7 @@ fn main() {
         Some("check") => {
             let path = args.get(1).unwrap_or_else(|| usage());
             let sc = load(path);
-            match build_scenario(&sc) {
-                Ok(built) => {
-                    println!(
-                        "ok: {} — {} services, {} APIs, {}s",
-                        sc.name,
-                        built.engine.topology().num_services(),
-                        built.engine.topology().num_apis(),
-                        sc.duration_secs
-                    );
-                }
-                Err(e) => {
-                    eprintln!("invalid: {e}");
-                    std::process::exit(1);
-                }
-            }
+            check(path, &sc);
         }
         Some("compare") => {
             let path = args.get(1).unwrap_or_else(|| usage());
@@ -73,6 +80,9 @@ fn main() {
             let path = args.get(1).unwrap_or_else(|| usage());
             let as_json = args.iter().any(|a| a == "--json");
             let sc = load(path);
+            if args.iter().any(|a| a == "--check") {
+                check(path, &sc);
+            }
             match run_scenario(&sc) {
                 Ok(out) => {
                     if as_json {

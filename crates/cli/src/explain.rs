@@ -23,22 +23,47 @@ pub fn explain_file(path: &str) -> Result<String, String> {
 
 /// Parse journal entries out of either supported input shape.
 pub fn parse_journal(text: &str) -> Result<Vec<JournalEntry>, String> {
+    if text.trim().is_empty() {
+        return Err(
+            "empty journal: the input has no content — expected a run artifact \
+             with a \"journal\" array, or JSONL of journal entries (was the file \
+             truncated before anything was written?)"
+                .into(),
+        );
+    }
     // A run artifact is one JSON document; try that reading first.
-    if let Ok(doc) = serde_json::from_str::<serde_json::JsonValue>(text) {
-        if let Some(journal) = doc.get("journal") {
-            return match journal {
-                serde::Value::Array(items) => items
-                    .iter()
-                    .enumerate()
-                    .map(|(i, v)| {
-                        JournalEntry::from_value(v).map_err(|e| format!("journal[{i}]: {e}"))
-                    })
-                    .collect(),
-                _ => Err("\"journal\" field is not an array".into()),
-            };
+    match serde_json::from_str::<serde_json::JsonValue>(text) {
+        Ok(doc) => {
+            if let Some(journal) = doc.get("journal") {
+                return match journal {
+                    serde::Value::Array(items) => items
+                        .iter()
+                        .enumerate()
+                        .map(|(i, v)| {
+                            JournalEntry::from_value(v).map_err(|e| format!("journal[{i}]: {e}"))
+                        })
+                        .collect(),
+                    _ => Err("\"journal\" field is not an array".into()),
+                };
+            }
+            // A single journal entry on its own is a one-line JSONL file;
+            // fall through to line-by-line parsing below.
         }
-        // A single journal entry on its own is a one-line JSONL file;
-        // fall through to line-by-line parsing below.
+        Err(e) => {
+            // A document that opens like a run artifact but doesn't
+            // parse was almost certainly cut off mid-write. Say so,
+            // with where the text ends, instead of limping into the
+            // JSONL path and blaming "line 1".
+            let trimmed = text.trim_start();
+            if trimmed.starts_with('{') && text.contains("\"journal\"") {
+                let last = text.lines().count().max(1);
+                return Err(format!(
+                    "run artifact is not valid JSON (parse fails near line {last}): {e}\n\
+                     the file looks truncated mid-write — regenerate it, or pass the \
+                     journal JSONL directly"
+                ));
+            }
+        }
     }
     let mut entries = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
@@ -46,8 +71,17 @@ pub fn parse_journal(text: &str) -> Result<Vec<JournalEntry>, String> {
         if line.is_empty() {
             continue;
         }
-        let entry = serde_json::from_str::<JournalEntry>(line)
-            .map_err(|e| format!("line {}: not a journal entry: {e}", lineno + 1))?;
+        let entry = serde_json::from_str::<JournalEntry>(line).map_err(|e| {
+            if line.starts_with('{') && !line.ends_with('}') {
+                format!(
+                    "line {}: journal entry is truncated (no closing '}}') — the \
+                     file was likely cut off mid-write",
+                    lineno + 1
+                )
+            } else {
+                format!("line {}: not a journal entry: {e}", lineno + 1)
+            }
+        })?;
         entries.push(entry);
     }
     if entries.is_empty() {
@@ -407,6 +441,40 @@ mod tests {
         assert!(parse_journal("not json at all").is_err());
         let err = parse_journal("{\"journal\": 3}").unwrap_err();
         assert!(err.contains("not an array"), "{err}");
+    }
+
+    #[test]
+    fn empty_input_gets_a_friendly_message() {
+        for text in ["", "   \n\n  "] {
+            let err = parse_journal(text).unwrap_err();
+            assert!(err.contains("empty journal"), "{err}");
+            assert!(err.contains("truncated"), "{err}");
+        }
+    }
+
+    #[test]
+    fn truncated_run_artifact_names_the_failing_line() {
+        // A real artifact cut off mid-write: valid prefix, no closing
+        // braces.
+        let full = format!(
+            "{{\n  \"name\": \"run\",\n  \"journal\": [\n    {}\n",
+            obs::to_jsonl(&sample_entries()).lines().next().unwrap()
+        );
+        let err = parse_journal(&full).unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+        assert!(err.contains("near line"), "{err}");
+        assert!(!err.contains("line 1: not a journal entry"), "{err}");
+    }
+
+    #[test]
+    fn truncated_jsonl_line_reports_its_line_number() {
+        let jsonl = obs::to_jsonl(&sample_entries());
+        let mut lines: Vec<&str> = jsonl.lines().collect();
+        let cut = &lines[1][..lines[1].len() / 2];
+        lines[1] = cut;
+        let err = parse_journal(&lines.join("\n")).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("truncated"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Unknown-key rejection with "did you mean" hints.
+//!
+//! The serde shim (like real serde without `deny_unknown_fields`)
+//! silently ignores keys it doesn't recognize, which turns a typo like
+//! `"striek_out"` into a scenario that runs with the default value —
+//! the worst possible failure mode for a config file. Every document
+//! the CLIs load (scenarios, workflow specs, matrix specs) walks its
+//! raw JSON value through these checkers first, so typos fail loudly
+//! with a suggestion, at any nesting depth.
+
+use serde::Value;
+
+/// Levenshtein edit distance, for the "did you mean" hint.
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+/// ` — did you mean 'x'?` when some allowed key is within distance 3.
+fn suggestion(key: &str, allowed: &[&str]) -> String {
+    let Some(nearest) = allowed.iter().min_by_key(|k| edit_distance(key, k)) else {
+        return String::new();
+    };
+    if edit_distance(key, nearest) <= 3 {
+        format!(" — did you mean '{nearest}'?")
+    } else {
+        String::new()
+    }
+}
+
+/// Reject keys of the object `value` that are not in `allowed`.
+///
+/// `doc` names the document kind ("scenario", "workflow", "matrix");
+/// `block` is the path of the object inside it (`""` for the top
+/// level, `"sharding"`, `"faults[2] (slow_pods)"`, ...). Non-object
+/// values pass: shape errors are serde's job, this pass only exists to
+/// catch keys serde would silently drop.
+pub fn check_keys(doc: &str, block: &str, value: &Value, allowed: &[&str]) -> Result<(), String> {
+    let Value::Object(fields) = value else {
+        return Ok(());
+    };
+    for (key, _) in fields {
+        if allowed.contains(&key.as_str()) {
+            continue;
+        }
+        let hint = suggestion(key, allowed);
+        return Err(if block.is_empty() {
+            format!(
+                "invalid {doc}: unknown top-level key '{key}'{hint}\n\
+                 valid keys: {}",
+                allowed.join(", ")
+            )
+        } else {
+            format!(
+                "invalid {doc}: unknown key '{key}' in '{block}'{hint}\n\
+                 valid keys in '{block}': {}",
+                allowed.join(", ")
+            )
+        });
+    }
+    Ok(())
+}
+
+/// Check every element of a `kind`-tagged array (`faults`,
+/// `sharding.faults`) against the key set of its variant. Elements
+/// whose tag is missing or unknown pass through — serde rejects those
+/// with its own (clearer) variant error.
+pub fn check_tagged_items(
+    doc: &str,
+    block: &str,
+    value: &Value,
+    tag: &str,
+    variants: &[(&str, &[&str])],
+) -> Result<(), String> {
+    let Value::Array(items) = value else {
+        return Ok(());
+    };
+    for (i, item) in items.iter().enumerate() {
+        let Some(Value::Str(kind)) = item.get(tag) else {
+            continue;
+        };
+        let Some((_, keys)) = variants.iter().find(|(k, _)| k == kind) else {
+            continue;
+        };
+        let mut allowed: Vec<&str> = vec![tag];
+        allowed.extend_from_slice(keys);
+        check_keys(doc, &format!("{block}[{i}] ({kind})"), item, &allowed)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(pairs: &[(&str, Value)]) -> Value {
+        Value::Object(
+            pairs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_equal() {
+        assert_eq!(edit_distance("sharding", "sharding"), 0);
+        assert_eq!(edit_distance("shardng", "sharding"), 1);
+        assert_eq!(edit_distance("sharding", "shardng"), 1);
+    }
+
+    #[test]
+    fn nested_block_errors_name_the_block() {
+        let v = obj(&[("striek_out", Value::Int(3))]);
+        let err = check_keys("scenario", "sharding", &v, &["shards", "strike_out"]).unwrap_err();
+        assert!(
+            err.contains("unknown key 'striek_out' in 'sharding'"),
+            "{err}"
+        );
+        assert!(err.contains("did you mean 'strike_out'?"), "{err}");
+        assert!(err.contains("valid keys in 'sharding':"), "{err}");
+    }
+
+    #[test]
+    fn tagged_items_are_checked_per_variant() {
+        let item = obj(&[
+            ("kind", Value::Str("slow_pods".into())),
+            ("factr", Value::Float(4.0)),
+        ]);
+        let arr = Value::Array(vec![item]);
+        let err = check_tagged_items(
+            "scenario",
+            "faults",
+            &arr,
+            "kind",
+            &[(
+                "slow_pods",
+                &["from_secs", "until_secs", "service", "factor"],
+            )],
+        )
+        .unwrap_err();
+        assert!(err.contains("'faults[0] (slow_pods)'"), "{err}");
+        assert!(err.contains("did you mean 'factor'?"), "{err}");
+    }
+
+    #[test]
+    fn unknown_variant_tags_fall_through_to_serde() {
+        let item = obj(&[("kind", Value::Str("no_such_fault".into()))]);
+        let arr = Value::Array(vec![item]);
+        assert!(check_tagged_items("scenario", "faults", &arr, "kind", &[]).is_ok());
+    }
+
+    #[test]
+    fn non_objects_pass() {
+        assert!(check_keys("scenario", "live", &Value::Null, &["port"]).is_ok());
+        assert!(check_keys("scenario", "live", &Value::Int(3), &["port"]).is_ok());
+    }
+}

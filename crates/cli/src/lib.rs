@@ -11,6 +11,7 @@
 
 pub mod build;
 pub mod explain;
+pub mod keys;
 pub mod live;
 pub mod report;
 pub mod schema;
@@ -41,72 +42,195 @@ const TOP_LEVEL_KEYS: &[&str] = &[
     "report",
 ];
 
-/// Levenshtein edit distance, for the "did you mean" hint.
-fn edit_distance(a: &str, b: &str) -> usize {
-    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
-    let mut prev: Vec<usize> = (0..=b.len()).collect();
-    for (i, ca) in a.iter().enumerate() {
-        let mut row = vec![i + 1];
-        for (j, cb) in b.iter().enumerate() {
-            let sub = prev[j] + usize::from(ca != cb);
-            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
-        }
-        prev = row;
-    }
-    prev[b.len()]
-}
+const LIVE_KEYS: &[&str] = &[
+    "cpu_scale",
+    "control_interval_ms",
+    "gateway_burst_secs",
+    "port",
+    "metrics_port",
+];
 
-/// Reject unknown top-level keys with a "did you mean" suggestion.
-fn check_top_level_keys(value: &serde_json::JsonValue) -> Result<(), String> {
-    let serde::Value::Object(fields) = value else {
+const SHARDING_KEYS: &[&str] = &[
+    "shards",
+    "weights",
+    "min_quantum",
+    "strike_out",
+    "reentry_ticks",
+    "limit_ttl",
+    "faults",
+];
+
+const RESILIENCE_KEYS: &[&str] = &["deadlines", "retry_budget", "breakers"];
+const DEADLINE_KEYS: &[&str] = &["budget_ms", "cancel_doomed"];
+const RETRY_BUDGET_KEYS: &[&str] = &["max_tokens", "token_ratio", "retry_cost"];
+const BREAKER_KEYS: &[&str] = &[
+    "failure_threshold",
+    "min_calls",
+    "open_for_ms",
+    "half_open_probes",
+];
+
+const REPORT_KEYS: &[&str] = &["measure_from_secs", "timeline"];
+const AUTOSCALER_KEYS: &[&str] = &[
+    "target_utilization",
+    "sync_period_secs",
+    "pod_startup_secs",
+    "vm_pool",
+];
+const VM_POOL_KEYS: &[&str] = &["vcpus_per_vm", "initial_vms", "max_vms", "vm_startup_secs"];
+
+/// Per-variant key sets for the `faults` array (tagged by `kind`).
+/// Public because the workflow engine (crates/scenario) embeds fault
+/// schedules and key-checks them with the same table.
+pub const FAULT_VARIANTS: &[(&str, &[&str])] = &[
+    ("pod_kill", &["at_secs", "service", "pods"]),
+    (
+        "slow_pods",
+        &["from_secs", "until_secs", "service", "factor"],
+    ),
+    (
+        "network_degrade",
+        &[
+            "from_secs",
+            "until_secs",
+            "service",
+            "extra_latency_ms",
+            "loss",
+        ],
+    ),
+    ("telemetry_dropout", &["from_secs", "until_secs", "service"]),
+    (
+        "telemetry_staleness",
+        &["from_secs", "until_secs", "by_secs"],
+    ),
+    ("telemetry_noise", &["from_secs", "until_secs", "sigma"]),
+    ("controller_stall", &["from_secs", "until_secs"]),
+];
+
+/// Per-variant key sets for `sharding.faults` (tagged by `kind`).
+const SHARD_FAULT_VARIANTS: &[(&str, &[&str])] = &[
+    ("dropout", &["shard", "from_secs", "until_secs"]),
+    ("kill", &["shard", "at_secs"]),
+    ("controller_loss", &["from_secs", "until_secs"]),
+];
+
+/// Reject unknown keys — top-level and inside the nested `live`,
+/// `sharding`, `faults`, `resilience`, `report` and `autoscaler`
+/// blocks — with a "did you mean" suggestion.
+fn check_scenario_keys(value: &serde_json::JsonValue) -> Result<(), String> {
+    let serde::Value::Object(_) = value else {
         return Err("invalid scenario: top level must be a JSON object".into());
     };
-    for (key, _) in fields {
-        if TOP_LEVEL_KEYS.contains(&key.as_str()) {
-            continue;
+    keys::check_keys("scenario", "", value, TOP_LEVEL_KEYS)?;
+    if let Some(v) = value.get("live") {
+        keys::check_keys("scenario", "live", v, LIVE_KEYS)?;
+    }
+    if let Some(v) = value.get("report") {
+        keys::check_keys("scenario", "report", v, REPORT_KEYS)?;
+    }
+    if let Some(v) = value.get("autoscaler") {
+        keys::check_keys("scenario", "autoscaler", v, AUTOSCALER_KEYS)?;
+        if let Some(vp) = v.get("vm_pool") {
+            keys::check_keys("scenario", "autoscaler.vm_pool", vp, VM_POOL_KEYS)?;
         }
-        let nearest = TOP_LEVEL_KEYS
-            .iter()
-            .min_by_key(|k| edit_distance(key, k))
-            .expect("non-empty key list");
-        let hint = if edit_distance(key, nearest) <= 3 {
-            format!(" — did you mean '{nearest}'?")
-        } else {
-            String::new()
-        };
-        return Err(format!(
-            "invalid scenario: unknown top-level key '{key}'{hint}\n\
-             valid keys: {}",
-            TOP_LEVEL_KEYS.join(", ")
-        ));
+    }
+    if let Some(v) = value.get("sharding") {
+        keys::check_keys("scenario", "sharding", v, SHARDING_KEYS)?;
+        if let Some(f) = v.get("faults") {
+            keys::check_tagged_items(
+                "scenario",
+                "sharding.faults",
+                f,
+                "kind",
+                SHARD_FAULT_VARIANTS,
+            )?;
+        }
+    }
+    if let Some(v) = value.get("faults") {
+        keys::check_tagged_items("scenario", "faults", v, "kind", FAULT_VARIANTS)?;
+    }
+    if let Some(v) = value.get("resilience") {
+        keys::check_keys("scenario", "resilience", v, RESILIENCE_KEYS)?;
+        for (block, allowed) in [
+            ("deadlines", DEADLINE_KEYS),
+            ("retry_budget", RETRY_BUDGET_KEYS),
+            ("breakers", BREAKER_KEYS),
+        ] {
+            if let Some(sub) = v.get(block) {
+                keys::check_keys("scenario", &format!("resilience.{block}"), sub, allowed)?;
+            }
+        }
     }
     Ok(())
 }
 
-/// Parse a scenario from JSON text. Unknown top-level keys are an
-/// error (with a "did you mean" hint), not a silent no-op.
+/// Parse a scenario from JSON text. Unknown keys — top-level or inside
+/// the nested config blocks — are an error (with a "did you mean"
+/// hint), not a silent no-op.
 pub fn parse_scenario(json: &str) -> Result<Scenario, String> {
     let value: serde_json::JsonValue =
         serde_json::from_str(json).map_err(|e| format!("invalid scenario: {e}"))?;
-    check_top_level_keys(&value)?;
+    check_scenario_keys(&value)?;
     serde_json::from_str(json).map_err(|e| format!("invalid scenario: {e}"))
+}
+
+/// Cross-spec composition rules checked before any run (and by
+/// `topfull-sim check`): which controllers compose with sharding.
+fn preflight(sc: &Scenario) -> Result<(), String> {
+    if sc.sharding.is_some() {
+        if !matches!(
+            sc.controller,
+            schema::ControllerSpec::None | schema::ControllerSpec::Topfull { .. }
+        ) {
+            return Err(
+                "sharding splits entry rate limits across gateway shards, so it only \
+                 composes with entry controllers ('none' or 'topfull'); per-service \
+                 schemes (dagor/breakwater/wisp) don't run at the sharded gateway"
+                    .into(),
+            );
+        }
+        if matches!(
+            sc.controller,
+            schema::ControllerSpec::Topfull { hardened: true, .. }
+        ) {
+            return Err(
+                "sharding and hardened are mutually exclusive: the shard plane carries its \
+                 own degradation ladder (limit TTL + local MIMD fallback) in place of the \
+                 watchdog"
+                    .into(),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// What `validate_scenario` measured while building (for `check` output).
+#[derive(Debug)]
+pub struct CheckSummary {
+    pub services: usize,
+    pub apis: usize,
+}
+
+/// Validate a scenario without running it: composition rules, the full
+/// scenario → engine build (topology, workload, controller, faults),
+/// and — when sharded — the shard-plane config. This is everything
+/// `run_scenario` does short of executing, so a scenario that checks
+/// clean cannot fail at startup.
+pub fn validate_scenario(sc: &Scenario) -> Result<CheckSummary, String> {
+    preflight(sc)?;
+    let built = build_scenario(sc)?;
+    if let Some(spec) = &sc.sharding {
+        build::sharded_config(spec)?;
+    }
+    Ok(CheckSummary {
+        services: built.engine.topology().num_services(),
+        apis: built.engine.topology().num_apis(),
+    })
 }
 
 /// Run a scenario end to end.
 pub fn run_scenario(sc: &Scenario) -> Result<ScenarioOutcome, String> {
-    if sc.sharding.is_some()
-        && !matches!(
-            sc.controller,
-            schema::ControllerSpec::None | schema::ControllerSpec::Topfull { .. }
-        )
-    {
-        return Err(
-            "sharding splits entry rate limits across gateway shards, so it only \
-             composes with entry controllers ('none' or 'topfull'); per-service \
-             schemes (dagor/breakwater/wisp) don't run at the sharded gateway"
-                .into(),
-        );
-    }
+    preflight(sc)?;
     let built = build_scenario(sc)?;
     match &sc.sharding {
         Some(spec) => {
@@ -147,6 +271,86 @@ mod tests {
     }
 
     #[test]
+    fn nested_sharding_typo_is_rejected() {
+        let json = r#"{
+            "app": {"type": "builtin", "name": "online-boutique"},
+            "workload": {"type": "open_loop", "rates": []},
+            "sharding": {"shards": 3, "striek_out": 5}
+        }"#;
+        let err = parse_scenario(json).expect_err("nested typo must be rejected");
+        assert!(
+            err.contains("unknown key 'striek_out' in 'sharding'"),
+            "{err}"
+        );
+        assert!(err.contains("did you mean 'strike_out'?"), "{err}");
+    }
+
+    #[test]
+    fn nested_live_and_resilience_typos_are_rejected() {
+        let json = r#"{
+            "app": {"type": "builtin", "name": "online-boutique"},
+            "workload": {"type": "open_loop", "rates": []},
+            "live": {"control_intervl_ms": 100}
+        }"#;
+        let err = parse_scenario(json).expect_err("live typo must be rejected");
+        assert!(err.contains("in 'live'"), "{err}");
+        assert!(err.contains("did you mean 'control_interval_ms'?"), "{err}");
+
+        let json = r#"{
+            "app": {"type": "builtin", "name": "online-boutique"},
+            "workload": {"type": "open_loop", "rates": []},
+            "resilience": {"breakers": {"failure_treshold": 0.4}}
+        }"#;
+        let err = parse_scenario(json).expect_err("breaker typo must be rejected");
+        assert!(err.contains("in 'resilience.breakers'"), "{err}");
+        assert!(err.contains("did you mean 'failure_threshold'?"), "{err}");
+    }
+
+    #[test]
+    fn fault_entry_typos_name_the_entry_and_variant() {
+        let json = r#"{
+            "app": {"type": "builtin", "name": "online-boutique"},
+            "workload": {"type": "open_loop", "rates": []},
+            "faults": [
+                {"kind": "slow_pods", "from_secs": 10, "until_secs": 20,
+                 "service": "cartservice", "factor": 4.0},
+                {"kind": "network_degrade", "from_secs": 10, "until_secs": 20, "los": 0.1}
+            ]
+        }"#;
+        let err = parse_scenario(json).expect_err("fault typo must be rejected");
+        assert!(err.contains("'faults[1] (network_degrade)'"), "{err}");
+        assert!(err.contains("did you mean 'loss'?"), "{err}");
+    }
+
+    #[test]
+    fn shard_fault_typos_are_rejected() {
+        let json = r#"{
+            "app": {"type": "builtin", "name": "online-boutique"},
+            "workload": {"type": "open_loop", "rates": []},
+            "sharding": {"shards": 3, "faults": [{"kind": "kill", "shard": 1, "at_sec": 30}]}
+        }"#;
+        let err = parse_scenario(json).expect_err("shard fault typo must be rejected");
+        assert!(err.contains("'sharding.faults[0] (kill)'"), "{err}");
+        assert!(err.contains("did you mean 'at_secs'?"), "{err}");
+    }
+
+    #[test]
+    fn valid_nested_blocks_still_parse() {
+        let json = r#"{
+            "app": {"type": "builtin", "name": "online-boutique"},
+            "workload": {"type": "open_loop", "rates": [
+                {"api": "getproduct", "steps": [[0, 100.0]]}
+            ]},
+            "live": {"control_interval_ms": 100, "metrics_port": 9900},
+            "sharding": {"shards": 2, "faults": [{"kind": "kill", "shard": 1, "at_secs": 30}]},
+            "faults": [{"kind": "controller_stall", "from_secs": 5, "until_secs": 10}],
+            "resilience": {"deadlines": {"cancel_doomed": true}}
+        }"#;
+        let sc = parse_scenario(json).expect("valid scenario parses");
+        assert_eq!(sc.sharding.expect("sharding").shards, 2);
+    }
+
+    #[test]
     fn sharding_rejects_per_service_controllers() {
         let mut sc = Scenario::example();
         sc.controller = schema::ControllerSpec::Dagor { alpha: 0.05 };
@@ -155,6 +359,8 @@ mod tests {
             ..Default::default()
         });
         let err = run_scenario(&sc).expect_err("dagor cannot shard at the gateway");
+        assert!(err.contains("entry controllers"), "{err}");
+        let err = validate_scenario(&sc).expect_err("check catches it too");
         assert!(err.contains("entry controllers"), "{err}");
     }
 
@@ -172,6 +378,16 @@ mod tests {
         });
         let err = run_scenario(&sc).expect_err("hardened + sharding is ambiguous");
         assert!(err.contains("mutually exclusive"), "{err}");
+        let err = validate_scenario(&sc).expect_err("check catches it too");
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn validate_scenario_summarizes_without_running() {
+        let sc = Scenario::example();
+        let sum = validate_scenario(&sc).expect("example validates");
+        assert_eq!(sum.services, 2);
+        assert_eq!(sum.apis, 1);
     }
 
     #[test]

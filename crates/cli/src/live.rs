@@ -138,6 +138,9 @@ fn live_outcome(
         crash_events: 0,
         resilience: ResilienceStats::default(),
         timeline: result.total_goodput_series(),
+        // Wall-clock latency percentiles live behind `/metrics`; the
+        // outcome's p99 series is a simulator-only field.
+        p99_timeline: Vec::new(),
         journal: journal.snapshot(),
         shard_plane: None,
         shard_guards: None,

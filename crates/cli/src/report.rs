@@ -21,6 +21,10 @@ pub struct ScenarioOutcome {
     pub resilience: ResilienceStats,
     /// `(t, total goodput)` timeline.
     pub timeline: Vec<(f64, f64)>,
+    /// `(t, worst per-API p99 seconds)` timeline (simulator runs only;
+    /// empty for live runs). The scenario fuzzer's sustained-breach
+    /// objective reads this.
+    pub p99_timeline: Vec<(f64, f64)>,
     /// Controller decision journal, in decision order. Feed to
     /// `topfull explain` to render the timeline.
     pub journal: Vec<obs::JournalEntry>,
@@ -63,6 +67,17 @@ fn summarize(
     )
 }
 
+/// `(t, max-over-APIs p99)` series out of the harness samples.
+fn p99_series(r: &cluster::RunResult) -> Vec<(f64, f64)> {
+    r.samples
+        .iter()
+        .map(|s| {
+            let worst = s.p99.iter().copied().fold(0.0, f64::max);
+            (s.at.as_secs_f64(), worst)
+        })
+        .collect()
+}
+
 /// Run a built scenario to completion and collect the outcome.
 pub fn execute(sc: &Scenario, built: BuiltScenario) -> ScenarioOutcome {
     let BuiltScenario {
@@ -90,6 +105,7 @@ pub fn execute(sc: &Scenario, built: BuiltScenario) -> ScenarioOutcome {
         crash_events: h.engine.crash_events,
         resilience: h.engine.resilience_totals(),
         timeline: r.total_goodput_series(),
+        p99_timeline: p99_series(r),
         journal: h.journal().snapshot(),
         shard_plane: None,
         shard_guards: None,
@@ -134,6 +150,7 @@ pub fn execute_sharded(
         crash_events: h.engine.crash_events,
         resilience: h.engine.resilience_totals(),
         timeline: r.total_goodput_series(),
+        p99_timeline: p99_series(r),
         journal: h.journal().snapshot(),
         shard_plane: Some(h.plane_stats()),
         shard_guards: Some(h.guard_stats()),

@@ -69,7 +69,47 @@ pub struct TopFullConfig {
     pub fair_group_steps: bool,
     /// The step-size policy shared by all cluster/recovery controllers.
     pub rate_controller: Arc<dyn RateController>,
+    /// Minimum cut magnitude while admission is fully collapsed
+    /// (goodput ratio ≈ 0 with latency pinned far past the SLO). A
+    /// fixed multiplicative step converges geometrically from whatever
+    /// limit the overload transient inflated — tens of intervals during
+    /// which nothing is served; the scenario fuzzer's minimal
+    /// reproducer is a plain flash crowd that keeps p99 above 1.5×SLO
+    /// for 23 s with zero goodput. Collapse is unambiguous evidence the
+    /// limit is far above capacity, so the cut is deepened to at least
+    /// this much — but only until the target's limit has shrunk to
+    /// [`COLLAPSE_FLOOR_FRAC`] of its value when the collapse was first
+    /// seen (the episode budget); past that the normal step law
+    /// resumes. `0.0` disables the escalation (ablation).
+    pub collapse_backoff: f64,
 }
+
+/// Goodput ratio below this counts as collapsed admission...
+pub(crate) const COLLAPSE_GOODPUT_EPS: f64 = 0.05;
+/// ...when latency is simultaneously pinned at least this far past the
+/// SLO. Both must hold: near-zero goodput alone can be an idle API.
+pub(crate) const COLLAPSE_LATENCY_RATIO: f64 = 2.0;
+/// Episode budget for the collapse backoff: escalated cuts may shrink a
+/// target's total limit to at most this fraction of its value when the
+/// collapse was first detected, then the normal step law resumes.
+/// Collapse proves the limit is *far* above capacity, but "far" is
+/// bounded — under sustained overload with a deep queue, latency stays
+/// pinned long after the limit has reached capacity, and unbounded
+/// escalation would ride every API to the floor (erasing the
+/// priority-ordered split the cuts are supposed to produce).
+pub(crate) const COLLAPSE_FLOOR_FRAC: f64 = 0.25;
+/// A collapse episode may only *start* within this many control ticks
+/// of one of the target's candidate APIs getting its limit
+/// initialized (the first throttle snapshots the admitted rate, which
+/// an overload transient — flash crowd or ramp past capacity —
+/// inflates far above what the service can serve). That mistake is
+/// visible immediately, so a collapse right after initialization is
+/// the initialization's fault. A collapse that develops later, under
+/// an established limit, is a capacity fade (e.g. a slow-pod
+/// brownout); cutting 4× deep there tracks the faulted capacity
+/// faster but strands recovery several times lower once the fault
+/// clears, so the normal step law keeps it.
+pub(crate) const COLLAPSE_INIT_WINDOW: u64 = 5;
 
 impl Default for TopFullConfig {
     fn default() -> Self {
@@ -85,6 +125,7 @@ impl Default for TopFullConfig {
             restrict_cuts_to_contributing: true,
             fair_group_steps: true,
             rate_controller: Arc::new(MimdController::paper_default()),
+            collapse_backoff: 0.25,
         }
     }
 }
@@ -183,6 +224,17 @@ pub struct TopFull {
     /// Previous cluster partition rendered `api,api|api`, to journal
     /// re-clusterings only when the partition actually changes.
     prev_assignment: String,
+    /// Collapse-backoff episode anchors: target service → total limit
+    /// when the current collapse episode began. Escalated cuts stop at
+    /// `anchor × COLLAPSE_FLOOR_FRAC`; entries clear when the target's
+    /// collapse conditions clear.
+    collapse_anchor: std::collections::HashMap<u32, f64>,
+    /// Control ticks elapsed (one per `control` call).
+    ticks: u64,
+    /// Tick at which each API's limit was last initialized from the
+    /// observed admitted rate (the first throttle after running
+    /// unlimited); entries clear when the limit is released.
+    limit_init: std::collections::HashMap<u32, u64>,
 }
 
 /// Journal-safe float: the JSONL schema keeps NaN/∞ out of the wire
@@ -218,6 +270,9 @@ impl TopFull {
             journal: None,
             prev_overloaded: Vec::new(),
             prev_assignment: String::new(),
+            collapse_anchor: std::collections::HashMap::new(),
+            ticks: 0,
+            limit_init: std::collections::HashMap::new(),
         }
     }
 
@@ -401,6 +456,7 @@ impl TopFull {
                 if cur.is_finite() {
                     cur
                 } else {
+                    self.limit_init.insert(a.0, self.ticks);
                     let adm = obs.api(*a).admitted;
                     // NaN admitted (degraded telemetry) → start from the
                     // floor; `max` with NaN already discards it, this just
@@ -453,6 +509,7 @@ impl Controller for TopFull {
             return Vec::new();
         };
         let overloaded = detector.detect(obs);
+        self.ticks += 1;
         self.journal_overloads(obs, &overloaded);
         let clusters: Vec<Cluster> = if self.cfg.clustering_enabled {
             cluster_apis(&obs.api_paths, &overloaded)
@@ -557,6 +614,71 @@ impl Controller for TopFull {
             states.iter().map(|s| controller.decide(*s)).collect()
         };
 
+        // Collapse backoff: the rate controller owns the step's
+        // *direction*, but when the candidate set's admission has fully
+        // collapsed — goodput ratio ≈ 0 with latency pinned far past
+        // the SLO — a small fixed cut walks down geometrically from a
+        // transient-inflated limit while nothing is served at all.
+        // Collapse is unambiguous evidence the limit is far above
+        // capacity, so deepen any cut to `collapse_backoff` — bounded
+        // by an episode budget: once the target's limit has shrunk to
+        // `COLLAPSE_FLOOR_FRAC` of its value at episode start, the
+        // evidence is spent and the normal step law resumes (a deep
+        // queue keeps latency pinned long after the limit reaches
+        // capacity; unbounded escalation floors every API equally).
+        let mut escalated = vec![false; actions.len()];
+        let mut collapsing: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        let actions: Vec<f64> = actions
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let s = &states[i];
+                if !(self.cfg.collapse_backoff > 0.0
+                    && a.is_finite()
+                    && a < 0.0
+                    && a > -self.cfg.collapse_backoff
+                    && s.goodput_ratio < COLLAPSE_GOODPUT_EPS
+                    && s.latency_ratio >= COLLAPSE_LATENCY_RATIO
+                    && s.total_limit.is_finite()
+                    && s.total_limit > 0.0)
+                {
+                    return a;
+                }
+                let target = prepared[i].0 .0;
+                // Episodes only *start* shortly after a candidate's
+                // limit initialization — the window where the limit is
+                // a fresh (possibly transient-inflated) snapshot of
+                // the admitted rate. Ongoing episodes run until their
+                // conditions clear.
+                if !self.collapse_anchor.contains_key(&target) {
+                    let recent = prepared[i].1.iter().any(|api| {
+                        self.limit_init
+                            .get(&api.0)
+                            .is_some_and(|e| self.ticks.saturating_sub(*e) <= COLLAPSE_INIT_WINDOW)
+                    });
+                    if !recent {
+                        return a;
+                    }
+                }
+                collapsing.insert(target);
+                let anchor = *self.collapse_anchor.entry(target).or_insert(s.total_limit);
+                // The action that lands exactly on the episode floor;
+                // never cut past it, never deepen beyond the backoff.
+                let floor_action = (anchor * COLLAPSE_FLOOR_FRAC) / s.total_limit - 1.0;
+                let deep = (-self.cfg.collapse_backoff).max(floor_action);
+                if deep < a {
+                    escalated[i] = true;
+                    deep
+                } else {
+                    a
+                }
+            })
+            .collect();
+        // An episode ends when its target stops meeting the collapse
+        // conditions (goodput recovered, latency cleared, or the
+        // detector released it).
+        self.collapse_anchor.retain(|t, _| collapsing.contains(t));
+
         // Eligibility for rate increases uses the *instantaneous* enter
         // threshold, not the hysteresis set: a service cooling through
         // the 0.75–0.8 band still anchors its cluster, but must not veto
@@ -571,7 +693,8 @@ impl Controller for TopFull {
         let mut updates = Vec::new();
         self.last_decisions.clear();
 
-        for (((target, candidates), action), state) in prepared.into_iter().zip(actions).zip(states)
+        for ((((target, candidates), action), state), escalated) in
+            prepared.into_iter().zip(actions).zip(states).zip(escalated)
         {
             let applied_to: Vec<ApiId> = if action >= 0.0 {
                 // §4.1 rate-increase rule: only candidates whose path has
@@ -631,6 +754,9 @@ impl Controller for TopFull {
                 } else {
                     format!("{name} action non-finite; step dropped")
                 };
+                if escalated {
+                    reason.push_str("; collapse backoff: admission collapsed, cut deepened");
+                }
                 if degraded {
                     if name.starts_with("safe(") {
                         reason.push_str("; degraded telemetry routed to mimd fallback");
@@ -693,6 +819,7 @@ impl Controller for TopFull {
                 if self.headroom_ticks[i] >= self.cfg.release_after {
                     self.limits[i] = f64::INFINITY;
                     self.headroom_ticks[i] = 0;
+                    self.limit_init.remove(&(i as u32));
                     if let Some(j) = self.journal.as_ref() {
                         j.record(obs::JournalEntry::Release {
                             t: obs.now.as_secs_f64(),
@@ -857,6 +984,108 @@ mod tests {
         assert_eq!(ups[0].api, ApiId(0));
         // Initialized from admitted (300) then −5%: 285.
         assert!((ups[0].rate - 285.0).abs() < 1e-9, "got {}", ups[0].rate);
+    }
+
+    /// Collapsed admission (goodput ratio ≈ 0, latency pinned ≥2×SLO).
+    const COLLAPSED: (f64, f64, f64, u64, u8, f64) = (285.0, 285.0, 0.0, 2500, 0, 285.0);
+    /// Overloaded but serving: latency just past the SLO.
+    const STRAINED: (f64, f64, f64, u64, u8, f64) = (285.0, 285.0, 100.0, 1100, 0, 285.0);
+
+    #[test]
+    fn collapse_backoff_deepens_cut_after_fresh_initialization() {
+        let mut tf = TopFull::new(TopFullConfig::default());
+        // Tick 1: first throttle initializes from admitted (300→285);
+        // goodput ratio 0.27 is not collapsed, so the step is plain −5%.
+        let ups = tf.control(&obs(
+            &[0.95],
+            &[(300.0, 300.0, 80.0, 2000, 0, f64::INFINITY)],
+            vec![sid(&[0])],
+        ));
+        assert!((ups[0].rate - 285.0).abs() < 1e-9);
+        // Tick 2: admission collapses right after initialization — the
+        // −5% step escalates to the collapse backoff (−25%).
+        let ups = tf.control(&obs(&[0.95], &[COLLAPSED], vec![sid(&[0])]));
+        assert!(
+            (ups[0].rate - 285.0 * 0.75).abs() < 1e-9,
+            "escalated cut expected, got {}",
+            ups[0].rate
+        );
+    }
+
+    #[test]
+    fn collapse_backoff_stops_at_episode_floor() {
+        let mut tf = TopFull::new(TopFullConfig::default());
+        tf.control(&obs(
+            &[0.95],
+            &[(300.0, 300.0, 80.0, 2000, 0, f64::INFINITY)],
+            vec![sid(&[0])],
+        ));
+        // Sustained collapse: −25% steps walk 285 down, but stop at the
+        // episode floor 285 × COLLAPSE_FLOOR_FRAC = 71.25 rather than
+        // riding to the configured minimum rate.
+        let mut last = 285.0;
+        for _ in 0..5 {
+            let ups = tf.control(&obs(&[0.95], &[COLLAPSED], vec![sid(&[0])]));
+            last = ups[0].rate;
+        }
+        let floor = 285.0 * COLLAPSE_FLOOR_FRAC;
+        assert!(
+            (last - floor).abs() < 1e-6,
+            "descent should land exactly on the floor: {last} vs {floor}"
+        );
+        // Past the floor the normal −5% law resumes.
+        let ups = tf.control(&obs(&[0.95], &[COLLAPSED], vec![sid(&[0])]));
+        assert!(
+            (ups[0].rate - floor * 0.95).abs() < 1e-6,
+            "normal step past the floor, got {}",
+            ups[0].rate
+        );
+    }
+
+    #[test]
+    fn collapse_backoff_only_starts_near_limit_initialization() {
+        let mut tf = TopFull::new(TopFullConfig::default());
+        tf.control(&obs(
+            &[0.95],
+            &[(300.0, 300.0, 80.0, 2000, 0, f64::INFINITY)],
+            vec![sid(&[0])],
+        ));
+        let mut expect = 285.0;
+        // Strained-but-serving ticks age the initialization past the
+        // episode window; each is a plain −5%.
+        for _ in 0..COLLAPSE_INIT_WINDOW + 1 {
+            let ups = tf.control(&obs(&[0.95], &[STRAINED], vec![sid(&[0])]));
+            expect *= 0.95;
+            assert!((ups[0].rate - expect).abs() < 1e-6);
+        }
+        // A collapse developing this late is a capacity fade, not a bad
+        // initialization — the step must stay −5%.
+        let ups = tf.control(&obs(&[0.95], &[COLLAPSED], vec![sid(&[0])]));
+        expect *= 0.95;
+        assert!(
+            (ups[0].rate - expect).abs() < 1e-6,
+            "late collapse must not escalate: {} vs {expect}",
+            ups[0].rate
+        );
+    }
+
+    #[test]
+    fn collapse_backoff_zero_disables_escalation() {
+        let mut tf = TopFull::new(TopFullConfig {
+            collapse_backoff: 0.0,
+            ..TopFullConfig::default()
+        });
+        tf.control(&obs(
+            &[0.95],
+            &[(300.0, 300.0, 80.0, 2000, 0, f64::INFINITY)],
+            vec![sid(&[0])],
+        ));
+        let ups = tf.control(&obs(&[0.95], &[COLLAPSED], vec![sid(&[0])]));
+        assert!(
+            (ups[0].rate - 285.0 * 0.95).abs() < 1e-9,
+            "ablated backoff must keep the paper's −5% step, got {}",
+            ups[0].rate
+        );
     }
 
     #[test]

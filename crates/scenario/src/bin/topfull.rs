@@ -1,0 +1,268 @@
+//! `topfull` — live serving plane, workflow matrices, and the fuzzer.
+//!
+//! ```text
+//! topfull live <scenario.json> --duration <secs> [--json]
+//! topfull explain <run.json|journal.jsonl>
+//! topfull workflow <workflow.json> [--check | --emit]
+//! topfull matrix <matrix.json> [--json | --check] [--workers <n>]
+//! topfull fuzz [--seed <n>] [--iters <k>] [--base <workflow.json>]
+//!              [--out <dir>] [--json]
+//! ```
+//!
+//! `live` serves the scenario's topology as a real multi-threaded TCP
+//! gateway plus CPU-burning worker pool on 127.0.0.1 and drives the
+//! same TopFull controller the simulator uses on a real timer tick.
+//! `workflow` compiles a declarative phase workflow to the plain
+//! scenario schema; `matrix` expands workloads × fault plans ×
+//! controller arms and runs every cell through the experiment worker
+//! pool; `fuzz` mutates workflow genomes against SLO-violation
+//! objectives and shrinks findings to minimal reproducers.
+
+use topfull_cli::schema::{ShardFaultJson, ShardingSpec};
+use topfull_cli::{explain_file, parse_scenario, render_report, run_live, Scenario};
+use topfull_scenario::{fuzz, matrix, parse_matrix, parse_workflow, run_matrix, FuzzConfig};
+
+fn usage() -> ! {
+    eprintln!("usage:");
+    eprintln!(
+        "  topfull live <scenario.json> --duration <secs> [--json] \
+         [--shards <n>] [--kill-shard <i>@<secs>]"
+    );
+    eprintln!("  topfull explain <run.json|journal.jsonl> [--fingerprint]");
+    eprintln!("  topfull workflow <workflow.json> [--check | --emit]");
+    eprintln!("  topfull matrix <matrix.json> [--json | --check] [--workers <n>]");
+    eprintln!(
+        "  topfull fuzz [--seed <n>] [--iters <k>] [--base <workflow.json>] \
+         [--out <dir>] [--json]"
+    );
+    eprintln!();
+    eprintln!("  --shards n          run n gateway shards under one logical controller");
+    eprintln!("                      (overrides the scenario's sharding.shards)");
+    eprintln!("  --kill-shard i@secs SIGKILL-style shard death at scenario-time secs");
+    eprintln!("  --fingerprint       print the journal's order-sensitive fingerprint");
+    eprintln!("  --check             validate without running");
+    eprintln!("  --emit              print the compiled plain scenario JSON");
+    eprintln!("  --workers n         worker pool size (default: TOPFULL_WORKERS or cores)");
+    eprintln!("  --seed n            fuzz mutation seed (default 1)");
+    eprintln!("  --iters k           genomes to evaluate (default 40)");
+    eprintln!("  --out dir           where shrunk reproducers land (default scenarios/found)");
+    std::process::exit(2)
+}
+
+/// `--flag <value>` lookup with parse.
+fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    args.iter().position(|a| a == flag).map(|i| {
+        match args.get(i + 1).and_then(|v| v.parse::<T>().ok()) {
+            Some(v) => v,
+            None => usage(),
+        }
+    })
+}
+
+fn read_file(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn fail(e: String) -> ! {
+    eprintln!("{e}");
+    std::process::exit(1)
+}
+
+fn cmd_workflow(args: &[String]) {
+    let path = args.get(1).unwrap_or_else(|| usage());
+    let wf = parse_workflow(&read_file(path)).unwrap_or_else(|e| {
+        eprintln!("invalid: {path}: {e}");
+        std::process::exit(1);
+    });
+    let sc = wf.compile().unwrap_or_else(|e| {
+        eprintln!("invalid: {path}: {e}");
+        std::process::exit(1);
+    });
+    if let Err(e) = topfull_cli::validate_scenario(&sc) {
+        eprintln!("invalid: {path}: compiled scenario fails validation: {e}");
+        std::process::exit(1);
+    }
+    if args.iter().any(|a| a == "--emit") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&sc).expect("scenario serializes")
+        );
+        return;
+    }
+    // --check and the bare form both land here: compile + validate,
+    // then summarize what the workflow unrolls to.
+    println!(
+        "ok: {} ({path}) — {} track(s), {}s, {} fault(s), quiesces at {}",
+        wf.name,
+        wf.tracks.len(),
+        wf.duration_secs(),
+        wf.faults.len(),
+        match wf.quiesce_secs() {
+            Some(q) => format!("{q:.0}s"),
+            None => "never (permanent fault)".into(),
+        }
+    );
+}
+
+fn cmd_matrix(args: &[String]) {
+    let path = args.get(1).unwrap_or_else(|| usage());
+    let spec = parse_matrix(&read_file(path)).unwrap_or_else(|e| {
+        eprintln!("invalid: {path}: {e}");
+        std::process::exit(1);
+    });
+    if args.iter().any(|a| a == "--check") {
+        match spec.check() {
+            Ok(cells) => println!("ok: {} ({path}) — {cells} cells validate", spec.name),
+            Err(e) => fail(format!("invalid: {path}: {e}")),
+        }
+        return;
+    }
+    let workers = flag_value::<usize>(args, "--workers");
+    let report = run_matrix(&spec, workers).unwrap_or_else(|e| fail(e));
+    if args.iter().any(|a| a == "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serializes")
+        );
+    } else {
+        print!("{}", matrix::render_matrix(&report));
+    }
+}
+
+fn cmd_fuzz(args: &[String]) {
+    let mut cfg = FuzzConfig {
+        seed: flag_value::<u64>(args, "--seed").unwrap_or(1),
+        iters: flag_value::<u32>(args, "--iters").unwrap_or(40),
+        out_dir: Some(
+            args.iter()
+                .position(|a| a == "--out")
+                .and_then(|i| args.get(i + 1))
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|| std::path::PathBuf::from("scenarios/found")),
+        ),
+        ..FuzzConfig::default()
+    };
+    if let Some(i) = args.iter().position(|a| a == "--base") {
+        let path = args.get(i + 1).unwrap_or_else(|| usage());
+        let wf = parse_workflow(&read_file(path)).unwrap_or_else(|e| {
+            eprintln!("invalid: {path}: {e}");
+            std::process::exit(1);
+        });
+        cfg.base = Some(wf);
+    }
+    let report = fuzz::run_fuzz(&cfg).unwrap_or_else(|e| fail(e));
+    if args.iter().any(|a| a == "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serializes")
+        );
+    } else {
+        print!("{}", fuzz::render_fuzz(&report));
+    }
+    if !report.findings.is_empty() {
+        std::process::exit(3); // findings are a distinct exit code
+    }
+}
+
+/// Parse `i@secs` for `--kill-shard`.
+fn parse_kill(arg: &str) -> Option<(usize, u64)> {
+    let (shard, at) = arg.split_once('@')?;
+    Some((shard.parse().ok()?, at.parse().ok()?))
+}
+
+/// Fold `--shards` / `--kill-shard` into the scenario's sharding spec,
+/// creating one (with defaults) if the file had none.
+fn apply_shard_flags(sc: &mut Scenario, shards: Option<usize>, kill: Option<(usize, u64)>) {
+    if shards.is_none() && kill.is_none() {
+        return;
+    }
+    let spec = sc.sharding.get_or_insert_with(|| ShardingSpec {
+        shards: shards.unwrap_or(1),
+        ..ShardingSpec::default()
+    });
+    if let Some(n) = shards {
+        spec.shards = n;
+    }
+    if let Some((shard, at_secs)) = kill {
+        spec.faults.push(ShardFaultJson::Kill { shard, at_secs });
+    }
+}
+
+fn load(path: &str) -> Scenario {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    parse_scenario(&text).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("live") => {
+            let path = args.get(1).unwrap_or_else(|| usage());
+            let duration = args
+                .iter()
+                .position(|a| a == "--duration")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or_else(|| usage());
+            let as_json = args.iter().any(|a| a == "--json");
+            let shards = args.iter().position(|a| a == "--shards").map(|i| {
+                match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => usage(),
+                }
+            });
+            let kill = args.iter().position(|a| a == "--kill-shard").map(|i| {
+                match args.get(i + 1).map(String::as_str).map(parse_kill) {
+                    Some(Some(k)) => k,
+                    _ => usage(),
+                }
+            });
+            let mut sc = load(path);
+            apply_shard_flags(&mut sc, shards, kill);
+            match run_live(&sc, duration) {
+                Ok(out) => {
+                    if as_json {
+                        println!(
+                            "{}",
+                            serde_json::to_string_pretty(&out).expect("serializable outcome")
+                        );
+                    } else {
+                        print!("{}", render_report(&sc, &out));
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("explain") => {
+            let path = args.get(1).unwrap_or_else(|| usage());
+            let run = if args.iter().any(|a| a == "--fingerprint") {
+                topfull_cli::explain::fingerprint_file(path).map(|fp| format!("{fp}\n"))
+            } else {
+                explain_file(path)
+            };
+            match run {
+                Ok(text) => print!("{text}"),
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("workflow") => cmd_workflow(&args),
+        Some("matrix") => cmd_matrix(&args),
+        Some("fuzz") => cmd_fuzz(&args),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,36 @@
+//! # topfull-scenario — adversarial scenario engine
+//!
+//! The layer above the JSON scenario runner: instead of hand-writing
+//! one scenario at a time, operators compose **workflows** from
+//! reusable phases (plateau, ramp, flash crowd, diurnal, oscillating),
+//! cross them with fault schedules and controller arms into
+//! **matrices**, and turn a seeded **fuzzer** loose on the controller.
+//!
+//! - [`workflow`] — the phase/track model and the pure compiler down to
+//!   the plain [`topfull_cli::Scenario`] schema, so every plane
+//!   (simulator, live TCP gateway, sharded control plane) runs
+//!   workflow-generated scenarios unchanged.
+//! - [`matrix`] — workloads × fault plans × arms, expanded and executed
+//!   through the experiment worker pool, with a journal fingerprint per
+//!   cell so determinism is diffable.
+//! - [`objectives`] — what counts as a controller weakness: goodput
+//!   collapse vs a no-controller oracle, failure to re-converge after a
+//!   disturbance clears, sustained p99 breach with no exonerating
+//!   fault, and rate-limit ringing.
+//! - [`fuzz`] — the seeded mutation loop over workflow genomes.
+//! - [`shrink`] — greedy reduction of a tripping genome to a minimal
+//!   reproducer (strictly-decreasing size ⇒ guaranteed termination).
+//!
+//! The `topfull` binary (in this crate) fronts all of it, next to the
+//! live-plane and journal-explain subcommands.
+
+pub mod fuzz;
+pub mod matrix;
+pub mod objectives;
+pub mod shrink;
+pub mod workflow;
+
+pub use fuzz::{run_fuzz, FuzzConfig, FuzzReport};
+pub use matrix::{parse_matrix, run_matrix, MatrixReport, MatrixSpec};
+pub use objectives::{evaluate, trips, Objective, Violation};
+pub use workflow::{parse_workflow, PhaseSpec, TrackSpec, WorkflowSpec};

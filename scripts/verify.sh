@@ -4,9 +4,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release
-cargo test -q
-cargo clippy --all-targets -- -D warnings
+# --workspace matters: the repo root is itself a package, so a bare
+# `cargo build` would skip dependency crates' binaries (topfull,
+# topfull-sim) and every smoke below would run stale code.
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 
 # Live serving plane smoke: real TCP gateway + worker pool must serve a
@@ -79,5 +82,52 @@ fp4=$(./target/release/topfull explain /tmp/topfull_shard_w4.json --fingerprint)
 ./target/release/topfull explain artifacts/results/multishard.json \
   | grep -q 'rate actions:' \
   || { echo "explain smoke: no rate actions in multishard journal"; exit 1; }
+
+# Scenario corpus dry-run: every committed scenario artifact must
+# validate without running — plain scenarios through the simulator's
+# check mode, workflow genomes through the workflow compiler, matrix
+# specs cell by cell.
+for f in scenarios/*.json scenarios/found/*.json; do
+  case "$f" in *.workflow.json) continue ;; esac
+  ./target/release/topfull-sim check "$f" > /dev/null \
+    || { echo "scenario check failed: $f"; exit 1; }
+done
+for f in scenarios/workflows/*.workflow.json scenarios/found/*.workflow.json; do
+  ./target/release/topfull workflow "$f" --check > /dev/null \
+    || { echo "workflow check failed: $f"; exit 1; }
+done
+for f in scenarios/matrix/*.json; do
+  ./target/release/topfull matrix "$f" --check > /dev/null \
+    || { echo "matrix check failed: $f"; exit 1; }
+done
+
+# Fuzz smoke: a fixed seed must be byte-for-byte reproducible, and the
+# shipped controller must survive it with no objective tripped (the
+# found-and-fixed corpus in scenarios/found/ is pinned by regression
+# tests instead). Exit 3 would mean the fuzzer found a new weakness.
+rm -rf /tmp/topfull_fuzz_a /tmp/topfull_fuzz_b
+./target/release/topfull fuzz --seed 1 --iters 12 --out /tmp/topfull_fuzz_a --json \
+  > /tmp/topfull_fuzz_a.json \
+  || { echo "fuzz smoke: fuzzer tripped an objective on the shipped controller"; exit 1; }
+./target/release/topfull fuzz --seed 1 --iters 12 --out /tmp/topfull_fuzz_b --json \
+  > /tmp/topfull_fuzz_b.json \
+  || { echo "fuzz smoke: fuzzer tripped an objective on the shipped controller"; exit 1; }
+cmp -s /tmp/topfull_fuzz_a.json /tmp/topfull_fuzz_b.json \
+  || { echo "fuzz smoke: same seed produced different reports"; exit 1; }
+
+# Matrix smoke: the committed arm matrix must expand to all 12 cells
+# (2 workloads x 2 fault plans x 3 arms) and report identically no
+# matter how many workers execute it.
+./target/release/topfull matrix scenarios/matrix/overload_arms.json --workers 1 --json \
+  > /tmp/topfull_matrix_w1.json
+./target/release/topfull matrix scenarios/matrix/overload_arms.json --workers 4 --json \
+  > /tmp/topfull_matrix_w4.json
+cmp -s /tmp/topfull_matrix_w1.json /tmp/topfull_matrix_w4.json \
+  || { echo "matrix smoke: report depends on worker count"; exit 1; }
+cells=$(grep -c '"journal_fingerprint"' /tmp/topfull_matrix_w1.json)
+[ "$cells" -eq 12 ] \
+  || { echo "matrix smoke: expected 12 cells, got $cells"; exit 1; }
+grep -q '"cells": 12' /tmp/topfull_matrix_w1.json \
+  || { echo "matrix smoke: cell count missing from report"; exit 1; }
 
 echo "tier-1 verify: OK"
