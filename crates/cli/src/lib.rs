@@ -48,6 +48,8 @@ const LIVE_KEYS: &[&str] = &[
     "gateway_burst_secs",
     "port",
     "metrics_port",
+    "event_loops",
+    "max_conn_output",
 ];
 
 const SHARDING_KEYS: &[&str] = &[

@@ -276,6 +276,8 @@ fn live_config(live: &LiveSpec, slo_ms: u64) -> LiveConfig {
         gateway_burst_secs: live.gateway_burst_secs,
         port: live.port,
         metrics_port: live.metrics_port,
+        event_loops: live.event_loops,
+        max_conn_output: live.max_conn_output,
     }
 }
 

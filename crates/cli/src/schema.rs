@@ -398,6 +398,13 @@ pub struct LiveSpec {
     /// (`GET /metrics`, `GET /spans`); 0 = ephemeral.
     #[serde(default)]
     pub metrics_port: u16,
+    /// Gateway event loops; 0 = one per core (capped at 8).
+    #[serde(default)]
+    pub event_loops: usize,
+    /// Per-connection pending-output cap in bytes; a peer that stops
+    /// reading its replies is paused, then dropped past this.
+    #[serde(default = "default_max_conn_output")]
+    pub max_conn_output: usize,
 }
 
 fn default_cpu_scale() -> f64 {
@@ -409,6 +416,9 @@ fn default_control_interval_ms() -> u64 {
 fn default_burst_secs() -> f64 {
     0.05
 }
+fn default_max_conn_output() -> usize {
+    1 << 20
+}
 
 impl Default for LiveSpec {
     fn default() -> Self {
@@ -418,6 +428,8 @@ impl Default for LiveSpec {
             gateway_burst_secs: default_burst_secs(),
             port: 0,
             metrics_port: 0,
+            event_loops: 0,
+            max_conn_output: default_max_conn_output(),
         }
     }
 }

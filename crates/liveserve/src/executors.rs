@@ -12,6 +12,18 @@
 //! simulator would report, so relative bottlenecks (recommendation
 //! before frontend, etc.) land in the same order as in the simulator.
 //!
+//! ## Completion handoff
+//!
+//! Workers never touch sockets. A finished (or shed) job's response
+//! line goes back to the event loop that owns the connection through a
+//! [`ReplySink`]: an unbounded completion queue plus that loop's
+//! [`Waker`]. The loop drains the queue on wakeup, appends each line to
+//! the owning connection's output buffer (connections are identified by
+//! generation-tagged tokens, so a completion for a closed-and-reused
+//! slot is dropped, not misdelivered) and flushes once per wakeup —
+//! response syscalls are amortized across however many completions the
+//! burst produced.
+//!
 //! Divergence from the simulator, by design (documented in DESIGN.md
 //! §12): stages execute **linearly** — fan-out children run one after
 //! another on the child service's thread rather than in parallel — and
@@ -19,6 +31,7 @@
 
 use crate::clock::WallClock;
 use crate::metrics::LiveMetrics;
+use crate::poller::Waker;
 use cluster::tracing::{Span, SpanVerdict};
 use cluster::types::{ApiId, ServiceId};
 use cluster::Topology;
@@ -37,6 +50,46 @@ pub struct Stage {
     pub burn: Duration,
 }
 
+/// A response line travelling from a worker back to the event loop that
+/// owns the connection.
+pub struct Completion {
+    /// Generation-tagged connection token ([`ReplySink::token`]).
+    pub token: u64,
+    /// The full response line, newline included.
+    pub line: String,
+}
+
+/// Route back to one connection on one event loop. Cloned into every
+/// job admitted on that connection.
+#[derive(Clone)]
+pub struct ReplySink {
+    /// The owning loop's token for the connection (slot + generation).
+    pub token: u64,
+    tx: Sender<Completion>,
+    waker: Waker,
+}
+
+impl ReplySink {
+    pub fn new(token: u64, tx: Sender<Completion>, waker: Waker) -> Self {
+        ReplySink { token, tx, waker }
+    }
+
+    /// Queue a response line and wake the owning loop. Wakes coalesce in
+    /// the loop's eventfd, so a burst of completions costs one wakeup.
+    pub fn send(&self, line: String) {
+        if self
+            .tx
+            .send(Completion {
+                token: self.token,
+                line,
+            })
+            .is_ok()
+        {
+            self.waker.wake();
+        }
+    }
+}
+
 /// A request in flight through the worker pool.
 pub struct Job {
     pub id: u64,
@@ -47,8 +100,8 @@ pub struct Job {
     pub enqueued: Instant,
     /// Index into the API's stage list.
     pub stage: usize,
-    /// Response line sink of the owning connection.
-    pub reply: Sender<String>,
+    /// Completion route to the owning connection's event loop.
+    pub reply: ReplySink,
 }
 
 /// Immutable routing table shared by the gateway and every worker.
@@ -81,7 +134,7 @@ impl Routing {
                 };
                 metrics.on_dropped(svc);
                 metrics.on_failed(api);
-                let _ = job.reply.send(format!("ERR {}\n", job.id));
+                job.reply.send(format!("ERR {}\n", job.id));
                 false
             }
         }
@@ -207,8 +260,7 @@ fn worker_loop(
                 end,
                 verdict: SpanVerdict::Admitted,
             });
-            let _ = job
-                .reply
+            job.reply
                 .send(format!("OK {} {}\n", job.id, latency.as_micros()));
         }
     }
@@ -230,6 +282,12 @@ mod tests {
     use cluster::{ApiSpec, CallNode, ServiceSpec, Topology};
     use simnet::SimDuration;
     use std::sync::mpsc::channel;
+
+    fn test_sink(token: u64) -> (ReplySink, Receiver<Completion>) {
+        let (tx, rx) = channel();
+        let waker = Waker::new().expect("eventfd");
+        (ReplySink::new(token, tx, waker), rx)
+    }
 
     fn two_stage_topo() -> Topology {
         let mut t = Topology::default();
@@ -263,7 +321,7 @@ mod tests {
     }
 
     #[test]
-    fn jobs_traverse_stages_and_reply_ok() {
+    fn jobs_traverse_stages_and_complete_with_tagged_tokens() {
         let topo = two_stage_topo();
         let metrics = Arc::new(LiveMetrics::new(1, 2));
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -275,7 +333,7 @@ mod tests {
             &metrics,
             &shutdown,
         );
-        let (tx, rx) = channel();
+        let (sink, rx) = test_sink(0xAB00_0001);
         let now = Instant::now();
         for id in 0..8 {
             let ok = routing.submit(
@@ -285,7 +343,7 @@ mod tests {
                     accepted: now,
                     enqueued: Instant::now(),
                     stage: 0,
-                    reply: tx.clone(),
+                    reply: sink.clone(),
                 },
                 &metrics,
             );
@@ -294,11 +352,12 @@ mod tests {
         }
         let mut oks = 0;
         for _ in 0..8 {
-            let line = rx
+            let c = rx
                 .recv_timeout(Duration::from_secs(2))
-                .expect("reply within 2s");
-            assert!(line.starts_with("OK "), "unexpected reply {line:?}");
-            assert!(line.ends_with('\n'));
+                .expect("completion within 2s");
+            assert_eq!(c.token, 0xAB00_0001, "completion carries the conn token");
+            assert!(c.line.starts_with("OK "), "unexpected reply {:?}", c.line);
+            assert!(c.line.ends_with('\n'));
             oks += 1;
         }
         assert_eq!(oks, 8);
@@ -325,7 +384,7 @@ mod tests {
             &metrics,
             &shutdown,
         );
-        let (tx, rx) = channel();
+        let (sink, rx) = test_sink(1);
         // Flood far past the queue bound; at least one ERR must surface.
         let mut accepted = 0;
         for id in 0..32 {
@@ -336,7 +395,7 @@ mod tests {
                     accepted: Instant::now(),
                     enqueued: Instant::now(),
                     stage: 0,
-                    reply: tx.clone(),
+                    reply: sink.clone(),
                 },
                 &metrics,
             ) {
@@ -345,8 +404,8 @@ mod tests {
         }
         assert!(accepted < 32, "bounded queue must shed some of the flood");
         let mut errs = 0;
-        while let Ok(line) = rx.try_recv() {
-            if line.starts_with("ERR ") {
+        while let Ok(c) = rx.try_recv() {
+            if c.line.starts_with("ERR ") {
                 errs += 1;
             }
         }

@@ -1,5 +1,5 @@
-//! The loopback TCP gateway: real sockets in front of the shared
-//! admission bank.
+//! The loopback TCP gateway: an epoll readiness loop in front of the
+//! shared admission bank.
 //!
 //! ## Wire protocol (line-based, one session per connection)
 //!
@@ -14,31 +14,66 @@
 //! Responses are **not** ordered with respect to requests: a client may
 //! pipeline many `REQ` lines and match replies by id.
 //!
-//! ## Threads
+//! ## Event loops
 //!
-//! One acceptor polls a non-blocking listener. Each connection gets a
-//! reader thread (parses `REQ` lines, consults the [`EntryAdmission`]
-//! bank under a mutex, hands admitted jobs to the worker pool) and a
-//! writer thread (drains an `mpsc` channel of response lines, batching
-//! writes so 10k+ responses/sec do not mean 10k+ syscalls). Connection
-//! threads exit when the peer closes or the shutdown flag rises; they
-//! are deliberately not joined — the sockets they own are loopback and
-//! die with the process.
+//! The thread-per-connection gateway this replaced spent its time in
+//! per-line syscalls and context switches. Here, N **sharded
+//! acceptor+worker event loops** (one per core by default) each own an
+//! epoll [`Poller`]: every loop polls a clone of the listening socket,
+//! and each accepted connection is assigned round-robin to exactly one
+//! loop, which owns its entire lifetime — no cross-loop locking on the
+//! request path.
+//!
+//! Per wakeup, a loop batches the whole pipeline:
+//!
+//! 1. **read** — drain readable sockets in 64 KiB chunks (bounded per
+//!    connection per wakeup; level-triggered epoll re-arms leftovers);
+//! 2. **wire-parse** — the [`LineDecoder`] frames requests across
+//!    arbitrary segment boundaries and resyncs past oversized garbage;
+//! 3. **admission** — one [`EntryAdmission`] lock admits the whole
+//!    batch (the bucket costs ~7 ns/decision; the lock and clock reads
+//!    are amortized across the batch);
+//! 4. **response** — `REJ`/`ERR` lines and worker completions are
+//!    appended to per-connection output buffers and flushed with one
+//!    `write` per connection per wakeup, with partial-write carry.
+//!
+//! Workers hand completed jobs back to the owning loop through its
+//! completion queue + [`Waker`] (see [`crate::executors`]).
+//!
+//! ## Backpressure
+//!
+//! Output buffers are bounded. A connection whose peer stops reading is
+//! first **paused** (its read interest is dropped at half the cap, so a
+//! pipelining client can no longer mint new work) and, if completions
+//! still push the buffer past the cap, **disconnected** — one slow
+//! consumer can neither stall other connections nor the control tick,
+//! and can only ever hold `max_conn_output` bytes. Tokens are
+//! generation-tagged, so a completion addressed to a closed (and
+//! possibly reused) slot is dropped, never misdelivered.
+//!
+//! The `/metrics`+`/spans` HTTP listener rides loop 0's poller as just
+//! another connection kind — the dedicated exposition thread is gone.
 
 use crate::clock::WallClock;
-use crate::executors::{Job, Routing};
+use crate::executors::{Completion, Job, ReplySink, Routing};
+use crate::http::{self, MetricsHttp};
 use crate::metrics::LiveMetrics;
+use crate::poller::{Interest, Poller, Waker};
+use crate::wire::{LineDecoder, WireItem};
 use cluster::EntryAdmission;
-use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
+use std::io::{self, ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Shared state every connection thread needs. The shutdown flag is the
-/// same `Arc` the worker pool polls, so one store stops the world.
+pub use crate::wire::parse_request;
+
+/// Shared state every event loop needs. The shutdown flag is the same
+/// `Arc` the worker pool polls, so one store stops the world.
 pub struct GatewayShared {
     pub admission: Mutex<EntryAdmission>,
     pub clock: WallClock,
@@ -47,168 +82,621 @@ pub struct GatewayShared {
     pub shutdown: Arc<AtomicBool>,
 }
 
-/// The accept loop. Owns the listener; spawns reader/writer threads per
-/// connection.
-pub fn acceptor(listener: TcpListener, shared: Arc<GatewayShared>) {
-    listener
-        .set_nonblocking(true)
-        .expect("nonblocking listener");
-    while !shared.shutdown.load(Ordering::Relaxed) {
-        match listener.accept() {
-            Ok((stream, _)) => spawn_connection(stream, &shared),
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(_) => break,
+/// Event-loop tunables (resolved from [`crate::LiveConfig`]).
+#[derive(Clone, Copy, Debug)]
+pub struct LoopConfig {
+    /// Number of event loops; the caller resolves `0 = auto` upstream.
+    pub loops: usize,
+    /// Per-connection pending-output cap in bytes. Reads pause at half
+    /// of this; crossing it disconnects the laggard.
+    pub max_conn_output: usize,
+}
+
+const TOK_WAKER: u64 = u64::MAX;
+const TOK_LISTENER: u64 = u64::MAX - 1;
+const TOK_METRICS: u64 = u64::MAX - 2;
+
+/// Read chunk size; also the per-read syscall granularity.
+const READ_CHUNK: usize = 64 * 1024;
+/// Max read syscalls per connection per wakeup — a firehose connection
+/// yields to its loop-mates; epoll re-arms whatever is left.
+const READ_BUDGET: usize = 4;
+/// An HTTP request head larger than this is not a scrape.
+const MAX_HTTP_HEAD: usize = 16 * 1024;
+
+/// Handle for poking a sibling loop: hand off an accepted connection
+/// and wake it.
+struct LoopHandle {
+    injector: Sender<TcpStream>,
+    waker: Waker,
+}
+
+/// The running event loops; owned by [`crate::LiveServer`].
+pub struct EventLoops {
+    wakers: Vec<Waker>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl EventLoops {
+    /// Kick every loop out of `epoll_wait` (to observe shutdown).
+    pub fn wake_all(&self) {
+        for w in &self.wakers {
+            w.wake();
+        }
+    }
+
+    /// Wake and join all loops. The shutdown flag must already be up.
+    pub fn join(self) {
+        self.wake_all();
+        for h in self.handles {
+            let _ = h.join();
         }
     }
 }
 
-fn spawn_connection(stream: TcpStream, shared: &Arc<GatewayShared>) {
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let (reply_tx, reply_rx) = channel::<String>();
-    {
-        let shared = Arc::clone(shared);
-        std::thread::Builder::new()
-            .name("live-conn-writer".into())
-            .spawn(move || writer_loop(stream, &reply_rx, &shared))
-            .expect("spawn writer");
-    }
-    let shared = Arc::clone(shared);
-    std::thread::Builder::new()
-        .name("live-conn-reader".into())
-        .spawn(move || reader_loop(read_half, &reply_tx, &shared))
-        .expect("spawn reader");
+/// What a connection speaks.
+enum ConnKind {
+    /// The `REQ`/`OK`/`REJ`/`ERR` request protocol.
+    Wire(LineDecoder),
+    /// One-shot HTTP exposition (`/metrics`, `/spans`); buffers the
+    /// request head until blank line, answers, closes.
+    Http(Vec<u8>),
 }
 
-/// Batch response lines: wake at most every 5ms, drain whatever is
-/// queued, write it in one buffered flush.
-fn writer_loop(stream: TcpStream, replies: &Receiver<String>, shared: &GatewayShared) {
-    let mut out = BufWriter::new(stream);
-    loop {
-        let first = match replies.recv_timeout(Duration::from_millis(5)) {
-            Ok(line) => Some(line),
-            Err(RecvTimeoutError::Timeout) => None,
-            Err(RecvTimeoutError::Disconnected) => return,
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    token: u64,
+    kind: ConnKind,
+    /// Pending output; `out[out_start..]` is unwritten.
+    out: Vec<u8>,
+    out_start: usize,
+    /// Interest currently registered with the poller.
+    armed: Interest,
+    /// Read side muted for backpressure (or post-request for HTTP).
+    paused: bool,
+    close_after_flush: bool,
+    /// Already queued in the loop's dirty list this wakeup.
+    dirty: bool,
+}
+
+impl Conn {
+    fn pending_out(&self) -> usize {
+        self.out.len() - self.out_start
+    }
+
+    fn push_out(&mut self, bytes: &[u8]) {
+        // Compact lazily: reclaim the written prefix once it dominates.
+        if self.out_start > 4096 && self.out_start * 2 > self.out.len() {
+            self.out.drain(..self.out_start);
+            self.out_start = 0;
+        }
+        self.out.extend_from_slice(bytes);
+    }
+}
+
+/// A parsed request waiting for the batched admission decision.
+struct PendingReq {
+    slot: usize,
+    token: u64,
+    id: u64,
+    api: usize,
+}
+
+/// One sharded acceptor+worker event loop.
+struct EventLoop {
+    idx: usize,
+    poller: Poller,
+    waker: Waker,
+    listener: TcpListener,
+    /// Loop 0 only: the exposition listener and its route state.
+    metrics_listener: Option<TcpListener>,
+    http: Option<Arc<MetricsHttp>>,
+    shared: Arc<GatewayShared>,
+    comp_tx: Sender<Completion>,
+    comp_rx: Receiver<Completion>,
+    inj_rx: Receiver<TcpStream>,
+    peers: Arc<Vec<LoopHandle>>,
+    rr: Arc<AtomicUsize>,
+    max_out: usize,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    next_gen: u32,
+    scratch: Vec<u8>,
+    items: Vec<WireItem>,
+    pending: Vec<PendingReq>,
+    dirty: Vec<usize>,
+    closing: Vec<usize>,
+}
+
+/// Spawn `cfg.loops` event loops over a bound gateway listener and the
+/// exposition listener (which rides loop 0).
+pub fn start_event_loops(
+    listener: TcpListener,
+    metrics_listener: TcpListener,
+    http: Arc<MetricsHttp>,
+    shared: &Arc<GatewayShared>,
+    cfg: LoopConfig,
+) -> io::Result<EventLoops> {
+    let n = cfg.loops.max(1);
+    listener.set_nonblocking(true)?;
+    metrics_listener.set_nonblocking(true)?;
+    let rr = Arc::new(AtomicUsize::new(0));
+    let mut loops = Vec::with_capacity(n);
+    let mut handles_for_peers = Vec::with_capacity(n);
+    let mut wakers = Vec::with_capacity(n);
+    for i in 0..n {
+        let poller = Poller::new()?;
+        let waker = Waker::new()?;
+        waker.register(&poller, TOK_WAKER)?;
+        let l = listener.try_clone()?;
+        poller.add(l.as_raw_fd(), TOK_LISTENER, Interest::READ)?;
+        let (metrics_l, http_state) = if i == 0 {
+            poller.add(metrics_listener.as_raw_fd(), TOK_METRICS, Interest::READ)?;
+            (Some(metrics_listener.try_clone()?), Some(Arc::clone(&http)))
+        } else {
+            (None, None)
         };
-        if let Some(line) = first {
-            if out.write_all(line.as_bytes()).is_err() {
-                return;
+        let (inj_tx, inj_rx) = channel();
+        let (comp_tx, comp_rx) = channel();
+        handles_for_peers.push(LoopHandle {
+            injector: inj_tx,
+            waker: waker.clone(),
+        });
+        wakers.push(waker.clone());
+        loops.push(EventLoop {
+            idx: i,
+            poller,
+            waker,
+            listener: l,
+            metrics_listener: metrics_l,
+            http: http_state,
+            shared: Arc::clone(shared),
+            comp_tx,
+            comp_rx,
+            inj_rx,
+            peers: Arc::new(Vec::new()), // replaced below
+            rr: Arc::clone(&rr),
+            max_out: cfg.max_conn_output.max(4096),
+            conns: Vec::new(),
+            free: Vec::new(),
+            next_gen: 0,
+            scratch: vec![0u8; READ_CHUNK],
+            items: Vec::new(),
+            pending: Vec::new(),
+            dirty: Vec::new(),
+            closing: Vec::new(),
+        });
+    }
+    let peers = Arc::new(handles_for_peers);
+    let handles = loops
+        .into_iter()
+        .map(|mut el| {
+            el.peers = Arc::clone(&peers);
+            std::thread::Builder::new()
+                .name(format!("live-loop-{}", el.idx))
+                .spawn(move || el.run())
+                .expect("spawn event loop")
+        })
+        .collect();
+    Ok(EventLoops { wakers, handles })
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        let mut events = Vec::new();
+        while !self.shared.shutdown.load(Ordering::Relaxed) {
+            if self
+                .poller
+                .wait(&mut events, Some(Duration::from_millis(100)))
+                .is_err()
+            {
+                break;
             }
-            while let Ok(line) = replies.try_recv() {
-                if out.write_all(line.as_bytes()).is_err() {
+            for ev in &events {
+                match ev.token {
+                    TOK_WAKER => self.waker.drain(),
+                    TOK_LISTENER => self.accept_burst(),
+                    TOK_METRICS => self.accept_http_burst(),
+                    token => self.on_conn_event(token, ev.readable, ev.writable, ev.hangup),
+                }
+            }
+            self.adopt_injected();
+            self.drain_completions();
+            self.admit_pending();
+            // Queue-full `ERR`s from submits land on the completion
+            // queue synchronously — fold them into this wakeup's flush.
+            self.drain_completions();
+            self.flush_dirty();
+            self.do_close();
+        }
+    }
+
+    // ---- accept --------------------------------------------------------
+
+    /// Accept until `WouldBlock`; every loop polls the shared listener
+    /// (sharded accept), and ownership is dealt round-robin so
+    /// connections spread evenly across loops regardless of which loop
+    /// won the race to accept.
+    fn accept_burst(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let n = self.peers.len();
+                    let target = if n <= 1 {
+                        self.idx
+                    } else {
+                        self.rr.fetch_add(1, Ordering::Relaxed) % n
+                    };
+                    if target == self.idx {
+                        self.register(stream, ConnKind::Wire(LineDecoder::new()));
+                    } else {
+                        let peer = &self.peers[target];
+                        if peer.injector.send(stream).is_ok() {
+                            peer.waker.wake();
+                        }
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn accept_http_burst(&mut self) {
+        loop {
+            let Some(l) = self.metrics_listener.as_ref() else {
+                return;
+            };
+            match l.accept() {
+                Ok((stream, _)) => self.register(stream, ConnKind::Http(Vec::new())),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Take ownership of connections handed over by sibling acceptors.
+    fn adopt_injected(&mut self) {
+        while let Ok(stream) = self.inj_rx.try_recv() {
+            self.register(stream, ConnKind::Wire(LineDecoder::new()));
+        }
+    }
+
+    fn register(&mut self, stream: TcpStream, kind: ConnKind) {
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.conns.len() - 1
+        });
+        self.next_gen = self.next_gen.wrapping_add(1);
+        let token = (u64::from(self.next_gen) << 32) | slot as u64;
+        if self
+            .poller
+            .add(stream.as_raw_fd(), token, Interest::READ)
+            .is_err()
+        {
+            self.free.push(slot);
+            return;
+        }
+        self.conns[slot] = Some(Conn {
+            stream,
+            token,
+            kind,
+            out: Vec::new(),
+            out_start: 0,
+            armed: Interest::READ,
+            paused: false,
+            close_after_flush: false,
+            dirty: false,
+        });
+    }
+
+    // ---- readiness dispatch -------------------------------------------
+
+    fn on_conn_event(&mut self, token: u64, readable: bool, writable: bool, hangup: bool) {
+        let slot = (token & u64::from(u32::MAX)) as usize;
+        let live = self
+            .conns
+            .get(slot)
+            .and_then(|c| c.as_ref())
+            .map(|c| c.token);
+        // A stale event for a connection closed earlier this wakeup (or
+        // a since-reused slot) must not touch the new occupant.
+        if live != Some(token) {
+            return;
+        }
+        if readable || hangup {
+            self.read_conn(slot);
+        }
+        if writable {
+            self.mark_dirty(slot);
+        }
+    }
+
+    fn mark_dirty(&mut self, slot: usize) {
+        if let Some(conn) = self.conns[slot].as_mut() {
+            if !conn.dirty {
+                conn.dirty = true;
+                self.dirty.push(slot);
+            }
+        }
+    }
+
+    /// Drain a readable connection (bounded) and run the wire or HTTP
+    /// state machine over the bytes.
+    fn read_conn(&mut self, slot: usize) {
+        let num_apis = self.shared.routing.stages.len();
+        let mut newly_dirty = false;
+        let mut close_now = false;
+        for _ in 0..READ_BUDGET {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return;
+            };
+            if conn.paused {
+                break;
+            }
+            let n = match conn.stream.read(&mut self.scratch) {
+                Ok(0) => {
+                    // Peer finished sending. Flush what we owe and go.
+                    if conn.pending_out() > 0 {
+                        conn.close_after_flush = true;
+                        conn.paused = true;
+                        newly_dirty = true;
+                    } else {
+                        close_now = true;
+                    }
+                    break;
+                }
+                Ok(n) => n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    close_now = true;
+                    break;
+                }
+            };
+            match &mut conn.kind {
+                ConnKind::Wire(decoder) => {
+                    decoder.feed(&self.scratch[..n], &mut self.items);
+                    let token = conn.token;
+                    for item in self.items.drain(..) {
+                        match item {
+                            WireItem::Request { id, api } if api < num_apis => {
+                                self.pending.push(PendingReq {
+                                    slot,
+                                    token,
+                                    id,
+                                    api,
+                                });
+                            }
+                            WireItem::Request { id, .. } => {
+                                conn.push_out(format!("ERR {id}\n").as_bytes());
+                                newly_dirty = true;
+                            }
+                            WireItem::Malformed => {
+                                conn.push_out(b"ERR 0\n");
+                                newly_dirty = true;
+                            }
+                        }
+                    }
+                    // Backpressure, stage 1: a peer that pipelines but
+                    // does not read loses its read interest before its
+                    // replies can pile past the cap.
+                    if conn.pending_out() >= self.max_out / 2 {
+                        conn.paused = true;
+                        newly_dirty = true;
+                        break;
+                    }
+                }
+                ConnKind::Http(head) => {
+                    head.extend_from_slice(&self.scratch[..n]);
+                    if head.len() > MAX_HTTP_HEAD {
+                        close_now = true;
+                        break;
+                    }
+                    if let Some(line_end) = http_head_complete(head) {
+                        let request_line = String::from_utf8_lossy(&head[..line_end]).into_owned();
+                        let http = self.http.as_ref().expect("http conns live on loop 0");
+                        let (status, ctype, body) = http::route(&request_line, http);
+                        let response = http::response_bytes(status, ctype, &body);
+                        conn.out = response;
+                        conn.out_start = 0;
+                        conn.paused = true;
+                        conn.close_after_flush = true;
+                        newly_dirty = true;
+                        break;
+                    }
+                }
+            }
+            if n < READ_CHUNK {
+                break; // short read: the socket is drained
+            }
+        }
+        if close_now {
+            self.closing.push(slot);
+        } else if newly_dirty {
+            self.mark_dirty(slot);
+        }
+    }
+
+    // ---- completions ---------------------------------------------------
+
+    /// Append worker completions to their owning connections' output.
+    fn drain_completions(&mut self) {
+        while let Ok(c) = self.comp_rx.try_recv() {
+            let slot = (c.token & u64::from(u32::MAX)) as usize;
+            let Some(conn) = self.conns.get_mut(slot).and_then(|s| s.as_mut()) else {
+                continue;
+            };
+            if conn.token != c.token {
+                continue; // connection died; slot may be someone else now
+            }
+            conn.push_out(c.line.as_bytes());
+            if !conn.dirty {
+                conn.dirty = true;
+                self.dirty.push(slot);
+            }
+        }
+    }
+
+    // ---- batched admission --------------------------------------------
+
+    /// One admission lock and one clock read for every request this
+    /// wakeup produced, then per-verdict bookkeeping.
+    fn admit_pending(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending);
+        let metrics = Arc::clone(&self.shared.metrics);
+        let now = self.shared.clock.now();
+        let mut verdicts = Vec::with_capacity(pending.len());
+        {
+            let mut adm = self.shared.admission.lock().expect("admission lock");
+            for p in &pending {
+                metrics.on_offered(p.api);
+                verdicts.push(adm.try_admit(cluster::ApiId(p.api as u32), now));
+            }
+        }
+        let accepted = Instant::now();
+        for (p, admitted) in pending.iter().zip(&verdicts) {
+            if *admitted {
+                metrics.on_admitted(p.api);
+                let reply = ReplySink::new(p.token, self.comp_tx.clone(), self.waker.clone());
+                self.shared.routing.submit(
+                    Job {
+                        id: p.id,
+                        api: p.api,
+                        accepted,
+                        enqueued: accepted,
+                        stage: 0,
+                        reply,
+                    },
+                    &metrics,
+                );
+            } else {
+                metrics.on_rejected(p.api);
+                // Zero-duration rejection marker at the API's entry
+                // service — the same span the simulator's gateway
+                // records, so the sim2real overlay can compare admission
+                // decisions span-for-span.
+                if let Some(entry) = self.shared.routing.stages[p.api].first() {
+                    metrics.record_span(cluster::tracing::Span {
+                        request: p.id,
+                        api: cluster::ApiId(p.api as u32),
+                        service: cluster::ServiceId(entry.service as u32),
+                        parent: None,
+                        start: now,
+                        end: now,
+                        verdict: cluster::tracing::SpanVerdict::RejectedAtEntry,
+                    });
+                }
+                if let Some(conn) = self.conns.get_mut(p.slot).and_then(|s| s.as_mut()) {
+                    if conn.token == p.token {
+                        conn.push_out(format!("REJ {}\n", p.id).as_bytes());
+                        if !conn.dirty {
+                            conn.dirty = true;
+                            self.dirty.push(p.slot);
+                        }
+                    }
+                }
+            }
+        }
+        let mut pending = pending;
+        pending.clear();
+        self.pending = pending;
+    }
+
+    // ---- write side ----------------------------------------------------
+
+    fn flush_dirty(&mut self) {
+        while let Some(slot) = self.dirty.pop() {
+            self.flush_conn(slot);
+        }
+    }
+
+    /// Write as much pending output as the socket accepts, then settle
+    /// backpressure state and poller interest.
+    fn flush_conn(&mut self, slot: usize) {
+        let max_out = self.max_out;
+        let Some(conn) = self.conns.get_mut(slot).and_then(|s| s.as_mut()) else {
+            return;
+        };
+        conn.dirty = false;
+        while conn.out_start < conn.out.len() {
+            match conn.stream.write(&conn.out[conn.out_start..]) {
+                Ok(0) => {
+                    self.closing.push(slot);
+                    return;
+                }
+                Ok(n) => conn.out_start += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.closing.push(slot);
                     return;
                 }
             }
-            if out.flush().is_err() {
+        }
+        let pending = conn.pending_out();
+        if pending == 0 {
+            conn.out.clear();
+            conn.out_start = 0;
+            if conn.close_after_flush {
+                self.closing.push(slot);
                 return;
             }
-        }
-        if shared.shutdown.load(Ordering::Relaxed) {
+            // Backpressure, stage 1 release: the laggard caught up.
+            if conn.paused {
+                conn.paused = false;
+            }
+        } else if pending > max_out {
+            // Backpressure, stage 2: the cap is a promise — a peer that
+            // will not read its replies is disconnected, not buffered
+            // without bound.
+            self.closing.push(slot);
             return;
         }
+        let desired = Interest {
+            readable: !conn.paused && !conn.close_after_flush,
+            writable: conn.pending_out() > 0,
+        };
+        if desired != conn.armed
+            && self
+                .poller
+                .modify(conn.stream.as_raw_fd(), conn.token, desired)
+                .is_ok()
+        {
+            conn.armed = desired;
+        }
     }
-}
 
-fn reader_loop(stream: TcpStream, replies: &Sender<String>, shared: &GatewayShared) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    while !shared.shutdown.load(Ordering::Relaxed) {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // peer closed
-            Ok(_) => handle_line(line.trim_end(), replies, shared),
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
-            Err(_) => return,
+    fn do_close(&mut self) {
+        while let Some(slot) = self.closing.pop() {
+            if let Some(conn) = self.conns[slot].take() {
+                let _ = self.poller.remove(conn.stream.as_raw_fd());
+                self.free.push(slot);
+                // dropping `conn.stream` closes the socket
+            }
         }
     }
 }
 
-/// Parse one request line and run it through admission.
-fn handle_line(line: &str, replies: &Sender<String>, shared: &GatewayShared) {
-    if line.is_empty() {
-        return;
-    }
-    let Some((id, api)) = parse_request(line) else {
-        let _ = replies.send("ERR 0\n".into());
-        return;
-    };
-    let num_apis = shared.metrics_num_apis();
-    if api >= num_apis {
-        let _ = replies.send(format!("ERR {id}\n"));
-        return;
-    }
-    shared.metrics.on_offered(api);
-    let admitted = shared
-        .admission
-        .lock()
-        .expect("admission lock")
-        .try_admit(cluster::ApiId(api as u32), shared.clock.now());
-    if !admitted {
-        shared.metrics.on_rejected(api);
-        // Zero-duration rejection marker at the API's entry service —
-        // the same span the simulator's gateway records, so the sim2real
-        // overlay can compare admission decisions span-for-span.
-        if let Some(entry) = shared.routing.stages[api].first() {
-            let t = shared.clock.now();
-            shared.metrics.record_span(cluster::tracing::Span {
-                request: id,
-                api: cluster::ApiId(api as u32),
-                service: cluster::ServiceId(entry.service as u32),
-                parent: None,
-                start: t,
-                end: t,
-                verdict: cluster::tracing::SpanVerdict::RejectedAtEntry,
-            });
-        }
-        let _ = replies.send(format!("REJ {id}\n"));
-        return;
-    }
-    shared.metrics.on_admitted(api);
-    let now = Instant::now();
-    shared.routing.submit(
-        Job {
-            id,
-            api,
-            accepted: now,
-            enqueued: now,
-            stage: 0,
-            reply: replies.clone(),
-        },
-        &shared.metrics,
-    );
-}
-
-impl GatewayShared {
-    fn metrics_num_apis(&self) -> usize {
-        self.routing.stages.len()
-    }
-}
-
-/// Parse `REQ <id> <api_idx>` → `(id, api)`.
-pub fn parse_request(line: &str) -> Option<(u64, usize)> {
-    let mut parts = line.split_ascii_whitespace();
-    if parts.next()? != "REQ" {
+/// If the request head is complete (blank line seen), return the length
+/// of the request line (up to but excluding the first newline).
+fn http_head_complete(head: &[u8]) -> Option<usize> {
+    let complete =
+        head.windows(4).any(|w| w == b"\r\n\r\n") || head.windows(2).any(|w| w == b"\n\n");
+    if !complete {
         return None;
     }
-    let id = parts.next()?.parse().ok()?;
-    let api = parts.next()?.parse().ok()?;
-    if parts.next().is_some() {
-        return None;
-    }
-    Some((id, api))
-}
-
-/// Spawn the acceptor thread for a bound listener.
-pub fn start_acceptor(listener: TcpListener, shared: Arc<GatewayShared>) -> JoinHandle<()> {
-    std::thread::Builder::new()
-        .name("live-acceptor".into())
-        .spawn(move || acceptor(listener, shared))
-        .expect("spawn acceptor")
+    Some(head.iter().position(|&b| b == b'\n').unwrap_or(head.len()))
 }
 
 #[cfg(test)]
@@ -216,14 +704,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn request_lines_parse_strictly() {
-        assert_eq!(parse_request("REQ 7 2"), Some((7, 2)));
-        assert_eq!(parse_request("REQ 0 0"), Some((0, 0)));
-        assert_eq!(parse_request("REQ  12   1"), Some((12, 1)));
-        assert_eq!(parse_request("GET 7 2"), None);
-        assert_eq!(parse_request("REQ 7"), None);
-        assert_eq!(parse_request("REQ 7 2 9"), None);
-        assert_eq!(parse_request("REQ x 2"), None);
-        assert_eq!(parse_request(""), None);
+    fn http_head_completion_detects_terminators() {
+        assert_eq!(http_head_complete(b"GET /metrics HTTP/1.1\r\n"), None);
+        // The request line runs up to the first `\n`; the trailing `\r`
+        // is whitespace to the router.
+        assert_eq!(
+            http_head_complete(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n"),
+            Some(22)
+        );
+        assert_eq!(http_head_complete(b"GET /spans HTTP/1.0\n\n"), Some(19));
+        assert_eq!(http_head_complete(b""), None);
     }
 }

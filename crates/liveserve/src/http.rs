@@ -1,8 +1,8 @@
-//! Minimal std-only HTTP exposition endpoint.
+//! Minimal std-only HTTP exposition routes.
 //!
-//! One acceptor thread (same non-blocking poll style as the gateway's)
-//! serves two read-only routes over HTTP/1.1, one request per
-//! connection:
+//! Two read-only routes, one request per connection, served by the
+//! gateway's event loop 0 (the exposition listener is just another
+//! registration on that loop's poller — see [`crate::gateway`]):
 //!
 //! * `GET /metrics` — Prometheus text exposition format 0.0.4 rendered
 //!   from the server's [`obs::Registry`];
@@ -10,79 +10,23 @@
 //!   JSONL (`application/x-ndjson`).
 //!
 //! Anything else answers 404. Requests are parsed from the request line
-//! only; headers are drained and ignored. This is an operator/debug
-//! surface, not a general web server — no keep-alive, no TLS, loopback
-//! binding only.
+//! only; headers are buffered until the blank line and ignored. This is
+//! an operator/debug surface, not a general web server — no keep-alive,
+//! no TLS, loopback binding only.
 //!
 //! [`TraceCollector`]: cluster::tracing::TraceCollector
 
 use crate::metrics::LiveMetrics;
-use std::io::{BufRead, BufReader, ErrorKind, Write};
-use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::Duration;
 
-/// State the exposition endpoint reads from.
+/// State the exposition routes read from.
 pub struct MetricsHttp {
     pub registry: Arc<obs::Registry>,
     pub metrics: Arc<LiveMetrics>,
-    pub shutdown: Arc<AtomicBool>,
-}
-
-/// Spawn the exposition acceptor for a bound listener.
-pub fn start_metrics_server(listener: TcpListener, shared: Arc<MetricsHttp>) -> JoinHandle<()> {
-    std::thread::Builder::new()
-        .name("live-metrics-http".into())
-        .spawn(move || serve_loop(&listener, &shared))
-        .expect("spawn metrics http")
-}
-
-fn serve_loop(listener: &TcpListener, shared: &MetricsHttp) {
-    listener
-        .set_nonblocking(true)
-        .expect("nonblocking metrics listener");
-    while !shared.shutdown.load(Ordering::Relaxed) {
-        match listener.accept() {
-            // Scrapes are rare and tiny; serve inline on the acceptor.
-            Ok((stream, _)) => handle_conn(stream, shared),
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(_) => break,
-        }
-    }
-}
-
-fn handle_conn(stream: TcpStream, shared: &MetricsHttp) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut request_line = String::new();
-    if reader.read_line(&mut request_line).is_err() {
-        return;
-    }
-    // Drain headers so the peer is not mid-write when we close.
-    let mut header = String::new();
-    loop {
-        header.clear();
-        match reader.read_line(&mut header) {
-            Ok(0) => break,
-            Ok(_) if header == "\r\n" || header == "\n" => break,
-            Ok(_) => {}
-            Err(_) => break,
-        }
-    }
-    let (status, content_type, body) = route(&request_line, shared);
-    respond(stream, status, content_type, &body);
 }
 
 /// Map a request line to `(status, content-type, body)`.
-fn route(request_line: &str, shared: &MetricsHttp) -> (&'static str, &'static str, String) {
+pub fn route(request_line: &str, shared: &MetricsHttp) -> (&'static str, &'static str, String) {
     let mut parts = request_line.split_ascii_whitespace();
     let method = parts.next().unwrap_or("");
     let path = parts.next().unwrap_or("");
@@ -112,15 +56,17 @@ fn route(request_line: &str, shared: &MetricsHttp) -> (&'static str, &'static st
     }
 }
 
-fn respond(mut stream: TcpStream, status: &str, content_type: &str, body: &str) {
+/// Serialize a full `HTTP/1.1` response (head + body) for the event
+/// loop to queue on the connection's output buffer.
+pub fn response_bytes(status: &str, content_type: &str, body: &str) -> Vec<u8> {
     let head = format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
-    let _ = stream
-        .write_all(head.as_bytes())
-        .and_then(|()| stream.write_all(body.as_bytes()))
-        .and_then(|()| stream.flush());
+    let mut out = Vec::with_capacity(head.len() + body.len());
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(body.as_bytes());
+    out
 }
 
 #[cfg(test)]
@@ -133,7 +79,6 @@ mod tests {
         MetricsHttp {
             registry,
             metrics: Arc::new(LiveMetrics::new(1, 1)),
-            shutdown: Arc::new(AtomicBool::new(false)),
         }
     }
 
@@ -150,5 +95,14 @@ mod tests {
         assert_eq!(status, "404 Not Found");
         let (status, _, _) = route("POST /metrics HTTP/1.1\r\n", &s);
         assert_eq!(status, "405 Method Not Allowed");
+    }
+
+    #[test]
+    fn response_bytes_carry_length_and_body() {
+        let bytes = response_bytes("200 OK", "text/plain; charset=utf-8", "hello\n");
+        let text = String::from_utf8(bytes).expect("ascii response");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 6\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\nhello\n"), "{text}");
     }
 }

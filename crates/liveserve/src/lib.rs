@@ -5,9 +5,10 @@
 //! `core::{detector, clustering, rate_controller}`, including a trained
 //! PPO policy — against real threads, real sockets and a real clock:
 //!
-//! * a multi-threaded loopback **TCP gateway** ([`gateway`]) admitting
-//!   per-API requests through the *same* token-bucket bank as the
-//!   simulator's gateway ([`cluster::EntryAdmission`], shared verbatim);
+//! * an event-driven loopback **TCP gateway** ([`gateway`]) — sharded
+//!   epoll readiness loops ([`poller`]) with per-wakeup batched
+//!   admission through the *same* token-bucket bank as the simulator's
+//!   gateway ([`cluster::EntryAdmission`], shared verbatim);
 //! * a **worker pool** ([`executors`]) emulating the application DAG
 //!   with genuine CPU burn and bounded per-service queues;
 //! * **wall-clock metric windows** ([`metrics`]) folding atomics and a
@@ -27,7 +28,9 @@ pub mod gateway;
 pub mod http;
 pub mod loadgen;
 pub mod metrics;
+pub mod poller;
 pub mod shardrun;
+pub mod wire;
 
 pub use clock::WallClock;
 pub use loadgen::{ClosedLoopSpec, LoadGen, OpenLoopArm};
@@ -37,12 +40,11 @@ pub use shardrun::{ShardedLive, ShardedLiveConfig, ShardedLiveResult};
 use cluster::observe::ClusterObservation;
 use cluster::{ApiId, Controller, EntryAdmission, RateLimitUpdate, Topology};
 use executors::WorkerPool;
-use gateway::GatewayShared;
+use gateway::{EventLoops, GatewayShared, LoopConfig};
 use simnet::SimTime;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Live-plane tunables.
@@ -63,6 +65,11 @@ pub struct LiveConfig {
     /// TCP port of the HTTP exposition endpoint (`GET /metrics`,
     /// `GET /spans`) on 127.0.0.1; `0` picks an ephemeral port.
     pub metrics_port: u16,
+    /// Number of gateway event loops; `0` = one per core (capped at 8).
+    pub event_loops: usize,
+    /// Per-connection pending-output cap in bytes. Reads pause at half
+    /// of this; a peer that lets completions pile past it is dropped.
+    pub max_conn_output: usize,
 }
 
 impl Default for LiveConfig {
@@ -74,6 +81,8 @@ impl Default for LiveConfig {
             gateway_burst_secs: 0.05,
             port: 0,
             metrics_port: 0,
+            event_loops: 0,
+            max_conn_output: 1 << 20,
         }
     }
 }
@@ -199,10 +208,19 @@ pub struct LiveServer {
     desc: AppDescriptor,
     shutdown: Arc<AtomicBool>,
     pool: Option<WorkerPool>,
-    acceptor: Option<JoinHandle<()>>,
-    metrics_acceptor: Option<JoinHandle<()>>,
+    loops: Option<EventLoops>,
     window_start: SimTime,
     control_interval: Duration,
+}
+
+/// Resolve `event_loops = 0` (auto) to one loop per available core,
+/// capped — beyond a handful of loops the admission mutex, not epoll,
+/// is the contended resource.
+fn resolve_loops(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
 }
 
 impl LiveServer {
@@ -228,15 +246,20 @@ impl LiveServer {
             routing,
             shutdown: Arc::clone(&shutdown),
         });
-        let acceptor = gateway::start_acceptor(listener, Arc::clone(&shared));
-        let metrics_acceptor = http::start_metrics_server(
+        let http_state = Arc::new(http::MetricsHttp {
+            registry: Arc::clone(&registry),
+            metrics,
+        });
+        let loops = gateway::start_event_loops(
+            listener,
             metrics_listener,
-            Arc::new(http::MetricsHttp {
-                registry: Arc::clone(&registry),
-                metrics,
-                shutdown: Arc::clone(&shutdown),
-            }),
-        );
+            http_state,
+            &shared,
+            LoopConfig {
+                loops: resolve_loops(cfg.event_loops),
+                max_conn_output: cfg.max_conn_output,
+            },
+        )?;
         Ok(LiveServer {
             addr,
             metrics_addr,
@@ -245,8 +268,7 @@ impl LiveServer {
             desc,
             shutdown,
             pool: Some(pool),
-            acceptor: Some(acceptor),
-            metrics_acceptor: Some(metrics_acceptor),
+            loops: Some(loops),
             window_start: SimTime::ZERO,
             control_interval: cfg.control_interval,
         })
@@ -350,16 +372,13 @@ impl LiveServer {
         }
     }
 
-    /// Stop accepting, stop the workers, and join what can be joined.
-    /// Connection threads exit on their next 50ms poll; they are not
-    /// joined (their sockets are loopback and die with the process).
+    /// Stop accepting, stop the workers, and join everything. Event
+    /// loops are woken out of `epoll_wait`, observe the flag, close
+    /// their connections on drop and are joined; then the worker pool.
     pub fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
-        }
-        if let Some(a) = self.metrics_acceptor.take() {
-            let _ = a.join();
+        if let Some(l) = self.loops.take() {
+            l.join();
         }
         if let Some(p) = self.pool.take() {
             p.join();
@@ -367,12 +386,15 @@ impl LiveServer {
     }
 
     /// Abrupt termination — the in-process analogue of SIGKILL for
-    /// chaos drills. The shutdown flag is raised and every handle is
-    /// dropped *without joining*: acceptor, workers and connection
-    /// threads exit on their next poll, in-flight requests are
+    /// chaos drills. The shutdown flag is raised, the event loops are
+    /// woken, and every handle is dropped *without joining*: loops and
+    /// workers observe the flag and die, in-flight requests are
     /// abandoned, and nothing waits for a drain.
     pub fn kill(self) {
         self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(l) = self.loops.as_ref() {
+            l.wake_all();
+        }
         // `self` drops here; detached threads observe the flag and die.
     }
 }

@@ -444,6 +444,10 @@ mod tests {
         let result = live.run(&mut NoControl, Duration::from_secs(1));
         assert!(!result.ticks.is_empty());
         assert_eq!(live.killed(), Some(1));
+        // The kill was a real teardown: the dead shard has no address,
+        // the survivors still answer.
+        assert!(live.shard_addr(1).is_none());
+        assert!(live.shard_addr(0).is_some() && live.shard_addr(2).is_some());
         // The plane noticed the kill and struck the shard out.
         assert!(
             live.plane_stats().strike_outs >= 1,
@@ -452,6 +456,23 @@ mod tests {
         );
         let jsonl = obs::to_jsonl(&journal.snapshot());
         assert!(jsonl.contains("struck out"), "journal: {jsonl}");
+        // Schedule re-anchor: after failover the survivors' generators
+        // carry the dead shard's share, so merged offered load and
+        // goodput keep flowing on ticks well past the kill instant.
+        let late: Vec<_> = result.ticks.iter().filter(|t| t.t_secs > 0.6).collect();
+        assert!(!late.is_empty(), "run produced post-kill ticks");
+        let late_offered: f64 = late
+            .iter()
+            .map(|t| t.obs.apis.iter().map(|a| a.offered).sum::<f64>())
+            .sum();
+        let late_goodput: f64 = late
+            .iter()
+            .map(|t| t.obs.apis.iter().map(|a| a.goodput).sum::<f64>())
+            .sum();
+        assert!(late_offered > 0.0, "survivors keep receiving traffic");
+        assert!(late_goodput > 0.0, "survivors keep completing requests");
+        // Clean drain: shutting the survivors down joins their event
+        // loops and worker pools without hanging or panicking.
         let out = live.shutdown();
         assert_eq!(out.killed, Some(1));
     }

@@ -1,0 +1,249 @@
+//! Wire-protocol framing and parsing, independent of sockets.
+//!
+//! The gateway reads raw TCP segments; nothing guarantees a `REQ` line
+//! arrives in one piece or that a peer is well-behaved. [`LineDecoder`]
+//! turns an arbitrary byte stream into a sequence of [`WireItem`]s:
+//!
+//! * lines may be split across any number of segments (the partial tail
+//!   is carried between [`LineDecoder::feed`] calls);
+//! * a line longer than [`MAX_LINE`] bytes is garbage by definition
+//!   (well-formed request lines are tens of bytes) — it yields one
+//!   [`WireItem::Malformed`] and the decoder then *discards* bytes up to
+//!   the next newline, so an abusive or corrupted peer cannot desync
+//!   the framing or balloon the buffer;
+//! * malformed-but-bounded lines yield [`WireItem::Malformed`] and the
+//!   connection keeps going, matching the old per-thread reader's
+//!   "answer `ERR 0` and carry on" behaviour.
+//!
+//! The decoder is pure state over bytes, which is what makes the
+//! byte-at-a-time and fragmentation tests below possible without a
+//! socket in sight.
+
+/// Longest acceptable request line (bytes, excluding the newline). A
+/// maximal legitimate line — `REQ <u64> <usize>` — is under 48 bytes;
+/// the slack tolerates sloppy clients without tolerating abuse.
+pub const MAX_LINE: usize = 256;
+
+/// One framed outcome from the decoder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireItem {
+    /// A well-formed `REQ <id> <api>` line.
+    Request { id: u64, api: usize },
+    /// A complete but unparseable (or oversized) line; the gateway
+    /// answers `ERR 0` and keeps the connection.
+    Malformed,
+}
+
+/// Parse `REQ <id> <api_idx>` → `(id, api)`.
+pub fn parse_request(line: &str) -> Option<(u64, usize)> {
+    let mut parts = line.split_ascii_whitespace();
+    if parts.next()? != "REQ" {
+        return None;
+    }
+    let id = parts.next()?.parse().ok()?;
+    let api = parts.next()?.parse().ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((id, api))
+}
+
+/// Incremental line framer with oversized-line resynchronisation.
+#[derive(Default)]
+pub struct LineDecoder {
+    /// Carry-over of an incomplete line between feeds.
+    partial: Vec<u8>,
+    /// Inside an oversized line: drop bytes until the next newline.
+    discarding: bool,
+}
+
+impl LineDecoder {
+    pub fn new() -> Self {
+        LineDecoder::default()
+    }
+
+    /// Bytes currently buffered waiting for a newline.
+    pub fn pending(&self) -> usize {
+        self.partial.len()
+    }
+
+    /// Consume one TCP segment, appending framed items to `out`.
+    pub fn feed(&mut self, mut bytes: &[u8], out: &mut Vec<WireItem>) {
+        while !bytes.is_empty() {
+            if self.discarding {
+                match bytes.iter().position(|&b| b == b'\n') {
+                    Some(nl) => {
+                        bytes = &bytes[nl + 1..];
+                        self.discarding = false;
+                    }
+                    None => return, // still inside the oversized line
+                }
+                continue;
+            }
+            match bytes.iter().position(|&b| b == b'\n') {
+                Some(nl) => {
+                    let line = &bytes[..nl];
+                    if self.partial.is_empty() {
+                        Self::emit(line, out);
+                    } else {
+                        self.partial.extend_from_slice(line);
+                        let full = std::mem::take(&mut self.partial);
+                        Self::emit(&full, out);
+                    }
+                    bytes = &bytes[nl + 1..];
+                }
+                None => {
+                    if self.partial.len() + bytes.len() > MAX_LINE {
+                        // Oversized without a newline in sight: flag it
+                        // once, drop what we hoarded, skip to the next
+                        // newline whenever it shows up.
+                        out.push(WireItem::Malformed);
+                        self.partial.clear();
+                        self.discarding = true;
+                        return;
+                    }
+                    self.partial.extend_from_slice(bytes);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Classify one complete line (newline excluded).
+    fn emit(line: &[u8], out: &mut Vec<WireItem>) {
+        if line.len() > MAX_LINE {
+            out.push(WireItem::Malformed);
+            return;
+        }
+        let Ok(text) = std::str::from_utf8(line) else {
+            out.push(WireItem::Malformed);
+            return;
+        };
+        let text = text.trim_end();
+        if text.is_empty() {
+            return; // blank lines are keep-alives, not errors
+        }
+        match parse_request(text) {
+            Some((id, api)) => out.push(WireItem::Request { id, api }),
+            None => out.push(WireItem::Malformed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decode_all(decoder: &mut LineDecoder, bytes: &[u8]) -> Vec<WireItem> {
+        let mut out = Vec::new();
+        decoder.feed(bytes, &mut out);
+        out
+    }
+
+    #[test]
+    fn request_lines_parse_strictly() {
+        assert_eq!(parse_request("REQ 7 2"), Some((7, 2)));
+        assert_eq!(parse_request("REQ 0 0"), Some((0, 0)));
+        assert_eq!(parse_request("REQ  12   1"), Some((12, 1)));
+        assert_eq!(parse_request("GET 7 2"), None);
+        assert_eq!(parse_request("REQ 7"), None);
+        assert_eq!(parse_request("REQ 7 2 9"), None);
+        assert_eq!(parse_request("REQ x 2"), None);
+        assert_eq!(parse_request(""), None);
+    }
+
+    #[test]
+    fn byte_at_a_time_yields_the_same_requests() {
+        let input = b"REQ 1 0\nREQ 2 1\r\njunk\nREQ 3 0\n";
+        let mut whole = LineDecoder::new();
+        let expected = decode_all(&mut whole, input);
+        assert_eq!(
+            expected,
+            vec![
+                WireItem::Request { id: 1, api: 0 },
+                WireItem::Request { id: 2, api: 1 },
+                WireItem::Malformed,
+                WireItem::Request { id: 3, api: 0 },
+            ]
+        );
+        // Same stream, one byte per "segment".
+        let mut trickle = LineDecoder::new();
+        let mut got = Vec::new();
+        for b in input {
+            trickle.feed(std::slice::from_ref(b), &mut got);
+        }
+        assert_eq!(got, expected);
+        assert_eq!(trickle.pending(), 0);
+    }
+
+    #[test]
+    fn fragmented_segment_boundaries_do_not_split_requests() {
+        // Split points chosen to land mid-token, mid-id and around \n.
+        let fragments: [&[u8]; 7] = [
+            b"RE", b"Q 12", b"34 ", b"0", b"\nREQ 5", b" 1\nREQ", b" 6 0\n",
+        ];
+        let mut dec = LineDecoder::new();
+        let mut got = Vec::new();
+        for f in fragments {
+            dec.feed(f, &mut got);
+        }
+        assert_eq!(
+            got,
+            vec![
+                WireItem::Request { id: 1234, api: 0 },
+                WireItem::Request { id: 5, api: 1 },
+                WireItem::Request { id: 6, api: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn oversized_line_resyncs_at_next_newline_without_desync() {
+        let mut dec = LineDecoder::new();
+        let mut got = Vec::new();
+        // An unbounded garbage line arriving in chunks…
+        dec.feed(&[b'x'; 200], &mut got);
+        assert!(got.is_empty(), "still under MAX_LINE, just buffered");
+        dec.feed(&[b'x'; 200], &mut got);
+        assert_eq!(got, vec![WireItem::Malformed], "flagged exactly once");
+        dec.feed(&[b'x'; 10_000], &mut got);
+        assert_eq!(got.len(), 1, "no per-chunk re-flagging while discarding");
+        assert_eq!(dec.pending(), 0, "oversized bytes are not hoarded");
+        // …then the newline lands mid-segment and framing resumes clean.
+        dec.feed(b"xxx\nREQ 9 0\n", &mut got);
+        assert_eq!(
+            got,
+            vec![WireItem::Malformed, WireItem::Request { id: 9, api: 0 }]
+        );
+    }
+
+    #[test]
+    fn garbage_and_binary_lines_flag_without_killing_the_stream() {
+        let mut dec = LineDecoder::new();
+        let mut got = Vec::new();
+        dec.feed(b"\xff\xfe\x00\nREQ 4 0\n\n  \nREQ 5 0\n", &mut got);
+        assert_eq!(
+            got,
+            vec![
+                WireItem::Malformed, // invalid utf-8
+                WireItem::Request { id: 4, api: 0 },
+                // blank and whitespace-only lines are silently skipped
+                WireItem::Request { id: 5, api: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn exactly_max_line_is_still_judged_not_discarded() {
+        let mut dec = LineDecoder::new();
+        let mut got = Vec::new();
+        let mut line = vec![b'y'; MAX_LINE];
+        line.push(b'\n');
+        line.extend_from_slice(b"REQ 1 0\n");
+        dec.feed(&line, &mut got);
+        assert_eq!(
+            got,
+            vec![WireItem::Malformed, WireItem::Request { id: 1, api: 0 }]
+        );
+    }
+}

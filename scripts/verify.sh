@@ -28,6 +28,37 @@ scrape_metrics() {
 }
 sleep 2
 m1=$(scrape_metrics)
+
+# Concurrent-connections smoke: while the live run is still serving its
+# open-loop load, hit the gateway (pinned to port 19186 in the scenario)
+# with simultaneous clients — half pipelined, half sequential — and
+# require a reply line for every request on every connection. This is
+# the event-loop gateway's core claim: many sockets multiplexed without
+# any one of them starving the others.
+gateway_client() { # $1 = pipelined|sequential, $2 = id base
+  local n=40 i replies=0
+  exec 4<>/dev/tcp/127.0.0.1/19186
+  if [ "$1" = pipelined ]; then
+    { for ((i = 0; i < n; i++)); do printf 'REQ %s 0\n' "$(($2 + i))"; done; } >&4
+    for ((i = 0; i < n; i++)); do
+      IFS= read -r -t 5 _ <&4 && replies=$((replies + 1))
+    done
+  else
+    for ((i = 0; i < n; i++)); do
+      printf 'REQ %s 0\n' "$(($2 + i))" >&4
+      IFS= read -r -t 5 _ <&4 && replies=$((replies + 1))
+    done
+  fi
+  exec 4<&- 4>&-
+  [ "$replies" -eq "$n" ]
+}
+client_pids=()
+for c in 0 1 2 3; do gateway_client pipelined $((9000000 + c * 1000)) & client_pids+=($!); done
+for c in 4 5 6 7; do gateway_client sequential $((9000000 + c * 1000)) & client_pids+=($!); done
+for p in "${client_pids[@]}"; do
+  wait "$p" || { echo "concurrent smoke: a client missed replies"; exit 1; }
+done
+
 sleep 1
 m2=$(scrape_metrics)
 wait "$live_pid"
