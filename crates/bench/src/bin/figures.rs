@@ -11,6 +11,7 @@ use topfull_bench::models;
 
 const EXPERIMENTS: &[(&str, fn())] = &[
     ("table1", ex::table1::run),
+    ("admission", ex::admission::run),
     ("fig4", ex::fig04::run),
     ("fig8", ex::fig08::run),
     ("fig9", ex::fig09::run),

@@ -1,6 +1,7 @@
 //! One module per paper table/figure. Each exposes `run()` which prints
 //! and persists a [`crate::report::Report`].
 
+pub mod admission;
 pub mod chaos;
 pub mod fig04;
 pub mod fig08;

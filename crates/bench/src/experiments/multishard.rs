@@ -134,6 +134,7 @@ fn live_single(topo: &Topology, api: usize) -> Result<Arm, String> {
     let arms = vec![OpenLoopArm {
         api,
         rate_steps: live_rate_steps(),
+        key_space: 0,
     }];
     let gen =
         LoadGen::start(server.addr(), None, arms).map_err(|e| format!("load generator: {e}"))?;
@@ -153,6 +154,7 @@ fn live_sharded(topo: &Topology, api: usize) -> Result<(Arm, String), String> {
     let arms = vec![OpenLoopArm {
         api,
         rate_steps: live_rate_steps(),
+        key_space: 0,
     }];
     let mut fleet =
         ShardedLive::start(topo, cfg, None, arms).map_err(|e| format!("sharded fleet: {e}"))?;

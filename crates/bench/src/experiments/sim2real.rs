@@ -142,7 +142,12 @@ fn live_arm(topo: &Topology, api: usize) -> Result<Arm, String> {
         .iter()
         .map(|&(t, v)| (t * scale, v))
         .collect();
-    let gen = LoadGen::start(server.addr(), None, vec![OpenLoopArm { api, rate_steps }])
+    let arm = OpenLoopArm {
+        api,
+        rate_steps,
+        key_space: 0,
+    };
+    let gen = LoadGen::start(server.addr(), None, vec![arm])
         .map_err(|e| format!("load generator: {e}"))?;
     let (mut ctrl, _) = controller();
     let result = server.run(ctrl.as_mut(), Duration::from_secs(LIVE_SECS));

@@ -1,8 +1,8 @@
 //! Scenario → engine/controller translation.
 
 use crate::schema::{
-    AppSpec, AutoscalerSpec, CallSpec, ControllerSpec, FaultSpecJson, ResilienceSpec, Scenario,
-    ShardFaultJson, ShardingSpec, WorkloadSpec,
+    AdmissionSpec, AppSpec, AutoscalerSpec, CallSpec, ControllerSpec, FaultSpecJson,
+    ResilienceSpec, Scenario, ShardFaultJson, ShardingSpec, WorkloadSpec,
 };
 use apps::{AlibabaDemo, OnlineBoutique, TrainTicket};
 use baselines::{Breakwater, BreakwaterConfig, Dagor, DagorConfig, Wisp, WispConfig};
@@ -331,6 +331,10 @@ pub fn build_scenario(sc: &Scenario) -> Result<BuiltScenario, String> {
         }
         engine.inject_faults(specs);
     }
+    if let Some(adm) = &sc.admission {
+        let (front, key_space) = front_door_config(engine.topology(), adm)?;
+        engine.set_front_door(front, key_space);
+    }
     let controller = build_controller(&sc.controller, &mut engine)?;
     let hardened = matches!(
         sc.controller,
@@ -342,6 +346,53 @@ pub fn build_scenario(sc: &Scenario) -> Result<BuiltScenario, String> {
         api_names,
         hardened,
     })
+}
+
+/// Admission spec → front-door config plus per-API coalescing key
+/// spaces (0 = not coalescable). Shared by the simulator path and the
+/// live plane, which runs the identical stage pipeline per gateway.
+pub fn front_door_config(
+    topo: &Topology,
+    spec: &AdmissionSpec,
+) -> Result<(cluster::front::FrontConfig, Vec<u64>), String> {
+    let mut cfg = cluster::front::FrontConfig::default();
+    let mut key_space = vec![0u64; topo.num_apis()];
+    if let Some(co) = &spec.coalesce {
+        if co.apis.is_empty() {
+            return Err("admission.coalesce.apis must name at least one API".into());
+        }
+        if co.key_space == 0 {
+            return Err("admission.coalesce.key_space must be at least 1".into());
+        }
+        for name in &co.apis {
+            let id = api_id(topo, name)?;
+            key_space[id.0 as usize] = co.key_space;
+        }
+        cfg.coalesce = Some(cluster::front::CoalesceConfig {
+            cache_capacity: co.cache_capacity,
+            cache_ttl: SimDuration::from_millis(co.cache_ttl_ms),
+        });
+    }
+    if let Some(pr) = &spec.priority {
+        if pr.business_tiers == 0 || pr.user_levels == 0 {
+            return Err(
+                "admission.priority.business_tiers and user_levels must be at least 1".into(),
+            );
+        }
+        cfg.priority = Some(cluster::front::PriorityConfig {
+            business_tiers: pr.business_tiers as u32,
+            user_levels: pr.user_levels as u32,
+            alpha: pr.alpha,
+            beta: pr.beta,
+            queuing_delay_threshold: SimDuration::from_millis(pr.queuing_delay_ms),
+        });
+    }
+    if cfg.coalesce.is_none() && cfg.priority.is_none() {
+        return Err("admission block is present but both stages are disabled \
+             (set admission.coalesce and/or admission.priority)"
+            .into());
+    }
+    Ok((cfg, key_space))
 }
 
 /// Sharding spec → core sharded-plane config (shared by the simulator
@@ -625,6 +676,44 @@ mod tests {
             Ok(_) => panic!("budget without retry_storm must be rejected"),
         };
         assert!(err.contains("retry_storm"), "{err}");
+    }
+
+    #[test]
+    fn admission_block_builds_and_is_validated() {
+        let json = r#"{
+            "app": {"type": "builtin", "name": "online-boutique"},
+            "workload": {"type": "open_loop", "rates": []},
+            "admission": {
+                "coalesce": {"apis": ["getproduct"], "key_space": 32},
+                "priority": {"alpha": 0.05}
+            }
+        }"#;
+        let sc = crate::parse_scenario(json).expect("parse");
+        let built = build_scenario(&sc).expect("admission builds");
+        assert!(
+            built.engine.front_stats().is_some(),
+            "front door must be armed"
+        );
+        // Unknown coalescable API fails loudly.
+        let bad = json.replace("getproduct", "no-such-api");
+        let sc = crate::parse_scenario(&bad).expect("parse");
+        let err = match build_scenario(&sc) {
+            Err(e) => e,
+            Ok(_) => panic!("unknown coalescable API must be rejected"),
+        };
+        assert!(err.contains("no-such-api"), "{err}");
+        // An admission block with both stages absent is a config error.
+        let json = r#"{
+            "app": {"type": "builtin", "name": "online-boutique"},
+            "workload": {"type": "open_loop", "rates": []},
+            "admission": {}
+        }"#;
+        let sc = crate::parse_scenario(json).expect("parse");
+        let err = match build_scenario(&sc) {
+            Err(e) => e,
+            Ok(_) => panic!("empty admission block must be rejected"),
+        };
+        assert!(err.contains("both stages are disabled"), "{err}");
     }
 
     #[test]

@@ -228,6 +228,28 @@ fn render_entry(e: &JournalEntry) -> String {
             detail,
             ..
         } => format!("t={t:>8.2}s  degrade    shard {shard} [{phase}]: {detail}"),
+        JournalEntry::AdmissionWindow {
+            cache_hits,
+            follower_hits,
+            misses,
+            shed,
+            rate_limited,
+            ..
+        } => format!(
+            "t={t:>8.2}s  frontdoor  cache={cache_hits} inflight={follower_hits} \
+             miss={misses} shed={shed} rate-limited={rate_limited} (window)"
+        ),
+        JournalEntry::PriorityThreshold {
+            from,
+            to,
+            admitted,
+            shed,
+            reason,
+            ..
+        } => format!(
+            "t={t:>8.2}s  priority   threshold {from} -> {to} \
+             (window: admitted={admitted} shed={shed}) — {reason}"
+        ),
     }
 }
 
@@ -246,6 +268,10 @@ fn render_summary(entries: &[JournalEntry]) -> String {
     let mut shard_events = 0u64;
     let mut splits = 0u64;
     let mut degradations = 0u64;
+    let mut front_windows = 0u64;
+    let mut front_hits = 0u64;
+    let mut front_shed = 0u64;
+    let mut threshold_moves = 0u64;
     for e in entries {
         match e {
             JournalEntry::Overload {
@@ -281,6 +307,17 @@ fn render_summary(entries: &[JournalEntry]) -> String {
             }
             JournalEntry::ShardSplit { .. } => splits += 1,
             JournalEntry::ShardFallback { .. } => degradations += 1,
+            JournalEntry::AdmissionWindow {
+                cache_hits,
+                follower_hits,
+                shed,
+                ..
+            } => {
+                front_windows += 1;
+                front_hits += cache_hits + follower_hits;
+                front_shed += shed;
+            }
+            JournalEntry::PriorityThreshold { .. } => threshold_moves += 1,
         }
     }
     let mut s = String::from("summary:\n");
@@ -320,6 +357,13 @@ fn render_summary(entries: &[JournalEntry]) -> String {
             s,
             "  shard plane: {shard_events} membership/aggregate events, \
              {splits} quota splits, {degradations} local degradations"
+        );
+    }
+    if front_windows + threshold_moves > 0 {
+        let _ = writeln!(
+            s,
+            "  front door: {front_windows} active windows, {front_hits} coalesced \
+             responses, {front_shed} priority sheds, {threshold_moves} threshold moves"
         );
     }
     s
@@ -514,6 +558,41 @@ mod tests {
         assert!(text.contains("shard 2 [fallback]"), "{text}");
         assert!(
             text.contains("shard plane: 2 membership/aggregate events, 1 quota splits"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn timeline_renders_front_door_entries() {
+        let entries = vec![
+            JournalEntry::AdmissionWindow {
+                t: 15.0,
+                cache_hits: 42,
+                follower_hits: 9,
+                misses: 12,
+                shed: 3,
+                rate_limited: 7,
+            },
+            JournalEntry::PriorityThreshold {
+                t: 15.0,
+                from: 1024,
+                to: 960,
+                admitted: 310,
+                shed: 3,
+                reason: "overload".into(),
+            },
+        ];
+        let text = render_timeline(&entries);
+        assert!(
+            text.contains("frontdoor  cache=42 inflight=9 miss=12 shed=3 rate-limited=7"),
+            "{text}"
+        );
+        assert!(text.contains("threshold 1024 -> 960"), "{text}");
+        assert!(
+            text.contains(
+                "front door: 1 active windows, 51 coalesced responses, \
+             3 priority sheds, 1 threshold moves"
+            ),
             "{text}"
         );
     }

@@ -39,7 +39,18 @@ const TOP_LEVEL_KEYS: &[&str] = &[
     "resilience",
     "live",
     "sharding",
+    "admission",
     "report",
+];
+
+const ADMISSION_KEYS: &[&str] = &["coalesce", "priority"];
+const COALESCE_KEYS: &[&str] = &["apis", "key_space", "cache_capacity", "cache_ttl_ms"];
+const PRIORITY_KEYS: &[&str] = &[
+    "business_tiers",
+    "user_levels",
+    "alpha",
+    "beta",
+    "queuing_delay_ms",
 ];
 
 const LIVE_KEYS: &[&str] = &[
@@ -148,6 +159,14 @@ fn check_scenario_keys(value: &serde_json::JsonValue) -> Result<(), String> {
             )?;
         }
     }
+    if let Some(v) = value.get("admission") {
+        keys::check_keys("scenario", "admission", v, ADMISSION_KEYS)?;
+        for (block, allowed) in [("coalesce", COALESCE_KEYS), ("priority", PRIORITY_KEYS)] {
+            if let Some(sub) = v.get(block) {
+                keys::check_keys("scenario", &format!("admission.{block}"), sub, allowed)?;
+            }
+        }
+    }
     if let Some(v) = value.get("faults") {
         keys::check_tagged_items("scenario", "faults", v, "kind", FAULT_VARIANTS)?;
     }
@@ -179,6 +198,14 @@ pub fn parse_scenario(json: &str) -> Result<Scenario, String> {
 /// Cross-spec composition rules checked before any run (and by
 /// `topfull-sim check`): which controllers compose with sharding.
 fn preflight(sc: &Scenario) -> Result<(), String> {
+    if sc.admission.is_some() && sc.sharding.is_some() {
+        return Err(
+            "admission (front-door coalescing/priority) and sharding don't compose yet: \
+             the coalescing cache and priority gate are per-gateway state, and the \
+             virtual-shard plane splits one engine entry across shards"
+                .into(),
+        );
+    }
     if sc.sharding.is_some() {
         if !matches!(
             sc.controller,
@@ -382,6 +409,30 @@ mod tests {
         assert!(err.contains("mutually exclusive"), "{err}");
         let err = validate_scenario(&sc).expect_err("check catches it too");
         assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn admission_typos_and_sharding_combo_are_rejected() {
+        let json = r#"{
+            "app": {"type": "builtin", "name": "online-boutique"},
+            "workload": {"type": "open_loop", "rates": []},
+            "admission": {"coalesce": {"apis": ["getproduct"], "cache_tl_ms": 100}}
+        }"#;
+        let err = parse_scenario(json).expect_err("admission typo must be rejected");
+        assert!(err.contains("in 'admission.coalesce'"), "{err}");
+        assert!(err.contains("did you mean 'cache_ttl_ms'?"), "{err}");
+
+        let mut sc = Scenario::example();
+        sc.admission = Some(schema::AdmissionSpec {
+            priority: Some(schema::PrioritySpec::default()),
+            ..Default::default()
+        });
+        sc.sharding = Some(schema::ShardingSpec {
+            shards: 2,
+            ..Default::default()
+        });
+        let err = validate_scenario(&sc).expect_err("admission + sharding must be rejected");
+        assert!(err.contains("don't compose"), "{err}");
     }
 
     #[test]

@@ -71,6 +71,7 @@ fn build_load(
                 arms.push(OpenLoopArm {
                     api: api_index(topo, &r.api)?,
                     rate_steps: scale_steps(&r.steps, scale),
+                    key_space: 0,
                 });
             }
             Ok((None, arms))
@@ -92,6 +93,7 @@ fn build_load(
                     users_steps: scale_steps(users_steps, scale),
                     think: Duration::from_millis(*think_ms),
                     api_weights: weights,
+                    key_spaces: Vec::new(),
                 }),
                 Vec::new(),
             ))
@@ -144,6 +146,7 @@ fn live_outcome(
         journal: journal.snapshot(),
         shard_plane: None,
         shard_guards: None,
+        live_rejects: None,
     }
 }
 
@@ -161,9 +164,26 @@ pub fn run_live(sc: &Scenario, duration_secs: u64) -> Result<ScenarioOutcome, St
     let journal = obs::Journal::shared();
     controller.attach_journal(std::sync::Arc::clone(&journal));
     let scale = duration_secs as f64 / sc.duration_secs as f64;
-    let (closed, arms) = build_load(&topo, &sc.workload, scale)?;
+    let (mut closed, mut arms) = build_load(&topo, &sc.workload, scale)?;
     let live = sc.live.clone().unwrap_or_default();
-    let cfg = live_config(&live, sc.slo_ms);
+    let mut cfg = live_config(&live, sc.slo_ms);
+    if let Some(adm) = &sc.admission {
+        if sc.sharding.is_some() {
+            return Err(
+                "admission (front-door coalescing/priority) and sharding don't compose yet".into(),
+            );
+        }
+        let (front, key_spaces) = crate::build::front_door_config(&topo, adm)?;
+        cfg.front = Some(front);
+        // Keyed traffic: each client draws keys from the scenario's
+        // per-API key space so duplicate reads actually collide.
+        if let Some(c) = closed.as_mut() {
+            c.key_spaces.clone_from(&key_spaces);
+        }
+        for a in &mut arms {
+            a.key_space = key_spaces.get(a.api).copied().unwrap_or(0);
+        }
+    }
     if let Some(spec) = &sc.sharding {
         return run_live_sharded(
             sc,
@@ -183,9 +203,12 @@ pub fn run_live(sc: &Scenario, duration_secs: u64) -> Result<ScenarioOutcome, St
     let gen = LoadGen::start(server.addr(), closed, arms)
         .map_err(|e| format!("cannot start load generator: {e}"))?;
     let result = server.run(controller.as_mut(), Duration::from_secs(duration_secs));
+    let rejects = (gen.rejects().limit(), gen.rejects().shed());
     gen.stop();
     server.shutdown();
-    Ok(live_outcome(sc, duration_secs, scale, &result, &journal))
+    let mut out = live_outcome(sc, duration_secs, scale, &result, &journal);
+    out.live_rejects = Some(rejects);
+    Ok(out)
 }
 
 /// Translate the scenario's shard spec into a live fleet config. Fault
@@ -278,6 +301,7 @@ fn live_config(live: &LiveSpec, slo_ms: u64) -> LiveConfig {
         metrics_port: live.metrics_port,
         event_loops: live.event_loops,
         max_conn_output: live.max_conn_output,
+        front: None,
     }
 }
 

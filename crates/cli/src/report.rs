@@ -32,6 +32,9 @@ pub struct ScenarioOutcome {
     pub shard_plane: Option<topfull::ShardPlaneStats>,
     /// Shard-local guard activity summed over shards (sharded runs only).
     pub shard_guards: Option<topfull::GuardStats>,
+    /// Per-class reject counts `(entry-limit, priority-shed)` observed
+    /// by the load generator's reply readers (live runs only).
+    pub live_rejects: Option<(u64, u64)>,
 }
 
 /// Per-API steady-state means out of a [`cluster::RunResult`].
@@ -109,6 +112,7 @@ pub fn execute(sc: &Scenario, built: BuiltScenario) -> ScenarioOutcome {
         journal: h.journal().snapshot(),
         shard_plane: None,
         shard_guards: None,
+        live_rejects: None,
     }
 }
 
@@ -154,6 +158,7 @@ pub fn execute_sharded(
         journal: h.journal().snapshot(),
         shard_plane: Some(h.plane_stats()),
         shard_guards: Some(h.guard_stats()),
+        live_rejects: None,
     })
 }
 
@@ -260,6 +265,11 @@ pub fn render_report(sc: &Scenario, out: &ScenarioOutcome) -> String {
             "shard plane: merges={} strike-outs={} re-entries={} redistributions={}",
             p.merges, p.strike_outs, p.reentries, p.redistributions
         );
+    }
+    if let Some((limit, shed)) = out.live_rejects {
+        if limit > 0 || shed > 0 {
+            let _ = writeln!(s, "live rejects: entry-limit={limit} priority-shed={shed}");
+        }
     }
     if let Some(g) = &out.shard_guards {
         if g.held_ticks > 0 || g.fallback_ticks > 0 {

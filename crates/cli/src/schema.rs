@@ -44,6 +44,10 @@ pub struct Scenario {
     /// controller, with partition-tolerant failover.
     #[serde(default)]
     pub sharding: Option<ShardingSpec>,
+    /// Front-door admission plane: single-flight request coalescing and
+    /// DAGOR-style priority admission in front of the token bucket.
+    #[serde(default)]
+    pub admission: Option<AdmissionSpec>,
     #[serde(default)]
     pub report: ReportSpec,
 }
@@ -512,6 +516,96 @@ pub enum ShardFaultJson {
     ControllerLoss { from_secs: u64, until_secs: u64 },
 }
 
+/// Front-door admission plane. Both stages are optional and
+/// independent; they run before the TopFull token bucket in both the
+/// simulator and the live gateway.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct AdmissionSpec {
+    /// Single-flight coalescing of identical in-flight reads, backed by
+    /// a bounded TTL'd response cache.
+    #[serde(default)]
+    pub coalesce: Option<CoalesceSpec>,
+    /// DAGOR-style (business, user) priority gate with an adaptive
+    /// threshold driven by queuing-delay feedback.
+    #[serde(default)]
+    pub priority: Option<PrioritySpec>,
+}
+
+/// Coalescing stage tuning (JSON form of [`cluster::front`]'s
+/// `CoalesceConfig` plus the per-API key spaces).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CoalesceSpec {
+    /// Names of the APIs whose requests are coalescable (reads).
+    pub apis: Vec<String>,
+    /// Distinct request keys per coalescable API; duplicate keys are the
+    /// coalescing opportunity.
+    #[serde(default = "default_key_space")]
+    pub key_space: u64,
+    /// Response-cache capacity in entries; 0 disables caching but keeps
+    /// single-flight leader election.
+    #[serde(default = "default_cache_capacity")]
+    pub cache_capacity: usize,
+    /// Response-cache entry TTL in milliseconds.
+    #[serde(default = "default_cache_ttl_ms")]
+    pub cache_ttl_ms: u64,
+}
+
+fn default_key_space() -> u64 {
+    64
+}
+fn default_cache_capacity() -> usize {
+    1024
+}
+fn default_cache_ttl_ms() -> u64 {
+    500
+}
+
+/// Priority-gate tuning (JSON form of [`cluster::front`]'s
+/// `PriorityConfig`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PrioritySpec {
+    /// Business tiers (level = business * user_levels + user).
+    #[serde(default = "default_business_tiers")]
+    pub business_tiers: u8,
+    /// User sub-levels within each business tier.
+    #[serde(default = "default_user_levels")]
+    pub user_levels: u8,
+    /// Target shed fraction under overload (DAGOR's alpha).
+    #[serde(default = "default_alpha")]
+    pub alpha: f64,
+    /// Recovery fraction per non-overloaded window (DAGOR's beta).
+    #[serde(default = "default_beta")]
+    pub beta: f64,
+    /// Mean queuing delay above which a window counts as overloaded.
+    #[serde(default = "default_queuing_delay_ms")]
+    pub queuing_delay_ms: u64,
+}
+
+fn default_business_tiers() -> u8 {
+    8
+}
+fn default_user_levels() -> u8 {
+    128
+}
+fn default_beta() -> f64 {
+    0.01
+}
+fn default_queuing_delay_ms() -> u64 {
+    20
+}
+
+impl Default for PrioritySpec {
+    fn default() -> Self {
+        PrioritySpec {
+            business_tiers: default_business_tiers(),
+            user_levels: default_user_levels(),
+            alpha: default_alpha(),
+            beta: default_beta(),
+            queuing_delay_ms: default_queuing_delay_ms(),
+        }
+    }
+}
+
 /// Output options.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ReportSpec {
@@ -607,6 +701,7 @@ impl Scenario {
             }),
             live: None,
             sharding: None,
+            admission: None,
             report: ReportSpec {
                 measure_from_secs: 60,
                 timeline: true,
@@ -666,6 +761,25 @@ mod tests {
             ControllerSpec::Dagor { alpha } => assert_eq!(alpha, 0.05),
             _ => panic!("dagor"),
         }
+    }
+
+    #[test]
+    fn admission_spec_parses_with_defaults() {
+        let json = r#"{
+            "coalesce": {"apis": ["get"]},
+            "priority": {"alpha": 0.1}
+        }"#;
+        let spec: AdmissionSpec = serde_json::from_str(json).expect("admission parse");
+        let co = spec.coalesce.expect("coalesce");
+        assert_eq!(co.apis, vec!["get".to_string()]);
+        assert_eq!(co.key_space, 64);
+        assert_eq!(co.cache_capacity, 1024);
+        assert_eq!(co.cache_ttl_ms, 500);
+        let pr = spec.priority.expect("priority");
+        assert_eq!(pr.alpha, 0.1);
+        assert_eq!(pr.business_tiers, 8);
+        assert_eq!(pr.user_levels, 128);
+        assert_eq!(pr.queuing_delay_ms, 20);
     }
 
     #[test]

@@ -10,7 +10,8 @@
 
 use super::planes::{CallCtx, LifecyclePoint, Verdict};
 use super::pods::{InFlight, QueuedCall};
-use super::{Engine, Ev, NodeRt, RequestRt};
+use super::{Engine, Ev, NodeRt, Parked, RequestRt};
+use crate::front::PreVerdict;
 use crate::topology::CallNode;
 use crate::tracing::{Span, SpanVerdict};
 use crate::types::{RequestMeta, RequestOutcome, ServiceId};
@@ -44,6 +45,53 @@ impl Engine {
         let acc = &mut self.metrics.api_accums[a.api.idx()];
         acc.offered += 1;
         self.metrics.api_totals[a.api.idx()].offered += 1;
+        // Front-door stages (coalescing, priority) run before the token
+        // bucket; requests they absorb never reach it. Keys and user
+        // priorities come from the plane's own RNG fork, so the base
+        // streams (and therefore runs without the plane) are unchanged.
+        let mut front_user = None;
+        let mut lead_key = None;
+        if let Some(front) = self.front.as_mut() {
+            let business = self.topo.api(a.api).business.0;
+            let user: u8 = front.rng.gen_range(0..=127);
+            let space = front.key_space[a.api.idx()];
+            let key = (space > 0).then(|| front.rng.gen_range(0..space));
+            match front.door.pre_admit(a.api, key, business, user, now) {
+                PreVerdict::CacheHit(_) => {
+                    // Answered at the gateway without touching the
+                    // cluster: admitted + good at ~zero latency.
+                    let acc = &mut self.metrics.api_accums[a.api.idx()];
+                    acc.admitted += 1;
+                    acc.good += 1;
+                    acc.latencies.record(SimDuration::ZERO);
+                    let tot = &mut self.metrics.api_totals[a.api.idx()];
+                    tot.admitted += 1;
+                    tot.good += 1;
+                    self.notify_response(now, a.user, ResponseKind::Success);
+                    return;
+                }
+                PreVerdict::Follower { leader } => {
+                    self.metrics.api_accums[a.api.idx()].admitted += 1;
+                    self.metrics.api_totals[a.api.idx()].admitted += 1;
+                    front.parked.entry(leader).or_default().push(Parked {
+                        user: a.user,
+                        arrival: now,
+                    });
+                    return;
+                }
+                PreVerdict::Shed { .. } => {
+                    self.metrics.api_totals[a.api.idx()].rejected_shed += 1;
+                    self.notify_response(now, a.user, ResponseKind::Failed);
+                    return;
+                }
+                PreVerdict::Proceed { lead } => {
+                    front_user = Some(user);
+                    if lead {
+                        lead_key = key;
+                    }
+                }
+            }
+        }
         if !self.gateway.try_admit(a.api, now) {
             self.metrics.api_totals[a.api.idx()].rejected_entry += 1;
             // Tracing backends see rejections too: a zero-duration span
@@ -76,7 +124,10 @@ impl Engine {
         let meta = RequestMeta {
             api: a.api,
             business: spec.business,
-            user: self.rng.gen_range(0..=127),
+            user: match front_user {
+                Some(u) => u,
+                None => self.rng.gen_range(0..=127),
+            },
             arrival: now,
             deadline: self.planes.resilience.deadline_budget.map(|b| now + b),
         };
@@ -94,6 +145,11 @@ impl Engine {
             if let Some(u) = a.user {
                 self.user_reqs.insert((u.id, u.gen), id);
             }
+        }
+        if let Some(key) = lead_key {
+            let front = self.front.as_mut().expect("lead implies front door");
+            front.door.begin_flight(a.api, key, id);
+            front.flights.insert(id, (a.api, key));
         }
         self.dispatch_call(now, id, 0);
     }
@@ -418,6 +474,7 @@ impl Engine {
             ResponseKind::Late
         };
         self.notify_response(now, r.user, kind);
+        self.settle_flight(now, req, true);
     }
 
     pub(super) fn fail_request(&mut self, now: SimTime, req: u64, _outcome: RequestOutcome) {
@@ -431,6 +488,47 @@ impl Engine {
         self.metrics.api_accums[api.idx()].failed += 1;
         self.metrics.api_totals[api.idx()].failed += 1;
         self.notify_response(now, r.user, ResponseKind::Failed);
+        self.settle_flight(now, req, false);
+    }
+
+    /// If `req` led a coalescing flight, resolve it: fill (or clear)
+    /// the response cache and settle every parked follower — each with
+    /// its own arrival-to-now latency against the SLO on success, or a
+    /// failure on leader failure (followers get errors, never hangs).
+    fn settle_flight(&mut self, now: SimTime, req: u64, ok: bool) {
+        let Some(front) = self.front.as_mut() else {
+            return;
+        };
+        let Some((api, key)) = front.flights.remove(&req) else {
+            return;
+        };
+        if ok {
+            front.door.complete_flight(api, key, "ok".into(), now);
+        } else {
+            front.door.fail_flight(api, key);
+        }
+        let parked = front.parked.remove(&req).unwrap_or_default();
+        for p in parked {
+            let kind = if ok {
+                let latency = now.duration_since(p.arrival);
+                let acc = &mut self.metrics.api_accums[api.idx()];
+                acc.latencies.record(latency);
+                if latency <= self.cfg.slo {
+                    acc.good += 1;
+                    self.metrics.api_totals[api.idx()].good += 1;
+                    ResponseKind::Success
+                } else {
+                    acc.slo_violated += 1;
+                    self.metrics.api_totals[api.idx()].slo_violated += 1;
+                    ResponseKind::Late
+                }
+            } else {
+                self.metrics.api_accums[api.idx()].failed += 1;
+                self.metrics.api_totals[api.idx()].failed += 1;
+                ResponseKind::Failed
+            };
+            self.notify_response(now, p.user, kind);
+        }
     }
 
     fn notify_response(&mut self, now: SimTime, user: Option<UserRef>, kind: ResponseKind) {

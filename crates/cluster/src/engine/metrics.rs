@@ -47,6 +47,8 @@ pub struct ApiTotals {
     pub slo_violated: u64,
     pub failed: u64,
     pub rejected_entry: u64,
+    /// Shed by the front-door priority gate before the token bucket.
+    pub rejected_shed: u64,
 }
 
 /// The engine's metric state: window accumulators, run totals, and the
@@ -87,6 +89,8 @@ impl Engine {
         let obs = self.finalize_window(now);
         // Admission controllers update their thresholds on fresh metrics.
         self.planes.admission.on_interval(&obs);
+        // The front-door priority gate adapts on the same true window.
+        self.front_tick(now, &obs);
         // Crash-loop probes.
         self.run_probes(now);
         // HPA sync on its own cadence (evaluated at metric ticks).
@@ -101,6 +105,50 @@ impl Engine {
         self.journal_window_aggregates(now);
         self.queue
             .schedule(now + self.cfg.control_interval, Ev::MetricsTick);
+    }
+
+    /// Advance the front-door plane one window: adapt the priority
+    /// gate to the cluster's queuing-delay signal (the identical law
+    /// the live gateway applies to its own observation), refresh its
+    /// gauges, and journal verdict aggregates plus threshold moves.
+    fn front_tick(&mut self, now: SimTime, obs: &ClusterObservation) {
+        let rate_limited: u64 = self
+            .metrics
+            .api_totals
+            .iter()
+            .map(|t| t.rejected_entry)
+            .sum();
+        let Some(front) = self.front.as_mut() else {
+            return;
+        };
+        let overloaded = front.door.overloaded(obs);
+        let tick = front.door.tick(overloaded);
+        let dr = rate_limited - front.rate_limited_base;
+        front.rate_limited_base = rate_limited;
+        let Some(journal) = self.journal.as_ref() else {
+            return;
+        };
+        let t = now.as_secs_f64();
+        if tick.window.any() || dr > 0 {
+            journal.record(obs::JournalEntry::AdmissionWindow {
+                t,
+                cache_hits: tick.window.cache_hits,
+                follower_hits: tick.window.follower_hits,
+                misses: tick.window.misses,
+                shed: tick.window.shed,
+                rate_limited: dr,
+            });
+        }
+        if let Some(mv) = tick.threshold {
+            journal.record(obs::JournalEntry::PriorityThreshold {
+                t,
+                from: mv.from,
+                to: mv.to,
+                admitted: mv.admitted,
+                shed: mv.shed,
+                reason: mv.reason.to_string(),
+            });
+        }
     }
 
     /// Journal per-window plane-veto and fault-telemetry deltas (only for

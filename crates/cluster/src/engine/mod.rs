@@ -43,6 +43,7 @@ use crate::admission::AdmissionControl;
 use crate::autoscaler::{Hpa, HpaConfig, VmPool, VmPoolConfig};
 use crate::failure::{CrashLoopConfig, FailureSpec};
 use crate::faults::FaultSpec;
+use crate::front::{FrontConfig, FrontDoor};
 use crate::gateway::Gateway;
 use crate::observe::ClusterObservation;
 use crate::resilience::{EdgeBreakers, ResilienceConfig, ResilienceStats};
@@ -123,6 +124,29 @@ struct RequestRt {
     nodes: Vec<NodeRt>,
 }
 
+/// A duplicate read parked on an in-flight leader's completion.
+struct Parked {
+    user: Option<UserRef>,
+    arrival: SimTime,
+}
+
+/// Front-door admission runtime: the shared [`FrontDoor`] stages plus
+/// the engine-side flight bookkeeping (who leads, who is parked) and a
+/// dedicated RNG fork so enabling the plane leaves the base simulation
+/// streams untouched.
+struct FrontState {
+    door: FrontDoor,
+    rng: SmallRng,
+    /// Per-API coalescing key space (0 = API not coalescable).
+    key_space: Vec<u64>,
+    /// Parked followers per leader request id.
+    parked: HashMap<u64, Vec<Parked>>,
+    /// Open flights: leader request id → `(api, key)`.
+    flights: HashMap<u64, (ApiId, u64)>,
+    /// Entry-limit rejection total at the last journaled window.
+    rate_limited_base: u64,
+}
+
 enum Ev {
     Arrival(Arrival),
     /// A call travelling to `svc`. Service and cost are embedded so the
@@ -178,6 +202,8 @@ pub struct Engine {
     hpa: Option<Hpa>,
     vm_pool: VmPool,
     failures: Vec<FailureSpec>,
+    /// Front-door admission plane (coalescing + priority), when enabled.
+    front: Option<FrontState>,
     requests: HashMap<u64, RequestRt>,
     next_req_id: u64,
     rng: SmallRng,
@@ -243,6 +269,7 @@ impl Engine {
             hpa: None,
             vm_pool,
             failures: Vec::new(),
+            front: None,
             requests: HashMap::new(),
             next_req_id: 0,
             rng,
@@ -297,6 +324,31 @@ impl Engine {
     /// Install a per-service admission controller (DAGOR, Breakwater).
     pub fn set_admission(&mut self, a: Box<dyn AdmissionControl>) {
         self.planes.admission.ctrl = Some(a);
+    }
+
+    /// Enable the front-door admission plane ([`crate::front`]) in
+    /// front of the entry token bucket. `key_space[api]` is the number
+    /// of distinct coalescing keys the workload draws for that API
+    /// (0 = not coalescable); request keys and user priorities come
+    /// from a dedicated `"front"` RNG fork, so runs without the plane
+    /// are byte-identical to before it existed.
+    pub fn set_front_door(&mut self, cfg: FrontConfig, mut key_space: Vec<u64>) {
+        key_space.resize(self.topo.num_apis(), 0);
+        let door = FrontDoor::new(cfg);
+        door.stats().register_into(&self.registry);
+        self.front = Some(FrontState {
+            door,
+            rng: simnet::rng::fork(self.cfg.seed, "front"),
+            key_space,
+            parked: HashMap::new(),
+            flights: HashMap::new(),
+            rate_limited_base: 0,
+        });
+    }
+
+    /// The front door's instruments, when the plane is enabled.
+    pub fn front_stats(&self) -> Option<&crate::front::FrontStats> {
+        self.front.as_ref().map(|f| f.door.stats())
     }
 
     /// Enable the HPA over all services, flooring at current replicas.

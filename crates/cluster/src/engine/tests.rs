@@ -761,3 +761,141 @@ mod lifecycle_tests {
         assert_eq!(learned, want);
     }
 }
+
+mod front {
+    use crate::engine::{Engine, EngineConfig};
+    use crate::front::{CoalesceConfig, FrontConfig, PriorityConfig};
+    use crate::topology::{ApiSpec, CallNode, ServiceSpec, Topology};
+    use crate::types::{ApiId, BusinessPriority};
+    use crate::workload::OpenLoopWorkload;
+    use simnet::{SimDuration, SimTime};
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+
+    fn engine(topo: Topology, rates: Vec<(ApiId, f64)>) -> Engine {
+        Engine::new(
+            topo,
+            EngineConfig {
+                service_jitter: 0.0,
+                ..EngineConfig::default()
+            },
+            Box::new(OpenLoopWorkload::constant(rates)),
+        )
+    }
+
+    #[test]
+    fn coalescing_multiplies_flash_crowd_goodput() {
+        // 1 pod × 10 ms = 100 rps capacity; a read-heavy flash crowd
+        // offers 500 rps over only 4 hot keys. Coalescing must lift
+        // goodput far beyond raw capacity (leaders do the work once).
+        let mut t = Topology::new("reads");
+        let s = t.add_service(ServiceSpec::new("s", 1));
+        let api = t.add_api(ApiSpec::single("read", CallNode::leaf(s, ms(10))));
+        let mut e = engine(t, vec![(api, 500.0)]);
+        e.set_front_door(
+            FrontConfig {
+                coalesce: Some(CoalesceConfig {
+                    cache_capacity: 64,
+                    cache_ttl: SimDuration::from_millis(500),
+                }),
+                priority: None,
+            },
+            vec![4],
+        );
+        e.run_until(SimTime::from_secs(20));
+        let tot = e.api_totals(api);
+        let stats = e.front_stats().expect("front door enabled");
+        assert!(stats.cache_hits.get() > 0, "cache must serve hits");
+        assert!(stats.follower_hits.get() > 0, "flights must coalesce");
+        let good_rate = tot.good as f64 / 20.0;
+        assert!(
+            good_rate >= 200.0,
+            "coalesced goodput {good_rate} rps must be ≥2× the 100 rps capacity"
+        );
+        assert_eq!(tot.failed, 0, "no failures in a cache-served crowd");
+        assert_eq!(tot.good + tot.slo_violated, tot.admitted);
+    }
+
+    #[test]
+    fn priority_gate_sheds_low_business_tier_first() {
+        let mut t = Topology::new("tiers");
+        let s = t.add_service(ServiceSpec::new("s", 1));
+        let hi = t.add_api(
+            ApiSpec::single("hi", CallNode::leaf(s, ms(10))).business(BusinessPriority(0)),
+        );
+        let lo = t.add_api(
+            ApiSpec::single("lo", CallNode::leaf(s, ms(10))).business(BusinessPriority(7)),
+        );
+        let mut e = engine(t, vec![(hi, 150.0), (lo, 150.0)]);
+        e.set_front_door(
+            FrontConfig {
+                coalesce: None,
+                priority: Some(PriorityConfig::default()),
+            },
+            vec![],
+        );
+        let journal = obs::Journal::shared();
+        e.set_journal(journal.clone());
+        e.run_until(SimTime::from_secs(60));
+        let hi_t = e.api_totals(hi);
+        let lo_t = e.api_totals(lo);
+        assert!(lo_t.rejected_shed > 0, "overload must shed the low tier");
+        assert!(
+            lo_t.rejected_shed > hi_t.rejected_shed,
+            "low tier shed ({}) must exceed high tier shed ({})",
+            lo_t.rejected_shed,
+            hi_t.rejected_shed
+        );
+        let hi_frac = hi_t.admitted as f64 / hi_t.offered as f64;
+        let lo_frac = lo_t.admitted as f64 / lo_t.offered as f64;
+        assert!(
+            hi_frac > lo_frac,
+            "high tier admitted fraction {hi_frac} must beat low tier {lo_frac}"
+        );
+        // Every threshold move and verdict window is journaled.
+        let entries = journal.snapshot();
+        assert!(entries
+            .iter()
+            .any(|e| matches!(e, obs::JournalEntry::PriorityThreshold { .. })));
+        assert!(entries
+            .iter()
+            .any(|e| matches!(e, obs::JournalEntry::AdmissionWindow { shed, .. } if *shed > 0)));
+    }
+
+    #[test]
+    fn leader_failure_fails_followers_without_hangs() {
+        // Queue capacity 0 at the backend: every led flight that
+        // reaches a full pod fails, and parked followers must fail
+        // with it (never hang as ghost admitted-but-unresolved work).
+        let mut t = Topology::new("fail");
+        let mut spec = ServiceSpec::new("s", 1);
+        spec.queue_capacity = 1;
+        let s = t.add_service(spec);
+        let api = t.add_api(ApiSpec::single("read", CallNode::leaf(s, ms(200))));
+        let mut e = engine(t, vec![(api, 200.0)]);
+        e.set_front_door(
+            FrontConfig {
+                coalesce: Some(CoalesceConfig {
+                    cache_capacity: 16,
+                    cache_ttl: SimDuration::from_millis(100),
+                }),
+                priority: None,
+            },
+            vec![16],
+        );
+        e.run_until(SimTime::from_secs(10));
+        let tot = e.api_totals(api);
+        assert!(tot.failed > 0, "overflow must fail some flights");
+        // Conservation: every admitted request resolves. Only work
+        // genuinely in flight at the cutoff instant may be pending —
+        // bounded by the key space, not growing with run length (which
+        // is what parked-forever followers would do).
+        let unresolved = tot.admitted - (tot.good + tot.slo_violated + tot.failed);
+        assert!(
+            unresolved <= 64,
+            "unresolved admitted work must stay bounded, got {unresolved}"
+        );
+    }
+}

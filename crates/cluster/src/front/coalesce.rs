@@ -1,0 +1,227 @@
+//! Single-flight request coalescing with a bounded, TTL'd response
+//! cache.
+//!
+//! Identical in-flight read requests — same `(api, key)` — collapse
+//! onto one *leader*: the first miss registers a flight, and every
+//! duplicate arriving before the leader completes becomes a *follower*
+//! parked on that flight (the caller owns the parking list; the cache
+//! only remembers who leads). When the leader completes, its response
+//! payload is stored and served to later arrivals directly from the
+//! cache until the TTL lapses. The cache is bounded: inserting beyond
+//! capacity evicts the least-recently-touched entry. Touch order is a
+//! monotone tick (unique per touch), so eviction is deterministic — a
+//! property the simulator's journal fingerprint depends on.
+
+use crate::types::ApiId;
+use simnet::{SimDuration, SimTime};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Outcome of a cache consultation for one arriving request.
+#[derive(Clone, Debug)]
+pub enum Lookup {
+    /// A fresh cached response; serve it without consuming a token.
+    Hit(Arc<str>),
+    /// An identical request is in flight; park on `leader`'s completion.
+    Follower {
+        /// Caller-assigned tag of the in-flight leader (request id).
+        leader: u64,
+    },
+    /// No cached or in-flight response; the caller may lead a flight.
+    Miss,
+}
+
+struct Entry {
+    payload: Arc<str>,
+    stored_at: SimTime,
+    touched: u64,
+}
+
+/// Bounded single-flight response cache. See module docs.
+pub struct CoalesceCache {
+    capacity: usize,
+    ttl: SimDuration,
+    entries: HashMap<(u32, u64), Entry>,
+    /// Keys with a flight in progress → the leader's tag.
+    inflight: HashMap<(u32, u64), u64>,
+    /// Monotone touch clock for deterministic LRU eviction.
+    tick: u64,
+}
+
+impl CoalesceCache {
+    pub fn new(capacity: usize, ttl: SimDuration) -> Self {
+        CoalesceCache {
+            capacity,
+            ttl,
+            entries: HashMap::new(),
+            inflight: HashMap::new(),
+            tick: 0,
+        }
+    }
+
+    /// Cached entries currently held (after lazy TTL expiry).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Flights currently registered.
+    pub fn inflight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Consult the cache for a request on `(api, key)` arriving at
+    /// `now`. An entry is fresh strictly within its TTL; an expired
+    /// entry is removed on the spot (lazy expiry — the capacity bound
+    /// keeps the map small regardless).
+    pub fn lookup(&mut self, api: ApiId, key: u64, now: SimTime) -> Lookup {
+        let k = (api.0, key);
+        if let Some(e) = self.entries.get_mut(&k) {
+            if now.duration_since(e.stored_at) < self.ttl {
+                self.tick += 1;
+                e.touched = self.tick;
+                return Lookup::Hit(e.payload.clone());
+            }
+            self.entries.remove(&k);
+        }
+        if let Some(&leader) = self.inflight.get(&k) {
+            return Lookup::Follower { leader };
+        }
+        Lookup::Miss
+    }
+
+    /// Register `leader` as the flight for `(api, key)`. Call only
+    /// after [`CoalesceCache::lookup`] returned [`Lookup::Miss`] and
+    /// the request passed the stages behind the cache.
+    pub fn begin_flight(&mut self, api: ApiId, key: u64, leader: u64) {
+        self.inflight.entry((api.0, key)).or_insert(leader);
+    }
+
+    /// The leader for `(api, key)` completed with `payload`: clear the
+    /// flight and cache the response (evicting LRU if at capacity).
+    pub fn complete_flight(&mut self, api: ApiId, key: u64, payload: Arc<str>, now: SimTime) {
+        let k = (api.0, key);
+        self.inflight.remove(&k);
+        if self.capacity == 0 {
+            return;
+        }
+        if !self.entries.contains_key(&k) && self.entries.len() >= self.capacity {
+            // Evict the least-recently-touched entry. Touch ticks are
+            // unique, so the minimum is well-defined regardless of map
+            // iteration order.
+            if let Some(&victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.touched)
+                .map(|(k, _)| k)
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.tick += 1;
+        self.entries.insert(
+            k,
+            Entry {
+                payload,
+                stored_at: now,
+                touched: self.tick,
+            },
+        );
+    }
+
+    /// The leader for `(api, key)` failed: clear the flight without
+    /// caching anything, so parked followers fail fast and the next
+    /// arrival leads a fresh flight.
+    pub fn fail_flight(&mut self, api: ApiId, key: u64) {
+        self.inflight.remove(&(api.0, key));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn hit(l: &Lookup) -> Option<&str> {
+        match l {
+            Lookup::Hit(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn miss_then_flight_then_hit() {
+        let mut c = CoalesceCache::new(8, SimDuration::from_secs(10));
+        assert!(matches!(c.lookup(ApiId(0), 7, t(0)), Lookup::Miss));
+        c.begin_flight(ApiId(0), 7, 41);
+        match c.lookup(ApiId(0), 7, t(0)) {
+            Lookup::Follower { leader } => assert_eq!(leader, 41),
+            other => panic!("expected follower, got {other:?}"),
+        }
+        c.complete_flight(ApiId(0), 7, "payload".into(), t(1));
+        assert_eq!(c.inflight(), 0);
+        assert_eq!(hit(&c.lookup(ApiId(0), 7, t(2))), Some("payload"));
+    }
+
+    #[test]
+    fn ttl_expires_entries_lazily() {
+        let mut c = CoalesceCache::new(8, SimDuration::from_secs(5));
+        c.complete_flight(ApiId(0), 1, "x".into(), t(0));
+        assert!(hit(&c.lookup(ApiId(0), 1, t(4))).is_some());
+        // Exactly at the TTL the entry is stale (fresh strictly within).
+        assert!(matches!(c.lookup(ApiId(0), 1, t(5)), Lookup::Miss));
+        assert!(c.is_empty(), "expired entry removed on lookup");
+    }
+
+    #[test]
+    fn lru_eviction_prefers_least_recently_touched() {
+        let mut c = CoalesceCache::new(2, SimDuration::from_secs(100));
+        c.complete_flight(ApiId(0), 1, "a".into(), t(0));
+        c.complete_flight(ApiId(0), 2, "b".into(), t(0));
+        // Touch key 1 so key 2 is the LRU victim.
+        assert!(hit(&c.lookup(ApiId(0), 1, t(1))).is_some());
+        c.complete_flight(ApiId(0), 3, "c".into(), t(2));
+        assert_eq!(c.len(), 2);
+        assert!(hit(&c.lookup(ApiId(0), 1, t(3))).is_some(), "kept");
+        assert!(
+            matches!(c.lookup(ApiId(0), 2, t(3)), Lookup::Miss),
+            "evicted"
+        );
+        assert!(hit(&c.lookup(ApiId(0), 3, t(3))).is_some(), "newest kept");
+    }
+
+    #[test]
+    fn failed_flight_caches_nothing() {
+        let mut c = CoalesceCache::new(8, SimDuration::from_secs(10));
+        c.begin_flight(ApiId(2), 9, 5);
+        c.fail_flight(ApiId(2), 9);
+        assert!(matches!(c.lookup(ApiId(2), 9, t(1)), Lookup::Miss));
+        assert_eq!(c.inflight(), 0);
+    }
+
+    #[test]
+    fn keys_are_scoped_per_api() {
+        let mut c = CoalesceCache::new(8, SimDuration::from_secs(10));
+        c.complete_flight(ApiId(0), 1, "api0".into(), t(0));
+        assert!(matches!(c.lookup(ApiId(1), 1, t(0)), Lookup::Miss));
+        assert_eq!(hit(&c.lookup(ApiId(0), 1, t(0))), Some("api0"));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching_but_not_single_flight() {
+        let mut c = CoalesceCache::new(0, SimDuration::from_secs(10));
+        c.begin_flight(ApiId(0), 1, 3);
+        assert!(matches!(
+            c.lookup(ApiId(0), 1, t(0)),
+            Lookup::Follower { leader: 3 }
+        ));
+        c.complete_flight(ApiId(0), 1, "x".into(), t(0));
+        assert!(matches!(c.lookup(ApiId(0), 1, t(0)), Lookup::Miss));
+    }
+}

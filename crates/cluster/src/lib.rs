@@ -38,6 +38,7 @@ pub mod engine;
 pub mod entry_admission;
 pub mod failure;
 pub mod faults;
+pub mod front;
 pub mod gateway;
 pub mod harness;
 pub mod observe;

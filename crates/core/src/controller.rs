@@ -229,6 +229,14 @@ pub struct TopFull {
     /// `anchor × COLLAPSE_FLOOR_FRAC`; entries clear when the target's
     /// collapse conditions clear.
     collapse_anchor: std::collections::HashMap<u32, f64>,
+    /// Collapse-backoff anchors for the recovery-probe path, keyed by
+    /// API: when the overload detector flaps (e.g. telemetry noise
+    /// around the enter threshold), a freshly throttled API's cuts
+    /// route through the per-API recovery decision — which must apply
+    /// the same escalation, or the walk-down from a transient-inflated
+    /// limit is the normal step law again while nothing is served (the
+    /// fuzzer's noise-blinded-descent reproducer, fuzz 2-10).
+    recovery_anchor: std::collections::HashMap<u32, f64>,
     /// Control ticks elapsed (one per `control` call).
     ticks: u64,
     /// Tick at which each API's limit was last initialized from the
@@ -271,6 +279,7 @@ impl TopFull {
             prev_overloaded: Vec::new(),
             prev_assignment: String::new(),
             collapse_anchor: std::collections::HashMap::new(),
+            recovery_anchor: std::collections::HashMap::new(),
             ticks: 0,
             limit_init: std::collections::HashMap::new(),
         }
@@ -381,6 +390,50 @@ impl TopFull {
             },
             latency_ratio: (lat / slo).clamp(0.0, 5.0),
             total_limit: limit,
+        }
+    }
+
+    /// Collapse backoff for the recovery-probe path. The cluster path's
+    /// escalation (below, in `control`) only covers APIs that are a
+    /// cluster decision target this tick; when the overload detector
+    /// flaps — telemetry noise straddling the enter threshold — a
+    /// freshly throttled API's path reads as cold for a tick and its
+    /// cut routes through the per-API recovery decision instead. Same
+    /// law, same episode budget, anchored per API: a small cut under
+    /// collapsed admission (goodput ≈ 0, latency pinned past the SLO)
+    /// within the initialization window deepens to `collapse_backoff`,
+    /// bounded by `anchor × COLLAPSE_FLOOR_FRAC`. Returns the possibly
+    /// deepened action and whether it escalated.
+    fn escalate_recovery_cut(&mut self, api: ApiId, a: f64, s: &RateState) -> (f64, bool) {
+        let collapsed = self.cfg.collapse_backoff > 0.0
+            && a.is_finite()
+            && a < 0.0
+            && a > -self.cfg.collapse_backoff
+            && s.goodput_ratio < COLLAPSE_GOODPUT_EPS
+            && s.latency_ratio >= COLLAPSE_LATENCY_RATIO
+            && s.total_limit.is_finite()
+            && s.total_limit > 0.0;
+        if !collapsed {
+            // Episode over: conditions cleared (or never held).
+            self.recovery_anchor.remove(&api.0);
+            return (a, false);
+        }
+        if !self.recovery_anchor.contains_key(&api.0) {
+            let recent = self
+                .limit_init
+                .get(&api.0)
+                .is_some_and(|e| self.ticks.saturating_sub(*e) <= COLLAPSE_INIT_WINDOW);
+            if !recent {
+                return (a, false);
+            }
+        }
+        let anchor = *self.recovery_anchor.entry(api.0).or_insert(s.total_limit);
+        let floor_action = (anchor * COLLAPSE_FLOOR_FRAC) / s.total_limit - 1.0;
+        let deep = (-self.cfg.collapse_backoff).max(floor_action);
+        if deep < a {
+            (deep, true)
+        } else {
+            (a, false)
         }
     }
 
@@ -838,6 +891,7 @@ impl Controller for TopFull {
             }
             let state = self.state_for(obs, &[api]);
             let action = self.cfg.rate_controller.decide(state);
+            let (action, escalated) = self.escalate_recovery_cut(api, action, &state);
             // Preserve the headroom counter across the action.
             let ticks = self.headroom_ticks[i];
             self.apply_action(obs, api, action, &mut updates);
@@ -852,6 +906,9 @@ impl Controller for TopFull {
                 } else {
                     format!("recovery probe: {name} action non-finite; step dropped")
                 };
+                if escalated {
+                    reason.push_str("; collapse backoff: admission collapsed, cut deepened");
+                }
                 if degraded {
                     if name.starts_with("safe(") {
                         reason.push_str("; degraded telemetry routed to mimd fallback");
@@ -1065,6 +1122,48 @@ mod tests {
         assert!(
             (ups[0].rate - expect).abs() < 1e-6,
             "late collapse must not escalate: {} vs {expect}",
+            ups[0].rate
+        );
+    }
+
+    #[test]
+    fn collapse_backoff_applies_on_recovery_probe_path() {
+        let mut tf = TopFull::new(TopFullConfig::default());
+        // Tick 1: first throttle initializes from admitted (300→285).
+        tf.control(&obs(
+            &[0.95],
+            &[(300.0, 300.0, 80.0, 2000, 0, f64::INFINITY)],
+            vec![sid(&[0])],
+        ));
+        // Tick 2: telemetry noise drops the reported utilization below
+        // the enter threshold — the detector flaps, the API's path
+        // reads cold, and the collapsed cut routes through the per-API
+        // recovery probe. It must escalate exactly like the cluster
+        // path (fuzz 2-10: without this, the walk-down from the
+        // inflated limit is −5%/tick while nothing is served).
+        let ups = tf.control(&obs(&[0.5], &[COLLAPSED], vec![sid(&[0])]));
+        assert_eq!(ups.len(), 1);
+        assert!(
+            (ups[0].rate - 285.0 * 0.75).abs() < 1e-9,
+            "recovery-path cut must escalate under collapse, got {}",
+            ups[0].rate
+        );
+        // Recovery ticks continue the episode down to the same floor …
+        let mut last = ups[0].rate;
+        for _ in 0..4 {
+            let ups = tf.control(&obs(&[0.5], &[COLLAPSED], vec![sid(&[0])]));
+            last = ups[0].rate;
+        }
+        let floor = 285.0 * COLLAPSE_FLOOR_FRAC;
+        assert!(
+            (last - floor).abs() < 1e-6,
+            "recovery descent should stop at the episode floor: {last} vs {floor}"
+        );
+        // … past which the normal −5% law resumes.
+        let ups = tf.control(&obs(&[0.5], &[COLLAPSED], vec![sid(&[0])]));
+        assert!(
+            (ups[0].rate - floor * 0.95).abs() < 1e-6,
+            "normal step past the floor, got {}",
             ups[0].rate
         );
     }

@@ -30,6 +30,7 @@
 //! only the primary (first) path of a branching API is exercised.
 
 use crate::clock::WallClock;
+use crate::front::{self, LiveAdmission};
 use crate::metrics::LiveMetrics;
 use crate::poller::Waker;
 use cluster::tracing::{Span, SpanVerdict};
@@ -38,7 +39,7 @@ use cluster::Topology;
 use simnet::SimDuration;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -100,6 +101,10 @@ pub struct Job {
     pub enqueued: Instant,
     /// Index into the API's stage list.
     pub stage: usize,
+    /// `(api, key)` when this job leads a coalesced read; its
+    /// completion (or failure) settles the flight and releases the
+    /// followers parked behind it.
+    pub flight: Option<(u32, u64)>,
     /// Completion route to the owning connection's event loop.
     pub reply: ReplySink,
 }
@@ -113,6 +118,9 @@ pub struct Routing {
     pub slo: Duration,
     /// The server's clock, for span timestamps.
     pub clock: WallClock,
+    /// The gateway's admission bank, for settling coalesced flights
+    /// from worker threads. `None` when no front door is configured.
+    pub admission: Option<Arc<Mutex<LiveAdmission>>>,
 }
 
 impl Routing {
@@ -135,6 +143,22 @@ impl Routing {
                 metrics.on_dropped(svc);
                 metrics.on_failed(api);
                 job.reply.send(format!("ERR {}\n", job.id));
+                // A failed leader clears its flight so followers fail
+                // fast instead of hanging on a leader that will never
+                // complete.
+                if let Some((api, key)) = job.flight {
+                    if let Some(adm) = self.admission.as_deref() {
+                        front::settle_flight(
+                            adm,
+                            metrics,
+                            self.slo,
+                            api,
+                            key,
+                            None,
+                            self.clock.now(),
+                        );
+                    }
+                }
                 false
             }
         }
@@ -179,6 +203,7 @@ impl WorkerPool {
         clock: WallClock,
         metrics: &Arc<LiveMetrics>,
         shutdown: &Arc<AtomicBool>,
+        admission: Option<Arc<Mutex<LiveAdmission>>>,
     ) -> (Self, Arc<Routing>) {
         let stages = build_stages(topo, cpu_scale);
         let mut queues = Vec::with_capacity(topo.num_services());
@@ -193,6 +218,7 @@ impl WorkerPool {
             queues,
             slo,
             clock,
+            admission,
         });
         let handles = receivers
             .into_iter()
@@ -262,6 +288,21 @@ fn worker_loop(
             });
             job.reply
                 .send(format!("OK {} {}\n", job.id, latency.as_micros()));
+            // A completed leader publishes its payload to the response
+            // cache and releases the followers parked on its flight.
+            if let Some((api, key)) = job.flight {
+                if let Some(adm) = routing.admission.as_deref() {
+                    front::settle_flight(
+                        adm,
+                        metrics,
+                        routing.slo,
+                        api,
+                        key,
+                        Some(&latency.as_micros().to_string()),
+                        end,
+                    );
+                }
+            }
         }
     }
 }
@@ -332,6 +373,7 @@ mod tests {
             WallClock::start(),
             &metrics,
             &shutdown,
+            None,
         );
         let (sink, rx) = test_sink(0xAB00_0001);
         let now = Instant::now();
@@ -343,6 +385,7 @@ mod tests {
                     accepted: now,
                     enqueued: Instant::now(),
                     stage: 0,
+                    flight: None,
                     reply: sink.clone(),
                 },
                 &metrics,
@@ -383,6 +426,7 @@ mod tests {
             WallClock::start(),
             &metrics,
             &shutdown,
+            None,
         );
         let (sink, rx) = test_sink(1);
         // Flood far past the queue bound; at least one ERR must surface.
@@ -395,6 +439,7 @@ mod tests {
                     accepted: Instant::now(),
                     enqueued: Instant::now(),
                     stage: 0,
+                    flight: None,
                     reply: sink.clone(),
                 },
                 &metrics,

@@ -4,12 +4,19 @@
 //! ## Wire protocol (line-based, one session per connection)
 //!
 //! ```text
-//! client → REQ <id> <api_idx>\n
+//! client → REQ <id> <api_idx> [key]\n
 //! server → OK <id> <latency_us>\n     request completed end-to-end
-//!          REJ <id>\n                 shed at the entry token bucket
+//!          REJ <id> limit\n           shed at the entry token bucket
+//!          REJ <id> shed\n            shed by the priority gate
 //!          ERR <id>\n                 dropped at a full service queue
 //!                                     (or the line was malformed; id 0)
 //! ```
+//!
+//! The optional `key` marks the request as a coalescable read of that
+//! resource: when the front door is configured, duplicate keyed reads
+//! are answered from the single-flight cache (`OK` with the cached
+//! payload) or parked behind the in-flight leader and answered when it
+//! completes — each follower reporting its own measured latency.
 //!
 //! Responses are **not** ordered with respect to requests: a client may
 //! pipeline many `REQ` lines and match replies by id.
@@ -30,9 +37,10 @@
 //!    connection per wakeup; level-triggered epoll re-arms leftovers);
 //! 2. **wire-parse** — the [`LineDecoder`] frames requests across
 //!    arbitrary segment boundaries and resyncs past oversized garbage;
-//! 3. **admission** — one [`EntryAdmission`] lock admits the whole
-//!    batch (the bucket costs ~7 ns/decision; the lock and clock reads
-//!    are amortized across the batch);
+//! 3. **admission** — one [`LiveAdmission`] lock admits the whole
+//!    batch through the full stage pipeline — coalescing, priority
+//!    gate, token bucket (the bucket costs ~7 ns/decision; the lock
+//!    and clock reads are amortized across the batch);
 //! 4. **response** — `REJ`/`ERR` lines and worker completions are
 //!    appended to per-connection output buffers and flushed with one
 //!    `write` per connection per wakeup, with partial-write carry.
@@ -56,11 +64,12 @@
 
 use crate::clock::WallClock;
 use crate::executors::{Completion, Job, ReplySink, Routing};
+use crate::front::LiveAdmission;
 use crate::http::{self, MetricsHttp};
 use crate::metrics::LiveMetrics;
 use crate::poller::{Interest, Poller, Waker};
 use crate::wire::{LineDecoder, WireItem};
-use cluster::EntryAdmission;
+use cluster::front::PreVerdict;
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
@@ -75,7 +84,7 @@ pub use crate::wire::parse_request;
 /// Shared state every event loop needs. The shutdown flag is the same
 /// `Arc` the worker pool polls, so one store stops the world.
 pub struct GatewayShared {
-    pub admission: Mutex<EntryAdmission>,
+    pub admission: Arc<Mutex<LiveAdmission>>,
     pub clock: WallClock,
     pub metrics: Arc<LiveMetrics>,
     pub routing: Arc<Routing>,
@@ -181,6 +190,25 @@ struct PendingReq {
     token: u64,
     id: u64,
     api: usize,
+    /// Coalescing resource key (the wire line's optional fourth token).
+    key: Option<u64>,
+}
+
+/// The batched admission verdict for one pending request, computed
+/// under the single per-wakeup lock; all bookkeeping (metrics, spans,
+/// output buffers) happens after the lock is released.
+enum Verdict {
+    /// Answered inline from the single-flight cache.
+    CacheHit(Arc<str>),
+    /// Parked behind the in-flight leader; answered at flight settle.
+    Parked,
+    /// Shed by the priority gate before the token bucket.
+    Shed,
+    /// Rejected by the entry token bucket.
+    RejectEntry,
+    /// Admitted into the worker pool; `flight` is set when this request
+    /// leads a coalesced read.
+    Submit { flight: Option<(u32, u64)> },
 }
 
 /// One sharded acceptor+worker event loop.
@@ -467,12 +495,13 @@ impl EventLoop {
                     let token = conn.token;
                     for item in self.items.drain(..) {
                         match item {
-                            WireItem::Request { id, api } if api < num_apis => {
+                            WireItem::Request { id, api, key } if api < num_apis => {
                                 self.pending.push(PendingReq {
                                     slot,
                                     token,
                                     id,
                                     api,
+                                    key,
                                 });
                             }
                             WireItem::Request { id, .. } => {
@@ -549,6 +578,11 @@ impl EventLoop {
 
     /// One admission lock and one clock read for every request this
     /// wakeup produced, then per-verdict bookkeeping.
+    ///
+    /// The lock scope runs the whole stage pipeline per request —
+    /// coalescing lookup, priority gate, token bucket, and (for a
+    /// leading read) flight registration — but *no* I/O or metric
+    /// work: responses, spans and counters happen after release.
     fn admit_pending(&mut self) {
         if self.pending.is_empty() {
             return;
@@ -556,61 +590,133 @@ impl EventLoop {
         let pending = std::mem::take(&mut self.pending);
         let metrics = Arc::clone(&self.shared.metrics);
         let now = self.shared.clock.now();
+        for p in &pending {
+            metrics.on_offered(p.api);
+        }
         let mut verdicts = Vec::with_capacity(pending.len());
         {
             let mut adm = self.shared.admission.lock().expect("admission lock");
+            let LiveAdmission { entry, front } = &mut *adm;
             for p in &pending {
-                metrics.on_offered(p.api);
-                verdicts.push(adm.try_admit(cluster::ApiId(p.api as u32), now));
+                let api = cluster::ApiId(p.api as u32);
+                let lead = if let Some(front) = front.as_mut() {
+                    let business = front.business(p.api);
+                    let user = front.user_level(p.id);
+                    match front.door.pre_admit(api, p.key, business, user, now) {
+                        PreVerdict::CacheHit(payload) => {
+                            verdicts.push(Verdict::CacheHit(payload));
+                            continue;
+                        }
+                        PreVerdict::Follower { .. } => {
+                            let reply =
+                                ReplySink::new(p.token, self.comp_tx.clone(), self.waker.clone());
+                            front.park(api.0, p.key.expect("followers carry a key"), p.id, reply);
+                            verdicts.push(Verdict::Parked);
+                            continue;
+                        }
+                        PreVerdict::Shed { .. } => {
+                            verdicts.push(Verdict::Shed);
+                            continue;
+                        }
+                        PreVerdict::Proceed { lead } => lead,
+                    }
+                } else {
+                    false
+                };
+                if entry.try_admit(api, now) {
+                    let flight = if lead {
+                        let key = p.key.expect("a leading read carries a key");
+                        front
+                            .as_mut()
+                            .expect("lead implies a front door")
+                            .door
+                            .begin_flight(api, key, p.id);
+                        Some((api.0, key))
+                    } else {
+                        None
+                    };
+                    verdicts.push(Verdict::Submit { flight });
+                } else {
+                    verdicts.push(Verdict::RejectEntry);
+                }
             }
         }
         let accepted = Instant::now();
-        for (p, admitted) in pending.iter().zip(&verdicts) {
-            if *admitted {
-                metrics.on_admitted(p.api);
-                let reply = ReplySink::new(p.token, self.comp_tx.clone(), self.waker.clone());
-                self.shared.routing.submit(
-                    Job {
-                        id: p.id,
-                        api: p.api,
-                        accepted,
-                        enqueued: accepted,
-                        stage: 0,
-                        reply,
-                    },
-                    &metrics,
-                );
-            } else {
-                metrics.on_rejected(p.api);
-                // Zero-duration rejection marker at the API's entry
-                // service — the same span the simulator's gateway
-                // records, so the sim2real overlay can compare admission
-                // decisions span-for-span.
-                if let Some(entry) = self.shared.routing.stages[p.api].first() {
-                    metrics.record_span(cluster::tracing::Span {
-                        request: p.id,
-                        api: cluster::ApiId(p.api as u32),
-                        service: cluster::ServiceId(entry.service as u32),
-                        parent: None,
-                        start: now,
-                        end: now,
-                        verdict: cluster::tracing::SpanVerdict::RejectedAtEntry,
-                    });
+        let slo = self.shared.routing.slo;
+        for (p, verdict) in pending.iter().zip(&verdicts) {
+            match verdict {
+                Verdict::Submit { flight } => {
+                    metrics.on_admitted(p.api);
+                    let reply = ReplySink::new(p.token, self.comp_tx.clone(), self.waker.clone());
+                    self.shared.routing.submit(
+                        Job {
+                            id: p.id,
+                            api: p.api,
+                            accepted,
+                            enqueued: accepted,
+                            stage: 0,
+                            flight: *flight,
+                            reply,
+                        },
+                        &metrics,
+                    );
                 }
-                if let Some(conn) = self.conns.get_mut(p.slot).and_then(|s| s.as_mut()) {
-                    if conn.token == p.token {
-                        conn.push_out(format!("REJ {}\n", p.id).as_bytes());
-                        if !conn.dirty {
-                            conn.dirty = true;
-                            self.dirty.push(p.slot);
-                        }
+                Verdict::CacheHit(payload) => {
+                    // A cached read never touches the worker pool: it is
+                    // admitted and completed in the same wakeup, with
+                    // effectively zero service latency.
+                    metrics.on_admitted(p.api);
+                    metrics.on_complete(p.api, Duration::ZERO, slo);
+                    self.push_to_conn(p.slot, p.token, &format!("OK {} {payload}\n", p.id));
+                }
+                Verdict::Parked => {
+                    // Counted admitted now; completion metrics land when
+                    // the leader's flight settles (`front::settle_flight`).
+                    metrics.on_admitted(p.api);
+                }
+                Verdict::Shed | Verdict::RejectEntry => {
+                    metrics.on_rejected(p.api);
+                    // Zero-duration rejection marker at the API's entry
+                    // service — the same span the simulator's gateway
+                    // records, so the sim2real overlay can compare
+                    // admission decisions span-for-span.
+                    if let Some(entry) = self.shared.routing.stages[p.api].first() {
+                        metrics.record_span(cluster::tracing::Span {
+                            request: p.id,
+                            api: cluster::ApiId(p.api as u32),
+                            service: cluster::ServiceId(entry.service as u32),
+                            parent: None,
+                            start: now,
+                            end: now,
+                            verdict: cluster::tracing::SpanVerdict::RejectedAtEntry,
+                        });
                     }
+                    let class = if matches!(verdict, Verdict::Shed) {
+                        "shed"
+                    } else {
+                        "limit"
+                    };
+                    self.push_to_conn(p.slot, p.token, &format!("REJ {} {class}\n", p.id));
                 }
             }
         }
         let mut pending = pending;
         pending.clear();
         self.pending = pending;
+    }
+
+    /// Append a response line to a connection's output buffer if the
+    /// connection is still the one the token was minted for.
+    fn push_to_conn(&mut self, slot: usize, token: u64, line: &str) {
+        if let Some(conn) = self.conns.get_mut(slot).and_then(|s| s.as_mut()) {
+            if conn.token == token {
+                conn.push_out(line.as_bytes());
+                if !conn.dirty {
+                    conn.dirty = true;
+                    self.dirty.push(slot);
+                }
+            }
+        }
     }
 
     // ---- write side ----------------------------------------------------

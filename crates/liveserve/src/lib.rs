@@ -24,6 +24,7 @@
 
 pub mod clock;
 pub mod executors;
+pub mod front;
 pub mod gateway;
 pub mod http;
 pub mod loadgen;
@@ -33,13 +34,14 @@ pub mod shardrun;
 pub mod wire;
 
 pub use clock::WallClock;
-pub use loadgen::{ClosedLoopSpec, LoadGen, OpenLoopArm};
+pub use loadgen::{ClosedLoopSpec, LoadGen, OpenLoopArm, RejectCounts};
 pub use metrics::{AppDescriptor, LiveMetrics};
 pub use shardrun::{ShardedLive, ShardedLiveConfig, ShardedLiveResult};
 
 use cluster::observe::ClusterObservation;
 use cluster::{ApiId, Controller, EntryAdmission, RateLimitUpdate, Topology};
 use executors::WorkerPool;
+use front::{LiveAdmission, LiveFront};
 use gateway::{EventLoops, GatewayShared, LoopConfig};
 use simnet::SimTime;
 use std::net::{SocketAddr, TcpListener};
@@ -70,6 +72,10 @@ pub struct LiveConfig {
     /// Per-connection pending-output cap in bytes. Reads pause at half
     /// of this; a peer that lets completions pile past it is dropped.
     pub max_conn_output: usize,
+    /// Optional front door (single-flight coalescing + priority
+    /// admission) ahead of the token bucket — the same
+    /// [`cluster::front::FrontDoor`] stages the simulator runs.
+    pub front: Option<cluster::front::FrontConfig>,
 }
 
 impl Default for LiveConfig {
@@ -83,6 +89,7 @@ impl Default for LiveConfig {
             metrics_port: 0,
             event_loops: 0,
             max_conn_output: 1 << 20,
+            front: None,
         }
     }
 }
@@ -237,10 +244,26 @@ impl LiveServer {
         let registry = Arc::new(obs::Registry::new());
         metrics.register_into(&registry, &desc);
         let shutdown = Arc::new(AtomicBool::new(false));
-        let (pool, routing) =
-            WorkerPool::start(topo, cfg.cpu_scale, cfg.slo, clock, &metrics, &shutdown);
+        let front = cfg.front.map(|fc| {
+            let lf = LiveFront::new(fc, topo);
+            lf.door.stats().register_into(&registry);
+            lf
+        });
+        let admission = Arc::new(Mutex::new(LiveAdmission {
+            entry: EntryAdmission::new(topo.num_apis(), cfg.gateway_burst_secs),
+            front,
+        }));
+        let (pool, routing) = WorkerPool::start(
+            topo,
+            cfg.cpu_scale,
+            cfg.slo,
+            clock,
+            &metrics,
+            &shutdown,
+            Some(Arc::clone(&admission)),
+        );
         let shared = Arc::new(GatewayShared {
-            admission: Mutex::new(EntryAdmission::new(topo.num_apis(), cfg.gateway_burst_secs)),
+            admission,
             clock,
             metrics: Arc::clone(&metrics),
             routing,
@@ -295,6 +318,7 @@ impl LiveServer {
             .admission
             .lock()
             .expect("admission lock")
+            .entry
             .rate_limit(ApiId(api as u32))
     }
 
@@ -307,8 +331,8 @@ impl LiveServer {
         self.window_start = now;
         let rate_limits: Vec<f64> = {
             let admission = self.shared.admission.lock().expect("admission lock");
-            (0..admission.num_apis())
-                .map(|i| admission.rate_limit(ApiId(i as u32)))
+            (0..admission.entry.num_apis())
+                .map(|i| admission.entry.rate_limit(ApiId(i as u32)))
                 .collect()
         };
         let obs = self
@@ -317,6 +341,16 @@ impl LiveServer {
             .observe(&self.desc, now, window, &rate_limits);
         // Bound the live path learner exactly like the simulator's tick.
         self.shared.metrics.compact_traces(now);
+        // Close the front door's window on the same cadence as the
+        // simulator's tick: counters fold into the stats gauges, and
+        // the priority threshold adapts on the queuing-delay signal.
+        {
+            let mut admission = self.shared.admission.lock().expect("admission lock");
+            if let Some(front) = admission.front.as_mut() {
+                let overloaded = front.door.overloaded(&obs);
+                let _ = front.door.tick(overloaded);
+            }
+        }
         LiveTick {
             t_secs: now.as_secs_f64(),
             obs,
@@ -332,7 +366,7 @@ impl LiveServer {
         let mut admission = self.shared.admission.lock().expect("admission lock");
         let at = self.shared.clock.now();
         for u in updates {
-            admission.set_rate_limit(u.api, u.rate, at);
+            admission.entry.set_rate_limit(u.api, u.rate, at);
         }
     }
 
@@ -501,6 +535,51 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_keyed_reads_coalesce_onto_one_flight() {
+        // One API with a hefty burn so pipelined duplicates land while
+        // the leader is still in flight (or, if the batch splits, after
+        // it cached) — either way they coalesce, not re-execute.
+        let mut t = Topology::default();
+        let s = t.add_service(ServiceSpec::new("svc", 1).queue_capacity(64));
+        t.add_api(ApiSpec::single(
+            "read",
+            CallNode::leaf(s, SimDuration::from_millis(20)),
+        ));
+        let cfg = LiveConfig {
+            front: Some(cluster::front::FrontConfig {
+                coalesce: Some(cluster::front::CoalesceConfig::default()),
+                priority: None,
+            }),
+            ..LiveConfig::default()
+        };
+        let mut server = LiveServer::start(&t, cfg).expect("start");
+        let mut conn = TcpStream::connect(server.addr()).expect("connect");
+        conn.write_all(b"REQ 1 0 7\nREQ 2 0 7\nREQ 3 0 7\n")
+            .expect("send");
+        let mut reader = BufReader::new(conn);
+        let mut ids = Vec::new();
+        for _ in 0..3 {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("reply");
+            let mut parts = line.split_whitespace();
+            assert_eq!(parts.next(), Some("OK"), "got {line:?}");
+            ids.push(parts.next().expect("id").to_string());
+        }
+        ids.sort();
+        assert_eq!(ids, ["1", "2", "3"]);
+        let text = http_get(server.metrics_addr(), "/metrics");
+        let hits: u64 = text
+            .lines()
+            .filter(|l| l.starts_with("topfull_coalesce_hit_total"))
+            .map(|l| l.split_whitespace().last().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(hits, 2, "two of three duplicates coalesced:\n{text}");
+        let tick = server.tick(&mut NoControl);
+        assert_eq!(tick.obs.apis[0].admitted, tick.obs.apis[0].offered);
+        server.shutdown();
+    }
+
+    #[test]
     fn zero_rate_limit_rejects_at_entry() {
         struct Throttle;
         impl Controller for Throttle {
@@ -518,7 +597,7 @@ mod tests {
         conn.write_all(b"REQ 7 0\n").expect("send");
         let mut line = String::new();
         BufReader::new(conn).read_line(&mut line).expect("reply");
-        assert_eq!(line, "REJ 7\n");
+        assert_eq!(line, "REJ 7 limit\n");
         let tick = server.tick(&mut NoControl);
         assert!(tick.obs.apis[0].offered > 0.0);
         assert_eq!(tick.obs.apis[0].admitted, 0.0);

@@ -15,7 +15,7 @@
 
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -42,6 +42,10 @@ pub struct ClosedLoopSpec {
     pub think: Duration,
     /// `(api_idx, weight)`; weights need not be normalized.
     pub api_weights: Vec<(usize, f64)>,
+    /// Per-API coalescing key space, indexed by wire API index. A
+    /// request to an API with space `k > 0` carries a uniformly drawn
+    /// key in `[0, k)`; `0` (or a missing entry) sends keyless lines.
+    pub key_spaces: Vec<u64>,
 }
 
 /// One open-loop surge arm.
@@ -50,12 +54,49 @@ pub struct OpenLoopArm {
     pub api: usize,
     /// `(t_secs, requests_per_sec)` steps.
     pub rate_steps: Vec<(f64, f64)>,
+    /// Coalescing key space; `0` sends keyless lines.
+    pub key_space: u64,
+}
+
+/// Per-class reject counts, parsed from `REJ` replies by every reply
+/// reader the generator runs. The two classes are the gateway's two
+/// shed points: `limit` (entry token bucket) and `shed` (priority
+/// gate); a legacy bare `REJ <id>` counts as `limit`.
+#[derive(Default)]
+pub struct RejectCounts {
+    limit: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl RejectCounts {
+    fn record(&self, line: &str) {
+        let mut parts = line.split_ascii_whitespace();
+        if parts.next() != Some("REJ") {
+            return;
+        }
+        let _id = parts.next();
+        match parts.next() {
+            Some("shed") => self.shed.fetch_add(1, Ordering::Relaxed),
+            _ => self.limit.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Rejections at the entry token bucket.
+    pub fn limit(&self) -> u64 {
+        self.limit.load(Ordering::Relaxed)
+    }
+
+    /// Sheds at the priority gate.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
 }
 
 /// Running load generator; stop with [`LoadGen::stop`].
 pub struct LoadGen {
     stop: Arc<AtomicBool>,
     handles: Vec<JoinHandle<()>>,
+    rejects: Arc<RejectCounts>,
 }
 
 impl LoadGen {
@@ -66,6 +107,7 @@ impl LoadGen {
         arms: Vec<OpenLoopArm>,
     ) -> std::io::Result<Self> {
         let stop = Arc::new(AtomicBool::new(false));
+        let rejects = Arc::new(RejectCounts::default());
         let start = Instant::now();
         let mut handles = Vec::new();
         if let Some(spec) = closed {
@@ -80,10 +122,11 @@ impl LoadGen {
                 let conn = TcpStream::connect(addr)?;
                 let stop = Arc::clone(&stop);
                 let spec = Arc::clone(&spec);
+                let rejects = Arc::clone(&rejects);
                 handles.push(
                     std::thread::Builder::new()
                         .name(format!("live-user-{slot}"))
-                        .spawn(move || closed_user(conn, slot, &spec, start, &stop))
+                        .spawn(move || closed_user(conn, slot, &spec, start, &stop, &rejects))
                         .expect("spawn user"),
                 );
             }
@@ -93,20 +136,30 @@ impl LoadGen {
             let drain_conn = send_conn.try_clone()?;
             let stop_s = Arc::clone(&stop);
             let stop_d = Arc::clone(&stop);
+            let rejects_d = Arc::clone(&rejects);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("live-arm-{i}"))
-                    .spawn(move || open_loop_sender(send_conn, &arm, start, &stop_s))
+                    .spawn(move || open_loop_sender(send_conn, i, &arm, start, &stop_s))
                     .expect("spawn arm sender"),
             );
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("live-arm-drain-{i}"))
-                    .spawn(move || drain_replies(drain_conn, &stop_d))
+                    .spawn(move || drain_replies(drain_conn, &stop_d, &rejects_d))
                     .expect("spawn arm drainer"),
             );
         }
-        Ok(LoadGen { stop, handles })
+        Ok(LoadGen {
+            stop,
+            handles,
+            rejects,
+        })
+    }
+
+    /// Per-class reject counts observed so far (live; monotone).
+    pub fn rejects(&self) -> &RejectCounts {
+        &self.rejects
     }
 
     /// Signal every client thread and join them.
@@ -149,6 +202,7 @@ fn closed_user(
     spec: &ClosedLoopSpec,
     start: Instant,
     stop: &AtomicBool,
+    rejects: &RejectCounts,
 ) {
     let _ = conn.set_nodelay(true);
     let _ = conn.set_read_timeout(Some(Duration::from_millis(250)));
@@ -165,8 +219,15 @@ fn closed_user(
         }
         id += 1;
         let api = pick_api(&spec.api_weights, &mut rng);
+        let req = match spec.key_spaces.get(api).copied().unwrap_or(0) {
+            0 => format!("REQ {id} {api}\n"),
+            space => {
+                let key = ((xorshift(&mut rng) * space as f64) as u64).min(space - 1);
+                format!("REQ {id} {api} {key}\n")
+            }
+        };
         if writer
-            .write_all(format!("REQ {id} {api}\n").as_bytes())
+            .write_all(req.as_bytes())
             .and_then(|()| writer.flush())
             .is_err()
         {
@@ -177,7 +238,7 @@ fn closed_user(
         line.clear();
         match reader.read_line(&mut line) {
             Ok(0) => return,
-            Ok(_) => {}
+            Ok(_) => rejects.record(&line),
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                 if stop.load(Ordering::Relaxed) {
                     return;
@@ -189,10 +250,17 @@ fn closed_user(
     }
 }
 
-fn open_loop_sender(conn: TcpStream, arm: &OpenLoopArm, start: Instant, stop: &AtomicBool) {
+fn open_loop_sender(
+    conn: TcpStream,
+    arm_idx: usize,
+    arm: &OpenLoopArm,
+    start: Instant,
+    stop: &AtomicBool,
+) {
     let _ = conn.set_nodelay(true);
     let mut writer = BufWriter::new(conn);
-    let mut id: u64 = 1 << 62;
+    let mut rng = 0x5851_f42d_4c95_7f2du64 ^ ((arm_idx as u64 + 1) << 21);
+    let mut id: u64 = (1 << 62) | ((arm_idx as u64) << 40);
     let mut carry = 0.0f64;
     let mut last = Instant::now();
     while !stop.load(Ordering::Relaxed) {
@@ -206,10 +274,14 @@ fn open_loop_sender(conn: TcpStream, arm: &OpenLoopArm, start: Instant, stop: &A
         carry -= burst as f64;
         for _ in 0..burst {
             id += 1;
-            if writer
-                .write_all(format!("REQ {id} {}\n", arm.api).as_bytes())
-                .is_err()
-            {
+            let req = if arm.key_space > 0 {
+                let key =
+                    ((xorshift(&mut rng) * arm.key_space as f64) as u64).min(arm.key_space - 1);
+                format!("REQ {id} {} {key}\n", arm.api)
+            } else {
+                format!("REQ {id} {}\n", arm.api)
+            };
+            if writer.write_all(req.as_bytes()).is_err() {
                 return;
             }
         }
@@ -219,7 +291,7 @@ fn open_loop_sender(conn: TcpStream, arm: &OpenLoopArm, start: Instant, stop: &A
     }
 }
 
-fn drain_replies(conn: TcpStream, stop: &AtomicBool) {
+fn drain_replies(conn: TcpStream, stop: &AtomicBool, rejects: &RejectCounts) {
     let _ = conn.set_read_timeout(Some(Duration::from_millis(50)));
     let mut reader = BufReader::new(conn);
     let mut line = String::new();
@@ -227,7 +299,7 @@ fn drain_replies(conn: TcpStream, stop: &AtomicBool) {
         line.clear();
         match reader.read_line(&mut line) {
             Ok(0) => return,
-            Ok(_) => {}
+            Ok(_) => rejects.record(&line),
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
             Err(_) => return,
         }
@@ -248,6 +320,18 @@ mod tests {
         assert_eq!(value_at(&steps, 100.0), 10.0);
         assert_eq!(value_at(&[], 3.0), 0.0);
         assert_eq!(value_at(&[(2.0, 5.0)], 1.0), 0.0, "zero before first step");
+    }
+
+    #[test]
+    fn reject_classes_parse_from_reply_lines() {
+        let counts = RejectCounts::default();
+        counts.record("REJ 7 limit\n");
+        counts.record("REJ 8 shed\n");
+        counts.record("REJ 9\n"); // legacy bare REJ counts as limit
+        counts.record("OK 10 123\n");
+        counts.record("ERR 11\n");
+        assert_eq!(counts.limit(), 2);
+        assert_eq!(counts.shed(), 1);
     }
 
     #[test]

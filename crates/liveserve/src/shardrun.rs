@@ -383,12 +383,14 @@ fn start_gen(
         users_steps: scale_steps(&shift_steps(&c.users_steps, dt), share),
         think: c.think,
         api_weights: c.api_weights.clone(),
+        key_spaces: c.key_spaces.clone(),
     });
     let arms = arms
         .iter()
         .map(|a| OpenLoopArm {
             api: a.api,
             rate_steps: scale_steps(&shift_steps(&a.rate_steps, dt), share),
+            key_space: a.key_space,
         })
         .collect();
     LoadGen::start(addr, closed, arms)
@@ -437,6 +439,7 @@ mod tests {
         let arms = vec![OpenLoopArm {
             api: 0,
             rate_steps: vec![(0.0, 300.0)],
+            key_space: 0,
         }];
         let journal = Arc::new(obs::Journal::new());
         let mut live = ShardedLive::start(&tiny_topo(), cfg, None, arms).expect("start");
@@ -505,6 +508,7 @@ mod tests {
         let arms = vec![OpenLoopArm {
             api: 0,
             rate_steps: vec![(0.0, 200.0)],
+            key_space: 0,
         }];
         let mut live = ShardedLive::start(&tiny_topo(), cfg, None, arms).expect("start");
         // A controller that pushes a finite limit before the loss window.

@@ -27,25 +27,36 @@ pub const MAX_LINE: usize = 256;
 /// One framed outcome from the decoder.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum WireItem {
-    /// A well-formed `REQ <id> <api>` line.
-    Request { id: u64, api: usize },
+    /// A well-formed `REQ <id> <api> [key]` line. `key` marks the
+    /// request as a coalescable read of that resource key.
+    Request {
+        id: u64,
+        api: usize,
+        key: Option<u64>,
+    },
     /// A complete but unparseable (or oversized) line; the gateway
     /// answers `ERR 0` and keeps the connection.
     Malformed,
 }
 
-/// Parse `REQ <id> <api_idx>` → `(id, api)`.
-pub fn parse_request(line: &str) -> Option<(u64, usize)> {
+/// Parse `REQ <id> <api_idx> [key]` → `(id, api, key)`. The optional
+/// fourth token is a coalescing resource key; anything past it is
+/// still rejected.
+pub fn parse_request(line: &str) -> Option<(u64, usize, Option<u64>)> {
     let mut parts = line.split_ascii_whitespace();
     if parts.next()? != "REQ" {
         return None;
     }
     let id = parts.next()?.parse().ok()?;
     let api = parts.next()?.parse().ok()?;
+    let key = match parts.next() {
+        Some(tok) => Some(tok.parse().ok()?),
+        None => None,
+    };
     if parts.next().is_some() {
         return None;
     }
-    Some((id, api))
+    Some((id, api, key))
 }
 
 /// Incremental line framer with oversized-line resynchronisation.
@@ -124,7 +135,7 @@ impl LineDecoder {
             return; // blank lines are keep-alives, not errors
         }
         match parse_request(text) {
-            Some((id, api)) => out.push(WireItem::Request { id, api }),
+            Some((id, api, key)) => out.push(WireItem::Request { id, api, key }),
             None => out.push(WireItem::Malformed),
         }
     }
@@ -142,12 +153,16 @@ mod tests {
 
     #[test]
     fn request_lines_parse_strictly() {
-        assert_eq!(parse_request("REQ 7 2"), Some((7, 2)));
-        assert_eq!(parse_request("REQ 0 0"), Some((0, 0)));
-        assert_eq!(parse_request("REQ  12   1"), Some((12, 1)));
+        assert_eq!(parse_request("REQ 7 2"), Some((7, 2, None)));
+        assert_eq!(parse_request("REQ 0 0"), Some((0, 0, None)));
+        assert_eq!(parse_request("REQ  12   1"), Some((12, 1, None)));
+        // Optional fourth token: a coalescing resource key.
+        assert_eq!(parse_request("REQ 7 2 9"), Some((7, 2, Some(9))));
+        assert_eq!(parse_request("REQ 7 2 0"), Some((7, 2, Some(0))));
         assert_eq!(parse_request("GET 7 2"), None);
         assert_eq!(parse_request("REQ 7"), None);
-        assert_eq!(parse_request("REQ 7 2 9"), None);
+        assert_eq!(parse_request("REQ 7 2 9 4"), None);
+        assert_eq!(parse_request("REQ 7 2 k"), None);
         assert_eq!(parse_request("REQ x 2"), None);
         assert_eq!(parse_request(""), None);
     }
@@ -160,10 +175,22 @@ mod tests {
         assert_eq!(
             expected,
             vec![
-                WireItem::Request { id: 1, api: 0 },
-                WireItem::Request { id: 2, api: 1 },
+                WireItem::Request {
+                    id: 1,
+                    api: 0,
+                    key: None
+                },
+                WireItem::Request {
+                    id: 2,
+                    api: 1,
+                    key: None
+                },
                 WireItem::Malformed,
-                WireItem::Request { id: 3, api: 0 },
+                WireItem::Request {
+                    id: 3,
+                    api: 0,
+                    key: None
+                },
             ]
         );
         // Same stream, one byte per "segment".
@@ -190,9 +217,21 @@ mod tests {
         assert_eq!(
             got,
             vec![
-                WireItem::Request { id: 1234, api: 0 },
-                WireItem::Request { id: 5, api: 1 },
-                WireItem::Request { id: 6, api: 0 },
+                WireItem::Request {
+                    id: 1234,
+                    api: 0,
+                    key: None
+                },
+                WireItem::Request {
+                    id: 5,
+                    api: 1,
+                    key: None
+                },
+                WireItem::Request {
+                    id: 6,
+                    api: 0,
+                    key: None
+                },
             ]
         );
     }
@@ -213,7 +252,14 @@ mod tests {
         dec.feed(b"xxx\nREQ 9 0\n", &mut got);
         assert_eq!(
             got,
-            vec![WireItem::Malformed, WireItem::Request { id: 9, api: 0 }]
+            vec![
+                WireItem::Malformed,
+                WireItem::Request {
+                    id: 9,
+                    api: 0,
+                    key: None
+                }
+            ]
         );
     }
 
@@ -226,9 +272,17 @@ mod tests {
             got,
             vec![
                 WireItem::Malformed, // invalid utf-8
-                WireItem::Request { id: 4, api: 0 },
+                WireItem::Request {
+                    id: 4,
+                    api: 0,
+                    key: None
+                },
                 // blank and whitespace-only lines are silently skipped
-                WireItem::Request { id: 5, api: 0 },
+                WireItem::Request {
+                    id: 5,
+                    api: 0,
+                    key: None
+                },
             ]
         );
     }
@@ -243,7 +297,14 @@ mod tests {
         dec.feed(&line, &mut got);
         assert_eq!(
             got,
-            vec![WireItem::Malformed, WireItem::Request { id: 1, api: 0 }]
+            vec![
+                WireItem::Malformed,
+                WireItem::Request {
+                    id: 1,
+                    api: 0,
+                    key: None
+                }
+            ]
         );
     }
 }

@@ -38,6 +38,7 @@ fn controller_cuts_then_restores_rate_limit_under_surge() {
         vec![OpenLoopArm {
             api: 0,
             rate_steps: vec![(0.0, 5000.0), (1.2, 0.0)],
+            key_space: 0,
         }],
     )
     .expect("start load");

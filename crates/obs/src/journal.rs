@@ -113,6 +113,27 @@ pub enum JournalEntry {
         phase: String,
         detail: String,
     },
+    /// Per-window front-door admission aggregates: coalescing verdicts,
+    /// priority sheds, and entry-limit rejections (only windows in
+    /// which any counter moved).
+    AdmissionWindow {
+        t: f64,
+        cache_hits: u64,
+        follower_hits: u64,
+        misses: u64,
+        shed: u64,
+        rate_limited: u64,
+    },
+    /// The front-door priority gate moved its admission threshold
+    /// (every move is journaled, with the window that drove it).
+    PriorityThreshold {
+        t: f64,
+        from: u32,
+        to: u32,
+        admitted: u64,
+        shed: u64,
+        reason: String,
+    },
 }
 
 impl JournalEntry {
@@ -131,7 +152,9 @@ impl JournalEntry {
             | JournalEntry::ShardMembership { t, .. }
             | JournalEntry::ShardAggregate { t, .. }
             | JournalEntry::ShardSplit { t, .. }
-            | JournalEntry::ShardFallback { t, .. } => *t,
+            | JournalEntry::ShardFallback { t, .. }
+            | JournalEntry::AdmissionWindow { t, .. }
+            | JournalEntry::PriorityThreshold { t, .. } => *t,
         }
     }
 }
@@ -285,9 +308,25 @@ mod tests {
                 phase: "fallback".into(),
                 detail: "ttl expired; local mimd engaged".into(),
             },
+            JournalEntry::AdmissionWindow {
+                t: 7.0,
+                cache_hits: 120,
+                follower_hits: 14,
+                misses: 30,
+                shed: 9,
+                rate_limited: 4,
+            },
+            JournalEntry::PriorityThreshold {
+                t: 8.0,
+                from: 1024,
+                to: 970,
+                admitted: 5000,
+                shed: 250,
+                reason: "overload".into(),
+            },
         ];
         let jsonl = to_jsonl(&entries);
-        assert_eq!(jsonl.lines().count(), 6);
+        assert_eq!(jsonl.lines().count(), 8);
         let back: Vec<JournalEntry> = jsonl
             .lines()
             .map(|l| serde_json::from_str(l).expect("parse line"))
@@ -319,5 +358,40 @@ mod tests {
         assert_ne!(journal_fingerprint(&a), journal_fingerprint(&c));
         // FNV-1a of the empty string is the offset basis.
         assert_eq!(journal_fingerprint(""), 0xcbf2_9ce4_8422_2325);
+    }
+}
+
+#[cfg(test)]
+mod admission_entry_tests {
+    use super::*;
+
+    /// `topfull explain` decodes run-artifact journals through the
+    /// same derived `from_value`; both admission variants must survive
+    /// the JSON round trip.
+    #[test]
+    fn admission_variants_roundtrip() {
+        let entries = [
+            JournalEntry::PriorityThreshold {
+                t: 2.0,
+                from: 3,
+                to: 4,
+                admitted: 10,
+                shed: 2,
+                reason: "overload".into(),
+            },
+            JournalEntry::AdmissionWindow {
+                t: 3.0,
+                cache_hits: 5,
+                follower_hits: 1,
+                misses: 7,
+                shed: 0,
+                rate_limited: 2,
+            },
+        ];
+        for e in entries {
+            let s = serde_json::to_string(&e).expect("serialize");
+            let back: JournalEntry = serde_json::from_str(&s).expect("decode");
+            assert_eq!(back, e);
+        }
     }
 }

@@ -247,6 +247,7 @@ mod tests {
             journal: vec![],
             shard_plane: None,
             shard_guards: None,
+            live_rejects: None,
         }
     }
 

@@ -402,6 +402,7 @@ impl WorkflowSpec {
             resilience: self.resilience.clone(),
             live: None,
             sharding: self.sharding.clone(),
+            admission: None,
             report: ReportSpec {
                 measure_from_secs: self.measure_from_secs,
                 // The timeline is the eyeball surface for control

@@ -53,15 +53,17 @@ fn ramp_first_throttle_inflation_stays_fixed() {
     );
 }
 
-/// Known-open: telemetry noise (σ≈0.86) makes the overload detector
-/// flap, so cuts route through the per-API recovery-probe path where
-/// the collapse backoff does not apply, and the walk-down from an
-/// inflated limit is −5%/tick again. Flip this assertion (and move the
-/// reproducer out of the open set) when the weakness is fixed.
+/// Fixed: telemetry noise (σ≈0.86) made the overload detector flap, so
+/// cuts routed through the per-API recovery-probe path where the
+/// collapse backoff did not apply, and the walk-down from an inflated
+/// limit was −5%/tick again — p99 pinned past 1.5×SLO with zero
+/// goodput for the breach window. The recovery path now runs the same
+/// escalation law (per-API anchors, same episode budget); see
+/// `TopFull::escalate_recovery_cut`.
 #[test]
-fn noise_blinded_descent_still_open() {
+fn noise_blinded_descent_stays_fixed() {
     assert!(
-        breach_trips("open_fuzz_2_10_breach.workflow.json"),
-        "open finding no longer trips — graduate it to the fixed set"
+        !breach_trips("fuzz_2_10_breach.workflow.json"),
+        "noise-blinded recovery-path descent regressed"
     );
 }

@@ -59,6 +59,21 @@ for p in "${client_pids[@]}"; do
   wait "$p" || { echo "concurrent smoke: a client missed replies"; exit 1; }
 done
 
+# Coalescing smoke: a pipelined burst of duplicate keyed reads (same
+# API, same key) must collapse onto one flight — every request still
+# gets a reply, and /metrics shows nonzero coalesce hits afterwards.
+coalesce_client() {
+  local n=24 i replies=0
+  exec 5<>/dev/tcp/127.0.0.1/19186
+  { for ((i = 0; i < n; i++)); do printf 'REQ %s 0 7\n' $((9900000 + i)); done; } >&5
+  for ((i = 0; i < n; i++)); do
+    IFS= read -r -t 5 _ <&5 && replies=$((replies + 1))
+  done
+  exec 5<&- 5>&-
+  [ "$replies" -eq "$n" ]
+}
+coalesce_client || { echo "coalesce smoke: duplicate-read burst missed replies"; exit 1; }
+
 sleep 1
 m2=$(scrape_metrics)
 wait "$live_pid"
@@ -72,6 +87,10 @@ c1=$(grep -o 'verdict="admitted"} [0-9.]*' <<<"$m1" | awk '{print int($2)}')
 c2=$(grep -o 'verdict="admitted"} [0-9.]*' <<<"$m2" | awk '{print int($2)}')
 [ "$c2" -ge "$c1" ] && [ "$c2" -gt 0 ] \
   || { echo "metrics smoke: admit counter not monotone ($c1 -> $c2)"; exit 1; }
+hits=$(grep -o 'topfull_coalesce_hit_total{[^}]*} [0-9.]*' <<<"$m2" \
+  | awk '{s += int($2)} END {print s + 0}')
+[ "$hits" -gt 0 ] \
+  || { echo "coalesce smoke: no coalesce hits on /metrics after duplicate burst"; exit 1; }
 
 # Sharded live smoke: 3 real gateway shards under one logical
 # controller, shard 1 SIGKILLed mid-run. The fleet must drain cleanly
@@ -107,6 +126,20 @@ fp1=$(./target/release/topfull explain /tmp/topfull_shard_w1.json --fingerprint)
 fp4=$(./target/release/topfull explain /tmp/topfull_shard_w4.json --fingerprint)
 [ -n "$fp1" ] && [ "$fp1" = "$fp4" ] \
   || { echo "fingerprint smoke: journal diverged across workers ($fp1 vs $fp4)"; exit 1; }
+
+# Admission-journal determinism: the front-door scenario (coalescing
+# verdict windows + priority-threshold moves in the journal) must
+# fingerprint identically across worker counts too.
+TOPFULL_WORKERS=1 ./target/release/topfull-sim run scenarios/read_flash_crowd.json --json \
+  > /tmp/topfull_adm_w1.json
+TOPFULL_WORKERS=4 ./target/release/topfull-sim run scenarios/read_flash_crowd.json --json \
+  > /tmp/topfull_adm_w4.json
+afp1=$(./target/release/topfull explain /tmp/topfull_adm_w1.json --fingerprint)
+afp4=$(./target/release/topfull explain /tmp/topfull_adm_w4.json --fingerprint)
+[ -n "$afp1" ] && [ "$afp1" = "$afp4" ] \
+  || { echo "admission fingerprint smoke: journal diverged across workers ($afp1 vs $afp4)"; exit 1; }
+./target/release/topfull explain /tmp/topfull_adm_w1.json | grep -q 'frontdoor' \
+  || { echo "admission fingerprint smoke: no front-door windows in journal"; exit 1; }
 
 # Decision-journal smoke: `topfull explain` must render the journal
 # embedded in a committed experiment artifact.
