@@ -231,6 +231,7 @@ mod tests {
             api_paths: vec![],
             slo: SimDuration::from_secs(1),
             resilience: Default::default(),
+            slo_burn: Vec::new(),
         }
     }
 

@@ -33,6 +33,7 @@ const EXPERIMENTS: &[(&str, fn())] = &[
     ("chaos", ex::chaos::run),
     ("sim2real", ex::sim2real::run),
     ("multishard", ex::multishard::run),
+    ("slo", ex::slo::run),
 ];
 
 fn usage() -> ! {

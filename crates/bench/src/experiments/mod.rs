@@ -21,6 +21,7 @@ pub mod multishard;
 pub mod refinements;
 pub mod retry_storm;
 pub mod sim2real;
+pub mod slo;
 pub mod table1;
 pub mod trace_analysis;
 pub mod training_cost;

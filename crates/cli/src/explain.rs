@@ -250,6 +250,20 @@ fn render_entry(e: &JournalEntry) -> String {
             "t={t:>8.2}s  priority   threshold {from} -> {to} \
              (window: admitted={admitted} shed={shed}) — {reason}"
         ),
+        JournalEntry::SloBurn {
+            api_name,
+            from,
+            to,
+            fast_burn,
+            slow_burn,
+            budget_remaining,
+            ..
+        } => format!(
+            "t={t:>8.2}s  slo-burn   {api_name}: {from} -> {to} \
+             (fast {fast_burn:.1}x, slow {slow_burn:.1}x, \
+             budget {:.0}% left)",
+            budget_remaining * 100.0
+        ),
     }
 }
 
@@ -272,6 +286,9 @@ fn render_summary(entries: &[JournalEntry]) -> String {
     let mut front_hits = 0u64;
     let mut front_shed = 0u64;
     let mut threshold_moves = 0u64;
+    let mut slo_pages = 0u64;
+    let mut slo_tickets = 0u64;
+    let mut first_page: Option<(f64, String)> = None;
     for e in entries {
         match e {
             JournalEntry::Overload {
@@ -318,6 +335,18 @@ fn render_summary(entries: &[JournalEntry]) -> String {
                 front_shed += shed;
             }
             JournalEntry::PriorityThreshold { .. } => threshold_moves += 1,
+            JournalEntry::SloBurn {
+                t, api_name, to, ..
+            } => match to.as_str() {
+                "page" => {
+                    slo_pages += 1;
+                    if first_page.is_none() {
+                        first_page = Some((*t, api_name.clone()));
+                    }
+                }
+                "ticket" => slo_tickets += 1,
+                _ => {}
+            },
         }
     }
     let mut s = String::from("summary:\n");
@@ -364,6 +393,17 @@ fn render_summary(entries: &[JournalEntry]) -> String {
             s,
             "  front door: {front_windows} active windows, {front_hits} coalesced \
              responses, {front_shed} priority sheds, {threshold_moves} threshold moves"
+        );
+    }
+    if slo_pages + slo_tickets > 0 {
+        let first = match &first_page {
+            Some((t, name)) => format!(" (first page: {name} at t={t:.2}s)"),
+            None => String::new(),
+        };
+        let _ = writeln!(
+            s,
+            "  slo burn alerts: {slo_pages} page escalations, {slo_tickets} \
+             ticket escalations{first}"
         );
     }
     s
@@ -592,6 +632,45 @@ mod tests {
             text.contains(
                 "front door: 1 active windows, 51 coalesced responses, \
              3 priority sheds, 1 threshold moves"
+            ),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn timeline_renders_slo_burn_entries() {
+        let entries = vec![
+            JournalEntry::SloBurn {
+                t: 20.0,
+                api: 1,
+                api_name: "checkout".into(),
+                from: "ok".into(),
+                to: "page".into(),
+                fast_burn: 22.1,
+                slow_burn: 3.4,
+                budget_remaining: 0.74,
+            },
+            JournalEntry::SloBurn {
+                t: 44.0,
+                api: 1,
+                api_name: "checkout".into(),
+                from: "page".into(),
+                to: "ticket".into(),
+                fast_burn: 4.0,
+                slow_burn: 7.2,
+                budget_remaining: 0.41,
+            },
+        ];
+        let text = render_timeline(&entries);
+        assert!(
+            text.contains("slo-burn   checkout: ok -> page (fast 22.1x, slow 3.4x"),
+            "{text}"
+        );
+        assert!(text.contains("budget 74% left"), "{text}");
+        assert!(
+            text.contains(
+                "slo burn alerts: 1 page escalations, 1 ticket escalations \
+             (first page: checkout at t=20.00s)"
             ),
             "{text}"
         );

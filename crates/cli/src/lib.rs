@@ -15,12 +15,14 @@ pub mod keys;
 pub mod live;
 pub mod report;
 pub mod schema;
+pub mod trace;
 
 pub use build::build_scenario;
 pub use explain::explain_file;
 pub use live::run_live;
 pub use report::{render_report, ScenarioOutcome};
 pub use schema::Scenario;
+pub use trace::trace_source;
 
 /// Top-level keys the scenario schema accepts. Kept in sync with
 /// [`schema::Scenario`]'s fields; `parse_scenario` rejects anything
@@ -40,7 +42,16 @@ const TOP_LEVEL_KEYS: &[&str] = &[
     "live",
     "sharding",
     "admission",
+    "slo",
     "report",
+];
+
+const SLO_KEYS: &[&str] = &[
+    "objective",
+    "fast_windows_secs",
+    "slow_windows_secs",
+    "page_burn",
+    "ticket_burn",
 ];
 
 const ADMISSION_KEYS: &[&str] = &["coalesce", "priority"];
@@ -140,6 +151,9 @@ fn check_scenario_keys(value: &serde_json::JsonValue) -> Result<(), String> {
     }
     if let Some(v) = value.get("report") {
         keys::check_keys("scenario", "report", v, REPORT_KEYS)?;
+    }
+    if let Some(v) = value.get("slo") {
+        keys::check_keys("scenario", "slo", v, SLO_KEYS)?;
     }
     if let Some(v) = value.get("autoscaler") {
         keys::check_keys("scenario", "autoscaler", v, AUTOSCALER_KEYS)?;

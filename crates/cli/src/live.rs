@@ -147,6 +147,7 @@ fn live_outcome(
         shard_plane: None,
         shard_guards: None,
         live_rejects: None,
+        traces: Vec::new(),
     }
 }
 
@@ -200,14 +201,20 @@ pub fn run_live(sc: &Scenario, duration_secs: u64) -> Result<ScenarioOutcome, St
     }
     let mut server =
         LiveServer::start(&topo, cfg).map_err(|e| format!("cannot start live server: {e}"))?;
+    server.attach_journal(std::sync::Arc::clone(&journal));
+    if let Some(slo) = &sc.slo {
+        server.set_slo_config(slo.to_config());
+    }
     let gen = LoadGen::start(server.addr(), closed, arms)
         .map_err(|e| format!("cannot start load generator: {e}"))?;
     let result = server.run(controller.as_mut(), Duration::from_secs(duration_secs));
     let rejects = (gen.rejects().limit(), gen.rejects().shed());
     gen.stop();
+    let traces = server.traces();
     server.shutdown();
     let mut out = live_outcome(sc, duration_secs, scale, &result, &journal);
     out.live_rejects = Some(rejects);
+    out.traces = traces;
     Ok(out)
 }
 
@@ -283,11 +290,16 @@ fn run_live_sharded(
     let mut fleet = ShardedLive::start(topo, cfg, closed, arms)
         .map_err(|e| format!("cannot start sharded live fleet: {e}"))?;
     fleet.attach_journal(std::sync::Arc::clone(&journal));
+    if let Some(slo) = &sc.slo {
+        fleet.set_slo_config(slo.to_config());
+    }
     let result = fleet.run(controller.as_mut(), Duration::from_secs(duration_secs));
+    let traces = fleet.traces();
     let sharded = fleet.shutdown();
     let mut out = live_outcome(sc, duration_secs, scale, &result, &journal);
     out.shard_plane = Some(sharded.plane_stats);
     out.shard_guards = Some(sharded.guard_stats);
+    out.traces = traces;
     Ok(out)
 }
 

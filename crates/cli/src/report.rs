@@ -35,6 +35,10 @@ pub struct ScenarioOutcome {
     /// Per-class reject counts `(entry-limit, priority-shed)` observed
     /// by the load generator's reply readers (live runs only).
     pub live_rejects: Option<(u64, u64)>,
+    /// Causal trace events harvested from the gateway's trace log (live
+    /// runs only; the simulator has no wire to carry trace ids). Feed
+    /// the run JSON to `topfull trace` to render waterfalls.
+    pub traces: Vec<obs::TraceEvent>,
 }
 
 /// Per-API steady-state means out of a [`cluster::RunResult`].
@@ -94,6 +98,9 @@ pub fn execute(sc: &Scenario, built: BuiltScenario) -> ScenarioOutcome {
     } else {
         Harness::new(engine, controller)
     };
+    if let Some(slo) = &sc.slo {
+        h.set_slo_config(slo.to_config());
+    }
     h.run_for_secs(sc.duration_secs);
     let from = sc.report.measure_from_secs as f64;
     let to = sc.duration_secs as f64;
@@ -113,6 +120,7 @@ pub fn execute(sc: &Scenario, built: BuiltScenario) -> ScenarioOutcome {
         shard_plane: None,
         shard_guards: None,
         live_rejects: None,
+        traces: Vec::new(),
     }
 }
 
@@ -140,6 +148,9 @@ pub fn execute_sharded(
         );
     }
     let mut h = topfull::ShardedHarness::new(engine, controller, cfg)?;
+    if let Some(slo) = &sc.slo {
+        h.set_slo_config(slo.to_config());
+    }
     h.run_for_secs(sc.duration_secs);
     let from = sc.report.measure_from_secs as f64;
     let to = sc.duration_secs as f64;
@@ -159,6 +170,7 @@ pub fn execute_sharded(
         shard_plane: Some(h.plane_stats()),
         shard_guards: Some(h.guard_stats()),
         live_rejects: None,
+        traces: Vec::new(),
     })
 }
 

@@ -48,6 +48,11 @@ pub struct Scenario {
     /// DAGOR-style priority admission in front of the token bucket.
     #[serde(default)]
     pub admission: Option<AdmissionSpec>,
+    /// SLO error-budget / burn-rate monitor tuning. The monitor always
+    /// runs (with Google-SRE defaults when omitted); this block adjusts
+    /// the objective and alert thresholds.
+    #[serde(default)]
+    pub slo: Option<SloSpec>,
     #[serde(default)]
     pub report: ReportSpec,
 }
@@ -606,6 +611,69 @@ impl Default for PrioritySpec {
     }
 }
 
+/// SLO burn-rate monitor tuning (JSON form of [`obs::SloConfig`]).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SloSpec {
+    /// Fraction of requests that must be good, e.g. `0.999` tolerates
+    /// 0.1% bad before the error budget is exhausted.
+    #[serde(default = "default_objective")]
+    pub objective: f64,
+    /// Fast `(short, long)` alert window pair in seconds; paging
+    /// requires both to burn past `page_burn`.
+    #[serde(default = "default_fast_windows")]
+    pub fast_windows_secs: (f64, f64),
+    /// Slow `(short, long)` window pair in seconds (ticket severity).
+    #[serde(default = "default_slow_windows")]
+    pub slow_windows_secs: (f64, f64),
+    /// Burn-rate multiple that pages on the fast pair.
+    #[serde(default = "default_page_burn")]
+    pub page_burn: f64,
+    /// Burn-rate multiple that tickets on the slow pair.
+    #[serde(default = "default_ticket_burn")]
+    pub ticket_burn: f64,
+}
+
+fn default_objective() -> f64 {
+    0.999
+}
+fn default_fast_windows() -> (f64, f64) {
+    (5.0, 60.0)
+}
+fn default_slow_windows() -> (f64, f64) {
+    (30.0, 360.0)
+}
+fn default_page_burn() -> f64 {
+    14.4
+}
+fn default_ticket_burn() -> f64 {
+    6.0
+}
+
+impl Default for SloSpec {
+    fn default() -> Self {
+        SloSpec {
+            objective: default_objective(),
+            fast_windows_secs: default_fast_windows(),
+            slow_windows_secs: default_slow_windows(),
+            page_burn: default_page_burn(),
+            ticket_burn: default_ticket_burn(),
+        }
+    }
+}
+
+impl SloSpec {
+    /// Translate into the monitor's config.
+    pub fn to_config(&self) -> obs::SloConfig {
+        obs::SloConfig {
+            objective: self.objective,
+            fast_windows: self.fast_windows_secs,
+            slow_windows: self.slow_windows_secs,
+            page_burn: self.page_burn,
+            ticket_burn: self.ticket_burn,
+        }
+    }
+}
+
 /// Output options.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ReportSpec {
@@ -702,6 +770,7 @@ impl Scenario {
             live: None,
             sharding: None,
             admission: None,
+            slo: None,
             report: ReportSpec {
                 measure_from_secs: 60,
                 timeline: true,
@@ -780,6 +849,19 @@ mod tests {
         assert_eq!(pr.business_tiers, 8);
         assert_eq!(pr.user_levels, 128);
         assert_eq!(pr.queuing_delay_ms, 20);
+    }
+
+    #[test]
+    fn slo_spec_parses_with_sre_defaults() {
+        let spec: SloSpec = serde_json::from_str(r#"{"objective": 0.99}"#).expect("slo parse");
+        assert_eq!(spec.objective, 0.99);
+        assert_eq!(spec.fast_windows_secs, (5.0, 60.0));
+        assert_eq!(spec.slow_windows_secs, (30.0, 360.0));
+        assert_eq!(spec.page_burn, 14.4);
+        assert_eq!(spec.ticket_burn, 6.0);
+        let cfg = spec.to_config();
+        assert_eq!(cfg.objective, 0.99);
+        assert!((cfg.budget() - 0.01).abs() < 1e-12);
     }
 
     #[test]

@@ -275,6 +275,7 @@ impl Engine {
             api_paths,
             slo: self.cfg.slo,
             resilience,
+            slo_burn: Vec::new(),
         }
     }
 }

@@ -180,6 +180,7 @@ pub struct Harness {
     next_tick: SimTime,
     watchdog: Option<Watchdog>,
     journal: Arc<obs::Journal>,
+    slo: obs::SloMonitor,
 }
 
 impl Harness {
@@ -203,12 +204,25 @@ impl Harness {
             next_tick: SimTime::ZERO + interval,
             watchdog: None,
             journal,
+            slo: obs::SloMonitor::new(obs::SloConfig::default()),
         }
     }
 
     /// The shared decision journal.
     pub fn journal(&self) -> &Arc<obs::Journal> {
         &self.journal
+    }
+
+    /// Replace the SLO burn-rate monitor's objective/windows. Resets any
+    /// accumulated burn history, so call before the run starts.
+    pub fn set_slo_config(&mut self, cfg: obs::SloConfig) {
+        self.slo = obs::SloMonitor::new(cfg);
+    }
+
+    /// The current error budget remaining per API, in `[0, 1]` (1 when
+    /// the monitor has seen no traffic for an API yet).
+    pub fn slo_monitor(&self) -> &obs::SloMonitor {
+        &self.slo
     }
 
     /// The hardened loop: like [`Harness::new`], plus a watchdog that
@@ -248,12 +262,50 @@ impl Harness {
             if let Some(truth) = self.engine.latest_true_observation().cloned() {
                 self.record(&truth);
             }
-            if let Some(obs) = self.engine.latest_observation().cloned() {
+            if let Some(mut obs) = self.engine.latest_observation().cloned() {
+                self.observe_slo(&mut obs);
                 self.control_tick(&obs);
             }
             self.next_tick += interval;
         }
         self.engine.run_until(t);
+    }
+
+    /// Feed this window into the SLO burn-rate monitor, attach the
+    /// resulting per-API signals to the observation the controller will
+    /// see, and journal every severity transition. Runs on the control
+    /// thread only, so journal order is deterministic across worker
+    /// counts. Rejected (never-admitted) requests are neither good nor
+    /// bad: shedding spends no error budget.
+    fn observe_slo(&mut self, obs: &mut ClusterObservation) {
+        let w = obs.window.as_secs_f64();
+        let samples: Vec<obs::ApiSloSample> = obs
+            .apis
+            .iter()
+            .map(|a| obs::ApiSloSample {
+                good: a.goodput * w,
+                bad: (a.slo_violated + a.failed) * w,
+            })
+            .collect();
+        let tick = self.slo.observe(obs.now.as_secs_f64(), &samples);
+        for tr in &tick.transitions {
+            let name = obs
+                .apis
+                .get(tr.api as usize)
+                .map(|a| a.name.clone())
+                .unwrap_or_else(|| format!("api{}", tr.api));
+            self.journal.record(obs::JournalEntry::SloBurn {
+                t: obs.now.as_secs_f64(),
+                api: tr.api,
+                api_name: name,
+                from: tr.from.as_str().into(),
+                to: tr.to.as_str().into(),
+                fast_burn: tr.fast_burn,
+                slow_burn: tr.slow_burn,
+                budget_remaining: tr.budget_remaining,
+            });
+        }
+        obs.slo_burn = tick.signals;
     }
 
     /// One control decision, routed through the watchdog when attached.
@@ -463,6 +515,43 @@ mod tests {
         let series = r.goodput_series(ApiId(7));
         assert_eq!(series.len(), 5);
         assert!(series.iter().all(|(_, v)| *v == 0.0));
+    }
+
+    #[test]
+    fn sustained_overload_journals_a_page_severity_burn() {
+        // 1 pod × 10 ms service time ≈ 100 rps capacity; offering 600 rps
+        // with no control drowns the SLO, so the fast burn windows blow
+        // past the page threshold within seconds.
+        let mut h = Harness::new(engine(600.0), Box::new(NoControl));
+        h.run_for_secs(30);
+        let entries = h.journal().snapshot();
+        let burns: Vec<_> = entries
+            .iter()
+            .filter_map(|e| match e {
+                obs::JournalEntry::SloBurn { to, api_name, .. } => {
+                    Some((to.clone(), api_name.clone()))
+                }
+                _ => None,
+            })
+            .collect();
+        assert!(
+            burns.iter().any(|(to, _)| to == "page"),
+            "expected a page-severity SloBurn, got {burns:?}"
+        );
+        assert!(burns.iter().all(|(_, name)| name == "a"), "{burns:?}");
+    }
+
+    #[test]
+    fn healthy_run_journals_no_burn_transitions() {
+        let mut h = Harness::new(engine(20.0), Box::new(NoControl));
+        h.run_for_secs(30);
+        let entries = h.journal().snapshot();
+        assert!(
+            !entries
+                .iter()
+                .any(|e| matches!(e, obs::JournalEntry::SloBurn { .. })),
+            "an unloaded run must not page"
+        );
     }
 
     #[test]

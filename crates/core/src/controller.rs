@@ -1008,6 +1008,7 @@ mod tests {
             api_paths: paths,
             slo: SimDuration::from_secs(1),
             resilience: Default::default(),
+            slo_burn: Vec::new(),
         }
     }
 
@@ -1716,6 +1717,7 @@ mod refinement_flag_tests {
                 api_paths: vec![vec![ServiceId(0)], vec![ServiceId(0)]],
                 slo: SimDuration::from_secs(1),
                 resilience: Default::default(),
+                slo_burn: Vec::new(),
             }
         };
         // Refined behaviour: the busy API is cut.
@@ -1773,6 +1775,7 @@ mod refinement_flag_tests {
             api_paths: vec![vec![ServiceId(0)], vec![ServiceId(0)]],
             slo: SimDuration::from_secs(1),
             resilience: Default::default(),
+            slo_burn: Vec::new(),
         };
         let raise = |fair: bool| {
             let mut tf = TopFull::new(TopFullConfig {

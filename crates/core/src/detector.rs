@@ -158,6 +158,7 @@ mod tests {
             api_paths: vec![],
             slo: SimDuration::from_secs(1),
             resilience: Default::default(),
+            slo_burn: Vec::new(),
         }
     }
 

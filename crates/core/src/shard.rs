@@ -730,6 +730,9 @@ pub struct ShardedHarness {
     result: RunResult,
     next_tick: SimTime,
     journal: Arc<obs::Journal>,
+    /// SLO burn-rate monitor fed from the *merged* (partition-aware)
+    /// view — alerting sees what the controller sees.
+    slo: obs::SloMonitor,
     /// Controller ticks lost to controller-loss windows or stalls.
     pub lost_ticks: u64,
 }
@@ -771,8 +774,15 @@ impl ShardedHarness {
             },
             next_tick: SimTime::ZERO + interval,
             journal,
+            slo: obs::SloMonitor::new(obs::SloConfig::default()),
             lost_ticks: 0,
         })
+    }
+
+    /// Replace the SLO burn-rate monitor's objective/windows. Resets any
+    /// accumulated burn history, so call before the run starts.
+    pub fn set_slo_config(&mut self, cfg: obs::SloConfig) {
+        self.slo = obs::SloMonitor::new(cfg);
     }
 
     pub fn journal(&self) -> &Arc<obs::Journal> {
@@ -844,7 +854,38 @@ impl ShardedHarness {
                 .zip(&reporting_mask)
                 .map(|(lo, rep)| if *rep { lo.clone() } else { None })
                 .collect();
-            if let Some(merged) = self.plane.observe(t, &reports) {
+            if let Some(mut merged) = self.plane.observe(t, &reports) {
+                // Burn-rate alerting runs on the merged view, on the
+                // control thread, so journal order is deterministic
+                // across worker counts.
+                let w = merged.window.as_secs_f64();
+                let samples: Vec<obs::ApiSloSample> = merged
+                    .apis
+                    .iter()
+                    .map(|a| obs::ApiSloSample {
+                        good: a.goodput * w,
+                        bad: (a.slo_violated + a.failed) * w,
+                    })
+                    .collect();
+                let slo_tick = self.slo.observe(t, &samples);
+                for tr in &slo_tick.transitions {
+                    let name = merged
+                        .apis
+                        .get(tr.api as usize)
+                        .map(|a| a.name.clone())
+                        .unwrap_or_else(|| format!("api{}", tr.api));
+                    self.journal.record(obs::JournalEntry::SloBurn {
+                        t,
+                        api: tr.api,
+                        api_name: name,
+                        from: tr.from.as_str().into(),
+                        to: tr.to.as_str().into(),
+                        fast_burn: tr.fast_burn,
+                        slow_burn: tr.slow_burn,
+                        budget_remaining: tr.budget_remaining,
+                    });
+                }
+                merged.slo_burn = slo_tick.signals;
                 let updates = self.controller.control(&merged);
                 let mut touched = vec![false; self.globals.len()];
                 for u in updates {
@@ -976,6 +1017,7 @@ mod tests {
             api_paths: vec![vec![ServiceId(0)]],
             slo: SimDuration::from_millis(100),
             resilience: cluster::ResilienceStats::default(),
+            slo_burn: Vec::new(),
         }
     }
 

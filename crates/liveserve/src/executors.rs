@@ -105,6 +105,10 @@ pub struct Job {
     /// completion (or failure) settles the flight and releases the
     /// followers parked behind it.
     pub flight: Option<(u32, u64)>,
+    /// Causal-tracing opt-in: the wire line's trace id, threaded through
+    /// the worker pool so completion events and the latency exemplar
+    /// link back to the same trace.
+    pub trace: Option<u64>,
     /// Completion route to the owning connection's event loop.
     pub reply: ReplySink,
 }
@@ -142,6 +146,18 @@ impl Routing {
                 };
                 metrics.on_dropped(svc);
                 metrics.on_failed(api);
+                if let Some(trace) = job.trace {
+                    metrics.record_trace(obs::TraceEvent {
+                        trace,
+                        request: job.id,
+                        api: api as u32,
+                        shard: 0,
+                        stage: "worker".into(),
+                        outcome: "error".into(),
+                        at: self.clock.now().as_secs_f64(),
+                        dur: 0.0,
+                    });
+                }
                 job.reply.send(format!("ERR {}\n", job.id));
                 // A failed leader clears its flight so followers fail
                 // fast instead of hanging on a leader that will never
@@ -271,7 +287,7 @@ fn worker_loop(
             routing.submit(job, metrics);
         } else {
             let latency = job.accepted.elapsed();
-            metrics.on_complete(job.api, latency, routing.slo);
+            metrics.on_complete_traced(job.api, latency, routing.slo, job.trace);
             // One end-to-end span per completed request, anchored at the
             // API's entry service — the live analogue of the simulator's
             // admitted spans (exported via `/spans`).
@@ -286,6 +302,33 @@ fn worker_loop(
                 end,
                 verdict: SpanVerdict::Admitted,
             });
+            if let Some(trace) = job.trace {
+                // Two closing events per traced request: the worker span
+                // covering admission → completion, and the reply handoff.
+                // No extra clock reads — `end` and `latency` were needed
+                // above anyway.
+                let lat_secs = latency.as_secs_f64();
+                metrics.record_trace(obs::TraceEvent {
+                    trace,
+                    request: job.id,
+                    api: job.api as u32,
+                    shard: 0,
+                    stage: "worker".into(),
+                    outcome: "served".into(),
+                    at: end.as_secs_f64() - lat_secs,
+                    dur: lat_secs,
+                });
+                metrics.record_trace(obs::TraceEvent {
+                    trace,
+                    request: job.id,
+                    api: job.api as u32,
+                    shard: 0,
+                    stage: "reply".into(),
+                    outcome: "sent".into(),
+                    at: end.as_secs_f64(),
+                    dur: 0.0,
+                });
+            }
             job.reply
                 .send(format!("OK {} {}\n", job.id, latency.as_micros()));
             // A completed leader publishes its payload to the response
@@ -386,6 +429,7 @@ mod tests {
                     enqueued: Instant::now(),
                     stage: 0,
                     flight: None,
+                    trace: None,
                     reply: sink.clone(),
                 },
                 &metrics,
@@ -440,6 +484,7 @@ mod tests {
                     enqueued: Instant::now(),
                     stage: 0,
                     flight: None,
+                    trace: None,
                     reply: sink.clone(),
                 },
                 &metrics,

@@ -66,7 +66,7 @@ use crate::clock::WallClock;
 use crate::executors::{Completion, Job, ReplySink, Routing};
 use crate::front::LiveAdmission;
 use crate::http::{self, MetricsHttp};
-use crate::metrics::LiveMetrics;
+use crate::metrics::{FrontStage, LiveMetrics, LoopStage};
 use crate::poller::{Interest, Poller, Waker};
 use crate::wire::{LineDecoder, WireItem};
 use cluster::front::PreVerdict;
@@ -192,6 +192,8 @@ struct PendingReq {
     api: usize,
     /// Coalescing resource key (the wire line's optional fourth token).
     key: Option<u64>,
+    /// Causal-tracing opt-in (the wire line's optional fifth token).
+    trace: Option<u64>,
 }
 
 /// The batched admission verdict for one pending request, computed
@@ -321,6 +323,12 @@ impl EventLoop {
             {
                 break;
             }
+            // Per-stage batch profiling: one `Instant` pair per phase
+            // per wakeup, never per request. Idle wakeups (poll timeout,
+            // nothing ready) record nothing, so the histograms measure
+            // work, not waiting.
+            let busy = !events.is_empty();
+            let t0 = busy.then(Instant::now);
             for ev in &events {
                 match ev.token {
                     TOK_WAKER => self.waker.drain(),
@@ -331,12 +339,36 @@ impl EventLoop {
             }
             self.adopt_injected();
             self.drain_completions();
+            let had_pending = !self.pending.is_empty();
+            let t1 = if let Some(t0) = t0 {
+                let t1 = Instant::now();
+                self.shared
+                    .metrics
+                    .on_loop_stage(LoopStage::ReadParse, t1 - t0);
+                Some(t1)
+            } else {
+                had_pending.then(Instant::now)
+            };
             self.admit_pending();
             // Queue-full `ERR`s from submits land on the completion
             // queue synchronously — fold them into this wakeup's flush.
             self.drain_completions();
+            let had_dirty = !self.dirty.is_empty();
+            let t2 = match (t1, had_pending) {
+                (Some(t1), true) => {
+                    let t2 = Instant::now();
+                    self.shared.metrics.on_loop_stage(LoopStage::Admit, t2 - t1);
+                    Some(t2)
+                }
+                (t1, _) => t1,
+            };
             self.flush_dirty();
             self.do_close();
+            if let (Some(t2), true) = (t2, had_dirty) {
+                self.shared
+                    .metrics
+                    .on_loop_stage(LoopStage::Write, Instant::now() - t2);
+            }
         }
     }
 
@@ -495,13 +527,19 @@ impl EventLoop {
                     let token = conn.token;
                     for item in self.items.drain(..) {
                         match item {
-                            WireItem::Request { id, api, key } if api < num_apis => {
+                            WireItem::Request {
+                                id,
+                                api,
+                                key,
+                                trace,
+                            } if api < num_apis => {
                                 self.pending.push(PendingReq {
                                     slot,
                                     token,
                                     id,
                                     api,
                                     key,
+                                    trace,
                                 });
                             }
                             WireItem::Request { id, .. } => {
@@ -594,15 +632,25 @@ impl EventLoop {
             metrics.on_offered(p.api);
         }
         let mut verdicts = Vec::with_capacity(pending.len());
+        // Front-stage profiling samples the *first* request of the batch
+        // only — a bounded number of extra clock reads per wakeup.
+        let mut front_door_sample: Option<Duration> = None;
+        let mut bucket_sample: Option<Duration> = None;
         {
             let mut adm = self.shared.admission.lock().expect("admission lock");
             let LiveAdmission { entry, front } = &mut *adm;
-            for p in &pending {
+            for (i, p) in pending.iter().enumerate() {
                 let api = cluster::ApiId(p.api as u32);
+                let sample = i == 0;
                 let lead = if let Some(front) = front.as_mut() {
                     let business = front.business(p.api);
                     let user = front.user_level(p.id);
-                    match front.door.pre_admit(api, p.key, business, user, now) {
+                    let t_fd = sample.then(Instant::now);
+                    let pre = front.door.pre_admit(api, p.key, business, user, now);
+                    if let Some(t_fd) = t_fd {
+                        front_door_sample = Some(t_fd.elapsed());
+                    }
+                    match pre {
                         PreVerdict::CacheHit(payload) => {
                             verdicts.push(Verdict::CacheHit(payload));
                             continue;
@@ -623,7 +671,12 @@ impl EventLoop {
                 } else {
                     false
                 };
-                if entry.try_admit(api, now) {
+                let t_tb = sample.then(Instant::now);
+                let admitted = entry.try_admit(api, now);
+                if let Some(t_tb) = t_tb {
+                    bucket_sample = Some(t_tb.elapsed());
+                }
+                if admitted {
                     let flight = if lead {
                         let key = p.key.expect("a leading read carries a key");
                         front
@@ -641,12 +694,37 @@ impl EventLoop {
                 }
             }
         }
+        if let Some(d) = front_door_sample {
+            metrics.on_front_stage(FrontStage::FrontDoor, d);
+        }
+        if let Some(d) = bucket_sample {
+            metrics.on_front_stage(FrontStage::TokenBucket, d);
+        }
         let accepted = Instant::now();
         let slo = self.shared.routing.slo;
+        let at = now.as_secs_f64();
+        let shard = self.idx as u32;
+        // Trace events cost nothing for untraced requests (one `Option`
+        // check); a traced request takes one short mutex push per stage.
+        let trace_ev = |p: &PendingReq, stage: &str, outcome: &str| {
+            p.trace.map(|id| obs::TraceEvent {
+                trace: id,
+                request: p.id,
+                api: p.api as u32,
+                shard,
+                stage: stage.into(),
+                outcome: outcome.into(),
+                at,
+                dur: 0.0,
+            })
+        };
         for (p, verdict) in pending.iter().zip(&verdicts) {
             match verdict {
                 Verdict::Submit { flight } => {
                     metrics.on_admitted(p.api);
+                    if let Some(ev) = trace_ev(p, "token_bucket", "admitted") {
+                        metrics.record_trace(ev);
+                    }
                     let reply = ReplySink::new(p.token, self.comp_tx.clone(), self.waker.clone());
                     self.shared.routing.submit(
                         Job {
@@ -656,6 +734,7 @@ impl EventLoop {
                             enqueued: accepted,
                             stage: 0,
                             flight: *flight,
+                            trace: p.trace,
                             reply,
                         },
                         &metrics,
@@ -666,13 +745,22 @@ impl EventLoop {
                     // admitted and completed in the same wakeup, with
                     // effectively zero service latency.
                     metrics.on_admitted(p.api);
-                    metrics.on_complete(p.api, Duration::ZERO, slo);
+                    metrics.on_complete_traced(p.api, Duration::ZERO, slo, p.trace);
+                    if let Some(ev) = trace_ev(p, "front_door", "cache_hit") {
+                        metrics.record_trace(ev);
+                    }
+                    if let Some(ev) = trace_ev(p, "reply", "sent") {
+                        metrics.record_trace(ev);
+                    }
                     self.push_to_conn(p.slot, p.token, &format!("OK {} {payload}\n", p.id));
                 }
                 Verdict::Parked => {
                     // Counted admitted now; completion metrics land when
                     // the leader's flight settles (`front::settle_flight`).
                     metrics.on_admitted(p.api);
+                    if let Some(ev) = trace_ev(p, "front_door", "follower") {
+                        metrics.record_trace(ev);
+                    }
                 }
                 Verdict::Shed | Verdict::RejectEntry => {
                     metrics.on_rejected(p.api);
@@ -696,6 +784,14 @@ impl EventLoop {
                     } else {
                         "limit"
                     };
+                    let ev = if matches!(verdict, Verdict::Shed) {
+                        trace_ev(p, "priority_gate", "shed")
+                    } else {
+                        trace_ev(p, "token_bucket", "rejected")
+                    };
+                    if let Some(ev) = ev {
+                        metrics.record_trace(ev);
+                    }
                     self.push_to_conn(p.slot, p.token, &format!("REJ {} {class}\n", p.id));
                 }
             }

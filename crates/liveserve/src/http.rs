@@ -1,13 +1,16 @@
 //! Minimal std-only HTTP exposition routes.
 //!
-//! Two read-only routes, one request per connection, served by the
+//! Read-only routes, one request per connection, served by the
 //! gateway's event loop 0 (the exposition listener is just another
 //! registration on that loop's poller — see [`crate::gateway`]):
 //!
 //! * `GET /metrics` — Prometheus text exposition format 0.0.4 rendered
-//!   from the server's [`obs::Registry`];
+//!   from the server's [`obs::Registry`] (latency buckets carry
+//!   OpenMetrics exemplars linking to trace ids);
 //! * `GET /spans` — the live [`TraceCollector`] raw span buffer as
-//!   JSONL (`application/x-ndjson`).
+//!   JSONL (`application/x-ndjson`);
+//! * `GET /trace` — the causal [`obs::TraceLog`] event buffer as JSONL;
+//! * `GET /trace/<id>` — only the events of one trace id.
 //!
 //! Anything else answers 404. Requests are parsed from the request line
 //! only; headers are buffered until the blank line and ignored. This is
@@ -48,11 +51,29 @@ pub fn route(request_line: &str, shared: &MetricsHttp) -> (&'static str, &'stati
             "application/x-ndjson; charset=utf-8",
             shared.metrics.spans_jsonl(),
         ),
-        _ => (
-            "404 Not Found",
-            "text/plain; charset=utf-8",
-            "not found\n".into(),
+        "/trace" => (
+            "200 OK",
+            "application/x-ndjson; charset=utf-8",
+            shared.metrics.traces_jsonl(None),
         ),
+        _ => {
+            // `/trace/<id>`: one trace's events as JSONL.
+            if let Some(id) = path
+                .strip_prefix("/trace/")
+                .and_then(|id| id.parse::<u64>().ok())
+            {
+                return (
+                    "200 OK",
+                    "application/x-ndjson; charset=utf-8",
+                    shared.metrics.traces_jsonl(Some(id)),
+                );
+            }
+            (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found\n".into(),
+            )
+        }
     }
 }
 
@@ -95,6 +116,33 @@ mod tests {
         assert_eq!(status, "404 Not Found");
         let (status, _, _) = route("POST /metrics HTTP/1.1\r\n", &s);
         assert_eq!(status, "405 Method Not Allowed");
+    }
+
+    #[test]
+    fn trace_routes_filter_by_id() {
+        let s = shared();
+        for trace in [7u64, 9] {
+            s.metrics.record_trace(obs::TraceEvent {
+                trace,
+                request: trace * 10,
+                api: 0,
+                shard: 0,
+                stage: "front_door".into(),
+                outcome: "admitted".into(),
+                at: 1.0,
+                dur: 0.0,
+            });
+        }
+        let (status, ctype, body) = route("GET /trace HTTP/1.1\r\n", &s);
+        assert_eq!(status, "200 OK");
+        assert!(ctype.starts_with("application/x-ndjson"));
+        assert_eq!(body.lines().count(), 2, "{body}");
+        let (status, _, body) = route("GET /trace/7 HTTP/1.1\r\n", &s);
+        assert_eq!(status, "200 OK");
+        assert_eq!(body.lines().count(), 1, "{body}");
+        assert!(body.contains("\"trace\":7"), "{body}");
+        let (status, _, _) = route("GET /trace/oops HTTP/1.1\r\n", &s);
+        assert_eq!(status, "404 Not Found");
     }
 
     #[test]

@@ -218,6 +218,8 @@ pub struct LiveServer {
     loops: Option<EventLoops>,
     window_start: SimTime,
     control_interval: Duration,
+    slo: obs::SloMonitor,
+    journal: Arc<obs::Journal>,
 }
 
 /// Resolve `event_loops = 0` (auto) to one loop per available core,
@@ -294,7 +296,34 @@ impl LiveServer {
             loops: Some(loops),
             window_start: SimTime::ZERO,
             control_interval: cfg.control_interval,
+            slo: obs::SloMonitor::new(obs::SloConfig::default()),
+            journal: obs::Journal::shared(),
         })
+    }
+
+    /// Replace the burn-rate monitor's objective/thresholds. Resets the
+    /// window history; call before driving traffic.
+    pub fn set_slo_config(&mut self, cfg: obs::SloConfig) {
+        self.slo = obs::SloMonitor::new(cfg);
+    }
+
+    /// The server's event journal (SLO burn transitions land here, on
+    /// the control thread, for `topfull explain`).
+    pub fn journal(&self) -> &Arc<obs::Journal> {
+        &self.journal
+    }
+
+    /// Route SLO burn transitions into an external journal — typically
+    /// the one the controller's decisions already land in, so `topfull
+    /// explain` renders one interleaved timeline.
+    pub fn attach_journal(&mut self, journal: Arc<obs::Journal>) {
+        self.journal = journal;
+    }
+
+    /// Snapshot of the gateway's causal trace log (every stage event of
+    /// every traced request still retained by the bounded ring).
+    pub fn traces(&self) -> Vec<obs::TraceEvent> {
+        self.shared.metrics.trace_log().snapshot()
     }
 
     /// Address clients should connect to.
@@ -335,10 +364,45 @@ impl LiveServer {
                 .map(|i| admission.entry.rate_limit(ApiId(i as u32)))
                 .collect()
         };
-        let obs = self
+        let mut obs = self
             .shared
             .metrics
             .observe(&self.desc, now, window, &rate_limits);
+        // SLO burn-rate pass on the control thread (same placement as
+        // the simulator's harness): rates -> counts via the window
+        // width, transitions journaled, signals attached to the
+        // observation and mirrored to the exposition gauges.
+        {
+            let w = obs.window.as_secs_f64();
+            let samples: Vec<obs::ApiSloSample> = obs
+                .apis
+                .iter()
+                .map(|a| obs::ApiSloSample {
+                    good: a.goodput * w,
+                    bad: (a.slo_violated + a.failed) * w,
+                })
+                .collect();
+            let slo_tick = self.slo.observe(obs.now.as_secs_f64(), &samples);
+            for tr in &slo_tick.transitions {
+                let name = obs
+                    .apis
+                    .get(tr.api as usize)
+                    .map(|a| a.name.clone())
+                    .unwrap_or_else(|| format!("api{}", tr.api));
+                self.journal.record(obs::JournalEntry::SloBurn {
+                    t: obs.now.as_secs_f64(),
+                    api: tr.api,
+                    api_name: name,
+                    from: tr.from.as_str().into(),
+                    to: tr.to.as_str().into(),
+                    fast_burn: tr.fast_burn,
+                    slow_burn: tr.slow_burn,
+                    budget_remaining: tr.budget_remaining,
+                });
+            }
+            self.shared.metrics.set_slo_signals(&slo_tick.signals);
+            obs.slo_burn = slo_tick.signals;
+        }
         // Bound the live path learner exactly like the simulator's tick.
         self.shared.metrics.compact_traces(now);
         // Close the front door's window on the same cadence as the
@@ -531,6 +595,47 @@ mod tests {
         );
         let spans = http_get(server.metrics_addr(), "/spans");
         assert!(spans.contains("\"verdict\":\"admitted\""), "{spans}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn traced_request_flows_to_trace_route_and_exemplars() {
+        let mut server = LiveServer::start(&tiny_topo(), LiveConfig::default()).expect("start");
+        let mut conn = TcpStream::connect(server.addr()).expect("connect");
+        // Keyless traced request: `-` fills the key slot, trace id 5.
+        conn.write_all(b"REQ 5 0 - 5\nREQ 6 0\n").expect("send");
+        let mut reader = BufReader::new(conn);
+        for _ in 0..2 {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("reply");
+            assert!(line.starts_with("OK "), "got {line:?}");
+        }
+        server.tick(&mut NoControl);
+        // The trace id links the wire, the trace log, and the metrics
+        // exposition: /trace/<id> returns the causal chain, and the
+        // latency histogram carries it as an OpenMetrics exemplar.
+        let events = http_get(server.metrics_addr(), "/trace/5");
+        assert!(
+            events.contains("\"stage\":\"token_bucket\"")
+                || events.contains("\"stage\":\"front_door\""),
+            "admission stage missing: {events}"
+        );
+        assert!(events.contains("\"stage\":\"worker\""), "{events}");
+        assert!(events.contains("\"stage\":\"reply\""), "{events}");
+        // The untraced request (id 6) must not appear.
+        assert!(!events.contains("\"request\":6"), "{events}");
+        let all = http_get(server.metrics_addr(), "/trace");
+        assert!(all.lines().count() >= events.lines().count());
+        let text = http_get(server.metrics_addr(), "/metrics");
+        assert!(text.contains("trace_id=\"5\""), "exemplar missing:\n{text}");
+        assert!(
+            text.contains("# TYPE topfull_slo_burn_rate gauge"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE topfull_loop_stage_seconds histogram"),
+            "{text}"
+        );
         server.shutdown();
     }
 

@@ -171,6 +171,24 @@ impl LoadGen {
     }
 }
 
+/// Every `TRACE_SAMPLE`-th request of each sender carries a trace id
+/// (the request id itself) in the optional fourth wire token, lighting
+/// up the gateway's causal trace path on a steady trickle of requests
+/// without changing the load shape. `-` fills the key slot when the
+/// request is keyless (see [`crate::wire`]).
+pub const TRACE_SAMPLE: u64 = 64;
+
+/// Render one `REQ` line, attaching a trace id on sampled requests.
+fn format_req(id: u64, api: usize, key: Option<u64>) -> String {
+    let traced = id.is_multiple_of(TRACE_SAMPLE);
+    match (key, traced) {
+        (Some(k), true) => format!("REQ {id} {api} {k} {id}\n"),
+        (Some(k), false) => format!("REQ {id} {api} {k}\n"),
+        (None, true) => format!("REQ {id} {api} - {id}\n"),
+        (None, false) => format!("REQ {id} {api}\n"),
+    }
+}
+
 /// xorshift64* — deterministic per-slot API picks without a rand dep.
 fn xorshift(state: &mut u64) -> f64 {
     let mut x = *state;
@@ -219,13 +237,11 @@ fn closed_user(
         }
         id += 1;
         let api = pick_api(&spec.api_weights, &mut rng);
-        let req = match spec.key_spaces.get(api).copied().unwrap_or(0) {
-            0 => format!("REQ {id} {api}\n"),
-            space => {
-                let key = ((xorshift(&mut rng) * space as f64) as u64).min(space - 1);
-                format!("REQ {id} {api} {key}\n")
-            }
+        let key = match spec.key_spaces.get(api).copied().unwrap_or(0) {
+            0 => None,
+            space => Some(((xorshift(&mut rng) * space as f64) as u64).min(space - 1)),
         };
+        let req = format_req(id, api, key);
         if writer
             .write_all(req.as_bytes())
             .and_then(|()| writer.flush())
@@ -274,13 +290,10 @@ fn open_loop_sender(
         carry -= burst as f64;
         for _ in 0..burst {
             id += 1;
-            let req = if arm.key_space > 0 {
-                let key =
-                    ((xorshift(&mut rng) * arm.key_space as f64) as u64).min(arm.key_space - 1);
-                format!("REQ {id} {} {key}\n", arm.api)
-            } else {
-                format!("REQ {id} {}\n", arm.api)
-            };
+            let key = (arm.key_space > 0).then(|| {
+                ((xorshift(&mut rng) * arm.key_space as f64) as u64).min(arm.key_space - 1)
+            });
+            let req = format_req(id, arm.api, key);
             if writer.write_all(req.as_bytes()).is_err() {
                 return;
             }
@@ -332,6 +345,14 @@ mod tests {
         counts.record("ERR 11\n");
         assert_eq!(counts.limit(), 2);
         assert_eq!(counts.shed(), 1);
+    }
+
+    #[test]
+    fn trace_sampling_attaches_ids_on_the_wire() {
+        assert_eq!(format_req(1, 0, None), "REQ 1 0\n");
+        assert_eq!(format_req(1, 0, Some(7)), "REQ 1 0 7\n");
+        assert_eq!(format_req(64, 2, None), "REQ 64 2 - 64\n");
+        assert_eq!(format_req(128, 1, Some(9)), "REQ 128 1 9 128\n");
     }
 
     #[test]

@@ -113,15 +113,81 @@ impl ServiceCell {
     }
 }
 
+/// Per-API SLO burn-rate gauges, refreshed by the control tick from the
+/// [`obs::SloMonitor`]'s signals.
+struct SloCell {
+    burn_fast: obs::Gauge,
+    burn_slow: obs::Gauge,
+    budget: obs::Gauge,
+}
+
+impl SloCell {
+    fn new() -> Self {
+        SloCell {
+            burn_fast: obs::Gauge::unregistered(),
+            burn_slow: obs::Gauge::unregistered(),
+            budget: obs::Gauge::unregistered(),
+        }
+    }
+}
+
+/// Per-stage event-loop profiling histograms. Each records one sample
+/// per *batch* (wakeup), not per request — the profiling budget is one
+/// `Instant` pair per batch phase.
+struct StageCells {
+    loop_read_parse: obs::Histogram,
+    loop_admit: obs::Histogram,
+    loop_write: obs::Histogram,
+    front_door: obs::Histogram,
+    token_bucket: obs::Histogram,
+}
+
+impl StageCells {
+    fn new() -> Self {
+        StageCells {
+            loop_read_parse: obs::Histogram::unregistered(),
+            loop_admit: obs::Histogram::unregistered(),
+            loop_write: obs::Histogram::unregistered(),
+            front_door: obs::Histogram::unregistered(),
+            token_bucket: obs::Histogram::unregistered(),
+        }
+    }
+}
+
+/// An event-loop batch phase, for [`LiveMetrics::on_loop_stage`].
+#[derive(Clone, Copy, Debug)]
+pub enum LoopStage {
+    /// Socket drain + wire parse (per wakeup).
+    ReadParse,
+    /// Batched admission through the stage pipeline.
+    Admit,
+    /// Response flush across dirty connections.
+    Write,
+}
+
+/// A front-door admission stage, for [`LiveMetrics::on_front_stage`].
+/// Sampled on the first request of each batch only.
+#[derive(Clone, Copy, Debug)]
+pub enum FrontStage {
+    FrontDoor,
+    TokenBucket,
+}
+
 /// Shared live metric state; cloned into every gateway and worker thread
 /// behind an `Arc`.
 pub struct LiveMetrics {
     apis: Vec<ApiCell>,
     services: Vec<ServiceCell>,
+    slo_cells: Vec<SloCell>,
+    stages: StageCells,
     /// Live span sink: the same [`TraceCollector`] the simulator uses,
     /// fed wall-clock spans. Bounded raw buffer backs `/spans` export;
     /// `compact_traces` (called per control tick) bounds the learner.
     tracer: Mutex<TraceCollector>,
+    /// Causal request traces: bounded ring of per-stage events for
+    /// requests that opted in via the wire line's trace token. Served by
+    /// `GET /trace[/<id>]`.
+    traces: obs::TraceLog,
 }
 
 impl LiveMetrics {
@@ -129,10 +195,13 @@ impl LiveMetrics {
         LiveMetrics {
             apis: (0..num_apis).map(|_| ApiCell::new()).collect(),
             services: (0..num_services).map(|_| ServiceCell::new()).collect(),
+            slo_cells: (0..num_apis).map(|_| SloCell::new()).collect(),
+            stages: StageCells::new(),
             tracer: Mutex::new(
                 TraceCollector::new(num_apis, SimDuration::from_secs(TRACE_WINDOW_SECS))
                     .with_raw_buffer(RAW_SPAN_BUFFER),
             ),
+            traces: obs::TraceLog::new(),
         }
     }
 
@@ -187,6 +256,47 @@ impl LiveMetrics {
                 &cell.cum_latency,
             );
         }
+        for (i, cell) in self.slo_cells.iter().enumerate() {
+            let api = desc.api_names[i].as_str();
+            reg.register_gauge(
+                "topfull_slo_burn_rate",
+                &join(&[("api", api), ("window", "fast")], extra),
+                &cell.burn_fast,
+            );
+            reg.register_gauge(
+                "topfull_slo_burn_rate",
+                &join(&[("api", api), ("window", "slow")], extra),
+                &cell.burn_slow,
+            );
+            // Budget reads 1.0 (untouched) until the first window closes.
+            cell.budget.set(1.0);
+            reg.register_gauge(
+                "topfull_slo_budget_remaining",
+                &join(&[("api", api)], extra),
+                &cell.budget,
+            );
+        }
+        for (stage, h) in [
+            ("read_parse", &self.stages.loop_read_parse),
+            ("admit", &self.stages.loop_admit),
+            ("write", &self.stages.loop_write),
+        ] {
+            reg.register_histogram(
+                "topfull_loop_stage_seconds",
+                &join(&[("stage", stage)], extra),
+                h,
+            );
+        }
+        for (stage, h) in [
+            ("front_door", &self.stages.front_door),
+            ("token_bucket", &self.stages.token_bucket),
+        ] {
+            reg.register_histogram(
+                "topfull_front_stage_seconds",
+                &join(&[("stage", stage)], extra),
+                h,
+            );
+        }
         for (i, cell) in self.services.iter().enumerate() {
             let svc = desc.service_names[i].as_str();
             reg.register_gauge(
@@ -231,6 +341,20 @@ impl LiveMetrics {
 
     /// A request completed end-to-end with the given latency.
     pub fn on_complete(&self, api: usize, latency: Duration, slo: Duration) {
+        self.on_complete_traced(api, latency, slo, None);
+    }
+
+    /// Like [`LiveMetrics::on_complete`]; a traced request additionally
+    /// attaches its trace id to the latency histogram bucket it lands in
+    /// (an OpenMetrics exemplar), so `/metrics` readers can jump from a
+    /// suspicious bucket straight to `GET /trace/<id>`.
+    pub fn on_complete_traced(
+        &self,
+        api: usize,
+        latency: Duration,
+        slo: Duration,
+        trace: Option<u64>,
+    ) {
         let cell = &self.apis[api];
         if latency <= slo {
             cell.good.fetch_add(1, Ordering::Relaxed);
@@ -241,7 +365,62 @@ impl LiveMetrics {
         }
         let d = SimDuration::from_nanos(latency.as_nanos() as u64);
         cell.latencies.lock().expect("latency lock").record(d);
-        cell.cum_latency.record(d);
+        cell.cum_latency.record_with_exemplar(d, trace);
+    }
+
+    // ---- per-stage profiling ------------------------------------------
+
+    /// One event-loop batch phase finished; `d` is the whole batch's
+    /// wall time for that phase.
+    pub fn on_loop_stage(&self, stage: LoopStage, d: Duration) {
+        let h = match stage {
+            LoopStage::ReadParse => &self.stages.loop_read_parse,
+            LoopStage::Admit => &self.stages.loop_admit,
+            LoopStage::Write => &self.stages.loop_write,
+        };
+        h.record(SimDuration::from_nanos(d.as_nanos() as u64));
+    }
+
+    /// One sampled front-door admission stage (first request of a
+    /// batch).
+    pub fn on_front_stage(&self, stage: FrontStage, d: Duration) {
+        let h = match stage {
+            FrontStage::FrontDoor => &self.stages.front_door,
+            FrontStage::TokenBucket => &self.stages.token_bucket,
+        };
+        h.record(SimDuration::from_nanos(d.as_nanos() as u64));
+    }
+
+    // ---- SLO burn signals ---------------------------------------------
+
+    /// Refresh the burn-rate/budget gauges from this tick's monitor
+    /// signals (called by the control thread each window close).
+    pub fn set_slo_signals(&self, signals: &[obs::SloBurnSignal]) {
+        for s in signals {
+            let Some(cell) = self.slo_cells.get(s.api as usize) else {
+                continue;
+            };
+            cell.burn_fast.set(s.fast_burn);
+            cell.burn_slow.set(s.slow_burn);
+            cell.budget.set(s.budget_remaining);
+        }
+    }
+
+    // ---- causal request traces ----------------------------------------
+
+    /// Record one causal trace event (traced requests only).
+    pub fn record_trace(&self, ev: obs::TraceEvent) {
+        self.traces.push(ev);
+    }
+
+    /// The bounded causal trace log.
+    pub fn trace_log(&self) -> &obs::TraceLog {
+        &self.traces
+    }
+
+    /// The `/trace` endpoint body: JSONL, optionally filtered by id.
+    pub fn traces_jsonl(&self, filter: Option<u64>) -> String {
+        self.traces.to_jsonl(filter)
     }
 
     // ---- live tracing --------------------------------------------------
@@ -404,6 +583,7 @@ impl LiveMetrics {
             api_paths: desc.api_paths.clone(),
             slo: desc.slo,
             resilience: ResilienceStats::default(),
+            slo_burn: Vec::new(),
         }
     }
 }

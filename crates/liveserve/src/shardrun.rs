@@ -165,12 +165,33 @@ impl ShardedLive {
         })
     }
 
-    /// Route membership/aggregation/split/fallback events to `journal`.
+    /// Route membership/aggregation/split/fallback events — and every
+    /// shard's SLO burn transitions — to `journal`.
     pub fn attach_journal(&mut self, journal: Arc<obs::Journal>) {
         self.plane.attach_journal(Arc::clone(&journal));
         for g in &mut self.guards {
             g.attach_journal(Arc::clone(&journal));
         }
+        for srv in self.servers.iter_mut().flatten() {
+            srv.attach_journal(Arc::clone(&journal));
+        }
+    }
+
+    /// Replace every shard's burn-rate monitor config (each shard
+    /// watches its own traffic slice).
+    pub fn set_slo_config(&mut self, cfg: obs::SloConfig) {
+        for srv in self.servers.iter_mut().flatten() {
+            srv.set_slo_config(cfg);
+        }
+    }
+
+    /// Trace events from every living shard's trace log, shard order.
+    pub fn traces(&self) -> Vec<obs::TraceEvent> {
+        self.servers
+            .iter()
+            .flatten()
+            .flat_map(|s| s.traces())
+            .collect()
     }
 
     /// Shard 0's exposition endpoint (all shards' series, `shard` label).

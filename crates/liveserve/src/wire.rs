@@ -27,22 +27,30 @@ pub const MAX_LINE: usize = 256;
 /// One framed outcome from the decoder.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum WireItem {
-    /// A well-formed `REQ <id> <api> [key]` line. `key` marks the
-    /// request as a coalescable read of that resource key.
+    /// A well-formed `REQ <id> <api> [key|-] [trace]` line. `key` marks
+    /// the request as a coalescable read of that resource key; `trace`
+    /// opts it into causal tracing.
     Request {
         id: u64,
         api: usize,
         key: Option<u64>,
+        trace: Option<u64>,
     },
     /// A complete but unparseable (or oversized) line; the gateway
     /// answers `ERR 0` and keeps the connection.
     Malformed,
 }
 
-/// Parse `REQ <id> <api_idx> [key]` → `(id, api, key)`. The optional
-/// fourth token is a coalescing resource key; anything past it is
-/// still rejected.
-pub fn parse_request(line: &str) -> Option<(u64, usize, Option<u64>)> {
+/// Parse `REQ <id> <api_idx> [key|-] [trace]` → `(id, api, key, trace)`.
+///
+/// The grammar is positional and backward compatible:
+/// * 3 tokens — the original protocol, no key, no trace;
+/// * 4 tokens — a coalescing resource key (old clients unchanged), or
+///   the placeholder `-` meaning "no key";
+/// * 5 tokens — key (or `-`) plus a trace id opting the request into
+///   causal tracing;
+/// * 6+ tokens — rejected.
+pub fn parse_request(line: &str) -> Option<(u64, usize, Option<u64>, Option<u64>)> {
     let mut parts = line.split_ascii_whitespace();
     if parts.next()? != "REQ" {
         return None;
@@ -50,13 +58,18 @@ pub fn parse_request(line: &str) -> Option<(u64, usize, Option<u64>)> {
     let id = parts.next()?.parse().ok()?;
     let api = parts.next()?.parse().ok()?;
     let key = match parts.next() {
+        Some("-") => None,
+        Some(tok) => Some(tok.parse().ok()?),
+        None => return Some((id, api, None, None)),
+    };
+    let trace = match parts.next() {
         Some(tok) => Some(tok.parse().ok()?),
         None => None,
     };
     if parts.next().is_some() {
         return None;
     }
-    Some((id, api, key))
+    Some((id, api, key, trace))
 }
 
 /// Incremental line framer with oversized-line resynchronisation.
@@ -135,7 +148,12 @@ impl LineDecoder {
             return; // blank lines are keep-alives, not errors
         }
         match parse_request(text) {
-            Some((id, api, key)) => out.push(WireItem::Request { id, api, key }),
+            Some((id, api, key, trace)) => out.push(WireItem::Request {
+                id,
+                api,
+                key,
+                trace,
+            }),
             None => out.push(WireItem::Malformed),
         }
     }
@@ -153,18 +171,109 @@ mod tests {
 
     #[test]
     fn request_lines_parse_strictly() {
-        assert_eq!(parse_request("REQ 7 2"), Some((7, 2, None)));
-        assert_eq!(parse_request("REQ 0 0"), Some((0, 0, None)));
-        assert_eq!(parse_request("REQ  12   1"), Some((12, 1, None)));
+        assert_eq!(parse_request("REQ 7 2"), Some((7, 2, None, None)));
+        assert_eq!(parse_request("REQ 0 0"), Some((0, 0, None, None)));
+        assert_eq!(parse_request("REQ  12   1"), Some((12, 1, None, None)));
         // Optional fourth token: a coalescing resource key.
-        assert_eq!(parse_request("REQ 7 2 9"), Some((7, 2, Some(9))));
-        assert_eq!(parse_request("REQ 7 2 0"), Some((7, 2, Some(0))));
+        assert_eq!(parse_request("REQ 7 2 9"), Some((7, 2, Some(9), None)));
+        assert_eq!(parse_request("REQ 7 2 0"), Some((7, 2, Some(0), None)));
         assert_eq!(parse_request("GET 7 2"), None);
         assert_eq!(parse_request("REQ 7"), None);
-        assert_eq!(parse_request("REQ 7 2 9 4"), None);
         assert_eq!(parse_request("REQ 7 2 k"), None);
         assert_eq!(parse_request("REQ x 2"), None);
         assert_eq!(parse_request(""), None);
+    }
+
+    #[test]
+    fn trace_token_extends_the_grammar_without_breaking_old_clients() {
+        // 5 tokens: key + trace.
+        assert_eq!(parse_request("REQ 7 2 9 4"), Some((7, 2, Some(9), Some(4))));
+        // `-` is "no key", so traces work without coalescing.
+        assert_eq!(parse_request("REQ 7 2 - 4"), Some((7, 2, None, Some(4))));
+        assert_eq!(parse_request("REQ 7 2 -"), Some((7, 2, None, None)));
+        // Garbage in either optional slot is malformed, not ignored.
+        assert_eq!(parse_request("REQ 7 2 9 t"), None);
+        assert_eq!(parse_request("REQ 7 2 - t"), None);
+        // 6+ tokens stay rejected.
+        assert_eq!(parse_request("REQ 7 2 9 4 5"), None);
+        assert_eq!(parse_request("REQ 7 2 - 4 5"), None);
+    }
+
+    #[test]
+    fn traced_lines_survive_segment_splits_and_garbage_resync() {
+        // Split points land mid-trace-token, around the `-` placeholder,
+        // and after an oversized-garbage resync.
+        let fragments: [&[u8]; 6] = [
+            b"REQ 1 0 7 4",
+            b"2\nREQ 2 1 - ",
+            b"9\n",
+            &[b'z'; 300],
+            b"\n",
+            b"REQ 3 0 5 1\n",
+        ];
+        let mut dec = LineDecoder::new();
+        let mut got = Vec::new();
+        for f in fragments {
+            dec.feed(f, &mut got);
+        }
+        assert_eq!(
+            got,
+            vec![
+                WireItem::Request {
+                    id: 1,
+                    api: 0,
+                    key: Some(7),
+                    trace: Some(42)
+                },
+                WireItem::Request {
+                    id: 2,
+                    api: 1,
+                    key: None,
+                    trace: Some(9)
+                },
+                WireItem::Malformed,
+                WireItem::Request {
+                    id: 3,
+                    api: 0,
+                    key: Some(5),
+                    trace: Some(1)
+                },
+            ]
+        );
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn old_three_field_clients_decode_byte_identically() {
+        // The exact byte stream an old client sends must produce the
+        // exact items it always produced (trace simply absent).
+        let input = b"REQ 1 0\nREQ 2 1 77\nREQ 3 0\n";
+        let mut dec = LineDecoder::new();
+        let mut got = Vec::new();
+        dec.feed(input, &mut got);
+        assert_eq!(
+            got,
+            vec![
+                WireItem::Request {
+                    id: 1,
+                    api: 0,
+                    key: None,
+                    trace: None
+                },
+                WireItem::Request {
+                    id: 2,
+                    api: 1,
+                    key: Some(77),
+                    trace: None
+                },
+                WireItem::Request {
+                    id: 3,
+                    api: 0,
+                    key: None,
+                    trace: None
+                },
+            ]
+        );
     }
 
     #[test]
@@ -178,18 +287,21 @@ mod tests {
                 WireItem::Request {
                     id: 1,
                     api: 0,
-                    key: None
+                    key: None,
+                    trace: None
                 },
                 WireItem::Request {
                     id: 2,
                     api: 1,
-                    key: None
+                    key: None,
+                    trace: None
                 },
                 WireItem::Malformed,
                 WireItem::Request {
                     id: 3,
                     api: 0,
-                    key: None
+                    key: None,
+                    trace: None
                 },
             ]
         );
@@ -220,17 +332,20 @@ mod tests {
                 WireItem::Request {
                     id: 1234,
                     api: 0,
-                    key: None
+                    key: None,
+                    trace: None
                 },
                 WireItem::Request {
                     id: 5,
                     api: 1,
-                    key: None
+                    key: None,
+                    trace: None
                 },
                 WireItem::Request {
                     id: 6,
                     api: 0,
-                    key: None
+                    key: None,
+                    trace: None
                 },
             ]
         );
@@ -257,7 +372,8 @@ mod tests {
                 WireItem::Request {
                     id: 9,
                     api: 0,
-                    key: None
+                    key: None,
+                    trace: None
                 }
             ]
         );
@@ -275,13 +391,15 @@ mod tests {
                 WireItem::Request {
                     id: 4,
                     api: 0,
-                    key: None
+                    key: None,
+                    trace: None
                 },
                 // blank and whitespace-only lines are silently skipped
                 WireItem::Request {
                     id: 5,
                     api: 0,
-                    key: None
+                    key: None,
+                    trace: None
                 },
             ]
         );
@@ -302,7 +420,8 @@ mod tests {
                 WireItem::Request {
                     id: 1,
                     api: 0,
-                    key: None
+                    key: None,
+                    trace: None
                 }
             ]
         );

@@ -134,6 +134,22 @@ pub enum JournalEntry {
         shed: u64,
         reason: String,
     },
+    /// An API crossed an SLO burn-rate severity boundary (`ok` ⇄
+    /// `ticket` ⇄ `page`); recorded by the harness/live tick on every
+    /// transition of `obs::slo::SloMonitor` (DESIGN.md §18).
+    SloBurn {
+        t: f64,
+        api: u32,
+        api_name: String,
+        from: String,
+        to: String,
+        /// Burn rate over the fast pair's short window at transition.
+        fast_burn: f64,
+        /// Burn rate over the slow pair's short window at transition.
+        slow_burn: f64,
+        /// Run-scope error budget remaining (1 = untouched, <0 = blown).
+        budget_remaining: f64,
+    },
 }
 
 impl JournalEntry {
@@ -154,7 +170,8 @@ impl JournalEntry {
             | JournalEntry::ShardSplit { t, .. }
             | JournalEntry::ShardFallback { t, .. }
             | JournalEntry::AdmissionWindow { t, .. }
-            | JournalEntry::PriorityThreshold { t, .. } => *t,
+            | JournalEntry::PriorityThreshold { t, .. }
+            | JournalEntry::SloBurn { t, .. } => *t,
         }
     }
 }
@@ -358,6 +375,54 @@ mod tests {
         assert_ne!(journal_fingerprint(&a), journal_fingerprint(&c));
         // FNV-1a of the empty string is the offset basis.
         assert_eq!(journal_fingerprint(""), 0xcbf2_9ce4_8422_2325);
+    }
+}
+
+#[cfg(test)]
+mod slo_entry_tests {
+    use super::*;
+
+    fn burn(t: f64, to: &str) -> JournalEntry {
+        JournalEntry::SloBurn {
+            t,
+            api: 1,
+            api_name: "checkout".into(),
+            from: if to == "page" { "ok" } else { "page" }.into(),
+            to: to.into(),
+            fast_burn: 22.5,
+            slow_burn: 8.1,
+            budget_remaining: 0.4,
+        }
+    }
+
+    #[test]
+    fn slo_burn_roundtrips_and_tags_snake_case() {
+        let e = burn(12.0, "page");
+        let s = serde_json::to_string(&e).expect("serialize");
+        assert!(s.contains("\"kind\":\"slo_burn\""), "{s}");
+        let back: JournalEntry = serde_json::from_str(&s).expect("decode");
+        assert_eq!(back, e);
+        assert_eq!(back.at(), 12.0);
+    }
+
+    /// A pathological alert-flapping run (severity toggling every tick,
+    /// far past the cap) must neither grow the journal past its bound
+    /// nor corrupt the retained prefix.
+    #[test]
+    fn alert_flapping_stays_bounded() {
+        let j = Journal::with_capacity(64);
+        for i in 0..10_000u64 {
+            let to = if i % 2 == 0 { "page" } else { "ok" };
+            j.record(burn(i as f64, to));
+        }
+        assert_eq!(j.len(), 64);
+        assert_eq!(j.dropped(), 10_000 - 64);
+        let snap = j.snapshot();
+        assert_eq!(snap[0].at(), 0.0);
+        assert_eq!(snap[63].at(), 63.0);
+        // The bounded snapshot still renders and fingerprints stably.
+        let jsonl = to_jsonl(&snap);
+        assert_eq!(journal_fingerprint(&jsonl), journal_fingerprint(&jsonl));
     }
 }
 

@@ -78,11 +78,17 @@ impl Gauge {
 #[derive(Clone, Debug)]
 pub struct Histogram(Arc<Mutex<HistCell>>);
 
+/// Most recent exemplars retained per histogram; enough that every
+/// occupied latency bucket usually keeps a representative.
+const EXEMPLAR_CAP: usize = 16;
+
 #[derive(Debug)]
 struct HistCell {
     hist: LatencyHistogram,
     /// Exact sum of all recorded durations, for Prometheus `_sum`.
     sum_nanos: u128,
+    /// Recent `(value_secs, trace_id)` exemplars, newest last.
+    exemplars: Vec<(f64, u64)>,
 }
 
 impl Default for Histogram {
@@ -90,6 +96,7 @@ impl Default for Histogram {
         Histogram(Arc::new(Mutex::new(HistCell {
             hist: LatencyHistogram::new(),
             sum_nanos: 0,
+            exemplars: Vec::new(),
         })))
     }
 }
@@ -106,6 +113,22 @@ impl Histogram {
         cell.sum_nanos += u128::from(d.as_nanos());
     }
 
+    /// Record a value observed while serving trace `trace`: the value
+    /// lands in the histogram normally and, when a trace id is present,
+    /// is kept as an exemplar so `/metrics` can link the latency bucket
+    /// back to a concrete request (`… # {trace_id="…"} value`).
+    pub fn record_with_exemplar(&self, d: SimDuration, trace: Option<u64>) {
+        let mut cell = self.0.lock().expect("histogram lock");
+        cell.hist.record(d);
+        cell.sum_nanos += u128::from(d.as_nanos());
+        if let Some(id) = trace {
+            if cell.exemplars.len() >= EXEMPLAR_CAP {
+                cell.exemplars.remove(0);
+            }
+            cell.exemplars.push((d.as_nanos() as f64 / 1e9, id));
+        }
+    }
+
     pub fn count(&self) -> u64 {
         self.0.lock().expect("histogram lock").hist.count()
     }
@@ -114,8 +137,10 @@ impl Histogram {
         self.0.lock().expect("histogram lock").hist.quantile(q)
     }
 
-    /// `(cumulative le-bucket list in seconds, count, sum in seconds)`.
-    fn snapshot(&self) -> (Vec<(f64, u64)>, u64, f64) {
+    /// `(cumulative le-bucket list in seconds, count, sum in seconds,
+    /// recent exemplars)`.
+    #[allow(clippy::type_complexity)]
+    fn snapshot(&self) -> (Vec<(f64, u64)>, u64, f64, Vec<(f64, u64)>) {
         let cell = self.0.lock().expect("histogram lock");
         let mut cum = 0u64;
         let buckets = cell
@@ -126,8 +151,24 @@ impl Histogram {
                 (edge_ns / 1e9, cum)
             })
             .collect();
-        (buckets, cell.hist.count(), cell.sum_nanos as f64 / 1e9)
+        (
+            buckets,
+            cell.hist.count(),
+            cell.sum_nanos as f64 / 1e9,
+            cell.exemplars.clone(),
+        )
     }
+}
+
+/// Newest exemplar whose value falls in the bucket `(lo, hi]`, rendered
+/// as an OpenMetrics exemplar suffix (empty when none match).
+fn exemplar_suffix(exemplars: &[(f64, u64)], lo: f64, hi: f64) -> String {
+    exemplars
+        .iter()
+        .rev()
+        .find(|(v, _)| *v > lo && *v <= hi)
+        .map(|(v, id)| format!(" # {{trace_id=\"{id}\"}} {}", fmt_f64(*v)))
+        .unwrap_or_default()
 }
 
 enum Handle {
@@ -269,20 +310,28 @@ impl Registry {
                     ));
                 }
                 Handle::Histogram(h) => {
-                    let (buckets, count, sum) = h.snapshot();
+                    let (buckets, count, sum, exemplars) = h.snapshot();
+                    // The first bucket covers (-inf, le0] — a
+                    // zero-valued record (e.g. a coalesce cache hit's
+                    // zero latency) counts there, so its exemplar must
+                    // attach there too.
+                    let mut lo = f64::NEG_INFINITY;
                     for (le, cum) in &buckets {
                         out.push_str(&format!(
-                            "{}_bucket{} {}\n",
+                            "{}_bucket{} {}{}\n",
                             inst.family,
                             label_block(&inst.labels, Some(&fmt_f64(*le))),
-                            cum
+                            cum,
+                            exemplar_suffix(&exemplars, lo, *le)
                         ));
+                        lo = *le;
                     }
                     out.push_str(&format!(
-                        "{}_bucket{} {}\n",
+                        "{}_bucket{} {}{}\n",
                         inst.family,
                         label_block(&inst.labels, Some("+Inf")),
-                        count
+                        count,
+                        exemplar_suffix(&exemplars, lo, f64::INFINITY)
                     ));
                     out.push_str(&format!(
                         "{}_count{} {}\n",
@@ -414,5 +463,92 @@ mod tests {
         r.counter("c_total", &[("name", "a\"b\\c")]);
         let text = r.render_prometheus();
         assert!(text.contains("name=\"a\\\"b\\\\c\""), "{text}");
+    }
+
+    /// Exposition-format 0.0.4 escaping, case by case: `\` → `\\`,
+    /// `"` → `\"`, newline → `\n`, and combinations thereof. Every
+    /// rendered sample line must stay a *single* line.
+    #[test]
+    fn each_escape_case_renders_valid_single_line_text() {
+        let cases: [(&str, &str); 5] = [
+            ("quo\"te", "quo\\\"te"),
+            ("back\\slash", "back\\\\slash"),
+            ("new\nline", "new\\nline"),
+            ("\\\"\n", "\\\\\\\"\\n"),
+            ("plain", "plain"),
+        ];
+        for (raw, escaped) in cases {
+            let r = Registry::new();
+            r.counter("esc_total", &[("v", raw)]);
+            let text = r.render_prometheus();
+            let sample = text
+                .lines()
+                .find(|l| l.starts_with("esc_total"))
+                .expect("sample line rendered");
+            assert_eq!(
+                sample,
+                format!("esc_total{{v=\"{escaped}\"}} 0"),
+                "raw label {raw:?}"
+            );
+            // A raw newline inside a label would split the sample line;
+            // the full exposition must hold exactly TYPE + sample.
+            assert_eq!(text.lines().count(), 2, "raw label {raw:?}: {text:?}");
+        }
+    }
+
+    #[test]
+    fn exemplars_attach_to_the_matching_bucket() {
+        let r = Registry::new();
+        let h = r.histogram("lat_seconds", &[("api", "ping")]);
+        h.record_with_exemplar(SimDuration::from_millis(5), Some(42));
+        h.record_with_exemplar(SimDuration::from_millis(500), Some(43));
+        h.record_with_exemplar(SimDuration::from_millis(6), None);
+        let text = r.render_prometheus();
+        let with_42: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("# {trace_id=\"42\"}"))
+            .collect();
+        assert_eq!(with_42.len(), 1, "exactly one bucket carries 42: {text}");
+        assert!(with_42[0].starts_with("lat_seconds_bucket{api=\"ping\",le="));
+        assert!(with_42[0].contains("# {trace_id=\"42\"} 0.005"), "{text}");
+        assert!(text.contains("# {trace_id=\"43\"} 0.5"), "{text}");
+        // The untraced record produced no exemplar of its own.
+        assert_eq!(text.matches("# {trace_id=").count(), 2, "{text}");
+        // _count/_sum lines never carry exemplars.
+        for l in text.lines() {
+            if l.starts_with("lat_seconds_count") || l.starts_with("lat_seconds_sum") {
+                assert!(!l.contains("trace_id"), "{l}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_valued_exemplar_attaches_to_the_first_bucket() {
+        // A zero-duration record (a coalesce cache hit's latency) counts
+        // in the first bucket, so its exemplar must render there — the
+        // first bucket's range is (-inf, le0], not (0, le0].
+        let r = Registry::new();
+        let h = r.histogram("zero_seconds", &[]);
+        h.record_with_exemplar(SimDuration::ZERO, Some(7));
+        let text = r.render_prometheus();
+        let line = text
+            .lines()
+            .find(|l| l.contains("trace_id=\"7\""))
+            .unwrap_or_else(|| panic!("zero exemplar dropped: {text}"));
+        assert!(line.starts_with("zero_seconds_bucket{le="), "{line}");
+    }
+
+    #[test]
+    fn exemplar_ring_keeps_the_newest() {
+        let h = Histogram::unregistered();
+        for i in 0..100u64 {
+            h.record_with_exemplar(SimDuration::from_millis(10), Some(i));
+        }
+        let r = Registry::new();
+        r.register_histogram("x_seconds", &[], &h);
+        let text = r.render_prometheus();
+        // The bucket's exemplar is the newest surviving trace id.
+        assert!(text.contains("# {trace_id=\"99\"}"), "{text}");
+        assert!(!text.contains("trace_id=\"0\""), "{text}");
     }
 }

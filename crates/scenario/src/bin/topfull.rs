@@ -3,6 +3,7 @@
 //! ```text
 //! topfull live <scenario.json> --duration <secs> [--json]
 //! topfull explain <run.json|journal.jsonl>
+//! topfull trace <run.json|traces.jsonl|http://host:port> [--id <trace>]
 //! topfull workflow <workflow.json> [--check | --emit]
 //! topfull matrix <matrix.json> [--json | --check] [--workers <n>]
 //! topfull fuzz [--seed <n>] [--iters <k>] [--base <workflow.json>]
@@ -29,6 +30,7 @@ fn usage() -> ! {
          [--shards <n>] [--kill-shard <i>@<secs>]"
     );
     eprintln!("  topfull explain <run.json|journal.jsonl> [--fingerprint]");
+    eprintln!("  topfull trace <run.json|traces.jsonl|http://host:port> [--id <trace>]");
     eprintln!("  topfull workflow <workflow.json> [--check | --emit]");
     eprintln!("  topfull matrix <matrix.json> [--json | --check] [--workers <n>]");
     eprintln!(
@@ -40,6 +42,7 @@ fn usage() -> ! {
     eprintln!("                      (overrides the scenario's sharding.shards)");
     eprintln!("  --kill-shard i@secs SIGKILL-style shard death at scenario-time secs");
     eprintln!("  --fingerprint       print the journal's order-sensitive fingerprint");
+    eprintln!("  --id t              render only trace id t's waterfall");
     eprintln!("  --check             validate without running");
     eprintln!("  --emit              print the compiled plain scenario JSON");
     eprintln!("  --workers n         worker pool size (default: TOPFULL_WORKERS or cores)");
@@ -253,6 +256,17 @@ fn main() {
                 explain_file(path)
             };
             match run {
+                Ok(text) => print!("{text}"),
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("trace") => {
+            let src = args.get(1).unwrap_or_else(|| usage());
+            let id = flag_value::<u64>(&args, "--id");
+            match topfull_cli::trace_source(src, id) {
                 Ok(text) => print!("{text}"),
                 Err(e) => {
                     eprintln!("{e}");

@@ -44,6 +44,10 @@ pub enum Objective {
     SustainedBreach,
     /// The rate controller oscillated (many sign flips in a short span).
     Ringing,
+    /// The controller arm burned error budget to page severity while
+    /// the uncontrolled oracle never paged — the control loop *caused*
+    /// an SLO incident instead of preventing one.
+    BudgetBurn,
 }
 
 impl Objective {
@@ -54,6 +58,7 @@ impl Objective {
             Objective::ReconvergenceFailure => "reconvergence",
             Objective::SustainedBreach => "breach",
             Objective::Ringing => "ringing",
+            Objective::BudgetBurn => "burn",
         }
     }
 
@@ -63,6 +68,7 @@ impl Objective {
             "reconvergence" => Some(Objective::ReconvergenceFailure),
             "breach" => Some(Objective::SustainedBreach),
             "ringing" => Some(Objective::Ringing),
+            "burn" => Some(Objective::BudgetBurn),
             _ => None,
         }
     }
@@ -218,6 +224,27 @@ pub fn evaluate(
         }
     }
 
+    // 5. Budget burn the oracle avoided. Shedding spends no error
+    // budget, so a well-behaved controller should page *less* than the
+    // uncontrolled run — an arm that pages while the oracle never does
+    // turned overload control into an SLO incident.
+    let pages = |o: &ScenarioOutcome| {
+        o.journal
+            .iter()
+            .filter(|e| matches!(e, JournalEntry::SloBurn { to, .. } if to == "page"))
+            .count()
+    };
+    let arm_pages = pages(arm);
+    if arm_pages > 0 && pages(oracle) == 0 {
+        out.push(Violation {
+            objective: Objective::BudgetBurn,
+            detail: format!(
+                "{arm_pages} page-severity burn escalation(s) under control; the \
+                 uncontrolled oracle never paged"
+            ),
+        });
+    }
+
     out.sort_by_key(|v| v.objective);
     out
 }
@@ -248,6 +275,7 @@ mod tests {
             shard_plane: None,
             shard_guards: None,
             live_rejects: None,
+            traces: vec![],
         }
     }
 
@@ -335,6 +363,40 @@ mod tests {
         }
         let v = evaluate(&wf(), &arm, &oracle);
         assert!(!trips(&v, Objective::Ringing), "{v:?}");
+    }
+
+    #[test]
+    fn budget_burn_compares_page_counts_against_the_oracle() {
+        let burn = |to: &str| JournalEntry::SloBurn {
+            t: 25.0,
+            api: 0,
+            api_name: "get".into(),
+            from: "ok".into(),
+            to: to.into(),
+            fast_burn: 30.0,
+            slow_burn: 4.0,
+            budget_remaining: 0.5,
+        };
+        let mut arm = outcome(80.0, vec![], vec![]);
+        arm.journal.push(burn("page"));
+        let oracle = outcome(80.0, vec![], vec![]);
+        let v = evaluate(&wf(), &arm, &oracle);
+        assert!(trips(&v, Objective::BudgetBurn), "{v:?}");
+
+        // If the oracle paged too, nothing could have served this —
+        // not a controller weakness.
+        let mut paged_oracle = outcome(80.0, vec![], vec![]);
+        paged_oracle.journal.push(burn("page"));
+        let v = evaluate(&wf(), &arm, &paged_oracle);
+        assert!(!trips(&v, Objective::BudgetBurn), "{v:?}");
+
+        // Ticket-severity smoulders don't trip the objective.
+        let mut ticketed = outcome(80.0, vec![], vec![]);
+        ticketed.journal.push(burn("ticket"));
+        let v = evaluate(&wf(), &ticketed, &oracle);
+        assert!(!trips(&v, Objective::BudgetBurn), "{v:?}");
+        assert_eq!(Objective::from_slug("burn"), Some(Objective::BudgetBurn));
+        assert_eq!(Objective::BudgetBurn.slug(), "burn");
     }
 
     #[test]

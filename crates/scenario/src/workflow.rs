@@ -403,6 +403,7 @@ impl WorkflowSpec {
             live: None,
             sharding: self.sharding.clone(),
             admission: None,
+            slo: None,
             report: ReportSpec {
                 measure_from_secs: self.measure_from_secs,
                 // The timeline is the eyeball surface for control

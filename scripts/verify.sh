@@ -74,6 +74,36 @@ coalesce_client() {
 }
 coalesce_client || { echo "coalesce smoke: duplicate-read burst missed replies"; exit 1; }
 
+# Causal-tracing smoke: send keyless traced requests (4-token wire form
+# `REQ <id> <api> - <trace>`) until one is admitted end to end; its
+# trace must then be retrievable by id from the gateway's /trace route
+# with the full stage chain (token bucket -> worker -> reply).
+trace_client() {
+  local i rid line
+  exec 6<>/dev/tcp/127.0.0.1/19186
+  for ((i = 0; i < 30; i++)); do
+    rid=$((9990500 + i))
+    printf 'REQ %s 0 - %s\n' "$rid" "$rid" >&6
+    IFS= read -r -t 5 line <&6 || break
+    case "$line" in OK*) echo "$rid"; exec 6<&- 6>&-; return 0 ;; esac
+  done
+  exec 6<&- 6>&-
+  return 1
+}
+traced_id=$(trace_client) \
+  || { echo "trace smoke: no hand-traced request was served"; exit 1; }
+scrape_trace() {
+  exec 3<>/dev/tcp/127.0.0.1/19184
+  printf 'GET /trace/%s HTTP/1.1\r\nHost: localhost\r\n\r\n' "$1" >&3
+  cat <&3
+  exec 3<&- 3>&-
+}
+tr=$(scrape_trace "$traced_id")
+grep -q '"stage":"worker"' <<<"$tr" \
+  || { echo "trace smoke: /trace/$traced_id missing the worker stage"; exit 1; }
+grep -q '"stage":"reply"' <<<"$tr" \
+  || { echo "trace smoke: /trace/$traced_id missing the reply stage"; exit 1; }
+
 sleep 1
 m2=$(scrape_metrics)
 wait "$live_pid"
@@ -91,6 +121,19 @@ hits=$(grep -o 'topfull_coalesce_hit_total{[^}]*} [0-9.]*' <<<"$m2" \
   | awk '{s += int($2)} END {print s + 0}')
 [ "$hits" -gt 0 ] \
   || { echo "coalesce smoke: no coalesce hits on /metrics after duplicate burst"; exit 1; }
+
+# SLO observability smoke: the scrape must carry the per-API burn-rate
+# gauges (the live analogue of the harness's SloMonitor) and at least
+# one exemplar-bearing latency bucket — the loadgen traces every 64th
+# request, and completions stamp their bucket with the trace id.
+grep -q '^# TYPE topfull_slo_burn_rate gauge' <<<"$m2" \
+  || { echo "slo smoke: burn-rate gauge missing from /metrics"; exit 1; }
+grep -q '^# TYPE topfull_slo_budget_remaining gauge' <<<"$m2" \
+  || { echo "slo smoke: budget gauge missing from /metrics"; exit 1; }
+grep -q '# {trace_id="' <<<"$m2" \
+  || { echo "slo smoke: no exemplar on any latency bucket"; exit 1; }
+grep -q '^# TYPE topfull_loop_stage_seconds histogram' <<<"$m2" \
+  || { echo "slo smoke: per-stage event-loop histograms missing"; exit 1; }
 
 # Sharded live smoke: 3 real gateway shards under one logical
 # controller, shard 1 SIGKILLed mid-run. The fleet must drain cleanly
@@ -146,6 +189,23 @@ afp4=$(./target/release/topfull explain /tmp/topfull_adm_w4.json --fingerprint)
 ./target/release/topfull explain artifacts/results/multishard.json \
   | grep -q 'rate actions:' \
   || { echo "explain smoke: no rate actions in multishard journal"; exit 1; }
+
+# Trace + burn-journal smoke on committed artifacts: `topfull trace`
+# must render the checked-in live-run trace sample as a waterfall, and
+# `topfull explain` must interleave the `figures slo` artifact's
+# SloBurn escalations.
+./target/release/topfull trace artifacts/traces/sample.jsonl \
+  | grep -q 'worker' \
+  || { echo "trace smoke: committed sample renders no worker stage"; exit 1; }
+./target/release/topfull trace artifacts/traces/sample.jsonl --id 9990003 \
+  | grep -q 'trace 9990003' \
+  || { echo "trace smoke: --id filter lost the requested trace"; exit 1; }
+./target/release/topfull explain artifacts/results/slo.json \
+  | grep -q 'slo-burn' \
+  || { echo "explain smoke: no slo-burn entries in the slo figure journal"; exit 1; }
+./target/release/topfull explain artifacts/results/slo.json \
+  | grep -q 'page escalation' \
+  || { echo "explain smoke: slo journal summary missing page escalations"; exit 1; }
 
 # Scenario corpus dry-run: every committed scenario artifact must
 # validate without running — plain scenarios through the simulator's
